@@ -1,0 +1,41 @@
+// Ablation A3 — node-selection policy: the paper's fault-aware tie-break
+// (lowest predicted risk) against fault-oblivious first-fit and random
+// selection, at several accuracies. Fault-aware selection should matter
+// more as the predictor improves and not at all at a = 0.
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Ablation A3: allocation policies (lowest-risk | "
+                    "first-fit | random) across accuracies, SDSC",
+                    options)) {
+    return 0;
+  }
+  const auto inputs = core::makeStandardInputs("sdsc", options.jobs,
+                                               options.seed,
+                                               options.machineSize);
+  Table table({"allocation", "a", "QoS", "utilization",
+               "lost work (node-s)", "restarts"});
+  for (const std::string allocation : {"lowest-risk", "first-fit", "random"}) {
+    for (const double a : {0.0, 0.5, 1.0}) {
+      core::SimConfig config;
+      config.machineSize = options.machineSize;
+      config.allocation = allocation;
+      config.accuracy = a;
+      config.userRisk = 0.5;
+      const auto result =
+          core::runSimulation(config, inputs.jobs, inputs.trace);
+      table.addRow({allocation, formatFixed(a, 1),
+                    formatFixed(result.qos, 4),
+                    formatFixed(result.utilization, 4),
+                    formatFixed(result.lostWork, 0),
+                    std::to_string(result.totalRestarts)});
+    }
+  }
+  emit(table, options, "Ablation A3. Allocation policy comparison (SDSC).");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Ablation A4 — failure model realism. The paper stresses that "typical
+// statistical failure models are poor indicators of actual system
+// behavior" and therefore replays a real (bursty, spatially skewed)
+// trace. This bench runs the same experiment against:
+//   filtered-mmpp  our calibrated raw-event + filtering pipeline
+//                  (bursty, hot nodes — the paper-like trace),
+//   weibull        per-node Weibull renewals (shape < 1, bursty in time
+//                  but spatially uniform),
+//   poisson        homogeneous Poisson (memoryless, uniform).
+// All three are calibrated to the same cluster MTBF (8.5 h).
+#include "failure/generator.hpp"
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Ablation A4: failure models (filtered-mmpp | weibull | "
+                    "poisson) at matched MTBF, SDSC",
+                    options)) {
+    return 0;
+  }
+  const auto model = workload::modelByName("sdsc", options.machineSize);
+  const auto jobs = workload::generate(model, options.jobs, options.seed);
+  double totalWork = 0.0;
+  for (const auto& job : jobs) totalWork += job.totalWork();
+  const Duration span =
+      3.0 * totalWork /
+          (static_cast<double>(options.machineSize) * model.targetLoad) +
+      60.0 * kDay;
+  const Duration mtbf = 8.5 * kHour;
+
+  struct NamedTrace {
+    std::string name;
+    failure::FailureTrace trace;
+  };
+  std::vector<NamedTrace> traces;
+  traces.push_back({"filtered-mmpp",
+                    failure::makeCalibratedTrace(options.machineSize, span,
+                                                 kYear / mtbf, options.seed)});
+  traces.push_back(
+      {"weibull", failure::FailureTrace(
+                      failure::generateWeibullFailures(
+                          options.machineSize, span, mtbf, 0.6, options.seed),
+                      options.machineSize)});
+  traces.push_back(
+      {"poisson", failure::FailureTrace(
+                      failure::generatePoissonFailures(
+                          options.machineSize, span, mtbf, options.seed),
+                      options.machineSize)});
+
+  Table table({"failure model", "a", "QoS", "lost work (node-s)",
+               "restarts", "interarrival CV", "hot-node share"});
+  for (const auto& named : traces) {
+    const auto stats = named.trace.stats();
+    for (const double a : {0.0, 1.0}) {
+      core::SimConfig config;
+      config.machineSize = options.machineSize;
+      config.accuracy = a;
+      config.userRisk = 0.9;
+      const auto result = core::runSimulation(config, jobs, named.trace);
+      table.addRow({named.name, formatFixed(a, 1), formatFixed(result.qos, 4),
+                    formatFixed(result.lostWork, 0),
+                    std::to_string(result.totalRestarts),
+                    formatFixed(stats.interarrivalCv, 2),
+                    formatFixed(stats.hotNodeShare, 2)});
+    }
+  }
+  emit(table, options,
+       "Ablation A4. Failure-model comparison at matched cluster MTBF "
+       "(SDSC workload).");
+  return 0;
+}

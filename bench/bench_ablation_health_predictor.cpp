@@ -1,0 +1,81 @@
+// Ablation A10 — the full health-monitoring pipeline (paper §3.1-3.2) as
+// the predictor: precursor-pattern alarms with live precision/recall,
+// against the idealized trace-replay oracle at Sahoo et al.'s reported
+// ~0.7 accuracy and against the no-forecasting baseline. Unlike the
+// oracle, the pattern predictor is fully causal and makes both false
+// positives and false negatives.
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "failure/generator.hpp"
+#include "harness.hpp"
+#include "health/pattern_predictor.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Ablation A10: health-monitoring pattern predictor vs "
+                    "trace-replay oracle (SDSC, U = 0.9)",
+                    options)) {
+    return 0;
+  }
+  const auto model = workload::modelByName("sdsc", options.machineSize);
+  const auto jobs = workload::generate(model, options.jobs, options.seed);
+  double totalWork = 0.0;
+  double maxRuntime = 0.0;
+  for (const auto& job : jobs) {
+    totalWork += job.totalWork();
+    maxRuntime = std::max(maxRuntime, job.work);
+  }
+  const Duration span =
+      3.0 * totalWork /
+          (static_cast<double>(options.machineSize) * model.targetLoad) +
+      10.0 * maxRuntime + 30.0 * kDay;
+  const auto traces = failure::makeCalibratedTraces(
+      options.machineSize, span, 1021.0, options.seed ^ 0xf417);
+
+  Table table({"predictor", "QoS", "utilization", "lost work (node-s)",
+               "restarts", "recall", "precision"});
+  const auto addRow = [&](const std::string& name,
+                          const core::SimResult& result, double recall,
+                          double precision) {
+    table.addRow({name, formatFixed(result.qos, 4),
+                  formatFixed(result.utilization, 4),
+                  formatFixed(result.lostWork, 0),
+                  std::to_string(result.totalRestarts),
+                  recall < 0.0 ? "-" : formatFixed(recall, 3),
+                  precision < 0.0 ? "-" : formatFixed(precision, 3)});
+  };
+
+  for (const double a : {0.0, 0.7}) {
+    core::SimConfig config;
+    config.machineSize = options.machineSize;
+    config.accuracy = a;
+    config.userRisk = 0.9;
+    addRow("oracle a=" + formatFixed(a, 1),
+           core::runSimulation(config, jobs, traces.filtered), a, 1.0);
+  }
+  {
+    core::SimConfig config;
+    config.machineSize = options.machineSize;
+    config.userRisk = 0.9;
+    const core::Simulator* simRef = nullptr;
+    health::PatternPredictor predictor(
+        options.machineSize, traces.raw,
+        [&simRef] { return simRef ? simRef->now() : 0.0; });
+    core::Simulator sim(config, jobs, traces.filtered, &predictor);
+    simRef = &sim;
+    const auto result = sim.run();
+    const auto& stats = predictor.monitor().stats();
+    addRow("health pipeline (pattern alarms)", result, stats.recall(),
+           stats.precision());
+  }
+  emit(table, options,
+       "Ablation A10. Health-monitoring pattern prediction vs the "
+       "idealized oracle (SDSC, U = 0.9). Sahoo et al. report ~70% of "
+       "failures predictable from precursor patterns.");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation A2 — the two readings of the paper's Eq. 3 user rule (see
+// DESIGN.md interpretation note):
+//   success-floor      accept the earliest quote with 1 - pf >= U
+//                      (plateau while a <= 1 - U),
+//   failure-tolerance  accept the earliest quote with pf <= U
+//                      (plateau while a <= U).
+// Both are swept over U at a = 0.5 on the SDSC log, which is exactly the
+// paper's Figure 7 setting; the two plateaus are mirror images.
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Ablation A2: Eq. 3 risk-rule semantics, QoS vs U at "
+                    "a = 0.5, SDSC",
+                    options)) {
+    return 0;
+  }
+  const auto inputs = core::makeStandardInputs("sdsc", options.jobs,
+                                               options.seed,
+                                               options.machineSize);
+  const auto risks = core::canonicalGrid();
+  Table table({"U", "QoS (success-floor)", "QoS (failure-tolerance)"});
+  std::vector<std::vector<double>> columns;
+  for (const auto semantics :
+       {core::RiskSemantics::SuccessFloor,
+        core::RiskSemantics::FailureTolerance}) {
+    std::vector<double> column;
+    for (const double u : risks) {
+      core::SimConfig config;
+      config.machineSize = options.machineSize;
+      config.accuracy = 0.5;
+      config.userRisk = u;
+      config.semantics = semantics;
+      column.push_back(
+          core::runSimulation(config, inputs.jobs, inputs.trace).qos);
+    }
+    columns.push_back(std::move(column));
+  }
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    table.addRow({formatFixed(risks[i], 1), formatFixed(columns[0][i], 4),
+                  formatFixed(columns[1][i], 4)});
+  }
+  emit(table, options,
+       "Ablation A2. User-rule semantics at a = 0.5 (Figure 7 setting).");
+  return 0;
+}

@@ -1,0 +1,8 @@
+// Reproduces the paper's Figure 11: lost-work vs. user behavior (U)
+// on the sdsc log (flat cluster, a = 1).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return pqos::bench::runUserFigure(argc, argv, "Figure 11", "sdsc",
+                                    pqos::bench::Metric::LostWork, 1.0);
+}

@@ -1,0 +1,8 @@
+// Reproduces the paper's Figure 4: utilization vs. prediction accuracy
+// on the nasa log (flat cluster, U = 0.1, 0.5, 0.9).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return pqos::bench::runAccuracyFigure(argc, argv, "Figure 4", "nasa",
+                                        pqos::bench::Metric::Utilization);
+}

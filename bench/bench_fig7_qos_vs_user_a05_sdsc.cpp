@@ -1,0 +1,9 @@
+// Reproduces the paper's Figure 7: QoS vs. user behavior (U) on the SDSC
+// log at a = 0.5 — illustrating the plateau where the user parameter is
+// inert because no quote's failure probability can trigger the risk rule.
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return pqos::bench::runUserFigure(argc, argv, "Figure 7", "sdsc",
+                                    pqos::bench::Metric::Qos, 0.5);
+}

@@ -1,0 +1,38 @@
+// Reproduces the paper's Figure 8: QoS vs. user behavior (U) for BOTH the
+// SDSC and NASA logs on a flat cluster at a = 1. Higher U (more
+// risk-averse users) should yield better QoS on both logs.
+#include "harness.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Figure 8: QoS vs user behavior (U), SDSC and NASA "
+                    "logs, flat cluster, a = 1",
+                    options)) {
+    return 0;
+  }
+  const auto risks = core::canonicalGrid();
+  const std::vector<double> accuracies{1.0};
+  core::SimConfig base;
+  base.machineSize = options.machineSize;
+
+  Table table({"User Parameter (U)", "QoS (SDSC)", "QoS (NASA)"});
+  std::vector<std::vector<core::SweepPoint>> byModel;
+  for (const std::string model : {"sdsc", "nasa"}) {
+    const auto inputs = core::makeStandardInputs(model, options.jobs,
+                                                 options.seed,
+                                                 options.machineSize);
+    byModel.push_back(core::sweep(base, inputs, accuracies, risks));
+  }
+  for (std::size_t i = 0; i < risks.size(); ++i) {
+    table.addRow({formatFixed(risks[i], 1),
+                  formatFixed(byModel[0][i].result.qos, 4),
+                  formatFixed(byModel[1][i].result.qos, 4)});
+  }
+  emit(table, options,
+       "Figure 8. QoS vs. user behavior, flat cluster, a = 1.");
+  return 0;
+}

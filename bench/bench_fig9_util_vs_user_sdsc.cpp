@@ -1,0 +1,8 @@
+// Reproduces the paper's Figure 9: utilization vs. user behavior (U)
+// on the sdsc log (flat cluster, a = 1).
+#include "harness.hpp"
+
+int main(int argc, char** argv) {
+  return pqos::bench::runUserFigure(argc, argv, "Figure 9", "sdsc",
+                                    pqos::bench::Metric::Utilization, 1.0);
+}

@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark): the hot paths of the simulator —
+// event queue operations, trace-predictor window queries, reservation-book
+// slot searches, and a complete small simulation.
+#include <benchmark/benchmark.h>
+
+#include "cluster/topology.hpp"
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "failure/generator.hpp"
+#include "predict/trace_predictor.hpp"
+#include "sched/reservation_book.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  const auto count = static_cast<std::size_t>(state.range(0));
+  pqos::Rng rng(1);
+  std::vector<double> times(count);
+  for (auto& t : times) t = rng.uniform(0.0, 1e6);
+  for (auto _ : state) {
+    pqos::sim::EventQueue queue;
+    for (const double t : times) {
+      queue.schedule(t, [] {});
+    }
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(count));
+}
+BENCHMARK(BM_EventQueueScheduleAndPop)->Arg(1024)->Arg(16384);
+
+void BM_EventQueueCancellation(benchmark::State& state) {
+  for (auto _ : state) {
+    pqos::sim::EventQueue queue;
+    std::vector<pqos::sim::EventId> ids;
+    ids.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+      ids.push_back(queue.schedule(static_cast<double>(i), [] {}));
+    }
+    for (std::size_t i = 0; i < ids.size(); i += 2) queue.cancel(ids[i]);
+    while (!queue.empty()) benchmark::DoNotOptimize(queue.pop());
+  }
+}
+BENCHMARK(BM_EventQueueCancellation);
+
+void BM_PredictorPartitionQuery(benchmark::State& state) {
+  const auto trace =
+      pqos::failure::makeCalibratedTrace(128, 2.0 * pqos::kYear, 1021.0, 7);
+  const pqos::predict::TracePredictor predictor(trace, 0.5);
+  std::vector<pqos::NodeId> partition;
+  for (pqos::NodeId n = 0; n < 16; ++n) partition.push_back(n * 8);
+  double t = 0.0;
+  for (auto _ : state) {
+    t += 3600.0;
+    if (t > pqos::kYear) t = 0.0;
+    benchmark::DoNotOptimize(
+        predictor.partitionFailureProbability(partition, t, t + 7200.0));
+  }
+}
+BENCHMARK(BM_PredictorPartitionQuery);
+
+void BM_ReservationBookFindSlot(benchmark::State& state) {
+  const pqos::cluster::FlatTopology flat;
+  pqos::sched::ReservationBook book(128);
+  pqos::Rng rng(3);
+  // A realistic mid-simulation book: ~80 committed jobs.
+  for (pqos::JobId j = 0; j < 80; ++j) {
+    const int size = static_cast<int>(rng.uniformInt(1, 16));
+    const double start = rng.uniform(0.0, 50000.0);
+    const double duration = rng.uniform(600.0, 20000.0);
+    const auto slot = book.findSlot(
+        start, size, duration, flat, [](pqos::SimTime, pqos::SimTime) {
+          return [](pqos::NodeId) { return 0.0; };
+        });
+    book.reserve(j, slot->partition, slot->start, slot->start + duration);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(book.findSlot(
+        0.0, 12, 7200.0, flat, [](pqos::SimTime, pqos::SimTime) {
+          return [](pqos::NodeId) { return 0.0; };
+        }));
+  }
+}
+BENCHMARK(BM_ReservationBookFindSlot);
+
+void BM_FullSimulation(benchmark::State& state) {
+  const auto inputs = pqos::core::makeStandardInputs(
+      "nasa", static_cast<std::size_t>(state.range(0)), 11);
+  pqos::core::SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pqos::core::runSimulation(config, inputs.jobs, inputs.trace));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_FullSimulation)->Arg(1000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Reproduces the paper's Table 1: job log characteristics of the two
+// (synthesized) workloads, next to the values the paper reports for the
+// real archive logs.
+#include "harness.hpp"
+#include "util/strings.hpp"
+#include "workload/workload_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  using namespace pqos::bench;
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    "Table 1: job log characteristics (paper targets: NASA "
+                    "avg nj 6.3, avg ej 381 s, max ej 12 h; SDSC avg nj 9.7, "
+                    "avg ej 7722 s, max ej 132 h)",
+                    options)) {
+    return 0;
+  }
+
+  struct PaperRow {
+    const char* name;
+    double avgNodes;
+    double avgRuntime;
+    double maxRuntimeHours;
+  };
+  const PaperRow paper[] = {
+      {"nasa", 6.3, 381.0, 12.0},
+      {"sdsc", 9.7, 7722.0, 132.0},
+  };
+
+  Table table({"Job Log", "Avg nj (nodes)", "Avg ej (s)", "Max ej (hr)",
+               "paper Avg nj", "paper Avg ej", "paper Max ej"});
+  for (const auto& row : paper) {
+    const auto model = workload::modelByName(row.name, options.machineSize);
+    const auto jobs = workload::generate(model, options.jobs, options.seed);
+    const auto stats = workload::computeStats(jobs, options.machineSize);
+    table.addRow({row.name, formatFixed(stats.avgNodes, 1),
+                  formatFixed(stats.avgRuntime, 0),
+                  formatFixed(stats.maxRuntime / kHour, 0),
+                  formatFixed(row.avgNodes, 1), formatFixed(row.avgRuntime, 0),
+                  formatFixed(row.maxRuntimeHours, 0)});
+  }
+  emit(table, options, "Table 1. Job log characteristics.");
+  return 0;
+}

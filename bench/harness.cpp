@@ -1,0 +1,161 @@
+#include "harness.hpp"
+
+#include <iostream>
+
+#include "util/strings.hpp"
+
+namespace pqos::bench {
+
+bool parseHarness(int argc, const char* const* argv,
+                  const std::string& description, HarnessOptions& options) {
+  ArgParser args(description);
+  args.addInt("jobs", static_cast<long long>(options.jobs),
+              "jobs to replay (paper: 10000)");
+  args.addInt("seed", static_cast<long long>(options.seed),
+              "seed for the synthetic workload and failure trace");
+  args.addString("csv", "", "optional path for CSV export of the table");
+  args.addInt("machine", options.machineSize,
+              "cluster size in nodes (paper: 128)");
+  if (!args.parse(argc, argv)) return false;
+  options.jobs = static_cast<std::size_t>(args.getInt("jobs"));
+  options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  options.csvPath = args.getString("csv");
+  options.machineSize = static_cast<int>(args.getInt("machine"));
+  return true;
+}
+
+void emit(const Table& table, const HarnessOptions& options,
+          const std::string& title) {
+  std::cout << title << "\n(jobs=" << options.jobs
+            << ", seed=" << options.seed
+            << ", machine=" << options.machineSize << ")\n\n";
+  table.print(std::cout);
+  if (!options.csvPath.empty()) {
+    table.writeCsvFile(options.csvPath);
+    std::cout << "\nCSV written to " << options.csvPath << '\n';
+  }
+  std::cout << std::endl;
+}
+
+double metricOf(const core::SimResult& result, Metric metric) {
+  switch (metric) {
+    case Metric::Qos: return result.qos;
+    case Metric::Utilization: return result.utilization;
+    case Metric::LostWork: return result.lostWork;
+  }
+  return 0.0;
+}
+
+const char* metricName(Metric metric) {
+  switch (metric) {
+    case Metric::Qos: return "QoS";
+    case Metric::Utilization: return "Avg Utilization";
+    case Metric::LostWork: return "Total Work Lost (node-s)";
+  }
+  return "?";
+}
+
+namespace {
+const core::SweepPoint& findPoint(const std::vector<core::SweepPoint>& points,
+                                  double accuracy, double userRisk) {
+  for (const auto& point : points) {
+    if (point.accuracy == accuracy && point.userRisk == userRisk) {
+      return point;
+    }
+  }
+  throw LogicError("sweep point not found");
+}
+
+std::string formatMetric(double value, Metric metric) {
+  return metric == Metric::LostWork ? formatFixed(value, 0)
+                                    : formatFixed(value, 4);
+}
+}  // namespace
+
+Table accuracySweepTable(const std::vector<core::SweepPoint>& points,
+                         const std::vector<double>& accuracies,
+                         const std::vector<double>& userRisks, Metric metric) {
+  std::vector<std::string> header{"Accuracy (a)"};
+  for (const double u : userRisks) {
+    header.push_back("U=" + formatFixed(u, 1));
+  }
+  Table table(std::move(header));
+  for (const double a : accuracies) {
+    std::vector<std::string> row{formatFixed(a, 1)};
+    for (const double u : userRisks) {
+      row.push_back(formatMetric(metricOf(findPoint(points, a, u).result,
+                                          metric),
+                                 metric));
+    }
+    table.addRow(std::move(row));
+  }
+  return table;
+}
+
+Table userSweepTable(const std::vector<core::SweepPoint>& points,
+                     const std::vector<double>& userRisks, Metric metric,
+                     const std::string& seriesName) {
+  Table table({"User Parameter (U)", seriesName});
+  require(!points.empty(), "userSweepTable: empty sweep");
+  for (const double u : userRisks) {
+    const auto& point = findPoint(points, points.front().accuracy, u);
+    table.addRow({formatFixed(u, 1), formatMetric(metricOf(point.result, metric),
+                                                  metric)});
+  }
+  return table;
+}
+
+int runAccuracyFigure(int argc, const char* const* argv,
+                      const std::string& figure, const std::string& model,
+                      Metric metric) {
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    figure + ": " + metricName(metric) +
+                        " vs prediction accuracy, " + model +
+                        " log, flat cluster, U = 0.1, 0.5, 0.9",
+                    options)) {
+    return 0;
+  }
+  const auto inputs =
+      core::makeStandardInputs(model, options.jobs, options.seed,
+                               options.machineSize);
+  core::SimConfig base;
+  base.machineSize = options.machineSize;
+  const auto accuracies = core::canonicalGrid();
+  const std::vector<double> risks{0.1, 0.5, 0.9};
+  const auto points = core::sweep(base, inputs, accuracies, risks);
+  const auto table = accuracySweepTable(points, accuracies, risks, metric);
+  emit(table, options,
+       figure + ". " + metricName(metric) + " vs. prediction accuracy, " +
+           model + " log, flat cluster.");
+  return 0;
+}
+
+int runUserFigure(int argc, const char* const* argv, const std::string& figure,
+                  const std::string& model, Metric metric, double accuracy) {
+  HarnessOptions options;
+  if (!parseHarness(argc, argv,
+                    figure + ": " + metricName(metric) +
+                        " vs user behavior (U), " + model + " log, a = " +
+                        formatFixed(accuracy, 1),
+                    options)) {
+    return 0;
+  }
+  const auto inputs =
+      core::makeStandardInputs(model, options.jobs, options.seed,
+                               options.machineSize);
+  core::SimConfig base;
+  base.machineSize = options.machineSize;
+  const std::vector<double> accuracies{accuracy};
+  const auto risks = core::canonicalGrid();
+  const auto points = core::sweep(base, inputs, accuracies, risks);
+  const auto table =
+      userSweepTable(points, risks, metric,
+                     metricName(metric) + std::string(" (") + model + ")");
+  emit(table, options,
+       figure + ". " + metricName(metric) + " vs. user behavior, " + model +
+           " log, flat cluster, a = " + formatFixed(accuracy, 1) + ".");
+  return 0;
+}
+
+}  // namespace pqos::bench

@@ -1,0 +1,56 @@
+// Shared scaffolding for the per-figure benchmark harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+namespace pqos::bench {
+
+/// Standard flags every figure harness accepts.
+struct HarnessOptions {
+  std::size_t jobs = 10000;
+  std::uint64_t seed = 42;
+  std::string csvPath;  // empty = no CSV export
+  int machineSize = 128;
+};
+
+/// Parses the standard flags; returns false when --help was requested.
+[[nodiscard]] bool parseHarness(int argc, const char* const* argv,
+                                const std::string& description,
+                                HarnessOptions& options);
+
+/// Prints the table, writes the optional CSV, and echoes a provenance line.
+void emit(const Table& table, const HarnessOptions& options,
+          const std::string& title);
+
+/// Extracts one metric series per userRisk from a sweep, with accuracies
+/// as rows — the layout of the paper's accuracy figures.
+enum class Metric { Qos, Utilization, LostWork };
+[[nodiscard]] double metricOf(const core::SimResult& result, Metric metric);
+[[nodiscard]] const char* metricName(Metric metric);
+
+[[nodiscard]] Table accuracySweepTable(
+    const std::vector<core::SweepPoint>& points,
+    const std::vector<double>& accuracies, const std::vector<double>& userRisks,
+    Metric metric);
+
+[[nodiscard]] Table userSweepTable(const std::vector<core::SweepPoint>& points,
+                                   const std::vector<double>& userRisks,
+                                   Metric metric, const std::string& seriesName);
+
+/// Complete main() body for a "metric vs accuracy" figure (paper Figs 1-6):
+/// sweeps a = 0..1 at U in {0.1, 0.5, 0.9} over one workload model.
+int runAccuracyFigure(int argc, const char* const* argv,
+                      const std::string& figure, const std::string& model,
+                      Metric metric);
+
+/// Complete main() body for a "metric vs user parameter" figure (paper
+/// Figs 7, 9-12): sweeps U = 0..1 at a fixed accuracy over one model.
+int runUserFigure(int argc, const char* const* argv, const std::string& figure,
+                  const std::string& model, Metric metric, double accuracy);
+
+}  // namespace pqos::bench

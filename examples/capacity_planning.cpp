@@ -1,0 +1,72 @@
+// Capacity-planning study: "how accurate must my failure predictor be to
+// hit a QoS target, and what does that buy in saved work?" Sweeps the
+// accuracy dial over a chosen workload and reports the smallest accuracy
+// meeting the target — the question an operator deploying event
+// prediction (Sahoo et al. reached ~70%) actually asks.
+//
+//   ./example_capacity_planning [--model sdsc] [--target 0.95] [--jobs 4000]
+#include <iostream>
+
+#include "core/experiment.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args(
+      "pqos capacity planning: minimum predictor accuracy for a QoS target");
+  args.addString("model", "sdsc", "workload model: nasa | sdsc");
+  args.addDouble("target", 0.95, "QoS target in [0,1]");
+  args.addInt("jobs", 4000, "number of jobs to simulate");
+  args.addInt("seed", 42, "workload/trace seed");
+  args.addDouble("user", 0.9, "user risk parameter U");
+  if (!args.parse(argc, argv)) return 0;
+
+  const double target = args.getDouble("target");
+  const auto inputs = core::makeStandardInputs(
+      args.getString("model"), static_cast<std::size_t>(args.getInt("jobs")),
+      static_cast<std::uint64_t>(args.getInt("seed")));
+
+  core::SimConfig config;
+  config.userRisk = args.getDouble("user");
+
+  Table table({"accuracy a", "QoS", "utilization", "lost work",
+               "meets target"});
+  double needed = -1.0;
+  core::SimResult baseline;
+  core::SimResult atNeeded;
+  for (int step = 0; step <= 10; ++step) {
+    config.accuracy = static_cast<double>(step) / 10.0;
+    const auto result =
+        core::runSimulation(config, inputs.jobs, inputs.trace);
+    if (step == 0) baseline = result;
+    const bool meets = result.qos >= target;
+    if (meets && needed < 0.0) {
+      needed = config.accuracy;
+      atNeeded = result;
+    }
+    table.addRow({formatFixed(config.accuracy, 1), formatFixed(result.qos, 4),
+                  formatFixed(result.utilization, 4),
+                  formatWork(result.lostWork), meets ? "yes" : "no"});
+  }
+  table.print(std::cout);
+
+  std::cout << '\n';
+  if (needed < 0.0) {
+    std::cout << "No accuracy in [0,1] reaches QoS >= " << target
+              << " for this workload; consider relaxing deadlines (higher U)"
+              << " or adding slack.\n";
+  } else {
+    std::cout << "QoS target " << target << " is first met at a = " << needed
+              << ".\nVersus no forecasting, that accuracy saves "
+              << formatWork(baseline.lostWork - atNeeded.lostWork)
+              << " of lost work ("
+              << formatFixed(100.0 * (baseline.lostWork - atNeeded.lostWork) /
+                                 std::max(baseline.lostWork, 1.0),
+                             1)
+              << "% less).\nSahoo et al. report ~0.7 accuracy is attainable "
+                 "in production clusters.\n";
+  }
+  return 0;
+}

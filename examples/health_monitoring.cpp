@@ -1,0 +1,76 @@
+// Health-monitoring walkthrough (paper §3.1-3.2): generates a RAS event
+// stream with correlated node telemetry, drives the centralized
+// HealthMonitor over both feeds, and reports the alarm quality the
+// pattern-based predictor achieves — the causal counterpart of the
+// paper's accuracy dial.
+//
+//   ./example_health_monitoring [--nodes 64] [--days 180]
+#include <iostream>
+
+#include "failure/generator.hpp"
+#include "health/pattern_predictor.hpp"
+#include "health/telemetry.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args(
+      "pqos health monitoring demo: precursor patterns + telemetry -> "
+      "failure alarms");
+  args.addInt("nodes", 64, "cluster size");
+  args.addDouble("days", 180.0, "trace span in days");
+  args.addInt("seed", 17, "trace seed");
+  if (!args.parse(argc, argv)) return 0;
+
+  const int nodes = static_cast<int>(args.getInt("nodes"));
+  const Duration span = args.getDouble("days") * kDay;
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+
+  // 1. The raw feeds: RAS events (with precursor bursts and background
+  //    chatter) and per-node temperature/load telemetry.
+  const auto traces = failure::makeCalibratedTraces(
+      nodes, span, 1021.0 * nodes / 128.0, seed);
+  health::TelemetryConfig telemetryConfig;
+  telemetryConfig.cadence = kHour;
+  const auto telemetry = health::generateTelemetry(
+      traces.raw, nodes, span, telemetryConfig, seed);
+
+  std::cout << "Feeds: " << traces.raw.size() << " RAS events, "
+            << telemetry.size() << " telemetry samples, "
+            << traces.filtered.size() << " actual failures over "
+            << formatDuration(span) << " on " << nodes << " nodes.\n\n";
+
+  // 2. Drive the pattern predictor causally across the whole span,
+  //    scoring it against the ground-truth failures.
+  SimTime now = 0.0;
+  health::PatternPredictor predictor(nodes, traces.raw,
+                                     [&now] { return now; });
+  predictor.attachTelemetry(telemetry);
+  for (const auto& failure : traces.filtered.events()) {
+    now = failure.time;
+    predictor.observe(failure);
+  }
+  now = span;
+  const auto& stats = predictor.monitor().stats();
+
+  Table table({"metric", "value"});
+  table.addRow({"events ingested", std::to_string(stats.eventsIngested)});
+  table.addRow({"telemetry ingested", std::to_string(stats.samplesIngested)});
+  table.addRow({"alarms raised", std::to_string(stats.alarmsRaised)});
+  table.addRow({"true positives", std::to_string(stats.truePositives)});
+  table.addRow({"false positives", std::to_string(stats.falsePositives)});
+  table.addRow({"missed failures", std::to_string(stats.missedFailures)});
+  table.addRow({"recall (paper's accuracy a)",
+                formatFixed(stats.recall(), 3)});
+  table.addRow({"precision", formatFixed(stats.precision(), 3)});
+  table.print(std::cout);
+
+  std::cout << "\nSahoo et al. (the prediction work this paper builds on) "
+               "reported ~70% of failures\npredictable well in advance; "
+               "the recall above is this pipeline's equivalent of the\n"
+               "paper's accuracy dial, produced causally from precursor "
+               "patterns instead of an oracle.\n";
+  return 0;
+}

@@ -1,0 +1,62 @@
+#include "ckpt/policy.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pqos::ckpt {
+
+bool riskRulePerform(double pf, int skippedSinceLast, Duration interval,
+                     Duration overhead) {
+  require(pf >= 0.0 && pf <= 1.0, "riskRulePerform: pf outside [0,1]");
+  require(skippedSinceLast >= 0, "riskRulePerform: negative skip count");
+  require(interval > 0.0 && overhead >= 0.0,
+          "riskRulePerform: invalid interval/overhead");
+  const double d = static_cast<double>(skippedSinceLast) + 1.0;
+  return pf * d * interval >= overhead;
+}
+
+Decision RiskBasedPolicy::decide(const CheckpointRequest& request) const {
+  return riskRulePerform(request.partitionFailureProb,
+                         request.skippedSinceLast, request.interval,
+                         request.overhead)
+             ? Decision::Perform
+             : Decision::Skip;
+}
+
+CooperativePolicy::CooperativePolicy(double blindPrior)
+    : blindPrior_(blindPrior) {
+  require(blindPrior >= 0.0 && blindPrior <= 1.0,
+          "CooperativePolicy: blindPrior must be in [0,1]");
+}
+
+Decision CooperativePolicy::decide(const CheckpointRequest& request) const {
+  // Deadline rescue: performing would miss the deadline, skipping might
+  // still make it. Overrides Eq. 1 (paper §3.4, final paragraph).
+  const bool performMisses = request.estFinishIfPerform > request.deadline;
+  const bool skipMightMake = request.estFinishSkipAll <= request.deadline;
+  if (performMisses && skipMightMake) return Decision::Skip;
+  // "Quiet" predictors justify skipping only to the extent they are
+  // accurate; residual blind risk is (1 - a) * blindPrior.
+  const double blindRisk =
+      (1.0 - request.predictorAccuracy) * blindPrior_;
+  const double pf = std::max(request.partitionFailureProb, blindRisk);
+  return riskRulePerform(pf, request.skippedSinceLast, request.interval,
+                         request.overhead)
+             ? Decision::Perform
+             : Decision::Skip;
+}
+
+std::unique_ptr<CheckpointPolicy> makePolicy(const std::string& name,
+                                             double blindPrior) {
+  if (name == "periodic") return std::make_unique<PeriodicPolicy>();
+  if (name == "never") return std::make_unique<NeverPolicy>();
+  if (name == "risk") return std::make_unique<RiskBasedPolicy>();
+  if (name == "cooperative") {
+    return std::make_unique<CooperativePolicy>(blindPrior);
+  }
+  throw ConfigError("unknown checkpoint policy: " + name +
+                    " (expected periodic|never|risk|cooperative)");
+}
+
+}  // namespace pqos::ckpt

@@ -1,0 +1,103 @@
+#include "cluster/machine.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pqos::cluster {
+
+Machine::Machine(int size) {
+  require(size >= 1, "Machine: size must be >= 1");
+  nodes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i) nodes_.emplace_back(static_cast<NodeId>(i));
+}
+
+const Node& Machine::node(NodeId id) const {
+  require(id >= 0 && id < size(), "Machine::node: id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+Node& Machine::node(NodeId id) {
+  require(id >= 0 && id < size(), "Machine::node: id out of range");
+  return nodes_[static_cast<std::size_t>(id)];
+}
+
+int Machine::idleCount() const {
+  return static_cast<int>(std::count_if(nodes_.begin(), nodes_.end(),
+                                        [](const Node& n) { return n.isIdle(); }));
+}
+
+int Machine::busyCount() const {
+  return static_cast<int>(std::count_if(nodes_.begin(), nodes_.end(),
+                                        [](const Node& n) { return n.isBusy(); }));
+}
+
+int Machine::downCount() const {
+  return static_cast<int>(std::count_if(nodes_.begin(), nodes_.end(),
+                                        [](const Node& n) { return n.isDown(); }));
+}
+
+std::vector<NodeId> Machine::idleNodes() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.isIdle()) out.push_back(n.id());
+  }
+  return out;
+}
+
+bool Machine::allIdle(const Partition& partition) const {
+  return std::all_of(partition.begin(), partition.end(),
+                     [&](NodeId id) { return node(id).isIdle(); });
+}
+
+void Machine::assign(const Partition& partition, JobId job) {
+  require(!partition.empty(), "Machine::assign: empty partition");
+  require(allIdle(partition), "Machine::assign: partition not fully idle");
+  for (const NodeId id : partition) node(id).assign(job);
+}
+
+void Machine::release(const Partition& partition, JobId job) {
+  for (const NodeId id : partition) node(id).release(job);
+}
+
+void Machine::releaseAfterFailure(const Partition& partition, JobId job,
+                                  NodeId failedNode) {
+  require(partition.contains(failedNode),
+          "Machine::releaseAfterFailure: failed node not in partition");
+  for (const NodeId id : partition) {
+    if (id == failedNode) continue;
+    node(id).release(job);
+  }
+}
+
+JobId Machine::fail(NodeId id, SimTime upAt) {
+  Node& n = node(id);
+  if (n.isDown()) {
+    n.extendOutage(upAt);
+    return kInvalidJob;
+  }
+  return n.fail(upAt);
+}
+
+void Machine::recover(NodeId id) { node(id).recover(); }
+
+void Machine::checkConsistency(std::span<const JobId> runningJobs) const {
+  for (const Node& n : nodes_) {
+    switch (n.state()) {
+      case NodeState::Idle:
+      case NodeState::Down:
+        require(n.job() == kInvalidJob,
+                "Machine: non-busy node holds a job");
+        break;
+      case NodeState::Busy: {
+        require(n.job() != kInvalidJob, "Machine: busy node without job");
+        const bool known = std::find(runningJobs.begin(), runningJobs.end(),
+                                     n.job()) != runningJobs.end();
+        require(known, "Machine: busy node holds unknown job");
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace pqos::cluster

@@ -1,0 +1,61 @@
+// The cluster: N homogeneous nodes with consistency-checked state
+// transitions and aggregate occupancy queries.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "cluster/node.hpp"
+#include "cluster/partition.hpp"
+#include "util/types.hpp"
+
+namespace pqos::cluster {
+
+class Machine {
+ public:
+  /// Builds a machine with `size` idle nodes. Requires size >= 1.
+  explicit Machine(int size);
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] const Node& node(NodeId id) const;
+  [[nodiscard]] Node& node(NodeId id);
+
+  /// Counts by state.
+  [[nodiscard]] int idleCount() const;
+  [[nodiscard]] int busyCount() const;
+  [[nodiscard]] int downCount() const;
+
+  /// Ids of all currently idle nodes, ascending.
+  [[nodiscard]] std::vector<NodeId> idleNodes() const;
+
+  /// True when every node of `partition` is idle.
+  [[nodiscard]] bool allIdle(const Partition& partition) const;
+
+  /// Starts `job` on every node of `partition`; all must be idle.
+  void assign(const Partition& partition, JobId job);
+
+  /// Releases every node of `partition` from `job`.
+  void release(const Partition& partition, JobId job);
+
+  /// After `failedNode` killed `job`, releases the surviving nodes of the
+  /// job's partition (the failed node is already Down).
+  void releaseAfterFailure(const Partition& partition, JobId job,
+                           NodeId failedNode);
+
+  /// Marks `node` failed until `upAt`; returns the victim job if one was
+  /// running there. A node that is already down has its outage extended
+  /// (overlapping failure events share the outage window).
+  JobId fail(NodeId node, SimTime upAt);
+
+  /// Recovers a down node (Down -> Idle).
+  void recover(NodeId node);
+
+  /// Invariant check used by tests: every busy node's job is in
+  /// `runningJobs`, and node states partition the machine.
+  void checkConsistency(std::span<const JobId> runningJobs) const;
+
+ private:
+  std::vector<Node> nodes_;
+};
+
+}  // namespace pqos::cluster

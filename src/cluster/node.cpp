@@ -1,0 +1,51 @@
+#include "cluster/node.hpp"
+
+#include "util/error.hpp"
+
+namespace pqos::cluster {
+
+const char* toString(NodeState state) {
+  switch (state) {
+    case NodeState::Idle: return "idle";
+    case NodeState::Busy: return "busy";
+    case NodeState::Down: return "down";
+  }
+  return "?";
+}
+
+void Node::assign(JobId job) {
+  require(state_ == NodeState::Idle, "Node::assign: node is not idle");
+  require(job != kInvalidJob, "Node::assign: invalid job");
+  state_ = NodeState::Busy;
+  job_ = job;
+}
+
+void Node::release(JobId job) {
+  require(state_ == NodeState::Busy, "Node::release: node is not busy");
+  require(job_ == job, "Node::release: node busy with a different job");
+  state_ = NodeState::Idle;
+  job_ = kInvalidJob;
+}
+
+JobId Node::fail(SimTime upAt) {
+  require(state_ != NodeState::Down, "Node::fail: node already down");
+  const JobId victim = job_;
+  state_ = NodeState::Down;
+  job_ = kInvalidJob;
+  upAt_ = upAt;
+  ++failures_;
+  return victim;
+}
+
+void Node::extendOutage(SimTime upAt) {
+  require(state_ == NodeState::Down, "Node::extendOutage: node is not down");
+  if (upAt > upAt_) upAt_ = upAt;
+  ++failures_;
+}
+
+void Node::recover() {
+  require(state_ == NodeState::Down, "Node::recover: node is not down");
+  state_ = NodeState::Idle;
+}
+
+}  // namespace pqos::cluster

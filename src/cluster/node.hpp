@@ -1,0 +1,64 @@
+// A single compute node: a small state machine over Idle / Busy / Down.
+//
+// Matches the paper's machine model: nodes are homogeneous, fail
+// independently at any moment, and a failed node returns to service after a
+// fixed downtime (120 s for a BG/L-like node). Only one job may occupy a
+// node at a time (no co-scheduling).
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace pqos::cluster {
+
+enum class NodeState : std::uint8_t { Idle, Busy, Down };
+
+/// Returns a short human-readable name ("idle", "busy", "down").
+[[nodiscard]] const char* toString(NodeState state);
+
+class Node {
+ public:
+  Node() = default;
+  explicit Node(NodeId id) : id_(id) {}
+
+  [[nodiscard]] NodeId id() const { return id_; }
+  [[nodiscard]] NodeState state() const { return state_; }
+  [[nodiscard]] bool isIdle() const { return state_ == NodeState::Idle; }
+  [[nodiscard]] bool isBusy() const { return state_ == NodeState::Busy; }
+  [[nodiscard]] bool isDown() const { return state_ == NodeState::Down; }
+
+  /// Job currently occupying the node; kInvalidJob unless Busy.
+  [[nodiscard]] JobId job() const { return job_; }
+
+  /// Time at which a Down node recovers; meaningless unless Down.
+  [[nodiscard]] SimTime upAt() const { return upAt_; }
+
+  /// Idle -> Busy. Requires the node to be idle.
+  void assign(JobId job);
+
+  /// Busy -> Idle. Requires the node to be busy with `job`.
+  void release(JobId job);
+
+  /// Any state -> Down until `upAt`. Returns the job that was running
+  /// (kInvalidJob if none). Counts the failure.
+  JobId fail(SimTime upAt);
+
+  /// While Down, a second failure may extend the outage.
+  void extendOutage(SimTime upAt);
+
+  /// Down -> Idle. Requires the node to be down.
+  void recover();
+
+  /// Lifetime failure count (spatial-skew statistics).
+  [[nodiscard]] std::uint32_t failureCount() const { return failures_; }
+
+ private:
+  NodeId id_ = kInvalidNode;
+  NodeState state_ = NodeState::Idle;
+  JobId job_ = kInvalidJob;
+  SimTime upAt_ = 0.0;
+  std::uint32_t failures_ = 0;
+};
+
+}  // namespace pqos::cluster

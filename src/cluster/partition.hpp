@@ -1,0 +1,48 @@
+// A partition: the set of nodes assigned to one job.
+//
+// On the paper's flat (all-to-all) cluster any subset of nodes is a valid
+// partition; a topology-aware variant (contiguous sub-meshes) is provided
+// by cluster::Topology for the BG/L-style ablation.
+#pragma once
+
+#include <algorithm>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace pqos::cluster {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Takes ownership of the node list; sorts and validates uniqueness.
+  explicit Partition(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {
+    std::sort(nodes_.begin(), nodes_.end());
+    require(std::adjacent_find(nodes_.begin(), nodes_.end()) == nodes_.end(),
+            "Partition: duplicate node");
+  }
+
+  Partition(std::initializer_list<NodeId> nodes)
+      : Partition(std::vector<NodeId>(nodes)) {}
+
+  [[nodiscard]] bool empty() const { return nodes_.empty(); }
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::span<const NodeId> nodes() const { return nodes_; }
+  [[nodiscard]] bool contains(NodeId node) const {
+    return std::binary_search(nodes_.begin(), nodes_.end(), node);
+  }
+
+  [[nodiscard]] auto begin() const { return nodes_.begin(); }
+  [[nodiscard]] auto end() const { return nodes_.end(); }
+
+  friend bool operator==(const Partition&, const Partition&) = default;
+
+ private:
+  std::vector<NodeId> nodes_;  // sorted, unique
+};
+
+}  // namespace pqos::cluster

@@ -1,0 +1,88 @@
+#include "cluster/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pqos::cluster {
+
+std::optional<Partition> FlatTopology::select(std::span<const NodeId> available,
+                                              int count,
+                                              const NodeRanker& rank) const {
+  require(count >= 1, "FlatTopology::select: count must be >= 1");
+  if (static_cast<int>(available.size()) < count) return std::nullopt;
+  std::vector<NodeId> sorted(available.begin(), available.end());
+  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
+    const double ra = rank(a);
+    const double rb = rank(b);
+    if (ra != rb) return ra < rb;
+    return a < b;
+  });
+  sorted.resize(static_cast<std::size_t>(count));
+  return Partition(std::move(sorted));
+}
+
+bool FlatTopology::feasible(std::span<const NodeId> available,
+                            int count) const {
+  return static_cast<int>(available.size()) >= count;
+}
+
+RingTopology::RingTopology(int size) : size_(size) {
+  require(size >= 1, "RingTopology: size must be >= 1");
+}
+
+std::optional<Partition> RingTopology::select(std::span<const NodeId> available,
+                                              int count,
+                                              const NodeRanker& rank) const {
+  require(count >= 1, "RingTopology::select: count must be >= 1");
+  if (count > size_ || static_cast<int>(available.size()) < count) {
+    return std::nullopt;
+  }
+  std::vector<bool> free(static_cast<std::size_t>(size_), false);
+  for (const NodeId id : available) {
+    require(id >= 0 && id < size_, "RingTopology::select: node out of range");
+    free[static_cast<std::size_t>(id)] = true;
+  }
+  double bestScore = std::numeric_limits<double>::infinity();
+  int bestStart = -1;
+  for (int start = 0; start < size_; ++start) {
+    bool ok = true;
+    double score = 0.0;
+    for (int k = 0; k < count; ++k) {
+      const int id = (start + k) % size_;
+      if (!free[static_cast<std::size_t>(id)]) {
+        ok = false;
+        break;
+      }
+      score += rank(static_cast<NodeId>(id));
+    }
+    if (ok && score < bestScore) {
+      bestScore = score;
+      bestStart = start;
+    }
+  }
+  if (bestStart < 0) return std::nullopt;
+  std::vector<NodeId> nodes;
+  nodes.reserve(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k) {
+    nodes.push_back(static_cast<NodeId>((bestStart + k) % size_));
+  }
+  return Partition(std::move(nodes));
+}
+
+bool RingTopology::feasible(std::span<const NodeId> available,
+                            int count) const {
+  const auto constantRank = [](NodeId) { return 0.0; };
+  return select(available, count, constantRank).has_value();
+}
+
+std::unique_ptr<Topology> makeTopology(const std::string& name,
+                                       int machineSize) {
+  if (name == "flat") return std::make_unique<FlatTopology>();
+  if (name == "ring") return std::make_unique<RingTopology>(machineSize);
+  throw ConfigError("unknown topology: " + name + " (expected flat|ring)");
+}
+
+}  // namespace pqos::cluster

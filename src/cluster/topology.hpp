@@ -1,0 +1,84 @@
+// Interconnect topology: which node sets form valid partitions.
+//
+// Every experiment in the paper uses a flat (all-to-all) architecture, where
+// any subset of nodes is a valid partition. A contiguous-ring topology is
+// included as a BG/L-flavoured ablation: partitions must be contiguous
+// intervals of node ids (wrapping), which introduces the fragmentation
+// effects the paper discusses for odd-sized jobs.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "cluster/partition.hpp"
+#include "util/types.hpp"
+
+namespace pqos::cluster {
+
+/// Scores a node for selection; lower is better. Fault-aware policies pass
+/// the predictor's risk estimate; fault-oblivious policies pass constants
+/// or ids. Ties always break by ascending node id for determinism.
+using NodeRanker = std::function<double(NodeId)>;
+
+class Topology {
+ public:
+  virtual ~Topology() = default;
+
+  /// Chooses a `count`-node partition from `available` (sorted ascending),
+  /// minimizing the ranker score; std::nullopt when no valid partition
+  /// exists.
+  [[nodiscard]] virtual std::optional<Partition> select(
+      std::span<const NodeId> available, int count,
+      const NodeRanker& rank) const = 0;
+
+  /// True when some valid `count`-node partition exists within `available`.
+  [[nodiscard]] virtual bool feasible(std::span<const NodeId> available,
+                                      int count) const = 0;
+
+  /// True when *any* subset of `count` available nodes forms a valid
+  /// partition (no shape constraints). Enables counting-based fast paths
+  /// in the scheduler's slot search.
+  [[nodiscard]] virtual bool anySubsetValid() const { return false; }
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Flat (all-to-all): any `count` nodes form a partition; selection picks
+/// the `count` best-ranked nodes.
+class FlatTopology final : public Topology {
+ public:
+  [[nodiscard]] std::optional<Partition> select(
+      std::span<const NodeId> available, int count,
+      const NodeRanker& rank) const override;
+  [[nodiscard]] bool feasible(std::span<const NodeId> available,
+                              int count) const override;
+  [[nodiscard]] bool anySubsetValid() const override { return true; }
+  [[nodiscard]] std::string name() const override { return "flat"; }
+};
+
+/// Contiguous ring of `size` nodes: a partition is a wrapping interval
+/// [start, start+count) of node ids, all of which must be available.
+/// Selection minimizes the total ranker score of the interval.
+class RingTopology final : public Topology {
+ public:
+  explicit RingTopology(int size);
+
+  [[nodiscard]] std::optional<Partition> select(
+      std::span<const NodeId> available, int count,
+      const NodeRanker& rank) const override;
+  [[nodiscard]] bool feasible(std::span<const NodeId> available,
+                              int count) const override;
+  [[nodiscard]] std::string name() const override { return "ring"; }
+
+ private:
+  int size_;
+};
+
+/// Factory used by configuration code.
+[[nodiscard]] std::unique_ptr<Topology> makeTopology(const std::string& name,
+                                                     int machineSize);
+
+}  // namespace pqos::cluster

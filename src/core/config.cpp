@@ -1,0 +1,49 @@
+#include "core/config.hpp"
+
+#include "ckpt/policy.hpp"
+#include "cluster/topology.hpp"
+#include "sched/allocation.hpp"
+#include "util/error.hpp"
+
+namespace pqos::core {
+
+void SimConfig::validate() const {
+  if (machineSize < 1) throw ConfigError("machineSize must be >= 1");
+  if (checkpointOverhead < 0.0) {
+    throw ConfigError("checkpointOverhead must be >= 0");
+  }
+  if (checkpointInterval <= 0.0) {
+    throw ConfigError("checkpointInterval must be > 0");
+  }
+  if (accuracy < 0.0 || accuracy > 1.0) {
+    throw ConfigError("accuracy must be in [0, 1]");
+  }
+  if (userRisk < 0.0 || userRisk > 1.0) {
+    throw ConfigError("userRisk must be in [0, 1]");
+  }
+  if (downtime < 0.0) throw ConfigError("downtime must be >= 0");
+  if (deadlineSlack < 0.0) throw ConfigError("deadlineSlack must be >= 0");
+  if (deadlineGrace < 0.0) throw ConfigError("deadlineGrace must be >= 0");
+  if (maxNegotiationRounds < 1) {
+    throw ConfigError("maxNegotiationRounds must be >= 1");
+  }
+  if (negotiationHorizon <= 0.0) {
+    throw ConfigError("negotiationHorizon must be > 0");
+  }
+  if (checkpointBlindPrior < 0.0 || checkpointBlindPrior > 1.0) {
+    throw ConfigError("checkpointBlindPrior must be in [0, 1]");
+  }
+  if (dynamicReplanWindow < 0) {
+    throw ConfigError("dynamicReplanWindow must be >= 0");
+  }
+  if (predictionHorizonDecay <= 0.0) {
+    throw ConfigError("predictionHorizonDecay must be positive");
+  }
+  // Validate the by-name policies eagerly so misconfiguration surfaces at
+  // configuration time rather than mid-simulation.
+  (void)cluster::makeTopology(topology, machineSize);
+  (void)ckpt::makePolicy(checkpointPolicy, checkpointBlindPrior);
+  (void)sched::allocationPolicyByName(allocation);
+}
+
+}  // namespace pqos::core

@@ -1,0 +1,495 @@
+#include "core/easy_simulator.hpp"
+
+#include <algorithm>
+
+#include "cluster/topology.hpp"
+#include "util/error.hpp"
+
+namespace pqos::core {
+
+namespace {
+constexpr double kEps = 1e-6;
+
+/// (time, nodes-released) events for shadow/estimate computation.
+struct FreeingEvent {
+  SimTime time;
+  int nodes;
+};
+}  // namespace
+
+EasySimulator::EasySimulator(SimConfig config,
+                             std::vector<workload::JobSpec> jobs,
+                             const failure::FailureTrace& trace,
+                             predict::Predictor* predictorOverride)
+    : config_(config), trace_(&trace), machine_(config.machineSize) {
+  config_.validate();
+  if (config_.topology != "flat") {
+    throw ConfigError("EasySimulator supports only the flat topology");
+  }
+  require(trace.nodeCount() >= config_.machineSize,
+          "EasySimulator: failure trace covers fewer nodes than the machine");
+  ckptPolicy_ = ckpt::makePolicy(config_.checkpointPolicy,
+                                 config_.checkpointBlindPrior);
+  if (predictorOverride != nullptr) {
+    predictor_ = predictorOverride;
+  } else {
+    ownedPredictor_ =
+        std::make_unique<predict::TracePredictor>(trace, config_.accuracy);
+    if (config_.predictionHorizonDecay != kTimeInfinity) {
+      ownedPredictor_->enableHorizonDecay(config_.predictionHorizonDecay,
+                                          [this] { return engine_.now(); });
+    }
+    predictor_ = ownedPredictor_.get();
+  }
+
+  records_.reserve(jobs.size());
+  runStates_.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& spec = jobs[i];
+    require(spec.id == static_cast<JobId>(i),
+            "EasySimulator: job ids must be dense and ordered");
+    require(spec.nodes >= 1 && spec.work > 0.0 && spec.arrival >= 0.0,
+            "EasySimulator: malformed job spec");
+    if (spec.nodes > config_.machineSize) {
+      throw ConfigError("job " + std::to_string(spec.id) +
+                        " needs more nodes than the machine has");
+    }
+    workload::JobRecord rec;
+    rec.spec = spec;
+    records_.push_back(rec);
+  }
+}
+
+workload::JobRecord& EasySimulator::record(JobId job) {
+  require(job >= 0 && static_cast<std::size_t>(job) < records_.size(),
+          "EasySimulator: job id out of range");
+  return records_[static_cast<std::size_t>(job)];
+}
+
+EasySimulator::RunState& EasySimulator::state(JobId job) {
+  require(job >= 0 && static_cast<std::size_t>(job) < runStates_.size(),
+          "EasySimulator: job id out of range");
+  return runStates_[static_cast<std::size_t>(job)];
+}
+
+SimResult EasySimulator::run() {
+  require(!ran_, "EasySimulator::run: may only run once");
+  ran_ = true;
+  for (const auto& rec : records_) {
+    const JobId job = rec.spec.id;
+    engine_.scheduleAt(rec.spec.arrival, [this, job] { onArrival(job); });
+  }
+  for (const auto& event : trace_->events()) {
+    if (event.node >= config_.machineSize) continue;
+    engine_.scheduleAt(event.time, [this, event] { onNodeFailure(event); });
+  }
+  engine_.run();
+  require(completedCount_ == records_.size(),
+          "EasySimulator: event queue drained before all jobs completed");
+  const bool traceExhausted =
+      !trace_->empty() && !records_.empty() &&
+      engine_.now() > trace_->events().back().time;
+  return computeResult(records_, config_.machineSize, failureEvents_,
+                       jobKillingFailures_, traceExhausted);
+}
+
+SimTime EasySimulator::StartEstimator::place(int need, SimTime earliest,
+                                             Duration duration, bool commit) {
+  SimTime t = std::max(now, earliest);
+  int free = freeNow;
+  std::size_t i = 0;
+  while (i < events.size() && events[i].first <= t) {
+    free += events[i++].second;
+  }
+  while (free < need && i < events.size()) {
+    t = std::max(t, events[i].first);
+    free += events[i].second;
+    ++i;
+    // Drain simultaneous events so `free` is the post-instant level.
+    while (i < events.size() && events[i].first == t) {
+      free += events[i++].second;
+    }
+  }
+  if (commit) {
+    const auto byTime = [](const std::pair<SimTime, int>& a, SimTime v) {
+      return a.first < v;
+    };
+    events.insert(
+        std::lower_bound(events.begin(), events.end(), t, byTime),
+        {t, -need});
+    events.insert(std::lower_bound(events.begin(), events.end(), t + duration,
+                                   byTime),
+                  {t + duration, need});
+  }
+  return t;
+}
+
+EasySimulator::StartEstimator EasySimulator::buildEstimator() const {
+  StartEstimator estimator;
+  estimator.now = engine_.now();
+  for (NodeId n = 0; n < config_.machineSize; ++n) {
+    const auto& node = machine_.node(n);
+    if (node.isIdle()) {
+      ++estimator.freeNow;
+    } else if (node.isDown()) {
+      estimator.events.push_back({node.upAt(), 1});
+    }
+  }
+  for (const JobId job : runningJobs_) {
+    const auto& rs = runStates_[static_cast<std::size_t>(job)];
+    estimator.events.push_back(
+        {rs.estEnd, static_cast<int>(rs.partition.size())});
+  }
+  std::sort(estimator.events.begin(), estimator.events.end());
+
+  // Greedily pack the queue ahead (it all has FCFS priority over a new
+  // arrival); beyond the window, approximate the backlog as fluid.
+  constexpr std::size_t kGreedyWindow = 128;
+  std::size_t packed = 0;
+  for (const JobId job : queue_) {
+    const auto& rec = records_[static_cast<std::size_t>(job)];
+    const auto& rs = runStates_[static_cast<std::size_t>(job)];
+    const Duration elapsed = workload::estimatedElapsed(
+        rec.remainingWork(), config_.checkpointInterval,
+        config_.checkpointOverhead);
+    if (packed++ >= kGreedyWindow) {
+      estimator.fluidExtra += elapsed * static_cast<double>(rec.spec.nodes) /
+                              static_cast<double>(config_.machineSize);
+      continue;
+    }
+    (void)estimator.place(rec.spec.nodes,
+                          std::max(estimator.now, rs.earliestStart), elapsed,
+                          /*commit=*/true);
+  }
+  return estimator;
+}
+
+cluster::Partition EasySimulator::previewPartition(int nodes, SimTime t0,
+                                                   SimTime t1) const {
+  std::vector<NodeId> all(static_cast<std::size_t>(config_.machineSize));
+  for (NodeId n = 0; n < config_.machineSize; ++n) {
+    all[static_cast<std::size_t>(n)] = n;
+  }
+  const cluster::FlatTopology flat;
+  auto preview = flat.select(all, nodes, [&](NodeId n) {
+    return predictor_->nodeRisk(n, t0, t1);
+  });
+  require(preview.has_value(), "EasySimulator: preview must exist");
+  return std::move(*preview);
+}
+
+void EasySimulator::negotiateEstimate(JobId job) {
+  auto& rec = record(job);
+  const SimTime now = engine_.now();
+  const Duration elapsed = workload::estimatedElapsed(
+      rec.spec.work, config_.checkpointInterval, config_.checkpointOverhead);
+  UserModel user{config_.userRisk, config_.semantics};
+  StartEstimator estimator = buildEstimator();
+
+  SimTime notBefore = now;
+  double bestPf = 2.0;
+  SimTime bestStart = now;
+  SimTime bestNotBefore = now;
+  int rounds = 0;
+  for (int round = 0; round < config_.maxNegotiationRounds; ++round) {
+    ++rounds;
+    const SimTime est = estimator.place(rec.spec.nodes, notBefore, elapsed,
+                                        /*commit=*/false) +
+                        estimator.fluidExtra;
+    const auto preview = previewPartition(rec.spec.nodes, est, est + elapsed);
+    const double pf = predictor_->partitionFailureProbability(
+        preview.nodes(), std::max(0.0, est - config_.downtime),
+        est + elapsed);
+    if (pf < bestPf) {
+      bestPf = pf;
+      bestStart = est;
+      bestNotBefore = notBefore;
+    }
+    if (user.accepts(pf)) {
+      bestPf = pf;
+      bestStart = est;
+      bestNotBefore = notBefore;
+      break;
+    }
+    const auto predicted = predictor_->firstPredictedFailure(
+        preview.nodes(), std::max(0.0, est - config_.downtime),
+        est + elapsed);
+    notBefore = (predicted ? *predicted : est) + config_.downtime + 1.0;
+    if (notBefore - now > config_.negotiationHorizon) break;
+  }
+  rec.quotedFailureProb = bestPf;
+  rec.promisedSuccess = 1.0 - bestPf;
+  rec.negotiatedStart = bestStart;
+  state(job).earliestStart = bestNotBefore;
+  rec.deadline = bestStart + elapsed * (1.0 + config_.deadlineSlack) +
+                 config_.deadlineGrace;
+  rec.negotiationRounds = rounds;
+}
+
+void EasySimulator::onArrival(JobId job) {
+  auto& rec = record(job);
+  require(rec.state == workload::JobState::Submitted,
+          "EasySimulator::onArrival: job already queued");
+  negotiateEstimate(job);
+  rec.state = workload::JobState::Planned;
+  queue_.push_back(job);  // arrivals are processed in order: FCFS holds
+  if (state(job).earliestStart > engine_.now() + kEps) {
+    engine_.scheduleAt(state(job).earliestStart, [this] { trySchedule(); });
+  }
+  trySchedule();
+}
+
+void EasySimulator::startJob(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  const auto idle = machine_.idleNodes();
+  const cluster::FlatTopology flat;
+  const Duration elapsed = workload::estimatedElapsed(
+      rec.remainingWork(), config_.checkpointInterval,
+      config_.checkpointOverhead);
+  auto partition = flat.select(idle, rec.spec.nodes, [&](NodeId n) {
+    return predictor_->nodeRisk(n, now, now + elapsed);
+  });
+  require(partition.has_value(), "EasySimulator::startJob: does not fit");
+  rs.partition = std::move(*partition);
+  machine_.assign(rs.partition, job);
+  runningJobs_.push_back(job);
+  rec.state = workload::JobState::Running;
+  rec.lastStart = now;
+  rs.dispatchTime = now;
+  rs.estEnd = now + elapsed;
+  rs.rollbackPoint = now;
+  rs.inCheckpoint = false;
+  rs.skippedSinceLast = 0;
+  rs.segmentStartProgress = rec.savedProgress;
+  rs.segmentStartTime = now;
+  rs.nextRequestProgress = rec.savedProgress + config_.checkpointInterval;
+  beginSegment(job);
+}
+
+void EasySimulator::trySchedule() {
+  const SimTime now = engine_.now();
+  const auto eligible = [&](JobId job) {
+    return state(job).earliestStart <= now + kEps;
+  };
+
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    // Find the (eligible) head of the FCFS queue.
+    auto headIt = std::find_if(queue_.begin(), queue_.end(), eligible);
+    if (headIt == queue_.end()) return;
+    const JobId head = *headIt;
+    int idleCount = machine_.idleCount();
+    if (record(head).spec.nodes <= idleCount) {
+      queue_.erase(headIt);
+      startJob(head);
+      progress = true;
+      continue;
+    }
+
+    // Shadow reservation for the head: when do enough nodes free up,
+    // assuming running jobs finish at their estimates?
+    std::vector<FreeingEvent> events;
+    for (NodeId n = 0; n < config_.machineSize; ++n) {
+      if (machine_.node(n).isDown()) {
+        events.push_back({machine_.node(n).upAt(), 1});
+      }
+    }
+    for (const JobId job : runningJobs_) {
+      const auto& rs = runStates_[static_cast<std::size_t>(job)];
+      events.push_back({rs.estEnd, static_cast<int>(rs.partition.size())});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const FreeingEvent& a, const FreeingEvent& b) {
+                return a.time < b.time;
+              });
+    SimTime shadowTime = kTimeInfinity;
+    int free = idleCount;
+    const int headNeed = record(head).spec.nodes;
+    for (const auto& event : events) {
+      free += event.nodes;
+      if (free >= headNeed) {
+        shadowTime = event.time;
+        break;
+      }
+    }
+    int spare = std::max(0, free - headNeed);
+
+    // Backfill pass: later eligible jobs may start now iff they cannot
+    // delay the head's shadow start.
+    for (auto it = std::next(headIt); it != queue_.end();) {
+      const JobId job = *it;
+      if (!eligible(job)) {
+        ++it;
+        continue;
+      }
+      auto& rec = record(job);
+      const int need = rec.spec.nodes;
+      if (need > idleCount) {
+        ++it;
+        continue;
+      }
+      const Duration elapsed = workload::estimatedElapsed(
+          rec.remainingWork(), config_.checkpointInterval,
+          config_.checkpointOverhead);
+      const bool finishesBeforeShadow = now + elapsed <= shadowTime + kEps;
+      const bool usesSpareOnly = need <= spare;
+      if (!finishesBeforeShadow && !usesSpareOnly) {
+        ++it;
+        continue;
+      }
+      if (!finishesBeforeShadow) spare -= need;
+      idleCount -= need;
+      it = queue_.erase(it);
+      startJob(job);
+    }
+    // The head still cannot start; nothing more until state changes.
+    return;
+  }
+}
+
+void EasySimulator::beginSegment(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const Duration progress = rs.segmentStartProgress;
+  const Duration target = std::min(rec.spec.work, rs.nextRequestProgress);
+  require(target > progress - kEps, "EasySimulator::beginSegment: stuck");
+  rs.segmentStartTime = engine_.now();
+  rs.pendingEvent = engine_.scheduleAfter(
+      std::max(0.0, target - progress), [this, job] { onSegmentStop(job); });
+}
+
+void EasySimulator::onSegmentStop(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  rs.pendingEvent = sim::kInvalidEvent;
+  const Duration progress =
+      rs.segmentStartProgress + (engine_.now() - rs.segmentStartTime);
+  if (progress >= rec.spec.work - kEps) {
+    completeJob(job);
+    return;
+  }
+  onCheckpointRequest(job, progress);
+}
+
+void EasySimulator::onCheckpointRequest(JobId job, Duration progress) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  const Duration interval = config_.checkpointInterval;
+  const Duration overhead = config_.checkpointOverhead;
+  const Duration remaining = rec.spec.work - progress;
+
+  ckpt::CheckpointRequest request;
+  request.job = job;
+  request.now = now;
+  request.interval = interval;
+  request.overhead = overhead;
+  request.skippedSinceLast = rs.skippedSinceLast;
+  request.partitionFailureProb = predictor_->partitionFailureProbability(
+      rs.partition.nodes(), now, now + interval + overhead);
+  request.predictorAccuracy = predictor_->accuracy();
+  request.deadline = rec.deadline;
+  request.remainingWork = remaining;
+  request.estFinishIfPerform =
+      now + overhead + remaining +
+      static_cast<double>(workload::checkpointCount(remaining, interval)) *
+          overhead;
+  request.estFinishSkipAll = now + remaining;
+
+  if (ckptPolicy_->decide(request) == ckpt::Decision::Perform) {
+    rs.inCheckpoint = true;
+    rs.ckptProgress = progress;
+    rs.ckptBeginTime = now;
+    rs.pendingEvent =
+        engine_.scheduleAfter(overhead, [this, job] { onCheckpointEnd(job); });
+  } else {
+    ++rec.checkpointsSkipped;
+    ++rs.skippedSinceLast;
+    rs.segmentStartProgress = progress;
+    rs.nextRequestProgress = progress + interval;
+    beginSegment(job);
+  }
+}
+
+void EasySimulator::onCheckpointEnd(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  rs.pendingEvent = sim::kInvalidEvent;
+  rs.inCheckpoint = false;
+  rec.savedProgress = rs.ckptProgress;
+  rs.rollbackPoint = rs.ckptBeginTime;
+  rs.skippedSinceLast = 0;
+  ++rec.checkpointsPerformed;
+  rs.segmentStartProgress = rs.ckptProgress;
+  rs.nextRequestProgress = rs.ckptProgress + config_.checkpointInterval;
+  beginSegment(job);
+}
+
+void EasySimulator::completeJob(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  machine_.release(rs.partition, job);
+  runningJobs_.erase(
+      std::remove(runningJobs_.begin(), runningJobs_.end(), job),
+      runningJobs_.end());
+  rec.state = workload::JobState::Completed;
+  rec.finish = engine_.now();
+  ++completedCount_;
+  if (completedCount_ == records_.size()) {
+    engine_.stop();
+    return;
+  }
+  trySchedule();
+}
+
+void EasySimulator::onNodeFailure(const failure::FailureEvent& event) {
+  if (completedCount_ == records_.size()) return;
+  ++failureEvents_;
+  predictor_->observe(event);
+  const SimTime now = engine_.now();
+  const SimTime upAt = now + config_.downtime;
+  const JobId victim = machine_.fail(event.node, upAt);
+  engine_.scheduleAt(upAt,
+                     [this, node = event.node] { onNodeRecovery(node); });
+  if (victim != kInvalidJob) {
+    ++jobKillingFailures_;
+    auto& rec = record(victim);
+    auto& rs = state(victim);
+    rec.lostWork +=
+        (now - rs.rollbackPoint) * static_cast<double>(rec.spec.nodes);
+    if (rs.pendingEvent != sim::kInvalidEvent) {
+      engine_.cancel(rs.pendingEvent);
+      rs.pendingEvent = sim::kInvalidEvent;
+    }
+    rs.inCheckpoint = false;
+    machine_.releaseAfterFailure(rs.partition, victim, event.node);
+    runningJobs_.erase(
+        std::remove(runningJobs_.begin(), runningJobs_.end(), victim),
+        runningJobs_.end());
+    ++rec.restarts;
+    rec.state = workload::JobState::Planned;
+    // Back into the wait queue at the original FCFS rank.
+    const auto pos = std::lower_bound(
+        queue_.begin(), queue_.end(), victim, [this](JobId a, JobId b) {
+          const auto& ra = record(a).spec;
+          const auto& rb = record(b).spec;
+          if (ra.arrival != rb.arrival) return ra.arrival < rb.arrival;
+          return ra.id < rb.id;
+        });
+    queue_.insert(pos, victim);
+  }
+  trySchedule();
+}
+
+void EasySimulator::onNodeRecovery(NodeId node) {
+  const auto& n = machine_.node(node);
+  if (!n.isDown()) return;
+  if (n.upAt() > engine_.now() + kEps) return;
+  machine_.recover(node);
+  trySchedule();
+}
+
+}  // namespace pqos::core

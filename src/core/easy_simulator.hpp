@@ -1,0 +1,138 @@
+// EasySimulator — the classic EASY-backfilling scheduler as an ablation
+// counterpart to the paper's reservation-retaining scheduler (Simulator).
+//
+// The paper's system commits every job to a concrete (start, partition)
+// reservation at negotiation time ("jobs that have already been scheduled
+// for later execution retain their scheduled partition"), which is what
+// makes its probabilistic promises *checkable*: the quoted start is a
+// guarantee modulo failures. Classic EASY backfilling — the dominant
+// production policy — keeps only one reservation (for the queue head) and
+// starts everything else opportunistically, so quoted start times are
+// merely estimates. This variant quantifies what that costs a
+// promise-making system (ablation A11): the same negotiation dialog now
+// quotes optimistic estimates, and deadline misses appear even without
+// failures whenever the estimate drifts.
+//
+// Execution semantics (checkpoint cycle, failure rollback, lost-work
+// accounting) are deliberately identical to core::Simulator; only the
+// scheduling layer differs. Flat topology only (EASY's count-based
+// backfill rule has no notion of partition shapes).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/policy.hpp"
+#include "cluster/machine.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/negotiation.hpp"
+#include "failure/trace.hpp"
+#include "predict/predictor.hpp"
+#include "predict/trace_predictor.hpp"
+#include "sim/engine.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+
+class EasySimulator {
+ public:
+  /// Same contract as core::Simulator; throws ConfigError for non-flat
+  /// topologies.
+  EasySimulator(SimConfig config, std::vector<workload::JobSpec> jobs,
+                const failure::FailureTrace& trace,
+                predict::Predictor* predictorOverride = nullptr);
+
+  EasySimulator(const EasySimulator&) = delete;
+  EasySimulator& operator=(const EasySimulator&) = delete;
+
+  SimResult run();
+
+  [[nodiscard]] const std::vector<workload::JobRecord>& jobs() const {
+    return records_;
+  }
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+
+ private:
+  struct RunState {
+    cluster::Partition partition;
+    /// The user-accepted not-before constraint: 0 when the first offer was
+    /// taken, later when the user paid for stepping past predicted
+    /// failures. Distinct from the start *estimate* (which must not gate
+    /// eligibility — a blocked head is still the head).
+    SimTime earliestStart = 0.0;
+    SimTime dispatchTime = -1.0;
+    SimTime estEnd = 0.0;  // dispatch + Ej(remaining): the shadow input
+    SimTime rollbackPoint = -1.0;
+    Duration segmentStartProgress = 0.0;
+    SimTime segmentStartTime = 0.0;
+    Duration nextRequestProgress = 0.0;
+    int skippedSinceLast = 0;
+    bool inCheckpoint = false;
+    Duration ckptProgress = 0.0;
+    SimTime ckptBeginTime = 0.0;
+    sim::EventId pendingEvent = sim::kInvalidEvent;
+  };
+
+  void onArrival(JobId job);
+  /// Negotiates estimate-based terms for a newly arrived job.
+  void negotiateEstimate(JobId job);
+
+  /// Queue-aware start estimator built per negotiation: greedily packs the
+  /// running jobs, outages, and the queue ahead (count-based, capped at a
+  /// window with a fluid tail) into a free-node timeline, then places
+  /// candidates against it. Estimates, not commitments: the realized
+  /// schedule can and does drift.
+  struct StartEstimator {
+    std::vector<std::pair<SimTime, int>> events;  // (time, +/- nodes)
+    int freeNow = 0;
+    SimTime now = 0.0;
+    Duration fluidExtra = 0.0;  // queue tail beyond the greedy window
+
+    /// Earliest t >= earliest with `need` nodes instantaneously free;
+    /// commit=true records the allocation for subsequent placements.
+    SimTime place(int need, SimTime earliest, Duration duration, bool commit);
+  };
+  [[nodiscard]] StartEstimator buildEstimator() const;
+  /// Preview partition: the `nodes` lowest-risk nodes of the machine over
+  /// the window (ignores occupancy — it is an estimate).
+  [[nodiscard]] cluster::Partition previewPartition(int nodes, SimTime t0,
+                                                    SimTime t1) const;
+
+  /// The EASY pass: start the head if it fits; otherwise compute its
+  /// shadow time and backfill later jobs that cannot delay it.
+  void trySchedule();
+  void startJob(JobId job);
+
+  void beginSegment(JobId job);
+  void onSegmentStop(JobId job);
+  void onCheckpointRequest(JobId job, Duration progress);
+  void onCheckpointEnd(JobId job);
+  void completeJob(JobId job);
+  void onNodeFailure(const failure::FailureEvent& event);
+  void onNodeRecovery(NodeId node);
+
+  [[nodiscard]] workload::JobRecord& record(JobId job);
+  [[nodiscard]] RunState& state(JobId job);
+
+  SimConfig config_;
+  const failure::FailureTrace* trace_;
+
+  sim::Engine engine_;
+  cluster::Machine machine_;
+  std::unique_ptr<ckpt::CheckpointPolicy> ckptPolicy_;
+  std::unique_ptr<predict::TracePredictor> ownedPredictor_;
+  predict::Predictor* predictor_;
+
+  std::vector<workload::JobRecord> records_;
+  std::vector<RunState> runStates_;
+  std::vector<JobId> queue_;        // FCFS by (arrival, id)
+  std::vector<JobId> runningJobs_;
+
+  std::size_t completedCount_ = 0;
+  std::size_t failureEvents_ = 0;
+  std::size_t jobKillingFailures_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pqos::core

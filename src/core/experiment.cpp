@@ -1,0 +1,76 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/simulator.hpp"
+#include "failure/generator.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pqos::core {
+
+StandardInputs makeStandardInputs(const std::string& modelName,
+                                  std::size_t jobCount, std::uint64_t seed,
+                                  int machineSize, double failuresPerYear) {
+  require(jobCount >= 1, "makeStandardInputs: need at least one job");
+  auto model = workload::modelByName(modelName, machineSize);
+  auto jobs = workload::generate(model, jobCount, seed);
+
+  // Size the failure trace to comfortably outlast the simulation: expected
+  // makespan = total work / (machine * load), padded 3x plus the longest
+  // job, so even heavily perturbed runs stay inside the trace.
+  double totalWork = 0.0;
+  double maxRuntime = 0.0;
+  for (const auto& job : jobs) {
+    totalWork += job.totalWork();
+    maxRuntime = std::max(maxRuntime, job.work);
+  }
+  const double expectedMakespan =
+      totalWork / (static_cast<double>(machineSize) * model.targetLoad);
+  const Duration span =
+      3.0 * expectedMakespan + 10.0 * maxRuntime + 30.0 * kDay;
+
+  auto trace = failure::makeCalibratedTrace(machineSize, span,
+                                            failuresPerYear, seed ^ 0xf417);
+  return StandardInputs{std::move(model), std::move(jobs), std::move(trace)};
+}
+
+SimResult runSimulation(const SimConfig& config,
+                        const std::vector<workload::JobSpec>& jobs,
+                        const failure::FailureTrace& trace) {
+  Simulator simulator(config, jobs, trace);
+  return simulator.run();
+}
+
+std::vector<SweepPoint> sweep(const SimConfig& base,
+                              const StandardInputs& inputs,
+                              std::span<const double> accuracies,
+                              std::span<const double> userRisks) {
+  std::vector<SweepPoint> points;
+  points.reserve(accuracies.size() * userRisks.size());
+  for (const double a : accuracies) {
+    for (const double u : userRisks) {
+      SimConfig config = base;
+      config.accuracy = a;
+      config.userRisk = u;
+      SweepPoint point;
+      point.accuracy = a;
+      point.userRisk = u;
+      point.result = runSimulation(config, inputs.jobs, inputs.trace);
+      PQOS_INFO() << "sweep a=" << a << " U=" << u
+                  << " qos=" << point.result.qos
+                  << " util=" << point.result.utilization
+                  << " lost=" << point.result.lostWork;
+      points.push_back(std::move(point));
+    }
+  }
+  return points;
+}
+
+std::vector<double> canonicalGrid() {
+  std::vector<double> grid;
+  for (int i = 0; i <= 10; ++i) grid.push_back(static_cast<double>(i) / 10.0);
+  return grid;
+}
+
+}  // namespace pqos::core

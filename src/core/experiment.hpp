@@ -1,0 +1,53 @@
+// Experiment harness: standard inputs (paper-calibrated workload + failure
+// trace) and (a, U) parameter sweeps. Every figure bench is a thin
+// formatter over these helpers, and all points of a sweep share one seeded
+// trace pair so comparisons are paired exactly as in the paper
+// ("failure predictions are deterministic across runs").
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "failure/trace.hpp"
+#include "workload/synthetic.hpp"
+
+namespace pqos::core {
+
+struct StandardInputs {
+  workload::WorkloadModel model;
+  std::vector<workload::JobSpec> jobs;
+  failure::FailureTrace trace;
+};
+
+/// Builds the paper's experimental setup for one log family
+/// ("nasa" | "sdsc"): `jobCount` synthetic jobs (paper: 10,000) plus an
+/// AIX-calibrated failure trace (paper: 1021 failures/year on 128 nodes)
+/// whose span generously covers the expected makespan.
+[[nodiscard]] StandardInputs makeStandardInputs(
+    const std::string& modelName, std::size_t jobCount, std::uint64_t seed,
+    int machineSize = 128, double failuresPerYear = 1021.0);
+
+/// Runs one simulation (convenience wrapper around core::Simulator).
+[[nodiscard]] SimResult runSimulation(const SimConfig& config,
+                                      const std::vector<workload::JobSpec>& jobs,
+                                      const failure::FailureTrace& trace);
+
+struct SweepPoint {
+  double accuracy = 0.0;
+  double userRisk = 0.0;
+  SimResult result;
+};
+
+/// Full cross product of accuracies x userRisks over shared inputs.
+[[nodiscard]] std::vector<SweepPoint> sweep(
+    const SimConfig& base, const StandardInputs& inputs,
+    std::span<const double> accuracies, std::span<const double> userRisks);
+
+/// The paper's canonical grids: 0, 0.1, ..., 1.0.
+[[nodiscard]] std::vector<double> canonicalGrid();
+
+}  // namespace pqos::core

@@ -1,0 +1,75 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pqos::core {
+
+SimResult computeResult(const std::vector<workload::JobRecord>& records,
+                        int machineSize, std::size_t failureEvents,
+                        std::size_t jobKillingFailures, bool traceExhausted) {
+  require(machineSize >= 1, "computeResult: machineSize must be >= 1");
+  SimResult result;
+  result.jobCount = records.size();
+  result.failureEvents = failureEvents;
+  result.jobKillingFailures = jobKillingFailures;
+  result.traceExhausted = traceExhausted;
+  if (records.empty()) return result;
+
+  double qosNumerator = 0.0;
+  double sumPromise = 0.0;
+  double sumWait = 0.0;
+  double sumSlowdown = 0.0;
+  double sumRounds = 0.0;
+  SimTime firstArrival = records.front().spec.arrival;
+  SimTime lastFinish = -kTimeInfinity;
+
+  for (const auto& rec : records) {
+    const double weight = rec.spec.totalWork();  // ej * nj
+    result.totalWork += weight;
+    result.lostWork += rec.lostWork;
+    result.checkpointsPerformed += rec.checkpointsPerformed;
+    result.checkpointsSkipped += rec.checkpointsSkipped;
+    result.totalRestarts += rec.restarts;
+    sumPromise += rec.promisedSuccess;
+    sumRounds += static_cast<double>(rec.negotiationRounds);
+    firstArrival = std::min(firstArrival, rec.spec.arrival);
+
+    if (rec.completed()) {
+      ++result.completedJobs;
+      lastFinish = std::max(lastFinish, rec.finish);
+      if (rec.metDeadline()) {
+        ++result.deadlinesMet;
+        qosNumerator += weight * rec.promisedSuccess;  // qj = 1 term
+      }
+      const double wait = rec.lastStart - rec.spec.arrival;
+      sumWait += wait;
+      // Bounded slowdown with the conventional 10 s floor on runtime.
+      const double turnaround = rec.finish - rec.spec.arrival;
+      sumSlowdown +=
+          std::max(1.0, turnaround / std::max(rec.spec.work, 10.0));
+    }
+  }
+
+  const auto n = static_cast<double>(records.size());
+  result.meanPromisedSuccess = sumPromise / n;
+  result.meanNegotiationRounds = sumRounds / n;
+  if (result.completedJobs > 0) {
+    result.meanWaitTime = sumWait / static_cast<double>(result.completedJobs);
+    result.meanBoundedSlowdown =
+        sumSlowdown / static_cast<double>(result.completedJobs);
+  }
+  if (result.totalWork > 0.0) {
+    result.qos = qosNumerator / result.totalWork;
+  }
+  if (lastFinish > firstArrival) {
+    result.span = lastFinish - firstArrival;
+    result.utilization =
+        result.totalWork /
+        (result.span * static_cast<double>(machineSize));
+  }
+  return result;
+}
+
+}  // namespace pqos::core

@@ -1,0 +1,62 @@
+// The paper's evaluation metrics (§3.5) plus supporting diagnostics.
+//
+//   QoS   = sum_j ej*nj*qj*pj / sum_j ej*nj                        (Eq. 2)
+//   util  = sum_j ej*nj / (T * N),  T = max_j fj - min_j vj
+//   lost  = sum_x (tx - c_jx) * n_jx
+//
+// Checkpoint overhead is deliberately excluded from "useful work" (the
+// paper treats checkpoints as unnecessary work the optimal schedule could
+// skip).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+
+struct SimResult {
+  // --- Paper metrics ---
+  double qos = 0.0;
+  double utilization = 0.0;
+  WorkUnits lostWork = 0.0;
+
+  // --- Counts ---
+  std::size_t jobCount = 0;
+  std::size_t completedJobs = 0;
+  std::size_t deadlinesMet = 0;
+  std::size_t failureEvents = 0;       // node failures during the run
+  std::size_t jobKillingFailures = 0;  // failures that killed a job
+  long long checkpointsPerformed = 0;
+  long long checkpointsSkipped = 0;
+  long long totalRestarts = 0;
+
+  // --- Supporting metrics ---
+  double meanPromisedSuccess = 0.0;  // mean pj over jobs
+  double meanWaitTime = 0.0;         // last start - arrival (seconds)
+  double meanBoundedSlowdown = 0.0;
+  double meanNegotiationRounds = 0.0;
+  SimTime span = 0.0;        // T
+  WorkUnits totalWork = 0.0;  // sum ej * nj
+  bool traceExhausted = false;  // makespan outran the failure trace
+
+  /// Fraction of jobs finishing by their deadline (unweighted).
+  [[nodiscard]] double deadlineRate() const {
+    return jobCount == 0
+               ? 0.0
+               : static_cast<double>(deadlinesMet) /
+                     static_cast<double>(jobCount);
+  }
+};
+
+/// Folds the per-job ledgers into a SimResult. `failureEvents` /
+/// `jobKillingFailures` / `traceExhausted` come from the simulator's own
+/// counters; everything else derives from the records.
+[[nodiscard]] SimResult computeResult(
+    const std::vector<workload::JobRecord>& records, int machineSize,
+    std::size_t failureEvents, std::size_t jobKillingFailures,
+    bool traceExhausted);
+
+}  // namespace pqos::core

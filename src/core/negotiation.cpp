@@ -1,0 +1,101 @@
+#include "core/negotiation.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+
+RiskSemantics riskSemanticsByName(const std::string& name) {
+  if (name == "success-floor") return RiskSemantics::SuccessFloor;
+  if (name == "failure-tolerance") return RiskSemantics::FailureTolerance;
+  throw ConfigError("unknown risk semantics: " + name +
+                    " (expected success-floor|failure-tolerance)");
+}
+
+const char* toString(RiskSemantics semantics) {
+  switch (semantics) {
+    case RiskSemantics::SuccessFloor: return "success-floor";
+    case RiskSemantics::FailureTolerance: return "failure-tolerance";
+  }
+  return "?";
+}
+
+Negotiator::Negotiator(NegotiationConfig config,
+                       const sched::ReservationBook& book,
+                       const cluster::Topology& topology,
+                       const predict::Predictor& predictor,
+                       sched::RankerFactory rankerFactory)
+    : config_(config),
+      book_(&book),
+      topology_(&topology),
+      predictor_(&predictor),
+      rankerFactory_(std::move(rankerFactory)) {
+  require(config_.maxRounds >= 1, "Negotiator: maxRounds must be >= 1");
+  require(config_.horizon > 0.0, "Negotiator: horizon must be positive");
+}
+
+Quote Negotiator::quoteAt(SimTime notBefore, int nodes,
+                          Duration elapsed) const {
+  const auto slot = book_->findSlot(notBefore, nodes, elapsed, *topology_,
+                                    rankerFactory_);
+  require(slot.has_value(),
+          "Negotiator: topology cannot host the requested partition size");
+  Quote quote;
+  quote.start = slot->start;
+  quote.partition = slot->partition;
+  quote.reservedElapsed = elapsed;
+  // Risk window starts one downtime before the reservation: a failure just
+  // before the start leaves a node dead at dispatch and delays the job, so
+  // it endangers the promise exactly like an in-window failure.
+  const SimTime riskFrom = std::max(0.0, quote.start - config_.downtime);
+  quote.failureProb = predictor_->partitionFailureProbability(
+      quote.partition.nodes(), riskFrom, quote.start + elapsed);
+  quote.promisedSuccess = 1.0 - quote.failureProb;
+  quote.deadline = quote.start + elapsed * (1.0 + config_.deadlineSlack) +
+                   config_.deadlineGrace;
+  return quote;
+}
+
+Quote Negotiator::negotiate(int nodes, Duration work, SimTime now,
+                            const UserModel& user) const {
+  const Duration elapsed = workload::estimatedElapsed(
+      work, config_.checkpointInterval, config_.checkpointOverhead);
+
+  Quote best;
+  bool haveBest = false;
+  SimTime notBefore = now;
+  for (int round = 0; round < config_.maxRounds; ++round) {
+    Quote quote = quoteAt(notBefore, nodes, elapsed);
+    quote.rounds = round + 1;
+    if (!haveBest || quote.failureProb < best.failureProb) {
+      best = quote;
+      haveBest = true;
+    }
+    if (user.accepts(quote.failureProb)) return quote;
+
+    // Counter-offer: step the candidate start past the first predicted
+    // failure inside the quoted risk window ("relaxing the deadline to a
+    // later time increases the probability of success").
+    const auto predicted = predictor_->firstPredictedFailure(
+        quote.partition.nodes(), std::max(0.0, quote.start - config_.downtime),
+        quote.start + elapsed);
+    const SimTime stepFrom = predicted ? *predicted : quote.start;
+    notBefore = stepFrom + config_.downtime + 1.0;
+    if (notBefore - now > config_.horizon) break;
+  }
+  // No quote satisfied the user within the horizon: settle for the safest
+  // offer seen (deadlines are pushed "no further than necessary").
+  return best;
+}
+
+Quote Negotiator::earliestSlot(int nodes, Duration work, SimTime now) const {
+  const Duration elapsed = workload::estimatedElapsed(
+      work, config_.checkpointInterval, config_.checkpointOverhead);
+  Quote quote = quoteAt(now, nodes, elapsed);
+  quote.rounds = 1;
+  return quote;
+}
+
+}  // namespace pqos::core

@@ -1,0 +1,113 @@
+// Deadline negotiation: the market-based dialog between system and user
+// (paper §3.5), and the simulated user behaviour model (§4.2).
+//
+// When a job is submitted the scheduler quotes (deadline, probability of
+// success): it finds the earliest feasible slot, asks the predictor how
+// likely that partition is to fail during the reservation, and offers
+// pj = 1 - pf. If the user declines, the system proposes a later deadline
+// that steps past the predicted failure, raising pj — "relaxing the
+// deadline buys a greater probability of success". The accepted quote
+// fixes the job's promise and deadline for the rest of its life.
+//
+// User model: the paper's Eq. 3 is internally inconsistent (see DESIGN.md).
+// Both readings are implemented:
+//   SuccessFloor     — accept the earliest quote with pj = 1 - pf >= U
+//                      (higher U = more risk-averse; the reading used by
+//                      the paper's narrative and all headline results).
+//   FailureTolerance — accept the earliest quote with pf <= U (the literal
+//                      reading of the "a < U" insensitivity sentence).
+#pragma once
+
+#include <string>
+
+#include "cluster/partition.hpp"
+#include "cluster/topology.hpp"
+#include "predict/predictor.hpp"
+#include "sched/reservation_book.hpp"
+#include "util/types.hpp"
+
+namespace pqos::core {
+
+enum class RiskSemantics { SuccessFloor, FailureTolerance };
+
+[[nodiscard]] RiskSemantics riskSemanticsByName(const std::string& name);
+[[nodiscard]] const char* toString(RiskSemantics semantics);
+
+/// The simulated user: accepts the earliest deadline whose quote satisfies
+/// the risk rule; if no quote within the negotiation horizon qualifies, the
+/// user settles for the safest quote seen (the paper pushes deadlines "no
+/// further than necessary").
+struct UserModel {
+  double riskParameter = 0.5;  // U in [0, 1]
+  RiskSemantics semantics = RiskSemantics::SuccessFloor;
+
+  [[nodiscard]] bool accepts(double failureProb) const {
+    if (semantics == RiskSemantics::SuccessFloor) {
+      return 1.0 - failureProb >= riskParameter;
+    }
+    return failureProb <= riskParameter;
+  }
+};
+
+/// One offer in the dialog, and the final accepted terms.
+struct Quote {
+  SimTime start = 0.0;               // s*: reserved start time
+  cluster::Partition partition;      // reserved nodes
+  double failureProb = 0.0;          // pf over [start, start + elapsed)
+  double promisedSuccess = 1.0;      // pj = 1 - pf
+  SimTime deadline = kTimeInfinity;  // d = start + elapsed * (1 + slack)
+  Duration reservedElapsed = 0.0;    // Ej: work + all checkpoint overheads
+  int rounds = 0;                    // quotes offered before acceptance
+};
+
+struct NegotiationConfig {
+  Duration checkpointInterval = kHour;
+  Duration checkpointOverhead = 720.0;
+  Duration downtime = 120.0;
+  /// Extra slack added to the quoted deadline, as a fraction of the
+  /// reserved elapsed time (0 = the paper's tight deadlines).
+  double deadlineSlack = 0.0;
+  /// Constant restart allowance added to every quoted deadline (seconds).
+  /// Covers the dispatch delay of a single node outage so that only
+  /// failures — not their 120 s restart shadows cascading through
+  /// back-to-back reservations — break promises (the paper: "failures are
+  /// the only reason for a deadline to be missed").
+  Duration deadlineGrace = 0.0;
+  /// Bound on the quote loop.
+  int maxRounds = 32;
+  /// Candidate starts are never pushed further than this past submission.
+  Duration horizon = 30.0 * kDay;
+};
+
+class Negotiator {
+ public:
+  /// All referees must outlive the negotiator.
+  Negotiator(NegotiationConfig config, const sched::ReservationBook& book,
+             const cluster::Topology& topology,
+             const predict::Predictor& predictor,
+             sched::RankerFactory rankerFactory);
+
+  /// Runs the dialog for a job of `nodes` nodes with `work` seconds of
+  /// remaining checkpoint-free work, submitted/replanned at `now`.
+  /// Throws LogicError when the topology can never host the job.
+  [[nodiscard]] Quote negotiate(int nodes, Duration work, SimTime now,
+                                const UserModel& user) const;
+
+  /// The replanning path after a failure: the promise and deadline are
+  /// already fixed, so the system simply takes the earliest feasible slot
+  /// (fault-aware node ranking still applies).
+  [[nodiscard]] Quote earliestSlot(int nodes, Duration work,
+                                   SimTime now) const;
+
+ private:
+  [[nodiscard]] Quote quoteAt(SimTime notBefore, int nodes,
+                              Duration elapsed) const;
+
+  NegotiationConfig config_;
+  const sched::ReservationBook* book_;
+  const cluster::Topology* topology_;
+  const predict::Predictor* predictor_;
+  sched::RankerFactory rankerFactory_;
+};
+
+}  // namespace pqos::core

@@ -1,0 +1,62 @@
+#include "core/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::core {
+
+void writeJobReport(std::ostream& out,
+                    const std::vector<workload::JobRecord>& records) {
+  out << "job,arrival,nodes,work,promised_success,quoted_pf,negotiated_start,"
+         "deadline,last_start,finish,met_deadline,restarts,"
+         "checkpoints_performed,checkpoints_skipped,lost_work,"
+         "negotiation_rounds\n";
+  for (const auto& rec : records) {
+    out << rec.spec.id << ',' << formatFixed(rec.spec.arrival, 3) << ','
+        << rec.spec.nodes << ',' << formatFixed(rec.spec.work, 3) << ','
+        << formatFixed(rec.promisedSuccess, 6) << ','
+        << formatFixed(rec.quotedFailureProb, 6) << ','
+        << formatFixed(rec.negotiatedStart, 3) << ','
+        << formatFixed(rec.deadline, 3) << ','
+        << formatFixed(rec.lastStart, 3) << ',' << formatFixed(rec.finish, 3)
+        << ',' << (rec.metDeadline() ? 1 : 0) << ',' << rec.restarts << ','
+        << rec.checkpointsPerformed << ',' << rec.checkpointsSkipped << ','
+        << formatFixed(rec.lostWork, 3) << ',' << rec.negotiationRounds
+        << '\n';
+  }
+}
+
+void writeJobReportFile(const std::string& path,
+                        const std::vector<workload::JobRecord>& records) {
+  std::ofstream file(path);
+  if (!file) throw ConfigError("cannot open job report file: " + path);
+  writeJobReport(file, records);
+}
+
+std::string summarize(const SimResult& result) {
+  std::ostringstream out;
+  out << "jobs: " << result.completedJobs << '/' << result.jobCount
+      << " completed, " << result.deadlinesMet << " deadlines met ("
+      << formatFixed(100.0 * result.deadlineRate(), 2) << "%)\n"
+      << "QoS: " << formatFixed(result.qos, 4)
+      << "  utilization: " << formatFixed(result.utilization, 4)
+      << "  lost work: " << formatWork(result.lostWork) << '\n'
+      << "failures: " << result.failureEvents << " ("
+      << result.jobKillingFailures << " killed a job, "
+      << result.totalRestarts << " restarts)\n"
+      << "checkpoints: " << result.checkpointsPerformed << " performed, "
+      << result.checkpointsSkipped << " skipped\n"
+      << "mean promise: " << formatFixed(result.meanPromisedSuccess, 4)
+      << "  mean wait: " << formatDuration(result.meanWaitTime)
+      << "  span: " << formatDuration(result.span);
+  if (result.traceExhausted) {
+    out << "\nWARNING: simulation outran the failure trace";
+  }
+  return out.str();
+}
+
+}  // namespace pqos::core

@@ -1,0 +1,26 @@
+// Result reporting helpers: per-job CSV export and console summaries for
+// downstream analysis of simulation runs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+
+/// Writes one CSV row per job: the negotiated terms and the realized
+/// outcome (the raw material behind every aggregate metric).
+void writeJobReport(std::ostream& out,
+                    const std::vector<workload::JobRecord>& records);
+
+/// File variant; throws ConfigError when the path cannot be opened.
+void writeJobReportFile(const std::string& path,
+                        const std::vector<workload::JobRecord>& records);
+
+/// Renders a SimResult as a readable multi-line summary.
+[[nodiscard]] std::string summarize(const SimResult& result);
+
+}  // namespace pqos::core

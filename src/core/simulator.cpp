@@ -1,0 +1,440 @@
+#include "core/simulator.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pqos::core {
+
+namespace {
+/// Progress epsilon: work amounts accumulate as time differences, so allow
+/// sub-millisecond slack when comparing progress levels.
+constexpr double kEps = 1e-6;
+}  // namespace
+
+Simulator::Simulator(SimConfig config, std::vector<workload::JobSpec> jobs,
+                     const failure::FailureTrace& trace,
+                     predict::Predictor* predictorOverride)
+    : config_(config),
+      trace_(&trace),
+      machine_(config.machineSize),
+      book_(config.machineSize) {
+  config_.validate();
+  require(trace.nodeCount() >= config_.machineSize,
+          "Simulator: failure trace covers fewer nodes than the machine");
+
+  topology_ = cluster::makeTopology(config_.topology, config_.machineSize);
+  ckptPolicy_ = ckpt::makePolicy(config_.checkpointPolicy,
+                                 config_.checkpointBlindPrior);
+  if (predictorOverride != nullptr) {
+    predictor_ = predictorOverride;
+  } else {
+    ownedPredictor_ =
+        std::make_unique<predict::TracePredictor>(trace, config_.accuracy);
+    if (config_.predictionHorizonDecay != kTimeInfinity) {
+      ownedPredictor_->enableHorizonDecay(config_.predictionHorizonDecay,
+                                          [this] { return engine_.now(); });
+    }
+    predictor_ = ownedPredictor_.get();
+  }
+
+  NegotiationConfig negotiation;
+  negotiation.checkpointInterval = config_.checkpointInterval;
+  negotiation.checkpointOverhead = config_.checkpointOverhead;
+  negotiation.downtime = config_.downtime;
+  negotiation.deadlineSlack = config_.deadlineSlack;
+  negotiation.deadlineGrace = config_.deadlineGrace;
+  negotiation.maxRounds = config_.maxNegotiationRounds;
+  negotiation.horizon = config_.negotiationHorizon;
+  rankerFactory_ = sched::makeRankerFactory(
+      sched::allocationPolicyByName(config_.allocation), *predictor_,
+      config_.seed);
+  negotiator_ = std::make_unique<Negotiator>(negotiation, book_, *topology_,
+                                             *predictor_, rankerFactory_);
+
+  user_.riskParameter = config_.userRisk;
+  user_.semantics = config_.semantics;
+
+  records_.reserve(jobs.size());
+  runStates_.resize(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto& spec = jobs[i];
+    require(spec.id == static_cast<JobId>(i),
+            "Simulator: job ids must be dense and ordered");
+    require(spec.nodes >= 1, "Simulator: job with no nodes");
+    if (spec.nodes > config_.machineSize) {
+      throw ConfigError("job " + std::to_string(spec.id) +
+                        " needs more nodes than the machine has");
+    }
+    require(spec.work > 0.0, "Simulator: job with non-positive work");
+    require(spec.arrival >= 0.0, "Simulator: negative arrival time");
+    workload::JobRecord rec;
+    rec.spec = spec;
+    records_.push_back(rec);
+  }
+}
+
+workload::JobRecord& Simulator::record(JobId job) {
+  require(job >= 0 && static_cast<std::size_t>(job) < records_.size(),
+          "Simulator: job id out of range");
+  return records_[static_cast<std::size_t>(job)];
+}
+
+Simulator::RunState& Simulator::state(JobId job) {
+  require(job >= 0 && static_cast<std::size_t>(job) < runStates_.size(),
+          "Simulator: job id out of range");
+  return runStates_[static_cast<std::size_t>(job)];
+}
+
+SimResult Simulator::run() {
+  require(!ran_, "Simulator::run: may only run once");
+  ran_ = true;
+
+  for (const auto& rec : records_) {
+    const JobId job = rec.spec.id;
+    engine_.scheduleAt(rec.spec.arrival, [this, job] { onArrival(job); });
+  }
+  for (const auto& event : trace_->events()) {
+    if (event.node >= config_.machineSize) continue;  // outside the machine
+    engine_.scheduleAt(event.time,
+                       [this, event] { onNodeFailure(event); });
+  }
+
+  engine_.run();
+
+  require(completedCount_ == records_.size(),
+          "Simulator: event queue drained before all jobs completed");
+
+  const bool traceExhausted =
+      !trace_->empty() && !records_.empty() &&
+      engine_.now() > trace_->events().back().time;
+  return computeResult(records_, config_.machineSize, failureEvents_,
+                       jobKillingFailures_, traceExhausted);
+}
+
+void Simulator::onArrival(JobId job) {
+  auto& rec = record(job);
+  require(rec.state == workload::JobState::Submitted,
+          "Simulator::onArrival: job already planned");
+  planJob(job, /*renegotiate=*/true, engine_.now());
+  maybeCheckConsistency();
+}
+
+void Simulator::planJob(JobId job, bool renegotiate, SimTime notBefore) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const Duration remaining = rec.remainingWork();
+  require(remaining > 0.0, "Simulator::planJob: nothing left to run");
+
+  Quote quote;
+  if (renegotiate) {
+    quote = negotiator_->negotiate(rec.spec.nodes, remaining, notBefore,
+                                   user_);
+    rec.promisedSuccess = quote.promisedSuccess;
+    rec.quotedFailureProb = quote.failureProb;
+    rec.negotiatedStart = quote.start;
+    rec.deadline = quote.deadline;
+    rec.negotiationRounds = quote.rounds;
+  } else {
+    // Restart or dynamic replan: the promise and deadline stand; take the
+    // earliest feasible slot (fault-aware ranking still steers the
+    // partition choice).
+    quote = negotiator_->earliestSlot(rec.spec.nodes, remaining, notBefore);
+  }
+
+  book_.reserve(job, quote.partition, quote.start,
+                quote.start + quote.reservedElapsed);
+  rs.partition = quote.partition;
+  rs.plannedStart = quote.start;
+  rs.reservedEnd = quote.start + quote.reservedElapsed;
+  rs.dispatched = false;
+  rec.state = workload::JobState::Planned;
+  engine_.scheduleAt(quote.start, [this, job] { attemptDispatch(job); });
+}
+
+void Simulator::attemptDispatch(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  if (rec.state != workload::JobState::Planned || rs.dispatched) return;
+  // Stale event from a reservation that was since re-planned to a later
+  // start: the re-plan scheduled its own dispatch event.
+  if (engine_.now() + kEps < rs.plannedStart) return;
+  if (!machine_.allIdle(rs.partition) && !substituteUnavailableNodes(job)) {
+    // A predecessor overran (downtime-delay cascade) or a partition node
+    // is down, and no idle substitute exists; retry as nodes free up.
+    if (std::find(pendingDispatch_.begin(), pendingDispatch_.end(), job) ==
+        pendingDispatch_.end()) {
+      pendingDispatch_.push_back(job);
+    }
+    return;
+  }
+  const SimTime now = engine_.now();
+  machine_.assign(rs.partition, job);
+  runningJobs_.push_back(job);
+  rec.state = workload::JobState::Running;
+  rec.lastStart = now;
+  rs.dispatched = true;
+  rs.dispatchTime = now;
+  rs.rollbackPoint = now;
+  rs.inCheckpoint = false;
+  rs.skippedSinceLast = 0;
+  rs.segmentStartProgress = rec.savedProgress;
+  rs.segmentStartTime = now;
+  rs.nextRequestProgress = rec.savedProgress + config_.checkpointInterval;
+  beginSegment(job);
+  maybeCheckConsistency();
+}
+
+bool Simulator::substituteUnavailableNodes(JobId job) {
+  if (topology_->name() != "flat") return false;  // contiguity constraints
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  const Duration window = std::max(rs.reservedEnd - rs.plannedStart,
+                                   rs.reservedEnd - now);
+
+  std::vector<NodeId> keep;
+  int needed = 0;
+  for (const NodeId id : rs.partition) {
+    if (machine_.node(id).isIdle()) {
+      keep.push_back(id);
+    } else {
+      ++needed;
+    }
+  }
+  require(needed > 0, "substituteUnavailableNodes: nothing to substitute");
+
+  // Candidates: idle nodes outside the partition with no reservation of
+  // their own over the job's window (stealing a reserved node would only
+  // move the cascade).
+  std::vector<NodeId> candidates;
+  for (NodeId n = 0; n < config_.machineSize; ++n) {
+    if (!machine_.node(n).isIdle()) continue;
+    if (rs.partition.contains(n)) continue;
+    if (!book_.nodeFree(n, now, now + window)) continue;
+    candidates.push_back(n);
+  }
+  if (static_cast<int>(candidates.size()) < needed) return false;
+
+  const auto ranker = rankerFactory_(now, now + window);
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [&](NodeId a, NodeId b) {
+                     const double ra = ranker(a);
+                     const double rb = ranker(b);
+                     if (ra != rb) return ra < rb;
+                     return a < b;
+                   });
+  keep.insert(keep.end(), candidates.begin(), candidates.begin() + needed);
+
+  book_.release(job);
+  cluster::Partition replacement(std::move(keep));
+  book_.reserveBestEffort(job, replacement, now, now + window);
+  rs.partition = std::move(replacement);
+  rs.plannedStart = now;
+  rs.reservedEnd = now + window;
+  return true;
+}
+
+void Simulator::beginSegment(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  const Duration progress = rs.segmentStartProgress;
+  const Duration target = std::min(rec.spec.work, rs.nextRequestProgress);
+  require(target > progress - kEps, "Simulator::beginSegment: no progress");
+  const Duration dt = std::max(0.0, target - progress);
+  rs.segmentStartTime = now;
+  rs.pendingEvent =
+      engine_.scheduleAfter(dt, [this, job] { onSegmentStop(job); });
+}
+
+void Simulator::onSegmentStop(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  rs.pendingEvent = sim::kInvalidEvent;
+  const SimTime now = engine_.now();
+  const Duration progress =
+      rs.segmentStartProgress + (now - rs.segmentStartTime);
+  if (progress >= rec.spec.work - kEps) {
+    completeJob(job);
+    return;
+  }
+  onCheckpointRequest(job, progress);
+}
+
+void Simulator::onCheckpointRequest(JobId job, Duration progress) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  const Duration interval = config_.checkpointInterval;
+  const Duration overhead = config_.checkpointOverhead;
+  const Duration remaining = rec.spec.work - progress;
+
+  ckpt::CheckpointRequest request;
+  request.job = job;
+  request.now = now;
+  request.interval = interval;
+  request.overhead = overhead;
+  request.skippedSinceLast = rs.skippedSinceLast;
+  request.partitionFailureProb = predictor_->partitionFailureProbability(
+      rs.partition.nodes(), now, now + interval + overhead);
+  request.predictorAccuracy = predictor_->accuracy();
+  request.deadline = rec.deadline;
+  request.remainingWork = remaining;
+  request.estFinishIfPerform =
+      now + overhead + remaining +
+      static_cast<double>(workload::checkpointCount(remaining, interval)) *
+          overhead;
+  request.estFinishSkipAll = now + remaining;
+
+  if (ckptPolicy_->decide(request) == ckpt::Decision::Perform) {
+    // Checkpoint-start event: the job pauses for C; progress saved is the
+    // level at the request (rollback is to the checkpoint's *start*).
+    rs.inCheckpoint = true;
+    rs.ckptProgress = progress;
+    rs.ckptBeginTime = now;
+    rs.pendingEvent = engine_.scheduleAfter(
+        overhead, [this, job] { onCheckpointEnd(job); });
+  } else {
+    ++rec.checkpointsSkipped;
+    ++rs.skippedSinceLast;
+    rs.segmentStartProgress = progress;
+    rs.nextRequestProgress = progress + interval;
+    beginSegment(job);
+  }
+}
+
+void Simulator::onCheckpointEnd(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  rs.pendingEvent = sim::kInvalidEvent;
+  rs.inCheckpoint = false;
+  rec.savedProgress = rs.ckptProgress;
+  rs.rollbackPoint = rs.ckptBeginTime;
+  rs.skippedSinceLast = 0;
+  ++rec.checkpointsPerformed;
+  rs.segmentStartProgress = rs.ckptProgress;
+  rs.nextRequestProgress = rs.ckptProgress + config_.checkpointInterval;
+  beginSegment(job);
+}
+
+void Simulator::completeJob(JobId job) {
+  auto& rec = record(job);
+  auto& rs = state(job);
+  const SimTime now = engine_.now();
+  machine_.release(rs.partition, job);
+  book_.release(job);
+  runningJobs_.erase(
+      std::remove(runningJobs_.begin(), runningJobs_.end(), job),
+      runningJobs_.end());
+  rec.state = workload::JobState::Completed;
+  rec.finish = now;
+  ++completedCount_;
+  if (completedCount_ == records_.size()) {
+    engine_.stop();
+    return;
+  }
+  if (completedCount_ % 512 == 0) book_.prune(now);
+  tryPendingDispatches();
+  maybeCheckConsistency();
+}
+
+void Simulator::onNodeFailure(const failure::FailureEvent& event) {
+  if (completedCount_ == records_.size()) return;
+  ++failureEvents_;
+  predictor_->observe(event);  // online predictors learn as failures land
+  const SimTime now = engine_.now();
+  const SimTime upAt = now + config_.downtime;
+  const JobId victim = machine_.fail(event.node, upAt);
+  book_.reserveDowntime(event.node, now, upAt);
+  engine_.scheduleAt(upAt, [this, node = event.node] { onNodeRecovery(node); });
+
+  if (victim != kInvalidJob) {
+    ++jobKillingFailures_;
+    auto& rec = record(victim);
+    auto& rs = state(victim);
+    // Paper: lost work for failure x is (tx - c_jx) * n_jx, with c the
+    // start of the last completed checkpoint (this run) or the start time.
+    rec.lostWork += (now - rs.rollbackPoint) *
+                    static_cast<double>(rec.spec.nodes);
+    if (rs.pendingEvent != sim::kInvalidEvent) {
+      engine_.cancel(rs.pendingEvent);
+      rs.pendingEvent = sim::kInvalidEvent;
+    }
+    rs.inCheckpoint = false;
+    machine_.releaseAfterFailure(rs.partition, victim, event.node);
+    book_.release(victim);
+    runningJobs_.erase(
+        std::remove(runningJobs_.begin(), runningJobs_.end(), victim),
+        runningJobs_.end());
+    ++rec.restarts;
+    // Back to the wait queue, restarting from the last completed
+    // checkpoint; promise and deadline are unchanged.
+    planJob(victim, /*renegotiate=*/false, now);
+    dynamicReplan();
+  }
+  tryPendingDispatches();
+  maybeCheckConsistency();
+}
+
+void Simulator::dynamicReplan() {
+  if (config_.dynamicReplanWindow <= 0) return;
+  // Re-pack the nearest-future reservations around the disturbance, in
+  // planned-start (FCFS-after-negotiation) order. Promises and deadlines
+  // are never renegotiated, and a re-planned job never starts before the
+  // start its user originally accepted.
+  std::vector<JobId> planned;
+  for (const auto& rec : records_) {
+    if (rec.state != workload::JobState::Planned) continue;
+    const auto& rs = state(rec.spec.id);
+    if (rs.dispatched) continue;
+    planned.push_back(rec.spec.id);
+  }
+  std::sort(planned.begin(), planned.end(), [this](JobId a, JobId b) {
+    const SimTime sa = state(a).plannedStart;
+    const SimTime sb = state(b).plannedStart;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  const auto limit = std::min<std::size_t>(
+      planned.size(), static_cast<std::size_t>(config_.dynamicReplanWindow));
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < limit; ++i) {
+    const JobId job = planned[i];
+    book_.release(job);
+    planJob(job, /*renegotiate=*/false,
+            std::max(now, record(job).negotiatedStart));
+  }
+}
+
+void Simulator::onNodeRecovery(NodeId node) {
+  const auto& n = machine_.node(node);
+  if (!n.isDown()) return;  // already recovered by an earlier event
+  if (n.upAt() > engine_.now() + kEps) return;  // outage was extended
+  machine_.recover(node);
+  tryPendingDispatches();
+}
+
+void Simulator::tryPendingDispatches() {
+  if (pendingDispatch_.empty()) return;
+  // Deterministic service order: earliest planned start, then job id.
+  std::vector<JobId> pending;
+  pending.swap(pendingDispatch_);
+  std::sort(pending.begin(), pending.end(), [this](JobId a, JobId b) {
+    const SimTime sa = state(a).plannedStart;
+    const SimTime sb = state(b).plannedStart;
+    if (sa != sb) return sa < sb;
+    return a < b;
+  });
+  for (const JobId job : pending) {
+    attemptDispatch(job);  // re-queues itself when still blocked
+  }
+}
+
+void Simulator::maybeCheckConsistency() {
+  if (!config_.consistencyChecks) return;
+  machine_.checkConsistency(runningJobs_);
+  book_.checkConsistency();
+}
+
+}  // namespace pqos::core

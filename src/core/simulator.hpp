@@ -1,0 +1,131 @@
+// The probabilistic-QoS supercomputing simulator: wires the discrete-event
+// engine, cluster, reservation-based fault-aware scheduler, negotiation,
+// predictor, and cooperative checkpointing into the system of paper §3,
+// and replays a job log against a failure trace (§4.1).
+//
+// Event types (paper §4.1): job arrival, job start (dispatch), job finish,
+// node failure, node recovery, checkpoint start, checkpoint finish — all
+// realized as engine callbacks.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ckpt/policy.hpp"
+#include "cluster/machine.hpp"
+#include "cluster/topology.hpp"
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "core/negotiation.hpp"
+#include "failure/trace.hpp"
+#include "predict/predictor.hpp"
+#include "predict/trace_predictor.hpp"
+#include "sched/allocation.hpp"
+#include "sched/reservation_book.hpp"
+#include "sim/engine.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+
+class Simulator {
+ public:
+  /// `trace` must outlive the simulator and cover at least
+  /// config.machineSize nodes. Jobs larger than the machine are rejected
+  /// with ConfigError. When `predictorOverride` is non-null it replaces
+  /// the paper's TracePredictor (online-predictor ablation).
+  Simulator(SimConfig config, std::vector<workload::JobSpec> jobs,
+            const failure::FailureTrace& trace,
+            predict::Predictor* predictorOverride = nullptr);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Runs to completion of every job and returns the aggregated metrics.
+  /// May be called once.
+  SimResult run();
+
+  /// Per-job ledgers (valid after run()).
+  [[nodiscard]] const std::vector<workload::JobRecord>& jobs() const {
+    return records_;
+  }
+
+  [[nodiscard]] const SimConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t eventsFired() const {
+    return engine_.firedCount();
+  }
+
+  /// Current simulation time; lets externally-owned (override) predictors
+  /// bind their causal clock to this simulation.
+  [[nodiscard]] SimTime now() const { return engine_.now(); }
+
+ private:
+  /// Per-running-job execution state.
+  struct RunState {
+    cluster::Partition partition;     // reserved/occupied nodes
+    SimTime plannedStart = 0.0;       // current reservation start
+    SimTime reservedEnd = 0.0;        // current reservation end
+    bool dispatched = false;
+    SimTime dispatchTime = -1.0;
+    /// Rollback anchor c for lost-work accounting: start time of the last
+    /// completed checkpoint this run, else the dispatch time.
+    SimTime rollbackPoint = -1.0;
+    Duration segmentStartProgress = 0.0;  // total work done at segment start
+    SimTime segmentStartTime = 0.0;
+    Duration nextRequestProgress = 0.0;   // work level of next ckpt request
+    int skippedSinceLast = 0;
+    bool inCheckpoint = false;
+    Duration ckptProgress = 0.0;  // progress level being saved
+    SimTime ckptBeginTime = 0.0;
+    sim::EventId pendingEvent = sim::kInvalidEvent;
+  };
+
+  void onArrival(JobId job);
+  void planJob(JobId job, bool renegotiate, SimTime notBefore);
+  /// Extension (config.dynamicReplanWindow): after a failure, re-pack the
+  /// nearest not-yet-started reservations around the disturbance.
+  void dynamicReplan();
+  void attemptDispatch(JobId job);
+  /// When reserved nodes are busy/down at dispatch time, swaps in idle,
+  /// reservation-free nodes (any node works on a flat cluster) so one
+  /// node's 120 s outage does not cascade into downstream deadline misses.
+  /// Returns true when the partition is ready afterwards.
+  bool substituteUnavailableNodes(JobId job);
+  void beginSegment(JobId job);
+  void onSegmentStop(JobId job);
+  void onCheckpointRequest(JobId job, Duration progress);
+  void onCheckpointEnd(JobId job);
+  void onNodeFailure(const failure::FailureEvent& event);
+  void onNodeRecovery(NodeId node);
+  void completeJob(JobId job);
+  void tryPendingDispatches();
+  void maybeCheckConsistency();
+
+  [[nodiscard]] workload::JobRecord& record(JobId job);
+  [[nodiscard]] RunState& state(JobId job);
+
+  SimConfig config_;
+  const failure::FailureTrace* trace_;
+
+  sim::Engine engine_;
+  cluster::Machine machine_;
+  std::unique_ptr<cluster::Topology> topology_;
+  std::unique_ptr<ckpt::CheckpointPolicy> ckptPolicy_;
+  std::unique_ptr<predict::TracePredictor> ownedPredictor_;
+  predict::Predictor* predictor_;  // owned or override
+  sched::ReservationBook book_;
+  std::unique_ptr<Negotiator> negotiator_;
+  sched::RankerFactory rankerFactory_;
+  UserModel user_;
+
+  std::vector<workload::JobRecord> records_;
+  std::vector<RunState> runStates_;
+  std::vector<JobId> pendingDispatch_;  // planned start reached, nodes busy
+  std::vector<JobId> runningJobs_;      // for consistency checks
+
+  std::size_t completedCount_ = 0;
+  std::size_t failureEvents_ = 0;
+  std::size_t jobKillingFailures_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace pqos::core

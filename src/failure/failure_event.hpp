@@ -1,0 +1,42 @@
+// Failure-log record types.
+//
+// The paper's failure input is a *filtered* trace: raw RAS events from 128
+// AIX machines reduced to job-killing failures (severity FATAL/FAILURE,
+// clusters sharing a root cause coalesced), with a static per-failure
+// "detectability" px ~ U(0,1) that drives the predictor. We model both the
+// raw stream and the filtered result.
+#pragma once
+
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace pqos::failure {
+
+/// Severity of a raw RAS event, ordered by increasing seriousness.
+enum class Severity : std::uint8_t { Info, Warning, Error, Fatal };
+
+[[nodiscard]] const char* toString(Severity severity);
+
+/// Raw system-health event (pre-filtering).
+struct RawEvent {
+  SimTime time = 0.0;
+  NodeId node = kInvalidNode;
+  Severity severity = Severity::Info;
+  /// Originating subsystem (memory, network, filesystem, ...); events in
+  /// the same subsystem close in time are assumed to share a root cause.
+  std::int32_t subsystem = 0;
+};
+
+/// Filtered failure: an event that immediately kills any job running on
+/// `node` at `time` (paper §4.3).
+struct FailureEvent {
+  SimTime time = 0.0;
+  NodeId node = kInvalidNode;
+  /// Static detectability px in [0, 1]: a predictor with accuracy `a`
+  /// foresees this failure iff px <= a, and then reports px as the
+  /// probability of failure.
+  double detectability = 0.0;
+};
+
+}  // namespace pqos::failure

@@ -1,0 +1,241 @@
+#include "failure/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::failure {
+
+std::vector<RawEvent> generateRawEvents(const RawGeneratorConfig& config,
+                                        std::uint64_t seed) {
+  require(config.nodeCount >= 1, "generateRawEvents: nodeCount >= 1");
+  require(config.span > 0.0, "generateRawEvents: span must be positive");
+  require(config.healthyFatalRate > 0.0,
+          "generateRawEvents: healthyFatalRate must be positive");
+  require(config.sickMultiplier >= 1.0,
+          "generateRawEvents: sickMultiplier must be >= 1");
+  require(config.subsystems >= 1, "generateRawEvents: subsystems >= 1");
+
+  Rng master(seed);
+  std::vector<RawEvent> events;
+
+  // Zipf skew: node n's rate multiplier, normalized to mean 1 so the
+  // cluster-wide rate is independent of the exponent.
+  std::vector<double> skew(static_cast<std::size_t>(config.nodeCount));
+  {
+    double total = 0.0;
+    for (int n = 0; n < config.nodeCount; ++n) {
+      skew[static_cast<std::size_t>(n)] =
+          1.0 / std::pow(static_cast<double>(n + 1), config.zipfExponent);
+      total += skew[static_cast<std::size_t>(n)];
+    }
+    for (auto& s : skew) s *= static_cast<double>(config.nodeCount) / total;
+    // Shuffle so hot nodes are not clustered at low ids.
+    Rng shuffler = master.fork(0xfeed);
+    shuffler.shuffle(skew);
+  }
+
+  for (int n = 0; n < config.nodeCount; ++n) {
+    Rng rng = master.fork(0x1000 + static_cast<std::uint64_t>(n));
+    const double nodeSkew = skew[static_cast<std::size_t>(n)];
+    // Start each node at a random point of its healthy/sick cycle so phase
+    // boundaries are not synchronized across the cluster.
+    bool sick = rng.bernoulli(config.meanSickSojourn /
+                              (config.meanSickSojourn +
+                               config.meanHealthySojourn));
+    SimTime t = 0.0;
+    SimTime phaseEnd = rng.exponential(sick ? config.meanSickSojourn
+                                            : config.meanHealthySojourn);
+    while (t < config.span) {
+      const double rate = config.healthyFatalRate * nodeSkew *
+                          (sick ? config.sickMultiplier : 1.0);
+      const SimTime candidate = t + rng.exponential(1.0 / rate);
+      if (candidate >= phaseEnd) {
+        // Phase flips before the next event; resample from the new phase.
+        t = phaseEnd;
+        sick = !sick;
+        phaseEnd = t + rng.exponential(sick ? config.meanSickSojourn
+                                            : config.meanHealthySojourn);
+        continue;
+      }
+      t = candidate;
+      if (t >= config.span) break;
+      // One fatal event, preceded by a misbehavior pattern of non-fatal
+      // events (real failures "tend to be preceded by patterns of
+      // misbehavior", paper §1) in the same subsystem.
+      const auto subsystem =
+          static_cast<std::int32_t>(rng.uniformInt(0, config.subsystems - 1));
+      const auto noise = static_cast<int>(rng.exponential(
+          std::max(1e-9, config.nonFatalPerFatal)));
+      for (int k = 0; k < noise; ++k) {
+        RawEvent e;
+        // Noise accumulates over the hour leading up to the failure.
+        e.time = std::max(0.0, t - rng.uniform(0.0, kHour));
+        e.node = static_cast<NodeId>(n);
+        e.severity = rng.bernoulli(0.3) ? Severity::Error : Severity::Warning;
+        e.subsystem = subsystem;
+        events.push_back(e);
+      }
+      events.push_back(RawEvent{t, static_cast<NodeId>(n), Severity::Fatal,
+                                subsystem});
+    }
+    // Failure-independent background chatter (INFO/WARNING): what makes
+    // pattern-based prediction non-trivial.
+    if (config.backgroundNoisePerDay > 0.0) {
+      Rng bg = master.fork(0x9000 + static_cast<std::uint64_t>(n));
+      SimTime bt = 0.0;
+      const double mean = kDay / config.backgroundNoisePerDay;
+      while (true) {
+        bt += bg.exponential(mean);
+        if (bt >= config.span) break;
+        RawEvent e;
+        e.time = bt;
+        e.node = static_cast<NodeId>(n);
+        e.severity = bg.bernoulli(0.6) ? Severity::Warning : Severity::Info;
+        e.subsystem =
+            static_cast<std::int32_t>(bg.uniformInt(0, config.subsystems - 1));
+        events.push_back(e);
+      }
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const RawEvent& a, const RawEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+std::vector<FailureEvent> filterRawEvents(const std::vector<RawEvent>& raw,
+                                          const FilterConfig& config) {
+  require(std::is_sorted(raw.begin(), raw.end(),
+                         [](const RawEvent& a, const RawEvent& b) {
+                           return a.time < b.time;
+                         }),
+          "filterRawEvents: input must be time-sorted");
+  std::vector<FailureEvent> out;
+  // Last accepted fatal per node (temporal coalescing) and per subsystem
+  // (spatial coalescing of shared root causes).
+  std::vector<SimTime> lastOnNode;
+  std::vector<SimTime> lastOnSubsystem;
+  for (const RawEvent& event : raw) {
+    if (event.severity != Severity::Fatal) continue;
+    const auto nodeIdx = static_cast<std::size_t>(event.node);
+    if (lastOnNode.size() <= nodeIdx) {
+      lastOnNode.resize(nodeIdx + 1, -kTimeInfinity);
+    }
+    const auto subIdx = static_cast<std::size_t>(event.subsystem);
+    if (lastOnSubsystem.size() <= subIdx) {
+      lastOnSubsystem.resize(subIdx + 1, -kTimeInfinity);
+    }
+    const bool nodeDup = event.time - lastOnNode[nodeIdx] < config.temporalGap;
+    const bool rootDup = config.coalesceAcrossNodes &&
+                         event.time - lastOnSubsystem[subIdx] <
+                             config.spatialGap;
+    // Track cluster membership even for dropped events so a long burst
+    // collapses to its first representative.
+    lastOnNode[nodeIdx] = event.time;
+    lastOnSubsystem[subIdx] = event.time;
+    if (nodeDup || rootDup) continue;
+    out.push_back(FailureEvent{event.time, event.node, 0.0});
+  }
+  return out;
+}
+
+void assignDetectability(std::vector<FailureEvent>& events,
+                         std::uint64_t seed) {
+  Rng rng(seed);
+  for (auto& event : events) event.detectability = rng.uniform();
+}
+
+std::vector<FailureEvent> generatePoissonFailures(int nodeCount, Duration span,
+                                                  Duration clusterMtbf,
+                                                  std::uint64_t seed) {
+  require(nodeCount >= 1 && span > 0.0 && clusterMtbf > 0.0,
+          "generatePoissonFailures: invalid parameters");
+  Rng rng(seed);
+  std::vector<FailureEvent> events;
+  SimTime t = 0.0;
+  while (true) {
+    t += rng.exponential(clusterMtbf);
+    if (t >= span) break;
+    FailureEvent e;
+    e.time = t;
+    e.node = static_cast<NodeId>(rng.uniformInt(0, nodeCount - 1));
+    e.detectability = rng.uniform();
+    events.push_back(e);
+  }
+  return events;
+}
+
+std::vector<FailureEvent> generateWeibullFailures(int nodeCount, Duration span,
+                                                  Duration clusterMtbf,
+                                                  double shape,
+                                                  std::uint64_t seed) {
+  require(nodeCount >= 1 && span > 0.0 && clusterMtbf > 0.0 && shape > 0.0,
+          "generateWeibullFailures: invalid parameters");
+  Rng master(seed);
+  // Per-node renewal process; node MTBF = clusterMtbf * nodeCount.
+  const double nodeMean = clusterMtbf * static_cast<double>(nodeCount);
+  // Weibull mean = scale * Gamma(1 + 1/shape).
+  const double scale = nodeMean / std::tgamma(1.0 + 1.0 / shape);
+  std::vector<FailureEvent> events;
+  for (int n = 0; n < nodeCount; ++n) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(n) + 1);
+    SimTime t = 0.0;
+    while (true) {
+      t += rng.weibull(shape, scale);
+      if (t >= span) break;
+      events.push_back(
+          FailureEvent{t, static_cast<NodeId>(n), rng.uniform()});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.time < b.time;
+                   });
+  return events;
+}
+
+FailureTrace makeCalibratedTrace(int nodeCount, Duration span,
+                                 double targetFailuresPerYear,
+                                 std::uint64_t seed) {
+  return makeCalibratedTraces(nodeCount, span, targetFailuresPerYear, seed)
+      .filtered;
+}
+
+CalibratedTraces makeCalibratedTraces(int nodeCount, Duration span,
+                                      double targetFailuresPerYear,
+                                      std::uint64_t seed) {
+  require(targetFailuresPerYear > 0.0,
+          "makeCalibratedTrace: target must be positive");
+  RawGeneratorConfig config;
+  config.nodeCount = nodeCount;
+  config.span = span;
+  const FilterConfig filter;
+
+  // Two-pass calibration: measure the filtered yield at the default rate,
+  // then scale the healthy rate so the filtered count hits the target.
+  // Filtering is mildly sublinear in the rate (denser bursts coalesce
+  // more), so a second correction pass tightens the result.
+  const double target = targetFailuresPerYear * (span / kYear);
+  for (int pass = 0; pass < 2; ++pass) {
+    const auto raw = generateRawEvents(config, seed);
+    const auto filtered = filterRawEvents(raw, filter);
+    if (filtered.empty()) {
+      config.healthyFatalRate *= 10.0;
+      continue;
+    }
+    const double ratio = target / static_cast<double>(filtered.size());
+    if (std::abs(ratio - 1.0) < 0.02) break;
+    config.healthyFatalRate *= ratio;
+  }
+  auto raw = generateRawEvents(config, seed);
+  auto filtered = filterRawEvents(raw, filter);
+  assignDetectability(filtered, seed ^ 0x9d2c5680ULL);
+  return CalibratedTraces{std::move(raw),
+                          FailureTrace(std::move(filtered), nodeCount)};
+}
+
+}  // namespace pqos::failure

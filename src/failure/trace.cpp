@@ -1,0 +1,129 @@
+#include "failure/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pqos::failure {
+
+const char* toString(Severity severity) {
+  switch (severity) {
+    case Severity::Info: return "INFO";
+    case Severity::Warning: return "WARNING";
+    case Severity::Error: return "ERROR";
+    case Severity::Fatal: return "FATAL";
+  }
+  return "?";
+}
+
+FailureTrace::FailureTrace(std::vector<FailureEvent> events, int nodeCount)
+    : nodeCount_(nodeCount), events_(std::move(events)) {
+  require(nodeCount >= 1, "FailureTrace: nodeCount must be >= 1");
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FailureEvent& a, const FailureEvent& b) {
+                     return a.time < b.time;
+                   });
+  byNode_.resize(static_cast<std::size_t>(nodeCount));
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const auto& event = events_[i];
+    require(event.node >= 0 && event.node < nodeCount,
+            "FailureTrace: node id out of range");
+    require(event.detectability >= 0.0 && event.detectability <= 1.0,
+            "FailureTrace: detectability outside [0,1]");
+    byNode_[static_cast<std::size_t>(event.node)].push_back(i);
+  }
+}
+
+std::span<const std::size_t> FailureTrace::nodeEvents(NodeId node) const {
+  require(node >= 0 && node < nodeCount_,
+          "FailureTrace::nodeEvents: node out of range");
+  return byNode_[static_cast<std::size_t>(node)];
+}
+
+namespace {
+/// Index of the first event on `node` at or after t0, via binary search on
+/// the per-node index (events are time-sorted, so indices are too).
+std::size_t lowerBoundOnNode(const std::vector<std::size_t>& nodeIdx,
+                             const std::vector<FailureEvent>& events,
+                             SimTime t0) {
+  const auto it = std::lower_bound(
+      nodeIdx.begin(), nodeIdx.end(), t0,
+      [&](std::size_t idx, SimTime t) { return events[idx].time < t; });
+  return static_cast<std::size_t>(std::distance(nodeIdx.begin(), it));
+}
+}  // namespace
+
+std::optional<FailureEvent> FailureTrace::firstDetectable(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1,
+    double maxDetectability) const {
+  std::optional<FailureEvent> best;
+  for (const NodeId node : nodes) {
+    require(node >= 0 && node < nodeCount_,
+            "FailureTrace::firstDetectable: node out of range");
+    const auto& idx = byNode_[static_cast<std::size_t>(node)];
+    for (std::size_t k = lowerBoundOnNode(idx, events_, t0); k < idx.size();
+         ++k) {
+      const FailureEvent& event = events_[idx[k]];
+      if (event.time >= t1) break;
+      if (best && event.time >= best->time) break;
+      if (event.detectability <= maxDetectability) {
+        best = event;
+        break;  // earliest qualifying event on this node
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<FailureEvent> FailureTrace::firstEvent(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  return firstDetectable(nodes, t0, t1, 1.0);
+}
+
+std::size_t FailureTrace::countInWindow(NodeId node, SimTime t0,
+                                        SimTime t1) const {
+  require(node >= 0 && node < nodeCount_,
+          "FailureTrace::countInWindow: node out of range");
+  require(t0 <= t1, "FailureTrace::countInWindow: inverted window");
+  const auto& idx = byNode_[static_cast<std::size_t>(node)];
+  std::size_t count = 0;
+  for (std::size_t k = lowerBoundOnNode(idx, events_, t0); k < idx.size();
+       ++k) {
+    if (events_[idx[k]].time >= t1) break;
+    ++count;
+  }
+  return count;
+}
+
+TraceStats FailureTrace::stats() const {
+  TraceStats s;
+  s.count = events_.size();
+  if (events_.empty()) return s;
+  s.span = events_.back().time - events_.front().time;
+  if (s.span > 0.0) {
+    s.clusterMtbf = s.span / static_cast<double>(events_.size());
+    s.failuresPerDay = static_cast<double>(events_.size()) / (s.span / kDay);
+  }
+  Accumulator gaps;
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    gaps.add(events_[i].time - events_[i - 1].time);
+  }
+  s.interarrivalCv = gaps.cv();
+
+  std::vector<std::size_t> perNode(byNode_.size());
+  for (std::size_t n = 0; n < byNode_.size(); ++n) {
+    perNode[n] = byNode_[n].size();
+  }
+  std::sort(perNode.begin(), perNode.end(), std::greater<>());
+  const std::size_t hot =
+      std::max<std::size_t>(1, perNode.size() / 10);  // top 10% of nodes
+  std::size_t hotCount = 0;
+  for (std::size_t n = 0; n < hot; ++n) hotCount += perNode[n];
+  s.hotNodeShare =
+      static_cast<double>(hotCount) / static_cast<double>(events_.size());
+  return s;
+}
+
+}  // namespace pqos::failure

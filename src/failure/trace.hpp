@@ -1,0 +1,63 @@
+// FailureTrace: an immutable, indexed failure log supporting the window
+// queries the predictor and simulator need.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "failure/failure_event.hpp"
+#include "util/types.hpp"
+
+namespace pqos::failure {
+
+/// Aggregate statistics of a trace (used for calibration and reporting).
+struct TraceStats {
+  std::size_t count = 0;
+  Duration span = 0.0;            // last - first event time
+  Duration clusterMtbf = 0.0;     // span / count
+  double failuresPerDay = 0.0;
+  double interarrivalCv = 0.0;    // coefficient of variation (burstiness)
+  double hotNodeShare = 0.0;      // share of failures on the top 10% nodes
+};
+
+class FailureTrace {
+ public:
+  /// Takes ownership of events (sorted internally by time), validates node
+  /// ids against `nodeCount` and detectability range.
+  FailureTrace(std::vector<FailureEvent> events, int nodeCount);
+
+  [[nodiscard]] int nodeCount() const { return nodeCount_; }
+  [[nodiscard]] std::span<const FailureEvent> events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Event times on one node, ascending (indices into events()).
+  [[nodiscard]] std::span<const std::size_t> nodeEvents(NodeId node) const;
+
+  /// Earliest event on any of `nodes` within [t0, t1) whose detectability
+  /// is <= `maxDetectability`; the paper's predictor primitive.
+  [[nodiscard]] std::optional<FailureEvent> firstDetectable(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1,
+      double maxDetectability) const;
+
+  /// Earliest event on any of `nodes` within [t0, t1), regardless of
+  /// detectability.
+  [[nodiscard]] std::optional<FailureEvent> firstEvent(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const;
+
+  /// Number of events on `node` within [t0, t1).
+  [[nodiscard]] std::size_t countInWindow(NodeId node, SimTime t0,
+                                          SimTime t1) const;
+
+  [[nodiscard]] TraceStats stats() const;
+
+ private:
+  int nodeCount_;
+  std::vector<FailureEvent> events_;            // sorted by time
+  std::vector<std::vector<std::size_t>> byNode_;  // per-node event indices
+};
+
+}  // namespace pqos::failure

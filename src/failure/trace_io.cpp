@@ -1,0 +1,115 @@
+#include "failure/trace_io.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::failure {
+
+void writeTrace(std::ostream& out, const FailureTrace& trace,
+                const std::string& headerComment) {
+  if (!headerComment.empty()) {
+    std::istringstream lines(headerComment);
+    std::string line;
+    while (std::getline(lines, line)) out << "; " << line << '\n';
+  }
+  out << "; time-seconds node-id detectability\n";
+  for (const auto& event : trace.events()) {
+    out << formatFixed(event.time, 3) << ' ' << event.node << ' '
+        << formatFixed(event.detectability, 6) << '\n';
+  }
+}
+
+void writeTraceFile(const std::string& path, const FailureTrace& trace,
+                    const std::string& headerComment) {
+  std::ofstream file(path);
+  if (!file) throw ConfigError("cannot open trace output file: " + path);
+  writeTrace(file, trace, headerComment);
+}
+
+FailureTrace parseTrace(std::istream& in, int nodeCount) {
+  std::vector<FailureEvent> events;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    const auto fields = splitWhitespace(trimmed);
+    const std::string context = "trace line " + std::to_string(lineNo);
+    if (fields.size() != 3) {
+      throw ParseError(context + ": expected 3 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    FailureEvent event;
+    event.time = parseDouble(fields[0], context);
+    event.node = static_cast<NodeId>(parseInt(fields[1], context));
+    event.detectability = parseDouble(fields[2], context);
+    if (event.node < 0 || event.node >= nodeCount) {
+      throw ParseError(context + ": node id out of range");
+    }
+    if (event.detectability < 0.0 || event.detectability > 1.0) {
+      throw ParseError(context + ": detectability outside [0,1]");
+    }
+    events.push_back(event);
+  }
+  return FailureTrace(std::move(events), nodeCount);
+}
+
+FailureTrace loadTraceFile(const std::string& path, int nodeCount) {
+  std::ifstream file(path);
+  if (!file) throw ConfigError("cannot open trace file: " + path);
+  return parseTrace(file, nodeCount);
+}
+
+Severity severityByName(const std::string& name) {
+  if (name == "INFO") return Severity::Info;
+  if (name == "WARNING") return Severity::Warning;
+  if (name == "ERROR") return Severity::Error;
+  if (name == "FATAL") return Severity::Fatal;
+  throw ParseError("unknown severity: " + name);
+}
+
+void writeRawEvents(std::ostream& out, const std::vector<RawEvent>& events,
+                    const std::string& headerComment) {
+  if (!headerComment.empty()) {
+    std::istringstream lines(headerComment);
+    std::string line;
+    while (std::getline(lines, line)) out << "; " << line << '\n';
+  }
+  out << "; time-seconds node-id severity subsystem\n";
+  for (const auto& event : events) {
+    out << formatFixed(event.time, 3) << ' ' << event.node << ' '
+        << toString(event.severity) << ' ' << event.subsystem << '\n';
+  }
+}
+
+std::vector<RawEvent> parseRawEvents(std::istream& in) {
+  std::vector<RawEvent> events;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    const auto fields = splitWhitespace(trimmed);
+    const std::string context = "raw-event line " + std::to_string(lineNo);
+    if (fields.size() != 4) {
+      throw ParseError(context + ": expected 4 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    RawEvent event;
+    event.time = parseDouble(fields[0], context);
+    event.node = static_cast<NodeId>(parseInt(fields[1], context));
+    event.severity = severityByName(fields[2]);
+    event.subsystem = static_cast<std::int32_t>(parseInt(fields[3], context));
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace pqos::failure

@@ -1,0 +1,46 @@
+// Failure-trace file I/O.
+//
+// The paper's failure input is a filtered event log harvested from
+// production machines. This module defines a simple line-oriented format
+// so real logs can be supplied to any experiment and synthetic ones can be
+// archived:
+//
+//   ; comment
+//   <time-seconds> <node-id> <detectability>
+//
+// and a raw-event variant for the pre-filtering stream:
+//
+//   <time-seconds> <node-id> <severity:INFO|WARNING|ERROR|FATAL> <subsystem>
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "failure/failure_event.hpp"
+#include "failure/trace.hpp"
+
+namespace pqos::failure {
+
+/// Writes a filtered failure trace (one event per line).
+void writeTrace(std::ostream& out, const FailureTrace& trace,
+                const std::string& headerComment = "");
+void writeTraceFile(const std::string& path, const FailureTrace& trace,
+                    const std::string& headerComment = "");
+
+/// Parses a filtered failure trace; `nodeCount` bounds node ids.
+/// Throws ParseError on malformed lines.
+[[nodiscard]] FailureTrace parseTrace(std::istream& in, int nodeCount);
+[[nodiscard]] FailureTrace loadTraceFile(const std::string& path,
+                                         int nodeCount);
+
+/// Raw (pre-filter) event stream I/O.
+void writeRawEvents(std::ostream& out, const std::vector<RawEvent>& events,
+                    const std::string& headerComment = "");
+[[nodiscard]] std::vector<RawEvent> parseRawEvents(std::istream& in);
+
+/// Parses a severity name ("INFO", "WARNING", "ERROR", "FATAL");
+/// case-sensitive, throws ParseError otherwise.
+[[nodiscard]] Severity severityByName(const std::string& name);
+
+}  // namespace pqos::failure

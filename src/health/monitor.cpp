@@ -1,0 +1,128 @@
+#include "health/monitor.hpp"
+
+#include "util/error.hpp"
+
+namespace pqos::health {
+
+double MonitorStats::precision() const {
+  return (static_cast<double>(truePositives) + 1.0) /
+         (static_cast<double>(truePositives + falsePositives) + 2.0);
+}
+
+double MonitorStats::recall() const {
+  return (static_cast<double>(truePositives) + 1.0) /
+         (static_cast<double>(truePositives + missedFailures) + 2.0);
+}
+
+HealthMonitor::HealthMonitor(int nodeCount, MonitorConfig config)
+    : config_(config) {
+  require(nodeCount >= 1, "HealthMonitor: nodeCount must be >= 1");
+  require(config_.precursorWindow > 0.0,
+          "HealthMonitor: precursorWindow must be positive");
+  require(config_.alarmThreshold >= 1,
+          "HealthMonitor: alarmThreshold must be >= 1");
+  require(config_.alarmLifetime > 0.0,
+          "HealthMonitor: alarmLifetime must be positive");
+  require(config_.telemetryWeight > 0.0 && config_.telemetryWeight <= 1.0,
+          "HealthMonitor: telemetryWeight must be in (0,1]");
+  nodes_.resize(static_cast<std::size_t>(nodeCount));
+}
+
+HealthMonitor::NodeState& HealthMonitor::state(NodeId node) {
+  require(node >= 0 && node < nodeCount(),
+          "HealthMonitor: node out of range");
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+const HealthMonitor::NodeState& HealthMonitor::state(NodeId node) const {
+  require(node >= 0 && node < nodeCount(),
+          "HealthMonitor: node out of range");
+  return nodes_[static_cast<std::size_t>(node)];
+}
+
+void HealthMonitor::advanceTo(SimTime now) {
+  require(now >= now_, "HealthMonitor: time must be nondecreasing");
+  now_ = now;
+  for (auto& node : nodes_) {
+    if (node.alarm && node.alarmExpiresAt <= now_) {
+      node.alarm = false;
+      ++stats_.falsePositives;
+    }
+  }
+}
+
+void HealthMonitor::raiseAlarm(NodeState& node, SimTime time) {
+  if (node.alarm) {
+    // Re-arming extends the alarm window; still one prediction.
+    node.alarmExpiresAt = time + config_.alarmLifetime;
+    return;
+  }
+  node.alarm = true;
+  node.alarmRaisedAt = time;
+  node.alarmExpiresAt = time + config_.alarmLifetime;
+  ++stats_.alarmsRaised;
+}
+
+void HealthMonitor::ingestEvent(const failure::RawEvent& event) {
+  advanceTo(event.time);
+  ++stats_.eventsIngested;
+  if (event.severity == failure::Severity::Fatal) {
+    ingestFailure(event.time, event.node);
+    return;
+  }
+  auto& node = state(event.node);
+  node.precursors.push_back(event.time);
+  while (!node.precursors.empty() &&
+         node.precursors.front() < event.time - config_.precursorWindow) {
+    node.precursors.pop_front();
+  }
+  if (static_cast<int>(node.precursors.size()) >= config_.alarmThreshold) {
+    raiseAlarm(node, event.time);
+  }
+}
+
+void HealthMonitor::ingestSample(const TelemetrySample& sample) {
+  advanceTo(sample.time);
+  ++stats_.samplesIngested;
+  auto& node = state(sample.node);
+  if (!node.haveTemperature) {
+    node.ewmaTemperature = sample.temperatureC;
+    node.haveTemperature = true;
+  } else {
+    node.ewmaTemperature =
+        (1.0 - config_.telemetryWeight) * node.ewmaTemperature +
+        config_.telemetryWeight * sample.temperatureC;
+  }
+  if (node.ewmaTemperature > config_.hotTemperatureC) {
+    raiseAlarm(node, sample.time);
+  }
+}
+
+void HealthMonitor::ingestFailure(SimTime time, NodeId node) {
+  advanceTo(time);
+  auto& nodeState = state(node);
+  if (nodeState.alarm) {
+    ++stats_.truePositives;
+    nodeState.alarm = false;
+  } else {
+    ++stats_.missedFailures;
+  }
+  // The failure clears the precursor window: post-restart events start a
+  // fresh pattern.
+  nodeState.precursors.clear();
+}
+
+bool HealthMonitor::alarmActive(NodeId node) const {
+  const auto& nodeState = state(node);
+  return nodeState.alarm && nodeState.alarmExpiresAt > now_;
+}
+
+SimTime HealthMonitor::alarmRaisedAt(NodeId node) const {
+  return state(node).alarmRaisedAt;
+}
+
+double HealthMonitor::smoothedTemperature(NodeId node) const {
+  return state(node).ewmaTemperature;
+}
+
+}  // namespace pqos::health

@@ -1,0 +1,109 @@
+// Centralized system-health monitoring (paper §3.1).
+//
+// "The system health information for all nodes is collected at a
+// centralized location and used to provide forecasts in terms of the
+// probability of failure of a component within a certain future time
+// frame." The HealthMonitor ingests the two data feeds the paper names —
+// logical events (error messages, warnings) and physical telemetry
+// (temperatures, load) — strictly in time order, maintains per-node state,
+// and raises *alarms*: predictions that the node will fail within an alarm
+// lifetime. Outcome accounting (did an alarm precede each failure?) yields
+// the live precision/recall estimates the prediction layer turns into
+// probabilities.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "failure/failure_event.hpp"
+#include "health/telemetry.hpp"
+#include "util/types.hpp"
+
+namespace pqos::health {
+
+struct MonitorConfig {
+  /// Sliding window over which non-fatal events count as precursors.
+  Duration precursorWindow = 2.0 * kHour;
+  /// Precursor count that raises an alarm.
+  int alarmThreshold = 3;
+  /// How long an alarm stays armed before expiring as a false positive.
+  Duration alarmLifetime = 4.0 * kHour;
+  /// EWMA weight for telemetry smoothing.
+  double telemetryWeight = 0.3;
+  /// Smoothed temperature above this raises a (thermal) alarm.
+  double hotTemperatureC = 49.0;
+};
+
+/// Aggregate alarm-outcome statistics.
+struct MonitorStats {
+  std::uint64_t alarmsRaised = 0;
+  std::uint64_t truePositives = 0;   // alarm active when the node failed
+  std::uint64_t falsePositives = 0;  // alarm expired without a failure
+  std::uint64_t missedFailures = 0;  // failure with no active alarm
+  std::uint64_t eventsIngested = 0;
+  std::uint64_t samplesIngested = 0;
+
+  /// Laplace-smoothed P(failure | alarm).
+  [[nodiscard]] double precision() const;
+  /// Laplace-smoothed P(alarm | failure) — the "accuracy" of §3.2.
+  [[nodiscard]] double recall() const;
+};
+
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(int nodeCount, MonitorConfig config = {});
+
+  [[nodiscard]] int nodeCount() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] const MonitorConfig& config() const { return config_; }
+
+  /// Feeds one logical event. Events must arrive in nondecreasing time
+  /// order across all feeds. Fatal events are treated as failures for
+  /// outcome accounting (ingestFailure is equivalent).
+  void ingestEvent(const failure::RawEvent& event);
+
+  /// Feeds one physical telemetry sample (same ordering requirement).
+  void ingestSample(const TelemetrySample& sample);
+
+  /// Feeds a confirmed node failure (outcome accounting + alarm reset).
+  void ingestFailure(SimTime time, NodeId node);
+
+  /// Advances the monitor's clock, expiring stale alarms (false
+  /// positives). Called implicitly by every ingest.
+  void advanceTo(SimTime now);
+
+  /// True when `node` has an armed alarm at the monitor's current time.
+  [[nodiscard]] bool alarmActive(NodeId node) const;
+
+  /// Time the active alarm on `node` was raised; meaningless otherwise.
+  [[nodiscard]] SimTime alarmRaisedAt(NodeId node) const;
+
+  /// Smoothed temperature of `node` (base value until samples arrive).
+  [[nodiscard]] double smoothedTemperature(NodeId node) const;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+  [[nodiscard]] const MonitorStats& stats() const { return stats_; }
+
+ private:
+  struct NodeState {
+    std::deque<SimTime> precursors;  // recent non-fatal event times
+    bool alarm = false;
+    SimTime alarmRaisedAt = 0.0;
+    SimTime alarmExpiresAt = 0.0;
+    double ewmaTemperature = 0.0;
+    bool haveTemperature = false;
+  };
+
+  NodeState& state(NodeId node);
+  const NodeState& state(NodeId node) const;
+  void raiseAlarm(NodeState& node, SimTime time);
+
+  MonitorConfig config_;
+  std::vector<NodeState> nodes_;
+  SimTime now_ = 0.0;
+  MonitorStats stats_;
+};
+
+}  // namespace pqos::health

@@ -1,0 +1,115 @@
+#include "health/pattern_predictor.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pqos::health {
+
+PatternPredictor::PatternPredictor(int nodeCount,
+                                   std::span<const failure::RawEvent> rawEvents,
+                                   std::function<SimTime()> clock,
+                                   PatternPredictorConfig config)
+    : config_(config),
+      monitor_(nodeCount, config.monitor),
+      rawEvents_(rawEvents),
+      clock_(std::move(clock)) {
+  require(static_cast<bool>(clock_), "PatternPredictor: clock required");
+  require(config_.priorNodeMtbf > 0.0,
+          "PatternPredictor: priorNodeMtbf must be positive");
+  require(std::is_sorted(rawEvents_.begin(), rawEvents_.end(),
+                         [](const failure::RawEvent& a,
+                            const failure::RawEvent& b) {
+                           return a.time < b.time;
+                         }),
+          "PatternPredictor: raw events must be time-sorted");
+}
+
+void PatternPredictor::attachTelemetry(
+    std::span<const TelemetrySample> samples) {
+  require(std::is_sorted(samples.begin(), samples.end(),
+                         [](const TelemetrySample& a,
+                            const TelemetrySample& b) {
+                           return a.time < b.time;
+                         }),
+          "PatternPredictor: telemetry must be time-sorted");
+  telemetry_ = samples;
+  nextSample_ = 0;
+}
+
+void PatternPredictor::catchUp() const {
+  const SimTime now = clock_();
+  // Merge the two feeds by time, causally up to `now`. Fatal raw events
+  // are skipped: ground-truth outcomes arrive through observe() from the
+  // simulator (filtered, job-killing failures), avoiding double counting.
+  while (true) {
+    const bool haveEvent = nextEvent_ < rawEvents_.size() &&
+                           rawEvents_[nextEvent_].time <= now;
+    const bool haveSample = nextSample_ < telemetry_.size() &&
+                            telemetry_[nextSample_].time <= now;
+    if (!haveEvent && !haveSample) break;
+    const bool eventFirst =
+        haveEvent && (!haveSample || rawEvents_[nextEvent_].time <=
+                                         telemetry_[nextSample_].time);
+    if (eventFirst) {
+      const auto& event = rawEvents_[nextEvent_++];
+      if (event.severity != failure::Severity::Fatal) {
+        monitor_.ingestEvent(event);
+      }
+    } else {
+      monitor_.ingestSample(telemetry_[nextSample_++]);
+    }
+  }
+  if (monitor_.now() < now) monitor_.advanceTo(now);
+}
+
+void PatternPredictor::observe(const failure::FailureEvent& event) {
+  catchUp();
+  monitor_.ingestFailure(event.time, event.node);
+}
+
+double PatternPredictor::nodeRisk(NodeId node, SimTime t0, SimTime t1) const {
+  catchUp();
+  const SimTime now = monitor_.now();
+  if (!monitor_.alarmActive(node)) return 0.0;
+  // An armed alarm predicts a failure within the alarm lifetime; outside
+  // that horizon the monitor is silent (no false positives by fiat, like
+  // the paper's predictor when nothing is foreseen).
+  const SimTime horizonEnd = now + config_.monitor.alarmLifetime;
+  const bool overlaps = t0 < horizonEnd && t1 > now;
+  return overlaps ? monitor_.stats().precision() : 0.0;
+}
+
+double PatternPredictor::partitionFailureProbability(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  double survive = 1.0;
+  for (const NodeId node : nodes) {
+    survive *= 1.0 - nodeRisk(node, t0, t1);
+  }
+  return 1.0 - survive;
+}
+
+std::optional<SimTime> PatternPredictor::firstPredictedFailure(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  catchUp();
+  const SimTime now = monitor_.now();
+  const SimTime horizonEnd = now + config_.monitor.alarmLifetime;
+  bool any = false;
+  for (const NodeId node : nodes) {
+    if (monitor_.alarmActive(node)) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return std::nullopt;
+  const SimTime predicted = std::max(t0, now);
+  if (predicted >= t1 || predicted >= horizonEnd) return std::nullopt;
+  return predicted;
+}
+
+double PatternPredictor::accuracy() const {
+  catchUp();
+  return monitor_.stats().recall();
+}
+
+}  // namespace pqos::health

@@ -1,0 +1,70 @@
+#include "health/telemetry.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::health {
+
+std::vector<TelemetrySample> generateTelemetry(
+    const std::vector<failure::RawEvent>& rawEvents, int nodeCount,
+    Duration span, const TelemetryConfig& config, std::uint64_t seed) {
+  require(nodeCount >= 1, "generateTelemetry: nodeCount must be >= 1");
+  require(span > 0.0, "generateTelemetry: span must be positive");
+  require(config.cadence > 0.0, "generateTelemetry: cadence must be positive");
+  require(config.saturationEvents >= 1,
+          "generateTelemetry: saturationEvents must be >= 1");
+
+  // Per-node sorted event times for the activity window query.
+  std::vector<std::vector<SimTime>> eventTimes(
+      static_cast<std::size_t>(nodeCount));
+  for (const auto& event : rawEvents) {
+    require(event.node >= 0 && event.node < nodeCount,
+            "generateTelemetry: raw event node out of range");
+    eventTimes[static_cast<std::size_t>(event.node)].push_back(event.time);
+  }
+  for (auto& times : eventTimes) {
+    require(std::is_sorted(times.begin(), times.end()),
+            "generateTelemetry: raw events must be time-sorted");
+  }
+
+  Rng master(seed);
+  std::vector<TelemetrySample> samples;
+  samples.reserve(static_cast<std::size_t>(span / config.cadence) *
+                  static_cast<std::size_t>(nodeCount));
+  for (NodeId n = 0; n < nodeCount; ++n) {
+    Rng rng = master.fork(static_cast<std::uint64_t>(n) + 0x7e1e);
+    const auto& times = eventTimes[static_cast<std::size_t>(n)];
+    std::size_t lo = 0;  // first event within the trailing window
+    std::size_t hi = 0;  // first event after `t`
+    // Stagger node phases so cluster-wide sampling is not synchronized.
+    for (SimTime t = rng.uniform(0.0, config.cadence); t < span;
+         t += config.cadence) {
+      while (hi < times.size() && times[hi] <= t) ++hi;
+      while (lo < hi && times[lo] < t - config.activityWindow) ++lo;
+      const auto activity = static_cast<int>(hi - lo);
+      const double saturation =
+          std::min(1.0, static_cast<double>(activity) /
+                            static_cast<double>(config.saturationEvents));
+      TelemetrySample sample;
+      sample.time = t;
+      sample.node = n;
+      sample.temperatureC = config.baseTemperatureC +
+                            config.sickTemperatureBoostC * saturation +
+                            rng.normal(0.0, config.temperatureNoiseC);
+      sample.loadFraction = std::clamp(
+          config.baseLoad + 0.4 * saturation + rng.normal(0.0, config.loadNoise),
+          0.0, 1.0);
+      samples.push_back(sample);
+    }
+  }
+  std::stable_sort(samples.begin(), samples.end(),
+                   [](const TelemetrySample& a, const TelemetrySample& b) {
+                     return a.time < b.time;
+                   });
+  return samples;
+}
+
+}  // namespace pqos::health

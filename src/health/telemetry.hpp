@@ -1,0 +1,48 @@
+// System-health telemetry (paper §3.1).
+//
+// The paper's health-monitoring mechanism "has access to both physical and
+// logical data about the state of the machine, including information such
+// as node temperatures, power consumption, error messages, problem flags".
+// This module synthesizes the *physical* side: periodic per-node sensor
+// samples whose excursions correlate with the node's raw-event activity
+// (sick nodes run hot and loaded), so health models have a real signal to
+// learn from.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "failure/failure_event.hpp"
+#include "util/types.hpp"
+
+namespace pqos::health {
+
+struct TelemetrySample {
+  SimTime time = 0.0;
+  NodeId node = kInvalidNode;
+  double temperatureC = 0.0;
+  double loadFraction = 0.0;  // [0, 1]
+};
+
+struct TelemetryConfig {
+  Duration cadence = 15.0 * kMinute;  // sampling period per node
+  double baseTemperatureC = 42.0;
+  double temperatureNoiseC = 1.2;
+  /// Added on top of base when the node has recent raw-event activity.
+  double sickTemperatureBoostC = 9.0;
+  /// Window over which raw events count as "recent activity".
+  Duration activityWindow = 2.0 * kHour;
+  /// Activity count that saturates the boost.
+  int saturationEvents = 5;
+  double baseLoad = 0.45;
+  double loadNoise = 0.15;
+};
+
+/// Generates per-node sensor series over [0, span), correlated with the
+/// given (time-sorted) raw-event stream. Deterministic in (inputs, seed).
+/// Samples are returned sorted by time.
+[[nodiscard]] std::vector<TelemetrySample> generateTelemetry(
+    const std::vector<failure::RawEvent>& rawEvents, int nodeCount,
+    Duration span, const TelemetryConfig& config, std::uint64_t seed);
+
+}  // namespace pqos::health

@@ -1,0 +1,66 @@
+// Event-prediction interface (paper §3.2).
+//
+// The prediction algorithm "is given a set (partition) of nodes and a time
+// window, and returns the estimated probability of failure". The scheduler
+// additionally uses per-node risk scores to break ties among otherwise
+// equivalent partitions, and the negotiator steps candidate start times
+// past predicted failures.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "failure/failure_event.hpp"
+#include "util/types.hpp"
+
+namespace pqos::predict {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Estimated probability that the partition fails within [t0, t1).
+  [[nodiscard]] virtual double partitionFailureProbability(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const = 0;
+
+  /// Risk score of a single node over [t0, t1); lower is safer. Used for
+  /// fault-aware partition selection.
+  [[nodiscard]] virtual double nodeRisk(NodeId node, SimTime t0,
+                                        SimTime t1) const = 0;
+
+  /// Time of the first *predicted* failure on any of `nodes` in [t0, t1),
+  /// if one is foreseen; lets the negotiator propose deadlines that step
+  /// past predicted trouble.
+  [[nodiscard]] virtual std::optional<SimTime> firstPredictedFailure(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const = 0;
+
+  /// Advertised accuracy a in [0, 1] (fraction of failures foreseen).
+  [[nodiscard]] virtual double accuracy() const = 0;
+
+  /// Online predictors learn from failures as they occur; the simulator
+  /// feeds every node failure through this hook in time order. Offline
+  /// (trace-replay) predictors ignore it.
+  virtual void observe(const failure::FailureEvent& /*event*/) {}
+};
+
+/// The no-forecasting baseline: predicts nothing, so every quote promises
+/// success with probability 1 and scheduling degenerates to fault-oblivious
+/// tie-breaking.
+class NullPredictor final : public Predictor {
+ public:
+  [[nodiscard]] double partitionFailureProbability(std::span<const NodeId>,
+                                                   SimTime,
+                                                   SimTime) const override {
+    return 0.0;
+  }
+  [[nodiscard]] double nodeRisk(NodeId, SimTime, SimTime) const override {
+    return 0.0;
+  }
+  [[nodiscard]] std::optional<SimTime> firstPredictedFailure(
+      std::span<const NodeId>, SimTime, SimTime) const override {
+    return std::nullopt;
+  }
+  [[nodiscard]] double accuracy() const override { return 0.0; }
+};
+
+}  // namespace pqos::predict

@@ -1,0 +1,90 @@
+#include "predict/statistical_predictor.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::predict {
+
+StatisticalPredictor::StatisticalPredictor(int nodeCount,
+                                           StatisticalPredictorConfig config)
+    : config_(config) {
+  require(nodeCount >= 1, "StatisticalPredictor: nodeCount must be >= 1");
+  require(config_.priorNodeMtbf > 0.0,
+          "StatisticalPredictor: priorNodeMtbf must be positive");
+  require(config_.gapWeight > 0.0 && config_.gapWeight <= 1.0,
+          "StatisticalPredictor: gapWeight must be in (0,1]");
+  require(config_.sicknessBoost >= 1.0,
+          "StatisticalPredictor: sicknessBoost must be >= 1");
+  require(config_.sicknessDecay > 0.0,
+          "StatisticalPredictor: sicknessDecay must be positive");
+  NodeBelief prior;
+  prior.ewmaGap = config_.priorNodeMtbf;
+  beliefs_.assign(static_cast<std::size_t>(nodeCount), prior);
+}
+
+void StatisticalPredictor::observe(const failure::FailureEvent& event) {
+  require(event.time >= lastObserved_,
+          "StatisticalPredictor::observe: events must arrive in time order");
+  lastObserved_ = event.time;
+  require(event.node >= 0 &&
+              static_cast<std::size_t>(event.node) < beliefs_.size(),
+          "StatisticalPredictor::observe: node out of range");
+  auto& belief = beliefs_[static_cast<std::size_t>(event.node)];
+  if (belief.observed > 0) {
+    const double gap = event.time - belief.lastFailure;
+    belief.ewmaGap = (1.0 - config_.gapWeight) * belief.ewmaGap +
+                     config_.gapWeight * std::max(gap, 1.0);
+  }
+  belief.lastFailure = event.time;
+  ++belief.observed;
+}
+
+double StatisticalPredictor::hazard(NodeId node, SimTime t) const {
+  require(node >= 0 && static_cast<std::size_t>(node) < beliefs_.size(),
+          "StatisticalPredictor::hazard: node out of range");
+  const auto& belief = beliefs_[static_cast<std::size_t>(node)];
+  const double base = 1.0 / belief.ewmaGap;
+  if (belief.lastFailure <= -kTimeInfinity / 2.0 || t < belief.lastFailure) {
+    return base;
+  }
+  const double sick =
+      1.0 + (config_.sicknessBoost - 1.0) *
+                std::exp(-(t - belief.lastFailure) / config_.sicknessDecay);
+  return base * sick;
+}
+
+double StatisticalPredictor::nodeRisk(NodeId node, SimTime t0,
+                                      SimTime t1) const {
+  require(t1 >= t0, "StatisticalPredictor::nodeRisk: inverted window");
+  // Integrate the (piecewise-smooth) hazard with the midpoint rule; the
+  // sickness term decays slowly relative to typical windows, so a single
+  // midpoint sample is adequate and cheap.
+  const double lambda = hazard(node, 0.5 * (t0 + t1));
+  return 1.0 - std::exp(-lambda * (t1 - t0));
+}
+
+double StatisticalPredictor::partitionFailureProbability(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  double survive = 1.0;
+  for (const NodeId node : nodes) {
+    survive *= 1.0 - nodeRisk(node, t0, t1);
+  }
+  return 1.0 - survive;
+}
+
+std::optional<SimTime> StatisticalPredictor::firstPredictedFailure(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  // The hazard model predicts rates, not discrete events. Report the
+  // expected first-failure time when it lands inside the window.
+  double lambda = 0.0;
+  for (const NodeId node : nodes) {
+    lambda += hazard(node, 0.5 * (t0 + t1));
+  }
+  if (lambda <= 0.0) return std::nullopt;
+  const SimTime expected = t0 + 1.0 / lambda;
+  if (expected >= t1) return std::nullopt;
+  return expected;
+}
+
+}  // namespace pqos::predict

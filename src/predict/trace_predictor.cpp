@@ -1,0 +1,74 @@
+#include "predict/trace_predictor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::predict {
+
+TracePredictor::TracePredictor(const failure::FailureTrace& trace,
+                               double accuracy)
+    : trace_(&trace), accuracy_(accuracy) {
+  require(accuracy >= 0.0 && accuracy <= 1.0,
+          "TracePredictor: accuracy must be in [0,1]");
+}
+
+void TracePredictor::enableHorizonDecay(Duration tau,
+                                        std::function<SimTime()> clock) {
+  require(tau > 0.0, "TracePredictor: decay tau must be positive");
+  require(static_cast<bool>(clock), "TracePredictor: decay needs a clock");
+  horizonDecay_ = tau;
+  clock_ = std::move(clock);
+}
+
+double TracePredictor::thresholdAt(SimTime eventTime) const {
+  if (horizonDecay_ == kTimeInfinity || !clock_) return accuracy_;
+  const SimTime now = clock_();
+  const Duration horizon = std::max(0.0, eventTime - now);
+  return accuracy_ * std::exp(-horizon / horizonDecay_);
+}
+
+std::optional<failure::FailureEvent> TracePredictor::firstForeseen(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  if (horizonDecay_ == kTimeInfinity || !clock_) {
+    return trace_->firstDetectable(nodes, t0, t1, accuracy_);
+  }
+  // Horizon decay makes the threshold event-time dependent; scan each
+  // node's events in the window directly.
+  std::optional<failure::FailureEvent> best;
+  for (const NodeId node : nodes) {
+    for (const std::size_t idx : trace_->nodeEvents(node)) {
+      const auto& event = trace_->events()[idx];
+      if (event.time < t0) continue;
+      if (event.time >= t1) break;
+      if (best && event.time >= best->time) break;
+      if (event.detectability <= thresholdAt(event.time)) {
+        best = event;
+        break;
+      }
+    }
+  }
+  return best;
+}
+
+double TracePredictor::partitionFailureProbability(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  const auto hit = firstForeseen(nodes, t0, t1);
+  return hit ? hit->detectability : 0.0;
+}
+
+double TracePredictor::nodeRisk(NodeId node, SimTime t0, SimTime t1) const {
+  const NodeId single[] = {node};
+  const auto hit = firstForeseen(single, t0, t1);
+  return hit ? hit->detectability : 0.0;
+}
+
+std::optional<SimTime> TracePredictor::firstPredictedFailure(
+    std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  const auto hit = firstForeseen(nodes, t0, t1);
+  if (!hit) return std::nullopt;
+  return hit->time;
+}
+
+}  // namespace pqos::predict

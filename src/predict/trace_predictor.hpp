@@ -1,0 +1,63 @@
+// The paper's deterministic trace-replay predictor (§4.3).
+//
+// Each failure in the log carries a static detectability px ~ U(0,1).
+// Queried over a partition and window, the predictor scans the partition's
+// failures in time order; the first with px <= a is "foreseen" and its px
+// is returned as the probability of failure. Otherwise 0 is returned.
+// Consequences the paper calls out, preserved here exactly:
+//   * the false-positive rate is 0 and the false-negative rate is 1 - a;
+//   * the returned probability never exceeds a (a low-accuracy predictor
+//     must not make high-confidence predictions).
+//
+// Extension (off by default): forecast-horizon decay. The paper notes that
+// "in practice, predictions are less accurate as they stretch further into
+// the future" but models constant accuracy. With a finite `horizonDecay`
+// tau and a clock, the effective detection threshold for an event h
+// seconds ahead of now becomes a * exp(-h / tau) (ablation A8).
+#pragma once
+
+#include <functional>
+
+#include "failure/trace.hpp"
+#include "predict/predictor.hpp"
+
+namespace pqos::predict {
+
+class TracePredictor final : public Predictor {
+ public:
+  /// `trace` must outlive the predictor. Requires a in [0, 1].
+  TracePredictor(const failure::FailureTrace& trace, double accuracy);
+
+  /// Enables forecast-horizon decay: effective accuracy for an event at
+  /// time te is accuracy * exp(-max(0, te - clock()) / tau).
+  void enableHorizonDecay(Duration tau, std::function<SimTime()> clock);
+
+  [[nodiscard]] double partitionFailureProbability(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const override;
+
+  /// Node risk = detectability of the node's first foreseen failure in the
+  /// window (0 when none): safer nodes rank lower, and among two risky
+  /// nodes the one whose predicted failure is more certain ranks higher.
+  [[nodiscard]] double nodeRisk(NodeId node, SimTime t0,
+                                SimTime t1) const override;
+
+  [[nodiscard]] std::optional<SimTime> firstPredictedFailure(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const override;
+
+  [[nodiscard]] double accuracy() const override { return accuracy_; }
+
+ private:
+  /// Earliest event on `nodes` in [t0, t1) whose detectability clears the
+  /// (possibly horizon-decayed) threshold.
+  [[nodiscard]] std::optional<failure::FailureEvent> firstForeseen(
+      std::span<const NodeId> nodes, SimTime t0, SimTime t1) const;
+
+  [[nodiscard]] double thresholdAt(SimTime eventTime) const;
+
+  const failure::FailureTrace* trace_;
+  double accuracy_;
+  Duration horizonDecay_ = kTimeInfinity;
+  std::function<SimTime()> clock_;
+};
+
+}  // namespace pqos::predict

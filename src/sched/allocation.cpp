@@ -1,0 +1,55 @@
+#include "sched/allocation.hpp"
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::sched {
+
+AllocationPolicy allocationPolicyByName(const std::string& name) {
+  if (name == "lowest-risk") return AllocationPolicy::LowestRisk;
+  if (name == "first-fit") return AllocationPolicy::FirstFit;
+  if (name == "random") return AllocationPolicy::Random;
+  throw ConfigError("unknown allocation policy: " + name +
+                    " (expected lowest-risk|first-fit|random)");
+}
+
+const char* toString(AllocationPolicy policy) {
+  switch (policy) {
+    case AllocationPolicy::LowestRisk: return "lowest-risk";
+    case AllocationPolicy::FirstFit: return "first-fit";
+    case AllocationPolicy::Random: return "random";
+  }
+  return "?";
+}
+
+RankerFactory makeRankerFactory(AllocationPolicy policy,
+                                const predict::Predictor& predictor,
+                                std::uint64_t salt) {
+  switch (policy) {
+    case AllocationPolicy::LowestRisk:
+      return [&predictor](SimTime start, SimTime end) {
+        return [&predictor, start, end](NodeId node) {
+          return predictor.nodeRisk(node, start, end);
+        };
+      };
+    case AllocationPolicy::FirstFit:
+      return [](SimTime, SimTime) {
+        return [](NodeId node) { return static_cast<double>(node); };
+      };
+    case AllocationPolicy::Random:
+      return [salt](SimTime start, SimTime) {
+        // Hash (node, window start, salt): deterministic across runs yet
+        // uncorrelated with node ids or risk.
+        const auto bits = static_cast<std::uint64_t>(start * 1024.0);
+        return [salt, bits](NodeId node) {
+          std::uint64_t state =
+              salt ^ (bits * 0x9e3779b97f4a7c15ULL) ^
+              (static_cast<std::uint64_t>(node) * 0xbf58476d1ce4e5b9ULL);
+          return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
+        };
+      };
+  }
+  throw LogicError("makeRankerFactory: unhandled policy");
+}
+
+}  // namespace pqos::sched

@@ -1,0 +1,33 @@
+// Node-selection (allocation) policies: how the scheduler ranks eligible
+// nodes when carving a partition.
+//
+// The paper's fault-aware scheduler "uses event prediction to break ties
+// among otherwise equivalent partitions", minimizing the probability that
+// the partition fails during the reservation. LowestRisk realizes that;
+// FirstFit and Random are the fault-oblivious baselines for the A3
+// ablation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/topology.hpp"
+#include "predict/predictor.hpp"
+#include "sched/reservation_book.hpp"
+
+namespace pqos::sched {
+
+enum class AllocationPolicy { LowestRisk, FirstFit, Random };
+
+[[nodiscard]] AllocationPolicy allocationPolicyByName(const std::string& name);
+[[nodiscard]] const char* toString(AllocationPolicy policy);
+
+/// Builds the RankerFactory findSlot() consumes. LowestRisk ranks by the
+/// predictor's per-node risk over the candidate window (ties by node id);
+/// FirstFit ranks by node id; Random ranks by a deterministic hash of
+/// (node, salt) so runs remain reproducible.
+[[nodiscard]] RankerFactory makeRankerFactory(AllocationPolicy policy,
+                                              const predict::Predictor& predictor,
+                                              std::uint64_t salt);
+
+}  // namespace pqos::sched

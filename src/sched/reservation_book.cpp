@@ -1,0 +1,241 @@
+#include "sched/reservation_book.hpp"
+
+#include <algorithm>
+
+
+#include "util/error.hpp"
+
+namespace pqos::sched {
+
+ReservationBook::ReservationBook(int nodeCount) {
+  require(nodeCount >= 1, "ReservationBook: nodeCount must be >= 1");
+  timelines_.resize(static_cast<std::size_t>(nodeCount));
+}
+
+std::vector<ReservationBook::Interval>& ReservationBook::timeline(
+    NodeId node) {
+  require(node >= 0 && node < nodeCount(),
+          "ReservationBook: node out of range");
+  return timelines_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<ReservationBook::Interval>& ReservationBook::timeline(
+    NodeId node) const {
+  require(node >= 0 && node < nodeCount(),
+          "ReservationBook: node out of range");
+  return timelines_[static_cast<std::size_t>(node)];
+}
+
+bool ReservationBook::nodeFree(NodeId node, SimTime t0, SimTime t1) const {
+  require(t0 <= t1, "ReservationBook::nodeFree: inverted window");
+  const auto& line = timeline(node);
+  // First interval whose end is beyond t0; free iff it starts at/after t1.
+  const auto it = std::upper_bound(
+      line.begin(), line.end(), t0,
+      [](SimTime t, const Interval& iv) { return t < iv.end; });
+  return it == line.end() || it->start >= t1;
+}
+
+std::optional<ReservationBook::Slot> ReservationBook::findSlot(
+    SimTime notBefore, int count, Duration duration,
+    const cluster::Topology& topology, const RankerFactory& rankerAt) const {
+  require(count >= 1, "ReservationBook::findSlot: count must be >= 1");
+  require(duration > 0.0, "ReservationBook::findSlot: duration must be > 0");
+  if (count > nodeCount()) return std::nullopt;
+
+  // Candidate start times: notBefore plus every reservation end after it.
+  // After the last end every node is free, so the search always terminates
+  // for feasible topologies.
+  std::vector<SimTime> candidates;
+  candidates.push_back(notBefore);
+  for (const auto& line : timelines_) {
+    for (const auto& interval : line) {
+      if (interval.end > notBefore) candidates.push_back(interval.end);
+    }
+  }
+  std::sort(candidates.begin(), candidates.end());
+  candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                   candidates.end());
+
+  const auto gatherAndSelect =
+      [&](SimTime t) -> std::optional<Slot> {
+    std::vector<NodeId> available;
+    available.reserve(timelines_.size());
+    for (NodeId n = 0; n < nodeCount(); ++n) {
+      if (nodeFree(n, t, t + duration)) available.push_back(n);
+    }
+    if (static_cast<int>(available.size()) < count) return std::nullopt;
+    auto partition =
+        topology.select(available, count, rankerAt(t, t + duration));
+    if (!partition) return std::nullopt;
+    return Slot{t, std::move(*partition)};
+  };
+
+  if (topology.anySubsetValid()) {
+    // Counting fast path: a node is blocked for candidate t iff one of its
+    // reservations satisfies start < t + duration && end > t, i.e. t lies
+    // in the open region (start - duration, end). Merge each node's
+    // expanded regions, then sweep the candidate times against activation
+    // (> start - duration) and deactivation (>= end) events. The earliest
+    // candidate with enough unblocked nodes is the slot.
+    std::vector<SimTime> activate;
+    std::vector<SimTime> deactivate;
+    for (const auto& line : timelines_) {
+      SimTime regionStart = 0.0;
+      SimTime regionEnd = -kTimeInfinity;
+      for (const auto& interval : line) {
+        if (interval.end <= notBefore) continue;
+        const SimTime lo = interval.start - duration;
+        if (regionEnd < lo) {  // disjoint: flush previous region
+          if (regionEnd > -kTimeInfinity) {
+            activate.push_back(regionStart);
+            deactivate.push_back(regionEnd);
+          }
+          regionStart = lo;
+          regionEnd = interval.end;
+        } else {
+          regionEnd = std::max(regionEnd, interval.end);
+        }
+      }
+      if (regionEnd > -kTimeInfinity) {
+        activate.push_back(regionStart);
+        deactivate.push_back(regionEnd);
+      }
+    }
+    std::sort(activate.begin(), activate.end());
+    std::sort(deactivate.begin(), deactivate.end());
+    std::size_t ia = 0;
+    std::size_t id = 0;
+    for (const SimTime t : candidates) {
+      while (ia < activate.size() && activate[ia] < t) ++ia;
+      while (id < deactivate.size() && deactivate[id] <= t) ++id;
+      const auto blocked = static_cast<int>(ia - id);
+      if (nodeCount() - blocked < count) continue;
+      auto slot = gatherAndSelect(t);
+      require(slot.has_value(),
+              "ReservationBook::findSlot: sweep/availability mismatch");
+      return slot;
+    }
+    return std::nullopt;  // count > nodeCount was excluded above
+  }
+
+  for (const SimTime t : candidates) {
+    if (auto slot = gatherAndSelect(t)) return slot;
+  }
+  // All reservations exhausted: the machine is empty at the horizon. The
+  // topology still refused (e.g. count exceeds what it can ever host).
+  return std::nullopt;
+}
+
+void ReservationBook::insertInterval(NodeId node, Interval interval,
+                                     bool allowTrim) {
+  auto& line = timeline(node);
+  auto it = std::lower_bound(line.begin(), line.end(), interval.start,
+                             [](const Interval& iv, SimTime t) {
+                               return iv.start < t;
+                             });
+  // Check neighbors for overlap.
+  if (it != line.begin()) {
+    const auto& prev = *std::prev(it);
+    if (prev.end > interval.start) {
+      require(allowTrim, "ReservationBook: overlapping reservation (prev)");
+      interval.start = prev.end;
+    }
+  }
+  if (it != line.end() && it->start < interval.end) {
+    require(allowTrim, "ReservationBook: overlapping reservation (next)");
+    interval.end = it->start;
+  }
+  if (interval.start >= interval.end) return;  // fully trimmed away
+  line.insert(it, interval);
+}
+
+void ReservationBook::reserve(JobId owner, const cluster::Partition& partition,
+                              SimTime start, SimTime end) {
+  require(owner >= 0, "ReservationBook::reserve: invalid owner");
+  require(start < end, "ReservationBook::reserve: empty window");
+  for (const NodeId node : partition) {
+    insertInterval(node, Interval{start, end, owner}, /*allowTrim=*/false);
+  }
+  auto& nodes = ownerNodes_[owner];
+  nodes.insert(nodes.end(), partition.begin(), partition.end());
+}
+
+void ReservationBook::reserveBestEffort(JobId owner,
+                                        const cluster::Partition& partition,
+                                        SimTime start, SimTime end) {
+  require(owner >= 0, "ReservationBook::reserveBestEffort: invalid owner");
+  require(start < end, "ReservationBook::reserveBestEffort: empty window");
+  for (const NodeId node : partition) {
+    insertInterval(node, Interval{start, end, owner}, /*allowTrim=*/true);
+  }
+  auto& nodes = ownerNodes_[owner];
+  nodes.insert(nodes.end(), partition.begin(), partition.end());
+}
+
+void ReservationBook::release(JobId owner) {
+  const auto it = ownerNodes_.find(owner);
+  if (it == ownerNodes_.end()) return;
+  for (const NodeId node : it->second) {
+    auto& line = timeline(node);
+    line.erase(std::remove_if(
+                   line.begin(), line.end(),
+                   [owner](const Interval& iv) { return iv.owner == owner; }),
+               line.end());
+  }
+  ownerNodes_.erase(it);
+}
+
+void ReservationBook::reserveDowntime(NodeId node, SimTime start,
+                                      SimTime end) {
+  if (start >= end) return;
+  insertInterval(node, Interval{start, end, kDowntimeOwner},
+                 /*allowTrim=*/true);
+}
+
+void ReservationBook::prune(SimTime before) {
+  for (auto& line : timelines_) {
+    line.erase(std::remove_if(line.begin(), line.end(),
+                              [before](const Interval& iv) {
+                                return iv.end <= before;
+                              }),
+               line.end());
+  }
+  // ownerNodes_ entries whose intervals were all pruned become harmless:
+  // release() tolerates nodes without matching intervals. Clean the map of
+  // owners with no remaining intervals to bound its growth.
+  for (auto it = ownerNodes_.begin(); it != ownerNodes_.end();) {
+    bool any = false;
+    for (const NodeId node : it->second) {
+      const auto& line = timeline(node);
+      if (std::any_of(line.begin(), line.end(), [&](const Interval& iv) {
+            return iv.owner == it->first;
+          })) {
+        any = true;
+        break;
+      }
+    }
+    it = any ? std::next(it) : ownerNodes_.erase(it);
+  }
+}
+
+std::size_t ReservationBook::intervalCount() const {
+  std::size_t total = 0;
+  for (const auto& line : timelines_) total += line.size();
+  return total;
+}
+
+void ReservationBook::checkConsistency() const {
+  for (const auto& line : timelines_) {
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      require(line[i].start < line[i].end,
+              "ReservationBook: empty interval");
+      if (i > 0) {
+        require(line[i - 1].end <= line[i].start,
+                "ReservationBook: overlapping or unsorted intervals");
+      }
+    }
+  }
+}
+
+}  // namespace pqos::sched

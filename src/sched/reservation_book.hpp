@@ -1,0 +1,109 @@
+// ReservationBook: per-node timelines of committed reservations.
+//
+// The paper's scheduler is FCFS with backfilling where "jobs that have
+// already been scheduled for later execution retain their scheduled
+// partition" and no dynamic re-optimization follows a failure. That is
+// conservative backfilling with concrete node assignments: every job is
+// planned (start time + partition) when it arrives, later jobs slot into
+// earlier holes only when they do not disturb committed reservations, and
+// a failed job is re-planned around the commitments of everyone else.
+//
+// The book answers the central query of both scheduling and negotiation:
+// "from time t onward, when is the earliest slot where `count` nodes are
+// simultaneously free for `duration`, and which nodes should be used?"
+// Node choice is delegated to a Topology plus a NodeRanker so fault-aware
+// selection (predictor risk) and fault-oblivious baselines share one code
+// path.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/partition.hpp"
+#include "cluster/topology.hpp"
+#include "util/types.hpp"
+
+namespace pqos::sched {
+
+/// Pseudo-job id used to reserve a node's failure downtime window.
+inline constexpr JobId kDowntimeOwner = -2;
+
+/// Builds a NodeRanker for a concrete candidate window; negotiation asks
+/// for rankers at several different start times.
+using RankerFactory =
+    std::function<cluster::NodeRanker(SimTime start, SimTime end)>;
+
+class ReservationBook {
+ public:
+  explicit ReservationBook(int nodeCount);
+
+  [[nodiscard]] int nodeCount() const {
+    return static_cast<int>(timelines_.size());
+  }
+
+  struct Slot {
+    SimTime start = 0.0;
+    cluster::Partition partition;
+  };
+
+  /// Earliest slot at or after `notBefore` where `count` nodes are free
+  /// for `duration` and the topology admits a partition; the ranker picks
+  /// among eligible nodes. Returns nullopt only when the topology can
+  /// never host `count` nodes.
+  [[nodiscard]] std::optional<Slot> findSlot(
+      SimTime notBefore, int count, Duration duration,
+      const cluster::Topology& topology, const RankerFactory& rankerAt) const;
+
+  /// Commits [start, end) on every node of `partition` for `owner`.
+  /// The window must not overlap existing reservations on those nodes.
+  void reserve(JobId owner, const cluster::Partition& partition, SimTime start,
+               SimTime end);
+
+  /// Like reserve(), but trims the window around existing reservations
+  /// instead of failing on overlap. Used for planning-level adjustments
+  /// (dispatch-time node substitution) where physical occupancy is
+  /// enforced by the dispatcher, not the book.
+  void reserveBestEffort(JobId owner, const cluster::Partition& partition,
+                         SimTime start, SimTime end);
+
+  /// Removes every reservation held by `owner` (job completion, failure
+  /// replanning). No-op when the owner holds nothing.
+  void release(JobId owner);
+
+  /// Reserves a downtime window on one node; overlapping an existing
+  /// reservation is tolerated (the failure preempted it) by trimming the
+  /// downtime to the free region; planning-level only.
+  void reserveDowntime(NodeId node, SimTime start, SimTime end);
+
+  /// True when `node` has no reservation intersecting [t0, t1).
+  [[nodiscard]] bool nodeFree(NodeId node, SimTime t0, SimTime t1) const;
+
+  /// Drops reservations ending at or before `before` (bookkeeping only;
+  /// keeps timelines short over long simulations).
+  void prune(SimTime before);
+
+  /// Total live reservation intervals (for tests and stats).
+  [[nodiscard]] std::size_t intervalCount() const;
+
+  /// Verifies per-node timelines are sorted and non-overlapping.
+  void checkConsistency() const;
+
+ private:
+  struct Interval {
+    SimTime start;
+    SimTime end;
+    JobId owner;
+  };
+
+  std::vector<Interval>& timeline(NodeId node);
+  [[nodiscard]] const std::vector<Interval>& timeline(NodeId node) const;
+
+  void insertInterval(NodeId node, Interval interval, bool allowTrim);
+
+  std::vector<std::vector<Interval>> timelines_;  // sorted by start
+  std::unordered_map<JobId, std::vector<NodeId>> ownerNodes_;
+};
+
+}  // namespace pqos::sched

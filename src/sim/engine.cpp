@@ -1,0 +1,38 @@
+#include "sim/engine.hpp"
+
+#include "util/error.hpp"
+
+namespace pqos::sim {
+
+EventId Engine::scheduleAt(SimTime at, EventFn fn) {
+  require(at >= now_, "Engine::scheduleAt: time is in the past");
+  return queue_.schedule(at, std::move(fn));
+}
+
+EventId Engine::scheduleAfter(Duration delay, EventFn fn) {
+  require(delay >= 0.0, "Engine::scheduleAfter: negative delay");
+  return queue_.schedule(now_ + delay, std::move(fn));
+}
+
+bool Engine::cancel(EventId id) { return queue_.cancel(id); }
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  require(fired.time >= now_, "Engine::step: time went backwards");
+  now_ = fired.time;
+  ++fired_;
+  fired.fn();
+  return true;
+}
+
+void Engine::run(SimTime until) {
+  stopRequested_ = false;
+  while (!stopRequested_) {
+    const SimTime next = queue_.nextTime();
+    if (next == kTimeInfinity || next > until) break;
+    (void)step();
+  }
+}
+
+}  // namespace pqos::sim

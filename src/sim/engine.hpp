@@ -1,0 +1,54 @@
+// The discrete-event simulation engine: a clock plus a cancellable event
+// queue. Components schedule callbacks at absolute or relative times; the
+// engine fires them in deterministic (time, insertion) order.
+//
+// Matches the paper's simulator structure (§4.1): arrival, start, finish,
+// failure, recovery, checkpoint-start and checkpoint-finish events are all
+// expressed as scheduled callbacks by the higher layers.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "util/types.hpp"
+
+namespace pqos::sim {
+
+class Engine {
+ public:
+  /// Current simulation time. Starts at 0.
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `at`; `at` must be >= now().
+  EventId scheduleAt(SimTime at, EventFn fn);
+
+  /// Schedules `fn` after `delay` seconds; `delay` must be >= 0.
+  EventId scheduleAfter(Duration delay, EventFn fn);
+
+  /// Cancels a pending event; benign if it already fired.
+  bool cancel(EventId id);
+
+  /// Fires the next event; returns false when no events remain.
+  bool step();
+
+  /// Runs until the queue drains or the (optional) time bound is passed.
+  /// Events exactly at `until` still fire.
+  void run(SimTime until = kTimeInfinity);
+
+  /// Requests run() to return after the current event completes.
+  void stop() { stopRequested_ = true; }
+
+  [[nodiscard]] bool empty() { return queue_.empty(); }
+  [[nodiscard]] std::uint64_t firedCount() const { return fired_; }
+  [[nodiscard]] std::uint64_t scheduledCount() const {
+    return queue_.scheduledCount();
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0.0;
+  std::uint64_t fired_ = 0;
+  bool stopRequested_ = false;
+};
+
+}  // namespace pqos::sim

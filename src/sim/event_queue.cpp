@@ -1,0 +1,47 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::sim {
+
+EventId EventQueue::schedule(SimTime at, EventFn fn) {
+  require(std::isfinite(at), "EventQueue::schedule: non-finite time");
+  require(static_cast<bool>(fn), "EventQueue::schedule: empty callback");
+  const EventId id = nextSeq_++;
+  heap_.push_back(Entry{at, id});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  live_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+
+void EventQueue::dropDead() {
+  while (!heap_.empty() && live_.find(heap_.front().seq) == live_.end()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+SimTime EventQueue::nextTime() {
+  dropDead();
+  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  dropDead();
+  require(!heap_.empty(), "EventQueue::pop: queue is empty");
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Entry entry = heap_.back();
+  heap_.pop_back();
+  const auto it = live_.find(entry.seq);
+  require(it != live_.end(), "EventQueue::pop: dead entry after dropDead");
+  Fired fired{entry.time, entry.seq, std::move(it->second)};
+  live_.erase(it);
+  return fired;
+}
+
+}  // namespace pqos::sim

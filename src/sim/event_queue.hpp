@@ -1,0 +1,72 @@
+// Cancellable pending-event set for the discrete-event engine.
+//
+// A binary min-heap ordered by (time, sequence number) gives deterministic
+// FIFO tie-breaking for simultaneous events — essential for reproducible
+// experiments. Cancellation is lazy: cancelled ids are dropped when they
+// surface at the top, keeping both schedule and cancel O(log n).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pqos::sim {
+
+/// Handle identifying a scheduled event; never reused within a queue.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Callback invoked when an event fires. Fires at most once.
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` at absolute time `at`. Times may equal the current
+  /// simulation time but must be finite. Returns a handle for cancel().
+  EventId schedule(SimTime at, EventFn fn);
+
+  /// Cancels a pending event. Returns false when the event already fired
+  /// or was cancelled (both are benign).
+  bool cancel(EventId id);
+
+  [[nodiscard]] bool empty() const { return live_.empty(); }
+  [[nodiscard]] std::size_t size() const { return live_.size(); }
+
+  /// Time of the earliest pending event; kTimeInfinity when empty.
+  /// Compacts lazily-cancelled entries, hence non-const.
+  [[nodiscard]] SimTime nextTime();
+
+  /// Pops the earliest pending event. Requires !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    EventFn fn;
+  };
+  Fired pop();
+
+  /// Total events ever scheduled (for engine statistics).
+  [[nodiscard]] std::uint64_t scheduledCount() const { return nextSeq_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;  // doubles as the EventId
+  };
+
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.seq > b.seq;
+  }
+
+  void dropDead();  // remove cancelled entries from the heap top
+
+  std::vector<Entry> heap_;
+  std::unordered_map<EventId, EventFn> live_;
+  std::uint64_t nextSeq_ = 1;  // 0 is kInvalidEvent
+};
+
+}  // namespace pqos::sim

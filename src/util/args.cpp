@@ -1,0 +1,169 @@
+#include "util/args.hpp"
+
+#include <iostream>
+#include <ostream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos {
+
+ArgParser::ArgParser(std::string description)
+    : description_(std::move(description)) {}
+
+namespace {
+std::string kindName(int kind) {
+  switch (kind) {
+    case 0: return "string";
+    case 1: return "double";
+    case 2: return "int";
+    default: return "bool";
+  }
+}
+}  // namespace
+
+void ArgParser::addString(const std::string& name, std::string defaultValue,
+                          std::string help) {
+  require(!specs_.count(name), "ArgParser: duplicate flag " + name);
+  order_.push_back(name);
+  specs_[name] = Spec{Kind::String, std::move(defaultValue), std::move(help)};
+}
+
+void ArgParser::addDouble(const std::string& name, double defaultValue,
+                          std::string help) {
+  require(!specs_.count(name), "ArgParser: duplicate flag " + name);
+  order_.push_back(name);
+  specs_[name] =
+      Spec{Kind::Double, formatFixed(defaultValue, 6), std::move(help)};
+}
+
+void ArgParser::addInt(const std::string& name, long long defaultValue,
+                       std::string help) {
+  require(!specs_.count(name), "ArgParser: duplicate flag " + name);
+  order_.push_back(name);
+  specs_[name] =
+      Spec{Kind::Int, std::to_string(defaultValue), std::move(help)};
+}
+
+void ArgParser::addBool(const std::string& name, bool defaultValue,
+                        std::string help) {
+  require(!specs_.count(name), "ArgParser: duplicate flag " + name);
+  order_.push_back(name);
+  specs_[name] =
+      Spec{Kind::Bool, defaultValue ? "true" : "false", std::move(help)};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      printUsage(std::cout);
+      return false;
+    }
+    if (!startsWith(arg, "--")) {
+      throw ConfigError("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name = arg;
+    std::optional<std::string> value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) throw ConfigError("unknown flag: --" + name);
+    if (!value) {
+      if (it->second.kind == Kind::Bool) {
+        // Bare --flag means true; --flag value also accepted below when the
+        // next token parses as a boolean literal.
+        if (i + 1 < argc) {
+          const std::string peek = argv[i + 1];
+          if (peek == "true" || peek == "false" || peek == "0" ||
+              peek == "1") {
+            value = peek;
+            ++i;
+          }
+        }
+        if (!value) value = "true";
+      } else {
+        if (i + 1 >= argc) throw ConfigError("flag --" + name + " needs a value");
+        value = argv[++i];
+      }
+    }
+    // Validate eagerly so errors point at the offending flag; surface
+    // malformed values as configuration errors.
+    try {
+      switch (it->second.kind) {
+        case Kind::Double:
+          (void)parseDouble(*value, "--" + name);
+          break;
+        case Kind::Int:
+          (void)parseInt(*value, "--" + name);
+          break;
+        default:
+          break;
+      }
+    } catch (const ParseError& e) {
+      throw ConfigError(e.what());
+    }
+    if (it->second.kind == Kind::Bool && *value != "true" &&
+        *value != "false" && *value != "0" && *value != "1") {
+      throw ConfigError("flag --" + name + " expects true/false");
+    }
+    values_[name] = *value;
+  }
+  return true;
+}
+
+const ArgParser::Spec& ArgParser::specFor(const std::string& name,
+                                          Kind kind) const {
+  const auto it = specs_.find(name);
+  require(it != specs_.end(), "ArgParser: undeclared flag " + name);
+  require(it->second.kind == kind,
+          "ArgParser: flag " + name + " queried as wrong type (" +
+              kindName(static_cast<int>(kind)) + ")");
+  return it->second;
+}
+
+std::string ArgParser::getString(const std::string& name) const {
+  const auto& spec = specFor(name, Kind::String);
+  const auto it = values_.find(name);
+  return it == values_.end() ? spec.defaultValue : it->second;
+}
+
+double ArgParser::getDouble(const std::string& name) const {
+  const auto& spec = specFor(name, Kind::Double);
+  const auto it = values_.find(name);
+  return parseDouble(it == values_.end() ? spec.defaultValue : it->second,
+                     "--" + name);
+}
+
+long long ArgParser::getInt(const std::string& name) const {
+  const auto& spec = specFor(name, Kind::Int);
+  const auto it = values_.find(name);
+  return parseInt(it == values_.end() ? spec.defaultValue : it->second,
+                  "--" + name);
+}
+
+bool ArgParser::getBool(const std::string& name) const {
+  const auto& spec = specFor(name, Kind::Bool);
+  const auto it = values_.find(name);
+  const std::string& v = it == values_.end() ? spec.defaultValue : it->second;
+  return v == "true" || v == "1";
+}
+
+bool ArgParser::provided(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+void ArgParser::printUsage(std::ostream& os) const {
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& name : order_) {
+    const auto& spec = specs_.at(name);
+    os << "  --" << name << " (default: " << spec.defaultValue << ")\n"
+       << "      " << spec.help << '\n';
+  }
+}
+
+}  // namespace pqos

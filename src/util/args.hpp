@@ -1,0 +1,58 @@
+// Minimal CLI flag parser shared by the examples and benchmark harnesses.
+//
+// Supported syntax: --name value, --name=value, and bare --flag for
+// booleans. Unknown flags raise ConfigError so typos fail loudly.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pqos {
+
+class ArgParser {
+ public:
+  /// `description` is printed at the top of --help output.
+  explicit ArgParser(std::string description);
+
+  /// Declares a flag with a default value (rendered in --help).
+  void addString(const std::string& name, std::string defaultValue,
+                 std::string help);
+  void addDouble(const std::string& name, double defaultValue,
+                 std::string help);
+  void addInt(const std::string& name, long long defaultValue,
+              std::string help);
+  void addBool(const std::string& name, bool defaultValue, std::string help);
+
+  /// Parses argv. Returns false (after printing usage) when --help was
+  /// requested; throws ConfigError on unknown flags or malformed values.
+  [[nodiscard]] bool parse(int argc, const char* const* argv);
+
+  [[nodiscard]] std::string getString(const std::string& name) const;
+  [[nodiscard]] double getDouble(const std::string& name) const;
+  [[nodiscard]] long long getInt(const std::string& name) const;
+  [[nodiscard]] bool getBool(const std::string& name) const;
+
+  /// True when the user supplied the flag explicitly.
+  [[nodiscard]] bool provided(const std::string& name) const;
+
+  void printUsage(std::ostream& os) const;
+
+ private:
+  enum class Kind { String, Double, Int, Bool };
+  struct Spec {
+    Kind kind;
+    std::string defaultValue;
+    std::string help;
+  };
+
+  const Spec& specFor(const std::string& name, Kind kind) const;
+
+  std::string description_;
+  std::vector<std::string> order_;
+  std::map<std::string, Spec> specs_;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace pqos

@@ -1,0 +1,54 @@
+// Error handling helpers: exception taxonomy and invariant checks.
+//
+// Following the C++ Core Guidelines (E.2, E.14), recoverable errors in
+// library construction and input parsing throw typed exceptions; broken
+// internal invariants are programming errors and are reported through
+// PQOS_REQUIRE / pqos::require, which throws LogicError so that tests can
+// observe violations.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pqos {
+
+/// Malformed user-provided configuration (bad CLI flag, invalid parameter).
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed external input data (trace files, workload logs).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A broken internal invariant: a bug in pqos itself or in its caller.
+class LogicError : public std::logic_error {
+ public:
+  explicit LogicError(const std::string& what) : std::logic_error(what) {}
+};
+
+/// Throws LogicError when `condition` is false. Used for invariants that
+/// must hold regardless of build type; the simulator is cheap enough that
+/// checks stay on in release builds.
+inline void require(bool condition, const char* message) {
+  if (!condition) throw LogicError(message);
+}
+
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw LogicError(message);
+}
+
+}  // namespace pqos
+
+/// Invariant check that reports the failing expression and location.
+#define PQOS_REQUIRE(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      throw ::pqos::LogicError(std::string("invariant violated: " #cond \
+                                           " at ") +                    \
+                               __FILE__ + ":" + std::to_string(__LINE__)); \
+    }                                                                   \
+  } while (false)

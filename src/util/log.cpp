@@ -1,0 +1,31 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace pqos {
+
+namespace {
+LogLevel g_level = LogLevel::Off;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+
+LogLevel logLevel() { return g_level; }
+
+void logMessage(LogLevel level, const std::string& message) {
+  if (g_level < level || level == LogLevel::Off) return;
+  std::cerr << "[pqos " << levelName(level) << "] " << message << '\n';
+}
+
+}  // namespace pqos

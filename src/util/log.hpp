@@ -1,0 +1,51 @@
+// Leveled diagnostic logging. Off by default so simulations stay quiet;
+// examples and debugging sessions can raise the level at run time.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pqos {
+
+enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
+
+/// Global log level; not thread-safe by design (the simulator is
+/// single-threaded and deterministic).
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// Emits `message` to stderr when `level` is enabled.
+void logMessage(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { logMessage(level_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace pqos
+
+// Streaming macros guard on the level before evaluating operands.
+#define PQOS_LOG(level)                       \
+  if (::pqos::logLevel() < (level)) {         \
+  } else                                      \
+    ::pqos::detail::LogLine(level)
+
+#define PQOS_ERROR() PQOS_LOG(::pqos::LogLevel::Error)
+#define PQOS_WARN() PQOS_LOG(::pqos::LogLevel::Warn)
+#define PQOS_INFO() PQOS_LOG(::pqos::LogLevel::Info)
+#define PQOS_DEBUG() PQOS_LOG(::pqos::LogLevel::Debug)

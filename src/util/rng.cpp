@@ -1,0 +1,144 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace pqos {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64(sm);
+  // xoshiro must not start from the all-zero state; splitmix64 cannot emit
+  // four consecutive zeros, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 0x9e3779b97f4a7c15ULL;
+  }
+}
+
+Rng Rng::fork(std::uint64_t stream) const {
+  std::uint64_t sm = seed_ ^ (0xa0761d6478bd642fULL + stream);
+  const std::uint64_t mixed = splitmix64(sm) ^ splitmix64(sm);
+  return Rng(mixed);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 significant bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  require(lo <= hi, "Rng::uniform: lo > hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  require(lo <= hi, "Rng::uniformInt: lo > hi");
+  const auto range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<std::int64_t>((*this)());  // full range
+  // Rejection sampling for exact uniformity.
+  const std::uint64_t limit = (~std::uint64_t{0}) - (~std::uint64_t{0}) % range;
+  std::uint64_t draw = 0;
+  do {
+    draw = (*this)();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+double Rng::exponential(double mean) {
+  require(mean > 0.0, "Rng::exponential: mean must be positive");
+  // 1 - uniform() is in (0, 1], so the log is finite.
+  return -mean * std::log(1.0 - uniform());
+}
+
+double Rng::normal(double mean, double stddev) {
+  const double u1 = 1.0 - uniform();  // (0, 1]
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+double Rng::weibull(double shape, double scale) {
+  require(shape > 0.0 && scale > 0.0, "Rng::weibull: parameters > 0");
+  const double u = 1.0 - uniform();  // (0, 1]
+  return scale * std::pow(-std::log(u), 1.0 / shape);
+}
+
+double Rng::pareto(double xm, double alpha) {
+  require(xm > 0.0 && alpha > 0.0, "Rng::pareto: parameters > 0");
+  const double u = 1.0 - uniform();  // (0, 1]
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) {
+    require(w >= 0.0, "Rng::weighted: negative weight");
+    total += w;
+  }
+  require(total > 0.0, "Rng::weighted: all weights zero");
+  double point = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    point -= weights[i];
+    if (point < 0.0) return i;
+  }
+  return weights.size() - 1;  // numerical edge: land on the last bucket
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  require(n >= 1, "ZipfSampler: n must be >= 1");
+  require(exponent >= 0.0, "ZipfSampler: exponent must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+}
+
+std::size_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+double ZipfSampler::pmf(std::size_t k) const {
+  require(k < cdf_.size(), "ZipfSampler::pmf: rank out of range");
+  return k == 0 ? cdf_[0] : cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace pqos

@@ -1,0 +1,111 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic element of the reproduction (workload synthesis, failure
+// traces, detectability assignment, tie-breaking) draws from an explicitly
+// seeded Rng so that whole experiments are reproducible from a single seed,
+// matching the paper's requirement that "failure predictions in our
+// simulations are deterministic across runs".
+//
+// The engine is xoshiro256** (Blackman & Vigna), seeded through splitmix64.
+// It satisfies std::uniform_random_bit_generator, so the standard
+// distributions can be used where convenient; the custom samplers below are
+// provided for the distributions the workload/failure models rely on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace pqos {
+
+/// splitmix64 step; used for seeding and for hashing seeds into streams.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** engine with convenience samplers.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the engine; equal seeds yield identical streams.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Creates an independent stream derived from this Rng's seed and a
+  /// caller-chosen stream id. Forked streams do not perturb the parent, so
+  /// adding a new consumer does not shift existing draws.
+  [[nodiscard]] Rng fork(std::uint64_t stream) const;
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  /// Next raw 64-bit value.
+  result_type operator()();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponential with the given mean (= 1/rate). Requires mean > 0.
+  double exponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare: deterministic
+  /// independent of call interleaving).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Lognormal: exp(N(mu, sigma^2)).
+  double lognormal(double mu, double sigma);
+
+  /// Weibull with shape k and scale lambda. Shape < 1 models the bursty,
+  /// decreasing-hazard inter-failure gaps seen in real failure logs.
+  double weibull(double shape, double scale);
+
+  /// Pareto (type I) with scale xm > 0 and tail index alpha > 0.
+  double pareto(double xm, double alpha);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniformInt(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(values[i - 1], values[j]);
+    }
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+};
+
+/// Zipf(s) sampler over {0, ..., n-1} using a precomputed CDF; models the
+/// "hot node" spatial skew of failures (a few nodes account for a large
+/// share of events, per Sahoo et al.'s failure analysis).
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and exponent s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double exponent);
+
+  std::size_t operator()(Rng& rng) const;
+
+  /// Probability mass of rank k (for calibration and tests).
+  [[nodiscard]] double pmf(std::size_t k) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace pqos

@@ -1,0 +1,124 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos {
+
+void Accumulator::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::cv() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+double Accumulator::min() const { return count_ == 0 ? 0.0 : min_; }
+double Accumulator::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double quantileSorted(const std::vector<double>& sorted, double q) {
+  require(!sorted.empty(), "quantileSorted: empty sample");
+  require(q >= 0.0 && q <= 1.0, "quantileSorted: q out of [0,1]");
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  Accumulator acc;
+  for (const double x : samples) acc.add(x);
+  s.count = samples.size();
+  s.mean = acc.mean();
+  s.stddev = acc.stddev();
+  s.min = samples.front();
+  s.max = samples.back();
+  s.p50 = quantileSorted(samples, 0.50);
+  s.p90 = quantileSorted(samples, 0.90);
+  s.p99 = quantileSorted(samples, 0.99);
+  return s;
+}
+
+double linearSlope(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "linearSlope: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  double sx = 0.0, sy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / static_cast<double>(n);
+  const double my = sy / static_cast<double>(n);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+  }
+  return sxx == 0.0 ? 0.0 : sxy / sxx;
+}
+
+double pearson(const std::vector<double>& x, const std::vector<double>& y) {
+  require(x.size() == y.size(), "pearson: size mismatch");
+  const std::size_t n = x.size();
+  if (n < 2) return 0.0;
+  Accumulator ax, ay;
+  for (std::size_t i = 0; i < n; ++i) {
+    ax.add(x[i]);
+    ay.add(y[i]);
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cov += (x[i] - ax.mean()) * (y[i] - ay.mean());
+  }
+  cov /= static_cast<double>(n - 1);
+  const double denom = ax.stddev() * ay.stddev();
+  return denom == 0.0 ? 0.0 : cov / denom;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)), counts_(bins) {
+  require(hi > lo, "Histogram: hi must exceed lo");
+  require(bins >= 1, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x) {
+  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+  idx = std::clamp<std::ptrdiff_t>(
+      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucketLow(std::size_t i) const {
+  require(i < counts_.size(), "Histogram::bucketLow: index out of range");
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+}  // namespace pqos

@@ -1,0 +1,84 @@
+// Streaming and batch statistics used for trace calibration, metric
+// aggregation, and the trend assertions in the property-test suite.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pqos {
+
+/// Welford online accumulator: numerically stable mean/variance plus
+/// min/max/sum over a stream of doubles.
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return count_; }
+  [[nodiscard]] double sum() const { return sum_; }
+  [[nodiscard]] double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  /// Coefficient of variation (stddev / mean); 0 when the mean is 0.
+  [[nodiscard]] double cv() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Batch summary of a sample vector.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// Computes a Summary; copies and sorts the input internally.
+[[nodiscard]] Summary summarize(std::vector<double> samples);
+
+/// Linear-interpolated quantile of a *sorted* sample, q in [0, 1].
+[[nodiscard]] double quantileSorted(const std::vector<double>& sorted,
+                                    double q);
+
+/// Ordinary least-squares slope of y against x. Returns 0 for fewer than
+/// two points or degenerate x. Used by tests asserting monotone-ish trends
+/// (e.g. "QoS improves with prediction accuracy").
+[[nodiscard]] double linearSlope(const std::vector<double>& x,
+                                 const std::vector<double>& y);
+
+/// Pearson correlation of two equal-length samples; 0 when degenerate.
+[[nodiscard]] double pearson(const std::vector<double>& x,
+                             const std::vector<double>& y);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; out-of-range
+/// samples clamp into the first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::size_t bucket(std::size_t i) const { return counts_[i]; }
+  [[nodiscard]] double bucketLow(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace pqos

@@ -1,0 +1,125 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/error.hpp"
+
+namespace pqos {
+
+std::vector<std::string> split(std::string_view text, char delimiter) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delimiter, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> splitWhitespace(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    const std::size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.front()))) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() &&
+         std::isspace(static_cast<unsigned char>(text.back()))) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+namespace {
+[[noreturn]] void parseFail(std::string_view kind, std::string_view token,
+                            std::string_view context) {
+  std::string message = "failed to parse " + std::string(kind) + " from '" +
+                        std::string(token) + "'";
+  if (!context.empty()) message += " (" + std::string(context) + ")";
+  throw ParseError(message);
+}
+}  // namespace
+
+double parseDouble(std::string_view token, std::string_view context) {
+  token = trim(token);
+  if (token.empty()) parseFail("double", token, context);
+  // std::from_chars for double is not consistently available; use strtod on
+  // a NUL-terminated copy and verify full consumption.
+  const std::string copy(token);
+  char* end = nullptr;
+  const double value = std::strtod(copy.c_str(), &end);
+  if (end != copy.c_str() + copy.size()) parseFail("double", token, context);
+  return value;
+}
+
+long long parseInt(std::string_view token, std::string_view context) {
+  token = trim(token);
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    parseFail("integer", token, context);
+  }
+  return value;
+}
+
+bool startsWith(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+std::string formatDuration(double seconds) {
+  const bool negative = seconds < 0;
+  double s = std::abs(seconds);
+  const auto days = static_cast<long long>(s / 86400.0);
+  s -= static_cast<double>(days) * 86400.0;
+  const auto hours = static_cast<long long>(s / 3600.0);
+  s -= static_cast<double>(hours) * 3600.0;
+  const auto minutes = static_cast<long long>(s / 60.0);
+  s -= static_cast<double>(minutes) * 60.0;
+  char buf[64];
+  if (days > 0) {
+    std::snprintf(buf, sizeof buf, "%s%lldd %02lld:%02lld:%02.0f",
+                  negative ? "-" : "", days, hours, minutes, s);
+  } else {
+    std::snprintf(buf, sizeof buf, "%s%02lld:%02lld:%02.0f",
+                  negative ? "-" : "", hours, minutes, s);
+  }
+  return buf;
+}
+
+std::string formatWork(double nodeSeconds) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.3e node-s", nodeSeconds);
+  return buf;
+}
+
+std::string formatFixed(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+}  // namespace pqos

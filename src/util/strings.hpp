@@ -1,0 +1,41 @@
+// Small string helpers: tokenizing trace files, validated numeric parsing,
+// and human-readable formatting for harness output.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqos {
+
+/// Splits on a single delimiter; adjacent delimiters yield empty tokens.
+[[nodiscard]] std::vector<std::string> split(std::string_view text,
+                                             char delimiter);
+
+/// Splits on runs of whitespace; never yields empty tokens.
+[[nodiscard]] std::vector<std::string> splitWhitespace(std::string_view text);
+
+/// Removes leading and trailing whitespace.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Parses a double / integer, throwing ParseError (with context) on
+/// malformed or trailing input.
+[[nodiscard]] double parseDouble(std::string_view token,
+                                 std::string_view context = "");
+[[nodiscard]] long long parseInt(std::string_view token,
+                                 std::string_view context = "");
+
+/// True if `text` begins with `prefix`.
+[[nodiscard]] bool startsWith(std::string_view text, std::string_view prefix);
+
+/// Formats seconds as e.g. "2d 03:25:07" or "03:25:07".
+[[nodiscard]] std::string formatDuration(double seconds);
+
+/// Formats a count of node-seconds with an engineering suffix,
+/// e.g. "4.50e7 node-s".
+[[nodiscard]] std::string formatWork(double nodeSeconds);
+
+/// printf-style "%.*f" with fixed precision, without iostream state.
+[[nodiscard]] std::string formatFixed(double value, int precision);
+
+}  // namespace pqos

@@ -1,0 +1,42 @@
+// Output helpers for the benchmark harnesses: aligned console tables (the
+// rows/series the paper reports) and CSV export for plotting.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pqos {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  void addNumericRow(const std::vector<double>& row, int precision = 4);
+
+  void print(std::ostream& os) const;
+
+  /// Writes the table as CSV (header + rows, comma-separated, quoted when
+  /// a cell contains a comma or quote).
+  void writeCsv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; throws ConfigError if the file cannot be
+  /// opened.
+  void writeCsvFile(const std::string& path) const;
+
+  [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Escapes a CSV cell per RFC 4180.
+[[nodiscard]] std::string csvEscape(const std::string& cell);
+
+}  // namespace pqos

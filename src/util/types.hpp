@@ -1,0 +1,42 @@
+// Fundamental value types shared by every pqos subsystem.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace pqos {
+
+/// Simulation time, in seconds since the start of the simulated epoch.
+/// A double gives microsecond-level resolution over multi-year horizons,
+/// which is far finer than any quantity in the model (jobs run for minutes
+/// to days).
+using SimTime = double;
+
+/// A duration, in seconds.
+using Duration = double;
+
+/// Work, in node-seconds: occupying n nodes for k seconds consumes n*k.
+using WorkUnits = double;
+
+/// Index of a node within the machine, in [0, Machine::size()).
+using NodeId = std::int32_t;
+
+/// Identifier of a job; dense indices into the workload's job table.
+using JobId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr JobId kInvalidJob = -1;
+
+/// A time far beyond any simulated horizon; used as "never".
+inline constexpr SimTime kTimeInfinity =
+    std::numeric_limits<SimTime>::infinity();
+
+/// Common time constants (seconds).
+inline constexpr Duration kSecond = 1.0;
+inline constexpr Duration kMinute = 60.0;
+inline constexpr Duration kHour = 3600.0;
+inline constexpr Duration kDay = 24.0 * kHour;
+inline constexpr Duration kWeek = 7.0 * kDay;
+inline constexpr Duration kYear = 365.0 * kDay;
+
+}  // namespace pqos

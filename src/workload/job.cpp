@@ -1,0 +1,29 @@
+#include "workload/job.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::workload {
+
+int checkpointCount(Duration work, Duration interval) {
+  require(interval > 0.0, "checkpointCount: interval must be positive");
+  require(work >= 0.0, "checkpointCount: negative work");
+  if (work <= interval) return 0;
+  // Requests fire after each full interval of progress at I, 2I, ...;
+  // the request that would coincide with completion is not issued.
+  const double ratio = work / interval;
+  double full = std::floor(ratio);
+  // Treat near-exact multiples (fp noise) as exact: the final "request"
+  // would land at completion and is skipped.
+  if (ratio - full < 1e-9) full -= 1.0;
+  return static_cast<int>(full);
+}
+
+Duration estimatedElapsed(Duration work, Duration interval,
+                          Duration overhead) {
+  require(overhead >= 0.0, "estimatedElapsed: negative overhead");
+  return work + static_cast<double>(checkpointCount(work, interval)) * overhead;
+}
+
+}  // namespace pqos::workload

@@ -1,0 +1,80 @@
+// Job records: the immutable submitted spec plus the mutable ledger the
+// simulator fills in (negotiated terms, starts, finish, checkpoints, lost
+// work). Partition assignments live in the scheduler layer to keep this
+// module substrate-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pqos::workload {
+
+/// What the user submits: arrival time vj, size nj, and checkpoint-free
+/// execution time ej. The paper assumes runtime estimates are exact.
+struct JobSpec {
+  JobId id = kInvalidJob;
+  SimTime arrival = 0.0;  // vj
+  int nodes = 1;          // nj
+  Duration work = 0.0;    // ej (seconds, excluding checkpoints)
+
+  /// Work in node-seconds: ej * nj.
+  [[nodiscard]] WorkUnits totalWork() const {
+    return work * static_cast<double>(nodes);
+  }
+};
+
+enum class JobState : std::uint8_t {
+  Submitted,  // arrived, not yet planned
+  Planned,    // negotiated a start-time reservation
+  Running,    // occupying its partition (includes checkpointing pauses)
+  Completed,  // finished all work
+};
+
+/// Mutable per-job ledger maintained by the core simulator.
+struct JobRecord {
+  JobSpec spec;
+  JobState state = JobState::Submitted;
+
+  // --- Negotiated terms (fixed at submission; kept across restarts) ---
+  double promisedSuccess = 1.0;   // pj, the probability promised to the user
+  double quotedFailureProb = 0.0; // pf of the accepted quote
+  SimTime negotiatedStart = 0.0;  // s* of the accepted quote
+  SimTime deadline = kTimeInfinity;  // dj
+  int negotiationRounds = 0;      // quotes offered before acceptance
+
+  // --- Execution ledger ---
+  SimTime lastStart = -1.0;  // sj: most recent dispatch time
+  SimTime finish = -1.0;     // fj: completion time (valid when Completed)
+  Duration savedProgress = 0.0;  // work units/sec of progress checkpointed
+  int restarts = 0;              // failures that sent the job back to queue
+  int checkpointsPerformed = 0;
+  int checkpointsSkipped = 0;
+  WorkUnits lostWork = 0.0;  // node-seconds lost to failures of this job
+
+  [[nodiscard]] bool completed() const { return state == JobState::Completed; }
+
+  /// qj: indicator that the job finished by its deadline. A small epsilon
+  /// absorbs floating-point accumulation over long simulations.
+  [[nodiscard]] bool metDeadline() const {
+    return completed() && finish <= deadline + 1e-6;
+  }
+
+  /// Remaining checkpoint-free work from the last saved state.
+  [[nodiscard]] Duration remainingWork() const {
+    return spec.work - savedProgress;
+  }
+};
+
+/// Number of checkpoint requests a run of `work` seconds will issue with
+/// interval I: one after each full interval, except that no checkpoint is
+/// requested at (or beyond) the moment the job completes.
+[[nodiscard]] int checkpointCount(Duration work, Duration interval);
+
+/// Estimated wall-clock execution time including all checkpoints
+/// (paper: Ej = ej + #checkpoints * C), for `work` remaining seconds.
+[[nodiscard]] Duration estimatedElapsed(Duration work, Duration interval,
+                                        Duration overhead);
+
+}  // namespace pqos::workload

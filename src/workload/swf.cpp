@@ -1,0 +1,102 @@
+#include "workload/swf.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::workload {
+
+std::vector<JobSpec> parseSwf(std::istream& in, const SwfLoadOptions& options) {
+  std::vector<JobSpec> jobs;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    const std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed.front() == ';') continue;
+    const auto fields = splitWhitespace(trimmed);
+    if (fields.size() < 5) {
+      throw ParseError("SWF line " + std::to_string(lineNo) +
+                       ": expected >= 5 fields, got " +
+                       std::to_string(fields.size()));
+    }
+    const std::string context = "SWF line " + std::to_string(lineNo);
+    const double submit = parseDouble(fields[1], context);
+    const double runtime = parseDouble(fields[3], context);
+    double procs = parseDouble(fields[4], context);
+    if (procs <= 0 && fields.size() >= 8) {
+      procs = parseDouble(fields[7], context);  // requested processors
+    }
+    if (runtime <= 0 || procs <= 0) {
+      if (options.skipInvalid) continue;
+      throw ParseError(context + ": non-positive runtime or processors");
+    }
+    JobSpec spec;
+    spec.id = static_cast<JobId>(jobs.size());
+    spec.arrival = submit;
+    spec.work = runtime;
+    spec.nodes = static_cast<int>(procs);
+    if (options.maxNodes > 0) {
+      spec.nodes = std::clamp(spec.nodes, 1, options.maxNodes);
+    }
+    jobs.push_back(spec);
+    if (options.maxJobs > 0 && jobs.size() >= options.maxJobs) break;
+  }
+  if (options.rebaseArrivals && !jobs.empty()) {
+    const SimTime base =
+        std::min_element(jobs.begin(), jobs.end(),
+                         [](const JobSpec& a, const JobSpec& b) {
+                           return a.arrival < b.arrival;
+                         })
+            ->arrival;
+    for (auto& job : jobs) job.arrival -= base;
+  }
+  // SWF logs are sorted by submit time, but be defensive: the simulator
+  // requires nondecreasing arrivals.
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const JobSpec& a, const JobSpec& b) {
+                     return a.arrival < b.arrival;
+                   });
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> loadSwfFile(const std::string& path,
+                                 const SwfLoadOptions& options) {
+  std::ifstream file(path);
+  if (!file) throw ConfigError("cannot open SWF file: " + path);
+  return parseSwf(file, options);
+}
+
+void writeSwf(std::ostream& out, const std::vector<JobSpec>& jobs,
+              const std::string& headerComment) {
+  if (!headerComment.empty()) {
+    std::istringstream lines(headerComment);
+    std::string line;
+    while (std::getline(lines, line)) out << "; " << line << '\n';
+  }
+  for (const auto& job : jobs) {
+    // Fields: id submit wait run procs cpu mem reqProcs reqTime reqMem
+    //         status user group exe queue partition preceding think
+    out << (job.id + 1) << ' ' << formatFixed(job.arrival, 0) << " -1 "
+        << formatFixed(job.work, 0) << ' ' << job.nodes << " -1 -1 "
+        << job.nodes << ' ' << formatFixed(job.work, 0)
+        << " -1 1 -1 -1 -1 -1 -1 -1 -1\n";
+  }
+}
+
+void writeSwfFile(const std::string& path, const std::vector<JobSpec>& jobs,
+                  const std::string& headerComment) {
+  std::ofstream file(path);
+  if (!file) throw ConfigError("cannot open SWF output file: " + path);
+  writeSwf(file, jobs, headerComment);
+}
+
+}  // namespace pqos::workload

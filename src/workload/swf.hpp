@@ -1,0 +1,53 @@
+// Standard Workload Format (SWF) support.
+//
+// The paper replays the NASA Ames iPSC/860 and SDSC SP logs from the
+// Parallel Workloads Archive, which are distributed in SWF: one job per
+// line, 18 whitespace-separated fields, ';' comment lines, and -1 for
+// unknown values. This module parses real archive logs (so they can be
+// dropped into any experiment) and writes our synthetic logs in the same
+// format for interchange.
+//
+// Field indices used here (1-based, per the SWF definition):
+//   2  submit time      (seconds)
+//   4  run time         (seconds)
+//   5  allocated processors (fall back to field 8, requested processors)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace pqos::workload {
+
+struct SwfLoadOptions {
+  /// Drop jobs whose runtime or processor count is missing/non-positive
+  /// (cancelled submissions). When false such jobs raise ParseError.
+  bool skipInvalid = true;
+  /// Clamp processor counts into [1, maxNodes]; 0 disables clamping.
+  int maxNodes = 0;
+  /// Keep at most this many jobs (0 = all); the paper uses 10,000.
+  std::size_t maxJobs = 0;
+  /// Shift submit times so the first job arrives at t = 0.
+  bool rebaseArrivals = true;
+};
+
+/// Parses an SWF stream into job specs (ids are assigned densely in file
+/// order). Throws ParseError on malformed lines.
+[[nodiscard]] std::vector<JobSpec> parseSwf(std::istream& in,
+                                            const SwfLoadOptions& options = {});
+
+/// Loads an SWF file; throws ConfigError when the file cannot be opened.
+[[nodiscard]] std::vector<JobSpec> loadSwfFile(const std::string& path,
+                                               const SwfLoadOptions& options = {});
+
+/// Writes job specs as SWF (unknown fields become -1).
+void writeSwf(std::ostream& out, const std::vector<JobSpec>& jobs,
+              const std::string& headerComment = "");
+
+/// Writes an SWF file; throws ConfigError when the file cannot be opened.
+void writeSwfFile(const std::string& path, const std::vector<JobSpec>& jobs,
+                  const std::string& headerComment = "");
+
+}  // namespace pqos::workload

@@ -1,0 +1,276 @@
+#include "workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::workload {
+
+namespace {
+
+/// Standard normal CDF.
+double phi(double z) { return 0.5 * std::erfc(-z / std::sqrt(2.0)); }
+
+/// Weighted mean over the discrete size set, applying `f` to each size.
+template <typename F>
+double sizeExpectation(const WorkloadModel& model, F f) {
+  require(model.sizeChoices.size() == model.sizeWeights.size(),
+          "WorkloadModel: size choices/weights mismatch");
+  require(!model.sizeChoices.empty(), "WorkloadModel: no size choices");
+  double total = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < model.sizeChoices.size(); ++i) {
+    require(model.sizeWeights[i] >= 0.0, "WorkloadModel: negative weight");
+    total += model.sizeWeights[i] * f(model.sizeChoices[i]);
+    weight += model.sizeWeights[i];
+  }
+  require(weight > 0.0, "WorkloadModel: all size weights zero");
+  return total / weight;
+}
+
+/// Per-size lognormal location parameter (size/runtime coupling).
+double muForSize(const WorkloadModel& model, int size) {
+  return model.runtimeMu +
+         model.sizeRuntimeCorrelation *
+             (std::log(static_cast<double>(size)) - model.meanLogSize());
+}
+
+}  // namespace
+
+double WorkloadModel::meanSize() const {
+  double total = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < sizeChoices.size(); ++i) {
+    total += sizeWeights[i] * static_cast<double>(sizeChoices[i]);
+    weight += sizeWeights[i];
+  }
+  return weight == 0.0 ? 0.0 : total / weight;
+}
+
+double WorkloadModel::meanLogSize() const {
+  double total = 0.0;
+  double weight = 0.0;
+  for (std::size_t i = 0; i < sizeChoices.size(); ++i) {
+    total += sizeWeights[i] * std::log(static_cast<double>(sizeChoices[i]));
+    weight += sizeWeights[i];
+  }
+  return weight == 0.0 ? 0.0 : total / weight;
+}
+
+double clampedLognormalMean(double mu, double sigma, double lo, double hi) {
+  require(sigma > 0.0, "clampedLognormalMean: sigma must be positive");
+  require(0.0 < lo && lo < hi, "clampedLognormalMean: need 0 < lo < hi");
+  const double zLo = (std::log(lo) - mu) / sigma;
+  const double zHi = (std::log(hi) - mu) / sigma;
+  const double body = std::exp(mu + 0.5 * sigma * sigma) *
+                      (phi(zHi - sigma) - phi(zLo - sigma));
+  return lo * phi(zLo) + body + hi * (1.0 - phi(zHi));
+}
+
+double calibrateLognormalMu(double target, double sigma, double lo,
+                            double hi) {
+  require(lo < target && target < hi,
+          "calibrateLognormalMu: target outside (lo, hi)");
+  double muLo = std::log(lo) - 10.0 * sigma;
+  double muHi = std::log(hi) + 10.0 * sigma;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (muLo + muHi);
+    if (clampedLognormalMean(mid, sigma, lo, hi) < target) {
+      muLo = mid;
+    } else {
+      muHi = mid;
+    }
+  }
+  return 0.5 * (muLo + muHi);
+}
+
+std::vector<double> calibrateGeometricWeights(const std::vector<int>& choices,
+                                              double target) {
+  require(choices.size() >= 2, "calibrateGeometricWeights: need >= 2 choices");
+  require(std::is_sorted(choices.begin(), choices.end()),
+          "calibrateGeometricWeights: choices must ascend");
+  require(static_cast<double>(choices.front()) < target &&
+              target < static_cast<double>(choices.back()),
+          "calibrateGeometricWeights: target outside choice range");
+  const auto meanFor = [&](double r) {
+    double num = 0.0;
+    double den = 0.0;
+    double w = 1.0;
+    for (const int choice : choices) {
+      num += w * static_cast<double>(choice);
+      den += w;
+      w *= r;
+    }
+    return num / den;
+  };
+  // The weighted mean increases monotonically with r (more weight shifts
+  // toward later = larger choices).
+  double rLo = 1e-9;
+  double rHi = 64.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (rLo + rHi);
+    if (meanFor(mid) < target) {
+      rLo = mid;
+    } else {
+      rHi = mid;
+    }
+  }
+  const double r = 0.5 * (rLo + rHi);
+  std::vector<double> weights;
+  weights.reserve(choices.size());
+  double w = 1.0;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    weights.push_back(w);
+    w *= r;
+  }
+  return weights;
+}
+
+double meanRuntime(const WorkloadModel& model) {
+  return sizeExpectation(model, [&](int s) {
+    return clampedLognormalMean(muForSize(model, s), model.runtimeSigma,
+                                model.minRuntime, model.maxRuntime);
+  });
+}
+
+double meanJobWork(const WorkloadModel& model) {
+  return sizeExpectation(model, [&](int s) {
+    return static_cast<double>(s) *
+           clampedLognormalMean(muForSize(model, s), model.runtimeSigma,
+                                model.minRuntime, model.maxRuntime);
+  });
+}
+
+double calibrateModelMu(WorkloadModel model, double target) {
+  require(model.minRuntime < target && target < model.maxRuntime,
+          "calibrateModelMu: target outside runtime bounds");
+  double muLo = std::log(model.minRuntime) - 10.0 * model.runtimeSigma;
+  double muHi = std::log(model.maxRuntime) + 10.0 * model.runtimeSigma;
+  for (int iter = 0; iter < 200; ++iter) {
+    model.runtimeMu = 0.5 * (muLo + muHi);
+    if (meanRuntime(model) < target) {
+      muLo = model.runtimeMu;
+    } else {
+      muHi = model.runtimeMu;
+    }
+  }
+  return 0.5 * (muLo + muHi);
+}
+
+WorkloadModel nasaModel(int machineSize) {
+  WorkloadModel model;
+  model.name = "nasa";
+  model.machineSize = machineSize;
+  // Power-of-two sizes only (iPSC/860 hypercube sub-cubes).
+  for (int s = 1; s <= machineSize; s *= 2) model.sizeChoices.push_back(s);
+  model.sizeWeights =
+      calibrateGeometricWeights(model.sizeChoices, /*target=*/6.3);
+  model.runtimeSigma = 1.45;
+  model.sizeRuntimeCorrelation = 0.45;  // big jobs run long: E[nj*ej] > 6.3*381
+  model.minRuntime = 60.0;
+  model.maxRuntime = 12.0 * kHour;  // Table 1: max ej = 12 h
+  model.runtimeMu = calibrateModelMu(model, /*target=*/381.0);
+  model.targetLoad = 0.85;
+  model.dailyCycleAmplitude = 0.5;
+  return model;
+}
+
+WorkloadModel sdscModel(int machineSize) {
+  WorkloadModel model;
+  model.name = "sdsc";
+  model.machineSize = machineSize;
+  // Arbitrary ("odd") sizes: every size up to the machine, geometric
+  // weighting, plus modest spikes at powers of two and the full machine,
+  // mirroring the SP's mixed size distribution. The geometric ratio is
+  // calibrated *after* applying the spikes so the overall mean hits
+  // Table 1's 9.7 nodes.
+  for (int s = 1; s <= machineSize; ++s) model.sizeChoices.push_back(s);
+  const auto weightsFor = [&](double r) {
+    std::vector<double> weights;
+    weights.reserve(model.sizeChoices.size());
+    double w = 1.0;
+    for (std::size_t i = 0; i < model.sizeChoices.size(); ++i) {
+      weights.push_back(w);
+      w *= r;
+    }
+    for (int s = 2; s <= machineSize; s *= 2) {
+      weights[static_cast<std::size_t>(s - 1)] *= 3.0;
+    }
+    weights.back() *= 40.0;  // occasional full-machine jobs
+    return weights;
+  };
+  const auto meanFor = [&](double r) {
+    const auto weights = weightsFor(r);
+    double num = 0.0, den = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      num += weights[i] * static_cast<double>(model.sizeChoices[i]);
+      den += weights[i];
+    }
+    return num / den;
+  };
+  double rLo = 1e-9, rHi = 1.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = 0.5 * (rLo + rHi);
+    (meanFor(mid) < 9.7 ? rLo : rHi) = mid;
+  }
+  model.sizeWeights = weightsFor(0.5 * (rLo + rHi));
+  model.runtimeSigma = 1.7;          // stronger tail than NASA
+  model.sizeRuntimeCorrelation = 0.12;
+  model.minRuntime = 60.0;
+  model.maxRuntime = 132.0 * kHour;  // Table 1: max ej = 132 h
+  model.runtimeMu = calibrateModelMu(model, /*target=*/7722.0);
+  model.targetLoad = 0.88;
+  model.dailyCycleAmplitude = 0.5;
+  return model;
+}
+
+WorkloadModel modelByName(const std::string& name, int machineSize) {
+  if (name == "nasa") return nasaModel(machineSize);
+  if (name == "sdsc") return sdscModel(machineSize);
+  throw ConfigError("unknown workload model: " + name +
+                    " (expected nasa|sdsc)");
+}
+
+std::vector<JobSpec> generate(const WorkloadModel& model, std::size_t count,
+                              std::uint64_t seed) {
+  require(model.machineSize >= 1, "generate: machineSize must be >= 1");
+  require(model.dailyCycleAmplitude >= 0.0 && model.dailyCycleAmplitude < 1.0,
+          "generate: dailyCycleAmplitude must be in [0,1)");
+  Rng master(seed);
+  Rng sizeRng = master.fork(1);
+  Rng runtimeRng = master.fork(2);
+  Rng arrivalRng = master.fork(3);
+
+  const double meanWork = meanJobWork(model);
+  const double rate =
+      model.targetLoad * static_cast<double>(model.machineSize) / meanWork;
+  const double rateMax = rate * (1.0 + model.dailyCycleAmplitude);
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  SimTime t = 0.0;
+  const double meanLogSize = model.meanLogSize();
+  while (jobs.size() < count) {
+    // Non-homogeneous Poisson arrivals (daily cycle) via thinning.
+    t += arrivalRng.exponential(1.0 / rateMax);
+    const double lambda =
+        rate * (1.0 + model.dailyCycleAmplitude * std::sin(2.0 * M_PI * t / kDay));
+    if (!arrivalRng.bernoulli(lambda / rateMax)) continue;
+
+    JobSpec spec;
+    spec.id = static_cast<JobId>(jobs.size());
+    spec.arrival = t;
+    spec.nodes = model.sizeChoices[sizeRng.weighted(model.sizeWeights)];
+    const double mu =
+        model.runtimeMu +
+        model.sizeRuntimeCorrelation *
+            (std::log(static_cast<double>(spec.nodes)) - meanLogSize);
+    spec.work = std::clamp(runtimeRng.lognormal(mu, model.runtimeSigma),
+                           model.minRuntime, model.maxRuntime);
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+}  // namespace pqos::workload

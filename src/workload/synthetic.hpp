@@ -1,0 +1,105 @@
+// Synthetic workload generation calibrated to the paper's Table 1.
+//
+// The paper replays two Parallel Workloads Archive logs that are not
+// shipped with this repository; these generators synthesize statistically
+// equivalent logs (documented substitution, see DESIGN.md):
+//
+//   NASA iPSC/860 (1993):  10,000 jobs, power-of-two sizes, avg nj = 6.3,
+//                          avg ej = 381 s, max ej = 12 h, light load.
+//   SDSC RS/6000 SP:       10,000 jobs, arbitrary ("odd") sizes,
+//                          avg nj = 9.7, avg ej = 7722 s, max ej = 132 h,
+//                          heavier load and strong runtime tail.
+//
+// Key properties preserved because the evaluation depends on them:
+//   * heavy-tailed (lognormal) runtimes clamped at the site's cpu limit,
+//   * positive size/runtime correlation (big jobs run long), which sets
+//     E[nj*ej] and therefore the offered load and failure exposure,
+//   * power-of-two vs odd size mix (fragmentation behaviour, paper §5.1),
+//   * bursty arrivals with a daily cycle.
+//
+// All free parameters are *calibrated*, not hand-tuned: given target means
+// the calibration routines solve for distribution parameters by bisection,
+// so the generated logs reproduce Table 1 to within ~2% (enforced by
+// tests/workload_synthetic_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::workload {
+
+/// Parameterized workload family; obtain instances from nasaModel() /
+/// sdscModel() or build custom ones.
+struct WorkloadModel {
+  std::string name;
+
+  int machineSize = 128;
+
+  /// Job-size distribution: explicit choice set with weights.
+  std::vector<int> sizeChoices;
+  std::vector<double> sizeWeights;
+
+  /// Runtime distribution: lognormal(mu + corr*(ln s - E[ln s]), sigma),
+  /// clamped into [minRuntime, maxRuntime].
+  double runtimeMu = 5.0;
+  double runtimeSigma = 1.5;
+  double sizeRuntimeCorrelation = 0.5;  // beta exponent coupling
+  Duration minRuntime = 60.0;
+  Duration maxRuntime = 12.0 * kHour;
+
+  /// Offered load target: E[nj*ej] * arrivalRate / machineSize.
+  double targetLoad = 0.6;
+
+  /// Relative amplitude of the sinusoidal daily arrival cycle, in [0, 1).
+  double dailyCycleAmplitude = 0.5;
+
+  [[nodiscard]] double meanSize() const;
+  [[nodiscard]] double meanLogSize() const;
+};
+
+/// The two models used throughout the reproduction.
+[[nodiscard]] WorkloadModel nasaModel(int machineSize = 128);
+[[nodiscard]] WorkloadModel sdscModel(int machineSize = 128);
+
+/// Looks a model up by name ("nasa" | "sdsc"); throws ConfigError otherwise.
+[[nodiscard]] WorkloadModel modelByName(const std::string& name,
+                                        int machineSize = 128);
+
+/// Generates `count` jobs; deterministic in (model, count, seed).
+[[nodiscard]] std::vector<JobSpec> generate(const WorkloadModel& model,
+                                            std::size_t count,
+                                            std::uint64_t seed);
+
+// --- Calibration helpers (exposed for tests and custom models) ---
+
+/// Mean of min(max(X, lo), hi) for X ~ lognormal(mu, sigma), in closed
+/// form (used to solve for mu).
+[[nodiscard]] double clampedLognormalMean(double mu, double sigma, double lo,
+                                          double hi);
+
+/// Solves for mu such that the clamped lognormal mean equals `target`.
+[[nodiscard]] double calibrateLognormalMu(double target, double sigma,
+                                          double lo, double hi);
+
+/// Geometric weights w_k = r^k over the choice set such that the weighted
+/// mean of `choices` equals `target`; returns the weights. Requires
+/// min(choices) < target < max(choices) and ascending choices.
+[[nodiscard]] std::vector<double> calibrateGeometricWeights(
+    const std::vector<int>& choices, double target);
+
+/// Exact E[ej] of a model: sizes are discrete, so the expectation is the
+/// size-weighted sum of clamped-lognormal means.
+[[nodiscard]] double meanRuntime(const WorkloadModel& model);
+
+/// Exact E[nj * ej] (node-seconds per job); sets the arrival rate via
+/// rate = targetLoad * machineSize / meanJobWork.
+[[nodiscard]] double meanJobWork(const WorkloadModel& model);
+
+/// Solves for model.runtimeMu such that meanRuntime(model) == target.
+[[nodiscard]] double calibrateModelMu(WorkloadModel model, double target);
+
+}  // namespace pqos::workload

@@ -1,0 +1,38 @@
+#include "workload/workload_stats.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace pqos::workload {
+
+WorkloadStats computeStats(const std::vector<JobSpec>& jobs, int machineSize) {
+  require(machineSize >= 1, "computeStats: machineSize must be >= 1");
+  WorkloadStats stats;
+  stats.jobCount = jobs.size();
+  if (jobs.empty()) return stats;
+  double sumNodes = 0.0;
+  double sumRuntime = 0.0;
+  SimTime first = jobs.front().arrival;
+  SimTime last = jobs.front().arrival;
+  for (const auto& job : jobs) {
+    sumNodes += static_cast<double>(job.nodes);
+    sumRuntime += job.work;
+    stats.maxNodes = std::max(stats.maxNodes, job.nodes);
+    stats.maxRuntime = std::max(stats.maxRuntime, job.work);
+    stats.totalWork += job.totalWork();
+    first = std::min(first, job.arrival);
+    last = std::max(last, job.arrival);
+  }
+  const auto n = static_cast<double>(jobs.size());
+  stats.avgNodes = sumNodes / n;
+  stats.avgRuntime = sumRuntime / n;
+  stats.span = last - first;
+  if (stats.span > 0.0) {
+    stats.offeredLoad =
+        stats.totalWork / (stats.span * static_cast<double>(machineSize));
+  }
+  return stats;
+}
+
+}  // namespace pqos::workload

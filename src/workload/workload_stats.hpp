@@ -1,0 +1,25 @@
+// Aggregate workload characteristics — regenerates the paper's Table 1.
+#pragma once
+
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace pqos::workload {
+
+struct WorkloadStats {
+  std::size_t jobCount = 0;
+  double avgNodes = 0.0;   // Table 1: Avg nj
+  int maxNodes = 0;
+  double avgRuntime = 0.0;  // Table 1: Avg ej (seconds)
+  double maxRuntime = 0.0;  // Table 1: Max ej (seconds)
+  WorkUnits totalWork = 0.0;  // sum of nj * ej
+  Duration span = 0.0;        // last arrival - first arrival
+  /// Offered load: totalWork / (span * machineSize); 0 when span is 0.
+  double offeredLoad = 0.0;
+};
+
+[[nodiscard]] WorkloadStats computeStats(const std::vector<JobSpec>& jobs,
+                                         int machineSize);
+
+}  // namespace pqos::workload

@@ -1,0 +1,170 @@
+// Tests for the checkpointing policies, including the paper's Eq. 1
+// algebra and the deadline-rescue rule.
+#include "ckpt/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos::ckpt {
+namespace {
+
+CheckpointRequest baseRequest() {
+  CheckpointRequest request;
+  request.job = 1;
+  request.now = 10000.0;
+  request.interval = 3600.0;  // I
+  request.overhead = 720.0;   // C
+  request.skippedSinceLast = 0;
+  request.partitionFailureProb = 0.0;
+  request.predictorAccuracy = 1.0;
+  request.deadline = kTimeInfinity;
+  request.remainingWork = 7200.0;
+  request.estFinishIfPerform = 18640.0;
+  request.estFinishSkipAll = 17200.0;
+  return request;
+}
+
+TEST(RiskRule, Equation1Algebra) {
+  // perform <=> pf * d * I >= C with d = skipped + 1.
+  EXPECT_FALSE(riskRulePerform(0.0, 0, 3600.0, 720.0));
+  EXPECT_TRUE(riskRulePerform(0.2, 0, 3600.0, 720.0));    // 720 >= 720
+  EXPECT_FALSE(riskRulePerform(0.19, 0, 3600.0, 720.0));  // 684 < 720
+  EXPECT_TRUE(riskRulePerform(0.1, 1, 3600.0, 720.0));    // d=2: 720 >= 720
+  EXPECT_TRUE(riskRulePerform(0.05, 3, 3600.0, 720.0));   // d=4: 720 >= 720
+  EXPECT_FALSE(riskRulePerform(0.05, 2, 3600.0, 720.0));  // d=3: 540 < 720
+  // Zero overhead: any risk justifies checkpointing.
+  EXPECT_TRUE(riskRulePerform(0.01, 0, 3600.0, 0.0));
+}
+
+class RiskRuleSweep
+    : public ::testing::TestWithParam<std::tuple<double, int>> {};
+
+TEST_P(RiskRuleSweep, MatchesClosedForm) {
+  const auto [pf, skipped] = GetParam();
+  const double d = skipped + 1.0;
+  const bool expected = pf * d * 3600.0 >= 720.0;
+  EXPECT_EQ(riskRulePerform(pf, skipped, 3600.0, 720.0), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RiskRuleSweep,
+    ::testing::Combine(::testing::Values(0.0, 0.05, 0.1, 0.2, 0.5, 1.0),
+                       ::testing::Values(0, 1, 2, 5, 10)));
+
+TEST(RiskRule, ValidatesInput) {
+  EXPECT_THROW((void)riskRulePerform(1.5, 0, 1.0, 1.0), LogicError);
+  EXPECT_THROW((void)riskRulePerform(0.5, -1, 1.0, 1.0), LogicError);
+  EXPECT_THROW((void)riskRulePerform(0.5, 0, 0.0, 1.0), LogicError);
+}
+
+TEST(PeriodicPolicy, AlwaysPerforms) {
+  const PeriodicPolicy policy;
+  auto request = baseRequest();
+  request.partitionFailureProb = 0.0;
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+  EXPECT_EQ(policy.name(), "periodic");
+}
+
+TEST(NeverPolicy, AlwaysSkips) {
+  const NeverPolicy policy;
+  auto request = baseRequest();
+  request.partitionFailureProb = 1.0;
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+}
+
+TEST(RiskBasedPolicy, LiteralEquationOne) {
+  const RiskBasedPolicy policy;
+  auto request = baseRequest();
+  // pf = 0 skips under the literal rule (no deadline, no blind prior).
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+  request.partitionFailureProb = 0.25;
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, BlindSystemIsPeriodic) {
+  // a = 0: blind risk = blindPrior = 0.3 -> 0.3*3600 >= 720 -> perform.
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 0.0;
+  request.partitionFailureProb = 0.0;
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, PerfectPredictorSkipsQuietWindows) {
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 1.0;
+  request.partitionFailureProb = 0.0;
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+}
+
+TEST(CooperativePolicy, IntermediateAccuracyStretchesInterval) {
+  // a = 0.5: blind risk 0.15 -> d=1 gives 540 < 720 (skip), d=2 gives
+  // 1080 >= 720 (perform): the effective interval doubles.
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 0.5;
+  request.partitionFailureProb = 0.0;
+  request.skippedSinceLast = 0;
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+  request.skippedSinceLast = 1;
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, DetectedFailureDominatesBlindPrior) {
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 1.0;
+  request.partitionFailureProb = 0.5;  // confident prediction
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+  request.partitionFailureProb = 0.1;  // predicted but cheap to risk
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+  request.skippedSinceLast = 2;  // risk accumulates with skipped intervals
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, DeadlineRescueSkipsBlockingCheckpoint) {
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 0.0;  // would otherwise perform
+  request.deadline = request.now + 7500.0;
+  request.estFinishIfPerform = request.now + 8000.0;  // would miss
+  request.estFinishSkipAll = request.now + 7200.0;    // can still make it
+  EXPECT_EQ(policy.decide(request), Decision::Skip);
+}
+
+TEST(CooperativePolicy, NoRescueWhenDeadlineAlreadyLost) {
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 0.0;
+  request.deadline = request.now + 1000.0;
+  request.estFinishIfPerform = request.now + 8000.0;
+  request.estFinishSkipAll = request.now + 7200.0;  // hopeless either way
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, NoRescueWhenDeadlineSafe) {
+  const CooperativePolicy policy(0.3);
+  auto request = baseRequest();
+  request.predictorAccuracy = 0.0;
+  request.deadline = request.now + 100000.0;  // plenty of time
+  EXPECT_EQ(policy.decide(request), Decision::Perform);
+}
+
+TEST(CooperativePolicy, ValidatesBlindPrior) {
+  EXPECT_THROW(CooperativePolicy(-0.1), LogicError);
+  EXPECT_THROW(CooperativePolicy(1.1), LogicError);
+  EXPECT_DOUBLE_EQ(CooperativePolicy(0.25).blindPrior(), 0.25);
+}
+
+TEST(PolicyFactory, ByNameAndErrors) {
+  EXPECT_EQ(makePolicy("periodic")->name(), "periodic");
+  EXPECT_EQ(makePolicy("never")->name(), "never");
+  EXPECT_EQ(makePolicy("risk")->name(), "risk");
+  EXPECT_EQ(makePolicy("cooperative")->name(), "cooperative");
+  EXPECT_THROW((void)makePolicy("optimal"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pqos::ckpt

@@ -1,0 +1,124 @@
+// Unit tests for the node state machine and machine-wide bookkeeping.
+#include "cluster/machine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos::cluster {
+namespace {
+
+TEST(Node, LifecycleTransitions) {
+  Node node(NodeId{3});
+  EXPECT_EQ(node.id(), 3);
+  EXPECT_TRUE(node.isIdle());
+  node.assign(JobId{7});
+  EXPECT_TRUE(node.isBusy());
+  EXPECT_EQ(node.job(), 7);
+  node.release(JobId{7});
+  EXPECT_TRUE(node.isIdle());
+  EXPECT_EQ(node.job(), kInvalidJob);
+}
+
+TEST(Node, InvalidTransitionsThrow) {
+  Node node(NodeId{0});
+  EXPECT_THROW(node.release(JobId{1}), LogicError);
+  EXPECT_THROW(node.assign(kInvalidJob), LogicError);
+  node.assign(JobId{1});
+  EXPECT_THROW(node.assign(JobId{2}), LogicError);
+  EXPECT_THROW(node.release(JobId{2}), LogicError);
+  EXPECT_THROW(node.recover(), LogicError);
+  EXPECT_THROW(node.extendOutage(10.0), LogicError);
+}
+
+TEST(Node, FailureReturnsVictimAndCounts) {
+  Node node(NodeId{0});
+  node.assign(JobId{9});
+  EXPECT_EQ(node.fail(120.0), 9);
+  EXPECT_TRUE(node.isDown());
+  EXPECT_DOUBLE_EQ(node.upAt(), 120.0);
+  EXPECT_EQ(node.failureCount(), 1u);
+  EXPECT_THROW((void)node.fail(240.0), LogicError);  // already down
+  node.extendOutage(300.0);
+  EXPECT_DOUBLE_EQ(node.upAt(), 300.0);
+  node.extendOutage(250.0);  // shorter outage does not shrink the window
+  EXPECT_DOUBLE_EQ(node.upAt(), 300.0);
+  EXPECT_EQ(node.failureCount(), 3u);
+  node.recover();
+  EXPECT_TRUE(node.isIdle());
+}
+
+TEST(Node, FailingIdleNodeHasNoVictim) {
+  Node node(NodeId{0});
+  EXPECT_EQ(node.fail(5.0), kInvalidJob);
+}
+
+TEST(Machine, CountsAndIdleList) {
+  Machine machine(4);
+  EXPECT_EQ(machine.size(), 4);
+  EXPECT_EQ(machine.idleCount(), 4);
+  machine.assign(Partition{0, 2}, JobId{1});
+  EXPECT_EQ(machine.idleCount(), 2);
+  EXPECT_EQ(machine.busyCount(), 2);
+  EXPECT_EQ(machine.idleNodes(), (std::vector<NodeId>{1, 3}));
+  EXPECT_FALSE(machine.allIdle(Partition{0, 1}));
+  EXPECT_TRUE(machine.allIdle(Partition{1, 3}));
+}
+
+TEST(Machine, AssignRequiresIdlePartition) {
+  Machine machine(4);
+  machine.assign(Partition{1}, JobId{5});
+  EXPECT_THROW(machine.assign(Partition{1, 2}, JobId{6}), LogicError);
+  EXPECT_THROW(machine.assign(Partition{}, JobId{6}), LogicError);
+}
+
+TEST(Machine, FailAndRecoverFlow) {
+  Machine machine(3);
+  machine.assign(Partition{0, 1}, JobId{2});
+  EXPECT_EQ(machine.fail(NodeId{0}, 120.0), 2);
+  EXPECT_EQ(machine.downCount(), 1);
+  // Overlapping failure extends the outage instead of throwing.
+  EXPECT_EQ(machine.fail(NodeId{0}, 500.0), kInvalidJob);
+  EXPECT_DOUBLE_EQ(machine.node(0).upAt(), 500.0);
+  machine.releaseAfterFailure(Partition{0, 1}, JobId{2}, NodeId{0});
+  EXPECT_EQ(machine.busyCount(), 0);
+  machine.recover(NodeId{0});
+  EXPECT_EQ(machine.idleCount(), 3);
+}
+
+TEST(Machine, ReleaseAfterFailureValidatesMembership) {
+  Machine machine(3);
+  machine.assign(Partition{0, 1}, JobId{2});
+  machine.fail(NodeId{0}, 120.0);
+  EXPECT_THROW(machine.releaseAfterFailure(Partition{0, 1}, JobId{2},
+                                           NodeId{2}),
+               LogicError);
+}
+
+TEST(Machine, OutOfRangeNodeThrows) {
+  Machine machine(2);
+  EXPECT_THROW((void)machine.node(2), LogicError);
+  EXPECT_THROW((void)machine.node(-1), LogicError);
+  EXPECT_THROW(Machine(0), LogicError);
+}
+
+TEST(Machine, ConsistencyCheckCatchesUnknownJob) {
+  Machine machine(2);
+  machine.assign(Partition{0}, JobId{4});
+  const JobId known[] = {JobId{4}};
+  machine.checkConsistency(known);  // fine
+  const JobId wrong[] = {JobId{5}};
+  EXPECT_THROW(machine.checkConsistency(wrong), LogicError);
+}
+
+TEST(Partition, SortsAndRejectsDuplicates) {
+  const Partition p({5, 1, 3});
+  EXPECT_EQ(p.size(), 3u);
+  EXPECT_EQ(*p.begin(), 1);
+  EXPECT_TRUE(p.contains(3));
+  EXPECT_FALSE(p.contains(2));
+  EXPECT_THROW(Partition({1, 1}), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos::cluster

@@ -1,0 +1,163 @@
+// Unit tests for partition topologies.
+#include "cluster/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::cluster {
+namespace {
+
+const NodeRanker kById = [](NodeId n) { return static_cast<double>(n); };
+const NodeRanker kUniform = [](NodeId) { return 0.0; };
+
+TEST(FlatTopology, SelectsBestRankedNodes) {
+  FlatTopology flat;
+  const std::vector<NodeId> available{0, 1, 2, 3, 4};
+  // Rank prefers high ids.
+  const NodeRanker preferHigh = [](NodeId n) { return -static_cast<double>(n); };
+  const auto p = flat.select(available, 3, preferHigh);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes()[0], 2);
+  EXPECT_EQ(p->nodes()[1], 3);
+  EXPECT_EQ(p->nodes()[2], 4);
+}
+
+TEST(FlatTopology, TiesBreakByAscendingId) {
+  FlatTopology flat;
+  const std::vector<NodeId> available{4, 2, 0, 3, 1};
+  const auto p = flat.select(available, 2, kUniform);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->nodes()[0], 0);
+  EXPECT_EQ(p->nodes()[1], 1);
+}
+
+TEST(FlatTopology, InsufficientNodes) {
+  FlatTopology flat;
+  const std::vector<NodeId> available{0, 1};
+  EXPECT_FALSE(flat.select(available, 3, kUniform).has_value());
+  EXPECT_FALSE(flat.feasible(available, 3));
+  EXPECT_TRUE(flat.feasible(available, 2));
+  EXPECT_THROW((void)flat.select(available, 0, kUniform), LogicError);
+}
+
+TEST(RingTopology, RequiresContiguousInterval) {
+  RingTopology ring(8);
+  // Free: 0 1 2 _ 4 5 _ _ (3, 6, 7 busy).
+  const std::vector<NodeId> available{0, 1, 2, 4, 5};
+  // Count 3 fits only at [0,1,2].
+  const auto p = ring.select(available, 3, kById);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(std::vector<NodeId>(p->begin(), p->end()),
+            (std::vector<NodeId>{0, 1, 2}));
+  // Count 4 cannot fit anywhere.
+  EXPECT_FALSE(ring.select(available, 4, kById).has_value());
+  EXPECT_FALSE(ring.feasible(available, 4));
+  EXPECT_TRUE(ring.feasible(available, 3));
+}
+
+TEST(RingTopology, WrapsAroundTheEnd) {
+  RingTopology ring(6);
+  // Free: 4 5 0 1 (2, 3 busy) -> the only 4-interval wraps.
+  const std::vector<NodeId> available{0, 1, 4, 5};
+  const auto p = ring.select(available, 4, kUniform);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(std::vector<NodeId>(p->begin(), p->end()),
+            (std::vector<NodeId>{0, 1, 4, 5}));
+}
+
+TEST(RingTopology, PicksLowestTotalRankInterval) {
+  RingTopology ring(6);
+  const std::vector<NodeId> available{0, 1, 2, 3, 4, 5};
+  // Make nodes 2..3 expensive; best 2-interval should avoid them.
+  const NodeRanker risk = [](NodeId n) {
+    return (n == 2 || n == 3) ? 10.0 : static_cast<double>(n);
+  };
+  const auto p = ring.select(available, 2, risk);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(std::vector<NodeId>(p->begin(), p->end()),
+            (std::vector<NodeId>{0, 1}));
+}
+
+TEST(RingTopology, CountLargerThanRingInfeasible) {
+  RingTopology ring(4);
+  const std::vector<NodeId> available{0, 1, 2, 3};
+  EXPECT_FALSE(ring.select(available, 5, kUniform).has_value());
+  EXPECT_TRUE(ring.select(available, 4, kUniform).has_value());
+}
+
+/// Differential fuzz: RingTopology::select against brute-force
+/// enumeration of every wrapping interval.
+class RingFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RingFuzz, MatchesBruteForce) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    const int size = static_cast<int>(rng.uniformInt(2, 16));
+    RingTopology ring(size);
+    std::vector<NodeId> available;
+    std::vector<bool> free(static_cast<std::size_t>(size), false);
+    for (NodeId n = 0; n < size; ++n) {
+      if (rng.bernoulli(0.6)) {
+        available.push_back(n);
+        free[static_cast<std::size_t>(n)] = true;
+      }
+    }
+    const int count = static_cast<int>(rng.uniformInt(1, size));
+    std::vector<double> risk(static_cast<std::size_t>(size));
+    for (auto& r : risk) r = rng.uniform();
+    const NodeRanker ranker = [&](NodeId n) {
+      return risk[static_cast<std::size_t>(n)];
+    };
+
+    // Brute force: best total-risk wrapping interval of `count` free nodes.
+    double bestScore = std::numeric_limits<double>::infinity();
+    bool feasible = false;
+    if (count <= size) {
+      for (int start = 0; start < size; ++start) {
+        double score = 0.0;
+        bool ok = true;
+        for (int k = 0; k < count; ++k) {
+          const int id = (start + k) % size;
+          if (!free[static_cast<std::size_t>(id)]) {
+            ok = false;
+            break;
+          }
+          score += risk[static_cast<std::size_t>(id)];
+        }
+        if (ok) {
+          feasible = true;
+          bestScore = std::min(bestScore, score);
+        }
+      }
+    }
+
+    const auto selected = ring.select(available, count, ranker);
+    ASSERT_EQ(selected.has_value(), feasible)
+        << "size=" << size << " count=" << count;
+    if (selected) {
+      double score = 0.0;
+      for (const NodeId n : *selected) {
+        ASSERT_TRUE(free[static_cast<std::size_t>(n)]);
+        score += risk[static_cast<std::size_t>(n)];
+      }
+      EXPECT_NEAR(score, bestScore, 1e-9);
+      EXPECT_EQ(selected->size(), static_cast<std::size_t>(count));
+    }
+    EXPECT_EQ(ring.feasible(available, count), feasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RingFuzz, ::testing::Values(7u, 8u, 9u));
+
+TEST(TopologyFactory, ByNameAndErrors) {
+  EXPECT_EQ(makeTopology("flat", 8)->name(), "flat");
+  EXPECT_EQ(makeTopology("ring", 8)->name(), "ring");
+  EXPECT_THROW((void)makeTopology("torus", 8), ConfigError);
+}
+
+}  // namespace
+}  // namespace pqos::cluster

@@ -1,0 +1,143 @@
+// Tests for the experiment harness: standard inputs, sweeps, and the
+// paper-shape trends the evaluation section reports.
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "failure/generator.hpp"
+#include "util/error.hpp"
+#include "workload/swf.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace pqos::core {
+namespace {
+
+TEST(StandardInputs, BuildsCalibratedWorkloadAndTrace) {
+  const auto inputs = makeStandardInputs("nasa", 1500, 42);
+  EXPECT_EQ(inputs.jobs.size(), 1500u);
+  EXPECT_EQ(inputs.model.name, "nasa");
+  EXPECT_EQ(inputs.trace.nodeCount(), 128);
+  // The trace must outlast the expected makespan by a wide margin.
+  const auto stats = workload::computeStats(inputs.jobs, 128);
+  EXPECT_GT(inputs.trace.stats().span, 2.0 * stats.span);
+  // Failure density matches the paper's AIX trace (~2.8/day).
+  EXPECT_NEAR(inputs.trace.stats().failuresPerDay, 2.8, 0.5);
+  EXPECT_THROW((void)makeStandardInputs("cray", 100, 1), ConfigError);
+}
+
+TEST(Sweep, CoversCrossProductAndIsPaired) {
+  const auto inputs = makeStandardInputs("nasa", 400, 7);
+  SimConfig base;
+  const std::vector<double> accuracies{0.0, 1.0};
+  const std::vector<double> risks{0.1, 0.9};
+  const auto points = sweep(base, inputs, accuracies, risks);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].userRisk, 0.1);
+  EXPECT_DOUBLE_EQ(points[3].accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(points[3].userRisk, 0.9);
+  for (const auto& point : points) {
+    EXPECT_EQ(point.result.jobCount, 400u);
+    EXPECT_EQ(point.result.completedJobs, 400u);
+  }
+}
+
+TEST(Sweep, CanonicalGridIsElevenSteps) {
+  const auto grid = canonicalGrid();
+  ASSERT_EQ(grid.size(), 11u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.0);
+  EXPECT_DOUBLE_EQ(grid.back(), 1.0);
+}
+
+/// Paper-shape checks (Section 5): more accuracy and more risk-aversion
+/// should not make the system worse. Run at modest scale for test speed;
+/// the full 10k-job curves live in the bench harnesses.
+class PaperTrends : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PaperTrends, AccuracyImprovesTheThreeMetrics) {
+  const auto inputs = makeStandardInputs(GetParam(), 2500, 42);
+  SimConfig base;
+  base.userRisk = 0.9;
+  const std::vector<double> accuracies{0.0, 1.0};
+  const std::vector<double> risks{0.9};
+  const auto points = sweep(base, inputs, accuracies, risks);
+  const auto& blind = points[0].result;
+  const auto& sharp = points[1].result;
+  EXPECT_GE(sharp.qos, blind.qos);
+  EXPECT_GE(sharp.utilization, blind.utilization * 0.995);
+  EXPECT_LE(sharp.lostWork, blind.lostWork);
+  EXPECT_LE(sharp.totalRestarts, blind.totalRestarts);
+}
+
+TEST_P(PaperTrends, RiskAversionImprovesQosAtFullAccuracy) {
+  const auto inputs = makeStandardInputs(GetParam(), 2500, 42);
+  SimConfig base;
+  base.accuracy = 1.0;
+  const std::vector<double> accuracies{1.0};
+  const std::vector<double> risks{0.1, 0.9};
+  const auto points = sweep(base, inputs, accuracies, risks);
+  EXPECT_GE(points[1].result.qos, points[0].result.qos);
+  EXPECT_LE(points[1].result.lostWork, points[0].result.lostWork * 1.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Models, PaperTrends,
+                         ::testing::Values("nasa", "sdsc"));
+
+TEST(Plateau, UserParameterInertWhenAccuracyTooLow) {
+  // With SuccessFloor semantics a quote can only be rejected when
+  // pf > 1 - U, and pf never exceeds a: for a <= 1 - U the user parameter
+  // is inert and results are bit-identical (the paper's Figure 7 plateau).
+  const auto inputs = makeStandardInputs("nasa", 1200, 11);
+  SimConfig base;
+  base.accuracy = 0.4;
+  const std::vector<double> accuracies{0.4};
+  const std::vector<double> risks{0.0, 0.3, 0.6};  // all satisfy a <= 1-U
+  const auto points = sweep(base, inputs, accuracies, risks);
+  EXPECT_DOUBLE_EQ(points[0].result.qos, points[1].result.qos);
+  EXPECT_DOUBLE_EQ(points[1].result.qos, points[2].result.qos);
+  EXPECT_DOUBLE_EQ(points[0].result.lostWork, points[1].result.lostWork);
+  EXPECT_DOUBLE_EQ(points[1].result.utilization,
+                   points[2].result.utilization);
+}
+
+TEST(EndToEnd, SwfFileReplaysThroughTheSimulator) {
+  // The downstream-user path: export a workload as a Standard Workload
+  // Format file, reload it as an archive log would be, and replay it.
+  const auto model = workload::nasaModel();
+  const auto original = workload::generate(model, 600, 99);
+  const std::string path = ::testing::TempDir() + "/pqos_e2e.swf";
+  workload::writeSwfFile(path, original, "end-to-end test log");
+  workload::SwfLoadOptions load;
+  load.maxNodes = 128;
+  const auto reloaded = workload::loadSwfFile(path, load);
+  std::remove(path.c_str());
+  ASSERT_EQ(reloaded.size(), original.size());
+
+  const auto trace =
+      failure::makeCalibratedTrace(128, kYear, 1021.0, 99);
+  SimConfig config;
+  config.accuracy = 0.7;
+  config.userRisk = 0.7;
+  const auto result = runSimulation(config, reloaded, trace);
+  EXPECT_EQ(result.completedJobs, reloaded.size());
+  EXPECT_GT(result.qos, 0.5);
+  EXPECT_GT(result.utilization, 0.0);
+}
+
+TEST(Plateau, UserParameterActiveWhenAccuracyHigh) {
+  const auto inputs = makeStandardInputs("sdsc", 1200, 11);
+  SimConfig base;
+  base.accuracy = 1.0;
+  const std::vector<double> accuracies{1.0};
+  const std::vector<double> risks{0.1, 0.95};
+  const auto points = sweep(base, inputs, accuracies, risks);
+  // At full accuracy the user parameter must matter: the mean promise
+  // differs (risk-averse users force later, safer quotes).
+  EXPECT_NE(points[0].result.meanPromisedSuccess,
+            points[1].result.meanPromisedSuccess);
+}
+
+}  // namespace
+}  // namespace pqos::core

@@ -1,0 +1,143 @@
+// Tests for the implemented future-work extensions: dynamic re-planning
+// after failures (ablation A7), forecast-horizon decay (A8), and the ring
+// topology inside the full simulator (A9).
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "predict/trace_predictor.hpp"
+#include "util/error.hpp"
+
+namespace pqos::core {
+namespace {
+
+TEST(HorizonDecay, ThresholdFallsWithForecastDistance) {
+  // One event per node at increasing horizons, all with px = 0.5.
+  const failure::FailureTrace trace(
+      {
+          {100.0, 0, 0.5},     // near: threshold ~ a
+          {50000.0, 1, 0.5},   // far: threshold decayed below px
+      },
+      2);
+  predict::TracePredictor predictor(trace, 0.9);
+  SimTime now = 0.0;
+  predictor.enableHorizonDecay(10000.0, [&now] { return now; });
+  const NodeId near[] = {0};
+  const NodeId far[] = {1};
+  // Near event: threshold = 0.9 * exp(-100/10000) ~ 0.89 > 0.5 -> seen.
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(near, 0.0, 1000.0), 0.5);
+  // Far event: threshold = 0.9 * exp(-5) ~ 0.006 < 0.5 -> missed.
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(far, 0.0, 100000.0), 0.0);
+  // Moving the clock close to the far event restores detection.
+  now = 49500.0;
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(far, 49000.0, 100000.0), 0.5);
+}
+
+TEST(HorizonDecay, InfiniteTauMatchesPlainPredictor) {
+  const failure::FailureTrace trace({{5000.0, 0, 0.3}}, 1);
+  const predict::TracePredictor plain(trace, 0.5);
+  predict::TracePredictor decayed(trace, 0.5);
+  decayed.enableHorizonDecay(kTimeInfinity, [] { return 0.0; });
+  const NodeId nodes[] = {0};
+  EXPECT_DOUBLE_EQ(plain.partitionFailureProbability(nodes, 0.0, 10000.0),
+                   decayed.partitionFailureProbability(nodes, 0.0, 10000.0));
+}
+
+TEST(HorizonDecay, Validation) {
+  const failure::FailureTrace trace({}, 1);
+  predict::TracePredictor predictor(trace, 0.5);
+  EXPECT_THROW(predictor.enableHorizonDecay(0.0, [] { return 0.0; }),
+               LogicError);
+  EXPECT_THROW(predictor.enableHorizonDecay(10.0, nullptr), LogicError);
+}
+
+TEST(HorizonDecay, SimulatorConfigValidation) {
+  SimConfig config;
+  config.predictionHorizonDecay = 0.0;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.predictionHorizonDecay = kHour;
+  config.validate();
+}
+
+TEST(HorizonDecay, FasterRotWeakensGuarantees) {
+  const auto inputs = makeStandardInputs("sdsc", 1200, 5);
+  SimConfig config;
+  config.accuracy = 0.9;
+  config.userRisk = 0.9;
+  const auto eternal = runSimulation(config, inputs.jobs, inputs.trace);
+  config.predictionHorizonDecay = kHour;  // forecasts rot within an hour
+  const auto myopic = runSimulation(config, inputs.jobs, inputs.trace);
+  // A myopic predictor behaves like a low-accuracy one: more jobs run
+  // into unforeseen failures.
+  EXPECT_GE(myopic.totalRestarts, eternal.totalRestarts);
+  EXPECT_LE(myopic.qos, eternal.qos + 1e-9);
+}
+
+TEST(DynamicReplan, ConfigValidation) {
+  SimConfig config;
+  config.dynamicReplanWindow = -1;
+  EXPECT_THROW(config.validate(), ConfigError);
+  config.dynamicReplanWindow = 16;
+  config.validate();
+}
+
+class DynamicReplanProperties : public ::testing::TestWithParam<int> {};
+
+TEST_P(DynamicReplanProperties, InvariantsSurviveRepacking) {
+  const auto inputs = makeStandardInputs("sdsc", 900, 13);
+  SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.9;
+  config.dynamicReplanWindow = GetParam();
+  config.consistencyChecks = true;
+  Simulator sim(config, inputs.jobs, inputs.trace);
+  const auto result = sim.run();
+  EXPECT_EQ(result.completedJobs, result.jobCount);
+  EXPECT_GE(result.qos, 0.0);
+  EXPECT_LE(result.qos, 1.0);
+  for (const auto& rec : sim.jobs()) {
+    EXPECT_TRUE(rec.completed());
+    // Repacking never yanks a job before the start its user accepted.
+    EXPECT_GE(rec.lastStart, rec.negotiatedStart - 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, DynamicReplanProperties,
+                         ::testing::Values(0, 4, 64));
+
+TEST(DynamicReplan, ZeroWindowMatchesPaperMode) {
+  const auto inputs = makeStandardInputs("nasa", 700, 3);
+  SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+  const auto a = runSimulation(config, inputs.jobs, inputs.trace);
+  config.dynamicReplanWindow = 0;  // explicit off
+  const auto b = runSimulation(config, inputs.jobs, inputs.trace);
+  EXPECT_DOUBLE_EQ(a.qos, b.qos);
+  EXPECT_DOUBLE_EQ(a.lostWork, b.lostWork);
+}
+
+TEST(RingTopology, FullSimulationCompletes) {
+  const auto inputs = makeStandardInputs("sdsc", 500, 9);
+  SimConfig config;
+  config.topology = "ring";
+  config.accuracy = 0.9;
+  config.userRisk = 0.9;
+  config.consistencyChecks = true;
+  Simulator sim(config, inputs.jobs, inputs.trace);
+  const auto result = sim.run();
+  EXPECT_EQ(result.completedJobs, 500u);
+  // Contiguity constraints fragment the schedule: utilization should not
+  // exceed the flat topology's.
+  SimConfig flat = config;
+  flat.topology = "flat";
+  flat.consistencyChecks = false;
+  const auto flatResult = runSimulation(flat, inputs.jobs, inputs.trace);
+  EXPECT_LE(result.utilization, flatResult.utilization + 0.02);
+}
+
+}  // namespace
+}  // namespace pqos::core

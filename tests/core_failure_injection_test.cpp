@@ -1,0 +1,147 @@
+// Failure-injection scenarios: hand-constructed timelines exercising the
+// dispatcher's outage handling — node substitution, downtime-delayed
+// dispatch chains, and overlapping failures extending an outage.
+#include <gtest/gtest.h>
+
+#include "core/simulator.hpp"
+#include "util/error.hpp"
+
+namespace pqos::core {
+namespace {
+
+SimConfig tinyConfig(int machineSize) {
+  SimConfig config;
+  config.machineSize = machineSize;
+  config.checkpointInterval = 1000.0;
+  config.checkpointOverhead = 100.0;
+  config.downtime = 120.0;
+  config.accuracy = 0.0;
+  config.userRisk = 0.5;
+  config.consistencyChecks = true;
+  config.deadlineGrace = 0.0;  // hand-computed scenarios use exact deadlines
+  return config;
+}
+
+workload::JobSpec makeJob(JobId id, SimTime arrival, int nodes,
+                          Duration work) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.arrival = arrival;
+  spec.nodes = nodes;
+  spec.work = work;
+  return spec;
+}
+
+TEST(FailureInjection, DispatchSubstitutesDownNode) {
+  // 3 nodes. Job 0 holds node 0 for 1000 s; job 1 holds nodes {1,2} for
+  // 500 s; job 2 (1 node, 300 s) is reserved on node 1 at t=500. A
+  // failure at t=499 kills job 1 and leaves node 1 down until 619 — but
+  // node 2 is idle and unreserved until 800, so job 2's dispatch swaps it
+  // in and the promise is kept despite the outage.
+  const failure::FailureTrace trace({{499.0, 1, 0.5}}, 3);
+  std::vector<workload::JobSpec> jobs{
+      makeJob(0, 0.0, 1, 1000.0),
+      makeJob(1, 0.0, 2, 500.0),
+      makeJob(2, 0.0, 1, 300.0),
+  };
+  Simulator sim(tinyConfig(3), jobs, trace);
+  const auto result = sim.run();
+
+  const auto& job1 = sim.jobs()[1];
+  EXPECT_EQ(job1.restarts, 1);
+  EXPECT_DOUBLE_EQ(job1.lostWork, 499.0 * 2.0);  // (tx - c) * nj
+  EXPECT_FALSE(job1.metDeadline());
+
+  const auto& job2 = sim.jobs()[2];
+  EXPECT_DOUBLE_EQ(job2.negotiatedStart, 500.0);
+  EXPECT_DOUBLE_EQ(job2.lastStart, 500.0);  // on time, on the substitute
+  EXPECT_DOUBLE_EQ(job2.finish, 800.0);
+  EXPECT_TRUE(job2.metDeadline());
+  EXPECT_EQ(job2.restarts, 0);
+
+  EXPECT_TRUE(sim.jobs()[0].metDeadline());
+  EXPECT_EQ(result.jobKillingFailures, 1u);
+}
+
+TEST(FailureInjection, NoSubstituteMeansDelayedDispatch) {
+  // 2 nodes. Job 0 holds node 0 for 1000 s; job 1 holds node 1 for 300 s;
+  // job 2 is reserved on node 1 at t=300. The failure at t=299 kills
+  // job 1 and leaves node 1 down until 419 with no idle substitute:
+  // job 2 starts late and (with a zero-slack deadline) misses.
+  const failure::FailureTrace trace({{299.0, 1, 0.5}}, 2);
+  std::vector<workload::JobSpec> jobs{
+      makeJob(0, 0.0, 1, 1000.0),
+      makeJob(1, 0.0, 1, 300.0),
+      makeJob(2, 100.0, 1, 500.0),
+  };
+  Simulator sim(tinyConfig(2), jobs, trace);
+  (void)sim.run();
+
+  const auto& job2 = sim.jobs()[2];
+  EXPECT_DOUBLE_EQ(job2.negotiatedStart, 300.0);
+  EXPECT_DOUBLE_EQ(job2.lastStart, 419.0);  // waited out the downtime
+  EXPECT_DOUBLE_EQ(job2.finish, 919.0);
+  EXPECT_FALSE(job2.metDeadline());  // deadline was 800, zero slack
+  EXPECT_EQ(job2.restarts, 0);       // delayed, never killed
+
+  // Job 1 restarts after everyone else's reservations.
+  const auto& job1 = sim.jobs()[1];
+  EXPECT_EQ(job1.restarts, 1);
+  EXPECT_DOUBLE_EQ(job1.lostWork, 299.0);
+  EXPECT_GT(job1.lastStart, 800.0);
+  EXPECT_TRUE(job1.completed());
+}
+
+TEST(FailureInjection, OverlappingFailuresExtendTheOutage) {
+  // Two failures on idle node 0 at t=100 and t=140: the second extends
+  // the outage to t=260. A 2-node job arriving at t=200 must be planned
+  // past the extended downtime.
+  const failure::FailureTrace trace({{100.0, 0, 0.5}, {140.0, 0, 0.5}}, 2);
+  std::vector<workload::JobSpec> jobs{makeJob(0, 200.0, 2, 500.0)};
+  Simulator sim(tinyConfig(2), jobs, trace);
+  const auto result = sim.run();
+
+  const auto& job = sim.jobs()[0];
+  EXPECT_DOUBLE_EQ(job.negotiatedStart, 260.0);
+  EXPECT_DOUBLE_EQ(job.lastStart, 260.0);
+  EXPECT_DOUBLE_EQ(job.finish, 760.0);
+  EXPECT_TRUE(job.metDeadline());
+  EXPECT_EQ(result.failureEvents, 2u);
+  EXPECT_EQ(result.jobKillingFailures, 0u);
+  EXPECT_DOUBLE_EQ(result.lostWork, 0.0);
+}
+
+TEST(FailureInjection, RepeatedFailuresKeepKillingTheSameJob) {
+  // A 2-node job that runs into three failures in a row; every restart
+  // resumes from the last completed checkpoint and the job still finishes.
+  const failure::FailureTrace trace(
+      {{500.0, 0, 0.5}, {1500.0, 1, 0.5}, {2500.0, 0, 0.5}}, 2);
+  std::vector<workload::JobSpec> jobs{makeJob(0, 0.0, 2, 1800.0)};
+  Simulator sim(tinyConfig(2), jobs, trace);
+  const auto result = sim.run();
+  const auto& job = sim.jobs()[0];
+  EXPECT_TRUE(job.completed());
+  EXPECT_EQ(job.restarts, 3);
+  EXPECT_GT(job.lostWork, 0.0);
+  EXPECT_EQ(result.completedJobs, 1u);
+  EXPECT_EQ(result.jobKillingFailures, 3u);
+  // Work conservation: the job finished all 1800 s of work eventually.
+  EXPECT_GE(job.finish - job.spec.arrival, 1800.0);
+}
+
+TEST(FailureInjection, FailureDuringCheckpointLosesTheCheckpoint) {
+  // I = 1000, C = 100. First checkpoint begins at t=1000. A failure at
+  // t=1050 (mid-checkpoint) rolls back to the start (nothing was saved).
+  const failure::FailureTrace trace({{1050.0, 0, 0.5}}, 2);
+  std::vector<workload::JobSpec> jobs{makeJob(0, 0.0, 2, 1800.0)};
+  Simulator sim(tinyConfig(2), jobs, trace);
+  (void)sim.run();
+  const auto& job = sim.jobs()[0];
+  EXPECT_EQ(job.restarts, 1);
+  EXPECT_EQ(job.checkpointsPerformed, 1);  // only the post-restart one
+  EXPECT_DOUBLE_EQ(job.lostWork, 1050.0 * 2.0);  // anchor = dispatch time
+  EXPECT_TRUE(job.completed());
+}
+
+}  // namespace
+}  // namespace pqos::core

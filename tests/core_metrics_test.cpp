@@ -1,0 +1,110 @@
+// Tests for the paper's metrics (Eq. 2 QoS, utilization, lost work).
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos::core {
+namespace {
+
+workload::JobRecord makeRecord(JobId id, SimTime arrival, int nodes,
+                               Duration work, SimTime start, SimTime finish,
+                               double promise, SimTime deadline) {
+  workload::JobRecord rec;
+  rec.spec.id = id;
+  rec.spec.arrival = arrival;
+  rec.spec.nodes = nodes;
+  rec.spec.work = work;
+  rec.state = workload::JobState::Completed;
+  rec.lastStart = start;
+  rec.finish = finish;
+  rec.promisedSuccess = promise;
+  rec.deadline = deadline;
+  return rec;
+}
+
+TEST(Metrics, QosIsWorkAndPromiseWeighted) {
+  std::vector<workload::JobRecord> records;
+  // Job 0: weight 100*2=200, met, promise 0.9 -> contributes 180.
+  records.push_back(makeRecord(0, 0.0, 2, 100.0, 0.0, 100.0, 0.9, 150.0));
+  // Job 1: weight 300*1=300, met, promise 1.0 -> contributes 300.
+  records.push_back(makeRecord(1, 0.0, 1, 300.0, 0.0, 300.0, 1.0, 300.0));
+  // Job 2: weight 500*1=500, MISSED deadline -> contributes 0.
+  records.push_back(makeRecord(2, 0.0, 1, 500.0, 0.0, 900.0, 1.0, 800.0));
+  const auto result = computeResult(records, 4, 0, 0, false);
+  EXPECT_NEAR(result.qos, (180.0 + 300.0) / 1000.0, 1e-12);
+  EXPECT_EQ(result.deadlinesMet, 2u);
+  EXPECT_EQ(result.completedJobs, 3u);
+  EXPECT_NEAR(result.deadlineRate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Metrics, UtilizationMatchesDefinition) {
+  std::vector<workload::JobRecord> records;
+  // T = max fj - min vj = 1000 - 0; N = 2.
+  records.push_back(makeRecord(0, 0.0, 1, 400.0, 0.0, 400.0, 1.0, 1e9));
+  records.push_back(makeRecord(1, 100.0, 2, 300.0, 400.0, 1000.0, 1.0, 1e9));
+  const auto result = computeResult(records, 2, 0, 0, false);
+  EXPECT_DOUBLE_EQ(result.totalWork, 400.0 + 600.0);
+  EXPECT_DOUBLE_EQ(result.span, 1000.0);
+  EXPECT_DOUBLE_EQ(result.utilization, 1000.0 / (1000.0 * 2.0));
+}
+
+TEST(Metrics, LostWorkAndCountersAggregate) {
+  std::vector<workload::JobRecord> records;
+  auto rec = makeRecord(0, 0.0, 4, 100.0, 50.0, 150.0, 1.0, 1e9);
+  rec.lostWork = 2000.0;
+  rec.restarts = 2;
+  rec.checkpointsPerformed = 3;
+  rec.checkpointsSkipped = 5;
+  records.push_back(rec);
+  const auto result = computeResult(records, 8, 7, 2, true);
+  EXPECT_DOUBLE_EQ(result.lostWork, 2000.0);
+  EXPECT_EQ(result.failureEvents, 7u);
+  EXPECT_EQ(result.jobKillingFailures, 2u);
+  EXPECT_EQ(result.totalRestarts, 2);
+  EXPECT_EQ(result.checkpointsPerformed, 3);
+  EXPECT_EQ(result.checkpointsSkipped, 5);
+  EXPECT_TRUE(result.traceExhausted);
+}
+
+TEST(Metrics, WaitAndSlowdown) {
+  std::vector<workload::JobRecord> records;
+  // Waited 100 s, ran 400 s: slowdown = 500/400.
+  records.push_back(makeRecord(0, 0.0, 1, 400.0, 100.0, 500.0, 1.0, 1e9));
+  const auto result = computeResult(records, 2, 0, 0, false);
+  EXPECT_DOUBLE_EQ(result.meanWaitTime, 100.0);
+  EXPECT_DOUBLE_EQ(result.meanBoundedSlowdown, 500.0 / 400.0);
+}
+
+TEST(Metrics, PromiseAndRoundsAveraged) {
+  std::vector<workload::JobRecord> records;
+  auto a = makeRecord(0, 0.0, 1, 10.0, 0.0, 10.0, 0.8, 1e9);
+  a.negotiationRounds = 1;
+  auto b = makeRecord(1, 0.0, 1, 10.0, 10.0, 20.0, 0.6, 1e9);
+  b.negotiationRounds = 3;
+  records.push_back(a);
+  records.push_back(b);
+  const auto result = computeResult(records, 2, 0, 0, false);
+  EXPECT_DOUBLE_EQ(result.meanPromisedSuccess, 0.7);
+  EXPECT_DOUBLE_EQ(result.meanNegotiationRounds, 2.0);
+}
+
+TEST(Metrics, EmptyAndValidation) {
+  const auto result = computeResult({}, 4, 0, 0, false);
+  EXPECT_EQ(result.jobCount, 0u);
+  EXPECT_DOUBLE_EQ(result.qos, 0.0);
+  EXPECT_DOUBLE_EQ(result.deadlineRate(), 0.0);
+  EXPECT_THROW((void)computeResult({}, 0, 0, 0, false), LogicError);
+}
+
+TEST(Metrics, QosBoundedByOne) {
+  std::vector<workload::JobRecord> records;
+  records.push_back(makeRecord(0, 0.0, 1, 100.0, 0.0, 100.0, 1.0, 1e9));
+  const auto result = computeResult(records, 1, 0, 0, false);
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);
+  EXPECT_LE(result.utilization, 1.0);
+}
+
+}  // namespace
+}  // namespace pqos::core

@@ -1,0 +1,184 @@
+// Tests for the user risk model and the deadline-negotiation dialog.
+#include "core/negotiation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "failure/trace.hpp"
+#include "predict/trace_predictor.hpp"
+#include "sched/allocation.hpp"
+#include "util/error.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::core {
+namespace {
+
+TEST(UserModel, SuccessFloorSemantics) {
+  UserModel user;
+  user.semantics = RiskSemantics::SuccessFloor;
+  user.riskParameter = 0.9;
+  EXPECT_TRUE(user.accepts(0.0));
+  EXPECT_TRUE(user.accepts(0.1));   // pj = 0.9 >= 0.9
+  EXPECT_FALSE(user.accepts(0.2));  // pj = 0.8 < 0.9
+  user.riskParameter = 0.0;         // accepts anything
+  EXPECT_TRUE(user.accepts(1.0));
+}
+
+TEST(UserModel, FailureToleranceSemantics) {
+  UserModel user;
+  user.semantics = RiskSemantics::FailureTolerance;
+  user.riskParameter = 0.1;
+  EXPECT_TRUE(user.accepts(0.05));
+  EXPECT_FALSE(user.accepts(0.2));  // pf exceeds tolerance
+  user.riskParameter = 1.0;
+  EXPECT_TRUE(user.accepts(1.0));
+}
+
+TEST(RiskSemantics, NamesRoundTrip) {
+  EXPECT_EQ(riskSemanticsByName("success-floor"), RiskSemantics::SuccessFloor);
+  EXPECT_EQ(riskSemanticsByName("failure-tolerance"),
+            RiskSemantics::FailureTolerance);
+  EXPECT_STREQ(toString(RiskSemantics::SuccessFloor), "success-floor");
+  EXPECT_THROW((void)riskSemanticsByName("yolo"), ConfigError);
+}
+
+/// Test fixture with a 4-node machine and one detectable failure on every
+/// node at t=1000 except node 3, which is clean.
+class NegotiatorTest : public ::testing::Test {
+ protected:
+  NegotiatorTest()
+      : trace_(
+            {
+                {1000.0, 0, 0.6},
+                {1000.0, 1, 0.6},
+                {1000.0, 2, 0.6},
+            },
+            4),
+        predictor_(trace_, 1.0),
+        book_(4) {
+    config_.checkpointInterval = 3600.0;
+    config_.checkpointOverhead = 720.0;
+    config_.downtime = 120.0;
+  }
+
+  Negotiator makeNegotiator() {
+    return Negotiator(config_, book_, topology_, predictor_,
+                      sched::makeRankerFactory(
+                          sched::AllocationPolicy::LowestRisk, predictor_, 0));
+  }
+
+  failure::FailureTrace trace_;
+  predict::TracePredictor predictor_;
+  sched::ReservationBook book_;
+  cluster::FlatTopology topology_;
+  NegotiationConfig config_;
+};
+
+TEST_F(NegotiatorTest, SafeNodesQuoteCertainSuccess) {
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.9, RiskSemantics::SuccessFloor};
+  // One node needed, 2000 s of work (window covers the t=1000 failures):
+  // node 3 (clean) is chosen by the lowest-risk ranker, so the quote
+  // promises success with certainty.
+  const Quote quote = negotiator.negotiate(1, 2000.0, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.start, 0.0);
+  EXPECT_DOUBLE_EQ(quote.failureProb, 0.0);
+  EXPECT_DOUBLE_EQ(quote.promisedSuccess, 1.0);
+  EXPECT_EQ(quote.partition.nodes()[0], 3);
+  EXPECT_EQ(quote.rounds, 1);
+  EXPECT_DOUBLE_EQ(quote.deadline, 2000.0);
+}
+
+TEST_F(NegotiatorTest, RiskTolerantUserTakesEarliestRiskySlot) {
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.1, RiskSemantics::SuccessFloor};  // pj >= 0.1 suffices
+  // Four nodes needed and the window [0, 2000) covers the t=1000 failures:
+  // the risky trio must be included, pf = 0.6, yet the user accepts.
+  const Quote quote = negotiator.negotiate(4, 2000.0, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.start, 0.0);
+  EXPECT_DOUBLE_EQ(quote.failureProb, 0.6);
+  EXPECT_EQ(quote.rounds, 1);
+}
+
+TEST_F(NegotiatorTest, RiskAverseUserIsSteppedPastPredictedFailure) {
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.9, RiskSemantics::SuccessFloor};  // needs pj >= 0.9
+  const Quote quote = negotiator.negotiate(4, 2000.0, 0.0, user);
+  // The negotiator should have pushed the start past the t=1000 failures
+  // (plus downtime), where all nodes are clean again.
+  EXPECT_GT(quote.start, 1000.0);
+  EXPECT_DOUBLE_EQ(quote.failureProb, 0.0);
+  EXPECT_GT(quote.rounds, 1);
+  EXPECT_DOUBLE_EQ(quote.deadline, quote.start + 2000.0);
+}
+
+TEST_F(NegotiatorTest, DeadlineIncludesCheckpointOverheads) {
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.0, RiskSemantics::SuccessFloor};
+  // 2.5 intervals of work -> 2 checkpoints -> Ej = work + 2C.
+  const Duration work = 9000.0;
+  const Quote quote = negotiator.negotiate(1, work, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.reservedElapsed, 9000.0 + 2.0 * 720.0);
+  EXPECT_DOUBLE_EQ(quote.deadline, quote.start + quote.reservedElapsed);
+}
+
+TEST_F(NegotiatorTest, DeadlineSlackStretchesQuote) {
+  config_.deadlineSlack = 0.1;
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.0, RiskSemantics::SuccessFloor};
+  const Quote quote = negotiator.negotiate(1, 1000.0, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.deadline, quote.start + 1000.0 * 1.1);
+}
+
+TEST_F(NegotiatorTest, DeadlineGraceAddsRestartAllowance) {
+  config_.deadlineGrace = 120.0;
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.0, RiskSemantics::SuccessFloor};
+  const Quote quote = negotiator.negotiate(1, 1000.0, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.deadline, quote.start + 1000.0 + 120.0);
+}
+
+TEST_F(NegotiatorTest, UnsatisfiableUserGetsBestOffer) {
+  // Failures on every node, repeating past the horizon, none avoidable.
+  std::vector<failure::FailureEvent> events;
+  for (int k = 0; k < 400; ++k) {
+    for (NodeId n = 0; n < 4; ++n) {
+      events.push_back({k * 10000.0, n, 0.5});
+    }
+  }
+  const failure::FailureTrace dense(std::move(events), 4);
+  const predict::TracePredictor predictor(dense, 1.0);
+  config_.horizon = 5.0 * kDay;
+  config_.maxRounds = 8;
+  const Negotiator negotiator(
+      config_, book_, topology_, predictor,
+      sched::makeRankerFactory(sched::AllocationPolicy::LowestRisk, predictor,
+                               0));
+  UserModel user{1.0, RiskSemantics::SuccessFloor};  // demands certainty
+  const Quote quote = negotiator.negotiate(4, 20000.0, 0.0, user);
+  // Cannot be satisfied: settles for the safest seen, pf = 0.5.
+  EXPECT_DOUBLE_EQ(quote.failureProb, 0.5);
+}
+
+TEST_F(NegotiatorTest, EarliestSlotIgnoresUserPreferences) {
+  const auto negotiator = makeNegotiator();
+  const Quote quote = negotiator.earliestSlot(4, 2000.0, 0.0);
+  EXPECT_DOUBLE_EQ(quote.start, 0.0);
+  EXPECT_DOUBLE_EQ(quote.failureProb, 0.6);
+}
+
+TEST_F(NegotiatorTest, ReservationsPushQuotesLater) {
+  book_.reserve(JobId{0}, cluster::Partition{0, 1, 2, 3}, 0.0, 2000.0);
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.0, RiskSemantics::SuccessFloor};
+  const Quote quote = negotiator.negotiate(2, 500.0, 0.0, user);
+  EXPECT_DOUBLE_EQ(quote.start, 2000.0);
+}
+
+TEST_F(NegotiatorTest, OversizedJobThrows) {
+  const auto negotiator = makeNegotiator();
+  UserModel user{0.5, RiskSemantics::SuccessFloor};
+  EXPECT_THROW((void)negotiator.negotiate(5, 100.0, 0.0, user), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos::core

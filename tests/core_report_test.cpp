@@ -1,0 +1,81 @@
+// Tests for per-job CSV reporting and the result summary.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::core {
+namespace {
+
+workload::JobRecord makeRecord() {
+  workload::JobRecord rec;
+  rec.spec.id = 3;
+  rec.spec.arrival = 100.0;
+  rec.spec.nodes = 8;
+  rec.spec.work = 2500.0;
+  rec.promisedSuccess = 0.9;
+  rec.quotedFailureProb = 0.1;
+  rec.negotiatedStart = 150.0;
+  rec.deadline = 3000.0;
+  rec.state = workload::JobState::Completed;
+  rec.lastStart = 200.0;
+  rec.finish = 2900.0;
+  rec.restarts = 1;
+  rec.checkpointsPerformed = 2;
+  rec.checkpointsSkipped = 1;
+  rec.lostWork = 400.0;
+  rec.negotiationRounds = 2;
+  return rec;
+}
+
+TEST(JobReport, OneRowPerJobWithHeader) {
+  std::ostringstream out;
+  writeJobReport(out, {makeRecord()});
+  const auto lines = split(out.str(), '\n');
+  ASSERT_GE(lines.size(), 3u);  // header + row + trailing empty
+  EXPECT_TRUE(startsWith(lines[0], "job,arrival,nodes"));
+  const auto cells = split(lines[1], ',');
+  ASSERT_EQ(cells.size(), 16u);
+  EXPECT_EQ(cells[0], "3");
+  EXPECT_EQ(cells[2], "8");
+  EXPECT_EQ(cells[10], "1");  // met deadline (2900 <= 3000)
+  EXPECT_EQ(cells[11], "1");  // restarts
+}
+
+TEST(JobReport, EmptyRecordsIsHeaderOnly) {
+  std::ostringstream out;
+  writeJobReport(out, {});
+  EXPECT_EQ(split(out.str(), '\n').size(), 2u);  // header + trailing
+}
+
+TEST(JobReport, FileErrors) {
+  EXPECT_THROW(writeJobReportFile("/nonexistent-dir/report.csv", {}),
+               ConfigError);
+}
+
+TEST(Summary, MentionsTheHeadlineNumbers) {
+  SimResult result;
+  result.jobCount = 10;
+  result.completedJobs = 10;
+  result.deadlinesMet = 9;
+  result.qos = 0.8765;
+  result.utilization = 0.55;
+  result.lostWork = 1234.0;
+  result.failureEvents = 3;
+  result.jobKillingFailures = 1;
+  result.totalRestarts = 1;
+  const std::string text = summarize(result);
+  EXPECT_NE(text.find("0.8765"), std::string::npos);
+  EXPECT_NE(text.find("10/10"), std::string::npos);
+  EXPECT_NE(text.find("90.00%"), std::string::npos);
+  EXPECT_EQ(text.find("WARNING"), std::string::npos);
+  result.traceExhausted = true;
+  EXPECT_NE(summarize(result).find("WARNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqos::core

@@ -1,0 +1,232 @@
+// Integration tests for the full simulator: hand-computed single-job
+// scenarios (checkpoint timing, failure rollback, deadline rescue) and
+// whole-system invariants.
+#include "core/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "failure/generator.hpp"
+#include "util/error.hpp"
+
+namespace pqos::core {
+namespace {
+
+/// Small deterministic setup: 2 nodes, I = 1000, C = 100, downtime = 50.
+SimConfig smallConfig() {
+  SimConfig config;
+  config.machineSize = 2;
+  config.checkpointInterval = 1000.0;
+  config.checkpointOverhead = 100.0;
+  config.downtime = 50.0;
+  config.accuracy = 0.0;
+  config.userRisk = 0.5;
+  config.consistencyChecks = true;
+  config.deadlineGrace = 0.0;  // hand-computed scenarios use exact deadlines
+  return config;
+}
+
+workload::JobSpec makeJob(JobId id, SimTime arrival, int nodes,
+                          Duration work) {
+  workload::JobSpec spec;
+  spec.id = id;
+  spec.arrival = arrival;
+  spec.nodes = nodes;
+  spec.work = work;
+  return spec;
+}
+
+TEST(Simulator, FailureFreeJobRunsExactlyToSchedule) {
+  // work = 2500 -> checkpoints at progress 1000, 2000 -> Ej = 2700.
+  const failure::FailureTrace trace({}, 2);
+  Simulator sim(smallConfig(), {makeJob(0, 0.0, 2, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  EXPECT_DOUBLE_EQ(rec.lastStart, 0.0);
+  EXPECT_DOUBLE_EQ(rec.finish, 2700.0);  // a=0: every checkpoint performed
+  EXPECT_DOUBLE_EQ(rec.deadline, 2700.0);
+  EXPECT_TRUE(rec.metDeadline());
+  EXPECT_EQ(rec.checkpointsPerformed, 2);
+  EXPECT_EQ(rec.checkpointsSkipped, 0);
+  EXPECT_DOUBLE_EQ(rec.promisedSuccess, 1.0);  // a=0 quotes pf=0
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);
+  EXPECT_DOUBLE_EQ(result.lostWork, 0.0);
+  EXPECT_EQ(result.totalRestarts, 0);
+  // util = ej*nj / (T*N) = 2500*2 / (2700*2).
+  EXPECT_NEAR(result.utilization, 2500.0 / 2700.0, 1e-9);
+}
+
+TEST(Simulator, PerfectPredictorSkipsQuietCheckpoints) {
+  auto config = smallConfig();
+  config.accuracy = 1.0;
+  const failure::FailureTrace trace({}, 2);
+  Simulator sim(config, {makeJob(0, 0.0, 2, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  // No failures anywhere: both checkpoints are confidently skipped.
+  EXPECT_EQ(rec.checkpointsPerformed, 0);
+  EXPECT_EQ(rec.checkpointsSkipped, 2);
+  EXPECT_DOUBLE_EQ(rec.finish, 2500.0);
+  EXPECT_TRUE(rec.metDeadline());  // deadline 2700 still quoted with C
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);
+}
+
+TEST(Simulator, FailureRollsBackToCheckpointStart) {
+  // Failure at t=2150 during the second checkpoint (began 2100): rollback
+  // anchor is the FIRST checkpoint's start (t=1000).
+  const failure::FailureTrace trace({{2150.0, 0, 0.5}}, 2);
+  Simulator sim(smallConfig(), {makeJob(0, 0.0, 2, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  EXPECT_EQ(rec.restarts, 1);
+  // Lost work = (tx - c) * nj = (2150 - 1000) * 2.
+  EXPECT_DOUBLE_EQ(result.lostWork, 2300.0);
+  EXPECT_DOUBLE_EQ(rec.lostWork, 2300.0);
+  // Restart from saved progress 1000 once the failed node recovers at
+  // 2200: remaining 1500 s + one checkpoint -> finish 2200 + 1600.
+  EXPECT_DOUBLE_EQ(rec.lastStart, 2200.0);
+  EXPECT_DOUBLE_EQ(rec.finish, 3800.0);
+  EXPECT_FALSE(rec.metDeadline());  // deadline was 2700
+  EXPECT_DOUBLE_EQ(result.qos, 0.0);
+  EXPECT_EQ(result.jobKillingFailures, 1u);
+  EXPECT_EQ(result.failureEvents, 1u);
+}
+
+TEST(Simulator, DeadlineRescueSkipsCheckpointToCatchUp) {
+  // nj = 1 so the restart can move to the surviving node immediately.
+  // Failure at t=1150, just after checkpoint 1 completed (saved progress
+  // 1000, anchor 1000): lost work 150. Restart on node 1 at t=1150.
+  // At the next request (progress 2000, t=2150) performing would finish
+  // at 2750 > deadline 2700, skipping finishes at 2650 <= 2700: the
+  // cooperative policy must skip to rescue the deadline.
+  const failure::FailureTrace trace({{1150.0, 0, 0.5}}, 2);
+  Simulator sim(smallConfig(), {makeJob(0, 0.0, 1, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  EXPECT_EQ(rec.restarts, 1);
+  EXPECT_DOUBLE_EQ(rec.lostWork, 150.0);
+  EXPECT_DOUBLE_EQ(rec.lastStart, 1150.0);
+  EXPECT_EQ(rec.checkpointsSkipped, 1);
+  EXPECT_DOUBLE_EQ(rec.finish, 2650.0);
+  EXPECT_TRUE(rec.metDeadline());
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);  // promise kept despite the failure
+}
+
+TEST(Simulator, FailureOnIdleNodeOnlyCausesDowntime) {
+  const failure::FailureTrace trace({{100.0, 1, 0.5}}, 2);
+  Simulator sim(smallConfig(), {makeJob(0, 0.0, 1, 500.0)}, trace);
+  const auto result = sim.run();
+  EXPECT_EQ(result.jobKillingFailures, 0u);
+  EXPECT_EQ(result.failureEvents, 1u);
+  EXPECT_DOUBLE_EQ(result.lostWork, 0.0);
+  EXPECT_TRUE(sim.jobs()[0].metDeadline());
+}
+
+TEST(Simulator, SecondJobBackfillsAroundReservation) {
+  // Job 0 occupies both nodes [0, 700); job 1 (1 node, 500 s) arrives at
+  // t=100 and must wait; job 2 (1 node) arriving later would fit after.
+  const failure::FailureTrace trace({}, 2);
+  std::vector<workload::JobSpec> jobs{
+      makeJob(0, 0.0, 2, 700.0),
+      makeJob(1, 100.0, 1, 500.0),
+  };
+  Simulator sim(smallConfig(), jobs, trace);
+  (void)sim.run();
+  EXPECT_DOUBLE_EQ(sim.jobs()[0].lastStart, 0.0);
+  EXPECT_DOUBLE_EQ(sim.jobs()[1].lastStart, 700.0);
+  EXPECT_DOUBLE_EQ(sim.jobs()[1].negotiatedStart, 700.0);
+  // The wait was known at negotiation time, so the deadline accounts for
+  // it and is met.
+  EXPECT_TRUE(sim.jobs()[1].metDeadline());
+}
+
+TEST(Simulator, RiskAverseUserAvoidsPredictedFailure) {
+  // One detectable failure at t=1000 on each node 0, 1 (px = 0.6). A
+  // U=0.9 user pushes the start past it; the job then survives.
+  auto config = smallConfig();
+  config.accuracy = 1.0;
+  config.userRisk = 0.9;
+  const failure::FailureTrace trace({{1000.0, 0, 0.6}, {1000.0, 1, 0.6}}, 2);
+  Simulator sim(config, {makeJob(0, 0.0, 2, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  EXPECT_GT(rec.negotiatedStart, 1000.0);
+  EXPECT_EQ(rec.restarts, 0);
+  EXPECT_TRUE(rec.metDeadline());
+  EXPECT_DOUBLE_EQ(rec.promisedSuccess, 1.0);
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);
+  EXPECT_GT(rec.negotiationRounds, 1);
+}
+
+TEST(Simulator, RiskTolerantUserRunsIntoPredictedFailure) {
+  auto config = smallConfig();
+  config.accuracy = 1.0;
+  config.userRisk = 0.1;  // accepts pj >= 0.1: takes the earliest slot
+  const failure::FailureTrace trace({{1000.0, 0, 0.6}, {1000.0, 1, 0.6}}, 2);
+  Simulator sim(config, {makeJob(0, 0.0, 2, 2500.0)}, trace);
+  const auto result = sim.run();
+  const auto& rec = sim.jobs()[0];
+  EXPECT_DOUBLE_EQ(rec.negotiatedStart, 0.0);
+  EXPECT_DOUBLE_EQ(rec.promisedSuccess, 0.4);  // pf = 0.6 was disclosed
+  EXPECT_EQ(rec.restarts, 1);  // killed once at t=1000
+  EXPECT_FALSE(rec.metDeadline());
+  EXPECT_DOUBLE_EQ(result.qos, 0.0);
+  EXPECT_GT(result.lostWork, 0.0);
+}
+
+TEST(Simulator, ValidationErrors) {
+  const failure::FailureTrace trace({}, 2);
+  auto config = smallConfig();
+  EXPECT_THROW(Simulator(config, {makeJob(0, 0.0, 3, 100.0)}, trace),
+               ConfigError);  // larger than machine
+  EXPECT_THROW(Simulator(config, {makeJob(5, 0.0, 1, 100.0)}, trace),
+               LogicError);  // non-dense id
+  EXPECT_THROW(Simulator(config, {makeJob(0, 0.0, 1, 0.0)}, trace),
+               LogicError);  // no work
+  config.machineSize = 4;
+  EXPECT_THROW(Simulator(config, {makeJob(0, 0.0, 1, 100.0)}, trace),
+               LogicError);  // trace smaller than machine
+  config.machineSize = 2;
+  config.accuracy = 1.5;
+  EXPECT_THROW(Simulator(config, {makeJob(0, 0.0, 1, 100.0)}, trace),
+               ConfigError);
+}
+
+TEST(Simulator, RunIsSingleShot) {
+  const failure::FailureTrace trace({}, 2);
+  Simulator sim(smallConfig(), {makeJob(0, 0.0, 1, 100.0)}, trace);
+  (void)sim.run();
+  EXPECT_THROW((void)sim.run(), LogicError);
+}
+
+TEST(Simulator, PerfectPredictionPerfectUserGivesPerfectQos) {
+  // The paper's flagship property: a = 1 and U = 1 achieve QoS = 1.
+  auto inputs = makeStandardInputs("nasa", 800, 17);
+  SimConfig config;
+  config.accuracy = 1.0;
+  config.userRisk = 1.0;
+  config.consistencyChecks = true;
+  Simulator sim(config, inputs.jobs, inputs.trace);
+  const auto result = sim.run();
+  EXPECT_DOUBLE_EQ(result.qos, 1.0);
+  EXPECT_EQ(result.deadlinesMet, result.jobCount);
+  EXPECT_EQ(result.totalRestarts, 0);  // every failure was dodged
+  EXPECT_DOUBLE_EQ(result.meanPromisedSuccess, 1.0);
+}
+
+TEST(Simulator, DeterministicAcrossRuns) {
+  auto inputs = makeStandardInputs("sdsc", 400, 23);
+  SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+  const auto a = runSimulation(config, inputs.jobs, inputs.trace);
+  const auto b = runSimulation(config, inputs.jobs, inputs.trace);
+  EXPECT_DOUBLE_EQ(a.qos, b.qos);
+  EXPECT_DOUBLE_EQ(a.utilization, b.utilization);
+  EXPECT_DOUBLE_EQ(a.lostWork, b.lostWork);
+  EXPECT_EQ(a.checkpointsPerformed, b.checkpointsPerformed);
+  EXPECT_EQ(a.totalRestarts, b.totalRestarts);
+}
+
+}  // namespace
+}  // namespace pqos::core

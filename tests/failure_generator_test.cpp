@@ -1,0 +1,175 @@
+// Tests for the failure-trace synthesis pipeline: raw event generation,
+// Liang-style filtering, detectability assignment, statistical models, and
+// end-to-end calibration against the paper's AIX trace statistics.
+#include "failure/generator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pqos::failure {
+namespace {
+
+RawGeneratorConfig smallConfig() {
+  RawGeneratorConfig config;
+  config.nodeCount = 32;
+  config.span = 120.0 * kDay;
+  return config;
+}
+
+TEST(RawGenerator, DeterministicInSeed) {
+  const auto a = generateRawEvents(smallConfig(), 9);
+  const auto b = generateRawEvents(smallConfig(), 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time, b[i].time);
+    EXPECT_EQ(a[i].node, b[i].node);
+    EXPECT_EQ(a[i].severity, b[i].severity);
+  }
+  const auto c = generateRawEvents(smallConfig(), 10);
+  EXPECT_NE(a.size(), c.size());
+}
+
+TEST(RawGenerator, EmitsSortedEventsWithinSpan) {
+  const auto config = smallConfig();
+  const auto events = generateRawEvents(config, 3);
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i > 0) EXPECT_LE(events[i - 1].time, events[i].time);
+    EXPECT_GE(events[i].time, 0.0);
+    EXPECT_LT(events[i].time, config.span);
+    EXPECT_GE(events[i].node, 0);
+    EXPECT_LT(events[i].node, config.nodeCount);
+    EXPECT_GE(events[i].subsystem, 0);
+    EXPECT_LT(events[i].subsystem, config.subsystems);
+  }
+}
+
+TEST(RawGenerator, FatalEventsComeWithPrecedingNoise) {
+  const auto events = generateRawEvents(smallConfig(), 4);
+  std::size_t fatal = 0, nonFatal = 0;
+  for (const auto& event : events) {
+    (event.severity == Severity::Fatal ? fatal : nonFatal) += 1;
+  }
+  EXPECT_GT(fatal, 0u);
+  // "Failures tend to be preceded by patterns of misbehavior": noise
+  // should heavily outnumber fatal events.
+  EXPECT_GT(nonFatal, 5 * fatal);
+}
+
+TEST(Filter, KeepsOnlyFatalEvents) {
+  std::vector<RawEvent> raw{
+      {10.0, 0, Severity::Warning, 0},
+      {20.0, 0, Severity::Fatal, 0},
+      {2000.0, 1, Severity::Error, 1},
+  };
+  const auto filtered = filterRawEvents(raw, FilterConfig{});
+  ASSERT_EQ(filtered.size(), 1u);
+  EXPECT_DOUBLE_EQ(filtered[0].time, 20.0);
+}
+
+TEST(Filter, CoalescesSameNodeBursts) {
+  FilterConfig config;
+  config.temporalGap = 300.0;
+  config.coalesceAcrossNodes = false;
+  std::vector<RawEvent> raw{
+      {100.0, 0, Severity::Fatal, 0},
+      {200.0, 0, Severity::Fatal, 0},   // within gap of previous -> dropped
+      {450.0, 0, Severity::Fatal, 0},   // within gap of the *burst* -> dropped
+      {1000.0, 0, Severity::Fatal, 0},  // fresh failure
+  };
+  const auto filtered = filterRawEvents(raw, config);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_DOUBLE_EQ(filtered[0].time, 100.0);
+  EXPECT_DOUBLE_EQ(filtered[1].time, 1000.0);
+}
+
+TEST(Filter, CoalescesSharedRootCausesAcrossNodes) {
+  FilterConfig config;
+  config.temporalGap = 300.0;
+  config.spatialGap = 60.0;
+  std::vector<RawEvent> raw{
+      {100.0, 0, Severity::Fatal, 2},
+      {130.0, 1, Severity::Fatal, 2},  // same subsystem, within 60 s
+      {130.0, 2, Severity::Fatal, 3},  // different subsystem -> kept
+      {400.0, 3, Severity::Fatal, 2},  // same subsystem, far away -> kept
+  };
+  const auto filtered = filterRawEvents(raw, config);
+  ASSERT_EQ(filtered.size(), 3u);
+  EXPECT_EQ(filtered[0].node, 0);
+  EXPECT_EQ(filtered[1].node, 2);
+  EXPECT_EQ(filtered[2].node, 3);
+}
+
+TEST(Filter, RequiresSortedInput) {
+  std::vector<RawEvent> raw{
+      {200.0, 0, Severity::Fatal, 0},
+      {100.0, 0, Severity::Fatal, 0},
+  };
+  EXPECT_THROW((void)filterRawEvents(raw, FilterConfig{}), LogicError);
+}
+
+TEST(Detectability, UniformAndDeterministic) {
+  std::vector<FailureEvent> a(500), b(500);
+  assignDetectability(a, 77);
+  assignDetectability(b, 77);
+  Accumulator acc;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].detectability, b[i].detectability);
+    EXPECT_GE(a[i].detectability, 0.0);
+    EXPECT_LE(a[i].detectability, 1.0);
+    acc.add(a[i].detectability);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.05);
+}
+
+TEST(PoissonModel, MatchesTargetMtbf) {
+  const Duration span = 2.0 * kYear;
+  const Duration mtbf = 8.5 * kHour;
+  const auto events = generatePoissonFailures(128, span, mtbf, 5);
+  const double expected = span / mtbf;
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, 0.1 * expected);
+  // Poisson interarrivals have CV ~ 1.
+  const auto stats = FailureTrace(events, 128).stats();
+  EXPECT_NEAR(stats.interarrivalCv, 1.0, 0.15);
+}
+
+TEST(WeibullModel, BurstyWhenShapeBelowOne) {
+  const Duration span = 2.0 * kYear;
+  const Duration mtbf = 8.5 * kHour;
+  const auto events = generateWeibullFailures(128, span, mtbf, 0.6, 5);
+  const double expected = span / mtbf;
+  EXPECT_NEAR(static_cast<double>(events.size()), expected, 0.2 * expected);
+  EXPECT_TRUE(std::is_sorted(events.begin(), events.end(),
+                             [](const FailureEvent& a, const FailureEvent& b) {
+                               return a.time < b.time;
+                             }));
+}
+
+TEST(CalibratedTrace, HitsPaperStatistics) {
+  // Paper: 1021 failures over a year on 128 machines, MTBF 8.5 h,
+  // bursty distribution with hot nodes.
+  const auto trace = makeCalibratedTrace(128, 1.0 * kYear, 1021.0, 42);
+  const auto stats = trace.stats();
+  EXPECT_NEAR(static_cast<double>(stats.count), 1021.0, 0.10 * 1021.0);
+  EXPECT_NEAR(stats.clusterMtbf, 8.5 * kHour, 0.15 * 8.5 * kHour);
+  EXPECT_NEAR(stats.failuresPerDay, 2.8, 0.45);
+  // Burstier than Poisson...
+  EXPECT_GT(stats.interarrivalCv, 1.1);
+  // ...with failures concentrated on hot nodes (top 10% of nodes carry
+  // far more than 10% of failures).
+  EXPECT_GT(stats.hotNodeShare, 0.2);
+}
+
+TEST(CalibratedTrace, RejectsBadParameters) {
+  EXPECT_THROW((void)makeCalibratedTrace(128, kYear, 0.0, 1), LogicError);
+  EXPECT_THROW((void)generatePoissonFailures(0, kYear, kHour, 1), LogicError);
+  EXPECT_THROW((void)generateWeibullFailures(8, kYear, kHour, 0.0, 1),
+               LogicError);
+}
+
+}  // namespace
+}  // namespace pqos::failure

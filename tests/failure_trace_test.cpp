@@ -1,0 +1,112 @@
+// Unit tests for the indexed failure trace.
+#include "failure/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos::failure {
+namespace {
+
+FailureTrace makeTrace() {
+  // Times deliberately unsorted; constructor must sort.
+  std::vector<FailureEvent> events{
+      {500.0, 2, 0.9},
+      {100.0, 0, 0.3},
+      {300.0, 1, 0.7},
+      {200.0, 0, 0.05},
+      {400.0, 2, 0.5},
+  };
+  return FailureTrace(std::move(events), 4);
+}
+
+TEST(FailureTrace, SortsEventsByTime) {
+  const auto trace = makeTrace();
+  ASSERT_EQ(trace.size(), 5u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_LE(trace.events()[i - 1].time, trace.events()[i].time);
+  }
+}
+
+TEST(FailureTrace, PerNodeIndex) {
+  const auto trace = makeTrace();
+  EXPECT_EQ(trace.nodeEvents(0).size(), 2u);
+  EXPECT_EQ(trace.nodeEvents(1).size(), 1u);
+  EXPECT_EQ(trace.nodeEvents(2).size(), 2u);
+  EXPECT_EQ(trace.nodeEvents(3).size(), 0u);
+  EXPECT_THROW((void)trace.nodeEvents(4), LogicError);
+}
+
+TEST(FailureTrace, FirstDetectableRespectsThreshold) {
+  const auto trace = makeTrace();
+  const NodeId nodes[] = {0, 1, 2};
+  // Everything detectable: earliest event overall.
+  auto hit = trace.firstDetectable(nodes, 0.0, 1000.0, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->time, 100.0);
+  // Threshold 0.1: only the px=0.05 event qualifies.
+  hit = trace.firstDetectable(nodes, 0.0, 1000.0, 0.1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->time, 200.0);
+  EXPECT_DOUBLE_EQ(hit->detectability, 0.05);
+  // Threshold 0.01: nothing detectable.
+  EXPECT_FALSE(trace.firstDetectable(nodes, 0.0, 1000.0, 0.01).has_value());
+}
+
+TEST(FailureTrace, WindowBoundsAreHalfOpen) {
+  const auto trace = makeTrace();
+  const NodeId nodes[] = {0};
+  // [100, 200): includes t=100, excludes t=200.
+  auto hit = trace.firstDetectable(nodes, 100.0, 200.0, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->time, 100.0);
+  EXPECT_FALSE(trace.firstDetectable(nodes, 150.0, 200.0, 1.0).has_value());
+  hit = trace.firstDetectable(nodes, 200.0, 201.0, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_DOUBLE_EQ(hit->time, 200.0);
+}
+
+TEST(FailureTrace, SubsetOfNodesOnly) {
+  const auto trace = makeTrace();
+  const NodeId nodes[] = {1, 3};
+  const auto hit = trace.firstDetectable(nodes, 0.0, 1000.0, 1.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->node, 1);
+  EXPECT_DOUBLE_EQ(hit->time, 300.0);
+}
+
+TEST(FailureTrace, CountInWindow) {
+  const auto trace = makeTrace();
+  EXPECT_EQ(trace.countInWindow(0, 0.0, 1000.0), 2u);
+  EXPECT_EQ(trace.countInWindow(0, 150.0, 1000.0), 1u);
+  EXPECT_EQ(trace.countInWindow(3, 0.0, 1000.0), 0u);
+  EXPECT_THROW((void)trace.countInWindow(0, 10.0, 5.0), LogicError);
+}
+
+TEST(FailureTrace, ValidatesInput) {
+  EXPECT_THROW(FailureTrace({{1.0, 9, 0.5}}, 4), LogicError);   // bad node
+  EXPECT_THROW(FailureTrace({{1.0, 0, 1.5}}, 4), LogicError);   // bad px
+  EXPECT_THROW(FailureTrace({{1.0, -1, 0.5}}, 4), LogicError);  // bad node
+  EXPECT_THROW(FailureTrace({}, 0), LogicError);                // bad size
+}
+
+TEST(FailureTrace, StatsBasics) {
+  const auto trace = makeTrace();
+  const auto stats = trace.stats();
+  EXPECT_EQ(stats.count, 5u);
+  EXPECT_DOUBLE_EQ(stats.span, 400.0);
+  EXPECT_DOUBLE_EQ(stats.clusterMtbf, 80.0);
+  EXPECT_GT(stats.failuresPerDay, 0.0);
+  EXPECT_GT(stats.hotNodeShare, 0.0);
+}
+
+TEST(FailureTrace, EmptyTraceIsWellBehaved) {
+  const FailureTrace trace({}, 4);
+  EXPECT_TRUE(trace.empty());
+  const NodeId nodes[] = {0, 1};
+  EXPECT_FALSE(trace.firstEvent(nodes, 0.0, 100.0).has_value());
+  EXPECT_EQ(trace.stats().count, 0u);
+}
+
+}  // namespace
+}  // namespace pqos::failure

@@ -1,0 +1,172 @@
+// Tests for the system-health monitoring substrate (paper §3.1): telemetry
+// synthesis, the sliding precursor window, alarm lifecycle, and outcome
+// accounting.
+#include "health/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "failure/generator.hpp"
+#include "health/telemetry.hpp"
+#include "util/error.hpp"
+
+namespace pqos::health {
+namespace {
+
+failure::RawEvent warning(SimTime t, NodeId node) {
+  return {t, node, failure::Severity::Warning, 0};
+}
+
+MonitorConfig tightConfig() {
+  MonitorConfig config;
+  config.precursorWindow = 1000.0;
+  config.alarmThreshold = 3;
+  config.alarmLifetime = 5000.0;
+  return config;
+}
+
+TEST(HealthMonitor, AlarmRaisedByPrecursorBurst) {
+  HealthMonitor monitor(4, tightConfig());
+  monitor.ingestEvent(warning(100.0, 1));
+  monitor.ingestEvent(warning(200.0, 1));
+  EXPECT_FALSE(monitor.alarmActive(1));
+  monitor.ingestEvent(warning(300.0, 1));  // third within the window
+  EXPECT_TRUE(monitor.alarmActive(1));
+  EXPECT_DOUBLE_EQ(monitor.alarmRaisedAt(1), 300.0);
+  EXPECT_FALSE(monitor.alarmActive(0));
+  EXPECT_EQ(monitor.stats().alarmsRaised, 1u);
+}
+
+TEST(HealthMonitor, SlowDripNeverAlarms) {
+  HealthMonitor monitor(2, tightConfig());
+  // Three warnings, but spread beyond the 1000 s window.
+  monitor.ingestEvent(warning(0.0, 0));
+  monitor.ingestEvent(warning(900.0, 0));
+  monitor.ingestEvent(warning(2000.0, 0));  // first two aged out
+  EXPECT_FALSE(monitor.alarmActive(0));
+  EXPECT_EQ(monitor.stats().alarmsRaised, 0u);
+}
+
+TEST(HealthMonitor, AlarmExpiresAsFalsePositive) {
+  HealthMonitor monitor(2, tightConfig());
+  for (int i = 0; i < 3; ++i) monitor.ingestEvent(warning(100.0 + i, 0));
+  ASSERT_TRUE(monitor.alarmActive(0));
+  monitor.advanceTo(103.0 + 5000.0);  // lifetime passed, no failure
+  EXPECT_FALSE(monitor.alarmActive(0));
+  EXPECT_EQ(monitor.stats().falsePositives, 1u);
+  EXPECT_EQ(monitor.stats().truePositives, 0u);
+}
+
+TEST(HealthMonitor, FailureDuringAlarmIsTruePositive) {
+  HealthMonitor monitor(2, tightConfig());
+  for (int i = 0; i < 3; ++i) monitor.ingestEvent(warning(100.0 + i, 0));
+  monitor.ingestFailure(2000.0, 0);
+  EXPECT_EQ(monitor.stats().truePositives, 1u);
+  EXPECT_EQ(monitor.stats().missedFailures, 0u);
+  EXPECT_FALSE(monitor.alarmActive(0));  // consumed by the failure
+}
+
+TEST(HealthMonitor, UnheraldedFailureIsMissed) {
+  HealthMonitor monitor(2, tightConfig());
+  monitor.ingestFailure(500.0, 1);
+  EXPECT_EQ(monitor.stats().missedFailures, 1u);
+  EXPECT_NEAR(monitor.stats().recall(), 1.0 / 3.0, 1e-12);  // Laplace
+}
+
+TEST(HealthMonitor, FatalRawEventCountsAsFailure) {
+  HealthMonitor monitor(2, tightConfig());
+  monitor.ingestEvent({700.0, 0, failure::Severity::Fatal, 2});
+  EXPECT_EQ(monitor.stats().missedFailures, 1u);
+}
+
+TEST(HealthMonitor, PrecisionAndRecallAreLaplaceSmoothed) {
+  MonitorStats stats;
+  EXPECT_DOUBLE_EQ(stats.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(stats.recall(), 0.5);
+  stats.truePositives = 7;
+  stats.falsePositives = 1;
+  stats.missedFailures = 2;
+  EXPECT_NEAR(stats.precision(), 8.0 / 10.0, 1e-12);
+  EXPECT_NEAR(stats.recall(), 8.0 / 11.0, 1e-12);
+}
+
+TEST(HealthMonitor, RejectsTimeTravel) {
+  HealthMonitor monitor(2, tightConfig());
+  monitor.advanceTo(100.0);
+  EXPECT_THROW(monitor.advanceTo(50.0), LogicError);
+  EXPECT_THROW(monitor.ingestEvent(warning(10.0, 0)), LogicError);
+}
+
+TEST(HealthMonitor, HotTelemetryRaisesAlarm) {
+  MonitorConfig config = tightConfig();
+  config.hotTemperatureC = 50.0;
+  config.telemetryWeight = 1.0;  // no smoothing for the test
+  HealthMonitor monitor(2, config);
+  TelemetrySample cool{10.0, 0, 45.0, 0.4};
+  monitor.ingestSample(cool);
+  EXPECT_FALSE(monitor.alarmActive(0));
+  TelemetrySample hot{20.0, 0, 56.0, 0.9};
+  monitor.ingestSample(hot);
+  EXPECT_TRUE(monitor.alarmActive(0));
+  EXPECT_DOUBLE_EQ(monitor.smoothedTemperature(0), 56.0);
+}
+
+TEST(HealthMonitor, EwmaSmoothsTemperature) {
+  MonitorConfig config = tightConfig();
+  config.telemetryWeight = 0.5;
+  HealthMonitor monitor(1, config);
+  monitor.ingestSample({0.0, 0, 40.0, 0.5});
+  monitor.ingestSample({10.0, 0, 48.0, 0.5});
+  EXPECT_DOUBLE_EQ(monitor.smoothedTemperature(0), 44.0);
+}
+
+TEST(Telemetry, SickNodesRunHot) {
+  // Node 0 gets an intense event burst; node 1 stays quiet.
+  std::vector<failure::RawEvent> raw;
+  for (int i = 0; i < 50; ++i) {
+    raw.push_back(warning(50000.0 + 60.0 * i, 0));
+  }
+  TelemetryConfig config;
+  config.cadence = 10.0 * kMinute;
+  const auto samples = generateTelemetry(raw, 2, 100000.0, config, 5);
+  ASSERT_FALSE(samples.empty());
+  double hotSum = 0.0, coolSum = 0.0;
+  int hotCount = 0, coolCount = 0;
+  for (const auto& sample : samples) {
+    if (sample.time < 50000.0 || sample.time > 55000.0) continue;
+    if (sample.node == 0) {
+      hotSum += sample.temperatureC;
+      ++hotCount;
+    } else {
+      coolSum += sample.temperatureC;
+      ++coolCount;
+    }
+  }
+  ASSERT_GT(hotCount, 0);
+  ASSERT_GT(coolCount, 0);
+  EXPECT_GT(hotSum / hotCount, coolSum / coolCount + 4.0);
+}
+
+TEST(Telemetry, DeterministicAndSorted) {
+  const auto raw = failure::generateRawEvents(
+      []{
+        failure::RawGeneratorConfig c;
+        c.nodeCount = 8;
+        c.span = 30.0 * kDay;
+        return c;
+      }(),
+      3);
+  TelemetryConfig config;
+  config.cadence = kHour;
+  const auto a = generateTelemetry(raw, 8, 30.0 * kDay, config, 7);
+  const auto b = generateTelemetry(raw, 8, 30.0 * kDay, config, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].temperatureC, b[i].temperatureC);
+    if (i > 0) EXPECT_LE(a[i - 1].time, a[i].time);
+    EXPECT_GE(a[i].loadFraction, 0.0);
+    EXPECT_LE(a[i].loadFraction, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pqos::health

@@ -1,0 +1,91 @@
+// System-wide property tests: invariants that must hold for any seed,
+// model, and configuration (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+
+namespace pqos::core {
+namespace {
+
+using PropertyParam = std::tuple<const char*, int, double, double>;
+
+class SimulatorProperties : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(SimulatorProperties, InvariantsHold) {
+  const auto [model, seed, accuracy, userRisk] = GetParam();
+  const auto inputs =
+      makeStandardInputs(model, 900, static_cast<std::uint64_t>(seed));
+  SimConfig config;
+  config.accuracy = accuracy;
+  config.userRisk = userRisk;
+  config.consistencyChecks = true;
+  Simulator sim(config, inputs.jobs, inputs.trace);
+  const auto result = sim.run();
+
+  // Every job completes exactly once.
+  EXPECT_EQ(result.completedJobs, result.jobCount);
+  EXPECT_EQ(result.jobCount, 900u);
+
+  // Metrics live in their defined ranges.
+  EXPECT_GE(result.qos, 0.0);
+  EXPECT_LE(result.qos, 1.0);
+  EXPECT_GT(result.utilization, 0.0);
+  EXPECT_LE(result.utilization, 1.0);
+  EXPECT_GE(result.lostWork, 0.0);
+  EXPECT_GE(result.meanWaitTime, 0.0);
+  EXPECT_GE(result.meanBoundedSlowdown, 1.0);
+
+  // Lost work appears iff some failure killed a job.
+  EXPECT_EQ(result.lostWork > 0.0, result.jobKillingFailures > 0);
+  EXPECT_EQ(result.totalRestarts,
+            static_cast<long long>(result.jobKillingFailures));
+
+  // The predictor never promises less success than 1 - a allows.
+  EXPECT_GE(result.meanPromisedSuccess, 1.0 - accuracy - 1e-9);
+
+  // QoS can never exceed the work-weighted deadline-met ratio.
+  EXPECT_LE(result.deadlinesMet, result.jobCount);
+
+  // The failure trace must have covered the whole run.
+  EXPECT_FALSE(result.traceExhausted);
+
+  // Per-job ledger invariants. A job that never failed can still miss its
+  // deadline indirectly (a node outage at dispatch time with no idle
+  // substitute delays it); that must stay rare.
+  std::size_t missedWithoutFailure = 0;
+  for (const auto& rec : sim.jobs()) {
+    EXPECT_TRUE(rec.completed());
+    EXPECT_GE(rec.lastStart, rec.negotiatedStart - 1e-6);
+    EXPECT_GE(rec.finish, rec.lastStart);
+    EXPECT_GE(rec.promisedSuccess, 0.0);
+    EXPECT_LE(rec.promisedSuccess, 1.0);
+    EXPECT_GE(rec.promisedSuccess, 1.0 - accuracy - 1e-9);
+    EXPECT_GE(rec.negotiationRounds, 1);
+    EXPECT_GE(rec.checkpointsPerformed, 0);
+    EXPECT_GE(rec.checkpointsSkipped, 0);
+    if (rec.restarts == 0) {
+      EXPECT_DOUBLE_EQ(rec.lostWork, 0.0);
+      if (!rec.metDeadline()) ++missedWithoutFailure;
+    } else {
+      EXPECT_GT(rec.lostWork, 0.0);
+    }
+    // A job can never run faster than its remaining work.
+    EXPECT_GE(rec.finish - rec.lastStart,
+              rec.spec.work - rec.savedProgress - 1e-6);
+  }
+  EXPECT_LE(missedWithoutFailure, result.jobCount / 15)
+      << "too many deadline misses without any failure involvement";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SimulatorProperties,
+    ::testing::Combine(::testing::Values("nasa", "sdsc"),
+                       ::testing::Values(1, 2),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.1, 0.9)));
+
+}  // namespace
+}  // namespace pqos::core

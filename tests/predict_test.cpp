@@ -1,0 +1,163 @@
+// Tests for the prediction layer: the paper's trace-replay predictor
+// semantics (§4.3) and the online statistical predictor extension.
+#include "predict/trace_predictor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "failure/generator.hpp"
+#include "predict/statistical_predictor.hpp"
+#include "util/error.hpp"
+
+namespace pqos::predict {
+namespace {
+
+failure::FailureTrace makeTrace() {
+  std::vector<failure::FailureEvent> events{
+      {100.0, 0, 0.30},
+      {200.0, 0, 0.80},
+      {300.0, 1, 0.10},
+      {400.0, 2, 0.95},
+  };
+  return failure::FailureTrace(std::move(events), 4);
+}
+
+TEST(TracePredictor, ReturnsDetectabilityOfFirstDetectableFailure) {
+  const auto trace = makeTrace();
+  const TracePredictor predictor(trace, 0.5);
+  const NodeId nodes[] = {0, 1, 2};
+  // First event (px=0.30 <= 0.5) is detectable: return its px.
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(nodes, 0.0, 1000.0), 0.30);
+  // Window starting after it: px=0.80 is NOT detectable at a=0.5, so the
+  // next detectable is px=0.10 at t=300.
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(nodes, 150.0, 1000.0), 0.10);
+  // Window with only undetectable events: 0 (and no false positives).
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(nodes, 350.0, 1000.0), 0.0);
+}
+
+TEST(TracePredictor, NeverExceedsAccuracy) {
+  const auto trace = makeTrace();
+  for (const double a : {0.0, 0.2, 0.5, 0.9, 1.0}) {
+    const TracePredictor predictor(trace, a);
+    const NodeId nodes[] = {0, 1, 2, 3};
+    for (double t0 = 0.0; t0 < 500.0; t0 += 50.0) {
+      const double pf =
+          predictor.partitionFailureProbability(nodes, t0, t0 + 200.0);
+      EXPECT_LE(pf, a) << "a=" << a << " t0=" << t0;
+      EXPECT_GE(pf, 0.0);
+    }
+  }
+}
+
+TEST(TracePredictor, ZeroFalsePositives) {
+  const auto trace = makeTrace();
+  const TracePredictor predictor(trace, 1.0);
+  const NodeId nodes[] = {3};  // node with no failures
+  EXPECT_DOUBLE_EQ(
+      predictor.partitionFailureProbability(nodes, 0.0, 1e9), 0.0);
+  EXPECT_FALSE(predictor.firstPredictedFailure(nodes, 0.0, 1e9).has_value());
+}
+
+TEST(TracePredictor, FalseNegativeRateIsOneMinusA) {
+  // With px ~ U(0,1), the fraction of failures detected at accuracy a
+  // should be ~a.
+  auto events = failure::generatePoissonFailures(16, kYear, 4.0 * kHour, 3);
+  const failure::FailureTrace trace(std::move(events), 16);
+  for (const double a : {0.25, 0.75}) {
+    const TracePredictor predictor(trace, a);
+    std::size_t detected = 0;
+    for (const auto& event : trace.events()) {
+      const NodeId nodes[] = {event.node};
+      if (predictor
+              .firstPredictedFailure(nodes, event.time - 1.0, event.time + 1.0)
+              .has_value()) {
+        ++detected;
+      }
+    }
+    const double rate =
+        static_cast<double>(detected) / static_cast<double>(trace.size());
+    EXPECT_NEAR(rate, a, 0.05) << "a=" << a;
+  }
+}
+
+TEST(TracePredictor, NodeRiskMatchesSingleNodeQuery) {
+  const auto trace = makeTrace();
+  const TracePredictor predictor(trace, 1.0);
+  EXPECT_DOUBLE_EQ(predictor.nodeRisk(0, 0.0, 1000.0), 0.30);
+  EXPECT_DOUBLE_EQ(predictor.nodeRisk(1, 0.0, 1000.0), 0.10);
+  EXPECT_DOUBLE_EQ(predictor.nodeRisk(3, 0.0, 1000.0), 0.0);
+}
+
+TEST(TracePredictor, FirstPredictedFailureTime) {
+  const auto trace = makeTrace();
+  const TracePredictor predictor(trace, 0.5);
+  const NodeId nodes[] = {0, 1};
+  const auto t = predictor.firstPredictedFailure(nodes, 0.0, 1000.0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_DOUBLE_EQ(*t, 100.0);
+  // At a=0.05 nothing on these nodes is detectable.
+  const TracePredictor blind(trace, 0.05);
+  EXPECT_FALSE(blind.firstPredictedFailure(nodes, 0.0, 1000.0).has_value());
+}
+
+TEST(TracePredictor, AccuracyValidation) {
+  const auto trace = makeTrace();
+  EXPECT_THROW(TracePredictor(trace, -0.1), LogicError);
+  EXPECT_THROW(TracePredictor(trace, 1.1), LogicError);
+  EXPECT_DOUBLE_EQ(TracePredictor(trace, 0.7).accuracy(), 0.7);
+}
+
+TEST(NullPredictor, AlwaysSilent) {
+  const NullPredictor predictor;
+  const NodeId nodes[] = {0, 1};
+  EXPECT_DOUBLE_EQ(predictor.partitionFailureProbability(nodes, 0.0, 1e6),
+                   0.0);
+  EXPECT_DOUBLE_EQ(predictor.nodeRisk(0, 0.0, 1e6), 0.0);
+  EXPECT_FALSE(predictor.firstPredictedFailure(nodes, 0.0, 1e6).has_value());
+  EXPECT_DOUBLE_EQ(predictor.accuracy(), 0.0);
+}
+
+TEST(StatisticalPredictor, HazardRisesAfterObservedFailure) {
+  StatisticalPredictor predictor(4);
+  const double before = predictor.hazard(0, 1000.0);
+  predictor.observe({1000.0, 0, 0.5});
+  const double justAfter = predictor.hazard(0, 1000.0 + 60.0);
+  EXPECT_GT(justAfter, 5.0 * before);
+  // Sickness decays back toward the base rate.
+  const double muchLater = predictor.hazard(0, 1000.0 + 30.0 * kDay);
+  EXPECT_LT(muchLater, 2.0 * before);
+}
+
+TEST(StatisticalPredictor, LearnsShorterGaps) {
+  StatisticalPredictor fast(2);
+  StatisticalPredictor slow(2);
+  // Node 0 fails daily in `fast`, monthly in `slow`.
+  for (int i = 1; i <= 10; ++i) {
+    fast.observe({i * kDay, 0, 0.5});
+    slow.observe({i * 30.0 * kDay, 0, 0.5});
+  }
+  // Compare base hazards long after the last failure (sickness decayed).
+  EXPECT_GT(fast.hazard(0, 400.0 * kDay), slow.hazard(0, 400.0 * kDay));
+}
+
+TEST(StatisticalPredictor, PartitionProbabilityComposesNodes) {
+  StatisticalPredictor predictor(4);
+  const NodeId one[] = {0};
+  const NodeId all[] = {0, 1, 2, 3};
+  const double pOne = predictor.partitionFailureProbability(one, 0.0, kDay);
+  const double pAll = predictor.partitionFailureProbability(all, 0.0, kDay);
+  EXPECT_GT(pAll, pOne);
+  EXPECT_LE(pAll, 1.0);
+  EXPECT_GE(pOne, 0.0);
+}
+
+TEST(StatisticalPredictor, ObservationsMustBeOrdered) {
+  StatisticalPredictor predictor(4);
+  predictor.observe({100.0, 0, 0.5});
+  EXPECT_THROW(predictor.observe({50.0, 1, 0.5}), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos::predict

@@ -1,0 +1,136 @@
+// Randomized differential test: the ReservationBook's sweepline slot
+// search against a brute-force reference model. Guards the counting fast
+// path (activation/deactivation events, open-interval boundary semantics)
+// with thousands of random scenarios.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "cluster/topology.hpp"
+#include "sched/reservation_book.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::sched {
+namespace {
+
+/// Plain interval list per node; the obviously-correct model.
+struct ReferenceBook {
+  struct Interval {
+    SimTime start;
+    SimTime end;
+    JobId owner;
+  };
+  std::vector<std::vector<Interval>> lines;
+
+  explicit ReferenceBook(int nodes) : lines(static_cast<std::size_t>(nodes)) {}
+
+  [[nodiscard]] bool nodeFree(NodeId node, SimTime t0, SimTime t1) const {
+    for (const auto& iv : lines[static_cast<std::size_t>(node)]) {
+      if (iv.start < t1 && iv.end > t0) return false;
+    }
+    return true;
+  }
+
+  void reserve(JobId owner, const cluster::Partition& partition, SimTime start,
+               SimTime end) {
+    for (const NodeId node : partition) {
+      lines[static_cast<std::size_t>(node)].push_back({start, end, owner});
+    }
+  }
+
+  void release(JobId owner) {
+    for (auto& line : lines) {
+      std::erase_if(line, [owner](const Interval& iv) {
+        return iv.owner == owner;
+      });
+    }
+  }
+
+  /// Brute-force earliest slot: candidates are notBefore and all ends.
+  [[nodiscard]] std::optional<SimTime> findSlotStart(SimTime notBefore,
+                                                     int count,
+                                                     Duration duration) const {
+    std::vector<SimTime> candidates{notBefore};
+    for (const auto& line : lines) {
+      for (const auto& iv : line) {
+        if (iv.end > notBefore) candidates.push_back(iv.end);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    for (const SimTime t : candidates) {
+      int free = 0;
+      for (NodeId n = 0; n < static_cast<NodeId>(lines.size()); ++n) {
+        if (nodeFree(n, t, t + duration)) ++free;
+      }
+      if (free >= count) return t;
+    }
+    return std::nullopt;
+  }
+};
+
+class BookFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BookFuzz, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  const int nodes = 12;
+  const cluster::FlatTopology flat;
+  const RankerFactory uniform = [](SimTime, SimTime) {
+    return [](NodeId) { return 0.0; };
+  };
+
+  ReservationBook book(nodes);
+  ReferenceBook reference(nodes);
+  std::map<JobId, bool> live;
+  JobId nextJob = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.55) {
+      // Reserve a random job at the earliest feasible slot.
+      const int count = static_cast<int>(rng.uniformInt(1, nodes));
+      const Duration duration = rng.uniform(1.0, 500.0);
+      const SimTime notBefore = rng.uniform(0.0, 2000.0);
+      const auto slot = book.findSlot(notBefore, count, duration, flat,
+                                      uniform);
+      const auto expected =
+          reference.findSlotStart(notBefore, count, duration);
+      ASSERT_EQ(slot.has_value(), expected.has_value()) << "step " << step;
+      if (!slot) continue;
+      ASSERT_DOUBLE_EQ(slot->start, *expected) << "step " << step;
+      // Every selected node must really be free in both models.
+      for (const NodeId n : slot->partition) {
+        ASSERT_TRUE(book.nodeFree(n, slot->start, slot->start + duration));
+        ASSERT_TRUE(
+            reference.nodeFree(n, slot->start, slot->start + duration));
+      }
+      const JobId job = nextJob++;
+      book.reserve(job, slot->partition, slot->start, slot->start + duration);
+      reference.reserve(job, slot->partition, slot->start,
+                        slot->start + duration);
+      live[job] = true;
+    } else if (action < 0.8 && !live.empty()) {
+      // Release a random live job.
+      auto it = live.begin();
+      std::advance(it, static_cast<long>(rng.uniformInt(
+                           0, static_cast<std::int64_t>(live.size()) - 1)));
+      book.release(it->first);
+      reference.release(it->first);
+      live.erase(it);
+    } else {
+      // Spot-check random nodeFree queries.
+      const auto n = static_cast<NodeId>(rng.uniformInt(0, nodes - 1));
+      const SimTime t0 = rng.uniform(0.0, 3000.0);
+      const SimTime t1 = t0 + rng.uniform(0.0, 400.0);
+      ASSERT_EQ(book.nodeFree(n, t0, t1), reference.nodeFree(n, t0, t1))
+          << "step " << step;
+    }
+    book.checkConsistency();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BookFuzz,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u));
+
+}  // namespace
+}  // namespace pqos::sched

@@ -1,0 +1,183 @@
+// Tests for the reservation book: the conservative-backfilling slot search
+// and commitment bookkeeping at the heart of the scheduler.
+#include "sched/reservation_book.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/topology.hpp"
+#include "util/error.hpp"
+
+namespace pqos::sched {
+namespace {
+
+const cluster::FlatTopology kFlat;
+
+RankerFactory uniformRanker() {
+  return [](SimTime, SimTime) {
+    return [](NodeId) { return 0.0; };
+  };
+}
+
+TEST(ReservationBook, EmptyBookGivesImmediateSlot) {
+  ReservationBook book(4);
+  const auto slot = book.findSlot(10.0, 3, 100.0, kFlat, uniformRanker());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_DOUBLE_EQ(slot->start, 10.0);
+  EXPECT_EQ(slot->partition.size(), 3u);
+}
+
+TEST(ReservationBook, NodeFreeQueries) {
+  ReservationBook book(2);
+  book.reserve(JobId{1}, cluster::Partition{0}, 100.0, 200.0);
+  EXPECT_TRUE(book.nodeFree(0, 0.0, 100.0));    // half-open: ends at start
+  EXPECT_FALSE(book.nodeFree(0, 150.0, 160.0));
+  EXPECT_FALSE(book.nodeFree(0, 50.0, 150.0));
+  EXPECT_TRUE(book.nodeFree(0, 200.0, 300.0));  // starts at end
+  EXPECT_TRUE(book.nodeFree(1, 0.0, 1e9));
+}
+
+TEST(ReservationBook, OverlapIsRejected) {
+  ReservationBook book(2);
+  book.reserve(JobId{1}, cluster::Partition{0}, 100.0, 200.0);
+  EXPECT_THROW(book.reserve(JobId{2}, cluster::Partition{0}, 150.0, 250.0),
+               LogicError);
+  EXPECT_THROW(book.reserve(JobId{2}, cluster::Partition{0}, 50.0, 101.0),
+               LogicError);
+  // Adjacent is fine.
+  book.reserve(JobId{2}, cluster::Partition{0}, 200.0, 250.0);
+  book.reserve(JobId{3}, cluster::Partition{0}, 50.0, 100.0);
+  book.checkConsistency();
+}
+
+TEST(ReservationBook, FindSlotWaitsForCapacity) {
+  ReservationBook book(4);
+  // Nodes 0-2 busy until t=500; only node 3 free before that.
+  book.reserve(JobId{1}, cluster::Partition{0, 1, 2}, 0.0, 500.0);
+  const auto slot = book.findSlot(0.0, 2, 100.0, kFlat, uniformRanker());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_DOUBLE_EQ(slot->start, 500.0);
+  // A single-node job backfills immediately on node 3.
+  const auto small = book.findSlot(0.0, 1, 100.0, kFlat, uniformRanker());
+  ASSERT_TRUE(small.has_value());
+  EXPECT_DOUBLE_EQ(small->start, 0.0);
+  EXPECT_EQ(small->partition.nodes()[0], 3);
+}
+
+TEST(ReservationBook, FindSlotRespectsDuration) {
+  ReservationBook book(2);
+  // Node 0 has a gap [100, 300) between reservations; node 1 blocked until
+  // 1000.
+  book.reserve(JobId{1}, cluster::Partition{0}, 0.0, 100.0);
+  book.reserve(JobId{2}, cluster::Partition{0}, 300.0, 400.0);
+  book.reserve(JobId{3}, cluster::Partition{1}, 0.0, 1000.0);
+  // Duration 150 fits in the gap.
+  auto slot = book.findSlot(0.0, 1, 150.0, kFlat, uniformRanker());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_DOUBLE_EQ(slot->start, 100.0);
+  // Duration 250 does not; next chance is after node 0's second job.
+  slot = book.findSlot(0.0, 1, 250.0, kFlat, uniformRanker());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_DOUBLE_EQ(slot->start, 400.0);
+}
+
+TEST(ReservationBook, ConservativeBackfillNeverDelaysCommitments) {
+  ReservationBook book(4);
+  // Head job holds all nodes from 1000.
+  book.reserve(JobId{1}, cluster::Partition{0, 1, 2, 3}, 1000.0, 2000.0);
+  // A short job backfills before the head job's reservation...
+  const auto fits = book.findSlot(0.0, 2, 900.0, kFlat, uniformRanker());
+  ASSERT_TRUE(fits.has_value());
+  EXPECT_DOUBLE_EQ(fits->start, 0.0);
+  book.reserve(JobId{2}, fits->partition, fits->start, fits->start + 900.0);
+  // ...but a longer one must wait until the head finishes.
+  const auto waits = book.findSlot(0.0, 2, 1100.0, kFlat, uniformRanker());
+  ASSERT_TRUE(waits.has_value());
+  EXPECT_DOUBLE_EQ(waits->start, 2000.0);
+  book.checkConsistency();
+}
+
+TEST(ReservationBook, RankerSteersNodeChoice) {
+  ReservationBook book(4);
+  const RankerFactory avoidLowIds = [](SimTime, SimTime) {
+    return [](NodeId n) { return -static_cast<double>(n); };
+  };
+  const auto slot = book.findSlot(0.0, 2, 100.0, kFlat, avoidLowIds);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(slot->partition.nodes()[0], 2);
+  EXPECT_EQ(slot->partition.nodes()[1], 3);
+}
+
+TEST(ReservationBook, ReleaseFreesAllNodes) {
+  ReservationBook book(3);
+  book.reserve(JobId{5}, cluster::Partition{0, 1, 2}, 100.0, 500.0);
+  EXPECT_EQ(book.intervalCount(), 3u);
+  book.release(JobId{5});
+  EXPECT_EQ(book.intervalCount(), 0u);
+  EXPECT_TRUE(book.nodeFree(1, 100.0, 500.0));
+  book.release(JobId{5});  // idempotent
+}
+
+TEST(ReservationBook, DowntimeTrimsAroundExistingReservations) {
+  ReservationBook book(1);
+  book.reserve(JobId{1}, cluster::Partition{0}, 100.0, 200.0);
+  // Downtime overlapping the reservation trims to the free region.
+  book.reserveDowntime(0, 150.0, 260.0);
+  book.checkConsistency();
+  EXPECT_FALSE(book.nodeFree(0, 200.0, 260.0));
+  // Fully covered downtime disappears.
+  book.reserveDowntime(0, 120.0, 180.0);
+  book.checkConsistency();
+}
+
+TEST(ReservationBook, BestEffortReservationTrims) {
+  ReservationBook book(1);
+  book.reserve(JobId{1}, cluster::Partition{0}, 100.0, 200.0);
+  book.reserveBestEffort(JobId{2}, cluster::Partition{0}, 50.0, 150.0);
+  book.checkConsistency();
+  EXPECT_FALSE(book.nodeFree(0, 50.0, 100.0));
+}
+
+TEST(ReservationBook, PruneDropsPastIntervals) {
+  ReservationBook book(2);
+  book.reserve(JobId{1}, cluster::Partition{0}, 0.0, 100.0);
+  book.reserve(JobId{2}, cluster::Partition{1}, 50.0, 500.0);
+  book.prune(200.0);
+  EXPECT_EQ(book.intervalCount(), 1u);
+  // Pruned owners release cleanly.
+  book.release(JobId{1});
+  book.release(JobId{2});
+  EXPECT_EQ(book.intervalCount(), 0u);
+}
+
+TEST(ReservationBook, ImpossibleRequests) {
+  ReservationBook book(2);
+  EXPECT_FALSE(
+      book.findSlot(0.0, 3, 10.0, kFlat, uniformRanker()).has_value());
+  EXPECT_THROW(
+      (void)book.findSlot(0.0, 0, 10.0, kFlat, uniformRanker()),
+      LogicError);
+  EXPECT_THROW(
+      (void)book.findSlot(0.0, 1, 0.0, kFlat, uniformRanker()),
+      LogicError);
+  EXPECT_THROW(book.reserve(JobId{1}, cluster::Partition{0}, 5.0, 5.0),
+               LogicError);
+  EXPECT_THROW(book.reserve(kDowntimeOwner, cluster::Partition{0}, 0.0, 1.0),
+               LogicError);
+}
+
+TEST(ReservationBook, RingTopologySlotSearch) {
+  const cluster::RingTopology ring(4);
+  ReservationBook book(4);
+  // Block node 1 for a long time: contiguous 3-node intervals must avoid
+  // it -> only [2,3,0] works.
+  book.reserve(JobId{1}, cluster::Partition{1}, 0.0, 1000.0);
+  const auto slot = book.findSlot(0.0, 3, 100.0, ring, uniformRanker());
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_DOUBLE_EQ(slot->start, 0.0);
+  EXPECT_EQ(std::vector<NodeId>(slot->partition.begin(),
+                                slot->partition.end()),
+            (std::vector<NodeId>{0, 2, 3}));
+}
+
+}  // namespace
+}  // namespace pqos::sched

@@ -1,0 +1,155 @@
+// Unit and property tests for the discrete-event engine.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop().fn();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  int fired = 0;
+  const EventId id = q.schedule(1.0, [&] { ++fired; });
+  q.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));  // second cancel is benign
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.schedule(1.0, [] {});
+  q.schedule(5.0, [] {});
+  EXPECT_DOUBLE_EQ(q.nextTime(), 1.0);
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.nextTime(), 5.0);
+}
+
+TEST(EventQueue, RejectsBadInput) {
+  EventQueue q;
+  EXPECT_THROW((void)q.schedule(kTimeInfinity, [] {}), LogicError);
+  EXPECT_THROW((void)q.schedule(1.0, EventFn{}), LogicError);
+  EXPECT_THROW((void)q.pop(), LogicError);
+}
+
+TEST(Engine, ClockAdvancesMonotonically) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.scheduleAt(2.0, [&] { times.push_back(engine.now()); });
+  engine.scheduleAt(1.0, [&] {
+    times.push_back(engine.now());
+    engine.scheduleAfter(0.5, [&] { times.push_back(engine.now()); });
+  });
+  engine.run();
+  EXPECT_EQ(times, (std::vector<SimTime>{1.0, 1.5, 2.0}));
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine engine;
+  engine.scheduleAt(5.0, [&] {
+    EXPECT_THROW((void)engine.scheduleAt(4.0, [] {}), LogicError);
+    EXPECT_THROW((void)engine.scheduleAfter(-1.0, [] {}), LogicError);
+  });
+  engine.run();
+  EXPECT_EQ(engine.firedCount(), 1u);
+}
+
+TEST(Engine, RunUntilBoundIsInclusive) {
+  Engine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] { ++fired; });
+  engine.scheduleAt(2.0, [&] { ++fired; });
+  engine.scheduleAt(3.0, [&] { ++fired; });
+  engine.run(2.0);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(engine.now(), 2.0);
+  engine.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, StopHaltsProcessing) {
+  Engine engine;
+  int fired = 0;
+  engine.scheduleAt(1.0, [&] {
+    ++fired;
+    engine.stop();
+  });
+  engine.scheduleAt(2.0, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+  engine.run();  // resumes after stop
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Engine, CancelDuringRun) {
+  Engine engine;
+  int fired = 0;
+  const EventId later = engine.scheduleAt(2.0, [&] { ++fired; });
+  engine.scheduleAt(1.0, [&] { EXPECT_TRUE(engine.cancel(later)); });
+  engine.run();
+  EXPECT_EQ(fired, 0);
+}
+
+/// Property: random scheduling/cancellation still fires events in
+/// nondecreasing time order and fires each exactly once.
+class EngineStress : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineStress, OrderAndExactlyOnce) {
+  Rng rng(GetParam());
+  Engine engine;
+  int fired = 0;
+  SimTime last = -1.0;
+  std::vector<EventId> cancellable;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime at = rng.uniform(0.0, 1000.0);
+    const EventId id = engine.scheduleAt(at, [&, at] {
+      EXPECT_GE(at, last);
+      last = at;
+      ++fired;
+      // Occasionally schedule follow-ups from inside handlers.
+      if (fired % 100 == 0) {
+        engine.scheduleAfter(rng.uniform(0.0, 10.0), [&] { ++fired; });
+      }
+    });
+    if (i % 3 == 0) cancellable.push_back(id);
+  }
+  int cancelled = 0;
+  for (std::size_t i = 0; i < cancellable.size(); i += 2) {
+    cancelled += engine.cancel(cancellable[i]) ? 1 : 0;
+  }
+  engine.run();
+  EXPECT_EQ(engine.firedCount(), static_cast<std::uint64_t>(fired));
+  EXPECT_GE(fired, 2000 - cancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineStress,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+}  // namespace
+}  // namespace pqos::sim

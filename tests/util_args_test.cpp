@@ -1,0 +1,100 @@
+// Unit tests for the CLI flag parser.
+#include "util/args.hpp"
+
+#include <gtest/gtest.h>
+
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace pqos {
+namespace {
+
+ArgParser makeParser() {
+  ArgParser parser("test tool");
+  parser.addString("name", "default", "a string");
+  parser.addDouble("ratio", 0.5, "a double");
+  parser.addInt("count", 10, "an int");
+  parser.addBool("verbose", false, "a bool");
+  return parser;
+}
+
+bool parseArgs(ArgParser& parser, std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return parser.parse(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(ArgParser, DefaultsApply) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parseArgs(parser, {}));
+  EXPECT_EQ(parser.getString("name"), "default");
+  EXPECT_DOUBLE_EQ(parser.getDouble("ratio"), 0.5);
+  EXPECT_EQ(parser.getInt("count"), 10);
+  EXPECT_FALSE(parser.getBool("verbose"));
+  EXPECT_FALSE(parser.provided("name"));
+}
+
+TEST(ArgParser, SpaceAndEqualsForms) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parseArgs(parser, {"--name", "abc", "--ratio=0.75",
+                                 "--count", "3", "--verbose"}));
+  EXPECT_EQ(parser.getString("name"), "abc");
+  EXPECT_DOUBLE_EQ(parser.getDouble("ratio"), 0.75);
+  EXPECT_EQ(parser.getInt("count"), 3);
+  EXPECT_TRUE(parser.getBool("verbose"));
+  EXPECT_TRUE(parser.provided("ratio"));
+}
+
+TEST(ArgParser, BoolExplicitValueForms) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parseArgs(parser, {"--verbose", "false"}));
+  EXPECT_FALSE(parser.getBool("verbose"));
+  auto parser2 = makeParser();
+  ASSERT_TRUE(parseArgs(parser2, {"--verbose=1"}));
+  EXPECT_TRUE(parser2.getBool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW((void)parseArgs(parser, {"--nope", "1"}), ConfigError);
+}
+
+TEST(ArgParser, MalformedValuesThrow) {
+  auto parser = makeParser();
+  EXPECT_THROW((void)parseArgs(parser, {"--ratio", "abc"}), ConfigError);
+  auto parser2 = makeParser();
+  EXPECT_THROW((void)parseArgs(parser2, {"--count", "3.5"}), ConfigError);
+  auto parser3 = makeParser();
+  EXPECT_THROW((void)parseArgs(parser3, {"--verbose=maybe"}), ConfigError);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+  auto parser = makeParser();
+  EXPECT_THROW((void)parseArgs(parser, {"--count"}), ConfigError);
+}
+
+TEST(ArgParser, PositionalArgumentsRejected) {
+  auto parser = makeParser();
+  EXPECT_THROW((void)parseArgs(parser, {"stray"}), ConfigError);
+}
+
+TEST(ArgParser, HelpReturnsFalse) {
+  auto parser = makeParser();
+  EXPECT_FALSE(parseArgs(parser, {"--help"}));
+}
+
+TEST(ArgParser, WrongTypeQueryIsALogicError) {
+  auto parser = makeParser();
+  ASSERT_TRUE(parseArgs(parser, {}));
+  EXPECT_THROW((void)parser.getInt("ratio"), LogicError);
+  EXPECT_THROW((void)parser.getString("missing"), LogicError);
+}
+
+TEST(ArgParser, DuplicateDeclarationThrows) {
+  ArgParser parser("dup");
+  parser.addInt("x", 1, "first");
+  EXPECT_THROW(parser.addDouble("x", 2.0, "second"), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos

@@ -1,0 +1,191 @@
+// Unit and property tests for the seeded RNG and its samplers.
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace pqos {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, ForkIsIndependentOfParentConsumption) {
+  Rng parent(7);
+  const Rng forkedBefore = parent.fork(3);
+  for (int i = 0; i < 100; ++i) (void)parent();
+  const Rng forkedAfter = parent.fork(3);
+  Rng a = forkedBefore;
+  Rng b = forkedAfter;
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkStreamsDiffer) {
+  Rng parent(7);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(12);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-4.0, 9.0);
+    EXPECT_GE(u, -4.0);
+    EXPECT_LT(u, 9.0);
+  }
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), LogicError);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(13);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 5000; ++i) seen.insert(rng.uniformInt(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+  EXPECT_THROW((void)rng.uniformInt(1, 0), LogicError);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniformInt(5, 5), 5);
+}
+
+struct DistributionCase {
+  const char* name;
+  double expectedMean;
+  double tolerance;  // relative
+  std::function<double(Rng&)> sample;
+};
+
+class RngDistribution : public ::testing::TestWithParam<int> {};
+
+TEST_P(RngDistribution, MeansMatchTheory) {
+  const int seed = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const std::vector<DistributionCase> cases = {
+      {"exponential", 42.0, 0.05,
+       [](Rng& r) { return r.exponential(42.0); }},
+      {"normal", 5.0, 0.05, [](Rng& r) { return r.normal(5.0, 2.0); }},
+      {"lognormal", std::exp(1.0 + 0.5 * 0.25), 0.05,
+       [](Rng& r) { return r.lognormal(1.0, 0.5); }},
+      {"weibull", 2.0 * std::tgamma(1.0 + 1.0 / 1.5), 0.05,
+       [](Rng& r) { return r.weibull(1.5, 2.0); }},
+      {"pareto", 3.0 * 1.0 / (3.0 - 1.0) * 2.0, 0.15,
+       [](Rng& r) { return r.pareto(2.0, 3.0); }},
+  };
+  for (const auto& c : cases) {
+    Accumulator acc;
+    for (int i = 0; i < 60000; ++i) acc.add(c.sample(rng));
+    EXPECT_NEAR(acc.mean(), c.expectedMean,
+                c.tolerance * std::abs(c.expectedMean))
+        << c.name << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngDistribution, ::testing::Values(1, 2, 3));
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(21);
+  int hits = 0;
+  for (int i = 0; i < 20000; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / 20000.0, 0.3, 0.02);
+}
+
+TEST(Rng, WeightedSamplerMatchesWeights) {
+  Rng rng(22);
+  const std::vector<double> weights{1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.weighted(weights)];
+  }
+  EXPECT_EQ(counts[2], 0);  // zero weight never sampled
+  EXPECT_NEAR(counts[0] / 20000.0, 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / 20000.0, 0.3, 0.02);
+  EXPECT_NEAR(counts[3] / 20000.0, 0.6, 0.02);
+  EXPECT_THROW((void)rng.weighted({0.0, 0.0}), LogicError);
+  EXPECT_THROW((void)rng.weighted({1.0, -1.0}), LogicError);
+}
+
+TEST(Rng, ShuffleIsAPermutation) {
+  Rng rng(23);
+  std::vector<int> values(100);
+  for (int i = 0; i < 100; ++i) values[static_cast<std::size_t>(i)] = i;
+  auto shuffled = values;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, values);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, values);
+}
+
+TEST(Zipf, PmfSumsToOneAndDecreases) {
+  const ZipfSampler zipf(50, 1.1);
+  double total = 0.0;
+  double prev = 1.0;
+  for (std::size_t k = 0; k < 50; ++k) {
+    const double p = zipf.pmf(k);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, ZeroExponentIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-9);
+  }
+}
+
+TEST(Zipf, SamplesFavorLowRanks) {
+  Rng rng(31);
+  const ZipfSampler zipf(20, 1.0);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], 3 * counts[19]);
+}
+
+TEST(Zipf, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), LogicError);
+  EXPECT_THROW(ZipfSampler(5, -0.5), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos

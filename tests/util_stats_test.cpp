@@ -1,0 +1,109 @@
+// Unit tests for the statistics helpers.
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pqos {
+namespace {
+
+TEST(Accumulator, BasicMoments) {
+  Accumulator acc;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 8u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, EmptyAndSingle) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.cv(), 0.0);
+}
+
+TEST(Accumulator, CvOfExponentialLikeData) {
+  Accumulator acc;
+  // Highly dispersed data has CV > 1.
+  for (const double x : {0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 10.0}) {
+    acc.add(x);
+  }
+  EXPECT_GT(acc.cv(), 1.5);
+}
+
+TEST(Quantile, InterpolatesSortedSamples) {
+  const std::vector<double> sorted{10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 1.0), 40.0);
+  EXPECT_DOUBLE_EQ(quantileSorted(sorted, 0.5), 25.0);
+  EXPECT_THROW((void)quantileSorted({}, 0.5), LogicError);
+  EXPECT_THROW((void)quantileSorted(sorted, 1.5), LogicError);
+}
+
+TEST(Summarize, MatchesHandComputation) {
+  const auto s = summarize({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+}
+
+TEST(Summarize, EmptyIsZeros) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(LinearSlope, RecoversLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 20; ++i) {
+    x.push_back(i);
+    y.push_back(3.0 - 2.0 * i);
+  }
+  EXPECT_NEAR(linearSlope(x, y), -2.0, 1e-12);
+}
+
+TEST(LinearSlope, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(linearSlope({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(linearSlope({1.0}, {2.0}), 0.0);
+  EXPECT_DOUBLE_EQ(linearSlope({2.0, 2.0}, {1.0, 5.0}), 0.0);  // vertical
+  EXPECT_THROW((void)linearSlope({1.0}, {1.0, 2.0}), LogicError);
+}
+
+TEST(Pearson, PerfectCorrelationAndIndependence) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(pearson(x, {2.0, 4.0, 6.0, 8.0}), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, {8.0, 6.0, 4.0, 2.0}), -1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(pearson(x, {5.0, 5.0, 5.0, 5.0}), 0.0);  // constant
+}
+
+TEST(Histogram, BucketsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bucket 0
+  h.add(9.9);   // bucket 4
+  h.add(-3.0);  // clamps to bucket 0
+  h.add(42.0);  // clamps to bucket 4
+  h.add(5.0);   // bucket 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(2), 1u);
+  EXPECT_EQ(h.bucket(4), 2u);
+  EXPECT_DOUBLE_EQ(h.bucketLow(2), 4.0);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), LogicError);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos

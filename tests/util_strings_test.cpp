@@ -1,0 +1,82 @@
+// Unit tests for string helpers.
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos {
+namespace {
+
+TEST(Split, BasicAndEmptyTokens) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(splitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(splitWhitespace("   ").empty());
+  EXPECT_TRUE(splitWhitespace("").empty());
+}
+
+TEST(Trim, RemovesEdges) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim("x"), "x");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(ParseDouble, AcceptsValidRejectsTrailing) {
+  EXPECT_DOUBLE_EQ(parseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(parseDouble(" -1e3 "), -1000.0);
+  EXPECT_THROW((void)parseDouble("12x"), ParseError);
+  EXPECT_THROW((void)parseDouble(""), ParseError);
+  EXPECT_THROW((void)parseDouble("abc", "context"), ParseError);
+}
+
+TEST(ParseInt, AcceptsValidRejectsJunk) {
+  EXPECT_EQ(parseInt("42"), 42);
+  EXPECT_EQ(parseInt(" -17 "), -17);
+  EXPECT_THROW((void)parseInt("3.5"), ParseError);
+  EXPECT_THROW((void)parseInt(""), ParseError);
+}
+
+TEST(ParseErrors, CarryContext) {
+  try {
+    (void)parseInt("oops", "SWF line 7");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("SWF line 7"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("oops"), std::string::npos);
+  }
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(startsWith("--flag", "--"));
+  EXPECT_FALSE(startsWith("-x", "--"));
+  EXPECT_TRUE(startsWith("abc", ""));
+  EXPECT_FALSE(startsWith("", "a"));
+}
+
+TEST(FormatDuration, HoursAndDays) {
+  EXPECT_EQ(formatDuration(0.0), "00:00:00");
+  EXPECT_EQ(formatDuration(3661.0), "01:01:01");
+  EXPECT_EQ(formatDuration(2.0 * 86400.0 + 3600.0), "2d 01:00:00");
+  EXPECT_EQ(formatDuration(-60.0), "-00:01:00");
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+  EXPECT_EQ(formatFixed(2.0, 0), "2");
+}
+
+TEST(FormatWork, ScientificWithUnit) {
+  const std::string s = formatWork(4.5e7);
+  EXPECT_NE(s.find("e+07"), std::string::npos);
+  EXPECT_NE(s.find("node-s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pqos

@@ -1,0 +1,71 @@
+// Unit tests for table rendering and CSV export.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table table({"a", "metric"});
+  table.addRow({"0.1", "12"});
+  table.addRow({"0.15", "3"});
+  std::ostringstream os;
+  table.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line should be equally wide or narrower than the separator.
+  EXPECT_NE(out.find("a     metric"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table table({"x", "y"});
+  EXPECT_THROW(table.addRow({"only-one"}), LogicError);
+  EXPECT_THROW(Table({}), LogicError);
+}
+
+TEST(Table, NumericRowsFormatted) {
+  Table table({"x", "y"});
+  table.addNumericRow({1.0, 2.5}, 2);
+  std::ostringstream os;
+  table.writeCsv(os);
+  EXPECT_EQ(os.str(), "x,y\n1.00,2.50\n");
+}
+
+TEST(CsvEscape, QuotesWhenNeeded) {
+  EXPECT_EQ(csvEscape("plain"), "plain");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Table, CsvFileRoundTrip) {
+  Table table({"k", "v"});
+  table.addRow({"alpha", "1"});
+  const std::string path = ::testing::TempDir() + "/pqos_table_test.csv";
+  table.writeCsvFile(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "k,v");
+  std::getline(in, line);
+  EXPECT_EQ(line, "alpha,1");
+  std::remove(path.c_str());
+}
+
+TEST(Table, CsvFileBadPathThrows) {
+  Table table({"k"});
+  EXPECT_THROW(table.writeCsvFile("/nonexistent-dir/foo.csv"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pqos

@@ -1,0 +1,75 @@
+// Unit tests for job records and the checkpoint arithmetic.
+#include "workload/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/error.hpp"
+
+namespace pqos::workload {
+namespace {
+
+TEST(CheckpointCount, ShortJobsNeverCheckpoint) {
+  EXPECT_EQ(checkpointCount(0.0, 3600.0), 0);
+  EXPECT_EQ(checkpointCount(100.0, 3600.0), 0);
+  EXPECT_EQ(checkpointCount(3600.0, 3600.0), 0);  // exactly one interval
+}
+
+TEST(CheckpointCount, InteriorRequestsOnly) {
+  // Requests at I, 2I, ... strictly before completion.
+  EXPECT_EQ(checkpointCount(3601.0, 3600.0), 1);
+  EXPECT_EQ(checkpointCount(7200.0, 3600.0), 1);   // request at 3600 only
+  EXPECT_EQ(checkpointCount(7201.0, 3600.0), 2);
+  EXPECT_EQ(checkpointCount(10800.0, 3600.0), 2);  // exact triple
+  EXPECT_EQ(checkpointCount(36000.0, 3600.0), 9);
+}
+
+TEST(CheckpointCount, RobustToFloatingPointNoise) {
+  // 7 intervals accumulated through additions should still count 6.
+  double work = 0.0;
+  for (int i = 0; i < 7; ++i) work += 3600.0 * (1.0 + 1e-15);
+  EXPECT_EQ(checkpointCount(work, 3600.0), 6);
+}
+
+TEST(CheckpointCount, RejectsBadArguments) {
+  EXPECT_THROW((void)checkpointCount(10.0, 0.0), LogicError);
+  EXPECT_THROW((void)checkpointCount(-1.0, 10.0), LogicError);
+}
+
+TEST(EstimatedElapsed, AddsOverheadPerCheckpoint) {
+  // ej = 2.5 I -> 2 checkpoints -> Ej = ej + 2C.
+  EXPECT_DOUBLE_EQ(estimatedElapsed(9000.0, 3600.0, 720.0), 9000.0 + 1440.0);
+  EXPECT_DOUBLE_EQ(estimatedElapsed(1000.0, 3600.0, 720.0), 1000.0);
+  EXPECT_THROW((void)estimatedElapsed(100.0, 3600.0, -1.0), LogicError);
+}
+
+TEST(JobSpec, TotalWorkIsNodeSeconds) {
+  JobSpec spec;
+  spec.nodes = 8;
+  spec.work = 100.0;
+  EXPECT_DOUBLE_EQ(spec.totalWork(), 800.0);
+}
+
+TEST(JobRecord, DeadlineJudgement) {
+  JobRecord rec;
+  rec.spec.work = 100.0;
+  rec.deadline = 500.0;
+  EXPECT_FALSE(rec.metDeadline());  // not completed
+  rec.state = JobState::Completed;
+  rec.finish = 499.0;
+  EXPECT_TRUE(rec.metDeadline());
+  rec.finish = 500.0;  // boundary counts as met
+  EXPECT_TRUE(rec.metDeadline());
+  rec.finish = 500.1;
+  EXPECT_FALSE(rec.metDeadline());
+}
+
+TEST(JobRecord, RemainingWorkTracksSavedProgress) {
+  JobRecord rec;
+  rec.spec.work = 1000.0;
+  EXPECT_DOUBLE_EQ(rec.remainingWork(), 1000.0);
+  rec.savedProgress = 300.0;
+  EXPECT_DOUBLE_EQ(rec.remainingWork(), 700.0);
+}
+
+}  // namespace
+}  // namespace pqos::workload

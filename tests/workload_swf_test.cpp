@@ -1,0 +1,113 @@
+// Unit tests for the Standard Workload Format parser/writer.
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos::workload {
+namespace {
+
+constexpr const char* kSample =
+    "; NASA-like sample log\n"
+    "; Computer: test\n"
+    "1 100 5 300 4 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+    "2 200 0 600 8 -1 -1 8 600 -1 1 1 1 -1 -1 -1 -1 -1\n"
+    "\n"
+    "3 250 0 -1 4 -1 -1 4 -1 -1 0 1 1 -1 -1 -1 -1 -1\n"  // cancelled
+    "4 300 0 50 0 -1 -1 16 50 -1 1 1 1 -1 -1 -1 -1 -1\n";  // procs via field 8
+
+TEST(Swf, ParsesJobsAndSkipsInvalid) {
+  std::istringstream in(kSample);
+  const auto jobs = parseSwf(in);
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 0.0);  // rebased from 100
+  EXPECT_DOUBLE_EQ(jobs[0].work, 300.0);
+  EXPECT_EQ(jobs[0].nodes, 4);
+  EXPECT_DOUBLE_EQ(jobs[1].arrival, 100.0);
+  EXPECT_EQ(jobs[2].nodes, 16);  // fell back to requested processors
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<JobId>(i));
+  }
+}
+
+TEST(Swf, NoRebaseKeepsAbsoluteTimes) {
+  std::istringstream in(kSample);
+  SwfLoadOptions options;
+  options.rebaseArrivals = false;
+  const auto jobs = parseSwf(in, options);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival, 100.0);
+}
+
+TEST(Swf, MaxJobsTruncates) {
+  std::istringstream in(kSample);
+  SwfLoadOptions options;
+  options.maxJobs = 1;
+  const auto jobs = parseSwf(in, options);
+  EXPECT_EQ(jobs.size(), 1u);
+}
+
+TEST(Swf, ClampsProcessorCounts) {
+  std::istringstream in(kSample);
+  SwfLoadOptions options;
+  options.maxNodes = 6;
+  const auto jobs = parseSwf(in, options);
+  EXPECT_EQ(jobs[1].nodes, 6);
+}
+
+TEST(Swf, StrictModeThrowsOnInvalidJobs) {
+  std::istringstream in(kSample);
+  SwfLoadOptions options;
+  options.skipInvalid = false;
+  EXPECT_THROW((void)parseSwf(in, options), ParseError);
+}
+
+TEST(Swf, MalformedLineThrows) {
+  std::istringstream in("1 2 3\n");
+  EXPECT_THROW((void)parseSwf(in), ParseError);
+  std::istringstream in2("1 abc 0 300 4\n");
+  EXPECT_THROW((void)parseSwf(in2), ParseError);
+}
+
+TEST(Swf, SortsOutOfOrderSubmissions) {
+  std::istringstream in(
+      "1 500 0 10 1 -1 -1 1 10 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "2 100 0 10 1 -1 -1 1 10 -1 1 1 1 -1 -1 -1 -1 -1\n");
+  const auto jobs = parseSwf(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_LE(jobs[0].arrival, jobs[1].arrival);
+  EXPECT_EQ(jobs[0].id, 0);
+}
+
+TEST(Swf, WriteParseRoundTrip) {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 5; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.arrival = 100.0 * i;
+    spec.nodes = i + 1;
+    spec.work = 50.0 * (i + 1);
+    jobs.push_back(spec);
+  }
+  std::ostringstream out;
+  writeSwf(out, jobs, "synthetic round-trip\nsecond header line");
+  std::istringstream in(out.str());
+  SwfLoadOptions options;
+  options.rebaseArrivals = false;
+  const auto parsed = parseSwf(in, options);
+  ASSERT_EQ(parsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(parsed[i].arrival, jobs[i].arrival);
+    EXPECT_DOUBLE_EQ(parsed[i].work, jobs[i].work);
+    EXPECT_EQ(parsed[i].nodes, jobs[i].nodes);
+  }
+}
+
+TEST(Swf, MissingFileThrowsConfigError) {
+  EXPECT_THROW((void)loadSwfFile("/nonexistent/file.swf"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pqos::workload

@@ -1,0 +1,167 @@
+// Tests for the calibrated synthetic workload generators: Table 1 of the
+// paper must be reproduced by construction.
+#include "workload/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "workload/workload_stats.hpp"
+
+namespace pqos::workload {
+namespace {
+
+TEST(ClampedLognormalMean, MatchesMonteCarlo) {
+  const double mu = 5.0, sigma = 1.5, lo = 60.0, hi = 43200.0;
+  const double analytic = clampedLognormalMean(mu, sigma, lo, hi);
+  Rng rng(99);
+  Accumulator acc;
+  for (int i = 0; i < 400000; ++i) {
+    acc.add(std::clamp(rng.lognormal(mu, sigma), lo, hi));
+  }
+  EXPECT_NEAR(acc.mean(), analytic, 0.01 * analytic);
+}
+
+TEST(ClampedLognormalMean, DegeneratesToBounds) {
+  // mu far below lo -> mean ~ lo; far above hi -> mean ~ hi.
+  EXPECT_NEAR(clampedLognormalMean(-20.0, 1.0, 60.0, 1000.0), 60.0, 0.1);
+  EXPECT_NEAR(clampedLognormalMean(40.0, 1.0, 60.0, 1000.0), 1000.0, 0.1);
+  EXPECT_THROW((void)clampedLognormalMean(1.0, 0.0, 1.0, 2.0), LogicError);
+  EXPECT_THROW((void)clampedLognormalMean(1.0, 1.0, 2.0, 1.0), LogicError);
+}
+
+TEST(CalibrateLognormalMu, HitsTarget) {
+  const double mu = calibrateLognormalMu(381.0, 1.45, 60.0, 43200.0);
+  EXPECT_NEAR(clampedLognormalMean(mu, 1.45, 60.0, 43200.0), 381.0, 0.5);
+  EXPECT_THROW((void)calibrateLognormalMu(10.0, 1.0, 60.0, 100.0),
+               LogicError);
+}
+
+TEST(CalibrateGeometricWeights, HitsTargetMean) {
+  const std::vector<int> choices{1, 2, 4, 8, 16, 32, 64, 128};
+  const auto weights = calibrateGeometricWeights(choices, 6.3);
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < choices.size(); ++i) {
+    num += weights[i] * choices[i];
+    den += weights[i];
+  }
+  EXPECT_NEAR(num / den, 6.3, 0.01);
+  EXPECT_THROW((void)calibrateGeometricWeights(choices, 200.0), LogicError);
+  EXPECT_THROW((void)calibrateGeometricWeights({3, 1}, 2.0), LogicError);
+}
+
+TEST(Models, AnalyticMeansHitTable1) {
+  const auto nasa = nasaModel();
+  EXPECT_NEAR(nasa.meanSize(), 6.3, 0.05);
+  EXPECT_NEAR(meanRuntime(nasa), 381.0, 2.0);
+  const auto sdsc = sdscModel();
+  EXPECT_NEAR(sdsc.meanSize(), 9.7, 0.6);  // pow2/full-machine spikes shift it
+  EXPECT_NEAR(meanRuntime(sdsc), 7722.0, 40.0);
+}
+
+TEST(Models, UnknownNameThrows) {
+  EXPECT_THROW((void)modelByName("cray"), ConfigError);
+}
+
+struct Table1Case {
+  const char* model;
+  double avgNodes;
+  double nodesTol;
+  double avgRuntime;
+  double runtimeTol;
+  double maxRuntime;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Case> {};
+
+TEST_P(Table1, GeneratedLogsMatchPaper) {
+  const auto& param = GetParam();
+  const auto model = modelByName(param.model);
+  const auto jobs = generate(model, 10000, 42);
+  const auto stats = computeStats(jobs, model.machineSize);
+  EXPECT_EQ(stats.jobCount, 10000u);
+  EXPECT_NEAR(stats.avgNodes, param.avgNodes, param.nodesTol);
+  EXPECT_NEAR(stats.avgRuntime, param.avgRuntime, param.runtimeTol);
+  EXPECT_LE(stats.maxRuntime, param.maxRuntime + 1.0);
+  EXPECT_LE(stats.maxNodes, model.machineSize);
+  // Offered load should be near the model's target.
+  EXPECT_NEAR(stats.offeredLoad, model.targetLoad, 0.12 * model.targetLoad);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Paper, Table1,
+    ::testing::Values(
+        // Table 1: NASA avg nj 6.3, avg ej 381 s, max ej 12 h.
+        Table1Case{"nasa", 6.3, 0.35, 381.0, 25.0, 12.0 * kHour},
+        // Table 1: SDSC avg nj 9.7, avg ej 7722 s, max ej 132 h.
+        Table1Case{"sdsc", 9.7, 0.8, 7722.0, 450.0, 132.0 * kHour}));
+
+TEST(Generate, NasaSizesArePowersOfTwo) {
+  const auto jobs = generate(nasaModel(), 3000, 7);
+  for (const auto& job : jobs) {
+    EXPECT_EQ(job.nodes & (job.nodes - 1), 0) << job.nodes;
+  }
+}
+
+TEST(Generate, SdscUsesOddSizes) {
+  const auto jobs = generate(sdscModel(), 3000, 7);
+  std::set<int> sizes;
+  for (const auto& job : jobs) sizes.insert(job.nodes);
+  int odd = 0;
+  for (const int s : sizes) odd += (s % 2 == 1) ? 1 : 0;
+  EXPECT_GT(odd, 10);  // plenty of non-power-of-two sizes
+}
+
+TEST(Generate, DeterministicInSeed) {
+  const auto a = generate(nasaModel(), 500, 123);
+  const auto b = generate(nasaModel(), 500, 123);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].arrival, b[i].arrival);
+    EXPECT_EQ(a[i].nodes, b[i].nodes);
+    EXPECT_DOUBLE_EQ(a[i].work, b[i].work);
+  }
+  const auto c = generate(nasaModel(), 500, 124);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.size() && !differs; ++i) {
+    differs = a[i].nodes != c[i].nodes || a[i].work != c[i].work;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Generate, ArrivalsNondecreasingAndBoundsRespected) {
+  const auto model = sdscModel();
+  const auto jobs = generate(model, 2000, 5);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (i > 0) EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    EXPECT_GE(jobs[i].work, model.minRuntime);
+    EXPECT_LE(jobs[i].work, model.maxRuntime);
+    EXPECT_GE(jobs[i].nodes, 1);
+    EXPECT_EQ(jobs[i].id, static_cast<JobId>(i));
+  }
+}
+
+TEST(Generate, SizeRuntimeCorrelationIsPositive) {
+  const auto jobs = generate(nasaModel(), 8000, 11);
+  std::vector<double> sizes, runtimes;
+  for (const auto& job : jobs) {
+    sizes.push_back(std::log2(static_cast<double>(job.nodes)) + 1.0);
+    runtimes.push_back(std::log(job.work));
+  }
+  EXPECT_GT(pearson(sizes, runtimes), 0.1);
+}
+
+TEST(MeanJobWork, ExceedsProductOfMeans) {
+  // The size/runtime coupling makes E[n*e] > E[n]*E[e]; the evaluation
+  // depends on this (it sets the offered load and failure exposure).
+  const auto model = nasaModel();
+  EXPECT_GT(meanJobWork(model), model.meanSize() * meanRuntime(model) * 1.2);
+}
+
+}  // namespace
+}  // namespace pqos::workload
