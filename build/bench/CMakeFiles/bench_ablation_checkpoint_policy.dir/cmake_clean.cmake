@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_checkpoint_policy.dir/bench_ablation_checkpoint_policy.cpp.o"
+  "CMakeFiles/bench_ablation_checkpoint_policy.dir/bench_ablation_checkpoint_policy.cpp.o.d"
+  "CMakeFiles/bench_ablation_checkpoint_policy.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_checkpoint_policy.dir/harness.cpp.o.d"
+  "bench_ablation_checkpoint_policy"
+  "bench_ablation_checkpoint_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_checkpoint_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_deadline_slack.dir/bench_ablation_deadline_slack.cpp.o"
+  "CMakeFiles/bench_ablation_deadline_slack.dir/bench_ablation_deadline_slack.cpp.o.d"
+  "CMakeFiles/bench_ablation_deadline_slack.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_deadline_slack.dir/harness.cpp.o.d"
+  "bench_ablation_deadline_slack"
+  "bench_ablation_deadline_slack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_deadline_slack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

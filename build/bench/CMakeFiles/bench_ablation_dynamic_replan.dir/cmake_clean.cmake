@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_dynamic_replan.dir/bench_ablation_dynamic_replan.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic_replan.dir/bench_ablation_dynamic_replan.cpp.o.d"
+  "CMakeFiles/bench_ablation_dynamic_replan.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_dynamic_replan.dir/harness.cpp.o.d"
+  "bench_ablation_dynamic_replan"
+  "bench_ablation_dynamic_replan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_dynamic_replan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_failure_model.dir/bench_ablation_failure_model.cpp.o"
+  "CMakeFiles/bench_ablation_failure_model.dir/bench_ablation_failure_model.cpp.o.d"
+  "CMakeFiles/bench_ablation_failure_model.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_failure_model.dir/harness.cpp.o.d"
+  "bench_ablation_failure_model"
+  "bench_ablation_failure_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_failure_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_health_predictor.dir/bench_ablation_health_predictor.cpp.o"
+  "CMakeFiles/bench_ablation_health_predictor.dir/bench_ablation_health_predictor.cpp.o.d"
+  "CMakeFiles/bench_ablation_health_predictor.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_health_predictor.dir/harness.cpp.o.d"
+  "bench_ablation_health_predictor"
+  "bench_ablation_health_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_health_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

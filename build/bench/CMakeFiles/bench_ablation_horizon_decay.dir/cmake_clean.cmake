@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_horizon_decay.dir/bench_ablation_horizon_decay.cpp.o"
+  "CMakeFiles/bench_ablation_horizon_decay.dir/bench_ablation_horizon_decay.cpp.o.d"
+  "CMakeFiles/bench_ablation_horizon_decay.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_horizon_decay.dir/harness.cpp.o.d"
+  "bench_ablation_horizon_decay"
+  "bench_ablation_horizon_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_horizon_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_online_predictor.dir/bench_ablation_online_predictor.cpp.o"
+  "CMakeFiles/bench_ablation_online_predictor.dir/bench_ablation_online_predictor.cpp.o.d"
+  "CMakeFiles/bench_ablation_online_predictor.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_online_predictor.dir/harness.cpp.o.d"
+  "bench_ablation_online_predictor"
+  "bench_ablation_online_predictor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_online_predictor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_risk_semantics.dir/bench_ablation_risk_semantics.cpp.o"
+  "CMakeFiles/bench_ablation_risk_semantics.dir/bench_ablation_risk_semantics.cpp.o.d"
+  "CMakeFiles/bench_ablation_risk_semantics.dir/harness.cpp.o"
+  "CMakeFiles/bench_ablation_risk_semantics.dir/harness.cpp.o.d"
+  "bench_ablation_risk_semantics"
+  "bench_ablation_risk_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_risk_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

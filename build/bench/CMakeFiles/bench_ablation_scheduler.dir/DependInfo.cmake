@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_scheduler.cpp" "bench/CMakeFiles/bench_ablation_scheduler.dir/bench_ablation_scheduler.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_scheduler.dir/bench_ablation_scheduler.cpp.o.d"
+  "/root/repo/bench/harness.cpp" "bench/CMakeFiles/bench_ablation_scheduler.dir/harness.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_scheduler.dir/harness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_health.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_util_vs_user_nasa.dir/bench_fig10_util_vs_user_nasa.cpp.o"
+  "CMakeFiles/bench_fig10_util_vs_user_nasa.dir/bench_fig10_util_vs_user_nasa.cpp.o.d"
+  "CMakeFiles/bench_fig10_util_vs_user_nasa.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig10_util_vs_user_nasa.dir/harness.cpp.o.d"
+  "bench_fig10_util_vs_user_nasa"
+  "bench_fig10_util_vs_user_nasa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_util_vs_user_nasa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig1_qos_vs_accuracy_sdsc.
+# This may be replaced when dependencies are built.

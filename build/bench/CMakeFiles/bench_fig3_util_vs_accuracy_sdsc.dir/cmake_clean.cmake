@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_util_vs_accuracy_sdsc.dir/bench_fig3_util_vs_accuracy_sdsc.cpp.o"
+  "CMakeFiles/bench_fig3_util_vs_accuracy_sdsc.dir/bench_fig3_util_vs_accuracy_sdsc.cpp.o.d"
+  "CMakeFiles/bench_fig3_util_vs_accuracy_sdsc.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig3_util_vs_accuracy_sdsc.dir/harness.cpp.o.d"
+  "bench_fig3_util_vs_accuracy_sdsc"
+  "bench_fig3_util_vs_accuracy_sdsc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_util_vs_accuracy_sdsc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lostwork_vs_accuracy_nasa.dir/bench_fig6_lostwork_vs_accuracy_nasa.cpp.o"
+  "CMakeFiles/bench_fig6_lostwork_vs_accuracy_nasa.dir/bench_fig6_lostwork_vs_accuracy_nasa.cpp.o.d"
+  "CMakeFiles/bench_fig6_lostwork_vs_accuracy_nasa.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig6_lostwork_vs_accuracy_nasa.dir/harness.cpp.o.d"
+  "bench_fig6_lostwork_vs_accuracy_nasa"
+  "bench_fig6_lostwork_vs_accuracy_nasa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lostwork_vs_accuracy_nasa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

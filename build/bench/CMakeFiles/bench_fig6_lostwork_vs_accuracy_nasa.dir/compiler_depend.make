@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig6_lostwork_vs_accuracy_nasa.
+# This may be replaced when dependencies are built.

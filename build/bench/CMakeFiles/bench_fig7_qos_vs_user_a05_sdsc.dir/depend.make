@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_qos_vs_user_a05_sdsc.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_qos_vs_user_a1.dir/bench_fig8_qos_vs_user_a1.cpp.o"
+  "CMakeFiles/bench_fig8_qos_vs_user_a1.dir/bench_fig8_qos_vs_user_a1.cpp.o.d"
+  "CMakeFiles/bench_fig8_qos_vs_user_a1.dir/harness.cpp.o"
+  "CMakeFiles/bench_fig8_qos_vs_user_a1.dir/harness.cpp.o.d"
+  "bench_fig8_qos_vs_user_a1"
+  "bench_fig8_qos_vs_user_a1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_qos_vs_user_a1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_headline_deltas.dir/bench_headline_deltas.cpp.o"
+  "CMakeFiles/bench_headline_deltas.dir/bench_headline_deltas.cpp.o.d"
+  "CMakeFiles/bench_headline_deltas.dir/harness.cpp.o"
+  "CMakeFiles/bench_headline_deltas.dir/harness.cpp.o.d"
+  "bench_headline_deltas"
+  "bench_headline_deltas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_headline_deltas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_joblogs.dir/bench_table1_joblogs.cpp.o"
+  "CMakeFiles/bench_table1_joblogs.dir/bench_table1_joblogs.cpp.o.d"
+  "CMakeFiles/bench_table1_joblogs.dir/harness.cpp.o"
+  "CMakeFiles/bench_table1_joblogs.dir/harness.cpp.o.d"
+  "bench_table1_joblogs"
+  "bench_table1_joblogs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_joblogs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

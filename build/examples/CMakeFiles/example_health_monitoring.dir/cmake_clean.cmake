@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_health_monitoring.dir/health_monitoring.cpp.o"
+  "CMakeFiles/example_health_monitoring.dir/health_monitoring.cpp.o.d"
+  "example_health_monitoring"
+  "example_health_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_health_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

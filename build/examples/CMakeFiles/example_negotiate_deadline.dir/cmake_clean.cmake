@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_negotiate_deadline.dir/negotiate_deadline.cpp.o"
+  "CMakeFiles/example_negotiate_deadline.dir/negotiate_deadline.cpp.o.d"
+  "example_negotiate_deadline"
+  "example_negotiate_deadline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_negotiate_deadline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

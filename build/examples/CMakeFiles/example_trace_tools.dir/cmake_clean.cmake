@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_tools.dir/trace_tools.cpp.o"
+  "CMakeFiles/example_trace_tools.dir/trace_tools.cpp.o.d"
+  "example_trace_tools"
+  "example_trace_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_ckpt.dir/ckpt/policy.cpp.o"
+  "CMakeFiles/pqos_ckpt.dir/ckpt/policy.cpp.o.d"
+  "libpqos_ckpt.a"
+  "libpqos_ckpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_ckpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

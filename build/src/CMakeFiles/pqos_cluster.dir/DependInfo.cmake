@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/machine.cpp" "src/CMakeFiles/pqos_cluster.dir/cluster/machine.cpp.o" "gcc" "src/CMakeFiles/pqos_cluster.dir/cluster/machine.cpp.o.d"
+  "/root/repo/src/cluster/node.cpp" "src/CMakeFiles/pqos_cluster.dir/cluster/node.cpp.o" "gcc" "src/CMakeFiles/pqos_cluster.dir/cluster/node.cpp.o.d"
+  "/root/repo/src/cluster/topology.cpp" "src/CMakeFiles/pqos_cluster.dir/cluster/topology.cpp.o" "gcc" "src/CMakeFiles/pqos_cluster.dir/cluster/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_cluster.dir/cluster/machine.cpp.o"
+  "CMakeFiles/pqos_cluster.dir/cluster/machine.cpp.o.d"
+  "CMakeFiles/pqos_cluster.dir/cluster/node.cpp.o"
+  "CMakeFiles/pqos_cluster.dir/cluster/node.cpp.o.d"
+  "CMakeFiles/pqos_cluster.dir/cluster/topology.cpp.o"
+  "CMakeFiles/pqos_cluster.dir/cluster/topology.cpp.o.d"
+  "libpqos_cluster.a"
+  "libpqos_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

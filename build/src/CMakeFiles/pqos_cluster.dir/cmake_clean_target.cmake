@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpqos_cluster.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/pqos_core.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/easy_simulator.cpp" "src/CMakeFiles/pqos_core.dir/core/easy_simulator.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/easy_simulator.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/pqos_core.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/pqos_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/negotiation.cpp" "src/CMakeFiles/pqos_core.dir/core/negotiation.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/negotiation.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/pqos_core.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/simulator.cpp" "src/CMakeFiles/pqos_core.dir/core/simulator.cpp.o" "gcc" "src/CMakeFiles/pqos_core.dir/core/simulator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_core.dir/core/config.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/config.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/easy_simulator.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/easy_simulator.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/negotiation.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/negotiation.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/report.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/report.cpp.o.d"
+  "CMakeFiles/pqos_core.dir/core/simulator.cpp.o"
+  "CMakeFiles/pqos_core.dir/core/simulator.cpp.o.d"
+  "libpqos_core.a"
+  "libpqos_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/failure/generator.cpp" "src/CMakeFiles/pqos_failure.dir/failure/generator.cpp.o" "gcc" "src/CMakeFiles/pqos_failure.dir/failure/generator.cpp.o.d"
+  "/root/repo/src/failure/trace.cpp" "src/CMakeFiles/pqos_failure.dir/failure/trace.cpp.o" "gcc" "src/CMakeFiles/pqos_failure.dir/failure/trace.cpp.o.d"
+  "/root/repo/src/failure/trace_io.cpp" "src/CMakeFiles/pqos_failure.dir/failure/trace_io.cpp.o" "gcc" "src/CMakeFiles/pqos_failure.dir/failure/trace_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

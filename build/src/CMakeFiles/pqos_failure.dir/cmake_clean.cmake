@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_failure.dir/failure/generator.cpp.o"
+  "CMakeFiles/pqos_failure.dir/failure/generator.cpp.o.d"
+  "CMakeFiles/pqos_failure.dir/failure/trace.cpp.o"
+  "CMakeFiles/pqos_failure.dir/failure/trace.cpp.o.d"
+  "CMakeFiles/pqos_failure.dir/failure/trace_io.cpp.o"
+  "CMakeFiles/pqos_failure.dir/failure/trace_io.cpp.o.d"
+  "libpqos_failure.a"
+  "libpqos_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_health.dir/health/monitor.cpp.o"
+  "CMakeFiles/pqos_health.dir/health/monitor.cpp.o.d"
+  "CMakeFiles/pqos_health.dir/health/pattern_predictor.cpp.o"
+  "CMakeFiles/pqos_health.dir/health/pattern_predictor.cpp.o.d"
+  "CMakeFiles/pqos_health.dir/health/telemetry.cpp.o"
+  "CMakeFiles/pqos_health.dir/health/telemetry.cpp.o.d"
+  "libpqos_health.a"
+  "libpqos_health.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_health.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/statistical_predictor.cpp" "src/CMakeFiles/pqos_predict.dir/predict/statistical_predictor.cpp.o" "gcc" "src/CMakeFiles/pqos_predict.dir/predict/statistical_predictor.cpp.o.d"
+  "/root/repo/src/predict/trace_predictor.cpp" "src/CMakeFiles/pqos_predict.dir/predict/trace_predictor.cpp.o" "gcc" "src/CMakeFiles/pqos_predict.dir/predict/trace_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_predict.dir/predict/statistical_predictor.cpp.o"
+  "CMakeFiles/pqos_predict.dir/predict/statistical_predictor.cpp.o.d"
+  "CMakeFiles/pqos_predict.dir/predict/trace_predictor.cpp.o"
+  "CMakeFiles/pqos_predict.dir/predict/trace_predictor.cpp.o.d"
+  "libpqos_predict.a"
+  "libpqos_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

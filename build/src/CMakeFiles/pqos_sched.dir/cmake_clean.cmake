@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_sched.dir/sched/allocation.cpp.o"
+  "CMakeFiles/pqos_sched.dir/sched/allocation.cpp.o.d"
+  "CMakeFiles/pqos_sched.dir/sched/reservation_book.cpp.o"
+  "CMakeFiles/pqos_sched.dir/sched/reservation_book.cpp.o.d"
+  "libpqos_sched.a"
+  "libpqos_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_sim.dir/sim/engine.cpp.o"
+  "CMakeFiles/pqos_sim.dir/sim/engine.cpp.o.d"
+  "CMakeFiles/pqos_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/pqos_sim.dir/sim/event_queue.cpp.o.d"
+  "libpqos_sim.a"
+  "libpqos_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

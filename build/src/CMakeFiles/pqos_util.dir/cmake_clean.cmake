@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_util.dir/util/args.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/args.cpp.o.d"
+  "CMakeFiles/pqos_util.dir/util/log.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/pqos_util.dir/util/rng.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/pqos_util.dir/util/stats.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/stats.cpp.o.d"
+  "CMakeFiles/pqos_util.dir/util/strings.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/strings.cpp.o.d"
+  "CMakeFiles/pqos_util.dir/util/table.cpp.o"
+  "CMakeFiles/pqos_util.dir/util/table.cpp.o.d"
+  "libpqos_util.a"
+  "libpqos_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

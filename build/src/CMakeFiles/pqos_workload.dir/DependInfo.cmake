@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/job.cpp" "src/CMakeFiles/pqos_workload.dir/workload/job.cpp.o" "gcc" "src/CMakeFiles/pqos_workload.dir/workload/job.cpp.o.d"
+  "/root/repo/src/workload/swf.cpp" "src/CMakeFiles/pqos_workload.dir/workload/swf.cpp.o" "gcc" "src/CMakeFiles/pqos_workload.dir/workload/swf.cpp.o.d"
+  "/root/repo/src/workload/synthetic.cpp" "src/CMakeFiles/pqos_workload.dir/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/pqos_workload.dir/workload/synthetic.cpp.o.d"
+  "/root/repo/src/workload/workload_stats.cpp" "src/CMakeFiles/pqos_workload.dir/workload/workload_stats.cpp.o" "gcc" "src/CMakeFiles/pqos_workload.dir/workload/workload_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

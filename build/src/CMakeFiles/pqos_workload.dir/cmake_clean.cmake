@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pqos_workload.dir/workload/job.cpp.o"
+  "CMakeFiles/pqos_workload.dir/workload/job.cpp.o.d"
+  "CMakeFiles/pqos_workload.dir/workload/swf.cpp.o"
+  "CMakeFiles/pqos_workload.dir/workload/swf.cpp.o.d"
+  "CMakeFiles/pqos_workload.dir/workload/synthetic.cpp.o"
+  "CMakeFiles/pqos_workload.dir/workload/synthetic.cpp.o.d"
+  "CMakeFiles/pqos_workload.dir/workload/workload_stats.cpp.o"
+  "CMakeFiles/pqos_workload.dir/workload/workload_stats.cpp.o.d"
+  "libpqos_workload.a"
+  "libpqos_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pqos_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

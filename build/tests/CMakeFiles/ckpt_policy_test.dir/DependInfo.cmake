@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ckpt_policy_test.cpp" "tests/CMakeFiles/ckpt_policy_test.dir/ckpt_policy_test.cpp.o" "gcc" "tests/CMakeFiles/ckpt_policy_test.dir/ckpt_policy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/pqos_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_ckpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_health.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_failure.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/pqos_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

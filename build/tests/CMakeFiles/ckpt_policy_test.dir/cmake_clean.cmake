@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ckpt_policy_test.dir/ckpt_policy_test.cpp.o"
+  "CMakeFiles/ckpt_policy_test.dir/ckpt_policy_test.cpp.o.d"
+  "ckpt_policy_test"
+  "ckpt_policy_test.pdb"
+  "ckpt_policy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ckpt_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_topology_test.dir/cluster_topology_test.cpp.o"
+  "CMakeFiles/cluster_topology_test.dir/cluster_topology_test.cpp.o.d"
+  "cluster_topology_test"
+  "cluster_topology_test.pdb"
+  "cluster_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

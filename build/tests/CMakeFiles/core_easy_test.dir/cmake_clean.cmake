@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_easy_test.dir/core_easy_test.cpp.o"
+  "CMakeFiles/core_easy_test.dir/core_easy_test.cpp.o.d"
+  "core_easy_test"
+  "core_easy_test.pdb"
+  "core_easy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_easy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

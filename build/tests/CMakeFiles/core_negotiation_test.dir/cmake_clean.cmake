@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_negotiation_test.dir/core_negotiation_test.cpp.o"
+  "CMakeFiles/core_negotiation_test.dir/core_negotiation_test.cpp.o.d"
+  "core_negotiation_test"
+  "core_negotiation_test.pdb"
+  "core_negotiation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_negotiation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

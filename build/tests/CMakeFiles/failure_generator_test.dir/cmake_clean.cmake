@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_generator_test.dir/failure_generator_test.cpp.o"
+  "CMakeFiles/failure_generator_test.dir/failure_generator_test.cpp.o.d"
+  "failure_generator_test"
+  "failure_generator_test.pdb"
+  "failure_generator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_generator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/health_predictor_test.dir/health_predictor_test.cpp.o"
+  "CMakeFiles/health_predictor_test.dir/health_predictor_test.cpp.o.d"
+  "health_predictor_test"
+  "health_predictor_test.pdb"
+  "health_predictor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/health_predictor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

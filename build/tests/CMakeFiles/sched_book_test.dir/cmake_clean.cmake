@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sched_book_test.dir/sched_book_test.cpp.o"
+  "CMakeFiles/sched_book_test.dir/sched_book_test.cpp.o.d"
+  "sched_book_test"
+  "sched_book_test.pdb"
+  "sched_book_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sched_book_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_swf_test.dir/workload_swf_test.cpp.o"
+  "CMakeFiles/workload_swf_test.dir/workload_swf_test.cpp.o.d"
+  "workload_swf_test"
+  "workload_swf_test.pdb"
+  "workload_swf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_swf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
