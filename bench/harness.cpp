@@ -1,7 +1,9 @@
 #include "harness.hpp"
 
 #include <iostream>
+#include <optional>
 
+#include "runner/result_sink.hpp"
 #include "util/strings.hpp"
 
 namespace pqos::bench {
@@ -14,27 +16,97 @@ bool parseHarness(int argc, const char* const* argv,
   args.addInt("seed", static_cast<long long>(options.seed),
               "seed for the synthetic workload and failure trace");
   args.addString("csv", "", "optional path for CSV export of the table");
+  args.addString("json", "",
+                 "optional path for machine-readable JSON results "
+                 "(pqos-sweep-v1, full provenance)");
+  args.addString("raw-csv", "",
+                 "optional path for a per-replica raw-metrics CSV");
   args.addInt("machine", options.machineSize,
               "cluster size in nodes (paper: 128)");
+  args.addInt("threads", static_cast<long long>(options.threads),
+              "parallel sweep workers (0 = one per hardware thread)");
+  args.addInt("reps", static_cast<long long>(options.reps),
+              "seed-derived replicas per grid point; >1 adds 95% CIs");
+  args.addBool("progress", options.progress,
+               "stream per-point progress to stderr");
   if (!args.parse(argc, argv)) return false;
   options.jobs = static_cast<std::size_t>(args.getInt("jobs"));
   options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
   options.csvPath = args.getString("csv");
+  options.jsonPath = args.getString("json");
+  options.rawCsvPath = args.getString("raw-csv");
   options.machineSize = static_cast<int>(args.getInt("machine"));
+  options.threads = static_cast<std::size_t>(args.getInt("threads"));
+  options.reps = static_cast<std::size_t>(args.getInt("reps"));
+  if (options.reps == 0) options.reps = 1;
+  options.progress = args.getBool("progress");
   return true;
 }
 
-void emit(const Table& table, const HarnessOptions& options,
+bool emit(const Table& table, const HarnessOptions& options,
           const std::string& title) {
   std::cout << title << "\n(jobs=" << options.jobs
             << ", seed=" << options.seed
-            << ", machine=" << options.machineSize << ")\n\n";
+            << ", machine=" << options.machineSize
+            << ", reps=" << options.reps << ")\n\n";
   table.print(std::cout);
   if (!options.csvPath.empty()) {
-    table.writeCsvFile(options.csvPath);
+    try {
+      runner::writeFileWithParents(
+          options.csvPath, [&](std::ostream& os) { table.writeCsv(os); });
+    } catch (const std::exception& error) {
+      std::cerr << "error: " << error.what() << '\n';
+      return false;
+    }
     std::cout << "\nCSV written to " << options.csvPath << '\n';
   }
+  if (!options.jsonPath.empty()) {
+    std::cout << "JSON results written to " << options.jsonPath << '\n';
+  }
+  if (!options.rawCsvPath.empty()) {
+    std::cout << "Raw per-replica CSV written to " << options.rawCsvPath
+              << '\n';
+  }
   std::cout << std::endl;
+  return true;
+}
+
+runner::SweepResult runHarnessSweep(const HarnessOptions& options,
+                                    const std::string& model,
+                                    std::vector<double> accuracies,
+                                    std::vector<double> userRisks,
+                                    const std::string& title) {
+  runner::SweepSpec spec;
+  spec.model = model;
+  spec.jobCount = options.jobs;
+  spec.seed = options.seed;
+  spec.machineSize = options.machineSize;
+  spec.base.machineSize = options.machineSize;
+  spec.accuracies = std::move(accuracies);
+  spec.userRisks = std::move(userRisks);
+  spec.title = title;
+
+  runner::RunnerOptions runOptions;
+  runOptions.threads = options.threads;
+  runOptions.reps = options.reps;
+
+  runner::SweepRunner sweepRunner(std::move(spec), runOptions);
+  std::optional<runner::ProgressSink> progress;
+  std::optional<runner::JsonResultSink> json;
+  std::optional<runner::CsvResultSink> rawCsv;
+  if (options.progress) {
+    progress.emplace();
+    sweepRunner.addSink(&*progress);
+  }
+  if (!options.jsonPath.empty()) {
+    json.emplace(options.jsonPath);
+    sweepRunner.addSink(&*json);
+  }
+  if (!options.rawCsvPath.empty()) {
+    rawCsv.emplace(options.rawCsvPath);
+    sweepRunner.addSink(&*rawCsv);
+  }
+  return sweepRunner.run();
 }
 
 double metricOf(const core::SimResult& result, Metric metric) {
@@ -69,6 +141,17 @@ const core::SweepPoint& findPoint(const std::vector<core::SweepPoint>& points,
 std::string formatMetric(double value, Metric metric) {
   return metric == Metric::LostWork ? formatFixed(value, 0)
                                     : formatFixed(value, 4);
+}
+
+/// Single replica: the plain value. Replicated: "mean+-ci95".
+std::string formatReplicated(const runner::PointResult& point, Metric metric) {
+  if (point.reps.size() == 1) {
+    return formatMetric(metricOf(point.primary(), metric), metric);
+  }
+  const auto stats = point.stats(
+      [metric](const core::SimResult& r) { return metricOf(r, metric); });
+  return formatMetric(stats.mean, metric) + "+-" +
+         formatMetric(stats.ci95, metric);
 }
 }  // namespace
 
@@ -105,6 +188,34 @@ Table userSweepTable(const std::vector<core::SweepPoint>& points,
   return table;
 }
 
+Table accuracySweepTable(const runner::SweepResult& sweep, Metric metric) {
+  std::vector<std::string> header{"Accuracy (a)"};
+  for (const double u : sweep.spec.userRisks) {
+    header.push_back("U=" + formatFixed(u, 1));
+  }
+  Table table(std::move(header));
+  for (const double a : sweep.spec.accuracies) {
+    std::vector<std::string> row{formatFixed(a, 1)};
+    for (const double u : sweep.spec.userRisks) {
+      row.push_back(formatReplicated(sweep.at(a, u), metric));
+    }
+    table.addRow(std::move(row));
+  }
+  return table;
+}
+
+Table userSweepTable(const runner::SweepResult& sweep, Metric metric,
+                     const std::string& seriesName) {
+  Table table({"User Parameter (U)", seriesName});
+  require(!sweep.spec.accuracies.empty(), "userSweepTable: empty sweep");
+  const double accuracy = sweep.spec.accuracies.front();
+  for (const double u : sweep.spec.userRisks) {
+    table.addRow({formatFixed(u, 1),
+                  formatReplicated(sweep.at(accuracy, u), metric)});
+  }
+  return table;
+}
+
 int runAccuracyFigure(int argc, const char* const* argv,
                       const std::string& figure, const std::string& model,
                       Metric metric) {
@@ -116,19 +227,19 @@ int runAccuracyFigure(int argc, const char* const* argv,
                     options)) {
     return 0;
   }
-  const auto inputs =
-      core::makeStandardInputs(model, options.jobs, options.seed,
-                               options.machineSize);
-  core::SimConfig base;
-  base.machineSize = options.machineSize;
-  const auto accuracies = core::canonicalGrid();
-  const std::vector<double> risks{0.1, 0.5, 0.9};
-  const auto points = core::sweep(base, inputs, accuracies, risks);
-  const auto table = accuracySweepTable(points, accuracies, risks, metric);
-  emit(table, options,
-       figure + ". " + metricName(metric) + " vs. prediction accuracy, " +
-           model + " log, flat cluster.");
-  return 0;
+  const std::string title = figure + ". " + metricName(metric) +
+                            " vs. prediction accuracy, " + model +
+                            " log, flat cluster.";
+  try {
+    const auto sweep =
+        runHarnessSweep(options, model, core::canonicalGrid(),
+                        {0.1, 0.5, 0.9}, title);
+    const auto table = accuracySweepTable(sweep, metric);
+    return emit(table, options, title) ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
 }
 
 int runUserFigure(int argc, const char* const* argv, const std::string& figure,
@@ -141,21 +252,21 @@ int runUserFigure(int argc, const char* const* argv, const std::string& figure,
                     options)) {
     return 0;
   }
-  const auto inputs =
-      core::makeStandardInputs(model, options.jobs, options.seed,
-                               options.machineSize);
-  core::SimConfig base;
-  base.machineSize = options.machineSize;
-  const std::vector<double> accuracies{accuracy};
-  const auto risks = core::canonicalGrid();
-  const auto points = core::sweep(base, inputs, accuracies, risks);
-  const auto table =
-      userSweepTable(points, risks, metric,
-                     metricName(metric) + std::string(" (") + model + ")");
-  emit(table, options,
-       figure + ". " + metricName(metric) + " vs. user behavior, " + model +
-           " log, flat cluster, a = " + formatFixed(accuracy, 1) + ".");
-  return 0;
+  const std::string title = figure + ". " + metricName(metric) +
+                            " vs. user behavior, " + model +
+                            " log, flat cluster, a = " +
+                            formatFixed(accuracy, 1) + ".";
+  try {
+    const auto sweep = runHarnessSweep(options, model, {accuracy},
+                                       core::canonicalGrid(), title);
+    const auto table = userSweepTable(sweep, metric,
+                                      metricName(metric) + std::string(" (") +
+                                          model + ")");
+    return emit(table, options, title) ? 0 : 1;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
 }
 
 }  // namespace pqos::bench

@@ -1,10 +1,17 @@
 // Shared scaffolding for the per-figure benchmark harnesses.
+//
+// Every figure binary accepts --threads N (parallel sweep workers; 0 = one
+// per hardware thread) and --reps K (seed-derived replicas per grid point;
+// K > 1 renders cells as "mean+-ci95"), riding on the pqos::runner
+// subsystem — so all figures gain parallelism, error bars, and the JSON
+// results sink without per-bench changes.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "runner/sweep_runner.hpp"
 #include "util/args.hpp"
 #include "util/table.hpp"
 
@@ -14,8 +21,13 @@ namespace pqos::bench {
 struct HarnessOptions {
   std::size_t jobs = 10000;
   std::uint64_t seed = 42;
-  std::string csvPath;  // empty = no CSV export
+  std::string csvPath;     // empty = no CSV export of the printed table
+  std::string jsonPath;    // empty = no machine-readable JSON results
+  std::string rawCsvPath;  // empty = no per-replica raw-metrics CSV
   int machineSize = 128;
+  std::size_t threads = 0;  // sweep workers; 0 = all hardware threads
+  std::size_t reps = 1;     // replicas per grid point
+  bool progress = false;    // stream per-point progress to stderr
 };
 
 /// Parses the standard flags; returns false when --help was requested.
@@ -23,9 +35,19 @@ struct HarnessOptions {
                                 const std::string& description,
                                 HarnessOptions& options);
 
-/// Prints the table, writes the optional CSV, and echoes a provenance line.
-void emit(const Table& table, const HarnessOptions& options,
-          const std::string& title);
+/// Prints the table and writes the optional CSV (creating parent
+/// directories as needed). Returns false — after reporting to stderr —
+/// when an output file cannot be written, so callers exit nonzero.
+[[nodiscard]] bool emit(const Table& table, const HarnessOptions& options,
+                        const std::string& title);
+
+/// Runs the (accuracy x userRisk) sweep described by the options through
+/// the parallel runner, wiring up the progress/JSON sinks the flags ask
+/// for.
+[[nodiscard]] runner::SweepResult runHarnessSweep(
+    const HarnessOptions& options, const std::string& model,
+    std::vector<double> accuracies, std::vector<double> userRisks,
+    const std::string& title);
 
 /// Extracts one metric series per userRisk from a sweep, with accuracies
 /// as rows — the layout of the paper's accuracy figures.
@@ -41,6 +63,15 @@ enum class Metric { Qos, Utilization, LostWork };
 [[nodiscard]] Table userSweepTable(const std::vector<core::SweepPoint>& points,
                                    const std::vector<double>& userRisks,
                                    Metric metric, const std::string& seriesName);
+
+/// Replicated variants: single-rep sweeps render plain values, multi-rep
+/// sweeps render "mean+-ci95" per cell.
+[[nodiscard]] Table accuracySweepTable(const runner::SweepResult& sweep,
+                                       Metric metric);
+
+[[nodiscard]] Table userSweepTable(const runner::SweepResult& sweep,
+                                   Metric metric,
+                                   const std::string& seriesName);
 
 /// Complete main() body for a "metric vs accuracy" figure (paper Figs 1-6):
 /// sweeps a = 0..1 at U in {0.1, 0.5, 0.9} over one workload model.

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds and tests the two configurations that matter for the experiment
+# runner: plain Release (what benches run as) and ThreadSanitizer (to catch
+# races in the parallel sweep machinery). Usage:
+#
+#   scripts/check.sh            # both configurations
+#   scripts/check.sh release    # just Release
+#   scripts/check.sh tsan       # just TSan
+#
+# JOBS=<n> overrides the parallelism (default: nproc).
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="${JOBS:-$(nproc)}"
+WHICH="${1:-all}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "=== configuring $dir ($*) ==="
+  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
+  echo "=== building $dir ==="
+  cmake --build "$ROOT/$dir" -j "$JOBS"
+  echo "=== testing $dir ==="
+  ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS"
+}
+
+# RelWithDebInfo keeps the suite fast enough under TSan's ~5-15x slowdown
+# while retaining symbolized reports.
+case "$WHICH" in
+  release)
+    run_config build-release -DCMAKE_BUILD_TYPE=Release
+    ;;
+  tsan)
+    run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+               -DPQOS_SANITIZE=thread
+    ;;
+  all)
+    run_config build-release -DCMAKE_BUILD_TYPE=Release
+    run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+               -DPQOS_SANITIZE=thread
+    ;;
+  *)
+    echo "usage: $0 [release|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== all requested configurations passed ==="

@@ -5,7 +5,6 @@
 #include "core/simulator.hpp"
 #include "failure/generator.hpp"
 #include "util/error.hpp"
-#include "util/log.hpp"
 
 namespace pqos::core {
 
@@ -42,30 +41,9 @@ SimResult runSimulation(const SimConfig& config,
   return simulator.run();
 }
 
-std::vector<SweepPoint> sweep(const SimConfig& base,
-                              const StandardInputs& inputs,
-                              std::span<const double> accuracies,
-                              std::span<const double> userRisks) {
-  std::vector<SweepPoint> points;
-  points.reserve(accuracies.size() * userRisks.size());
-  for (const double a : accuracies) {
-    for (const double u : userRisks) {
-      SimConfig config = base;
-      config.accuracy = a;
-      config.userRisk = u;
-      SweepPoint point;
-      point.accuracy = a;
-      point.userRisk = u;
-      point.result = runSimulation(config, inputs.jobs, inputs.trace);
-      PQOS_INFO() << "sweep a=" << a << " U=" << u
-                  << " qos=" << point.result.qos
-                  << " util=" << point.result.utilization
-                  << " lost=" << point.result.lostWork;
-      points.push_back(std::move(point));
-    }
-  }
-  return points;
-}
+// sweep() is defined in src/runner/sweep_runner.cpp: the serial loop that
+// used to live here is now one special case (threads = 1) of the parallel
+// orchestrator, with bit-identical results.
 
 std::vector<double> canonicalGrid() {
   std::vector<double> grid;

@@ -42,10 +42,22 @@ struct SweepPoint {
   SimResult result;
 };
 
-/// Full cross product of accuracies x userRisks over shared inputs.
+/// Full cross product of accuracies x userRisks over shared inputs, in
+/// accuracy-major order. Defined in the runner subsystem (link
+/// pqos::runner or the pqos::pqos aggregate): points are fanned across a
+/// worker pool, and because every point is an isolated Simulator over
+/// immutable shared inputs, results are bit-identical for any thread
+/// count. The default runs one worker per hardware thread; the overload
+/// pins the count (1 = serial). See src/runner/sweep_runner.hpp for
+/// multi-seed replication and result sinks.
 [[nodiscard]] std::vector<SweepPoint> sweep(
     const SimConfig& base, const StandardInputs& inputs,
     std::span<const double> accuracies, std::span<const double> userRisks);
+
+[[nodiscard]] std::vector<SweepPoint> sweep(
+    const SimConfig& base, const StandardInputs& inputs,
+    std::span<const double> accuracies, std::span<const double> userRisks,
+    std::size_t threads);
 
 /// The paper's canonical grids: 0, 0.1, ..., 1.0.
 [[nodiscard]] std::vector<double> canonicalGrid();

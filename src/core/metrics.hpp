@@ -42,6 +42,10 @@ struct SimResult {
   WorkUnits totalWork = 0.0;  // sum ej * nj
   bool traceExhausted = false;  // makespan outran the failure trace
 
+  /// Field-wise equality; the runner's determinism tests assert that
+  /// parallel and serial sweeps agree bit-for-bit.
+  friend bool operator==(const SimResult&, const SimResult&) = default;
+
   /// Fraction of jobs finishing by their deadline (unweighted).
   [[nodiscard]] double deadlineRate() const {
     return jobCount == 0

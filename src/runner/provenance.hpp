@@ -1,0 +1,18 @@
+// Build provenance captured at configure time (see version.cpp.in); the
+// JSON result sink embeds these so any results file can be traced back to
+// the exact source revision and build flavor that produced it.
+#pragma once
+
+namespace pqos::runner {
+
+/// `git describe --always --dirty` at configure time ("unknown" outside a
+/// git checkout).
+[[nodiscard]] const char* gitDescribe();
+
+/// CMAKE_BUILD_TYPE of the producing build.
+[[nodiscard]] const char* buildType();
+
+/// Compiler id and version string.
+[[nodiscard]] const char* compilerId();
+
+}  // namespace pqos::runner

@@ -1,0 +1,50 @@
+#include "runner/replication.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace pqos::runner {
+
+std::uint64_t replicaSeed(std::uint64_t baseSeed, std::size_t rep) {
+  if (rep == 0) return baseSeed;
+  // splitmix64 over a golden-ratio stride keeps replicas statistically
+  // independent while staying a pure function of (base, rep).
+  std::uint64_t state =
+      baseSeed + 0x9e3779b97f4a7c15ULL * static_cast<std::uint64_t>(rep);
+  return splitmix64(state);
+}
+
+double tCritical95(std::size_t df) {
+  // Two-sided alpha = 0.05 critical values, df = 1..30; beyond that the
+  // normal limit is within 0.5% and replication counts are tiny anyway.
+  static constexpr std::array<double, 30> kTable{
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= kTable.size()) return kTable[df - 1];
+  return 1.960;
+}
+
+ReplicaStats aggregateReplicas(const std::vector<double>& values) {
+  ReplicaStats stats;
+  if (values.empty()) return stats;
+  Accumulator acc;
+  for (const double v : values) acc.add(v);
+  stats.count = acc.count();
+  stats.mean = acc.mean();
+  stats.stddev = acc.stddev();
+  stats.min = acc.min();
+  stats.max = acc.max();
+  if (stats.count >= 2) {
+    stats.ci95 = tCritical95(stats.count - 1) * stats.stddev /
+                 std::sqrt(static_cast<double>(stats.count));
+  }
+  return stats;
+}
+
+}  // namespace pqos::runner

@@ -1,0 +1,40 @@
+// Multi-seed replication: deterministic per-replica seed derivation and
+// mean/stddev/95%-confidence aggregation of per-seed metric values.
+//
+// Replica 0 always uses the base seed unchanged, so a single-replica run
+// is bit-identical to the legacy single-seed experiment path; replicas
+// r >= 1 hash (base, r) through splitmix64 so adding replicas never
+// perturbs earlier ones.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pqos::runner {
+
+/// Seed for replica `rep` of an experiment with the given base seed.
+[[nodiscard]] std::uint64_t replicaSeed(std::uint64_t baseSeed,
+                                        std::size_t rep);
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (df >= 31 uses the normal limit 1.960). df = 0 returns 0.
+[[nodiscard]] double tCritical95(std::size_t df);
+
+/// Summary of one metric across replicas. All fields are 0 when there are
+/// no samples; ci95 is 0 (not NaN) for fewer than two samples, where a
+/// confidence interval is undefined.
+struct ReplicaStats {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // sample stddev (n-1 denominator)
+  double ci95 = 0.0;    // half-width: t * stddev / sqrt(n)
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Aggregates per-replica values of one metric.
+[[nodiscard]] ReplicaStats aggregateReplicas(
+    const std::vector<double>& values);
+
+}  // namespace pqos::runner

@@ -1,0 +1,224 @@
+#include "runner/result_sink.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+#include "runner/provenance.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace pqos::runner {
+
+void writeFileWithParents(const std::string& path,
+                          const std::function<void(std::ostream&)>& body) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  const fs::path parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw ConfigError("cannot create output directory " + parent.string() +
+                        ": " + ec.message());
+    }
+  }
+  std::ofstream file(target);
+  if (!file) throw ConfigError("cannot open output file: " + path);
+  body(file);
+  file.flush();
+  if (!file) throw ConfigError("error writing output file: " + path);
+}
+
+// --- ProgressSink ---------------------------------------------------------
+
+ProgressSink::ProgressSink() : os_(&std::cerr) {}
+ProgressSink::ProgressSink(std::ostream& os) : os_(&os) {}
+
+void ProgressSink::onSweepBegin(const SweepResult& pending) {
+  *os_ << "[pqos::runner] sweep " << pending.spec.model << ": "
+       << pending.spec.accuracies.size() << "x"
+       << pending.spec.userRisks.size() << " grid, " << pending.options.reps
+       << " rep(s), " << pending.spec.jobCount << " jobs, "
+       << pending.options.threads << " thread(s)\n";
+}
+
+void ProgressSink::onTaskComplete(const TaskProgress& progress) {
+  *os_ << "[pqos::runner] " << progress.completed << "/" << progress.total
+       << " a=" << formatFixed(progress.accuracy, 1)
+       << " U=" << formatFixed(progress.userRisk, 1) << " rep=" << progress.rep
+       << " qos=" << formatFixed(progress.result->qos, 4)
+       << " util=" << formatFixed(progress.result->utilization, 4)
+       << " lost=" << formatFixed(progress.result->lostWork, 0) << "\n";
+}
+
+void ProgressSink::onSweepEnd(const SweepResult& result) {
+  *os_ << "[pqos::runner] done in " << formatFixed(result.wallSeconds, 2)
+       << " s (" << result.points.size() << " points x "
+       << result.options.reps << " rep(s))\n";
+}
+
+// --- CsvResultSink --------------------------------------------------------
+
+CsvResultSink::CsvResultSink(std::string path) : path_(std::move(path)) {}
+
+void CsvResultSink::onSweepEnd(const SweepResult& result) {
+  Table table({"accuracy", "userRisk", "rep", "seed", "qos", "utilization",
+               "lostWork", "jobCount", "completedJobs", "deadlinesMet",
+               "failureEvents", "jobKillingFailures", "checkpointsPerformed",
+               "checkpointsSkipped", "totalRestarts", "meanPromisedSuccess",
+               "meanWaitTime", "meanBoundedSlowdown"});
+  for (const auto& point : result.points) {
+    for (std::size_t rep = 0; rep < point.reps.size(); ++rep) {
+      const auto& r = point.reps[rep];
+      table.addRow({formatFixed(point.accuracy, 3),
+                    formatFixed(point.userRisk, 3), std::to_string(rep),
+                    std::to_string(result.seeds[rep]), formatFixed(r.qos, 6),
+                    formatFixed(r.utilization, 6), formatFixed(r.lostWork, 1),
+                    std::to_string(r.jobCount),
+                    std::to_string(r.completedJobs),
+                    std::to_string(r.deadlinesMet),
+                    std::to_string(r.failureEvents),
+                    std::to_string(r.jobKillingFailures),
+                    std::to_string(r.checkpointsPerformed),
+                    std::to_string(r.checkpointsSkipped),
+                    std::to_string(r.totalRestarts),
+                    formatFixed(r.meanPromisedSuccess, 6),
+                    formatFixed(r.meanWaitTime, 2),
+                    formatFixed(r.meanBoundedSlowdown, 4)});
+    }
+  }
+  writeFileWithParents(path_, [&](std::ostream& os) { table.writeCsv(os); });
+}
+
+// --- JsonResultSink -------------------------------------------------------
+
+namespace {
+
+void writeSimConfig(JsonWriter& json, const core::SimConfig& config) {
+  json.beginObject();
+  json.field("machineSize", config.machineSize);
+  json.field("checkpointOverhead", config.checkpointOverhead);
+  json.field("checkpointInterval", config.checkpointInterval);
+  json.field("downtime", config.downtime);
+  json.field("semantics",
+             config.semantics == core::RiskSemantics::SuccessFloor
+                 ? "success-floor"
+                 : "failure-cap");
+  json.field("topology", config.topology);
+  json.field("checkpointPolicy", config.checkpointPolicy);
+  json.field("allocation", config.allocation);
+  json.field("checkpointBlindPrior", config.checkpointBlindPrior);
+  json.field("deadlineSlack", config.deadlineSlack);
+  json.field("deadlineGrace", config.deadlineGrace);
+  json.field("maxNegotiationRounds", config.maxNegotiationRounds);
+  json.field("negotiationHorizon", config.negotiationHorizon);
+  json.field("dynamicReplanWindow", config.dynamicReplanWindow);
+  json.field("predictionHorizonDecay", config.predictionHorizonDecay);
+  json.endObject();
+}
+
+void writeSimResult(JsonWriter& json, const core::SimResult& r) {
+  json.beginObject();
+  json.field("qos", r.qos);
+  json.field("utilization", r.utilization);
+  json.field("lostWork", r.lostWork);
+  json.field("jobCount", r.jobCount);
+  json.field("completedJobs", r.completedJobs);
+  json.field("deadlinesMet", r.deadlinesMet);
+  json.field("failureEvents", r.failureEvents);
+  json.field("jobKillingFailures", r.jobKillingFailures);
+  json.field("checkpointsPerformed", r.checkpointsPerformed);
+  json.field("checkpointsSkipped", r.checkpointsSkipped);
+  json.field("totalRestarts", r.totalRestarts);
+  json.field("meanPromisedSuccess", r.meanPromisedSuccess);
+  json.field("meanWaitTime", r.meanWaitTime);
+  json.field("meanBoundedSlowdown", r.meanBoundedSlowdown);
+  json.field("meanNegotiationRounds", r.meanNegotiationRounds);
+  json.field("span", r.span);
+  json.field("totalWork", r.totalWork);
+  json.field("traceExhausted", r.traceExhausted);
+  json.endObject();
+}
+
+void writeStats(JsonWriter& json, const PointResult& point,
+                double (*metric)(const core::SimResult&)) {
+  const auto stats = point.stats(metric);
+  json.beginObject();
+  json.field("mean", stats.mean);
+  json.field("stddev", stats.stddev);
+  json.field("ci95", stats.ci95);
+  json.field("min", stats.min);
+  json.field("max", stats.max);
+  json.key("values").beginArray();
+  for (const auto& rep : point.reps) json.value(metric(rep));
+  json.endArray();
+  json.endObject();
+}
+
+}  // namespace
+
+JsonResultSink::JsonResultSink(std::string path) : path_(std::move(path)) {}
+
+void JsonResultSink::onSweepEnd(const SweepResult& result) {
+  writeFileWithParents(path_, [&](std::ostream& os) {
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "pqos-sweep-v1");
+    json.field("title", result.spec.title);
+    json.field("gitDescribe", gitDescribe());
+    json.field("buildType", buildType());
+    json.field("compiler", compilerId());
+    json.field("wallSeconds", result.wallSeconds);
+
+    json.key("spec").beginObject();
+    json.field("model", result.spec.model);
+    json.field("jobCount", result.spec.jobCount);
+    json.field("seed", result.spec.seed);
+    json.field("machineSize", result.spec.machineSize);
+    json.field("failuresPerYear", result.spec.failuresPerYear);
+    json.key("accuracies").beginArray();
+    for (const double a : result.spec.accuracies) json.value(a);
+    json.endArray();
+    json.key("userRisks").beginArray();
+    for (const double u : result.spec.userRisks) json.value(u);
+    json.endArray();
+    json.key("config");
+    writeSimConfig(json, result.spec.base);
+    json.endObject();
+
+    json.field("threads", result.options.threads);
+    json.field("reps", result.options.reps);
+    json.key("seeds").beginArray();
+    for (const auto seed : result.seeds) json.value(seed);
+    json.endArray();
+
+    json.key("points").beginArray();
+    for (const auto& point : result.points) {
+      json.beginObject();
+      json.field("accuracy", point.accuracy);
+      json.field("userRisk", point.userRisk);
+      json.key("metrics").beginObject();
+      json.key("qos");
+      writeStats(json, point, [](const core::SimResult& r) { return r.qos; });
+      json.key("utilization");
+      writeStats(json, point,
+                 [](const core::SimResult& r) { return r.utilization; });
+      json.key("lostWork");
+      writeStats(json, point,
+                 [](const core::SimResult& r) { return r.lostWork; });
+      json.endObject();
+      json.key("reps").beginArray();
+      for (const auto& rep : point.reps) writeSimResult(json, rep);
+      json.endArray();
+      json.endObject();
+    }
+    json.endArray();
+    json.endObject();
+    os << '\n';
+  });
+}
+
+}  // namespace pqos::runner

@@ -1,0 +1,92 @@
+// Pluggable result sinks for the experiment runner.
+//
+// A sink observes a sweep three ways: onSweepBegin (spec + seeds resolved,
+// nothing run), onTaskComplete (one (a, U, rep) simulation finished; calls
+// are serialized by the runner but arrive in completion order), and
+// onSweepEnd (the full deterministic SweepResult). Data sinks (CSV, JSON)
+// write only from onSweepEnd so their output is thread-count invariant;
+// the progress reporter streams from onTaskComplete.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "runner/sweep_runner.hpp"
+
+namespace pqos::runner {
+
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  /// `pending` carries spec/options/seeds; points are not yet populated.
+  virtual void onSweepBegin(const SweepResult& pending) { (void)pending; }
+  virtual void onTaskComplete(const TaskProgress& progress) {
+    (void)progress;
+  }
+  virtual void onSweepEnd(const SweepResult& result) { (void)result; }
+};
+
+/// Streams one line per completed task (and a header/footer) to a stream,
+/// stderr by default.
+class ProgressSink final : public ResultSink {
+ public:
+  ProgressSink();  // stderr
+  explicit ProgressSink(std::ostream& os);
+
+  void onSweepBegin(const SweepResult& pending) override;
+  void onTaskComplete(const TaskProgress& progress) override;
+  void onSweepEnd(const SweepResult& result) override;
+
+ private:
+  std::ostream* os_;
+};
+
+/// Writes one CSV row per (accuracy, userRisk, replica) with the raw
+/// metrics, plus the replica seed — everything needed to recompute any
+/// aggregate offline. Creates the parent directory; throws ConfigError
+/// when the file cannot be written.
+class CsvResultSink final : public ResultSink {
+ public:
+  explicit CsvResultSink(std::string path);
+
+  void onSweepEnd(const SweepResult& result) override;
+
+ private:
+  std::string path_;
+};
+
+/// Machine-readable results with full provenance (schema pqos-sweep-v1):
+///
+///   {
+///     "schema": "pqos-sweep-v1",
+///     "title": ..., "gitDescribe": ..., "buildType": ..., "compiler": ...,
+///     "wallSeconds": ...,
+///     "spec": { model, jobCount, seed, machineSize, failuresPerYear,
+///               accuracies: [...], userRisks: [...],
+///               config: { ...SimConfig policy knobs... } },
+///     "threads": N, "reps": K, "seeds": [...],
+///     "points": [ { "accuracy": a, "userRisk": u,
+///                   "metrics": { "qos": {mean, stddev, ci95, values: [...]},
+///                                "utilization": {...}, "lostWork": {...} },
+///                   "reps": [ { ...full per-replica SimResult... } ] } ]
+///   }
+///
+/// Creates the parent directory; throws ConfigError on write failure.
+class JsonResultSink final : public ResultSink {
+ public:
+  explicit JsonResultSink(std::string path);
+
+  void onSweepEnd(const SweepResult& result) override;
+
+ private:
+  std::string path_;
+};
+
+/// Creates the parent directory of `path` (if any) and opens it for
+/// writing; throws ConfigError on failure. Shared by the file sinks and
+/// the bench harness CSV export.
+void writeFileWithParents(const std::string& path,
+                          const std::function<void(std::ostream&)>& body);
+
+}  // namespace pqos::runner

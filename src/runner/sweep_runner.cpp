@@ -1,0 +1,227 @@
+#include "runner/sweep_runner.hpp"
+
+#include <chrono>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <utility>
+
+#include "runner/result_sink.hpp"
+#include "runner/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pqos::runner {
+
+ReplicaStats PointResult::stats(
+    const std::function<double(const core::SimResult&)>& metric) const {
+  std::vector<double> values;
+  values.reserve(reps.size());
+  for (const auto& rep : reps) values.push_back(metric(rep));
+  return aggregateReplicas(values);
+}
+
+const PointResult& SweepResult::at(double accuracy, double userRisk) const {
+  for (const auto& point : points) {
+    if (point.accuracy == accuracy && point.userRisk == userRisk) {
+      return point;
+    }
+  }
+  throw LogicError("SweepResult::at: grid point not found");
+}
+
+std::vector<core::SweepPoint> SweepResult::primaryPoints() const {
+  std::vector<core::SweepPoint> legacy;
+  legacy.reserve(points.size());
+  for (const auto& point : points) {
+    legacy.push_back({point.accuracy, point.userRisk, point.primary()});
+  }
+  return legacy;
+}
+
+SweepRunner::SweepRunner(SweepSpec spec, RunnerOptions options)
+    : spec_(std::move(spec)), options_(options) {}
+
+void SweepRunner::addSink(ResultSink* sink) {
+  require(sink != nullptr, "SweepRunner::addSink: null sink");
+  sinks_.push_back(sink);
+}
+
+SweepResult SweepRunner::run() {
+  require(!spec_.accuracies.empty() && !spec_.userRisks.empty(),
+          "SweepRunner: empty parameter grid");
+  require(options_.reps >= 1, "SweepRunner: need at least one replica");
+
+  RunnerOptions resolved = options_;
+  if (resolved.threads == 0) resolved.threads = ThreadPool::hardwareThreads();
+
+  SweepResult result;
+  result.spec = spec_;
+  result.options = resolved;
+  for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+    result.seeds.push_back(replicaSeed(spec_.seed, rep));
+  }
+  for (auto* sink : sinks_) sink->onSweepBegin(result);
+
+  const auto started = std::chrono::steady_clock::now();
+  ThreadPool pool(resolved.threads);
+
+  // Stage 1: per-replica inputs (workload + failure trace), one task each.
+  // Replica inputs are immutable once built and shared by every grid task
+  // of that replica, preserving the paper's pairing guarantee.
+  std::vector<std::future<core::StandardInputs>> inputFutures;
+  inputFutures.reserve(resolved.reps);
+  for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+    const std::uint64_t seed = result.seeds[rep];
+    inputFutures.push_back(pool.submit([this, seed] {
+      return core::makeStandardInputs(spec_.model, spec_.jobCount, seed,
+                                      spec_.machineSize,
+                                      spec_.failuresPerYear);
+    }));
+  }
+  std::vector<core::StandardInputs> inputs;
+  inputs.reserve(resolved.reps);
+  for (auto& future : inputFutures) inputs.push_back(future.get());
+
+  // Stage 2: the full (replica x accuracy x userRisk) cross product. Each
+  // task writes its own pre-allocated slot, so the assembled result is
+  // identical for any thread count or completion order.
+  const std::size_t gridSize =
+      spec_.accuracies.size() * spec_.userRisks.size();
+  const std::size_t total = gridSize * resolved.reps;
+  std::vector<std::vector<core::SimResult>> perRep(
+      resolved.reps, std::vector<core::SimResult>(gridSize));
+
+  std::mutex progressMutex;
+  std::size_t completed = 0;
+  std::vector<std::future<void>> futures;
+  futures.reserve(total);
+  for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+    for (std::size_t ai = 0; ai < spec_.accuracies.size(); ++ai) {
+      for (std::size_t ui = 0; ui < spec_.userRisks.size(); ++ui) {
+        const double a = spec_.accuracies[ai];
+        const double u = spec_.userRisks[ui];
+        const std::size_t slot = ai * spec_.userRisks.size() + ui;
+        futures.push_back(pool.submit([&, rep, a, u, slot, total] {
+          core::SimConfig config = spec_.base;
+          config.accuracy = a;
+          config.userRisk = u;
+          // Replica 0 keeps the base tie-breaking seed (bit-identical to
+          // the legacy path); later replicas re-derive it.
+          config.seed = replicaSeed(spec_.base.seed, rep);
+          core::SimResult sim =
+              core::runSimulation(config, inputs[rep].jobs, inputs[rep].trace);
+          std::lock_guard<std::mutex> lock(progressMutex);
+          perRep[rep][slot] = std::move(sim);
+          ++completed;
+          TaskProgress progress{completed, total, a,
+                                u,         rep,   &perRep[rep][slot]};
+          for (auto* sink : sinks_) sink->onTaskComplete(progress);
+        }));
+      }
+    }
+  }
+
+  // Propagate the first worker exception, but only after every task has
+  // settled (their slots and the shared inputs stay alive until then).
+  std::exception_ptr firstError;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!firstError) firstError = std::current_exception();
+    }
+  }
+  if (firstError) std::rethrow_exception(firstError);
+
+  result.points.reserve(gridSize);
+  for (std::size_t ai = 0; ai < spec_.accuracies.size(); ++ai) {
+    for (std::size_t ui = 0; ui < spec_.userRisks.size(); ++ui) {
+      const std::size_t slot = ai * spec_.userRisks.size() + ui;
+      PointResult point;
+      point.accuracy = spec_.accuracies[ai];
+      point.userRisk = spec_.userRisks[ui];
+      point.reps.reserve(resolved.reps);
+      for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+        point.reps.push_back(std::move(perRep[rep][slot]));
+      }
+      result.points.push_back(std::move(point));
+    }
+  }
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
+          .count();
+  for (auto* sink : sinks_) sink->onSweepEnd(result);
+  return result;
+}
+
+std::vector<core::SweepPoint> SweepRunner::runPoints(
+    const core::SimConfig& base, const core::StandardInputs& inputs,
+    std::span<const double> accuracies, std::span<const double> userRisks,
+    std::size_t threads) {
+  if (threads == 0) threads = ThreadPool::hardwareThreads();
+  std::vector<core::SweepPoint> points(accuracies.size() * userRisks.size());
+
+  ThreadPool pool(threads);
+  std::vector<std::future<void>> futures;
+  futures.reserve(points.size());
+  for (std::size_t ai = 0; ai < accuracies.size(); ++ai) {
+    for (std::size_t ui = 0; ui < userRisks.size(); ++ui) {
+      const double a = accuracies[ai];
+      const double u = userRisks[ui];
+      const std::size_t slot = ai * userRisks.size() + ui;
+      futures.push_back(pool.submit([&, a, u, slot] {
+        core::SimConfig config = base;
+        config.accuracy = a;
+        config.userRisk = u;
+        points[slot] = {a, u,
+                        core::runSimulation(config, inputs.jobs, inputs.trace)};
+      }));
+    }
+  }
+  std::exception_ptr firstError;
+  for (auto& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!firstError) firstError = std::current_exception();
+    }
+  }
+  if (firstError) std::rethrow_exception(firstError);
+
+  // Legacy per-point log lines, in canonical (not completion) order so the
+  // log itself stays deterministic under parallelism.
+  for (const auto& point : points) {
+    PQOS_INFO() << "sweep a=" << point.accuracy << " U=" << point.userRisk
+                << " qos=" << point.result.qos
+                << " util=" << point.result.utilization
+                << " lost=" << point.result.lostWork;
+  }
+  return points;
+}
+
+}  // namespace runner
+
+// core::sweep() is declared in core/experiment.hpp but defined here, in
+// the runner library, so the serial entry point and the parallel
+// orchestrator are one code path (pqos::pqos links both).
+namespace pqos::core {
+
+std::vector<SweepPoint> sweep(const SimConfig& base,
+                              const StandardInputs& inputs,
+                              std::span<const double> accuracies,
+                              std::span<const double> userRisks) {
+  return runner::SweepRunner::runPoints(base, inputs, accuracies, userRisks,
+                                        0);
+}
+
+std::vector<SweepPoint> sweep(const SimConfig& base,
+                              const StandardInputs& inputs,
+                              std::span<const double> accuracies,
+                              std::span<const double> userRisks,
+                              std::size_t threads) {
+  return runner::SweepRunner::runPoints(base, inputs, accuracies, userRisks,
+                                        threads);
+}
+
+}  // namespace pqos::core

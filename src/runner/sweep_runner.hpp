@@ -1,0 +1,119 @@
+// SweepRunner: parallel orchestration of the paper's (accuracy x userRisk)
+// parameter sweeps with deterministic multi-seed replication.
+//
+// Determinism contract
+// --------------------
+// Every (accuracy, userRisk, replica) task is a pure function of the spec:
+// replica r derives its seed via replicaSeed(spec.seed, r), builds its own
+// StandardInputs from that seed, and runs an isolated Simulator over
+// shared *immutable* inputs. Results are written into a slot indexed by
+// (replica, accuracy, userRisk) — never by completion order — so the
+// output is bit-identical for any thread count, including the legacy
+// serial path. Replica 0 uses the base seed unchanged, preserving the
+// paper's pairing guarantee: all points of a replica share one seeded
+// workload/trace pair, and a --reps 1 run reproduces the historical
+// single-seed numbers exactly.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/experiment.hpp"
+#include "core/metrics.hpp"
+#include "runner/replication.hpp"
+
+namespace pqos::runner {
+
+class ResultSink;
+
+/// Everything that defines a sweep experiment (inputs are derived, not
+/// passed, so the spec is a complete provenance record).
+struct SweepSpec {
+  std::string model = "nasa";  // workload model family ("nasa" | "sdsc")
+  std::size_t jobCount = 10000;
+  std::uint64_t seed = 42;
+  int machineSize = 128;
+  double failuresPerYear = 1021.0;
+  core::SimConfig base;                // accuracy/userRisk overwritten
+  std::vector<double> accuracies;      // grid, accuracy-major order
+  std::vector<double> userRisks;
+  std::string title;                   // free-form, echoed into sinks
+};
+
+struct RunnerOptions {
+  std::size_t threads = 0;  // worker threads; 0 = one per hardware thread
+  std::size_t reps = 1;     // replicas per grid point (seed-derived)
+};
+
+/// One grid point across all replicas. reps[0] is the base-seed result —
+/// the value the legacy single-seed path reports.
+struct PointResult {
+  double accuracy = 0.0;
+  double userRisk = 0.0;
+  std::vector<core::SimResult> reps;
+
+  [[nodiscard]] const core::SimResult& primary() const { return reps.front(); }
+
+  /// Aggregates `metric(result)` over replicas.
+  [[nodiscard]] ReplicaStats stats(
+      const std::function<double(const core::SimResult&)>& metric) const;
+};
+
+struct SweepResult {
+  SweepSpec spec;
+  RunnerOptions options;            // options.threads resolved (never 0)
+  std::vector<std::uint64_t> seeds;  // per replica
+  std::vector<PointResult> points;   // accuracy-major, risk-minor
+  double wallSeconds = 0.0;
+
+  [[nodiscard]] const PointResult& at(double accuracy, double userRisk) const;
+
+  /// Replica-0 results in the legacy core::sweep() shape.
+  [[nodiscard]] std::vector<core::SweepPoint> primaryPoints() const;
+};
+
+/// Progress of one completed (accuracy, userRisk, replica) task; sink
+/// callbacks observe tasks in completion order but are never invoked
+/// concurrently.
+struct TaskProgress {
+  std::size_t completed = 0;  // tasks done so far, including this one
+  std::size_t total = 0;
+  double accuracy = 0.0;
+  double userRisk = 0.0;
+  std::size_t rep = 0;
+  const core::SimResult* result = nullptr;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepSpec spec, RunnerOptions options = {});
+
+  /// Registers a non-owning sink; must outlive run().
+  void addSink(ResultSink* sink);
+
+  /// Builds per-replica inputs, fans the (a, U, rep) cross product across
+  /// the pool, aggregates, and notifies sinks. May be called repeatedly
+  /// (each call is an independent pool).
+  [[nodiscard]] SweepResult run();
+
+  /// Low-level parallel engine over existing shared inputs: the cross
+  /// product of accuracies x userRisks in canonical order. threads = 0
+  /// means one per hardware thread; results are thread-count invariant.
+  /// core::sweep() delegates here.
+  [[nodiscard]] static std::vector<core::SweepPoint> runPoints(
+      const core::SimConfig& base, const core::StandardInputs& inputs,
+      std::span<const double> accuracies, std::span<const double> userRisks,
+      std::size_t threads);
+
+ private:
+  SweepSpec spec_;
+  RunnerOptions options_;
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace pqos::runner

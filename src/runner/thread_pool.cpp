@@ -1,0 +1,52 @@
+#include "runner/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace pqos::runner {
+
+ThreadPool::ThreadPool(std::size_t threadCount) {
+  if (threadCount == 0) threadCount = hardwareThreads();
+  workers_.reserve(threadCount);
+  for (std::size_t i = 0; i < threadCount; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+void ThreadPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ && workers_.empty()) return;  // already fully shut down
+    stopping_ = true;
+  }
+  wake_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+std::size_t ThreadPool::hardwareThreads() {
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain the queue even when stopping: shutdown() promises that every
+      // accepted task runs.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // packaged_task catches the task's exception and parks it in the
+    // future, so nothing propagates here.
+    task();
+  }
+}
+
+}  // namespace pqos::runner

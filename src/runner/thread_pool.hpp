@@ -1,0 +1,77 @@
+// A reusable fixed-size worker pool for experiment orchestration.
+//
+// Design constraints, in order:
+//   1. Exceptions thrown by a task must reach the caller (through the
+//      std::future returned by submit()), never std::terminate a worker.
+//   2. Shutdown is clean and idempotent: every queued task runs to
+//      completion, workers join, and a second shutdown() is a no-op.
+//   3. The pool imposes no ordering of its own; callers that need
+//      deterministic results index their output by task, not by
+//      completion order (see SweepRunner).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pqos::runner {
+
+class ThreadPool {
+ public:
+  /// Spawns `threadCount` workers; 0 means one per hardware thread.
+  explicit ThreadPool(std::size_t threadCount = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Equivalent to shutdown().
+  ~ThreadPool();
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a nullary callable; the returned future yields its result or
+  /// rethrows its exception. Throws LogicError after shutdown().
+  template <typename F>
+  auto submit(F f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    // packaged_task is move-only and std::function requires copyable
+    // targets, so the task rides in a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    auto future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      require(!stopping_, "ThreadPool::submit: pool already shut down");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    wake_.notify_one();
+    return future;
+  }
+
+  /// Drains the queue, joins all workers. Idempotent; also safe to call
+  /// concurrently with completing tasks (but not with submit()).
+  void shutdown();
+
+  /// std::thread::hardware_concurrency with a floor of 1.
+  [[nodiscard]] static std::size_t hardwareThreads();
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  bool stopping_ = false;
+};
+
+}  // namespace pqos::runner

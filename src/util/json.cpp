@@ -1,0 +1,172 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+
+#include "util/error.hpp"
+
+namespace pqos {
+
+std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;  // UTF-8 bytes pass through unchanged
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+JsonWriter::JsonWriter(std::ostream& os, int indent)
+    : os_(os), indent_(indent) {}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  os_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    os_ << ' ';
+  }
+}
+
+void JsonWriter::beforeValue() {
+  if (stack_.empty()) {
+    require(!topValueWritten_, "JsonWriter: multiple top-level values");
+    topValueWritten_ = true;
+    return;
+  }
+  if (stack_.back() == Scope::Object) {
+    require(keyPending_, "JsonWriter: object member needs key() first");
+    keyPending_ = false;
+    return;  // key() already emitted the separator and indent
+  }
+  if (hasItems_.back()) os_ << ',';
+  hasItems_.back() = true;
+  newline();
+}
+
+void JsonWriter::beforeContainer() { beforeValue(); }
+
+JsonWriter& JsonWriter::beginObject() {
+  beforeContainer();
+  os_ << '{';
+  stack_.push_back(Scope::Object);
+  hasItems_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endObject() {
+  require(!stack_.empty() && stack_.back() == Scope::Object && !keyPending_,
+          "JsonWriter: endObject without matching beginObject");
+  const bool had = hasItems_.back();
+  stack_.pop_back();
+  hasItems_.pop_back();
+  if (had) newline();
+  os_ << '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::beginArray() {
+  beforeContainer();
+  os_ << '[';
+  stack_.push_back(Scope::Array);
+  hasItems_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::endArray() {
+  require(!stack_.empty() && stack_.back() == Scope::Array,
+          "JsonWriter: endArray without matching beginArray");
+  const bool had = hasItems_.back();
+  stack_.pop_back();
+  hasItems_.pop_back();
+  if (had) newline();
+  os_ << ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  require(!stack_.empty() && stack_.back() == Scope::Object && !keyPending_,
+          "JsonWriter: key() only valid inside an object");
+  if (hasItems_.back()) os_ << ',';
+  hasItems_.back() = true;
+  newline();
+  os_ << jsonEscape(name) << (indent_ > 0 ? ": " : ":");
+  keyPending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view s) {
+  beforeValue();
+  os_ << jsonEscape(s);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string_view(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  beforeValue();
+  // Shortest representation that round-trips: try 15, 16, then 17
+  // significant digits (max_digits10 always round-trips).
+  char buf[40];
+  for (int digits = 15; digits <= std::numeric_limits<double>::max_digits10;
+       ++digits) {
+    std::snprintf(buf, sizeof(buf), "%.*g", digits, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  os_ << buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long long v) {
+  beforeValue();
+  os_ << v;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(int v) { return value(static_cast<long long>(v)); }
+
+JsonWriter& JsonWriter::value(bool v) {
+  beforeValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  beforeValue();
+  os_ << "null";
+  return *this;
+}
+
+bool JsonWriter::done() const { return topValueWritten_ && stack_.empty(); }
+
+}  // namespace pqos

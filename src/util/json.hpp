@@ -1,0 +1,68 @@
+// Minimal streaming JSON writer for machine-readable result export.
+//
+// Emits standard-conformant JSON: strings are escaped per RFC 8259,
+// doubles are printed round-trip exact (max_digits10), and non-finite
+// doubles — which JSON cannot represent — degrade to null. The writer
+// tracks nesting so commas and indentation are automatic; misuse (a value
+// where a key is required, unbalanced end calls) throws LogicError.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqos {
+
+class JsonWriter {
+ public:
+  /// Writes to `os`; indent = 0 produces compact single-line output.
+  explicit JsonWriter(std::ostream& os, int indent = 2);
+
+  JsonWriter& beginObject();
+  JsonWriter& endObject();
+  JsonWriter& beginArray();
+  JsonWriter& endArray();
+
+  /// Names the next value; only valid directly inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::uint64_t v);  // also covers std::size_t on LP64
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// key(name) followed by value(v).
+  template <typename T>
+  JsonWriter& field(std::string_view name, const T& v) {
+    key(name);
+    return value(v);
+  }
+
+  /// True once the single top-level value is complete.
+  [[nodiscard]] bool done() const;
+
+ private:
+  enum class Scope { Object, Array };
+
+  void beforeValue();       // comma/indent bookkeeping; rejects misuse
+  void beforeContainer();   // beforeValue + push
+  void newline();
+
+  std::ostream& os_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> hasItems_;  // parallel to stack_
+  bool keyPending_ = false;
+  bool topValueWritten_ = false;
+};
+
+/// Escapes `s` as a quoted JSON string literal.
+[[nodiscard]] std::string jsonEscape(std::string_view s);
+
+}  // namespace pqos

@@ -1,11 +1,17 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace pqos {
 
 namespace {
-LogLevel g_level = LogLevel::Off;
+// The level is atomic and each message is emitted under a mutex so that
+// experiment-runner workers logging concurrently cannot tear a line;
+// single-threaded callers pay one uncontended lock.
+std::atomic<LogLevel> g_level{LogLevel::Off};
+std::mutex g_outputMutex;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -19,12 +25,15 @@ const char* levelName(LogLevel level) {
 }
 }  // namespace
 
-void setLogLevel(LogLevel level) { g_level = level; }
+void setLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel logLevel() { return g_level; }
+LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void logMessage(LogLevel level, const std::string& message) {
-  if (g_level < level || level == LogLevel::Off) return;
+  if (logLevel() < level || level == LogLevel::Off) return;
+  std::lock_guard<std::mutex> lock(g_outputMutex);
   std::cerr << "[pqos " << levelName(level) << "] " << message << '\n';
 }
 

@@ -9,8 +9,10 @@ namespace pqos {
 
 enum class LogLevel { Off = 0, Error = 1, Warn = 2, Info = 3, Debug = 4 };
 
-/// Global log level; not thread-safe by design (the simulator is
-/// single-threaded and deterministic).
+/// Global log level. Each simulation is single-threaded and
+/// deterministic, but the experiment runner executes many simulations
+/// concurrently, so the level is atomic and message emission is
+/// mutex-serialized (whole lines never interleave).
 void setLogLevel(LogLevel level);
 [[nodiscard]] LogLevel logLevel();
 

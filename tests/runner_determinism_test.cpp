@@ -1,0 +1,148 @@
+// The runner's determinism contract: parallel sweeps are bit-identical to
+// the legacy serial path for the same seed, for any thread count, and the
+// replication machinery preserves the paper's pairing guarantee.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace pqos::runner {
+namespace {
+
+/// The legacy serial path, verbatim: one Simulator per (a, U) over shared
+/// inputs, accuracy-major order.
+std::vector<core::SweepPoint> legacySerialSweep(
+    const core::SimConfig& base, const core::StandardInputs& inputs,
+    const std::vector<double>& accuracies,
+    const std::vector<double>& userRisks) {
+  std::vector<core::SweepPoint> points;
+  for (const double a : accuracies) {
+    for (const double u : userRisks) {
+      core::SimConfig config = base;
+      config.accuracy = a;
+      config.userRisk = u;
+      points.push_back(
+          {a, u, core::runSimulation(config, inputs.jobs, inputs.trace)});
+    }
+  }
+  return points;
+}
+
+void expectIdentical(const std::vector<core::SweepPoint>& lhs,
+                     const std::vector<core::SweepPoint>& rhs) {
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(lhs[i].accuracy, rhs[i].accuracy);
+    EXPECT_DOUBLE_EQ(lhs[i].userRisk, rhs[i].userRisk);
+    // SimResult::operator== is field-wise; doubles must match bit-for-bit
+    // because both sides execute the exact same arithmetic.
+    EXPECT_EQ(lhs[i].result, rhs[i].result) << "point " << i;
+  }
+}
+
+TEST(SweepDeterminism, OneThreadManyThreadsAndSerialAgreeBitForBit) {
+  const auto inputs = core::makeStandardInputs("nasa", 300, 123);
+  core::SimConfig base;
+  const std::vector<double> accuracies{0.0, 0.5, 1.0};
+  const std::vector<double> risks{0.1, 0.9};
+
+  const auto serial = legacySerialSweep(base, inputs, accuracies, risks);
+  const auto oneThread =
+      SweepRunner::runPoints(base, inputs, accuracies, risks, 1);
+  const auto fourThreads =
+      SweepRunner::runPoints(base, inputs, accuracies, risks, 4);
+
+  expectIdentical(serial, oneThread);
+  expectIdentical(serial, fourThreads);
+}
+
+TEST(SweepDeterminism, CoreSweepStillCoversCrossProductInOrder) {
+  // core::sweep() now delegates to the runner; the public contract
+  // (accuracy-major order, paired inputs) must be unchanged.
+  const auto inputs = core::makeStandardInputs("nasa", 200, 7);
+  core::SimConfig base;
+  const std::vector<double> accuracies{0.0, 1.0};
+  const std::vector<double> risks{0.1, 0.9};
+  const auto points = core::sweep(base, inputs, accuracies, risks);
+  ASSERT_EQ(points.size(), 4u);
+  EXPECT_DOUBLE_EQ(points[0].accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(points[0].userRisk, 0.1);
+  EXPECT_DOUBLE_EQ(points[1].userRisk, 0.9);
+  EXPECT_DOUBLE_EQ(points[3].accuracy, 1.0);
+  const auto pinned = core::sweep(base, inputs, accuracies, risks, 2);
+  expectIdentical(points, pinned);
+}
+
+TEST(SweepRunnerDeterminism, FullRunIsThreadCountInvariant) {
+  SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 250;
+  spec.seed = 99;
+  spec.accuracies = {0.0, 1.0};
+  spec.userRisks = {0.5};
+
+  RunnerOptions one;
+  one.threads = 1;
+  one.reps = 2;
+  RunnerOptions four;
+  four.threads = 4;
+  four.reps = 2;
+
+  auto a = SweepRunner(spec, one).run();
+  auto b = SweepRunner(spec, four).run();
+
+  EXPECT_EQ(a.seeds, b.seeds);
+  ASSERT_EQ(a.points.size(), b.points.size());
+  for (std::size_t i = 0; i < a.points.size(); ++i) {
+    ASSERT_EQ(a.points[i].reps.size(), 2u);
+    for (std::size_t rep = 0; rep < 2; ++rep) {
+      EXPECT_EQ(a.points[i].reps[rep], b.points[i].reps[rep])
+          << "point " << i << " rep " << rep;
+    }
+  }
+}
+
+TEST(SweepRunnerDeterminism, ReplicaZeroMatchesLegacySingleSeedPath) {
+  // A K-rep run's first replica must reproduce the historical single-seed
+  // numbers exactly (pairing guarantee: base seed untouched).
+  SweepSpec spec;
+  spec.model = "sdsc";
+  spec.jobCount = 200;
+  spec.seed = 42;
+  spec.accuracies = {0.0, 1.0};
+  spec.userRisks = {0.1, 0.9};
+
+  RunnerOptions options;
+  options.threads = 2;
+  options.reps = 3;
+  auto replicated = SweepRunner(spec, options).run();
+
+  const auto inputs =
+      core::makeStandardInputs("sdsc", 200, 42, spec.machineSize);
+  const auto legacy =
+      legacySerialSweep(spec.base, inputs, spec.accuracies, spec.userRisks);
+
+  expectIdentical(legacy, replicated.primaryPoints());
+  EXPECT_EQ(replicated.seeds[0], 42u);
+  EXPECT_NE(replicated.seeds[1], replicated.seeds[2]);
+}
+
+TEST(SweepRunnerDeterminism, DistinctReplicasActuallyDiffer) {
+  SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 300;
+  spec.seed = 5;
+  spec.accuracies = {0.5};
+  spec.userRisks = {0.5};
+  RunnerOptions options;
+  options.threads = 2;
+  options.reps = 2;
+  auto result = SweepRunner(spec, options).run();
+  ASSERT_EQ(result.points.size(), 1u);
+  // Different seeds generate different workloads/traces, so replicas must
+  // not be accidental copies of each other.
+  EXPECT_NE(result.points[0].reps[0], result.points[0].reps[1]);
+}
+
+}  // namespace
+}  // namespace pqos::runner

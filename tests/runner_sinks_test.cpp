@@ -1,0 +1,130 @@
+// Result-sink tests: progress streaming, CSV/JSON file output (including
+// parent-directory creation and error reporting), and sink callback
+// ordering guarantees.
+#include "runner/result_sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos::runner {
+namespace {
+
+SweepResult runTinySweep(std::vector<ResultSink*> sinks, std::size_t reps = 2) {
+  SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 120;
+  spec.seed = 7;
+  spec.accuracies = {0.0, 1.0};
+  spec.userRisks = {0.5};
+  spec.title = "sink test sweep";
+  RunnerOptions options;
+  options.threads = 2;
+  options.reps = reps;
+  SweepRunner runner(spec, options);
+  for (auto* sink : sinks) runner.addSink(sink);
+  return runner.run();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path);
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+TEST(ProgressSink, StreamsBeginEveryTaskAndEnd) {
+  std::ostringstream out;
+  ProgressSink progress(out);
+  const auto result = runTinySweep({&progress});
+  ASSERT_EQ(result.points.size(), 2u);
+
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += (c == '\n');
+  // 1 begin + 2 points x 2 reps + 1 end.
+  EXPECT_EQ(lines, 6u);
+  EXPECT_NE(text.find("sweep nasa: 2x1 grid"), std::string::npos);
+  EXPECT_NE(text.find("4/4"), std::string::npos);
+  EXPECT_NE(text.find("done in"), std::string::npos);
+}
+
+TEST(CsvResultSink, WritesOneRowPerReplicaWithSeeds) {
+  const std::string path =
+      ::testing::TempDir() + "/pqos_sink_csv/nested/raw.csv";
+  std::filesystem::remove_all(::testing::TempDir() + "/pqos_sink_csv");
+  CsvResultSink csv(path);
+  const auto result = runTinySweep({&csv});
+
+  const std::string text = slurp(path);
+  std::size_t lines = 0;
+  for (const char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 5u);  // header + 2 points x 2 reps
+  EXPECT_NE(text.find("accuracy,userRisk,rep,seed,qos"), std::string::npos);
+  EXPECT_NE(text.find(std::to_string(result.seeds[1])), std::string::npos);
+  std::filesystem::remove_all(::testing::TempDir() + "/pqos_sink_csv");
+}
+
+TEST(JsonResultSink, WritesProvenanceAndPerPointStats) {
+  const std::string path =
+      ::testing::TempDir() + "/pqos_sink_json/deep/dir/results.json";
+  std::filesystem::remove_all(::testing::TempDir() + "/pqos_sink_json");
+  JsonResultSink json(path);
+  const auto result = runTinySweep({&json});
+
+  const std::string text = slurp(path);
+  EXPECT_NE(text.find("\"schema\": \"pqos-sweep-v1\""), std::string::npos);
+  EXPECT_NE(text.find("\"title\": \"sink test sweep\""), std::string::npos);
+  EXPECT_NE(text.find("\"gitDescribe\""), std::string::npos);
+  EXPECT_NE(text.find("\"wallSeconds\""), std::string::npos);
+  EXPECT_NE(text.find("\"seeds\""), std::string::npos);
+  EXPECT_NE(text.find("\"ci95\""), std::string::npos);
+  EXPECT_NE(text.find("\"qos\""), std::string::npos);
+  // Two grid points -> two "accuracy" keys under points.
+  std::size_t count = 0;
+  for (std::size_t pos = text.find("\"accuracy\"");
+       pos != std::string::npos; pos = text.find("\"accuracy\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  // The file must embed the replica count and both per-replica values.
+  EXPECT_NE(text.find("\"reps\": 2"), std::string::npos);
+  EXPECT_EQ(result.seeds.size(), 2u);
+  std::filesystem::remove_all(::testing::TempDir() + "/pqos_sink_json");
+}
+
+TEST(Sinks, UnwritablePathThrowsConfigError) {
+  // /dev/null/x cannot be created: /dev/null is not a directory.
+  CsvResultSink csv("/dev/null/nope/raw.csv");
+  EXPECT_THROW(runTinySweep({&csv}, 1), ConfigError);
+}
+
+TEST(WriteFileWithParents, CreatesMissingDirectories) {
+  const std::string root = ::testing::TempDir() + "/pqos_wfwp";
+  std::filesystem::remove_all(root);
+  const std::string path = root + "/a/b/c/out.txt";
+  writeFileWithParents(path, [](std::ostream& os) { os << "hello"; });
+  EXPECT_EQ(slurp(path), "hello");
+  std::filesystem::remove_all(root);
+}
+
+TEST(PointResult, StatsAggregateAcrossReplicas) {
+  const auto result = runTinySweep({}, 3);
+  for (const auto& point : result.points) {
+    const auto stats =
+        point.stats([](const core::SimResult& r) { return r.qos; });
+    EXPECT_EQ(stats.count, 3u);
+    EXPECT_GE(stats.mean, 0.0);
+    EXPECT_LE(stats.mean, 1.0);
+    EXPECT_GE(stats.ci95, 0.0);
+    EXPECT_GE(stats.max, stats.min);
+  }
+}
+
+}  // namespace
+}  // namespace pqos::runner

@@ -1,0 +1,108 @@
+// ThreadPool unit tests: result delivery independent of scheduling order,
+// exception propagation out of workers, and clean/idempotent shutdown.
+#include "runner/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <latch>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace pqos::runner {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskAndDeliversResultsBySubmissionSlot) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  // Whatever order workers picked the tasks in, each future is bound to
+  // its submission, not to completion order.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPool, DefaultSizeIsHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.size(), ThreadPool::hardwareThreads());
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(2);
+  // Both tasks block until the other has started, which can only resolve
+  // if two workers execute them concurrently.
+  std::latch bothStarted(2);
+  auto one = pool.submit([&] { bothStarted.arrive_and_wait(); });
+  auto two = pool.submit([&] { bothStarted.arrive_and_wait(); });
+  one.get();
+  two.get();
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptionsThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto boom = pool.submit(
+      []() -> int { throw std::runtime_error("worker exploded"); });
+  auto after = pool.submit([] { return 8; });
+
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(
+      {
+        try {
+          boom.get();
+        } catch (const std::runtime_error& error) {
+          EXPECT_STREQ(error.what(), "worker exploded");
+          throw;
+        }
+      },
+      std::runtime_error);
+  // The pool survives a throwing task; later tasks still run.
+  EXPECT_EQ(after.get(), 8);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueueAndIsIdempotent) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 50; ++i) {
+    futures.push_back(pool.submit([&ran] { ++ran; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(ran.load(), 50);  // every accepted task ran before join
+  pool.shutdown();            // double shutdown is a no-op
+  pool.shutdown();
+  for (auto& future : futures) future.get();  // all futures are ready
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_THROW((void)pool.submit([] { return 1; }), LogicError);
+}
+
+TEST(ThreadPool, DestructorJoinsOutstandingWork) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 20; ++i) {
+      (void)pool.submit([&ran] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        ++ran;
+      });
+    }
+  }  // ~ThreadPool must wait for all 20
+  EXPECT_EQ(ran.load(), 20);
+}
+
+}  // namespace
+}  // namespace pqos::runner

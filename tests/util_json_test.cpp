@@ -1,0 +1,113 @@
+// JsonWriter: structural correctness, escaping, number formatting, and
+// misuse detection.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos {
+namespace {
+
+std::string compact(const std::function<void(JsonWriter&)>& body) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  body(json);
+  return os.str();
+}
+
+TEST(JsonEscape, QuotesAndControlCharacters) {
+  EXPECT_EQ(jsonEscape("plain"), "\"plain\"");
+  EXPECT_EQ(jsonEscape("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(jsonEscape("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "\"line\\nbreak\\ttab\"");
+  EXPECT_EQ(jsonEscape(std::string("nul\x01") + "x"), "\"nul\\u0001x\"");
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "\"caf\xc3\xa9\"");  // UTF-8 intact
+}
+
+TEST(JsonWriter, CompactObjectWithMixedValues) {
+  const auto text = compact([](JsonWriter& json) {
+    json.beginObject();
+    json.field("name", "pqos");
+    json.field("count", 3);
+    json.field("ratio", 0.5);
+    json.field("big", std::uint64_t{18446744073709551615ULL});
+    json.field("neg", static_cast<long long>(-7));
+    json.field("flag", true);
+    json.key("nothing").null();
+    json.endObject();
+  });
+  EXPECT_EQ(text,
+            "{\"name\":\"pqos\",\"count\":3,\"ratio\":0.5,"
+            "\"big\":18446744073709551615,\"neg\":-7,\"flag\":true,"
+            "\"nothing\":null}");
+}
+
+TEST(JsonWriter, NestedArraysAndObjects) {
+  const auto text = compact([](JsonWriter& json) {
+    json.beginArray();
+    json.value(1);
+    json.beginObject();
+    json.key("inner").beginArray();
+    json.value(2);
+    json.value(3);
+    json.endArray();
+    json.endObject();
+    json.endArray();
+  });
+  EXPECT_EQ(text, "[1,{\"inner\":[2,3]}]");
+}
+
+TEST(JsonWriter, DoublesRoundTripAndNonFiniteBecomesNull) {
+  const auto text = compact([](JsonWriter& json) {
+    json.beginArray();
+    json.value(0.1);
+    json.value(1e300);
+    json.value(std::numeric_limits<double>::infinity());
+    json.value(std::nan(""));
+    json.endArray();
+  });
+  EXPECT_EQ(text, "[0.1,1e+300,null,null]");
+}
+
+TEST(JsonWriter, IndentedOutputIsStable) {
+  std::ostringstream os;
+  JsonWriter json(os, 2);
+  json.beginObject();
+  json.field("a", 1);
+  json.key("b").beginArray().value(2).endArray();
+  json.endObject();
+  EXPECT_EQ(os.str(), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+  EXPECT_TRUE(json.done());
+}
+
+TEST(JsonWriter, MisuseThrows) {
+  std::ostringstream os;
+  {
+    JsonWriter json(os);
+    json.beginObject();
+    EXPECT_THROW(json.value(1), LogicError);  // member without key()
+  }
+  {
+    JsonWriter json(os);
+    EXPECT_THROW(json.key("x"), LogicError);  // key outside object
+  }
+  {
+    JsonWriter json(os);
+    json.beginArray();
+    EXPECT_THROW(json.endObject(), LogicError);  // mismatched close
+  }
+  {
+    JsonWriter json(os);
+    json.value(1);
+    EXPECT_THROW(json.value(2), LogicError);  // second top-level value
+  }
+}
+
+}  // namespace
+}  // namespace pqos
