@@ -36,6 +36,8 @@ int main(int argc, char** argv) {
                     std::to_string(result.totalRestarts)});
     }
   }
-  emit(table, options, "Ablation A3. Allocation policy comparison (SDSC).");
-  return 0;
+  return emit(table, options,
+              "Ablation A3. Allocation policy comparison (SDSC).")
+             ? 0
+             : 1;
 }

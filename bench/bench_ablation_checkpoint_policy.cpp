@@ -43,6 +43,8 @@ int main(int argc, char** argv) {
                     std::to_string(result.checkpointsSkipped)});
     }
   }
-  emit(table, options, "Ablation A1. Checkpoint policy comparison (SDSC).");
-  return 0;
+  return emit(table, options,
+              "Ablation A1. Checkpoint policy comparison (SDSC).")
+             ? 0
+             : 1;
 }

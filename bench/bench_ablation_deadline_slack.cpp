@@ -33,6 +33,8 @@ int main(int argc, char** argv) {
                   formatFixed(result.meanWaitTime, 0),
                   std::to_string(result.checkpointsSkipped)});
   }
-  emit(table, options, "Ablation A5. Deadline slack (SDSC, a=0.5, U=0.9).");
-  return 0;
+  return emit(table, options,
+              "Ablation A5. Deadline slack (SDSC, a=0.5, U=0.9).")
+             ? 0
+             : 1;
 }

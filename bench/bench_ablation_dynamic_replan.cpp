@@ -35,8 +35,9 @@ int main(int argc, char** argv) {
                   formatFixed(result.meanWaitTime, 0),
                   formatFixed(result.deadlineRate(), 4)});
   }
-  emit(table, options,
-       "Ablation A7. Dynamic re-planning after failures (paper future "
-       "work; window 0 reproduces the paper's static schedule).");
-  return 0;
+  return emit(table, options,
+              "Ablation A7. Dynamic re-planning after failures (paper future "
+              "work; window 0 reproduces the paper's static schedule).")
+             ? 0
+             : 1;
 }

@@ -68,8 +68,9 @@ int main(int argc, char** argv) {
                     formatFixed(stats.hotNodeShare, 2)});
     }
   }
-  emit(table, options,
-       "Ablation A4. Failure-model comparison at matched cluster MTBF "
-       "(SDSC workload).");
-  return 0;
+  return emit(table, options,
+              "Ablation A4. Failure-model comparison at matched cluster MTBF "
+              "(SDSC workload).")
+             ? 0
+             : 1;
 }

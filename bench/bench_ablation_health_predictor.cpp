@@ -73,9 +73,10 @@ int main(int argc, char** argv) {
     addRow("health pipeline (pattern alarms)", result, stats.recall(),
            stats.precision());
   }
-  emit(table, options,
-       "Ablation A10. Health-monitoring pattern prediction vs the "
-       "idealized oracle (SDSC, U = 0.9). Sahoo et al. report ~70% of "
-       "failures predictable from precursor patterns.");
-  return 0;
+  return emit(table, options,
+              "Ablation A10. Health-monitoring pattern prediction vs the "
+              "idealized oracle (SDSC, U = 0.9). Sahoo et al. report ~70% of "
+              "failures predictable from precursor patterns.")
+             ? 0
+             : 1;
 }

@@ -49,8 +49,9 @@ int main(int argc, char** argv) {
     core::Simulator sim(config, inputs.jobs, inputs.trace, &online);
     addRow("online (EWMA hazard)", sim.run());
   }
-  emit(table, options,
-       "Ablation A6. Online learned prediction vs trace-replay oracle "
-       "(SDSC, U = 0.9).");
-  return 0;
+  return emit(table, options,
+              "Ablation A6. Online learned prediction vs trace-replay oracle "
+              "(SDSC, U = 0.9).")
+             ? 0
+             : 1;
 }

@@ -44,7 +44,9 @@ int main(int argc, char** argv) {
     table.addRow({formatFixed(risks[i], 1), formatFixed(columns[0][i], 4),
                   formatFixed(columns[1][i], 4)});
   }
-  emit(table, options,
-       "Ablation A2. User-rule semantics at a = 0.5 (Figure 7 setting).");
-  return 0;
+  return emit(table, options,
+                  "Ablation A2. User-rule semantics at a = 0.5 "
+                  "(Figure 7 setting).")
+             ? 0
+             : 1;
 }

@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
     core::EasySimulator easy(config, inputs.jobs, inputs.trace);
     addRow("EASY backfilling", a, easy.run());
   }
-  emit(table, options,
-       "Ablation A11. Scheduler semantics: commitments vs estimates "
-       "(SDSC, U = 0.9).");
-  return 0;
+  return emit(table, options,
+              "Ablation A11. Scheduler semantics: commitments vs estimates "
+              "(SDSC, U = 0.9).")
+             ? 0
+             : 1;
 }

@@ -42,8 +42,9 @@ int main(int argc, char** argv) {
       }
     }
   }
-  emit(table, options,
-       "Ablation A9. Flat vs contiguous-ring topology (fragmentation "
-       "effects, paper Section 5.1).");
-  return 0;
+  return emit(table, options,
+              "Ablation A9. Flat vs contiguous-ring topology (fragmentation "
+              "effects, paper Section 5.1).")
+             ? 0
+             : 1;
 }

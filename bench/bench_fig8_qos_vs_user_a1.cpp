@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
                   formatFixed(byModel[0][i].result.qos, 4),
                   formatFixed(byModel[1][i].result.qos, 4)});
   }
-  emit(table, options,
-       "Figure 8. QoS vs. user behavior, flat cluster, a = 1.");
-  return 0;
+  return emit(table, options,
+              "Figure 8. QoS vs. user behavior, flat cluster, a = 1.")
+             ? 0
+             : 1;
 }

@@ -21,10 +21,18 @@ void compare(pqos::Table& table, const std::string& label,
       base.lostWork > 0.0
           ? 100.0 * (base.lostWork - better.lostWork) / base.lostWork
           : 0.0;
-  table.addRow({label, pqos::formatFixed(100.0 * qosDelta, 2) + "%",
-                pqos::formatFixed(100.0 * utilDelta, 2) + "%",
-                pqos::formatFixed(lostReduction, 1) + "%",
-                "x" + pqos::formatFixed(lostRatio, 1)});
+  // Build each cell with append rather than operator+ chains: GCC 12's
+  // -Wrestrict misfires on char*+string concatenation at -O2 (PR105329),
+  // which would break the -Werror wall.
+  std::string qosCell = pqos::formatFixed(100.0 * qosDelta, 2);
+  qosCell += '%';
+  std::string utilCell = pqos::formatFixed(100.0 * utilDelta, 2);
+  utilCell += '%';
+  std::string lostCell = pqos::formatFixed(lostReduction, 1);
+  lostCell += '%';
+  std::string ratioCell = "x";
+  ratioCell += pqos::formatFixed(lostRatio, 1);
+  table.addRow({label, qosCell, utilCell, lostCell, ratioCell});
 }
 
 }  // namespace
@@ -61,9 +69,10 @@ int main(int argc, char** argv) {
     const auto daring = core::runSimulation(config, inputs.jobs, inputs.trace);
     compare(table, model + ": U 0.1 -> 0.9 (a=1)", daring, sharp);
   }
-  emit(table, options,
-       "Headline improvements (paper: up to +6% QoS/util and ~89% less "
-       "lost work from forecasting; +4% QoS, +3% util, ~9x less lost work "
-       "from risk-averse users).");
-  return 0;
+  return emit(table, options,
+              "Headline improvements (paper: up to +6% QoS/util and ~89% "
+              "less lost work from forecasting; +4% QoS, +3% util, ~9x less "
+              "lost work from risk-averse users).")
+             ? 0
+             : 1;
 }

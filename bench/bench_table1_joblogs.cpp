@@ -40,6 +40,5 @@ int main(int argc, char** argv) {
                   formatFixed(row.avgNodes, 1), formatFixed(row.avgRuntime, 0),
                   formatFixed(row.maxRuntimeHours, 0)});
   }
-  emit(table, options, "Table 1. Job log characteristics.");
-  return 0;
+  return emit(table, options, "Table 1. Job log characteristics.") ? 0 : 1;
 }

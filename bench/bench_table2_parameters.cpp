@@ -23,9 +23,11 @@ int main(int argc, char** argv) {
                 formatFixed(config.checkpointOverhead, 0),
                 formatFixed(config.checkpointInterval, 0), "[0,1]", "[0,1]",
                 formatFixed(config.downtime, 0)});
-  emit(table, options,
-       "Table 2. Simulation parameters. Workloads and failure behavior "
-       "were generated from calibrated trace models.");
+  if (!emit(table, options,
+            "Table 2. Simulation parameters. Workloads and failure behavior "
+            "were generated from calibrated trace models.")) {
+    return 1;
+  }
 
   const auto trace = failure::makeCalibratedTrace(
       config.machineSize, kYear, 1021.0, options.seed);
@@ -40,6 +42,7 @@ int main(int argc, char** argv) {
                      "1021 / 8.5 h / 2.8 per day"});
   HarnessOptions quiet = options;
   quiet.csvPath.clear();  // CSV (if requested) carries the parameter table
-  emit(traceTable, quiet, "Calibrated failure trace statistics.");
-  return 0;
+  return emit(traceTable, quiet, "Calibrated failure trace statistics.")
+             ? 0
+             : 1;
 }

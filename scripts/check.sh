@@ -1,49 +1,174 @@
 #!/usr/bin/env bash
-# Builds and tests the two configurations that matter for the experiment
-# runner: plain Release (what benches run as) and ThreadSanitizer (to catch
-# races in the parallel sweep machinery). Usage:
+# The pqos correctness gate: builds and tests every configuration that
+# guards the simulator's trustworthiness, then prints a summary table.
 #
-#   scripts/check.sh            # both configurations
-#   scripts/check.sh release    # just Release
-#   scripts/check.sh tsan       # just TSan
+#   scripts/check.sh                  # --all
+#   scripts/check.sh --all            # every stage below
+#   scripts/check.sh --release       # plain Release build + ctest
+#   scripts/check.sh --tsan          # ThreadSanitizer (parallel runner races)
+#   scripts/check.sh --strict        # PQOS_STRICT warnings-as-errors wall
+#   scripts/check.sh --ubsan         # UBSan+ASan, UB aborts the tests
+#   scripts/check.sh --audit         # PQOS_AUDIT invariant auditor armed
+#   scripts/check.sh --tidy          # clang-tidy (skipped if not installed)
+#   scripts/check.sh --lint          # pqos_lint.py self-test + tree scan
 #
-# JOBS=<n> overrides the parallelism (default: nproc).
-set -euo pipefail
+# Stages may be combined (e.g. `--strict --lint`). The legacy positional
+# spellings `release`, `tsan`, and `all` are still accepted. JOBS=<n>
+# overrides the build/test parallelism (default: nproc). The script keeps
+# going after a stage fails so the table shows every result; the exit
+# status is nonzero when any stage failed.
+set -uo pipefail
 
 ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="${JOBS:-$(nproc)}"
-WHICH="${1:-all}"
 
+STAGE_NAMES=()
+STAGE_RESULTS=()
+
+note() {
+  STAGE_NAMES+=("$1")
+  STAGE_RESULTS+=("$2")
+}
+
+# run_config <stage> <builddir> <cmake-args...>: configure, build, ctest.
 run_config() {
-  local dir="$1"
-  shift
-  echo "=== configuring $dir ($*) ==="
-  cmake -B "$ROOT/$dir" -S "$ROOT" "$@"
-  echo "=== building $dir ==="
-  cmake --build "$ROOT/$dir" -j "$JOBS"
-  echo "=== testing $dir ==="
-  ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS"
+  local stage="$1" dir="$2"
+  shift 2
+  echo "=== [$stage] configuring $dir ($*) ==="
+  if ! cmake -B "$ROOT/$dir" -S "$ROOT" "$@"; then
+    note "$stage" FAIL
+    return 1
+  fi
+  echo "=== [$stage] building $dir ==="
+  if ! cmake --build "$ROOT/$dir" -j "$JOBS"; then
+    note "$stage" FAIL
+    return 1
+  fi
+  echo "=== [$stage] testing $dir ==="
+  if ! ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS"; then
+    note "$stage" FAIL
+    return 1
+  fi
+  note "$stage" PASS
+}
+
+# Every configuration pins both correctness options explicitly so a stale
+# CMake cache from another stage can never leak flags across stages.
+stage_release() {
+  run_config release build-release \
+    -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+    -DPQOS_SANITIZE=
 }
 
 # RelWithDebInfo keeps the suite fast enough under TSan's ~5-15x slowdown
 # while retaining symbolized reports.
-case "$WHICH" in
-  release)
-    run_config build-release -DCMAKE_BUILD_TYPE=Release
-    ;;
-  tsan)
-    run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-               -DPQOS_SANITIZE=thread
-    ;;
-  all)
-    run_config build-release -DCMAKE_BUILD_TYPE=Release
-    run_config build-tsan -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-               -DPQOS_SANITIZE=thread
-    ;;
-  *)
-    echo "usage: $0 [release|tsan|all]" >&2
-    exit 2
-    ;;
-esac
+stage_tsan() {
+  run_config tsan build-tsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+    -DPQOS_SANITIZE=thread
+}
 
-echo "=== all requested configurations passed ==="
+stage_strict() {
+  run_config strict build-strict \
+    -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=ON -DPQOS_AUDIT=OFF \
+    -DPQOS_SANITIZE=
+}
+
+stage_ubsan() {
+  run_config ubsan build-ubsan \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+    -DPQOS_SANITIZE=undefined,address
+}
+
+stage_audit() {
+  run_config audit build-audit \
+    -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=ON \
+    -DPQOS_SANITIZE=
+}
+
+stage_tidy() {
+  if ! command -v clang-tidy > /dev/null 2>&1; then
+    echo "=== [tidy] clang-tidy not installed; skipping ==="
+    note tidy SKIP
+    return 0
+  fi
+  echo "=== [tidy] configuring compile database ==="
+  if ! cmake -B "$ROOT/build-release" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE= -DCMAKE_EXPORT_COMPILE_COMMANDS=ON; then
+    note tidy FAIL
+    return 1
+  fi
+  echo "=== [tidy] clang-tidy over src/ ==="
+  local sources
+  mapfile -t sources < <(find "$ROOT/src" -name '*.cpp' | sort)
+  if ! clang-tidy -p "$ROOT/build-release" --quiet "${sources[@]}"; then
+    note tidy FAIL
+    return 1
+  fi
+  note tidy PASS
+}
+
+stage_lint() {
+  echo "=== [lint] pqos_lint.py self-test ==="
+  if ! python3 "$ROOT/scripts/pqos_lint.py" --self-test; then
+    note lint FAIL
+    return 1
+  fi
+  echo "=== [lint] pqos_lint.py tree scan ==="
+  if ! python3 "$ROOT/scripts/pqos_lint.py" --root "$ROOT"; then
+    note lint FAIL
+    return 1
+  fi
+  note lint PASS
+}
+
+ALL_STAGES=(release tsan strict ubsan audit tidy lint)
+REQUESTED=()
+
+if [ "$#" -eq 0 ]; then
+  REQUESTED=("${ALL_STAGES[@]}")
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --all | all) REQUESTED+=("${ALL_STAGES[@]}") ;;
+    --release | release) REQUESTED+=(release) ;;
+    --tsan | tsan) REQUESTED+=(tsan) ;;
+    --strict) REQUESTED+=(strict) ;;
+    --ubsan) REQUESTED+=(ubsan) ;;
+    --audit) REQUESTED+=(audit) ;;
+    --tidy) REQUESTED+=(tidy) ;;
+    --lint) REQUESTED+=(lint) ;;
+    *)
+      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--all]" >&2
+      exit 2
+      ;;
+  esac
+done
+
+# Deduplicate while preserving the canonical stage order.
+for stage in "${ALL_STAGES[@]}"; do
+  for requested in "${REQUESTED[@]}"; do
+    if [ "$stage" = "$requested" ]; then
+      "stage_${stage}" || true
+      break
+    fi
+  done
+done
+
+echo
+echo "=== summary ==="
+printf '%-10s %s\n' stage result
+printf '%-10s %s\n' ----- ------
+failures=0
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '%-10s %s\n' "${STAGE_NAMES[$i]}" "${STAGE_RESULTS[$i]}"
+  if [ "${STAGE_RESULTS[$i]}" = FAIL ]; then
+    failures=$((failures + 1))
+  fi
+done
+if [ "$failures" -gt 0 ]; then
+  echo "=== $failures stage(s) FAILED ==="
+  exit 1
+fi
+echo "=== all requested stages passed ==="

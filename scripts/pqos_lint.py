@@ -1,0 +1,291 @@
+#!/usr/bin/env python3
+"""pqos-lint: domain-specific correctness lint for the pqos tree.
+
+Generic analyzers cannot know this repo's invariants; this tool enforces
+the ones that keep the simulator's results trustworthy:
+
+  no-raw-random   All randomness flows through util/rng (seeded,
+                  deterministic streams). rand()/srand()/std::random_device
+                  anywhere else silently breaks replica reproducibility.
+  no-console-io   Library code never prints: diagnostics go through the
+                  logger (util/log.hpp), results through runner sinks.
+                  Exempt: the logger itself, CLI usage printing, and the
+                  runner's result sinks (the declared output layer).
+  no-float        Simulation time/work arithmetic is double-only; a single
+                  float narrows a multi-year clock below second precision.
+  no-wall-clock   The deterministic core (everything but runner/ and
+                  util/) must not read wall clocks: no <chrono> clocks,
+                  time(), clock(), or gettimeofday(). Simulated time comes
+                  from sim::Engine::now() alone.
+  pragma-once     Every header in src/ carries #pragma once. (Standalone
+                  compilation is enforced by the pqos_header_selfcontain
+                  build target, which this tool cross-checks exists.)
+
+Suppress a deliberate exception by appending
+    // pqos-lint: allow(<rule>)
+to the offending line; suppressions should be rare and reviewed.
+
+Usage:
+    scripts/pqos_lint.py [--root DIR] [--quiet]
+    scripts/pqos_lint.py --self-test
+
+Exit status: 0 clean, 1 findings, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+# --- Rule table -----------------------------------------------------------
+
+# (rule, [patterns], scope predicate on repo-relative posix path, message)
+RULES = [
+    (
+        "no-raw-random",
+        [
+            r"\brand\s*\(",
+            r"\bsrand\s*\(",
+            r"\brandom_device\b",
+        ],
+        lambda p: (p.startswith("src/") or p.startswith("bench/"))
+        and not p.startswith("src/util/rng"),
+        "raw randomness outside util/rng breaks deterministic replication",
+    ),
+    (
+        "no-console-io",
+        [
+            r"\bstd::cout\b",
+            r"\bstd::cerr\b",
+            r"\bprintf\s*\(",
+            r"\bfprintf\s*\(",
+            r"\bputs\s*\(",
+            r"\bputchar\s*\(",
+        ],
+        lambda p: p.startswith("src/")
+        and p
+        not in (
+            "src/util/log.cpp",  # the logger's own sink
+            "src/runner/result_sink.cpp",  # sinks are the output layer
+        ),
+        "library code must log via util/log or emit via runner sinks",
+    ),
+    (
+        "no-float",
+        [r"\bfloat\b"],
+        lambda p: p.startswith("src/"),
+        "simulation arithmetic is double-only; float loses sub-second "
+        "precision over simulated years",
+    ),
+    (
+        "no-wall-clock",
+        [
+            r"\bstd::chrono\b",
+            r"\bsystem_clock\b",
+            r"\bsteady_clock\b",
+            r"\bhigh_resolution_clock\b",
+            r"\bgettimeofday\s*\(",
+            r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)",
+            r"\bclock\s*\(\s*\)",
+        ],
+        lambda p: p.startswith("src/")
+        and not p.startswith("src/runner/")
+        and not p.startswith("src/util/"),
+        "the deterministic core reads time only from sim::Engine::now()",
+    ),
+]
+
+ALLOW_RE = re.compile(r"//\s*pqos-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+
+STRING_OR_CHAR_RE = re.compile(
+    r'"(?:[^"\\\n]|\\.)*"|' r"'(?:[^'\\\n]|\\.)*'"
+)
+LINE_COMMENT_RE = re.compile(r"//.*$")
+
+
+def strip_code_line(line: str, in_block_comment: bool) -> tuple[str, bool]:
+    """Removes string/char literals and comments so patterns match only
+    code. Tracks /* ... */ across lines. Good enough for this tree's
+    idiom; pathological token pasting is out of scope."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        ch = line[i]
+        nxt = line[i : i + 2]
+        if nxt == "/*":
+            in_block_comment = True
+            i += 2
+            continue
+        if nxt == "//":
+            break
+        if ch in "\"'":
+            m = STRING_OR_CHAR_RE.match(line, i)
+            if m:
+                out.append('""' if ch == '"' else "''")
+                i = m.end()
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def lint_text(rel_path: str, text: str) -> list[tuple[str, int, str, str]]:
+    """Returns findings as (path, line_number, rule, line)."""
+    findings = []
+    active = [r for r in RULES if r[2](rel_path)]
+    lines = text.splitlines()
+    if active:
+        in_block = False
+        for lineno, raw in enumerate(lines, start=1):
+            allow = ALLOW_RE.search(raw)
+            allowed = (
+                {r.strip() for r in allow.group(1).split(",")}
+                if allow
+                else set()
+            )
+            code, in_block = strip_code_line(raw, in_block)
+            if not code.strip():
+                continue
+            for rule, patterns, _scope, _msg in active:
+                if rule in allowed:
+                    continue
+                for pattern in patterns:
+                    if re.search(pattern, code):
+                        findings.append((rel_path, lineno, rule, raw.strip()))
+                        break
+    if rel_path.startswith("src/") and rel_path.endswith(".hpp"):
+        if not any(line.strip() == "#pragma once" for line in lines):
+            findings.append((rel_path, 1, "pragma-once", "missing #pragma once"))
+    return findings
+
+
+def lint_tree(root: Path, quiet: bool) -> int:
+    findings = []
+    scanned = 0
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp", "bench/*.cpp",
+                    "bench/*.hpp"):
+        for path in sorted(root.glob(pattern)):
+            rel = path.relative_to(root).as_posix()
+            scanned += 1
+            findings.extend(lint_text(rel, path.read_text(encoding="utf-8")))
+    # Cross-check: the header self-containment gate must stay wired into
+    # the build; losing it would silently drop half of the header policy.
+    tests_cmake = root / "tests" / "CMakeLists.txt"
+    if "pqos_header_selfcontain" not in tests_cmake.read_text(encoding="utf-8"):
+        findings.append(
+            ("tests/CMakeLists.txt", 1, "pragma-once",
+             "pqos_header_selfcontain target missing from the build")
+        )
+    for rel, lineno, rule, line in findings:
+        print(f"{rel}:{lineno}: [{rule}] {line}")
+    if not quiet or findings:
+        print(
+            f"pqos-lint: {scanned} files scanned, "
+            f"{len(findings)} finding(s)"
+        )
+    return 1 if findings else 0
+
+
+# --- Self-tests -----------------------------------------------------------
+
+SELF_TESTS = [
+    # (name, path, snippet, expected rules firing)
+    ("rand in core", "src/core/simulator.cpp",
+     "int x = rand();\n", {"no-raw-random"}),
+    ("random_device in bench", "bench/bench_foo.cpp",
+     "std::random_device rd;\n", {"no-raw-random"}),
+    ("rng module may mention random_device", "src/util/rng.cpp",
+     "std::random_device rd;  // documented non-use\n", set()),
+    ("cout in library", "src/sched/allocation.cpp",
+     'std::cout << "debug";\n', {"no-console-io"}),
+    ("printf in library", "src/core/metrics.cpp",
+     'printf("%d", 1);\n', {"no-console-io"}),
+    ("snprintf formatting is fine", "src/util/strings.cpp",
+     "std::snprintf(buf, sizeof buf, \"%.3f\", v);\n", set()),
+    ("logger exempt", "src/util/log.cpp",
+     "std::cerr << message;\n", set()),
+    ("result sinks exempt", "src/runner/result_sink.cpp",
+     "os_(&std::cerr) {}\n", set()),
+    ("float in sim", "src/sim/engine.cpp",
+     "float t = 0;\n", {"no-float"}),
+    ("float in comment ok", "src/sim/engine.cpp",
+     "// float is banned here\ndouble t = 0;\n", set()),
+    ("float in string ok", "src/core/report.cpp",
+     'const char* k = "float";\n', set()),
+    ("chrono in core", "src/sim/engine.cpp",
+     "auto t0 = std::chrono::steady_clock::now();\n", {"no-wall-clock"}),
+    ("time(nullptr) in core", "src/failure/generator.cpp",
+     "auto seed = time(nullptr);\n", {"no-wall-clock"}),
+    ("runner may time itself", "src/runner/sweep_runner.cpp",
+     "auto t0 = std::chrono::steady_clock::now();\n", set()),
+    ("engine now() is not a wall clock", "src/core/simulator.cpp",
+     "const SimTime now = engine_.now();\n", set()),
+    ("missing pragma once", "src/core/new_header.hpp",
+     "namespace pqos {}\n", {"pragma-once"}),
+    ("pragma once present", "src/core/new_header.hpp",
+     "#pragma once\nnamespace pqos {}\n", set()),
+    ("inline allow suppresses", "src/core/simulator.cpp",
+     "std::cout << x;  // pqos-lint: allow(no-console-io)\n", set()),
+    ("allow only silences its rule", "src/core/simulator.cpp",
+     "float f = rand();  // pqos-lint: allow(no-float)\n",
+     {"no-raw-random"}),
+    ("block comment spans lines", "src/core/simulator.cpp",
+     "/* printf(\n   std::cout\n*/\ndouble ok = 0;\n", set()),
+]
+
+
+def self_test() -> int:
+    failures = 0
+    for name, path, snippet, expected in SELF_TESTS:
+        got = {rule for (_p, _l, rule, _s) in lint_text(path, snippet)}
+        if got != expected:
+            failures += 1
+            print(
+                f"SELF-TEST FAIL: {name}: expected {sorted(expected)}, "
+                f"got {sorted(got)}"
+            )
+    total = len(SELF_TESTS)
+    if failures:
+        print(f"pqos-lint self-test: {failures}/{total} FAILED")
+        return 1
+    print(f"pqos-lint self-test: {total}/{total} passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--quiet", "-q", action="store_true",
+        help="print nothing when the tree is clean",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="run the embedded rule fixtures and exit",
+    )
+    args = parser.parse_args()
+    if args.self_test:
+        return self_test()
+    if not (args.root / "src").is_dir():
+        print(f"pqos-lint: no src/ under {args.root}", file=sys.stderr)
+        return 2
+    return lint_tree(args.root, args.quiet)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace pqos::cluster {
+
+namespace {
+/// PQOS_AUDIT hook: per-state counts must partition the machine after
+/// every state transition.
+void auditConservation(const Machine& machine) {
+  if constexpr (audit::kEnabled) {
+    audit::checkNodeConservation(machine.idleCount(), machine.busyCount(),
+                                 machine.downCount(), machine.size());
+  }
+}
+}  // namespace
 
 Machine::Machine(int size) {
   require(size >= 1, "Machine: size must be >= 1");
@@ -54,10 +66,12 @@ void Machine::assign(const Partition& partition, JobId job) {
   require(!partition.empty(), "Machine::assign: empty partition");
   require(allIdle(partition), "Machine::assign: partition not fully idle");
   for (const NodeId id : partition) node(id).assign(job);
+  auditConservation(*this);
 }
 
 void Machine::release(const Partition& partition, JobId job) {
   for (const NodeId id : partition) node(id).release(job);
+  auditConservation(*this);
 }
 
 void Machine::releaseAfterFailure(const Partition& partition, JobId job,
@@ -76,12 +90,18 @@ JobId Machine::fail(NodeId id, SimTime upAt) {
     n.extendOutage(upAt);
     return kInvalidJob;
   }
-  return n.fail(upAt);
+  const JobId victim = n.fail(upAt);
+  auditConservation(*this);
+  return victim;
 }
 
-void Machine::recover(NodeId id) { node(id).recover(); }
+void Machine::recover(NodeId id) {
+  node(id).recover();
+  auditConservation(*this);
+}
 
 void Machine::checkConsistency(std::span<const JobId> runningJobs) const {
+  audit::checkNodeConservation(idleCount(), busyCount(), downCount(), size());
   for (const Node& n : nodes_) {
     switch (n.state()) {
       case NodeState::Idle:

@@ -117,6 +117,7 @@ void Simulator::onArrival(JobId job) {
   auto& rec = record(job);
   require(rec.state == workload::JobState::Submitted,
           "Simulator::onArrival: job already planned");
+  state(job).auditWaitStart = engine_.now();
   planJob(job, /*renegotiate=*/true, engine_.now());
   maybeCheckConsistency();
 }
@@ -170,6 +171,8 @@ void Simulator::attemptDispatch(JobId job) {
     return;
   }
   const SimTime now = engine_.now();
+  auditCkptEvent(job, audit::CkptEvent::Dispatch);
+  rs.auditWaited += now - rs.auditWaitStart;
   machine_.assign(rs.partition, job);
   runningJobs_.push_back(job);
   rec.state = workload::JobState::Running;
@@ -290,6 +293,7 @@ void Simulator::onCheckpointRequest(JobId job, Duration progress) {
   if (ckptPolicy_->decide(request) == ckpt::Decision::Perform) {
     // Checkpoint-start event: the job pauses for C; progress saved is the
     // level at the request (rollback is to the checkpoint's *start*).
+    auditCkptEvent(job, audit::CkptEvent::Begin);
     rs.inCheckpoint = true;
     rs.ckptProgress = progress;
     rs.ckptBeginTime = now;
@@ -307,6 +311,7 @@ void Simulator::onCheckpointRequest(JobId job, Duration progress) {
 void Simulator::onCheckpointEnd(JobId job) {
   auto& rec = record(job);
   auto& rs = state(job);
+  auditCkptEvent(job, audit::CkptEvent::Commit);
   rs.pendingEvent = sim::kInvalidEvent;
   rs.inCheckpoint = false;
   rec.savedProgress = rs.ckptProgress;
@@ -322,6 +327,11 @@ void Simulator::completeJob(JobId job) {
   auto& rec = record(job);
   auto& rs = state(job);
   const SimTime now = engine_.now();
+  rs.auditOccupied += now - rs.dispatchTime;
+  if constexpr (audit::kEnabled) {
+    audit::checkJobAccounting(job, rec.spec.arrival, now, rs.auditWaited,
+                              rs.auditOccupied);
+  }
   machine_.release(rs.partition, job);
   book_.release(job);
   runningJobs_.erase(
@@ -353,6 +363,9 @@ void Simulator::onNodeFailure(const failure::FailureEvent& event) {
     ++jobKillingFailures_;
     auto& rec = record(victim);
     auto& rs = state(victim);
+    auditCkptEvent(victim, audit::CkptEvent::Abort);
+    rs.auditOccupied += now - rs.dispatchTime;
+    rs.auditWaitStart = now;
     // Paper: lost work for failure x is (tx - c_jx) * n_jx, with c the
     // start of the last completed checkpoint (this run) or the start time.
     rec.lostWork += (now - rs.rollbackPoint) *
@@ -432,9 +445,38 @@ void Simulator::tryPendingDispatches() {
 }
 
 void Simulator::maybeCheckConsistency() {
+  if constexpr (audit::kEnabled) auditInvariants();
   if (!config_.consistencyChecks) return;
   machine_.checkConsistency(runningJobs_);
   book_.checkConsistency();
+}
+
+void Simulator::auditInvariants() const {
+  audit::checkNodeConservation(machine_.idleCount(), machine_.busyCount(),
+                               machine_.downCount(), machine_.size());
+  std::vector<std::span<const NodeId>> partitions;
+  partitions.reserve(runningJobs_.size());
+  for (const JobId job : runningJobs_) {
+    partitions.push_back(
+        runStates_[static_cast<std::size_t>(job)].partition.nodes());
+  }
+  const int occupied =
+      audit::checkPartitionsDisjoint(partitions, machine_.size());
+  // Every node of a running partition is busy; nothing else is. (A failed
+  // node's victim is removed from runningJobs_ before any audit point.)
+  if (occupied != machine_.busyCount()) {
+    audit::fail("partition occupancy",
+                "running partitions cover " + std::to_string(occupied) +
+                    " nodes but " + std::to_string(machine_.busyCount()) +
+                    " nodes are busy");
+  }
+}
+
+void Simulator::auditCkptEvent(JobId job, audit::CkptEvent event) {
+  if constexpr (audit::kEnabled) {
+    auto& rs = state(job);
+    rs.auditCkptPhase = audit::applyCkptEvent(rs.auditCkptPhase, event, job);
+  }
 }
 
 }  // namespace pqos::core

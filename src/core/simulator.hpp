@@ -23,6 +23,7 @@
 #include "sched/allocation.hpp"
 #include "sched/reservation_book.hpp"
 #include "sim/engine.hpp"
+#include "util/audit.hpp"
 #include "workload/job.hpp"
 
 namespace pqos::core {
@@ -77,6 +78,14 @@ class Simulator {
     Duration ckptProgress = 0.0;  // progress level being saved
     SimTime ckptBeginTime = 0.0;
     sim::EventId pendingEvent = sim::kInvalidEvent;
+
+    // --- PQOS_AUDIT ledger (fields always present so layouts match
+    // across configurations; maintained cheaply, checked only when the
+    // auditor is armed) ---
+    SimTime auditWaitStart = 0.0;   // when the job last entered the queue
+    Duration auditWaited = 0.0;     // total time spent waiting
+    Duration auditOccupied = 0.0;   // total time holding a partition
+    audit::CkptPhase auditCkptPhase = audit::CkptPhase::Idle;
   };
 
   void onArrival(JobId job);
@@ -99,6 +108,12 @@ class Simulator {
   void completeJob(JobId job);
   void tryPendingDispatches();
   void maybeCheckConsistency();
+  /// PQOS_AUDIT sweep: partition disjointness across running jobs,
+  /// busy-node/partition occupancy agreement, node-count conservation.
+  void auditInvariants() const;
+  /// PQOS_AUDIT hook: advances the job's checkpoint state machine,
+  /// trapping illegal transitions (e.g. a stale checkpoint-finish event).
+  void auditCkptEvent(JobId job, audit::CkptEvent event);
 
   [[nodiscard]] workload::JobRecord& record(JobId job);
   [[nodiscard]] RunState& state(JobId job);

@@ -40,11 +40,13 @@ RankerFactory makeRankerFactory(AllocationPolicy policy,
       return [salt](SimTime start, SimTime) {
         // Hash (node, window start, salt): deterministic across runs yet
         // uncorrelated with node ids or risk.
+        constexpr std::uint64_t kGammaStart = 0x9e3779b97f4a7c15ULL;
+        constexpr std::uint64_t kGammaNode = 0xbf58476d1ce4e5b9ULL;
         const auto bits = static_cast<std::uint64_t>(start * 1024.0);
         return [salt, bits](NodeId node) {
           std::uint64_t state =
-              salt ^ (bits * 0x9e3779b97f4a7c15ULL) ^
-              (static_cast<std::uint64_t>(node) * 0xbf58476d1ce4e5b9ULL);
+              salt ^ (bits * kGammaStart) ^
+              (static_cast<std::uint64_t>(node) * kGammaNode);
           return static_cast<double>(splitmix64(state) >> 11) * 0x1.0p-53;
         };
       };

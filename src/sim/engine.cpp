@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace pqos::sim {
@@ -20,6 +21,9 @@ bool Engine::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
   require(fired.time >= now_, "Engine::step: time went backwards");
+  if constexpr (audit::kEnabled) {
+    audit::checkEventMonotonic(now_, fired.time);
+  }
   now_ = fired.time;
   ++fired_;
   fired.fn();

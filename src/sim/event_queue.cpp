@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/audit.hpp"
 #include "util/error.hpp"
 
 namespace pqos::sim {
@@ -37,6 +38,13 @@ EventQueue::Fired EventQueue::pop() {
   std::pop_heap(heap_.begin(), heap_.end(), later);
   const Entry entry = heap_.back();
   heap_.pop_back();
+  if constexpr (audit::kEnabled) {
+    // Heap-order integrity: whatever surfaces next (even a lazily
+    // cancelled entry) must not precede the entry being popped.
+    if (!heap_.empty()) {
+      audit::checkEventMonotonic(entry.time, heap_.front().time);
+    }
+  }
   const auto it = live_.find(entry.seq);
   require(it != live_.end(), "EventQueue::pop: dead entry after dropDead");
   Fired fired{entry.time, entry.seq, std::move(it->second)};

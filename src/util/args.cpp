@@ -57,7 +57,9 @@ bool ArgParser::parse(int argc, const char* const* argv) {
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--help" || arg == "-h") {
-      printUsage(std::cout);
+      // Usage text is this module's contract with the terminal, not a
+      // stray diagnostic.
+      printUsage(std::cout);  // pqos-lint: allow(no-console-io)
       return false;
     }
     if (!startsWith(arg, "--")) {

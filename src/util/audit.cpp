@@ -1,0 +1,107 @@
+#include "util/audit.hpp"
+
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace pqos::audit {
+
+void fail(const char* invariant, const std::string& detail) {
+  throw AuditError(std::string("audit: ") + invariant + ": " + detail);
+}
+
+void checkEventMonotonic(SimTime current, SimTime next) {
+  if (next < current) {
+    fail("event-time monotonicity",
+         "next event at t=" + formatFixed(next, 6) +
+             " precedes current t=" + formatFixed(current, 6));
+  }
+}
+
+void checkNodeConservation(int idleCount, int busyCount, int downCount,
+                           int machineSize) {
+  if (idleCount < 0 || busyCount < 0 || downCount < 0 ||
+      idleCount + busyCount + downCount != machineSize) {
+    fail("node-count conservation",
+         "idle=" + std::to_string(idleCount) +
+             " busy=" + std::to_string(busyCount) +
+             " down=" + std::to_string(downCount) +
+             " != size=" + std::to_string(machineSize));
+  }
+}
+
+int checkPartitionsDisjoint(
+    const std::vector<std::span<const NodeId>>& partitions, int machineSize) {
+  std::vector<bool> seen(static_cast<std::size_t>(machineSize), false);
+  int total = 0;
+  for (const auto& partition : partitions) {
+    for (const NodeId node : partition) {
+      if (node < 0 || node >= machineSize) {
+        fail("partition disjointness",
+             "node " + std::to_string(node) + " outside machine of size " +
+                 std::to_string(machineSize));
+      }
+      if (seen[static_cast<std::size_t>(node)]) {
+        fail("partition disjointness",
+             "node " + std::to_string(node) +
+                 " belongs to two running partitions");
+      }
+      seen[static_cast<std::size_t>(node)] = true;
+      ++total;
+    }
+  }
+  return total;
+}
+
+const char* toString(CkptPhase phase) {
+  switch (phase) {
+    case CkptPhase::Idle: return "idle";
+    case CkptPhase::Saving: return "saving";
+  }
+  return "?";
+}
+
+const char* toString(CkptEvent event) {
+  switch (event) {
+    case CkptEvent::Dispatch: return "dispatch";
+    case CkptEvent::Begin: return "begin";
+    case CkptEvent::Commit: return "commit";
+    case CkptEvent::Abort: return "abort";
+  }
+  return "?";
+}
+
+CkptPhase applyCkptEvent(CkptPhase phase, CkptEvent event, JobId job) {
+  const auto illegal = [&]() -> CkptPhase {
+    fail("checkpoint state machine",
+         std::string("job ") + std::to_string(job) + ": event '" +
+             toString(event) + "' in phase '" + toString(phase) + "'");
+  };
+  switch (event) {
+    case CkptEvent::Dispatch:
+      return phase == CkptPhase::Idle ? CkptPhase::Idle : illegal();
+    case CkptEvent::Begin:
+      return phase == CkptPhase::Idle ? CkptPhase::Saving : illegal();
+    case CkptEvent::Commit:
+      return phase == CkptPhase::Saving ? CkptPhase::Idle : illegal();
+    case CkptEvent::Abort:
+      return CkptPhase::Idle;
+  }
+  return illegal();
+}
+
+void checkJobAccounting(JobId job, SimTime arrival, SimTime finish,
+                        Duration waited, Duration occupied) {
+  const Duration span = finish - arrival;
+  // Telescoping time sums accumulate rounding over long simulations:
+  // absolute floor plus a relative term scaled to the job's span.
+  const double tolerance = 1e-6 + 1e-9 * std::abs(span);
+  if (std::abs((waited + occupied) - span) > tolerance) {
+    fail("per-job accounting",
+         "job " + std::to_string(job) + ": waited=" + formatFixed(waited, 6) +
+             " + occupied=" + formatFixed(occupied, 6) +
+             " != finish-arrival=" + formatFixed(span, 6));
+  }
+}
+
+}  // namespace pqos::audit

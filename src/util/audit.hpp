@@ -1,0 +1,91 @@
+// The simulation invariant auditor (PQOS_AUDIT).
+//
+// The paper's guarantees are only as trustworthy as the simulator that
+// produces them, so the core invariants are machine-checked rather than
+// hand-audited:
+//
+//   * event-queue time monotonicity — fired times never move backwards;
+//   * partition disjointness — no node serves two running jobs;
+//   * node-count conservation — idle + busy + down always equals N;
+//   * checkpoint state-machine legality — begin/commit/abort transitions
+//     follow the cooperative-checkpointing protocol;
+//   * per-job time accounting — wait + run (+ restart re-queues) spans
+//     exactly completion - arrival.
+//
+// The check functions below are always compiled (and unit-tested in every
+// build); the *hooks* inside sim/, cluster/, and core/ fire only when the
+// tree is configured with -DPQOS_AUDIT=ON, so release simulations pay
+// nothing. `scripts/check.sh --audit` runs the full test suite with the
+// auditor armed. A violation throws AuditError (a LogicError) naming the
+// broken invariant, so tests can trap deliberate violations.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace pqos::audit {
+
+/// True when the tree was configured with -DPQOS_AUDIT=ON and the
+/// invariant hooks in sim/cluster/core are armed.
+#if defined(PQOS_AUDIT)
+inline constexpr bool kEnabled = true;
+#else
+inline constexpr bool kEnabled = false;
+#endif
+
+/// A violated simulation invariant: always a bug, never recoverable.
+class AuditError : public LogicError {
+ public:
+  explicit AuditError(const std::string& what) : LogicError(what) {}
+};
+
+/// Throws AuditError naming the invariant and the offending values.
+[[noreturn]] void fail(const char* invariant, const std::string& detail);
+
+/// Event-queue monotonicity: the next fired time may never precede the
+/// current one (simultaneous events are legal and FIFO-ordered).
+void checkEventMonotonic(SimTime current, SimTime next);
+
+/// Node-count conservation: every node is in exactly one of the three
+/// states, so the per-state counts must sum to the machine size.
+void checkNodeConservation(int idleCount, int busyCount, int downCount,
+                           int machineSize);
+
+/// Partition disjointness: every node id is within [0, machineSize) and
+/// no node appears in two partitions. Returns the total node count across
+/// all partitions (for occupancy cross-checks).
+int checkPartitionsDisjoint(
+    const std::vector<std::span<const NodeId>>& partitions, int machineSize);
+
+/// Checkpoint state machine. A running job is either computing (Idle) or
+/// persisting a checkpoint (Saving).
+enum class CkptPhase : std::uint8_t { Idle, Saving };
+
+/// Transitions of the cooperative-checkpointing protocol:
+///   Dispatch — (re)start on a partition; must not be mid-checkpoint;
+///   Begin    — checkpoint-start event; only legal while computing;
+///   Commit   — checkpoint-finish event; only legal while saving;
+///   Abort    — a failure killed the job; legal in any phase.
+enum class CkptEvent : std::uint8_t { Dispatch, Begin, Commit, Abort };
+
+[[nodiscard]] const char* toString(CkptPhase phase);
+[[nodiscard]] const char* toString(CkptEvent event);
+
+/// Applies one protocol event; throws AuditError on an illegal transition
+/// (e.g. Commit without Begin — a stale checkpoint-finish event that
+/// survived a failure abort).
+[[nodiscard]] CkptPhase applyCkptEvent(CkptPhase phase, CkptEvent event,
+                                       JobId job);
+
+/// Per-job accounting: between arrival and completion a job is always
+/// either waiting or occupying its partition, so
+///   waited + occupied = finish - arrival
+/// up to floating-point accumulation slack.
+void checkJobAccounting(JobId job, SimTime arrival, SimTime finish,
+                        Duration waited, Duration occupied);
+
+}  // namespace pqos::audit

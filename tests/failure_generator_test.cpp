@@ -38,7 +38,9 @@ TEST(RawGenerator, EmitsSortedEventsWithinSpan) {
   const auto events = generateRawEvents(config, 3);
   ASSERT_FALSE(events.empty());
   for (std::size_t i = 0; i < events.size(); ++i) {
-    if (i > 0) EXPECT_LE(events[i - 1].time, events[i].time);
+    if (i > 0) {
+      EXPECT_LE(events[i - 1].time, events[i].time);
+    }
     EXPECT_GE(events[i].time, 0.0);
     EXPECT_LT(events[i].time, config.span);
     EXPECT_GE(events[i].node, 0);

@@ -162,7 +162,9 @@ TEST(Telemetry, DeterministicAndSorted) {
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_DOUBLE_EQ(a[i].temperatureC, b[i].temperatureC);
-    if (i > 0) EXPECT_LE(a[i - 1].time, a[i].time);
+    if (i > 0) {
+      EXPECT_LE(a[i - 1].time, a[i].time);
+    }
     EXPECT_GE(a[i].loadFraction, 0.0);
     EXPECT_LE(a[i].loadFraction, 1.0);
   }

@@ -35,7 +35,6 @@ TEST(PatternPredictor, BurstRaisesNearTermRisk) {
   for (int i = 0; i < 4; ++i) raw.push_back(warning(1000.0 + i * 10.0, 2));
   SimTime now = 0.0;
   PatternPredictor predictor(4, raw, [&now] { return now; });
-  const NodeId burst[] = {2};
   // Before the burst the predictor (causally) knows nothing.
   EXPECT_DOUBLE_EQ(predictor.nodeRisk(2, 0.0, 5000.0), 0.0);
   now = 1100.0;  // burst observed

@@ -1,0 +1,127 @@
+// The invariant auditor must trap every deliberate violation with an
+// AuditError naming the broken invariant. The check functions are compiled
+// in every configuration (only the in-tree hooks are PQOS_AUDIT-gated), so
+// these tests run in all of check.sh's flavors.
+#include "util/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <span>
+#include <vector>
+
+namespace pqos::audit {
+namespace {
+
+TEST(Audit, ErrorIsALogicError) {
+  // Violations are programming errors; they must flow through the
+  // LogicError taxonomy so existing catch sites classify them correctly.
+  EXPECT_THROW(fail("test invariant", "detail"), AuditError);
+  EXPECT_THROW(fail("test invariant", "detail"), LogicError);
+  try {
+    fail("test invariant", "the detail");
+    FAIL() << "fail() returned";
+  } catch (const AuditError& error) {
+    EXPECT_NE(std::string(error.what()).find("test invariant"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("the detail"),
+              std::string::npos);
+  }
+}
+
+TEST(Audit, EventMonotonicityTrapsOutOfOrderEvent) {
+  EXPECT_NO_THROW(checkEventMonotonic(10.0, 10.0));  // simultaneous: legal
+  EXPECT_NO_THROW(checkEventMonotonic(10.0, 11.0));
+  EXPECT_THROW(checkEventMonotonic(10.0, 9.999), AuditError);
+  EXPECT_THROW(checkEventMonotonic(0.0, -1.0), AuditError);
+}
+
+TEST(Audit, NodeConservationTrapsLeakedNode) {
+  EXPECT_NO_THROW(checkNodeConservation(2, 3, 4, 9));
+  EXPECT_NO_THROW(checkNodeConservation(0, 0, 0, 0));
+  EXPECT_THROW(checkNodeConservation(2, 3, 3, 9), AuditError);  // lost one
+  EXPECT_THROW(checkNodeConservation(2, 3, 5, 9), AuditError);  // grew one
+  EXPECT_THROW(checkNodeConservation(-1, 5, 5, 9), AuditError);
+}
+
+TEST(Audit, DisjointPartitionsPassAndCount) {
+  const std::array<NodeId, 2> a{0, 1};
+  const std::array<NodeId, 3> b{2, 5, 7};
+  const std::vector<std::span<const NodeId>> partitions{a, b};
+  EXPECT_EQ(checkPartitionsDisjoint(partitions, 8), 5);
+  EXPECT_EQ(checkPartitionsDisjoint({}, 8), 0);
+}
+
+TEST(Audit, OverlappingPartitionsTrapped) {
+  const std::array<NodeId, 2> a{0, 1};
+  const std::array<NodeId, 2> b{1, 2};  // node 1 double-booked
+  const std::vector<std::span<const NodeId>> partitions{a, b};
+  EXPECT_THROW(checkPartitionsDisjoint(partitions, 8), AuditError);
+}
+
+TEST(Audit, OutOfRangePartitionNodeTrapped) {
+  const std::array<NodeId, 2> high{0, 8};
+  EXPECT_THROW(
+      checkPartitionsDisjoint({std::span<const NodeId>(high)}, 8),
+      AuditError);
+  const std::array<NodeId, 1> negative{-1};
+  EXPECT_THROW(
+      checkPartitionsDisjoint({std::span<const NodeId>(negative)}, 8),
+      AuditError);
+}
+
+TEST(Audit, CheckpointProtocolLegalTransitions) {
+  CkptPhase phase = CkptPhase::Idle;
+  phase = applyCkptEvent(phase, CkptEvent::Dispatch, 0);
+  EXPECT_EQ(phase, CkptPhase::Idle);
+  phase = applyCkptEvent(phase, CkptEvent::Begin, 0);
+  EXPECT_EQ(phase, CkptPhase::Saving);
+  phase = applyCkptEvent(phase, CkptEvent::Commit, 0);
+  EXPECT_EQ(phase, CkptPhase::Idle);
+  // A failure may strike in either phase; both abort to Idle.
+  EXPECT_EQ(applyCkptEvent(CkptPhase::Saving, CkptEvent::Abort, 0),
+            CkptPhase::Idle);
+  EXPECT_EQ(applyCkptEvent(CkptPhase::Idle, CkptEvent::Abort, 0),
+            CkptPhase::Idle);
+}
+
+TEST(Audit, CheckpointProtocolIllegalTransitionsTrapped) {
+  // Begin while already saving: overlapping checkpoints.
+  EXPECT_THROW((void)applyCkptEvent(CkptPhase::Saving, CkptEvent::Begin, 7),
+               AuditError);
+  // Commit without begin: a stale checkpoint-finish event survived an
+  // abort — exactly the bug class the auditor exists to catch.
+  EXPECT_THROW((void)applyCkptEvent(CkptPhase::Idle, CkptEvent::Commit, 7),
+               AuditError);
+  // Re-dispatch while mid-checkpoint: abort was never recorded.
+  EXPECT_THROW((void)applyCkptEvent(CkptPhase::Saving, CkptEvent::Dispatch, 7),
+               AuditError);
+}
+
+TEST(Audit, JobAccountingBalancedLedgerPasses) {
+  // arrival 100, finish 1000: waited 300 + occupied 600 spans it exactly.
+  EXPECT_NO_THROW(checkJobAccounting(0, 100.0, 1000.0, 300.0, 600.0));
+  // Rounding slack within tolerance.
+  EXPECT_NO_THROW(checkJobAccounting(0, 100.0, 1000.0, 300.0, 600.0 + 1e-7));
+  EXPECT_NO_THROW(checkJobAccounting(0, 0.0, 0.0, 0.0, 0.0));
+}
+
+TEST(Audit, JobAccountingLeakTrapped) {
+  // One second of the job's life is unaccounted for.
+  EXPECT_THROW(checkJobAccounting(3, 100.0, 1000.0, 300.0, 599.0),
+               AuditError);
+  // Double-counted time is just as illegal.
+  EXPECT_THROW(checkJobAccounting(3, 100.0, 1000.0, 300.0, 601.0),
+               AuditError);
+}
+
+TEST(Audit, EnabledFlagMatchesBuildConfiguration) {
+#if defined(PQOS_AUDIT)
+  EXPECT_TRUE(kEnabled);
+#else
+  EXPECT_FALSE(kEnabled);
+#endif
+}
+
+}  // namespace
+}  // namespace pqos::audit

@@ -138,7 +138,9 @@ TEST(Generate, ArrivalsNondecreasingAndBoundsRespected) {
   const auto model = sdscModel();
   const auto jobs = generate(model, 2000, 5);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (i > 0) EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    if (i > 0) {
+      EXPECT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+    }
     EXPECT_GE(jobs[i].work, model.minRuntime);
     EXPECT_LE(jobs[i].work, model.maxRuntime);
     EXPECT_GE(jobs[i].nodes, 1);
