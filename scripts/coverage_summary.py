@@ -1,0 +1,162 @@
+#!/usr/bin/env python3
+"""Aggregates gcov line coverage for the pqos tree.
+
+Runs `gcov --json-format --stdout` over every .gcda counter file left
+behind by an instrumented test run (scripts/check.sh --coverage), merges
+hit counts for src/ lines across translation units (a header line counts
+as covered if ANY includer executed it), and prints a per-subsystem
+summary table.
+
+The threshold is a warning, not a gate: a dip below --warn-below prints a
+WARNING but still exits 0, so the coverage stage only fails on tooling
+errors (no counters found, gcov missing). See DESIGN.md section 7.
+
+Usage:
+    scripts/coverage_summary.py --build build-coverage [--source DIR]
+                                [--warn-below PCT] [--gcov TOOL]
+
+Exit status: 0 summary printed (warning or not), 2 tooling error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+CHUNK = 50  # .gcda files per gcov invocation (argv-size safety)
+
+
+def gcov_documents(gcov: str, build: Path, gcda_files: list[Path]):
+    """Yields parsed gcov JSON documents, one per data file."""
+    for start in range(0, len(gcda_files), CHUNK):
+        chunk = [str(p) for p in gcda_files[start : start + CHUNK]]
+        result = subprocess.run(
+            [gcov, "--json-format", "--stdout", *chunk],
+            capture_output=True,
+            text=True,
+            cwd=build,
+        )
+        if result.returncode != 0:
+            print(
+                f"coverage: gcov failed on a chunk: {result.stderr.strip()}",
+                file=sys.stderr,
+            )
+            continue
+        # --stdout emits one JSON document per input file, one per line.
+        for line in result.stdout.splitlines():
+            line = line.strip()
+            if not line.startswith("{"):
+                continue
+            try:
+                yield json.loads(line)
+            except json.JSONDecodeError as err:
+                print(f"coverage: unparsable gcov output: {err}",
+                      file=sys.stderr)
+
+
+def merge_coverage(docs, source: Path) -> dict[str, dict[int, int]]:
+    """Returns {repo-relative src path: {line: max hit count}}."""
+    hits: dict[str, dict[int, int]] = collections.defaultdict(dict)
+    for doc in docs:
+        cwd = Path(doc.get("current_working_directory", "."))
+        for entry in doc.get("files", []):
+            path = Path(entry.get("file", ""))
+            if not path.is_absolute():
+                path = cwd / path
+            try:
+                rel = path.resolve().relative_to(source).as_posix()
+            except ValueError:
+                continue  # system/test/third-party file
+            if not rel.startswith("src/"):
+                continue
+            lines = hits[rel]
+            for record in entry.get("lines", []):
+                number = record.get("line_number")
+                count = record.get("count", 0)
+                if number is None:
+                    continue
+                lines[number] = max(lines.get(number, 0), count)
+    return hits
+
+
+def summarize(hits: dict[str, dict[int, int]]):
+    """Returns sorted rows of (subsystem, files, lines, covered)."""
+    groups = collections.defaultdict(lambda: [0, 0, 0])  # files, lines, hit
+    for rel, lines in hits.items():
+        parts = rel.split("/")
+        subsystem = "/".join(parts[:2]) if len(parts) > 2 else parts[0]
+        group = groups[subsystem]
+        group[0] += 1
+        group[1] += len(lines)
+        group[2] += sum(1 for count in lines.values() if count > 0)
+    return sorted(groups.items())
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build", type=Path, required=True,
+                        help="instrumented build tree containing .gcda files")
+    parser.add_argument("--source", type=Path,
+                        default=Path(__file__).resolve().parent.parent,
+                        help="repository root (default: this checkout)")
+    parser.add_argument("--warn-below", type=float, default=0.0,
+                        help="warn when total src/ line coverage is below "
+                             "this percentage (default: no warning)")
+    parser.add_argument("--gcov", default="gcov",
+                        help="gcov executable (default: gcov)")
+    args = parser.parse_args()
+
+    build = args.build.resolve()
+    source = args.source.resolve()
+    if not build.is_dir():
+        print(f"coverage: no build tree at {build}", file=sys.stderr)
+        return 2
+    gcda_files = sorted(build.rglob("*.gcda"))
+    if not gcda_files:
+        print(
+            f"coverage: no .gcda counters under {build} — build with "
+            "--coverage and run the tests first",
+            file=sys.stderr,
+        )
+        return 2
+
+    hits = merge_coverage(gcov_documents(args.gcov, build, gcda_files), source)
+    if not hits:
+        print("coverage: gcov produced no data for src/", file=sys.stderr)
+        return 2
+
+    rows = summarize(hits)
+    total_lines = sum(lines for _s, (_f, lines, _h) in rows)
+    total_hit = sum(hit for _s, (_f, _l, hit) in rows)
+
+    width = max(len(subsystem) for subsystem, _g in rows)
+    width = max(width, len("subsystem"), len("total"))
+    header = f"{'subsystem':<{width}}  {'files':>5}  {'lines':>6}  " \
+             f"{'covered':>7}  {'%':>6}"
+    print(header)
+    print("-" * len(header))
+    for subsystem, (files, lines, hit) in rows:
+        pct = 100.0 * hit / lines if lines else 0.0
+        print(f"{subsystem:<{width}}  {files:>5}  {lines:>6}  "
+              f"{hit:>7}  {pct:>5.1f}%")
+    print("-" * len(header))
+    total_files = sum(files for _s, (files, _l, _h) in rows)
+    total_pct = 100.0 * total_hit / total_lines if total_lines else 0.0
+    print(f"{'total':<{width}}  {total_files:>5}  {total_lines:>6}  "
+          f"{total_hit:>7}  {total_pct:>5.1f}%")
+
+    if args.warn_below > 0 and total_pct < args.warn_below:
+        print(
+            f"WARNING: total src/ line coverage {total_pct:.1f}% is below "
+            f"the {args.warn_below:.0f}% target",
+            file=sys.stderr,
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

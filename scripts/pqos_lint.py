@@ -73,6 +73,25 @@ RULES = [
         "library code must log via util/log or emit via runner sinks",
     ),
     (
+        "no-raw-file-io",
+        [
+            r"\bstd::ofstream\b",
+            r"\bfopen\s*\(",
+        ],
+        lambda p: p.startswith("src/")
+        and p
+        not in (
+            "src/trace/jsonl.cpp",  # the trace export layer
+            "src/runner/result_sink.cpp",  # sweep result sinks
+            "src/failure/trace_io.cpp",  # failure-trace serialization
+            "src/workload/swf.cpp",  # SWF log writer
+            "src/core/report.cpp",  # experiment report writer
+            "src/util/table.cpp",  # Table CSV export
+        ),
+        "file output belongs to a declared writer layer; trace events in "
+        "particular must go through trace/jsonl, not ad-hoc std::ofstream",
+    ),
+    (
         "no-float",
         [r"\bfloat\b"],
         lambda p: p.startswith("src/"),
@@ -216,6 +235,16 @@ SELF_TESTS = [
      "std::cerr << message;\n", set()),
     ("result sinks exempt", "src/runner/result_sink.cpp",
      "os_(&std::cerr) {}\n", set()),
+    ("ofstream in core", "src/core/simulator.cpp",
+     'std::ofstream dump("/tmp/trace.jsonl");\n', {"no-raw-file-io"}),
+    ("fopen in sched", "src/sched/negotiator.cpp",
+     'FILE* f = fopen("log.txt", "w");\n', {"no-raw-file-io"}),
+    ("trace jsonl is the export layer", "src/trace/jsonl.cpp",
+     "std::ofstream file(target);\n", set()),
+    ("result sink may open files", "src/runner/result_sink.cpp",
+     "std::ofstream file(target);\n", set()),
+    ("ofstream in string ok", "src/core/simulator.cpp",
+     'const char* doc = "std::ofstream";\n', set()),
     ("float in sim", "src/sim/engine.cpp",
      "float t = 0;\n", {"no-float"}),
     ("float in comment ok", "src/sim/engine.cpp",

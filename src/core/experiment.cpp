@@ -41,6 +41,15 @@ SimResult runSimulation(const SimConfig& config,
   return simulator.run();
 }
 
+SimResult runSimulation(const SimConfig& config,
+                        const std::vector<workload::JobSpec>& jobs,
+                        const failure::FailureTrace& trace,
+                        ::pqos::trace::Recorder* recorder) {
+  Simulator simulator(config, jobs, trace);
+  if (recorder != nullptr) simulator.attachTraceRecorder(recorder);
+  return simulator.run();
+}
+
 // sweep() is defined in src/runner/sweep_runner.cpp: the serial loop that
 // used to live here is now one special case (threads = 1) of the parallel
 // orchestrator, with bit-identical results.

@@ -15,6 +15,10 @@
 #include "failure/trace.hpp"
 #include "workload/synthetic.hpp"
 
+namespace pqos::trace {
+class Recorder;
+}  // namespace pqos::trace
+
 namespace pqos::core {
 
 struct StandardInputs {
@@ -35,6 +39,15 @@ struct StandardInputs {
 [[nodiscard]] SimResult runSimulation(const SimConfig& config,
                                       const std::vector<workload::JobSpec>& jobs,
                                       const failure::FailureTrace& trace);
+
+/// As above, with a trace recorder attached for the run (parameters are
+/// fully qualified because `trace` here names the failure log, as
+/// everywhere in core/). The recorder stays empty when tracing is
+/// compiled out.
+[[nodiscard]] SimResult runSimulation(const SimConfig& config,
+                                      const std::vector<workload::JobSpec>& jobs,
+                                      const failure::FailureTrace& trace,
+                                      ::pqos::trace::Recorder* recorder);
 
 struct SweepPoint {
   double accuracy = 0.0;

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "trace/event.hpp"
 #include "util/types.hpp"
 #include "workload/job.hpp"
 
@@ -41,6 +42,12 @@ struct SimResult {
   SimTime span = 0.0;        // T
   WorkUnits totalWork = 0.0;  // sum ej * nj
   bool traceExhausted = false;  // makespan outran the failure trace
+
+  // --- Observability ---
+  /// Per-kind trace-event tallies for the whole run (see trace/event.hpp);
+  /// all-zero when tracing is compiled out. Deterministic, so the
+  /// defaulted operator== below still backs the sweep determinism tests.
+  trace::Counters traceCounts;
 
   /// Field-wise equality; the runner's determinism tests assert that
   /// parallel and serial sweeps agree bit-for-bit.

@@ -91,6 +91,22 @@ SimResult Simulator::run() {
   require(!ran_, "Simulator::run: may only run once");
   ran_ = true;
 
+  if constexpr (::pqos::trace::kCompiled) {
+    engine_.setRecorder(traceRecorder_);
+    // Trace preamble: the failure schedule, as seen by this machine. With
+    // the JobArrival payloads this makes the trace a complete record of
+    // the run's dynamic inputs (see trace/replay.hpp).
+    for (const auto& event : trace_->events()) {
+      if (event.node >= config_.machineSize) continue;
+      ::pqos::trace::Event scheduled;
+      scheduled.time = event.time;  // the failure's own time, not now()
+      scheduled.kind = ::pqos::trace::Kind::FailureScheduled;
+      scheduled.node = event.node;
+      scheduled.a = event.detectability;
+      traceRecorder_->record(scheduled);
+    }
+  }
+
   for (const auto& rec : records_) {
     const JobId job = rec.spec.id;
     engine_.scheduleAt(rec.spec.arrival, [this, job] { onArrival(job); });
@@ -109,14 +125,21 @@ SimResult Simulator::run() {
   const bool traceExhausted =
       !trace_->empty() && !records_.empty() &&
       engine_.now() > trace_->events().back().time;
-  return computeResult(records_, config_.machineSize, failureEvents_,
-                       jobKillingFailures_, traceExhausted);
+  SimResult result = computeResult(records_, config_.machineSize,
+                                   failureEvents_, jobKillingFailures_,
+                                   traceExhausted);
+  if constexpr (::pqos::trace::kCompiled) {
+    result.traceCounts = traceRecorder_->counters();
+  }
+  return result;
 }
 
 void Simulator::onArrival(JobId job) {
   auto& rec = record(job);
   require(rec.state == workload::JobState::Submitted,
           "Simulator::onArrival: job already planned");
+  traceRecord(trace::Kind::JobArrival, job, kInvalidNode,
+              static_cast<double>(rec.spec.nodes), rec.spec.work);
   state(job).auditWaitStart = engine_.now();
   planJob(job, /*renegotiate=*/true, engine_.now());
   maybeCheckConsistency();
@@ -137,11 +160,14 @@ void Simulator::planJob(JobId job, bool renegotiate, SimTime notBefore) {
     rec.negotiatedStart = quote.start;
     rec.deadline = quote.deadline;
     rec.negotiationRounds = quote.rounds;
+    traceRecord(trace::Kind::Negotiated, job, kInvalidNode, quote.failureProb,
+                quote.deadline, static_cast<double>(quote.rounds));
   } else {
     // Restart or dynamic replan: the promise and deadline stand; take the
     // earliest feasible slot (fault-aware ranking still steers the
     // partition choice).
     quote = negotiator_->earliestSlot(rec.spec.nodes, remaining, notBefore);
+    traceRecord(trace::Kind::Replanned, job, kInvalidNode, quote.start);
   }
 
   book_.reserve(job, quote.partition, quote.start,
@@ -166,6 +192,7 @@ void Simulator::attemptDispatch(JobId job) {
     // is down, and no idle substitute exists; retry as nodes free up.
     if (std::find(pendingDispatch_.begin(), pendingDispatch_.end(), job) ==
         pendingDispatch_.end()) {
+      traceRecord(trace::Kind::DispatchBlocked, job);
       pendingDispatch_.push_back(job);
     }
     return;
@@ -185,6 +212,8 @@ void Simulator::attemptDispatch(JobId job) {
   rs.segmentStartProgress = rec.savedProgress;
   rs.segmentStartTime = now;
   rs.nextRequestProgress = rec.savedProgress + config_.checkpointInterval;
+  traceRecord(trace::Kind::JobDispatch, job, rs.partition.nodes().front(),
+              static_cast<double>(rs.partition.nodes().size()));
   beginSegment(job);
   maybeCheckConsistency();
 }
@@ -235,6 +264,8 @@ bool Simulator::substituteUnavailableNodes(JobId job) {
   rs.partition = std::move(replacement);
   rs.plannedStart = now;
   rs.reservedEnd = now + window;
+  traceRecord(trace::Kind::DispatchSubstitute, job, kInvalidNode,
+              static_cast<double>(needed));
   return true;
 }
 
@@ -290,9 +321,14 @@ void Simulator::onCheckpointRequest(JobId job, Duration progress) {
           overhead;
   request.estFinishSkipAll = now + remaining;
 
+  // Both trace payloads carry the Eq. 1 operands: a = pf, b = d (skipped
+  // requests + this one), c = the progress level at stake.
+  const auto decisionDepth = static_cast<double>(rs.skippedSinceLast + 1);
   if (ckptPolicy_->decide(request) == ckpt::Decision::Perform) {
     // Checkpoint-start event: the job pauses for C; progress saved is the
     // level at the request (rollback is to the checkpoint's *start*).
+    traceRecord(trace::Kind::CkptBegin, job, kInvalidNode,
+                request.partitionFailureProb, decisionDepth, progress);
     auditCkptEvent(job, audit::CkptEvent::Begin);
     rs.inCheckpoint = true;
     rs.ckptProgress = progress;
@@ -300,6 +336,8 @@ void Simulator::onCheckpointRequest(JobId job, Duration progress) {
     rs.pendingEvent = engine_.scheduleAfter(
         overhead, [this, job] { onCheckpointEnd(job); });
   } else {
+    traceRecord(trace::Kind::CkptSkip, job, kInvalidNode,
+                request.partitionFailureProb, decisionDepth, progress);
     ++rec.checkpointsSkipped;
     ++rs.skippedSinceLast;
     rs.segmentStartProgress = progress;
@@ -312,6 +350,7 @@ void Simulator::onCheckpointEnd(JobId job) {
   auto& rec = record(job);
   auto& rs = state(job);
   auditCkptEvent(job, audit::CkptEvent::Commit);
+  traceRecord(trace::Kind::CkptCommit, job, kInvalidNode, rs.ckptProgress);
   rs.pendingEvent = sim::kInvalidEvent;
   rs.inCheckpoint = false;
   rec.savedProgress = rs.ckptProgress;
@@ -339,6 +378,10 @@ void Simulator::completeJob(JobId job) {
       runningJobs_.end());
   rec.state = workload::JobState::Completed;
   rec.finish = now;
+  const bool met = rec.metDeadline();
+  traceRecord(trace::Kind::JobFinish, job, kInvalidNode, met ? 1.0 : 0.0,
+              now - rec.spec.arrival);
+  if (!met) traceCount(trace::Kind::DeadlineMiss);
   ++completedCount_;
   if (completedCount_ == records_.size()) {
     engine_.stop();
@@ -353,6 +396,13 @@ void Simulator::onNodeFailure(const failure::FailureEvent& event) {
   if (completedCount_ == records_.size()) return;
   ++failureEvents_;
   predictor_->observe(event);  // online predictors learn as failures land
+  // Foreseen by the paper's detectability model: px clears the advertised
+  // accuracy threshold (deterministic in the recorded inputs, so replay
+  // reproduces it).
+  const bool foreseen = event.detectability <= predictor_->accuracy();
+  traceRecord(trace::Kind::NodeFailure, kInvalidJob, event.node,
+              event.detectability, foreseen ? 1.0 : 0.0);
+  traceCount(foreseen ? trace::Kind::PredictHit : trace::Kind::PredictMiss);
   const SimTime now = engine_.now();
   const SimTime upAt = now + config_.downtime;
   const JobId victim = machine_.fail(event.node, upAt);
@@ -368,8 +418,10 @@ void Simulator::onNodeFailure(const failure::FailureEvent& event) {
     rs.auditWaitStart = now;
     // Paper: lost work for failure x is (tx - c_jx) * n_jx, with c the
     // start of the last completed checkpoint (this run) or the start time.
-    rec.lostWork += (now - rs.rollbackPoint) *
-                    static_cast<double>(rec.spec.nodes);
+    const WorkUnits lost =
+        (now - rs.rollbackPoint) * static_cast<double>(rec.spec.nodes);
+    rec.lostWork += lost;
+    traceRecord(trace::Kind::JobKilled, victim, event.node, lost);
     if (rs.pendingEvent != sim::kInvalidEvent) {
       engine_.cancel(rs.pendingEvent);
       rs.pendingEvent = sim::kInvalidEvent;
@@ -425,6 +477,7 @@ void Simulator::onNodeRecovery(NodeId node) {
   if (!n.isDown()) return;  // already recovered by an earlier event
   if (n.upAt() > engine_.now() + kEps) return;  // outage was extended
   machine_.recover(node);
+  traceRecord(trace::Kind::NodeRecovery, kInvalidJob, node);
   tryPendingDispatches();
 }
 
@@ -477,6 +530,25 @@ void Simulator::auditCkptEvent(JobId job, audit::CkptEvent event) {
     auto& rs = state(job);
     rs.auditCkptPhase = audit::applyCkptEvent(rs.auditCkptPhase, event, job);
   }
+}
+
+void Simulator::traceRecord(::pqos::trace::Kind kind, JobId job, NodeId node,
+                            double a, double b, double c) {
+  if constexpr (::pqos::trace::kCompiled) {
+    ::pqos::trace::Event event;
+    event.time = engine_.now();
+    event.kind = kind;
+    event.job = job;
+    event.node = node;
+    event.a = a;
+    event.b = b;
+    event.c = c;
+    traceRecorder_->record(event);
+  }
+}
+
+void Simulator::traceCount(::pqos::trace::Kind kind) {
+  if constexpr (::pqos::trace::kCompiled) traceRecorder_->count(kind);
 }
 
 }  // namespace pqos::core

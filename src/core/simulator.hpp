@@ -23,7 +23,9 @@
 #include "sched/allocation.hpp"
 #include "sched/reservation_book.hpp"
 #include "sim/engine.hpp"
+#include "trace/recorder.hpp"
 #include "util/audit.hpp"
+#include "util/error.hpp"
 #include "workload/job.hpp"
 
 namespace pqos::core {
@@ -58,6 +60,17 @@ class Simulator {
   /// Current simulation time; lets externally-owned (override) predictors
   /// bind their causal clock to this simulation.
   [[nodiscard]] SimTime now() const { return engine_.now(); }
+
+  /// Routes trace events into an externally-owned recorder (typically a
+  /// ring buffer; see trace/recorder.hpp) instead of the internal
+  /// counting-only one. `recorder` must outlive the simulator; call before
+  /// run(). When tracing is compiled out (-DPQOS_TRACE=OFF) the hooks are
+  /// gone and the recorder stays empty.
+  void attachTraceRecorder(::pqos::trace::Recorder* recorder) {
+    require(recorder != nullptr, "attachTraceRecorder: null recorder");
+    require(!ran_, "attachTraceRecorder: simulation already ran");
+    traceRecorder_ = recorder;
+  }
 
  private:
   /// Per-running-job execution state.
@@ -115,6 +128,14 @@ class Simulator {
   /// trapping illegal transitions (e.g. a stale checkpoint-finish event).
   void auditCkptEvent(JobId job, audit::CkptEvent event);
 
+  /// PQOS_TRACE hook: records one event stamped with the current clock.
+  /// Compiles to nothing when tracing is off.
+  void traceRecord(::pqos::trace::Kind kind, JobId job,
+                   NodeId node = kInvalidNode, double a = 0.0, double b = 0.0,
+                   double c = 0.0);
+  /// PQOS_TRACE hook: counter-only fast path (no payload, no buffering).
+  void traceCount(::pqos::trace::Kind kind);
+
   [[nodiscard]] workload::JobRecord& record(JobId job);
   [[nodiscard]] RunState& state(JobId job);
 
@@ -141,6 +162,13 @@ class Simulator {
   std::size_t failureEvents_ = 0;
   std::size_t jobKillingFailures_ = 0;
   bool ran_ = false;
+
+  // --- PQOS_TRACE (fields always present so layouts match across
+  // configurations; see util/audit.hpp for the idiom) ---
+  /// Default sink: counts per-kind event tallies with no buffering, so
+  /// every SimResult carries trace counters with zero configuration.
+  ::pqos::trace::Recorder countingRecorder_{0};
+  ::pqos::trace::Recorder* traceRecorder_ = &countingRecorder_;
 };
 
 }  // namespace pqos::core

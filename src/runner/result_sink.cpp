@@ -5,6 +5,7 @@
 #include <iostream>
 
 #include "runner/provenance.hpp"
+#include "trace/event.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -140,6 +141,18 @@ void writeSimResult(JsonWriter& json, const core::SimResult& r) {
   json.field("span", r.span);
   json.field("totalWork", r.totalWork);
   json.field("traceExhausted", r.traceExhausted);
+  // Per-subsystem observability counters (pqos::trace). Emitted only when
+  // the tracing hooks are compiled in, so a -DPQOS_TRACE=OFF build writes
+  // byte-identical results to a pre-trace tree.
+  if constexpr (pqos::trace::kCompiled) {
+    json.key("trace").beginObject();
+    for (std::size_t i = 0; i < pqos::trace::kKindCount; ++i) {
+      const auto kind = static_cast<pqos::trace::Kind>(i);
+      json.field(pqos::trace::kindName(kind),
+                 static_cast<long long>(r.traceCounts.of(kind)));
+    }
+    json.endObject();
+  }
   json.endObject();
 }
 

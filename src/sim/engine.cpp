@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "trace/recorder.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 
@@ -26,6 +27,9 @@ bool Engine::step() {
   }
   now_ = fired.time;
   ++fired_;
+  if constexpr (trace::kCompiled) {
+    if (recorder_ != nullptr) recorder_->count(trace::Kind::EngineStep);
+  }
   fired.fn();
   return true;
 }

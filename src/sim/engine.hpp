@@ -12,6 +12,10 @@
 #include "sim/event_queue.hpp"
 #include "util/types.hpp"
 
+namespace pqos::trace {
+class Recorder;
+}  // namespace pqos::trace
+
 namespace pqos::sim {
 
 class Engine {
@@ -44,11 +48,16 @@ class Engine {
     return queue_.scheduledCount();
   }
 
+  /// Counts every fired event into `recorder` (trace::Kind::EngineStep);
+  /// nullptr detaches. No-op when tracing is compiled out.
+  void setRecorder(trace::Recorder* recorder) { recorder_ = recorder; }
+
  private:
   EventQueue queue_;
   SimTime now_ = 0.0;
   std::uint64_t fired_ = 0;
   bool stopRequested_ = false;
+  trace::Recorder* recorder_ = nullptr;
 };
 
 }  // namespace pqos::sim

@@ -1,0 +1,80 @@
+#include "trace/event.hpp"
+
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace pqos::trace {
+
+namespace {
+
+constexpr std::string_view kKindNames[kKindCount] = {
+    "engine_step",        // EngineStep
+    "failure_scheduled",  // FailureScheduled
+    "job_arrival",        // JobArrival
+    "negotiated",         // Negotiated
+    "replanned",          // Replanned
+    "job_dispatch",       // JobDispatch
+    "dispatch_blocked",   // DispatchBlocked
+    "dispatch_substitute",  // DispatchSubstitute
+    "ckpt_begin",         // CkptBegin
+    "ckpt_commit",        // CkptCommit
+    "ckpt_skip",          // CkptSkip
+    "job_killed",         // JobKilled
+    "node_failure",       // NodeFailure
+    "node_recovery",      // NodeRecovery
+    "job_finish",         // JobFinish
+    "predict_hit",        // PredictHit
+    "predict_miss",       // PredictMiss
+    "deadline_miss",      // DeadlineMiss
+};
+
+}  // namespace
+
+std::string_view kindName(Kind kind) {
+  const auto index = static_cast<std::size_t>(kind);
+  require(index < kKindCount, "trace::kindName: kind out of range");
+  return kKindNames[index];
+}
+
+Kind kindByName(std::string_view name) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    if (kKindNames[i] == name) return static_cast<Kind>(i);
+  }
+  throw ParseError("trace: unknown event kind '" + std::string(name) + "'");
+}
+
+bool isCounterOnly(Kind kind) {
+  switch (kind) {
+    case Kind::EngineStep:
+    case Kind::PredictHit:
+    case Kind::PredictMiss:
+    case Kind::DeadlineMiss:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint64_t Counters::total() const {
+  return std::accumulate(byKind.begin(), byKind.end(), std::uint64_t{0});
+}
+
+void shiftTimes(std::span<Event> events, double delta) {
+  for (Event& event : events) {
+    event.time += delta;
+    switch (event.kind) {
+      case Kind::Negotiated:
+        event.b += delta;  // deadline is absolute
+        break;
+      case Kind::Replanned:
+        event.a += delta;  // planned start is absolute
+        break;
+      default:
+        break;  // all other payloads are durations, counts, or probabilities
+    }
+  }
+}
+
+}  // namespace pqos::trace

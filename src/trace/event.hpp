@@ -1,0 +1,119 @@
+// The structured trace event taxonomy (pqos::trace).
+//
+// The paper's claims (Fig. 5-8, the Eq. 2 QoS) hinge on the simulator's
+// internal event sequence being right, yet final metrics cannot show *why*
+// a deadline was missed or a checkpoint skipped. Every decision the system
+// makes — negotiation outcomes, dispatches, the Eq. 1 perform/skip calls
+// with their pf and d operands, failures with predictor hit/miss, restarts
+// — is therefore expressible as a TraceEvent, recorded by trace::Recorder
+// when the hooks are compiled in (-DPQOS_TRACE=ON, the default) and
+// costing nothing when compiled out (same `if constexpr` gating style as
+// util/audit).
+//
+// The trace is a complete record: job arrivals carry the submitted size
+// and work, and the failure schedule is written as a preamble, so a
+// recorded trace can be re-fed as a scripted workload/failure source and
+// replayed bit-identically (see trace/replay.hpp).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "util/types.hpp"
+
+namespace pqos::trace {
+
+/// True when the tree was configured with -DPQOS_TRACE=ON (the default)
+/// and the recording hooks in sim/ and core/ are compiled in.
+#if defined(PQOS_TRACE)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+/// Every kind of event the simulator can record. Counter-only kinds (see
+/// isCounterOnly) are tallied but never buffered: they either duplicate a
+/// buffered event's payload or fire once per engine step.
+enum class Kind : std::uint8_t {
+  EngineStep,          // one fired engine event (counter-only)
+  FailureScheduled,    // preamble: input failure; time = failure time,
+                       //   node, a = detectability
+  JobArrival,          // job submitted; a = nodes, b = work (seconds)
+  Negotiated,          // accepted quote; a = pf, b = deadline (absolute),
+                       //   c = negotiation rounds
+  Replanned,           // restart/replan slot; a = planned start (absolute)
+  JobDispatch,         // job occupies its partition; node = first node,
+                       //   a = partition size
+  DispatchBlocked,     // planned start reached but nodes busy/down
+  DispatchSubstitute,  // idle nodes swapped in; a = substituted count
+  CkptBegin,           // Eq. 1 said perform; a = pf, b = d, c = progress
+  CkptCommit,          // checkpoint persisted; a = saved progress
+  CkptSkip,            // Eq. 1 said skip; a = pf, b = d, c = progress
+  JobKilled,           // failure killed the job; node = failed node,
+                       //   a = lost work (node-seconds)
+  NodeFailure,         // node failure landed; a = detectability,
+                       //   b = 1 if the predictor foresaw it
+  NodeRecovery,        // node back up after downtime
+  JobFinish,           // job completed; a = 1 if deadline met,
+                       //   b = turnaround (seconds)
+  PredictHit,          // failure was foreseen (counter-only)
+  PredictMiss,         // failure was not foreseen (counter-only)
+  DeadlineMiss,        // JobFinish with a = 0 (counter-only)
+};
+
+inline constexpr std::size_t kKindCount =
+    static_cast<std::size_t>(Kind::DeadlineMiss) + 1;
+
+/// Stable machine-readable name ("job_arrival", "ckpt_skip", ...).
+[[nodiscard]] std::string_view kindName(Kind kind);
+
+/// Inverse of kindName; throws ParseError for unknown names.
+[[nodiscard]] Kind kindByName(std::string_view name);
+
+/// Counter-only kinds are tallied in Counters but never enter the ring
+/// buffer (they would double the trace volume without adding information).
+[[nodiscard]] bool isCounterOnly(Kind kind);
+
+/// One recorded event. `time` is the simulation clock at the moment of
+/// recording, except FailureScheduled (the preamble carries the failure's
+/// own time). Payload slots a/b/c are kind-specific (see Kind).
+struct Event {
+  SimTime time = 0.0;
+  Kind kind = Kind::EngineStep;
+  JobId job = kInvalidJob;
+  NodeId node = kInvalidNode;
+  double a = 0.0;
+  double b = 0.0;
+  double c = 0.0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+};
+
+/// Per-kind event tallies. Maintained even when no ring buffer is attached
+/// (the Simulator always counts when the hooks are compiled in), so sweep
+/// results can report them with zero configuration.
+struct Counters {
+  std::array<std::uint64_t, kKindCount> byKind{};
+
+  [[nodiscard]] std::uint64_t of(Kind kind) const {
+    return byKind[static_cast<std::size_t>(kind)];
+  }
+  [[nodiscard]] std::uint64_t& at(Kind kind) {
+    return byKind[static_cast<std::size_t>(kind)];
+  }
+  /// Sum over every kind (buffered and counter-only).
+  [[nodiscard]] std::uint64_t total() const;
+
+  friend bool operator==(const Counters&, const Counters&) = default;
+};
+
+/// Shifts every event by `delta` seconds: the timestamp, plus the payload
+/// slots that carry absolute times (Negotiated deadlines, Replanned
+/// starts). Durations and probabilities are untouched, so a run whose
+/// inputs were all shifted by `delta` produces exactly shiftTimes(trace,
+/// delta) — the metamorphic relation tests/metamorphic_test.cpp asserts.
+void shiftTimes(std::span<Event> events, double delta);
+
+}  // namespace pqos::trace

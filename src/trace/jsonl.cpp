@@ -1,0 +1,163 @@
+#include "trace/jsonl.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::trace {
+
+std::string toJsonLine(const Event& event) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  json.beginObject();
+  json.field("t", event.time);
+  json.field("kind", kindName(event.kind));
+  json.field("job", static_cast<long long>(event.job));
+  json.field("node", static_cast<long long>(event.node));
+  json.field("a", event.a);
+  json.field("b", event.b);
+  json.field("c", event.c);
+  json.endObject();
+  return os.str();
+}
+
+void writeJsonl(std::ostream& out, std::span<const Event> events) {
+  for (const Event& event : events) out << toJsonLine(event) << '\n';
+}
+
+void writeJsonlFile(const std::string& path, std::span<const Event> events) {
+  namespace fs = std::filesystem;
+  const fs::path target(path);
+  const fs::path parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw ConfigError("cannot create trace directory " + parent.string() +
+                        ": " + ec.message());
+    }
+  }
+  std::ofstream file(target);
+  if (!file) throw ConfigError("cannot open trace file: " + path);
+  writeJsonl(file, events);
+  file.flush();
+  if (!file) throw ConfigError("error writing trace file: " + path);
+}
+
+namespace {
+
+/// Strict cursor over one JSONL line; every helper throws ParseError with
+/// the line number on a shape mismatch.
+class LineCursor {
+ public:
+  LineCursor(std::string_view line, std::size_t lineNo)
+      : line_(line), lineNo_(lineNo) {}
+
+  void expect(std::string_view token) {
+    if (line_.substr(pos_, token.size()) != token) {
+      fail("expected '" + std::string(token) + "'");
+    }
+    pos_ += token.size();
+  }
+
+  /// Number characters up to the next ',' or '}'.
+  [[nodiscard]] double number(std::string_view field) {
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != ',' && line_[pos_] != '}') {
+      ++pos_;
+    }
+    const std::string_view token = line_.substr(start, pos_ - start);
+    if (token.empty()) fail("empty value for field " + std::string(field));
+    return parseDouble(token, "trace line " + std::to_string(lineNo_) +
+                                  " field " + std::string(field));
+  }
+
+  /// Quoted string without escapes (kind names never need them).
+  [[nodiscard]] std::string_view quoted() {
+    expect("\"");
+    const std::size_t start = pos_;
+    while (pos_ < line_.size() && line_[pos_] != '"') {
+      if (line_[pos_] == '\\') fail("unexpected escape in kind name");
+      ++pos_;
+    }
+    if (pos_ >= line_.size()) fail("unterminated string");
+    const std::string_view token = line_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return token;
+  }
+
+  void end() {
+    if (pos_ != line_.size()) fail("trailing characters");
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError("trace line " + std::to_string(lineNo_) + ": " + what);
+  }
+
+ private:
+  std::string_view line_;
+  std::size_t lineNo_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] JobId asJobId(double value, LineCursor& cursor) {
+  const auto id = static_cast<JobId>(value);
+  if (static_cast<double>(id) != value) cursor.fail("non-integral job id");
+  return id;
+}
+
+[[nodiscard]] NodeId asNodeId(double value, LineCursor& cursor) {
+  const auto id = static_cast<NodeId>(value);
+  if (static_cast<double>(id) != value) cursor.fail("non-integral node id");
+  return id;
+}
+
+}  // namespace
+
+Event parseJsonLine(std::string_view line, std::size_t lineNo) {
+  LineCursor cursor(trim(line), lineNo);
+  Event event;
+  cursor.expect("{\"t\":");
+  event.time = cursor.number("t");
+  cursor.expect(",\"kind\":");
+  event.kind = kindByName(cursor.quoted());
+  cursor.expect(",\"job\":");
+  event.job = asJobId(cursor.number("job"), cursor);
+  cursor.expect(",\"node\":");
+  event.node = asNodeId(cursor.number("node"), cursor);
+  cursor.expect(",\"a\":");
+  event.a = cursor.number("a");
+  cursor.expect(",\"b\":");
+  event.b = cursor.number("b");
+  cursor.expect(",\"c\":");
+  event.c = cursor.number("c");
+  cursor.expect("}");
+  cursor.end();
+  return event;
+}
+
+std::vector<Event> parseJsonl(std::istream& in) {
+  std::vector<Event> events;
+  std::string line;
+  std::size_t lineNo = 0;
+  while (std::getline(in, line)) {
+    ++lineNo;
+    if (trim(line).empty()) continue;
+    events.push_back(parseJsonLine(line, lineNo));
+  }
+  return events;
+}
+
+std::vector<Event> loadJsonlFile(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw ConfigError("cannot open trace file: " + path);
+  return parseJsonl(file);
+}
+
+}  // namespace pqos::trace

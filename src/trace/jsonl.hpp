@@ -1,0 +1,44 @@
+// JSONL trace export/import.
+//
+// One JSON object per line, one line per event, fixed field set:
+//
+//   {"t":<time>,"kind":"<kind>","job":<id>,"node":<id>,"a":…,"b":…,"c":…}
+//
+// Doubles are printed in the shortest form that round-trips exactly (the
+// util::json rule), so write → parse → write is byte-identical and the
+// golden-trace regression tests can assert byte-stable output. The parser
+// accepts exactly this shape and throws ParseError (with the line number)
+// on anything else — traces are machine-written artifacts, not a config
+// format, and a strict reader keeps drift loud.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace pqos::trace {
+
+/// Renders one event as a single JSON line (no trailing newline).
+[[nodiscard]] std::string toJsonLine(const Event& event);
+
+/// Writes events as JSONL, one line each.
+void writeJsonl(std::ostream& out, std::span<const Event> events);
+
+/// Writes a JSONL trace file, creating parent directories; throws
+/// ConfigError when the file cannot be written.
+void writeJsonlFile(const std::string& path, std::span<const Event> events);
+
+/// Parses one JSONL line; `lineNo` contextualizes ParseError messages.
+[[nodiscard]] Event parseJsonLine(std::string_view line, std::size_t lineNo);
+
+/// Parses a JSONL stream (blank lines are ignored).
+[[nodiscard]] std::vector<Event> parseJsonl(std::istream& in);
+
+/// Loads a JSONL trace file; throws ConfigError when it cannot be opened.
+[[nodiscard]] std::vector<Event> loadJsonlFile(const std::string& path);
+
+}  // namespace pqos::trace

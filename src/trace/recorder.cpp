@@ -1,0 +1,58 @@
+#include "trace/recorder.hpp"
+
+#include <algorithm>
+
+namespace pqos::trace {
+
+Recorder::Recorder(std::size_t capacity) : capacity_(capacity) {
+  // Reserve modestly up front; the ring grows on demand up to capacity_.
+  if (capacity_ > 0) buffer_.reserve(std::min<std::size_t>(capacity_, 1024));
+}
+
+void Recorder::record(const Event& event) {
+  ++counters_.at(event.kind);
+  switch (event.kind) {
+    case Kind::Negotiated:
+      negotiationRounds_.add(event.c);
+      break;
+    case Kind::CkptBegin:
+    case Kind::CkptSkip:
+      checkpointRisk_.add(event.a);
+      checkpointRiskHistogram_.add(event.a);
+      break;
+    default:
+      break;
+  }
+  if (capacity_ == 0 || isCounterOnly(event.kind)) return;
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(event);
+    return;
+  }
+  buffer_[head_] = event;  // wrap: overwrite the oldest
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Recorder::count(Kind kind) { ++counters_.at(kind); }
+
+void Recorder::clear() {
+  buffer_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  counters_ = Counters{};
+  negotiationRounds_ = Accumulator{};
+  checkpointRisk_ = Accumulator{};
+  checkpointRiskHistogram_ = Histogram{0.0, 1.0, 10};
+}
+
+std::vector<Event> Recorder::events() const {
+  std::vector<Event> out;
+  out.reserve(buffer_.size());
+  // Once wrapped, head_ points at the oldest entry.
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(head_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+}  // namespace pqos::trace

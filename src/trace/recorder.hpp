@@ -1,0 +1,84 @@
+// The low-overhead structured event recorder.
+//
+// A Recorder has two storage tiers: per-kind counters (always maintained,
+// a single array increment per event) and a bounded ring buffer of full
+// Event records (capacity chosen at construction; 0 = counting only,
+// kUnbounded = keep everything, anything between wraps and drops the
+// oldest). On top of the raw stream it keeps the util::stats aggregates
+// the observability exporters need — negotiation-round and checkpoint-risk
+// accumulators plus a decision-risk histogram — so per-subsystem summaries
+// cost no post-processing pass.
+//
+// The recorder itself is always compiled (and unit-tested in every
+// configuration); only the *hooks* in sim/ and core/ are gated on
+// trace::kCompiled, so a -DPQOS_TRACE=OFF build pays nothing.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "trace/event.hpp"
+#include "util/stats.hpp"
+#include "util/types.hpp"
+
+namespace pqos::trace {
+
+class Recorder {
+ public:
+  /// Ring capacity for "keep the whole run" recorders (replay
+  /// verification); large enough for any test-scale simulation while
+  /// bounding a runaway recorder to ~320 MB.
+  static constexpr std::size_t kUnbounded = static_cast<std::size_t>(1) << 23;
+
+  /// `capacity` bounds the ring buffer; 0 keeps counters and stats only.
+  explicit Recorder(std::size_t capacity = kUnbounded);
+
+  /// Records one event: counts it, folds it into the stats aggregates,
+  /// and — unless its kind is counter-only or the capacity is 0 — appends
+  /// it to the ring (overwriting the oldest entry when full).
+  void record(const Event& event);
+
+  /// Counter-only fast path: tallies `kind` without buffering.
+  void count(Kind kind);
+
+  /// Drops all buffered events, counters, and aggregates.
+  void clear();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  /// Events currently buffered (<= capacity()).
+  [[nodiscard]] std::size_t bufferedCount() const { return buffer_.size(); }
+  /// Events that were buffered and later overwritten by ring wrap-around.
+  [[nodiscard]] std::uint64_t droppedCount() const { return dropped_; }
+
+  /// Buffered events, oldest first (unwraps the ring).
+  [[nodiscard]] std::vector<Event> events() const;
+
+  [[nodiscard]] const Counters& counters() const { return counters_; }
+
+  // --- util::stats aggregates -------------------------------------------
+  /// Rounds per accepted negotiation (one sample per Negotiated event).
+  [[nodiscard]] const Accumulator& negotiationRounds() const {
+    return negotiationRounds_;
+  }
+  /// Predicted pf at each checkpoint decision (CkptBegin + CkptSkip).
+  [[nodiscard]] const Accumulator& checkpointRisk() const {
+    return checkpointRisk_;
+  }
+  /// Decision-risk distribution: pf at checkpoint decisions over [0, 1)
+  /// in 10 buckets.
+  [[nodiscard]] const Histogram& checkpointRiskHistogram() const {
+    return checkpointRiskHistogram_;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<Event> buffer_;  // ring once size() == capacity_
+  std::size_t head_ = 0;       // next write slot once wrapped
+  std::uint64_t dropped_ = 0;
+  Counters counters_;
+  Accumulator negotiationRounds_;
+  Accumulator checkpointRisk_;
+  Histogram checkpointRiskHistogram_{0.0, 1.0, 10};
+};
+
+}  // namespace pqos::trace

@@ -1,0 +1,97 @@
+#include "trace/replay.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "core/simulator.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/recorder.hpp"
+#include "util/error.hpp"
+
+namespace pqos::trace {
+
+ReplayInputs reconstructInputs(std::span<const Event> events) {
+  ReplayInputs inputs;
+  for (const Event& event : events) {
+    if (event.kind == Kind::FailureScheduled) {
+      failure::FailureEvent failure;
+      failure.time = event.time;
+      failure.node = event.node;
+      failure.detectability = event.a;
+      inputs.failures.push_back(failure);
+    } else if (event.kind == Kind::JobArrival) {
+      workload::JobSpec spec;
+      spec.id = event.job;
+      spec.arrival = event.time;
+      spec.nodes = static_cast<int>(event.a);
+      spec.work = event.b;
+      inputs.jobs.push_back(spec);
+    }
+  }
+  std::sort(inputs.jobs.begin(), inputs.jobs.end(),
+            [](const workload::JobSpec& lhs, const workload::JobSpec& rhs) {
+              return lhs.id < rhs.id;
+            });
+  for (std::size_t i = 0; i < inputs.jobs.size(); ++i) {
+    if (inputs.jobs[i].id != static_cast<JobId>(i)) {
+      throw ParseError(
+          "trace replay: job arrivals are not dense (missing or duplicate "
+          "id near " +
+          std::to_string(inputs.jobs[i].id) + ")");
+    }
+  }
+  return inputs;
+}
+
+std::vector<Event> runTraced(const core::SimConfig& config,
+                             const std::vector<workload::JobSpec>& jobs,
+                             const failure::FailureTrace& failures,
+                             core::SimResult* result) {
+  require(kCompiled,
+          "trace::runTraced: tracing is compiled out (-DPQOS_TRACE=OFF)");
+  Recorder recorder;  // unbounded: replay needs the whole sequence
+  core::Simulator simulator(config, jobs, failures);
+  simulator.attachTraceRecorder(&recorder);
+  core::SimResult metrics = simulator.run();
+  require(recorder.droppedCount() == 0,
+          "trace::runTraced: the recorder dropped events");
+  if (result != nullptr) *result = metrics;
+  return recorder.events();
+}
+
+ReplayReport verifyReplay(const core::SimConfig& config,
+                          std::span<const Event> original) {
+  ReplayInputs inputs = reconstructInputs(original);
+  const failure::FailureTrace failures(std::move(inputs.failures),
+                                       config.machineSize);
+  const std::vector<Event> replayed =
+      runTraced(config, inputs.jobs, failures);
+
+  ReplayReport report;
+  report.originalEvents = original.size();
+  report.replayEvents = replayed.size();
+  const std::size_t common = std::min(original.size(), replayed.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    if (!(original[i] == replayed[i])) {
+      report.firstDivergence = i;
+      report.detail = "event " + std::to_string(i) +
+                      " diverged:\n  recorded: " + toJsonLine(original[i]) +
+                      "\n  replayed: " + toJsonLine(replayed[i]);
+      return report;
+    }
+  }
+  if (original.size() != replayed.size()) {
+    report.firstDivergence = common;
+    const bool originalLonger = original.size() > replayed.size();
+    report.detail =
+        "event counts diverged: recorded " +
+        std::to_string(original.size()) + ", replayed " +
+        std::to_string(replayed.size()) + "; first extra event:\n  " +
+        toJsonLine(originalLonger ? original[common] : replayed[common]);
+    return report;
+  }
+  report.identical = true;
+  return report;
+}
+
+}  // namespace pqos::trace

@@ -1,0 +1,69 @@
+// Record→replay differential verification.
+//
+// A recorded trace is a complete record of a run's dynamic inputs: the
+// FailureScheduled preamble carries the failure schedule and every
+// JobArrival carries the submitted size and work. reconstructInputs()
+// turns a trace back into a scripted workload + failure source, and
+// verifyReplay() re-runs the simulation from those reconstructed inputs
+// under the same SimConfig — the replayed event sequence must reproduce
+// the original bit-identically, turning every simulation into a
+// self-checking oracle: any nondeterminism, input-dependence outside the
+// recorded channel, or semantic drift between record and replay fails
+// loudly at the first diverging event.
+//
+// This half of pqos::trace sits *above* core (it builds Simulators), so it
+// is a separate library target (pqos::trace_replay) from the low-level
+// recorder that core records into.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/metrics.hpp"
+#include "failure/trace.hpp"
+#include "trace/event.hpp"
+#include "workload/job.hpp"
+
+namespace pqos::trace {
+
+/// The dynamic inputs encoded in a recorded trace.
+struct ReplayInputs {
+  std::vector<workload::JobSpec> jobs;
+  std::vector<failure::FailureEvent> failures;
+};
+
+/// Rebuilds the workload (from JobArrival events) and the failure schedule
+/// (from the FailureScheduled preamble). Throws ParseError when the trace
+/// does not carry a dense job set (ids 0..n-1, one arrival each).
+[[nodiscard]] ReplayInputs reconstructInputs(std::span<const Event> events);
+
+/// Runs one simulation with an unbounded recorder attached and returns the
+/// full event sequence; the final metrics land in `result` when non-null.
+/// Throws LogicError when tracing is compiled out (-DPQOS_TRACE=OFF) —
+/// there is nothing to record.
+[[nodiscard]] std::vector<Event> runTraced(
+    const core::SimConfig& config,
+    const std::vector<workload::JobSpec>& jobs,
+    const failure::FailureTrace& failures,
+    core::SimResult* result = nullptr);
+
+/// Outcome of one replay verification.
+struct ReplayReport {
+  bool identical = false;
+  std::size_t originalEvents = 0;
+  std::size_t replayEvents = 0;
+  /// Index of the first diverging event (valid when !identical).
+  std::size_t firstDivergence = 0;
+  /// Human-readable divergence description (empty when identical).
+  std::string detail;
+};
+
+/// Reconstructs the inputs from `original`, replays them under `config`,
+/// and compares event-for-event. config.machineSize bounds the
+/// reconstructed failure trace's node ids.
+[[nodiscard]] ReplayReport verifyReplay(const core::SimConfig& config,
+                                        std::span<const Event> original);
+
+}  // namespace pqos::trace

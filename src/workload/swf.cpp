@@ -1,8 +1,10 @@
 #include "workload/swf.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <fstream>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -29,12 +31,21 @@ std::vector<JobSpec> parseSwf(std::istream& in, const SwfLoadOptions& options) {
     const double submit = parseDouble(fields[1], context);
     const double runtime = parseDouble(fields[3], context);
     double procs = parseDouble(fields[4], context);
-    if (procs <= 0 && fields.size() >= 8) {
+    if (procs < 1.0 && fields.size() >= 8) {
       procs = parseDouble(fields[7], context);  // requested processors
     }
-    if (runtime <= 0 || procs <= 0) {
+    // Corrupt or hostile logs: strtod happily yields "inf"/"nan"/overflow
+    // values, and narrowing an out-of-range double to int is undefined, so
+    // every numeric field must be validated before the casts below.
+    const bool valuesSane =
+        std::isfinite(submit) && std::isfinite(runtime) &&
+        std::isfinite(procs) &&
+        procs < static_cast<double>(std::numeric_limits<int>::max());
+    // A fractional count in (0, 1) would also truncate to zero nodes.
+    if (!valuesSane || runtime <= 0 || procs < 1.0) {
       if (options.skipInvalid) continue;
-      throw ParseError(context + ": non-positive runtime or processors");
+      throw ParseError(context + ": non-positive or non-finite runtime or "
+                                 "processors");
     }
     JobSpec spec;
     spec.id = static_cast<JobId>(jobs.size());

@@ -1,0 +1,169 @@
+// Metamorphic relations: properties connecting *pairs* of simulations
+// whose inputs differ in a controlled way. These catch whole-system bugs
+// that single-run invariant checks cannot (e.g. an accuracy regression
+// that lowers QoS everywhere but violates no per-run invariant).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/simulator.hpp"
+#include "failure/trace.hpp"
+#include "trace/event.hpp"
+#include "trace/replay.hpp"
+
+namespace pqos {
+namespace {
+
+// --- Relation 1: QoS is (weakly) increasing in predictor accuracy --------
+//
+// Better predictions can only improve the negotiated promises and the
+// checkpoint decisions on a fixed (workload, failure trace) pair. The
+// discrete scheduler gives no hard per-step guarantee, so allow a small
+// tolerance for tie-breaking churn between adjacent accuracy levels while
+// requiring the end-to-end trend to be genuinely positive.
+TEST(Metamorphic, QosNonDecreasingInAccuracy) {
+  for (const char* model : {"nasa", "sdsc"}) {
+    // A harsher-than-paper failure rate: with the calibrated 1021
+    // failures/year these small runs meet every deadline at every
+    // accuracy, which would make the relation vacuous.
+    const auto inputs =
+        core::makeStandardInputs(model, 600, 29, 128, 12000.0);
+    std::vector<double> qos;
+    for (const double accuracy : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      core::SimConfig config;
+      config.accuracy = accuracy;
+      config.userRisk = 0.5;
+      qos.push_back(
+          core::runSimulation(config, inputs.jobs, inputs.trace).qos);
+    }
+    for (std::size_t i = 1; i < qos.size(); ++i) {
+      EXPECT_GE(qos[i], qos[i - 1] - 0.02)
+          << model << ": QoS dropped from accuracy step " << i - 1 << " ("
+          << qos[i - 1] << ") to step " << i << " (" << qos[i] << ")";
+    }
+    EXPECT_GT(qos.back(), qos.front())
+        << model << ": perfect prediction should beat blind scheduling";
+  }
+}
+
+// --- Relation 2: with zero failures, policy families collapse ------------
+//
+// On a failure-free machine the predictor reports pf = 0 everywhere, so:
+//   * risk-based checkpointing (literal Eq. 1) never performs a checkpoint
+//     and must be event-for-event identical to the never policy;
+//   * cooperative checkpointing at a = 0 falls back to its blind prior
+//     (>= C/I) and must be event-for-event identical to periodic;
+//   * nothing is ever lost or restarted, and every negotiated deadline —
+//     which budgeted for the policy's own checkpoints — is met.
+// (Risk and periodic do NOT share a bounded slowdown here: skipping all
+// checkpoints finishes jobs earlier by construction, and the relation
+// worth pinning is the *pairwise trace identity* above.)
+class ZeroFailureCollapse : public ::testing::Test {
+ protected:
+  static core::SimConfig baseConfig(const std::string& policy) {
+    core::SimConfig config;
+    config.checkpointPolicy = policy;
+    config.accuracy = 0.0;
+    config.userRisk = 0.5;
+    return config;
+  }
+};
+
+TEST_F(ZeroFailureCollapse, MetricsAreClean) {
+  const auto inputs = core::makeStandardInputs("nasa", 400, 31);
+  const failure::FailureTrace noFailures({}, 128);
+  for (const char* policy : {"periodic", "never", "risk", "cooperative"}) {
+    const auto result =
+        core::runSimulation(baseConfig(policy), inputs.jobs, noFailures);
+    EXPECT_EQ(result.completedJobs, result.jobCount) << policy;
+    EXPECT_DOUBLE_EQ(result.lostWork, 0.0) << policy;
+    EXPECT_EQ(result.totalRestarts, 0) << policy;
+    EXPECT_EQ(result.failureEvents, 0u) << policy;
+    EXPECT_EQ(result.deadlinesMet, result.jobCount) << policy;
+    EXPECT_DOUBLE_EQ(result.qos, result.meanPromisedSuccess) << policy;
+  }
+}
+
+TEST_F(ZeroFailureCollapse, RiskEqualsNeverEventForEvent) {
+  if constexpr (!trace::kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = core::makeStandardInputs("sdsc", 400, 37);
+  const failure::FailureTrace noFailures({}, 128);
+  const auto risk =
+      trace::runTraced(baseConfig("risk"), inputs.jobs, noFailures);
+  const auto never =
+      trace::runTraced(baseConfig("never"), inputs.jobs, noFailures);
+  ASSERT_EQ(risk.size(), never.size());
+  for (std::size_t i = 0; i < risk.size(); ++i) {
+    ASSERT_EQ(risk[i], never[i]) << "diverged at event " << i;
+  }
+}
+
+TEST_F(ZeroFailureCollapse, CooperativeEqualsPeriodicEventForEvent) {
+  if constexpr (!trace::kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = core::makeStandardInputs("sdsc", 400, 41);
+  const failure::FailureTrace noFailures({}, 128);
+  const auto cooperative =
+      trace::runTraced(baseConfig("cooperative"), inputs.jobs, noFailures);
+  const auto periodic =
+      trace::runTraced(baseConfig("periodic"), inputs.jobs, noFailures);
+  ASSERT_EQ(cooperative.size(), periodic.size());
+  for (std::size_t i = 0; i < cooperative.size(); ++i) {
+    ASSERT_EQ(cooperative[i], periodic[i]) << "diverged at event " << i;
+  }
+}
+
+// --- Relation 3: time-translation equivariance ---------------------------
+//
+// Shifting every input time (arrivals and failures) by a constant must
+// shift every trace timestamp — and every absolute-time payload — by
+// exactly that constant, changing nothing else. Integer-valued inputs and
+// an integer delta keep all derived times exactly representable, so the
+// relation holds bit-for-bit, not just approximately.
+TEST(Metamorphic, ArrivalShiftTranslatesTheTrace) {
+  if constexpr (!trace::kCompiled) GTEST_SKIP() << "tracing compiled out";
+  core::SimConfig config;
+  config.machineSize = 16;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+
+  std::vector<workload::JobSpec> jobs;
+  const int nodes[] = {2, 4, 8, 16, 1, 3};
+  const double works[] = {1800, 3600, 7200, 5400, 900, 10800};
+  const double arrivals[] = {0, 100, 200, 3600, 7200, 7300};
+  for (int i = 0; i < 6; ++i) {
+    workload::JobSpec spec;
+    spec.id = i;
+    spec.arrival = arrivals[i];
+    spec.nodes = nodes[i];
+    spec.work = works[i];
+    jobs.push_back(spec);
+  }
+  std::vector<failure::FailureEvent> failures{
+      {4000.0, 3, 0.3}, {9000.0, 7, 0.9}, {20000.0, 0, 0.05}};
+
+  const double delta = 7200.0;
+  auto shiftedJobs = jobs;
+  for (auto& job : shiftedJobs) job.arrival += delta;
+  auto shiftedFailures = failures;
+  for (auto& event : shiftedFailures) event.time += delta;
+
+  const auto original = trace::runTraced(
+      config, jobs, failure::FailureTrace(std::move(failures), 16));
+  const auto shifted = trace::runTraced(
+      config, shiftedJobs,
+      failure::FailureTrace(std::move(shiftedFailures), 16));
+
+  auto expected = original;
+  trace::shiftTimes(expected, delta);
+  ASSERT_EQ(shifted.size(), expected.size());
+  for (std::size_t i = 0; i < shifted.size(); ++i) {
+    ASSERT_EQ(shifted[i], expected[i])
+        << "event " << i << " is not a pure time translation";
+  }
+  // The run must be non-trivial for the relation to mean anything.
+  ASSERT_GT(original.size(), jobs.size() * 2);
+}
+
+}  // namespace
+}  // namespace pqos

@@ -1,0 +1,135 @@
+// Unit tests for the JSONL trace exporter and its strict parser.
+#include "trace/jsonl.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos::trace {
+namespace {
+
+Event sample() {
+  Event event;
+  event.time = 1234.5;
+  event.kind = Kind::CkptSkip;
+  event.job = 7;
+  event.node = 42;
+  event.a = 0.125;
+  event.b = 3.0;
+  event.c = 1800.0;
+  return event;
+}
+
+TEST(TraceJsonl, LineFormatIsCompactAndStable) {
+  EXPECT_EQ(toJsonLine(sample()),
+            "{\"t\":1234.5,\"kind\":\"ckpt_skip\",\"job\":7,\"node\":42,"
+            "\"a\":0.125,\"b\":3,\"c\":1800}");
+}
+
+TEST(TraceJsonl, LineRoundTripsExactly) {
+  const Event original = sample();
+  const Event parsed = parseJsonLine(toJsonLine(original), 1);
+  EXPECT_EQ(parsed, original);
+}
+
+TEST(TraceJsonl, RoundTripsAwkwardDoubles) {
+  Event event = sample();
+  // Shortest-round-trip printing must survive values that 15 significant
+  // digits cannot represent.
+  event.time = 0.1 + 0.2;
+  event.a = 1.0 / 3.0;
+  event.b = 1e-300;
+  event.c = -0.0;
+  const Event parsed = parseJsonLine(toJsonLine(event), 1);
+  EXPECT_EQ(parsed, event);
+}
+
+TEST(TraceJsonl, StreamRoundTripPreservesOrder) {
+  std::vector<Event> events;
+  for (int i = 0; i < 25; ++i) {
+    Event event = sample();
+    event.time = 10.0 * i;
+    event.job = i;
+    event.kind = static_cast<Kind>(i % static_cast<int>(kKindCount));
+    events.push_back(event);
+  }
+  std::stringstream io;
+  writeJsonl(io, events);
+  const auto parsed = parseJsonl(io);
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i], events[i]) << "event " << i;
+  }
+}
+
+TEST(TraceJsonl, ParserSkipsBlankLinesAndCountsLineNumbers) {
+  // Built up with += rather than an operator+ chain: GCC 12's -Wrestrict
+  // false-positives on rvalue string concatenation (PR105329).
+  std::string text = "\n";
+  text += toJsonLine(sample());
+  text += "\n\n  \n";
+  text += toJsonLine(sample());
+  text += "\n";
+  std::istringstream in(text);
+  EXPECT_EQ(parseJsonl(in).size(), 2u);
+
+  std::istringstream bad("\n\n{\"t\":broken\n");
+  try {
+    (void)parseJsonl(bad);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& error) {
+    EXPECT_NE(std::string(error.what()).find("line 3"), std::string::npos)
+        << error.what();
+  }
+}
+
+TEST(TraceJsonl, ParserRejectsMalformedShapes) {
+  const std::string good = toJsonLine(sample());
+  // Truncated, reordered keys, trailing junk, bad kind, fractional ids.
+  EXPECT_THROW((void)parseJsonLine(good.substr(0, good.size() - 1), 1),
+               ParseError);
+  EXPECT_THROW((void)parseJsonLine("{\"kind\":\"ckpt_skip\",\"t\":1}", 1),
+               ParseError);
+  EXPECT_THROW((void)parseJsonLine(good + "x", 1), ParseError);
+  EXPECT_THROW(
+      (void)parseJsonLine(
+          "{\"t\":1,\"kind\":\"nope\",\"job\":0,\"node\":0,\"a\":0,"
+          "\"b\":0,\"c\":0}",
+          1),
+      ParseError);
+  EXPECT_THROW(
+      (void)parseJsonLine(
+          "{\"t\":1,\"kind\":\"job_arrival\",\"job\":0.5,\"node\":0,"
+          "\"a\":0,\"b\":0,\"c\":0}",
+          1),
+      ParseError);
+  EXPECT_THROW((void)parseJsonLine("", 1), ParseError);
+}
+
+TEST(TraceJsonl, FileRoundTripCreatesParentDirs) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("pqos_trace_jsonl_" + std::to_string(::getpid()));
+  const fs::path file = dir / "nested" / "run.jsonl";
+  std::vector<Event> events{sample(), sample()};
+  events[1].time = 9999.0;
+  writeJsonlFile(file.string(), events);
+  const auto loaded = loadJsonlFile(file.string());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0], events[0]);
+  EXPECT_EQ(loaded[1], events[1]);
+  fs::remove_all(dir);
+}
+
+TEST(TraceJsonl, MissingFileThrowsConfigError) {
+  EXPECT_THROW((void)loadJsonlFile("/nonexistent/trace.jsonl"), ConfigError);
+}
+
+}  // namespace
+}  // namespace pqos::trace

@@ -1,0 +1,156 @@
+// Unit tests for the pqos::trace event taxonomy and ring-buffer recorder.
+#include "trace/recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/event.hpp"
+#include "util/error.hpp"
+
+namespace pqos::trace {
+namespace {
+
+Event make(Kind kind, SimTime time, double a = 0.0, double b = 0.0,
+           double c = 0.0) {
+  Event event;
+  event.time = time;
+  event.kind = kind;
+  event.a = a;
+  event.b = b;
+  event.c = c;
+  return event;
+}
+
+TEST(TraceEvent, KindNamesRoundTrip) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    const auto kind = static_cast<Kind>(i);
+    EXPECT_EQ(kindByName(kindName(kind)), kind);
+  }
+}
+
+TEST(TraceEvent, KindNamesAreUniqueAndMachineReadable) {
+  for (std::size_t i = 0; i < kKindCount; ++i) {
+    const auto name = kindName(static_cast<Kind>(i));
+    EXPECT_FALSE(name.empty());
+    for (const char ch : name) {
+      EXPECT_TRUE((ch >= 'a' && ch <= 'z') || ch == '_')
+          << "kind name '" << name << "' is not snake_case";
+    }
+    for (std::size_t j = i + 1; j < kKindCount; ++j) {
+      EXPECT_NE(name, kindName(static_cast<Kind>(j)));
+    }
+  }
+}
+
+TEST(TraceEvent, UnknownKindNameThrows) {
+  EXPECT_THROW((void)kindByName("job_arival"), ParseError);
+  EXPECT_THROW((void)kindByName(""), ParseError);
+}
+
+TEST(TraceEvent, CounterOnlyKindsAreTheHighVolumeOnes) {
+  EXPECT_TRUE(isCounterOnly(Kind::EngineStep));
+  EXPECT_TRUE(isCounterOnly(Kind::PredictHit));
+  EXPECT_TRUE(isCounterOnly(Kind::PredictMiss));
+  EXPECT_TRUE(isCounterOnly(Kind::DeadlineMiss));
+  EXPECT_FALSE(isCounterOnly(Kind::JobArrival));
+  EXPECT_FALSE(isCounterOnly(Kind::CkptSkip));
+  EXPECT_FALSE(isCounterOnly(Kind::NodeFailure));
+}
+
+TEST(TraceRecorder, RecordsInOrderAndCounts) {
+  Recorder recorder;
+  recorder.record(make(Kind::JobArrival, 1.0, 4.0, 300.0));
+  recorder.record(make(Kind::JobDispatch, 2.0, 4.0));
+  recorder.record(make(Kind::JobFinish, 3.0, 1.0, 2.0));
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, Kind::JobArrival);
+  EXPECT_EQ(events[2].kind, Kind::JobFinish);
+  EXPECT_EQ(recorder.counters().of(Kind::JobArrival), 1u);
+  EXPECT_EQ(recorder.counters().total(), 3u);
+  EXPECT_EQ(recorder.droppedCount(), 0u);
+}
+
+TEST(TraceRecorder, CountingOnlyModeBuffersNothing) {
+  Recorder recorder(0);
+  for (int i = 0; i < 100; ++i) {
+    recorder.record(make(Kind::CkptSkip, i, 0.25, 1.0));
+  }
+  recorder.count(Kind::EngineStep);
+  EXPECT_EQ(recorder.bufferedCount(), 0u);
+  EXPECT_EQ(recorder.droppedCount(), 0u);
+  EXPECT_EQ(recorder.counters().of(Kind::CkptSkip), 100u);
+  EXPECT_EQ(recorder.counters().of(Kind::EngineStep), 1u);
+  // Stats aggregates still fold in.
+  EXPECT_EQ(recorder.checkpointRisk().count(), 100u);
+}
+
+TEST(TraceRecorder, RingWrapKeepsTheNewestEvents) {
+  Recorder recorder(4);
+  for (int i = 0; i < 10; ++i) {
+    recorder.record(make(Kind::JobArrival, static_cast<double>(i)));
+  }
+  EXPECT_EQ(recorder.bufferedCount(), 4u);
+  EXPECT_EQ(recorder.droppedCount(), 6u);
+  EXPECT_EQ(recorder.counters().of(Kind::JobArrival), 10u);
+  const auto events = recorder.events();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first unwrap: times 6, 7, 8, 9.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(events[i].time, 6.0 + static_cast<double>(i));
+  }
+}
+
+TEST(TraceRecorder, CounterOnlyKindsNeverEnterTheBuffer) {
+  Recorder recorder(8);
+  recorder.record(make(Kind::EngineStep, 1.0));
+  recorder.record(make(Kind::JobArrival, 2.0));
+  EXPECT_EQ(recorder.bufferedCount(), 1u);
+  EXPECT_EQ(recorder.counters().of(Kind::EngineStep), 1u);
+  EXPECT_EQ(recorder.events().front().kind, Kind::JobArrival);
+}
+
+TEST(TraceRecorder, AggregatesNegotiationAndRisk) {
+  Recorder recorder;
+  recorder.record(make(Kind::Negotiated, 1.0, 0.1, 5000.0, 2.0));
+  recorder.record(make(Kind::Negotiated, 2.0, 0.0, 6000.0, 4.0));
+  recorder.record(make(Kind::CkptBegin, 3.0, 0.8, 1.0));
+  recorder.record(make(Kind::CkptSkip, 4.0, 0.2, 1.0));
+  EXPECT_EQ(recorder.negotiationRounds().count(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.negotiationRounds().mean(), 3.0);
+  EXPECT_EQ(recorder.checkpointRisk().count(), 2u);
+  EXPECT_DOUBLE_EQ(recorder.checkpointRisk().mean(), 0.5);
+  // 0.8 and 0.2 land in buckets 8 and 2 of the [0, 1) x10 histogram.
+  EXPECT_EQ(recorder.checkpointRiskHistogram().bucket(8), 1u);
+  EXPECT_EQ(recorder.checkpointRiskHistogram().bucket(2), 1u);
+}
+
+TEST(TraceRecorder, ClearResetsEverything) {
+  Recorder recorder(4);
+  for (int i = 0; i < 6; ++i) recorder.record(make(Kind::CkptBegin, i, 0.5));
+  recorder.clear();
+  EXPECT_EQ(recorder.bufferedCount(), 0u);
+  EXPECT_EQ(recorder.droppedCount(), 0u);
+  EXPECT_EQ(recorder.counters().total(), 0u);
+  EXPECT_EQ(recorder.checkpointRisk().count(), 0u);
+  // Still usable after clear.
+  recorder.record(make(Kind::CkptBegin, 9.0, 0.5));
+  EXPECT_EQ(recorder.bufferedCount(), 1u);
+}
+
+TEST(TraceEvent, ShiftTimesMovesAbsolutePayloadsOnly) {
+  std::vector<Event> events;
+  events.push_back(make(Kind::FailureScheduled, 100.0, 0.4));
+  events.push_back(make(Kind::Negotiated, 10.0, 0.1, 5000.0, 3.0));
+  events.push_back(make(Kind::Replanned, 20.0, 400.0));
+  events.push_back(make(Kind::CkptSkip, 30.0, 0.2, 2.0, 1800.0));
+  shiftTimes(events, 50.0);
+  EXPECT_DOUBLE_EQ(events[0].time, 150.0);
+  EXPECT_DOUBLE_EQ(events[0].a, 0.4);  // detectability: not a time
+  EXPECT_DOUBLE_EQ(events[1].b, 5050.0);  // deadline shifts
+  EXPECT_DOUBLE_EQ(events[1].a, 0.1);     // pf does not
+  EXPECT_DOUBLE_EQ(events[2].a, 450.0);   // planned start shifts
+  EXPECT_DOUBLE_EQ(events[3].c, 1800.0);  // progress level does not
+}
+
+}  // namespace
+}  // namespace pqos::trace

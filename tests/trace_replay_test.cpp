@@ -1,0 +1,192 @@
+// Record→replay differential verification: a recorded trace, re-fed as a
+// scripted workload/failure source, must reproduce itself bit-identically.
+#include "trace/replay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "core/experiment.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/recorder.hpp"
+#include "util/error.hpp"
+
+namespace pqos::trace {
+namespace {
+
+core::StandardInputs smallInputs(const char* model, std::uint64_t seed,
+                                 std::size_t jobCount = 300) {
+  return core::makeStandardInputs(model, jobCount, seed);
+}
+
+TEST(TraceReplay, ReconstructsJobsAndFailures) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = smallInputs("nasa", 7, 50);
+  core::SimConfig config;
+  const auto events = runTraced(config, inputs.jobs, inputs.trace);
+  const auto rebuilt = reconstructInputs(events);
+
+  ASSERT_EQ(rebuilt.jobs.size(), inputs.jobs.size());
+  for (std::size_t i = 0; i < inputs.jobs.size(); ++i) {
+    EXPECT_EQ(rebuilt.jobs[i].id, inputs.jobs[i].id);
+    EXPECT_EQ(rebuilt.jobs[i].arrival, inputs.jobs[i].arrival);
+    EXPECT_EQ(rebuilt.jobs[i].nodes, inputs.jobs[i].nodes);
+    EXPECT_EQ(rebuilt.jobs[i].work, inputs.jobs[i].work);
+  }
+  // The preamble carries exactly the failures this machine can see, in
+  // schedule order.
+  std::size_t machineFailures = 0;
+  for (const auto& event : inputs.trace.events()) {
+    if (event.node < config.machineSize) ++machineFailures;
+  }
+  EXPECT_EQ(rebuilt.failures.size(), machineFailures);
+}
+
+TEST(TraceReplay, NonDenseJobIdsThrow) {
+  std::vector<Event> events;
+  Event arrival;
+  arrival.kind = Kind::JobArrival;
+  arrival.job = 1;  // no job 0
+  arrival.a = 4.0;
+  arrival.b = 100.0;
+  events.push_back(arrival);
+  EXPECT_THROW((void)reconstructInputs(events), ParseError);
+}
+
+using ReplayParam = std::tuple<const char*, int, double, double>;
+
+class ReplayMatrix : public ::testing::TestWithParam<ReplayParam> {};
+
+TEST_P(ReplayMatrix, ReplayIsBitIdentical) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto [model, seed, accuracy, userRisk] = GetParam();
+  const auto inputs = smallInputs(model, static_cast<std::uint64_t>(seed));
+  core::SimConfig config;
+  config.accuracy = accuracy;
+  config.userRisk = userRisk;
+
+  const auto original = runTraced(config, inputs.jobs, inputs.trace);
+  ASSERT_FALSE(original.empty());
+  const auto report = verifyReplay(config, original);
+  EXPECT_TRUE(report.identical) << report.detail;
+  EXPECT_EQ(report.originalEvents, report.replayEvents);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ReplayMatrix,
+    ::testing::Combine(::testing::Values("nasa", "sdsc"),
+                       ::testing::Values(1, 2, 3),
+                       ::testing::Values(0.0, 0.5, 1.0),
+                       ::testing::Values(0.1, 0.9)));
+
+TEST(TraceReplay, SurvivesJsonlRoundTrip) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = smallInputs("sdsc", 11, 120);
+  core::SimConfig config;
+  const auto original = runTraced(config, inputs.jobs, inputs.trace);
+  std::stringstream io;
+  writeJsonl(io, original);
+  const auto reloaded = parseJsonl(io);
+  const auto report = verifyReplay(config, reloaded);
+  EXPECT_TRUE(report.identical) << report.detail;
+}
+
+TEST(TraceReplay, DetectsTamperedInputs) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = smallInputs("nasa", 13, 80);
+  core::SimConfig config;
+  auto events = runTraced(config, inputs.jobs, inputs.trace);
+  for (auto& event : events) {
+    if (event.kind == Kind::JobArrival) {
+      event.b *= 2.0;  // double one job's recorded work
+      break;
+    }
+  }
+  const auto report = verifyReplay(config, events);
+  EXPECT_FALSE(report.identical);
+  EXPECT_FALSE(report.detail.empty());
+}
+
+TEST(TraceReplay, DetectsTamperedDecisions) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = smallInputs("nasa", 17, 80);
+  core::SimConfig config;
+  auto events = runTraced(config, inputs.jobs, inputs.trace);
+  bool tampered = false;
+  for (auto& event : events) {
+    // A non-input event: the replayed simulation recomputes it and must
+    // disagree with the forgery.
+    if (event.kind == Kind::Negotiated) {
+      event.b += 1.0;  // nudge the recorded deadline
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  const auto report = verifyReplay(config, events);
+  EXPECT_FALSE(report.identical);
+  EXPECT_LT(report.firstDivergence, report.originalEvents);
+}
+
+TEST(TraceReplay, ResultCountersMatchTraceCounters) {
+  const auto inputs = smallInputs("sdsc", 19, 200);
+  core::SimConfig config;
+  config.accuracy = 0.6;
+  config.userRisk = 0.4;
+  const auto result = core::runSimulation(config, inputs.jobs, inputs.trace);
+  if constexpr (!kCompiled) {
+    EXPECT_EQ(result.traceCounts.total(), 0u);
+    GTEST_SKIP() << "tracing compiled out";
+  }
+  const auto& counts = result.traceCounts;
+  EXPECT_EQ(counts.of(Kind::JobArrival), result.jobCount);
+  EXPECT_EQ(counts.of(Kind::JobFinish), result.completedJobs);
+  EXPECT_EQ(counts.of(Kind::DeadlineMiss),
+            result.jobCount - result.deadlinesMet);
+  EXPECT_EQ(counts.of(Kind::NodeFailure), result.failureEvents);
+  EXPECT_EQ(counts.of(Kind::PredictHit) + counts.of(Kind::PredictMiss),
+            result.failureEvents);
+  EXPECT_EQ(counts.of(Kind::JobKilled), result.jobKillingFailures);
+  EXPECT_EQ(counts.of(Kind::CkptCommit),
+            static_cast<std::uint64_t>(result.checkpointsPerformed));
+  EXPECT_EQ(counts.of(Kind::CkptSkip),
+            static_cast<std::uint64_t>(result.checkpointsSkipped));
+  EXPECT_GE(counts.of(Kind::CkptBegin), counts.of(Kind::CkptCommit));
+  // Every job dispatches at least once; failures add re-dispatches.
+  EXPECT_GE(counts.of(Kind::JobDispatch), result.jobCount);
+  EXPECT_GT(counts.of(Kind::EngineStep), 0u);
+}
+
+TEST(TraceReplay, RunTracedRequiresCompiledHooks) {
+  if constexpr (kCompiled) {
+    GTEST_SKIP() << "hooks are compiled in";
+  } else {
+    const auto inputs = smallInputs("nasa", 3, 10);
+    core::SimConfig config;
+    EXPECT_THROW((void)runTraced(config, inputs.jobs, inputs.trace),
+                 LogicError);
+  }
+}
+
+TEST(TraceReplay, AttachedRecorderSeesTheWholeRun) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  const auto inputs = smallInputs("nasa", 23, 60);
+  core::SimConfig config;
+  core::SimResult viaHelper;
+  const auto events =
+      runTraced(config, inputs.jobs, inputs.trace, &viaHelper);
+  // The helper and a direct runSimulation agree bit-for-bit (determinism
+  // across independent Simulator instances, recorder attached or not).
+  const auto direct = core::runSimulation(config, inputs.jobs, inputs.trace);
+  EXPECT_TRUE(viaHelper == direct);
+  EXPECT_EQ(events.size(),
+            viaHelper.traceCounts.total() -
+                viaHelper.traceCounts.of(Kind::EngineStep) -
+                viaHelper.traceCounts.of(Kind::PredictHit) -
+                viaHelper.traceCounts.of(Kind::PredictMiss) -
+                viaHelper.traceCounts.of(Kind::DeadlineMiss));
+}
+
+}  // namespace
+}  // namespace pqos::trace

@@ -1,11 +1,15 @@
-// Unit tests for the Standard Workload Format parser/writer.
+// Unit tests for the Standard Workload Format parser/writer, plus a
+// seeded-mutation fuzzer: hostile logs may be rejected (ParseError) or
+// filtered, but must never crash, hang, or produce invalid JobSpecs.
 #include "workload/swf.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <sstream>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace pqos::workload {
 namespace {
@@ -107,6 +111,136 @@ TEST(Swf, WriteParseRoundTrip) {
 
 TEST(Swf, MissingFileThrowsConfigError) {
   EXPECT_THROW((void)loadSwfFile("/nonexistent/file.swf"), ConfigError);
+}
+
+TEST(Swf, NonFiniteFieldsAreFilteredNotCast) {
+  // strtod accepts "inf"/"nan"/overflowing exponents; narrowing those to
+  // int (for the processor count) is undefined behaviour, so the parser
+  // must treat them as invalid jobs instead.
+  const char* hostile =
+      "1 100 0 inf 4 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "2 100 0 300 nan -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "3 100 0 300 1e999 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "4 nan 0 300 4 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "5 100 0 300 2147483648 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n"
+      "6 100 0 300 4 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\n";
+  std::istringstream in(hostile);
+  const auto jobs = parseSwf(in);
+  ASSERT_EQ(jobs.size(), 1u);  // only the last line is sane
+  EXPECT_EQ(jobs[0].nodes, 4);
+
+  std::istringstream strict(hostile);
+  SwfLoadOptions options;
+  options.skipInvalid = false;
+  EXPECT_THROW((void)parseSwf(strict, options), ParseError);
+}
+
+TEST(Swf, CrlfAndCommentEdgeCasesParse) {
+  std::istringstream in(
+      ";\r\n"
+      "1 100 5 300 4 -1 -1 4 300 -1 1 1 1 -1 -1 -1 -1 -1\r\n"
+      "   ; indented comment\n"
+      "2 200 0 600 8 -1 -1 8 600 -1 1 1 1 -1 -1 -1 -1 -1");  // no final \n
+  const auto jobs = parseSwf(in);
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].nodes, 4);
+  EXPECT_EQ(jobs[1].nodes, 8);
+}
+
+// --- Seeded-mutation fuzzer ----------------------------------------------
+
+std::string corpusText() {
+  std::vector<JobSpec> jobs;
+  for (int i = 0; i < 8; ++i) {
+    JobSpec spec;
+    spec.id = i;
+    spec.arrival = 137.0 * i;
+    spec.nodes = 1 + (i % 5);
+    spec.work = 60.0 * (i + 1);
+    jobs.push_back(spec);
+  }
+  std::ostringstream out;
+  writeSwf(out, jobs, "fuzzer corpus");
+  return out.str();
+}
+
+std::string mutate(std::string text, Rng& rng) {
+  static const char* kTokens[] = {"nan",  "inf",        "-inf", "1e999",
+                                  "-1e999", "2147483648", "0x1p60", "9e307",
+                                  "",     ";",          "\r",   "\x00\x01"};
+  const int op = static_cast<int>(rng.uniformInt(0, 5));
+  if (text.empty()) return text;
+  const auto at = static_cast<std::size_t>(
+      rng.uniformInt(0, static_cast<std::int64_t>(text.size()) - 1));
+  switch (op) {
+    case 0:  // truncate mid-line
+      return text.substr(0, at);
+    case 1: {  // splice a hostile token
+      const auto* token = kTokens[rng.uniformInt(
+          0, static_cast<std::int64_t>(std::size(kTokens)) - 1)];
+      return text.substr(0, at) + token + text.substr(at);
+    }
+    case 2:  // delete a span
+      return text.substr(0, at) +
+             text.substr(std::min(text.size(),
+                                  at + static_cast<std::size_t>(
+                                           rng.uniformInt(1, 40))));
+    case 3: {  // flip one byte
+      text[at] = static_cast<char>(rng.uniformInt(1, 127));
+      return text;
+    }
+    case 4: {  // duplicate a prefix (repeated ids / reordered arrivals)
+      return text.substr(0, at) + "\n" + text;
+    }
+    default: {  // CRLF-ify
+      std::string crlf;
+      for (const char ch : text) {
+        if (ch == '\n') crlf += '\r';
+        crlf += ch;
+      }
+      return crlf;
+    }
+  }
+}
+
+TEST(SwfFuzz, MutatedLogsNeverCrashAndNeverYieldInvalidJobs) {
+  const std::string corpus = corpusText();
+  Rng rng(0xf00dULL);
+  int parsed = 0;
+  int rejected = 0;
+  for (int iter = 0; iter < 400; ++iter) {
+    std::string text = corpus;
+    const int rounds = static_cast<int>(rng.uniformInt(1, 4));
+    for (int r = 0; r < rounds; ++r) text = mutate(std::move(text), rng);
+
+    for (const bool skipInvalid : {true, false}) {
+      SwfLoadOptions options;
+      options.skipInvalid = skipInvalid;
+      std::istringstream in(text);
+      try {
+        const auto jobs = parseSwf(in, options);
+        ++parsed;
+        // Whatever survives filtering must be fully sane: the simulator
+        // consumes these fields without further validation.
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+          ASSERT_EQ(jobs[i].id, static_cast<JobId>(i));
+          ASSERT_TRUE(std::isfinite(jobs[i].arrival));
+          ASSERT_GE(jobs[i].arrival, 0.0);
+          ASSERT_TRUE(std::isfinite(jobs[i].work));
+          ASSERT_GT(jobs[i].work, 0.0);
+          ASSERT_GE(jobs[i].nodes, 1);
+          if (i > 0) {
+            ASSERT_GE(jobs[i].arrival, jobs[i - 1].arrival);
+          }
+        }
+      } catch (const ParseError&) {
+        ++rejected;  // structured rejection is a valid outcome
+      }
+    }
+  }
+  // The fuzzer must actually exercise both paths.
+  EXPECT_GT(parsed, 50);
+  EXPECT_GT(rejected, 50);
 }
 
 }  // namespace
