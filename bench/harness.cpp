@@ -3,6 +3,7 @@
 #include <iostream>
 #include <optional>
 
+#include "failpoint/failpoint.hpp"
 #include "runner/result_sink.hpp"
 #include "util/strings.hpp"
 
@@ -29,6 +30,19 @@ bool parseHarness(int argc, const char* const* argv,
               "seed-derived replicas per grid point; >1 adds 95% CIs");
   args.addBool("progress", options.progress,
                "stream per-point progress to stderr");
+  args.addString("journal", "",
+                 "append-only sweep journal (pqos-journal-v1); completed "
+                 "cells survive a crash");
+  args.addBool("resume", options.resume,
+               "replay --journal and skip already-completed cells");
+  args.addInt("retries", static_cast<long long>(options.retries),
+              "extra attempts per failed cell (exponential backoff)");
+  args.addDouble("cell-timeout", options.cellTimeout,
+                 "seconds before the watchdog fails a running cell "
+                 "(0 = never)");
+  args.addString("failpoints", "",
+                 "fault-injection sites to arm, site=action[;...]; see "
+                 "example_dump_trace --list-failpoints");
   if (!args.parse(argc, argv)) return false;
   options.jobs = static_cast<std::size_t>(args.getInt("jobs"));
   options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
@@ -40,6 +54,11 @@ bool parseHarness(int argc, const char* const* argv,
   options.reps = static_cast<std::size_t>(args.getInt("reps"));
   if (options.reps == 0) options.reps = 1;
   options.progress = args.getBool("progress");
+  options.journalPath = args.getString("journal");
+  options.resume = args.getBool("resume");
+  options.retries = static_cast<std::size_t>(args.getInt("retries"));
+  options.cellTimeout = args.getDouble("cell-timeout");
+  options.failpoints = args.getString("failpoints");
   return true;
 }
 
@@ -71,6 +90,17 @@ bool emit(const Table& table, const HarnessOptions& options,
   return true;
 }
 
+bool emit(const Table& table, const HarnessOptions& options,
+          const std::string& title, const runner::SweepResult& sweep) {
+  const bool wrote = emit(table, options, title);
+  if (!sweep.partial()) return wrote;
+  std::cerr << "warning: sweep output is partial; quarantined sink(s):\n";
+  for (const auto& name : sweep.quarantinedSinks) {
+    std::cerr << "  " << name << '\n';
+  }
+  return false;
+}
+
 runner::SweepResult runHarnessSweep(const HarnessOptions& options,
                                     const std::string& model,
                                     std::vector<double> accuracies,
@@ -89,6 +119,18 @@ runner::SweepResult runHarnessSweep(const HarnessOptions& options,
   runner::RunnerOptions runOptions;
   runOptions.threads = options.threads;
   runOptions.reps = options.reps;
+  runOptions.journalPath = options.journalPath;
+  runOptions.resume = options.resume;
+  runOptions.maxRetries = options.retries;
+  runOptions.cellTimeoutSeconds = options.cellTimeout;
+
+  // Arm fault injection before anything can fail: the environment first
+  // (chaos drivers set PQOS_FAILPOINTS on child processes), then the
+  // explicit flag, which wins on conflicting sites.
+  failpoint::armFromEnv();
+  if (!options.failpoints.empty()) {
+    failpoint::armFromSpec(options.failpoints);
+  }
 
   runner::SweepRunner sweepRunner(std::move(spec), runOptions);
   std::optional<runner::ProgressSink> progress;
@@ -235,7 +277,7 @@ int runAccuracyFigure(int argc, const char* const* argv,
         runHarnessSweep(options, model, core::canonicalGrid(),
                         {0.1, 0.5, 0.9}, title);
     const auto table = accuracySweepTable(sweep, metric);
-    return emit(table, options, title) ? 0 : 1;
+    return emit(table, options, title, sweep) ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;
@@ -262,7 +304,7 @@ int runUserFigure(int argc, const char* const* argv, const std::string& figure,
     const auto table = userSweepTable(sweep, metric,
                                       metricName(metric) + std::string(" (") +
                                           model + ")");
-    return emit(table, options, title) ? 0 : 1;
+    return emit(table, options, title, sweep) ? 0 : 1;
   } catch (const std::exception& error) {
     std::cerr << "error: " << error.what() << '\n';
     return 1;

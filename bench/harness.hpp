@@ -28,6 +28,13 @@ struct HarnessOptions {
   std::size_t threads = 0;  // sweep workers; 0 = all hardware threads
   std::size_t reps = 1;     // replicas per grid point
   bool progress = false;    // stream per-point progress to stderr
+
+  // --- Crash tolerance (--journal / --resume / --retries / ...) ---
+  std::string journalPath;       // append-only sweep journal; "" = none
+  bool resume = false;           // replay the journal, skip finished cells
+  std::size_t retries = 0;       // extra attempts per failed cell
+  double cellTimeout = 0.0;      // seconds before the watchdog fails a cell
+  std::string failpoints;        // site=action[,site=action...] to arm
 };
 
 /// Parses the standard flags; returns false when --help was requested.
@@ -40,6 +47,14 @@ struct HarnessOptions {
 /// when an output file cannot be written, so callers exit nonzero.
 [[nodiscard]] bool emit(const Table& table, const HarnessOptions& options,
                         const std::string& title);
+
+/// As above, but also inspects the sweep's degradation report: a partial
+/// run (some sink or the journal quarantined) prints the casualty list to
+/// stderr and returns false so the binary exits nonzero even though the
+/// table itself printed.
+[[nodiscard]] bool emit(const Table& table, const HarnessOptions& options,
+                        const std::string& title,
+                        const runner::SweepResult& sweep);
 
 /// Runs the (accuracy x userRisk) sweep described by the options through
 /// the parallel runner, wiring up the progress/JSON sinks the flags ask

@@ -1,0 +1,172 @@
+// Chaos probe: one scripted pass over every fault-injectable I/O path,
+// run twice — clean, then with a failpoint spec armed — and compared.
+//
+//   ./example_chaos_probe --failpoints "runner.sink.write=error"
+//
+// The pass touches each subsystem that carries failpoint sites: a tiny
+// journaled sweep with JSON export (runner.*, util.atomic_write.*), a
+// trace JSONL export/import round trip (trace.jsonl.*), an SWF write/read
+// round trip (workload.swf.*), and a failure-trace write/read round trip
+// (failure.trace.*).
+//
+// Exit codes (scripts/check.sh --chaos interprets them):
+//   0  the armed pass completed and its outputs are byte-identical to the
+//      clean pass (the fault never bit, was retried away, or was absorbed
+//      without corrupting results)
+//   1  clean failure: a typed exception surfaced, or the sweep reported
+//      itself partial — degraded loudly, nothing corrupt
+//   2  CHAOS BUG: the armed pass "succeeded" but produced different bytes
+// Anything else (a signal death from `abort`, a lockup) is the driver's
+// problem to flag.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "failpoint/failpoint.hpp"
+#include "failure/trace_io.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "trace/jsonl.hpp"
+#include "trace/replay.hpp"
+#include "util/args.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw pqos::ConfigError("chaos probe: cannot read " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Drops lines that legitimately differ between two identical runs
+/// (wall-clock provenance).
+std::string normalizeJson(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wallSeconds\":") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+/// One full pass; returns the concatenated normalized bytes of every
+/// artifact it produced. Throws on any injected or genuine failure.
+std::string runPass(const std::string& dir, std::uint64_t seed) {
+  namespace fs = std::filesystem;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // 1. Journaled sweep with JSON export (runner.*, util.atomic_write.*).
+  pqos::runner::SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 80;
+  spec.seed = seed;
+  spec.accuracies = {0.2, 0.8};
+  spec.userRisks = {0.5};
+  spec.title = "chaos probe sweep";
+  pqos::runner::RunnerOptions options;
+  options.threads = 2;
+  options.reps = 1;
+  options.journalPath = dir + "/sweep.journal.jsonl";
+  pqos::runner::SweepRunner runner(spec, options);
+  pqos::runner::JsonResultSink json(dir + "/sweep.json");
+  pqos::runner::CsvResultSink csv(dir + "/sweep.csv");
+  runner.addSink(&json);
+  runner.addSink(&csv);
+  const auto result = runner.run();
+  if (result.partial()) {
+    throw pqos::ConfigError("sweep degraded to partial output");
+  }
+
+  // 2. Trace JSONL export/import round trip (trace.jsonl.*).
+  const auto inputs = pqos::core::makeStandardInputs("nasa", 40, seed);
+  pqos::core::SimConfig config;
+  const auto traced =
+      pqos::trace::runTraced(config, inputs.jobs, inputs.trace);
+  pqos::trace::writeJsonlFile(dir + "/run.jsonl", traced);
+  const auto reread = pqos::trace::loadJsonlFile(dir + "/run.jsonl");
+  if (reread.size() != traced.size()) {
+    throw pqos::ConfigError("trace round trip lost events");
+  }
+
+  // 3. SWF write/read round trip (workload.swf.*).
+  pqos::workload::writeSwfFile(dir + "/jobs.swf", inputs.jobs, "chaos probe");
+  const auto jobs = pqos::workload::loadSwfFile(dir + "/jobs.swf", {});
+  if (jobs.size() != inputs.jobs.size()) {
+    throw pqos::ConfigError("SWF round trip lost jobs");
+  }
+
+  // 4. Failure-trace write/read round trip (failure.trace.*).
+  pqos::failure::writeTraceFile(dir + "/failures.trace", inputs.trace,
+                                "chaos probe");
+  const auto trace = pqos::failure::loadTraceFile(
+      dir + "/failures.trace", spec.machineSize);
+  if (trace.events().size() != inputs.trace.events().size()) {
+    throw pqos::ConfigError("failure trace round trip lost events");
+  }
+
+  return normalizeJson(slurp(dir + "/sweep.json")) + slurp(dir + "/sweep.csv") +
+         slurp(dir + "/run.jsonl") + slurp(dir + "/jobs.swf") +
+         slurp(dir + "/failures.trace");
+}
+
+/// Any *.tmp.* leftover means an atomic write leaked its temporary.
+bool hasTemporaries(const std::string& dir) {
+  namespace fs = std::filesystem;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") != std::string::npos) {
+      std::cerr << "chaos probe: leaked temporary " << entry.path() << '\n';
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  pqos::ArgParser args(
+      "pqos chaos probe: run the I/O gauntlet clean, then with faults "
+      "armed, and compare the bytes");
+  args.addString("failpoints", "",
+                 "site=action[;...] spec to arm for the second pass");
+  args.addString("dir", "/tmp/pqos_chaos_probe",
+                 "scratch directory for pass artifacts");
+  args.addInt("seed", 42, "input seed for both passes");
+  if (!args.parse(argc, argv)) return 0;
+
+  const std::string dir = args.getString("dir");
+  const auto seed = static_cast<std::uint64_t>(args.getInt("seed"));
+  const std::string spec = args.getString("failpoints");
+
+  try {
+    const std::string clean = runPass(dir + "/clean", seed);
+    if (!spec.empty()) pqos::failpoint::armFromSpec(spec);
+    const std::string armed = runPass(dir + "/armed", seed);
+    pqos::failpoint::disarmAll();
+    if (armed != clean) {
+      std::cerr << "chaos probe: armed pass diverged from clean pass under '"
+                << spec << "'\n";
+      return 2;
+    }
+    if (hasTemporaries(dir)) return 2;
+    std::cerr << "chaos probe: '" << spec
+              << "' completed with byte-identical output\n";
+    return 0;
+  } catch (const std::exception& error) {
+    // Loud, typed degradation is exactly what injection should produce.
+    pqos::failpoint::disarmAll();
+    std::cerr << "chaos probe: clean failure under '" << spec
+              << "': " << error.what() << '\n';
+    return 1;
+  }
+}

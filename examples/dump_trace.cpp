@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/experiment.hpp"
+#include "failpoint/failpoint.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
@@ -29,7 +30,21 @@ int main(int argc, char** argv) {
   args.addDouble("risk", 0.5, "user risk parameter U");
   args.addString("out", "/tmp/pqos_run.jsonl", "JSONL trace output path");
   args.addBool("verify", false, "replay the trace and check bit-identity");
+  args.addBool("list-failpoints", false,
+               "print the fault-injection site catalogue and exit");
   if (!args.parse(argc, argv)) return 0;
+
+  // Machine-readable site registry for chaos tooling (scripts/check.sh
+  // --chaos iterates these). One "name<TAB>description" line per site.
+  if (args.getBool("list-failpoints")) {
+    for (const auto& site : failpoint::catalogue()) {
+      std::cout << site.name << '\t' << site.description << '\n';
+    }
+    std::cerr << (failpoint::kCompiled
+                      ? "(failpoints compiled in: -DPQOS_FAILPOINT=ON)\n"
+                      : "(failpoints compiled out: -DPQOS_FAILPOINT=OFF)\n");
+    return 0;
+  }
 
   if (!trace::kCompiled) {
     std::cerr << "tracing is compiled out (-DPQOS_TRACE=OFF); rebuild with "

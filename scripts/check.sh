@@ -12,6 +12,8 @@
 #   scripts/check.sh --tidy          # clang-tidy (skipped if not installed)
 #   scripts/check.sh --lint          # pqos_lint.py self-test + tree scan
 #   scripts/check.sh --coverage      # gcov line coverage summary (opt-in)
+#   scripts/check.sh --chaos         # fault-injection sweep + kill/resume
+#                                    # torture (opt-in)
 #
 # Stages may be combined (e.g. `--strict --lint`). The legacy positional
 # spellings `release`, `tsan`, and `all` are still accepted. JOBS=<n>
@@ -160,10 +162,75 @@ stage_coverage() {
   note coverage PASS
 }
 
+# Chaos stage: arms every failpoint site in turn against the chaos probe
+# (which runs the full I/O gauntlet clean and armed, comparing bytes) and
+# runs the kill-at-every-journal-append torture tests. Opt-in like
+# coverage: it reruns the probe 2x per site, so it costs real wall time.
+stage_chaos() {
+  local dir=build-release
+  echo "=== [chaos] building probe binaries in $dir ==="
+  if ! cmake -B "$ROOT/$dir" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE= -DPQOS_FAILPOINT=ON; then
+    note chaos FAIL
+    return 1
+  fi
+  if ! cmake --build "$ROOT/$dir" -j "$JOBS" --target \
+       example_chaos_probe example_dump_trace \
+       runner_torture_test sweep_torture_helper failpoint_test; then
+    note chaos FAIL
+    return 1
+  fi
+
+  echo "=== [chaos] kill-and-resume torture + failpoint unit tests ==="
+  if ! ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS" \
+       -R 'Torture|Failpoint'; then
+    note chaos FAIL
+    return 1
+  fi
+
+  echo "=== [chaos] probing every catalogued failpoint site ==="
+  local scratch site probe_rc failed=0
+  scratch="$(mktemp -d /tmp/pqos_chaos.XXXXXX)"
+  while IFS=$'\t' read -r site _desc; do
+    [ -n "$site" ] || continue
+    # Exit 0 (absorbed, byte-identical) and 1 (clean typed failure) are
+    # both correct injection outcomes; 2 (divergence or leaked tmp file)
+    # or a signal death means the fault corrupted something.
+    "$ROOT/$dir/examples/example_chaos_probe" \
+      --failpoints "${site}=error" --dir "$scratch/$site" > /dev/null 2>&1
+    probe_rc=$?
+    case "$probe_rc" in
+      0) echo "[chaos] $site=error: absorbed (byte-identical)" ;;
+      1) echo "[chaos] $site=error: clean failure" ;;
+      *)
+        echo "[chaos] $site=error: FAILED (exit $probe_rc)"
+        failed=$((failed + 1))
+        ;;
+    esac
+  done < <("$ROOT/$dir/examples/example_dump_trace" --list-failpoints \
+           2> /dev/null)
+
+  # An atomic write that leaks its temporary under any injection is a bug
+  # even when the probe's byte comparison passed.
+  if find "$scratch" -name '*.tmp.*' | grep -q .; then
+    echo "[chaos] leaked atomic-write temporaries under $scratch"
+    failed=$((failed + 1))
+  fi
+  rm -rf "$scratch"
+
+  if [ "$failed" -gt 0 ]; then
+    echo "=== [chaos] $failed site(s) failed ==="
+    note chaos FAIL
+    return 1
+  fi
+  note chaos PASS
+}
+
 # --all expands to ALL_STAGES; STAGE_ORDER additionally fixes where the
 # opt-in stages run when requested explicitly.
 ALL_STAGES=(release tsan strict ubsan audit tidy lint)
-STAGE_ORDER=("${ALL_STAGES[@]}" coverage)
+STAGE_ORDER=("${ALL_STAGES[@]}" coverage chaos)
 REQUESTED=()
 
 if [ "$#" -eq 0 ]; then
@@ -180,8 +247,9 @@ for arg in "$@"; do
     --tidy) REQUESTED+=(tidy) ;;
     --lint) REQUESTED+=(lint) ;;
     --coverage) REQUESTED+=(coverage) ;;
+    --chaos) REQUESTED+=(chaos) ;;
     *)
-      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--all]" >&2
+      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--chaos|--all]" >&2
       exit 2
       ;;
   esac

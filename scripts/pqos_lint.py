@@ -13,13 +13,24 @@ the ones that keep the simulator's results trustworthy:
                   runner's result sinks (the declared output layer).
   no-float        Simulation time/work arithmetic is double-only; a single
                   float narrows a multi-year clock below second precision.
-  no-wall-clock   The deterministic core (everything but runner/ and
-                  util/) must not read wall clocks: no <chrono> clocks,
-                  time(), clock(), or gettimeofday(). Simulated time comes
-                  from sim::Engine::now() alone.
+  no-wall-clock   The deterministic core (everything but runner/, util/,
+                  and failpoint/) must not read wall clocks: no <chrono>
+                  clocks, time(), clock(), or gettimeofday(). Simulated
+                  time comes from sim::Engine::now() alone.
+  no-raw-file-io  Whole-file artifacts (results, traces, workloads) are
+                  written through util::atomic_write (tmp + fsync +
+                  rename), so a crash never leaves a torn file that parses
+                  as a complete result. Only atomic_write itself and the
+                  legacy report/table writers hold raw ofstream handles;
+                  runner/journal.cpp's append-only O_APPEND fd is the one
+                  sanctioned non-atomic writer (fsync per record).
   pragma-once     Every header in src/ carries #pragma once. (Standalone
                   compilation is enforced by the pqos_header_selfcontain
                   build target, which this tool cross-checks exists.)
+  failpoint-site  Every PQOS_FAILPOINT("name") literal in the tree must
+                  name an entry in the failpoint.cpp catalogue, and every
+                  catalogued site must be evaluated somewhere — a typo on
+                  either side would silently disarm chaos coverage.
 
 Suppress a deliberate exception by appending
     // pqos-lint: allow(<rule>)
@@ -78,18 +89,15 @@ RULES = [
             r"\bstd::ofstream\b",
             r"\bfopen\s*\(",
         ],
-        lambda p: p.startswith("src/")
+        lambda p: (p.startswith("src/") or p.startswith("bench/"))
         and p
         not in (
-            "src/trace/jsonl.cpp",  # the trace export layer
-            "src/runner/result_sink.cpp",  # sweep result sinks
-            "src/failure/trace_io.cpp",  # failure-trace serialization
-            "src/workload/swf.cpp",  # SWF log writer
+            "src/util/atomic_write.cpp",  # the atomic writer itself
             "src/core/report.cpp",  # experiment report writer
             "src/util/table.cpp",  # Table CSV export
         ),
-        "file output belongs to a declared writer layer; trace events in "
-        "particular must go through trace/jsonl, not ad-hoc std::ofstream",
+        "whole-file output goes through util::atomic_write (crash-atomic "
+        "tmp + fsync + rename), not ad-hoc std::ofstream",
     ),
     (
         "no-float",
@@ -111,7 +119,8 @@ RULES = [
         ],
         lambda p: p.startswith("src/")
         and not p.startswith("src/runner/")
-        and not p.startswith("src/util/"),
+        and not p.startswith("src/util/")
+        and not p.startswith("src/failpoint/"),
         "the deterministic core reads time only from sim::Engine::now()",
     ),
 ]
@@ -188,6 +197,51 @@ def lint_text(rel_path: str, text: str) -> list[tuple[str, int, str, str]]:
     return findings
 
 
+FAILPOINT_USE_RE = re.compile(r'PQOS_FAILPOINT\("([^"]+)"\)')
+FAILPOINT_SITE_RE = re.compile(r'\{"([a-z0-9_.-]+)",')
+
+
+def check_failpoint_sites(root: Path) -> list[tuple[str, int, str, str]]:
+    """Cross-checks every PQOS_FAILPOINT("name") literal in the tree
+    against the catalogue in src/failpoint/failpoint.cpp, both ways: an
+    uncatalogued evaluation throws LogicError at runtime (caught here at
+    lint time instead), and a catalogued-but-never-evaluated site means
+    the chaos stage probes dead code."""
+    findings = []
+    catalogue_path = root / "src" / "failpoint" / "failpoint.cpp"
+    if not catalogue_path.is_file():
+        return [("src/failpoint/failpoint.cpp", 1, "failpoint-site",
+                 "failpoint catalogue file is missing")]
+    match = re.search(r"kSites\[\]\s*=\s*\{(.*?)\n\};",
+                      catalogue_path.read_text(encoding="utf-8"), re.S)
+    if not match:
+        return [("src/failpoint/failpoint.cpp", 1, "failpoint-site",
+                 "could not locate the kSites catalogue")]
+    catalogued = set(FAILPOINT_SITE_RE.findall(match.group(1)))
+
+    used: dict[str, tuple[str, int]] = {}
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp", "bench/*.cpp",
+                    "bench/*.hpp", "tests/*.cpp", "examples/*.cpp"):
+        for path in sorted(root.glob(pattern)):
+            rel = path.relative_to(root).as_posix()
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for site in FAILPOINT_USE_RE.findall(line):
+                    used.setdefault(site, (rel, lineno))
+    for site in sorted(set(used) - catalogued):
+        rel, lineno = used[site]
+        findings.append(
+            (rel, lineno, "failpoint-site",
+             f'PQOS_FAILPOINT("{site}") is not in the failpoint catalogue')
+        )
+    for site in sorted(catalogued - set(used)):
+        findings.append(
+            ("src/failpoint/failpoint.cpp", 1, "failpoint-site",
+             f"catalogued site '{site}' is never evaluated anywhere")
+        )
+    return findings
+
+
 def lint_tree(root: Path, quiet: bool) -> int:
     findings = []
     scanned = 0
@@ -205,6 +259,7 @@ def lint_tree(root: Path, quiet: bool) -> int:
             ("tests/CMakeLists.txt", 1, "pragma-once",
              "pqos_header_selfcontain target missing from the build")
         )
+    findings.extend(check_failpoint_sites(root))
     for rel, lineno, rule, line in findings:
         print(f"{rel}:{lineno}: [{rule}] {line}")
     if not quiet or findings:
@@ -239,10 +294,14 @@ SELF_TESTS = [
      'std::ofstream dump("/tmp/trace.jsonl");\n', {"no-raw-file-io"}),
     ("fopen in sched", "src/sched/negotiator.cpp",
      'FILE* f = fopen("log.txt", "w");\n', {"no-raw-file-io"}),
-    ("trace jsonl is the export layer", "src/trace/jsonl.cpp",
-     "std::ofstream file(target);\n", set()),
-    ("result sink may open files", "src/runner/result_sink.cpp",
-     "std::ofstream file(target);\n", set()),
+    ("atomic_write owns the raw handle", "src/util/atomic_write.cpp",
+     "std::ofstream file(tmp, std::ios::binary);\n", set()),
+    ("trace jsonl must use atomic_write", "src/trace/jsonl.cpp",
+     "std::ofstream file(target);\n", {"no-raw-file-io"}),
+    ("result sinks must use atomic_write", "src/runner/result_sink.cpp",
+     "std::ofstream file(target);\n", {"no-raw-file-io"}),
+    ("bench writers must use atomic_write", "bench/harness.cpp",
+     "std::ofstream csv(path);\n", {"no-raw-file-io"}),
     ("ofstream in string ok", "src/core/simulator.cpp",
      'const char* doc = "std::ofstream";\n', set()),
     ("float in sim", "src/sim/engine.cpp",
@@ -257,6 +316,9 @@ SELF_TESTS = [
      "auto seed = time(nullptr);\n", {"no-wall-clock"}),
     ("runner may time itself", "src/runner/sweep_runner.cpp",
      "auto t0 = std::chrono::steady_clock::now();\n", set()),
+    ("failpoint delay may sleep", "src/failpoint/failpoint.cpp",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(p0));\n",
+     set()),
     ("engine now() is not a wall clock", "src/core/simulator.cpp",
      "const SimTime now = engine_.now();\n", set()),
     ("missing pragma once", "src/core/new_header.hpp",

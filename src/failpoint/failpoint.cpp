@@ -1,0 +1,298 @@
+#include "failpoint/failpoint.hpp"
+
+#include <atomic>
+#include <charconv>
+#include <chrono>  // pqos-lint: allow(no-wall-clock)
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace pqos::failpoint {
+
+namespace {
+
+// The fixed site catalogue, sorted by name. Every PQOS_FAILPOINT() in the
+// tree must name an entry here (pqos_lint.py cross-checks the literals);
+// evaluating an unknown name throws LogicError so a typo cannot silently
+// disarm a chaos test. Keep descriptions to one line: they are dumped by
+// `example_dump_trace --list-failpoints` for the chaos stage.
+constexpr SiteInfo kSites[] = {
+    {"failure.trace.read", "loading a failure trace file"},
+    {"failure.trace.write", "writing a failure trace file"},
+    {"runner.inputs.build", "per-replica workload/trace construction"},
+    {"runner.journal.append", "appending one record to the sweep journal"},
+    {"runner.journal.load", "loading the sweep journal for --resume"},
+    {"runner.pool.enqueue", "ThreadPool::submit, before the task queues"},
+    {"runner.pool.task", "worker task entry, after dequeue, before run"},
+    {"runner.sink.write", "result-sink file export (CSV/JSON, bench CSV)"},
+    {"runner.task.finish", "sweep cell end, after the simulation"},
+    {"runner.task.start", "sweep cell start, before the simulation"},
+    {"test.probe", "unit-test probe site; fired by tests and chaos_probe"},
+    {"trace.jsonl.read", "loading a JSONL event trace"},
+    {"trace.jsonl.write", "writing a JSONL event trace"},
+    {"util.atomic_write.commit", "atomic write, after fsync, before rename"},
+    {"util.atomic_write.write", "atomic write, before the tmp file opens"},
+    {"workload.swf.read", "loading an SWF workload log"},
+    {"workload.swf.write", "writing an SWF workload log"},
+};
+
+constexpr std::size_t kSiteCount = sizeof(kSites) / sizeof(kSites[0]);
+
+enum class Action : std::uint8_t { Off, Error, Throw, Abort, Delay, OneIn };
+
+/// Armed state of one site. Fields are individually atomic so evaluation
+/// never takes a lock; arming publishes the parameters first and the
+/// action kind last (release), and hit() reads the kind first (acquire),
+/// so a concurrent evaluation sees either the old action or the complete
+/// new one.
+struct SiteState {
+  std::atomic<Action> action{Action::Off};
+  std::atomic<std::uint64_t> p0{0};    // nth-hit / delay ms / one-in n
+  std::atomic<std::uint64_t> seed{0};  // one-in seed
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> fires{0};
+};
+
+SiteState g_states[kSiteCount];
+
+[[nodiscard]] std::string_view trimView(std::string_view text) {
+  while (!text.empty() &&
+         (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+[[nodiscard]] std::size_t indexOf(std::string_view site) {
+  for (std::size_t i = 0; i < kSiteCount; ++i) {
+    if (kSites[i].name == site) return i;
+  }
+  return kSiteCount;
+}
+
+[[nodiscard]] std::size_t requireSite(std::string_view site) {
+  const std::size_t index = indexOf(site);
+  if (index == kSiteCount) {
+    throw ConfigError("unknown failpoint site '" + std::string(site) +
+                      "' (list with example_dump_trace --list-failpoints)");
+  }
+  return index;
+}
+
+[[nodiscard]] std::uint64_t parseCount(std::string_view token,
+                                       std::string_view action) {
+  token = trimView(token);
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc{} || ptr != token.data() + token.size()) {
+    throw ConfigError("failpoint action '" + std::string(action) +
+                      "': malformed number '" + std::string(token) + "'");
+  }
+  return value;
+}
+
+/// Deterministic one-in-n trial for evaluation index `hit`: hash the
+/// (seed, hit) pair through splitmix64 so the firing pattern is a pure
+/// function of the armed seed, replayable across runs and processes.
+[[nodiscard]] bool oneInFires(std::uint64_t n, std::uint64_t seed,
+                              std::uint64_t hit) {
+  std::uint64_t state = seed ^ (hit * 0x9e3779b97f4a7c15ULL);
+  return n != 0 && splitmix64(state) % n == 0;
+}
+
+}  // namespace
+
+InjectedFault::InjectedFault(std::string site)
+    : std::runtime_error("failpoint " + site + ": injected error"),
+      site_(std::move(site)) {}
+
+std::span<const SiteInfo> catalogue() { return {kSites, kSiteCount}; }
+
+void arm(std::string_view site, std::string_view action) {
+  if (!kCompiled) {
+    throw ConfigError(
+        "failpoint injection is compiled out (-DPQOS_FAILPOINT=OFF); "
+        "rebuild with -DPQOS_FAILPOINT=ON to arm '" +
+        std::string(site) + "'");
+  }
+  const std::size_t index = requireSite(trimView(site));
+  action = trimView(action);
+
+  Action kind = Action::Off;
+  std::uint64_t p0 = 0;
+  std::uint64_t seed = 0;
+
+  std::string_view head = action;
+  std::string_view args;
+  const std::size_t paren = action.find('(');
+  if (paren != std::string_view::npos) {
+    if (action.back() != ')') {
+      throw ConfigError("failpoint action '" + std::string(action) +
+                        "': missing ')'");
+    }
+    head = trimView(action.substr(0, paren));
+    args = action.substr(paren + 1, action.size() - paren - 2);
+  }
+
+  if (head == "error" || head == "throw" || head == "abort") {
+    kind = head == "error"   ? Action::Error
+           : head == "throw" ? Action::Throw
+                             : Action::Abort;
+    // Optional (n): fire on the n-th evaluation only; bare = every one.
+    if (paren != std::string_view::npos) {
+      p0 = parseCount(args, action);
+      if (p0 == 0) {
+        throw ConfigError("failpoint action '" + std::string(action) +
+                          "': hit index is 1-based");
+      }
+    }
+  } else if (head == "delay") {
+    if (paren == std::string_view::npos) {
+      throw ConfigError("failpoint action 'delay' requires (ms)");
+    }
+    kind = Action::Delay;
+    p0 = parseCount(args, action);
+  } else if (head == "one-in") {
+    const std::size_t comma = args.find(',');
+    if (paren == std::string_view::npos ||
+        comma == std::string_view::npos) {
+      throw ConfigError("failpoint action 'one-in' requires (n,seed)");
+    }
+    kind = Action::OneIn;
+    p0 = parseCount(args.substr(0, comma), action);
+    seed = parseCount(args.substr(comma + 1), action);
+    if (p0 == 0) {
+      throw ConfigError("failpoint action 'one-in': n must be >= 1");
+    }
+  } else {
+    throw ConfigError(
+        "unknown failpoint action '" + std::string(action) +
+        "' (expected error | throw | abort | delay(ms) | one-in(n,seed))");
+  }
+
+  SiteState& state = g_states[index];
+  state.hits.store(0, std::memory_order_relaxed);
+  state.fires.store(0, std::memory_order_relaxed);
+  state.p0.store(p0, std::memory_order_relaxed);
+  state.seed.store(seed, std::memory_order_relaxed);
+  state.action.store(kind, std::memory_order_release);
+}
+
+void armFromSpec(std::string_view spec) {
+  std::size_t begin = 0;
+  while (begin <= spec.size()) {
+    std::size_t end = spec.find(';', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    const std::string_view entry = trimView(spec.substr(begin, end - begin));
+    begin = end + 1;
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string_view::npos) {
+      throw ConfigError("failpoint spec entry '" + std::string(entry) +
+                        "': expected site=action");
+    }
+    arm(entry.substr(0, eq), entry.substr(eq + 1));
+  }
+}
+
+std::size_t armFromEnv() {
+  const char* spec = std::getenv("PQOS_FAILPOINTS");
+  if (spec == nullptr || *spec == '\0') return 0;
+  armFromSpec(spec);
+  std::size_t armed = 0;
+  for (const SiteState& state : g_states) {
+    if (state.action.load(std::memory_order_relaxed) != Action::Off) {
+      ++armed;
+    }
+  }
+  return armed;
+}
+
+void disarm(std::string_view site) {
+  g_states[requireSite(trimView(site))].action.store(
+      Action::Off, std::memory_order_release);
+}
+
+void disarmAll() {
+  for (SiteState& state : g_states) {
+    state.action.store(Action::Off, std::memory_order_release);
+  }
+}
+
+std::uint64_t hitCount(std::string_view site) {
+  return g_states[requireSite(trimView(site))].hits.load(
+      std::memory_order_relaxed);
+}
+
+std::uint64_t fireCount(std::string_view site) {
+  return g_states[requireSite(trimView(site))].fires.load(
+      std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void hit(std::string_view site) {
+  const std::size_t index = indexOf(site);
+  if (index == kSiteCount) {
+    throw LogicError("PQOS_FAILPOINT: site '" + std::string(site) +
+                     "' is not in the failpoint catalogue");
+  }
+  SiteState& state = g_states[index];
+  const std::uint64_t hitIndex =
+      state.hits.fetch_add(1, std::memory_order_relaxed);
+  const Action action = state.action.load(std::memory_order_acquire);
+  if (action == Action::Off) return;
+
+  const std::uint64_t p0 = state.p0.load(std::memory_order_relaxed);
+  switch (action) {
+    case Action::Off:
+      return;
+    case Action::Error:
+    case Action::Throw:
+    case Action::Abort:
+      // p0 == 0: fire every evaluation; else only the p0-th (1-based).
+      if (p0 != 0 && hitIndex + 1 != p0) return;
+      break;
+    case Action::Delay:
+      break;
+    case Action::OneIn:
+      if (!oneInFires(p0, state.seed.load(std::memory_order_relaxed),
+                      hitIndex)) {
+        return;
+      }
+      break;
+  }
+  state.fires.fetch_add(1, std::memory_order_relaxed);
+
+  switch (action) {
+    case Action::Off:
+      return;
+    case Action::Error:
+    case Action::OneIn:
+      throw InjectedFault(std::string(site));
+    case Action::Throw:
+      throw std::runtime_error("failpoint " + std::string(site) +
+                               ": injected exception");
+    case Action::Abort:
+      // The logger is level-gated (Off by default); an induced crash must
+      // always announce itself, so write stderr directly and flush before
+      // abort() raises SIGABRT.
+      std::fprintf(stderr, "failpoint %.*s: injected abort\n",  // pqos-lint: allow(no-console-io)
+                   static_cast<int>(site.size()), site.data());
+      std::fflush(stderr);
+      std::abort();
+    case Action::Delay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(p0));  // pqos-lint: allow(no-wall-clock)
+      return;
+  }
+}
+
+}  // namespace detail
+
+}  // namespace pqos::failpoint

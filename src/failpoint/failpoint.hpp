@@ -1,0 +1,120 @@
+// Deterministic fault injection (pqos::failpoint).
+//
+// The paper's premise is surviving failures mid-computation, so the
+// experiment harness must tolerate its own faults — and that tolerance
+// must be testable on demand. A *failpoint* is a named site in the code
+// (`PQOS_FAILPOINT("runner.sink.write")`) that normally costs one atomic
+// increment and can be armed, from the environment or programmatically,
+// to misbehave in a controlled, replayable way:
+//
+//   site=error        throw failpoint::InjectedFault on every evaluation
+//   site=error(n)     ... only on the n-th evaluation (1-based)
+//   site=throw        throw a plain std::runtime_error (a *foreign*
+//   site=throw(n)     exception type, exercising generic catch paths)
+//   site=abort        print a notice to stderr and std::abort() — the
+//   site=abort(n)     crash driver for kill/resume torture tests
+//   site=delay(ms)    sleep `ms` wall milliseconds (watchdog exercise)
+//   site=one-in(n,s)  throw InjectedFault on ~1/n of evaluations, chosen
+//                     by hashing the site's evaluation index with seed `s`
+//                     — deterministic and replayable, never wall-clock
+//
+// Multiple sites combine with ';' (`PQOS_FAILPOINTS="a=error;b=delay(5)"`).
+// Sites form a fixed compile-time catalogue (enumerable via
+// `example_dump_trace --list-failpoints`, cross-checked by pqos_lint.py);
+// evaluating an uncatalogued name throws LogicError so a typo cannot
+// silently disarm a chaos test.
+//
+// Gating follows the util/audit and pqos::trace idiom: the library is
+// always compiled and unit-tested, but PQOS_FAILPOINT() sites are
+// discarded by `if constexpr` unless the tree is configured with
+// -DPQOS_FAILPOINT=ON (the default), so an OFF build carries no
+// injection code in any path. arm() throws ConfigError in an OFF build:
+// requesting injection that cannot happen must be loud, never silent.
+//
+// This subsystem sits *below* util (util::atomic_write carries sites), so
+// it depends only on header-only helpers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/error.hpp"
+
+namespace pqos::failpoint {
+
+/// True when the tree was configured with -DPQOS_FAILPOINT=ON (the
+/// default) and PQOS_FAILPOINT() sites are compiled in.
+#if defined(PQOS_FAILPOINT_ENABLED)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+/// The exception an `error` / `one-in` action throws: a recoverable,
+/// injected runtime failure, distinguishable from genuine errors by type
+/// and by the site name it carries.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(std::string site);
+
+  [[nodiscard]] const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// One catalogue entry. Names are dot-separated, lowercase, and stable:
+/// chaos tooling and PQOS_FAILPOINTS specs refer to them verbatim.
+struct SiteInfo {
+  std::string_view name;
+  std::string_view description;
+};
+
+/// The full, name-sorted site catalogue. Available in every build (it is
+/// plain data); whether sites can actually fire depends on kCompiled.
+[[nodiscard]] std::span<const SiteInfo> catalogue();
+
+/// Parses and arms one action at one site. Throws ConfigError for an
+/// unknown site, a malformed action, or when injection is compiled out.
+/// Arming resets the site's evaluation and fire counters.
+void arm(std::string_view site, std::string_view action);
+
+/// Arms every `site=action` pair in a ';'-separated spec (blank entries
+/// are ignored). Throws ConfigError on the first malformed entry.
+void armFromSpec(std::string_view spec);
+
+/// Arms from the PQOS_FAILPOINTS environment variable; a missing or empty
+/// variable is a no-op. Returns the number of sites armed.
+std::size_t armFromEnv();
+
+/// Disarms one site / every site. Unknown names throw ConfigError.
+void disarm(std::string_view site);
+void disarmAll();
+
+/// Evaluations / injected firings at `site` since it was last armed (or
+/// since process start when never armed). Unknown names throw ConfigError.
+[[nodiscard]] std::uint64_t hitCount(std::string_view site);
+[[nodiscard]] std::uint64_t fireCount(std::string_view site);
+
+namespace detail {
+
+/// Evaluates the site: counts the hit and performs the armed action, if
+/// any. Throws LogicError for a name missing from the catalogue.
+void hit(std::string_view site);
+
+}  // namespace detail
+
+}  // namespace pqos::failpoint
+
+/// A named fault-injection site. Compiles to nothing when the tree is
+/// configured with -DPQOS_FAILPOINT=OFF; otherwise one relaxed atomic
+/// increment when the site is disarmed.
+#define PQOS_FAILPOINT(site)                      \
+  do {                                            \
+    if constexpr (::pqos::failpoint::kCompiled) { \
+      ::pqos::failpoint::detail::hit(site);       \
+    }                                             \
+  } while (false)

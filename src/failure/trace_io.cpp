@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "failpoint/failpoint.hpp"
+#include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -26,9 +28,10 @@ void writeTrace(std::ostream& out, const FailureTrace& trace,
 
 void writeTraceFile(const std::string& path, const FailureTrace& trace,
                     const std::string& headerComment) {
-  std::ofstream file(path);
-  if (!file) throw ConfigError("cannot open trace output file: " + path);
-  writeTrace(file, trace, headerComment);
+  PQOS_FAILPOINT("failure.trace.write");
+  atomicWriteFile(path, [&](std::ostream& os) {
+    writeTrace(os, trace, headerComment);
+  });
 }
 
 FailureTrace parseTrace(std::istream& in, int nodeCount) {
@@ -61,6 +64,7 @@ FailureTrace parseTrace(std::istream& in, int nodeCount) {
 }
 
 FailureTrace loadTraceFile(const std::string& path, int nodeCount) {
+  PQOS_FAILPOINT("failure.trace.read");
   std::ifstream file(path);
   if (!file) throw ConfigError("cannot open trace file: " + path);
   return parseTrace(file, nodeCount);

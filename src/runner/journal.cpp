@@ -1,0 +1,444 @@
+#include "runner/journal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <charconv>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "failpoint/failpoint.hpp"
+#include "trace/event.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::runner {
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+std::string toHex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+void writeSimResultJson(JsonWriter& json, const core::SimResult& r) {
+  json.beginObject();
+  json.field("qos", r.qos);
+  json.field("utilization", r.utilization);
+  json.field("lostWork", r.lostWork);
+  json.field("jobCount", r.jobCount);
+  json.field("completedJobs", r.completedJobs);
+  json.field("deadlinesMet", r.deadlinesMet);
+  json.field("failureEvents", r.failureEvents);
+  json.field("jobKillingFailures", r.jobKillingFailures);
+  json.field("checkpointsPerformed", r.checkpointsPerformed);
+  json.field("checkpointsSkipped", r.checkpointsSkipped);
+  json.field("totalRestarts", r.totalRestarts);
+  json.field("meanPromisedSuccess", r.meanPromisedSuccess);
+  json.field("meanWaitTime", r.meanWaitTime);
+  json.field("meanBoundedSlowdown", r.meanBoundedSlowdown);
+  json.field("meanNegotiationRounds", r.meanNegotiationRounds);
+  json.field("span", r.span);
+  json.field("totalWork", r.totalWork);
+  json.field("traceExhausted", r.traceExhausted);
+  // Per-subsystem observability counters (pqos::trace). Emitted only when
+  // the tracing hooks are compiled in, so a -DPQOS_TRACE=OFF build writes
+  // byte-identical results to a pre-trace tree.
+  if constexpr (pqos::trace::kCompiled) {
+    json.key("trace").beginObject();
+    for (std::size_t i = 0; i < pqos::trace::kKindCount; ++i) {
+      const auto kind = static_cast<pqos::trace::Kind>(i);
+      json.field(pqos::trace::kindName(kind),
+                 static_cast<long long>(r.traceCounts.of(kind)));
+    }
+    json.endObject();
+  }
+  json.endObject();
+}
+
+namespace {
+
+/// Strict cursor over one compact JSON value; every mismatch throws
+/// ParseError naming the context the caller supplied.
+class Cursor {
+ public:
+  Cursor(std::string_view text, std::string context)
+      : text_(text), context_(std::move(context)) {}
+
+  void expect(std::string_view token) {
+    if (text_.substr(pos_, token.size()) != token) {
+      fail("expected '" + std::string(token) + "'");
+    }
+    pos_ += token.size();
+  }
+
+  [[nodiscard]] bool peek(std::string_view token) const {
+    return text_.substr(pos_, token.size()) == token;
+  }
+
+  /// Raw characters up to the next ',' or '}' (a JSON number token).
+  [[nodiscard]] std::string_view numberToken(std::string_view field) {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != ',' && text_[pos_] != '}') {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (token.empty()) fail("empty value for field " + std::string(field));
+    return token;
+  }
+
+  [[nodiscard]] double numberDouble(std::string_view field) {
+    return parseDouble(numberToken(field),
+                       context_ + " field " + std::string(field));
+  }
+
+  [[nodiscard]] std::uint64_t numberU64(std::string_view field) {
+    const std::string_view token = numberToken(field);
+    std::uint64_t value = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || end != token.data() + token.size()) {
+      fail("non-integral value for field " + std::string(field));
+    }
+    return value;
+  }
+
+  [[nodiscard]] long long numberLL(std::string_view field) {
+    const std::string_view token = numberToken(field);
+    long long value = 0;
+    const auto [end, ec] =
+        std::from_chars(token.data(), token.data() + token.size(), value);
+    if (ec != std::errc{} || end != token.data() + token.size()) {
+      fail("non-integral value for field " + std::string(field));
+    }
+    return value;
+  }
+
+  [[nodiscard]] bool boolean(std::string_view field) {
+    if (peek("true")) {
+      pos_ += 4;
+      return true;
+    }
+    if (peek("false")) {
+      pos_ += 5;
+      return false;
+    }
+    fail("expected boolean for field " + std::string(field));
+  }
+
+  /// Quoted string without escapes (digests and schema names never need
+  /// them).
+  [[nodiscard]] std::string_view quoted(std::string_view field) {
+    expect("\"");
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') {
+        fail("unexpected escape in field " + std::string(field));
+      }
+      ++pos_;
+    }
+    if (pos_ >= text_.size()) fail("unterminated string");
+    const std::string_view token = text_.substr(start, pos_ - start);
+    ++pos_;  // closing quote
+    return token;
+  }
+
+  void end() {
+    if (pos_ != text_.size()) fail("trailing characters");
+  }
+
+  [[nodiscard]] std::size_t position() const { return pos_; }
+  [[nodiscard]] std::string_view rest() const { return text_.substr(pos_); }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ParseError(context_ + ": " + what);
+  }
+
+ private:
+  std::string_view text_;
+  std::string context_;
+  std::size_t pos_ = 0;
+};
+
+[[nodiscard]] core::SimResult parseSimResult(Cursor& cursor) {
+  core::SimResult r;
+  cursor.expect("{\"qos\":");
+  r.qos = cursor.numberDouble("qos");
+  cursor.expect(",\"utilization\":");
+  r.utilization = cursor.numberDouble("utilization");
+  cursor.expect(",\"lostWork\":");
+  r.lostWork = cursor.numberDouble("lostWork");
+  cursor.expect(",\"jobCount\":");
+  r.jobCount = cursor.numberU64("jobCount");
+  cursor.expect(",\"completedJobs\":");
+  r.completedJobs = cursor.numberU64("completedJobs");
+  cursor.expect(",\"deadlinesMet\":");
+  r.deadlinesMet = cursor.numberU64("deadlinesMet");
+  cursor.expect(",\"failureEvents\":");
+  r.failureEvents = cursor.numberU64("failureEvents");
+  cursor.expect(",\"jobKillingFailures\":");
+  r.jobKillingFailures = cursor.numberU64("jobKillingFailures");
+  cursor.expect(",\"checkpointsPerformed\":");
+  r.checkpointsPerformed = cursor.numberLL("checkpointsPerformed");
+  cursor.expect(",\"checkpointsSkipped\":");
+  r.checkpointsSkipped = cursor.numberLL("checkpointsSkipped");
+  cursor.expect(",\"totalRestarts\":");
+  r.totalRestarts = cursor.numberLL("totalRestarts");
+  cursor.expect(",\"meanPromisedSuccess\":");
+  r.meanPromisedSuccess = cursor.numberDouble("meanPromisedSuccess");
+  cursor.expect(",\"meanWaitTime\":");
+  r.meanWaitTime = cursor.numberDouble("meanWaitTime");
+  cursor.expect(",\"meanBoundedSlowdown\":");
+  r.meanBoundedSlowdown = cursor.numberDouble("meanBoundedSlowdown");
+  cursor.expect(",\"meanNegotiationRounds\":");
+  r.meanNegotiationRounds = cursor.numberDouble("meanNegotiationRounds");
+  cursor.expect(",\"span\":");
+  r.span = cursor.numberDouble("span");
+  cursor.expect(",\"totalWork\":");
+  r.totalWork = cursor.numberDouble("totalWork");
+  cursor.expect(",\"traceExhausted\":");
+  r.traceExhausted = cursor.boolean("traceExhausted");
+  if constexpr (pqos::trace::kCompiled) {
+    cursor.expect(",\"trace\":{");
+    for (std::size_t i = 0; i < pqos::trace::kKindCount; ++i) {
+      if (i > 0) cursor.expect(",");
+      const auto kind = static_cast<pqos::trace::Kind>(i);
+      cursor.expect("\"");
+      cursor.expect(pqos::trace::kindName(kind));
+      cursor.expect("\":");
+      r.traceCounts.at(kind) = cursor.numberU64(pqos::trace::kindName(kind));
+    }
+    cursor.expect("}");
+  }
+  cursor.expect("}");
+  return r;
+}
+
+[[nodiscard]] std::string serializeResult(const core::SimResult& result) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  writeSimResultJson(json, result);
+  return os.str();
+}
+
+}  // namespace
+
+core::SimResult parseSimResultJson(std::string_view text,
+                                   const std::string& context) {
+  Cursor cursor(text, context);
+  core::SimResult result = parseSimResult(cursor);
+  cursor.end();
+  return result;
+}
+
+std::string journalHeaderLine(std::string_view specDigest) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  json.beginObject();
+  json.field("schema", kJournalSchema);
+  json.field("spec", specDigest);
+  json.endObject();
+  return os.str();
+}
+
+std::string journalRecordLine(const CellKey& key,
+                              const core::SimResult& result) {
+  const std::string payload = serializeResult(result);
+  std::ostringstream os;
+  os << "{\"rep\":" << key.rep << ",\"ai\":" << key.ai << ",\"ui\":" << key.ui
+     << ",\"digest\":\"" << toHex64(fnv1a64(payload)) << "\",\"result\":"
+     << payload << "}";
+  return os.str();
+}
+
+namespace {
+
+/// Parses one record line into (key, result), verifying the embedded
+/// digest against the serialized result bytes.
+[[nodiscard]] std::pair<CellKey, core::SimResult> parseRecordLine(
+    std::string_view line, std::size_t lineNo) {
+  const std::string context = "journal line " + std::to_string(lineNo);
+  Cursor cursor(line, context);
+  CellKey key;
+  cursor.expect("{\"rep\":");
+  key.rep = cursor.numberU64("rep");
+  cursor.expect(",\"ai\":");
+  key.ai = cursor.numberU64("ai");
+  cursor.expect(",\"ui\":");
+  key.ui = cursor.numberU64("ui");
+  cursor.expect(",\"digest\":");
+  const std::string digest(cursor.quoted("digest"));
+  cursor.expect(",\"result\":");
+  const std::size_t resultStart = cursor.position();
+  const core::SimResult result = parseSimResult(cursor);
+  const std::string_view payload =
+      line.substr(resultStart, cursor.position() - resultStart);
+  cursor.expect("}");
+  cursor.end();
+  if (toHex64(fnv1a64(payload)) != digest) {
+    throw ParseError(context + ": result digest mismatch");
+  }
+  // Belt and braces: the parsed result must serialize back to the exact
+  // digested bytes, or a resumed sweep could not reproduce sink output.
+  if (serializeResult(result) != payload) {
+    throw ParseError(context + ": result does not round-trip");
+  }
+  return {key, result};
+}
+
+void parseHeaderLine(std::string_view line, std::string_view specDigest) {
+  Cursor cursor(line, "journal line 1");
+  cursor.expect("{\"schema\":");
+  const std::string_view schema = cursor.quoted("schema");
+  if (schema != kJournalSchema) {
+    throw ConfigError("journal schema mismatch: expected '" +
+                      std::string(kJournalSchema) + "', found '" +
+                      std::string(schema) + "'");
+  }
+  cursor.expect(",\"spec\":");
+  const std::string_view spec = cursor.quoted("spec");
+  cursor.expect("}");
+  cursor.end();
+  if (spec != specDigest) {
+    throw ConfigError(
+        "journal was written for a different sweep spec (journal spec " +
+        std::string(spec) + ", current spec " + std::string(specDigest) +
+        "); delete the journal or rerun the original sweep");
+  }
+}
+
+}  // namespace
+
+JournalLoad loadJournal(const std::string& path, std::string_view specDigest) {
+  PQOS_FAILPOINT("runner.journal.load");
+  JournalLoad load;
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return load;  // missing journal: nothing to resume
+
+  // Slurp the whole file so a torn final line (no trailing newline, or a
+  // line cut mid-record by a crash during append) is detectable.
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  const std::string text = buffer.str();
+  if (text.empty()) return load;
+
+  std::vector<std::pair<std::string_view, bool>> lines;  // (line, complete)
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.emplace_back(std::string_view(text).substr(start), false);
+      break;
+    }
+    lines.emplace_back(std::string_view(text).substr(start, nl - start), true);
+    start = nl + 1;
+  }
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const auto [line, complete] = lines[i];
+    const bool last = i + 1 == lines.size();
+    const std::size_t lineNo = i + 1;
+    try {
+      if (i == 0) {
+        parseHeaderLine(line, specDigest);
+      } else {
+        auto [key, result] = parseRecordLine(line, lineNo);
+        load.cells.insert_or_assign(key, std::move(result));
+      }
+    } catch (const ConfigError&) {
+      // A *complete, well-formed* header naming the wrong schema or spec is
+      // never a torn write; resuming against it would be silent corruption.
+      throw;
+    } catch (const ParseError& err) {
+      if (last && !complete) {
+        // The crash interrupted the final append; the record it was
+        // writing never committed, so dropping it is exactly correct.
+        load.warnings.push_back("journal " + path + ": dropped torn final " +
+                                "line " + std::to_string(lineNo) + " (" +
+                                err.what() + ")");
+        break;
+      }
+      throw ConfigError("journal " + path + " is corrupt: " + err.what());
+    }
+  }
+  return load;
+}
+
+// --- JournalWriter --------------------------------------------------------
+
+namespace {
+
+void fsyncParentDir(const std::filesystem::path& target) {
+  const std::filesystem::path parent = target.parent_path();
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+JournalWriter::JournalWriter(std::string path, std::string_view specDigest,
+                             bool fresh)
+    : path_(std::move(path)) {
+  namespace fs = std::filesystem;
+  const fs::path target(path_);
+  const fs::path parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw ConfigError("cannot create journal directory " + parent.string() +
+                        ": " + ec.message());
+    }
+  }
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (fresh ? O_TRUNC : 0);
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw ConfigError("cannot open sweep journal: " + path_);
+  fsyncParentDir(target);  // persist the file's existence itself
+  if (fresh) writeLine(journalHeaderLine(specDigest));
+}
+
+JournalWriter::~JournalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void JournalWriter::append(const CellKey& key, const core::SimResult& result) {
+  PQOS_FAILPOINT("runner.journal.append");
+  writeLine(journalRecordLine(key, result));
+}
+
+void JournalWriter::writeLine(const std::string& line) {
+  const std::string record = line + "\n";
+  std::size_t written = 0;
+  while (written < record.size()) {
+    const ::ssize_t n =
+        ::write(fd_, record.data() + written, record.size() - written);
+    if (n < 0) throw ConfigError("error appending to sweep journal: " + path_);
+    written += static_cast<std::size_t>(n);
+  }
+  // Per-record durability: once append() returns, a crash at any later
+  // instant cannot lose this cell.
+  if (::fsync(fd_) != 0) {
+    throw ConfigError("cannot fsync sweep journal: " + path_);
+  }
+}
+
+}  // namespace pqos::runner

@@ -1,0 +1,119 @@
+// The sweep journal (schema pqos-journal-v1): crash-tolerant progress
+// record for SweepRunner.
+//
+// An append-only JSONL file, fsync'd per record, that makes a sweep
+// resumable after any crash:
+//
+//   {"schema":"pqos-journal-v1","spec":"<fnv1a64 hex of the spec>"}
+//   {"rep":0,"ai":0,"ui":0,"digest":"<fnv1a64 hex>","result":{...}}
+//   ...
+//
+// One record per completed (replica, accuracy-index, risk-index) cell.
+// `result` is the complete SimResult in the exact field set and order the
+// JSON result sink writes (shared writeSimResultJson below), and doubles
+// print in shortest-round-trip form, so a resumed sweep that replays
+// journal records produces byte-identical final output to an
+// uninterrupted run. `digest` covers the serialized result; `spec` pins
+// the journal to one sweep definition (model, inputs, grid, reps — not
+// thread count, which must not affect results).
+//
+// Load semantics: a missing file is an empty journal; a torn *final* line
+// (the crash interrupted an append) is dropped with a warning; any other
+// malformed or digest-mismatching line is a hard ConfigError — silent
+// corruption must never resurrect wrong results.
+//
+// The writer deliberately bypasses util::atomic_write (which is for
+// whole-file artifacts): an append-only journal needs a raw O_APPEND
+// descriptor with fsync after every record so each completed cell
+// survives an immediately-following crash.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/metrics.hpp"
+
+namespace pqos {
+class JsonWriter;
+}  // namespace pqos
+
+namespace pqos::runner {
+
+inline constexpr std::string_view kJournalSchema = "pqos-journal-v1";
+
+/// FNV-1a 64-bit over `bytes`; the journal's integrity digest. Stable
+/// across platforms and runs (no seeding).
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Fixed-width (16 digit) lowercase hex.
+[[nodiscard]] std::string toHex64(std::uint64_t value);
+
+/// Identifies one sweep cell by replica and grid indices (accuracy-major,
+/// risk-minor — the same slot order SweepRunner uses).
+struct CellKey {
+  std::size_t rep = 0;
+  std::size_t ai = 0;
+  std::size_t ui = 0;
+
+  friend auto operator<=>(const CellKey&, const CellKey&) = default;
+};
+
+/// Serializes a SimResult with the exact field set and order of the JSON
+/// result sink (including the trace-counter block when tracing is
+/// compiled in). Shared by JsonResultSink and the journal so a resumed
+/// sweep reproduces sink output byte-for-byte.
+void writeSimResultJson(JsonWriter& json, const core::SimResult& result);
+
+/// Parses writeSimResultJson output (compact, indent = 0). Strict: any
+/// shape drift throws ParseError naming `context`. Round-trip exact —
+/// serialize(parse(s)) == s.
+[[nodiscard]] core::SimResult parseSimResultJson(std::string_view text,
+                                                 const std::string& context);
+
+/// One journal line (no trailing newline).
+[[nodiscard]] std::string journalHeaderLine(std::string_view specDigest);
+[[nodiscard]] std::string journalRecordLine(const CellKey& key,
+                                            const core::SimResult& result);
+
+struct JournalLoad {
+  std::map<CellKey, core::SimResult> cells;  // duplicate records: last wins
+  std::vector<std::string> warnings;         // e.g. a dropped torn tail
+};
+
+/// Loads a journal for --resume. A missing file yields an empty load; a
+/// header schema/spec mismatch or mid-file corruption throws ConfigError;
+/// a torn final line is dropped with a warning. Evaluates the
+/// `runner.journal.load` failpoint.
+[[nodiscard]] JournalLoad loadJournal(const std::string& path,
+                                      std::string_view specDigest);
+
+/// Append-only, per-record-fsync'd journal writer.
+class JournalWriter {
+ public:
+  /// Opens `path` (creating parent directories). `fresh` truncates and
+  /// writes a new header; otherwise appends to the existing journal
+  /// (which a prior loadJournal validated). Throws ConfigError on I/O
+  /// failure.
+  JournalWriter(std::string path, std::string_view specDigest, bool fresh);
+  ~JournalWriter();
+
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  /// Appends one completed cell and fsyncs before returning, so the
+  /// record survives a crash the instant append() returns. Evaluates the
+  /// `runner.journal.append` failpoint. Not thread-safe; SweepRunner
+  /// serializes appends under its progress mutex.
+  void append(const CellKey& key, const core::SimResult& result);
+
+ private:
+  void writeLine(const std::string& line);
+
+  std::string path_;
+  int fd_ = -1;
+};
+
+}  // namespace pqos::runner

@@ -1,11 +1,11 @@
 #include "runner/result_sink.hpp"
 
-#include <filesystem>
-#include <fstream>
 #include <iostream>
 
+#include "failpoint/failpoint.hpp"
+#include "runner/journal.hpp"
 #include "runner/provenance.hpp"
-#include "trace/event.hpp"
+#include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -15,22 +15,10 @@ namespace pqos::runner {
 
 void writeFileWithParents(const std::string& path,
                           const std::function<void(std::ostream&)>& body) {
-  namespace fs = std::filesystem;
-  const fs::path target(path);
-  const fs::path parent = target.parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    fs::create_directories(parent, ec);
-    if (ec) {
-      throw ConfigError("cannot create output directory " + parent.string() +
-                        ": " + ec.message());
-    }
-  }
-  std::ofstream file(target);
-  if (!file) throw ConfigError("cannot open output file: " + path);
-  body(file);
-  file.flush();
-  if (!file) throw ConfigError("error writing output file: " + path);
+  PQOS_FAILPOINT("runner.sink.write");
+  // Crash-atomic: a killed process leaves the previous content (or no
+  // file), never a truncated CSV/JSON that parses as a complete result.
+  atomicWriteFile(path, body);
 }
 
 // --- ProgressSink ---------------------------------------------------------
@@ -121,41 +109,6 @@ void writeSimConfig(JsonWriter& json, const core::SimConfig& config) {
   json.endObject();
 }
 
-void writeSimResult(JsonWriter& json, const core::SimResult& r) {
-  json.beginObject();
-  json.field("qos", r.qos);
-  json.field("utilization", r.utilization);
-  json.field("lostWork", r.lostWork);
-  json.field("jobCount", r.jobCount);
-  json.field("completedJobs", r.completedJobs);
-  json.field("deadlinesMet", r.deadlinesMet);
-  json.field("failureEvents", r.failureEvents);
-  json.field("jobKillingFailures", r.jobKillingFailures);
-  json.field("checkpointsPerformed", r.checkpointsPerformed);
-  json.field("checkpointsSkipped", r.checkpointsSkipped);
-  json.field("totalRestarts", r.totalRestarts);
-  json.field("meanPromisedSuccess", r.meanPromisedSuccess);
-  json.field("meanWaitTime", r.meanWaitTime);
-  json.field("meanBoundedSlowdown", r.meanBoundedSlowdown);
-  json.field("meanNegotiationRounds", r.meanNegotiationRounds);
-  json.field("span", r.span);
-  json.field("totalWork", r.totalWork);
-  json.field("traceExhausted", r.traceExhausted);
-  // Per-subsystem observability counters (pqos::trace). Emitted only when
-  // the tracing hooks are compiled in, so a -DPQOS_TRACE=OFF build writes
-  // byte-identical results to a pre-trace tree.
-  if constexpr (pqos::trace::kCompiled) {
-    json.key("trace").beginObject();
-    for (std::size_t i = 0; i < pqos::trace::kKindCount; ++i) {
-      const auto kind = static_cast<pqos::trace::Kind>(i);
-      json.field(pqos::trace::kindName(kind),
-                 static_cast<long long>(r.traceCounts.of(kind)));
-    }
-    json.endObject();
-  }
-  json.endObject();
-}
-
 void writeStats(JsonWriter& json, const PointResult& point,
                 double (*metric)(const core::SimResult&)) {
   const auto stats = point.stats(metric);
@@ -185,6 +138,17 @@ void JsonResultSink::onSweepEnd(const SweepResult& result) {
     json.field("buildType", buildType());
     json.field("compiler", compilerId());
     json.field("wallSeconds", result.wallSeconds);
+    // Degradation provenance: only present when some sink (or the
+    // journal) was quarantined, so clean runs stay byte-identical to
+    // output from before this block existed.
+    if (result.partial()) {
+      json.field("status", "partial");
+      json.key("quarantinedSinks").beginArray();
+      for (const auto& sinkName : result.quarantinedSinks) {
+        json.value(sinkName);
+      }
+      json.endArray();
+    }
 
     json.key("spec").beginObject();
     json.field("model", result.spec.model);
@@ -224,7 +188,9 @@ void JsonResultSink::onSweepEnd(const SweepResult& result) {
                  [](const core::SimResult& r) { return r.lostWork; });
       json.endObject();
       json.key("reps").beginArray();
-      for (const auto& rep : point.reps) writeSimResult(json, rep);
+      // Shared with the sweep journal (runner/journal.hpp) so a resumed
+      // sweep reproduces these bytes from journal records alone.
+      for (const auto& rep : point.reps) writeSimResultJson(json, rep);
       json.endArray();
       json.endObject();
     }

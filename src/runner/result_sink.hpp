@@ -19,6 +19,10 @@ class ResultSink {
  public:
   virtual ~ResultSink() = default;
 
+  /// Stable identifier used in quarantine notices and the "partial"
+  /// provenance block ("progress", "csv:<path>", ...).
+  [[nodiscard]] virtual std::string name() const { return "sink"; }
+
   /// `pending` carries spec/options/seeds; points are not yet populated.
   virtual void onSweepBegin(const SweepResult& pending) { (void)pending; }
   virtual void onTaskComplete(const TaskProgress& progress) {
@@ -34,6 +38,7 @@ class ProgressSink final : public ResultSink {
   ProgressSink();  // stderr
   explicit ProgressSink(std::ostream& os);
 
+  [[nodiscard]] std::string name() const override { return "progress"; }
   void onSweepBegin(const SweepResult& pending) override;
   void onTaskComplete(const TaskProgress& progress) override;
   void onSweepEnd(const SweepResult& result) override;
@@ -50,6 +55,7 @@ class CsvResultSink final : public ResultSink {
  public:
   explicit CsvResultSink(std::string path);
 
+  [[nodiscard]] std::string name() const override { return "csv:" + path_; }
   void onSweepEnd(const SweepResult& result) override;
 
  private:
@@ -77,6 +83,7 @@ class JsonResultSink final : public ResultSink {
  public:
   explicit JsonResultSink(std::string path);
 
+  [[nodiscard]] std::string name() const override { return "json:" + path_; }
   void onSweepEnd(const SweepResult& result) override;
 
  private:

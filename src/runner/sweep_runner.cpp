@@ -1,15 +1,26 @@
 #include "runner/sweep_runner.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <exception>
 #include <future>
+#include <memory>
 #include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
 #include <utility>
 
+#include "failpoint/failpoint.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/thread_pool.hpp"
+#include "trace/event.hpp"
 #include "util/error.hpp"
+#include "util/json.hpp"
 #include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace pqos::runner {
 
@@ -47,10 +58,101 @@ void SweepRunner::addSink(ResultSink* sink) {
   sinks_.push_back(sink);
 }
 
+std::string sweepSpecDigest(const SweepSpec& spec, std::size_t reps) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  json.beginObject();
+  json.field("model", spec.model);
+  json.field("jobCount", spec.jobCount);
+  json.field("seed", spec.seed);
+  json.field("machineSize", spec.machineSize);
+  json.field("failuresPerYear", spec.failuresPerYear);
+  json.key("accuracies").beginArray();
+  for (const double a : spec.accuracies) json.value(a);
+  json.endArray();
+  json.key("userRisks").beginArray();
+  for (const double u : spec.userRisks) json.value(u);
+  json.endArray();
+  json.key("base").beginObject();
+  json.field("machineSize", spec.base.machineSize);
+  json.field("checkpointOverhead", spec.base.checkpointOverhead);
+  json.field("checkpointInterval", spec.base.checkpointInterval);
+  json.field("downtime", spec.base.downtime);
+  json.field("semantics",
+             spec.base.semantics == core::RiskSemantics::SuccessFloor
+                 ? "success-floor"
+                 : "failure-cap");
+  json.field("topology", spec.base.topology);
+  json.field("checkpointPolicy", spec.base.checkpointPolicy);
+  json.field("allocation", spec.base.allocation);
+  json.field("checkpointBlindPrior", spec.base.checkpointBlindPrior);
+  json.field("deadlineSlack", spec.base.deadlineSlack);
+  json.field("deadlineGrace", spec.base.deadlineGrace);
+  json.field("maxNegotiationRounds", spec.base.maxNegotiationRounds);
+  json.field("negotiationHorizon", spec.base.negotiationHorizon);
+  json.field("dynamicReplanWindow", spec.base.dynamicReplanWindow);
+  json.field("predictionHorizonDecay", spec.base.predictionHorizonDecay);
+  json.field("seed", spec.base.seed);
+  json.endObject();
+  json.field("reps", reps);
+  // A -DPQOS_TRACE=OFF build journals all-zero trace counters, so its
+  // journals must not resume a traced sweep (or vice versa).
+  json.field("traceCompiled", trace::kCompiled);
+  json.endObject();
+  return toHex64(fnv1a64(os.str()));
+}
+
+namespace {
+
+/// Lifecycle of one sweep cell, driven by compare-and-swap so the worker
+/// and the watchdog agree on exactly one outcome.
+enum CellPhase : int {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,      // result published (slot + journal + sinks)
+  kFailed = 3,    // retries exhausted; recorded in failures
+  kAbandoned = 4  // watchdog timeout; any late result is discarded
+};
+
+struct CellState {
+  std::atomic<int> phase{kQueued};
+  std::atomic<double> startSeconds{0.0};  // vs sweep start; set on kRunning
+};
+
+[[nodiscard]] double secondsSince(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// Deterministic capped exponential backoff: attempt k sleeps
+/// base * 2^k plus a seeded jitter in [0, base), capped at one second.
+/// Seeded from (spec seed, cell, attempt) so reruns sleep identically.
+// pqos-lint: allow(no-wall-clock)
+void backoffSleep(std::size_t baseMs, std::size_t attempt,
+                  std::uint64_t specSeed, std::size_t cellIndex) {
+  if (baseMs == 0) return;
+  constexpr std::size_t kCapMs = 1000;
+  const std::size_t shift = std::min<std::size_t>(attempt, 10);
+  std::uint64_t state = specSeed ^
+                        (static_cast<std::uint64_t>(cellIndex) + 1) *
+                            0x9e3779b97f4a7c15ULL ^
+                        static_cast<std::uint64_t>(attempt);
+  const std::size_t jitter =
+      static_cast<std::size_t>(splitmix64(state) % baseMs);
+  const std::size_t delay = std::min(kCapMs, (baseMs << shift) + jitter);
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+}  // namespace
+
 SweepResult SweepRunner::run() {
   require(!spec_.accuracies.empty() && !spec_.userRisks.empty(),
           "SweepRunner: empty parameter grid");
   require(options_.reps >= 1, "SweepRunner: need at least one replica");
+  require(!options_.resume || !options_.journalPath.empty(),
+          "SweepRunner: resume requires a journal path");
 
   RunnerOptions resolved = options_;
   if (resolved.threads == 0) resolved.threads = ThreadPool::hardwareThreads();
@@ -61,83 +163,301 @@ SweepResult SweepRunner::run() {
   for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
     result.seeds.push_back(replicaSeed(spec_.seed, rep));
   }
-  for (auto* sink : sinks_) sink->onSweepBegin(result);
+
+  const std::size_t accuracyCount = spec_.accuracies.size();
+  const std::size_t riskCount = spec_.userRisks.size();
+  const std::size_t gridSize = accuracyCount * riskCount;
+  const std::size_t total = gridSize * resolved.reps;
+
+  // Resume: replay the journal before anything runs. Keys outside the
+  // current grid cannot occur (the spec digest pins the grid shape).
+  const std::string digest = sweepSpecDigest(spec_, resolved.reps);
+  std::map<CellKey, core::SimResult> resumedCells;
+  if (resolved.resume) {
+    JournalLoad load = loadJournal(resolved.journalPath, digest);
+    for (const auto& warning : load.warnings) {
+      PQOS_WARN() << "[pqos::runner] " << warning;
+    }
+    resumedCells = std::move(load.cells);
+  }
+  result.resumedCells = resumedCells.size();
+
+  // Sink quarantine bookkeeping: a sink that throws `sinkErrorLimit`
+  // times is dropped for the rest of the sweep (with a warning) rather
+  // than aborting simulations that already ran.
+  std::vector<std::size_t> sinkErrors(sinks_.size(), 0);
+  std::vector<bool> sinkQuarantined(sinks_.size(), false);
+  const auto notifySink = [&](std::size_t i,
+                              const std::function<void(ResultSink&)>& call) {
+    if (sinkQuarantined[i]) return;
+    try {
+      call(*sinks_[i]);
+    } catch (const std::exception& err) {
+      ++sinkErrors[i];
+      PQOS_WARN() << "[pqos::runner] sink " << sinks_[i]->name()
+                  << " error: " << err.what();
+      if (sinkErrors[i] >= resolved.sinkErrorLimit) {
+        sinkQuarantined[i] = true;
+        result.quarantinedSinks.push_back(sinks_[i]->name());
+        PQOS_WARN() << "[pqos::runner] sink " << sinks_[i]->name()
+                    << " quarantined after " << sinkErrors[i]
+                    << " error(s); its output will be missing or stale";
+      }
+    }
+  };
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    notifySink(i, [&](ResultSink& s) { s.onSweepBegin(result); });
+  }
 
   const auto started = std::chrono::steady_clock::now();
+
+  // Everything the worker tasks touch is declared BEFORE the pool: the
+  // pool's destructor joins the workers, so members declared above it are
+  // guaranteed to outlive every task even when run() unwinds early.
+  std::vector<std::optional<core::StandardInputs>> inputs(resolved.reps);
+  std::vector<std::vector<core::SimResult>> perRep(
+      resolved.reps, std::vector<core::SimResult>(gridSize));
+  std::vector<CellState> cells(total);
+  std::mutex progressMutex;
+  std::size_t completed = 0;
+  std::vector<CellFailure> failures;
+  std::unique_ptr<JournalWriter> journal;
+  if (!resolved.journalPath.empty()) {
+    // Append to a journal we just resumed from; start fresh otherwise
+    // (including resume-with-no-journal, where there is nothing to keep).
+    const bool fresh = !(resolved.resume && !resumedCells.empty());
+    journal = std::make_unique<JournalWriter>(resolved.journalPath, digest,
+                                              fresh);
+  }
+
   ThreadPool pool(resolved.threads);
 
   // Stage 1: per-replica inputs (workload + failure trace), one task each.
   // Replica inputs are immutable once built and shared by every grid task
-  // of that replica, preserving the paper's pairing guarantee.
-  std::vector<std::future<core::StandardInputs>> inputFutures;
-  inputFutures.reserve(resolved.reps);
+  // of that replica, preserving the paper's pairing guarantee. Replicas
+  // fully covered by the journal skip input construction entirely.
+  std::vector<std::future<void>> inputFutures;
   for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+    std::size_t journaled = 0;
+    for (const auto& [key, cell] : resumedCells) {
+      if (key.rep == rep) ++journaled;
+    }
+    if (journaled == gridSize) continue;
     const std::uint64_t seed = result.seeds[rep];
-    inputFutures.push_back(pool.submit([this, seed] {
-      return core::makeStandardInputs(spec_.model, spec_.jobCount, seed,
-                                      spec_.machineSize,
-                                      spec_.failuresPerYear);
+    inputFutures.push_back(pool.submit([this, seed, rep, &inputs] {
+      PQOS_FAILPOINT("runner.inputs.build");
+      inputs[rep] = core::makeStandardInputs(spec_.model, spec_.jobCount,
+                                             seed, spec_.machineSize,
+                                             spec_.failuresPerYear);
     }));
   }
-  std::vector<core::StandardInputs> inputs;
-  inputs.reserve(resolved.reps);
-  for (auto& future : inputFutures) inputs.push_back(future.get());
+  std::exception_ptr inputError;
+  for (auto& future : inputFutures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!inputError) inputError = std::current_exception();
+    }
+  }
+  // No cell can run without its inputs; fail before stage 2 rather than
+  // reporting every cell of the replica individually.
+  if (inputError) std::rethrow_exception(inputError);
+
+  // Journal-resumed cells are pre-filled before any stage-2 task is
+  // submitted (workers mutate `completed` under the mutex once running).
+  for (const auto& [key, cell] : resumedCells) {
+    const std::size_t slot = key.ai * riskCount + key.ui;
+    perRep[key.rep][slot] = cell;
+    cells[key.rep * gridSize + slot].phase.store(kDone,
+                                                 std::memory_order_relaxed);
+    ++completed;
+  }
 
   // Stage 2: the full (replica x accuracy x userRisk) cross product. Each
   // task writes its own pre-allocated slot, so the assembled result is
-  // identical for any thread count or completion order.
-  const std::size_t gridSize =
-      spec_.accuracies.size() * spec_.userRisks.size();
-  const std::size_t total = gridSize * resolved.reps;
-  std::vector<std::vector<core::SimResult>> perRep(
-      resolved.reps, std::vector<core::SimResult>(gridSize));
-
-  std::mutex progressMutex;
-  std::size_t completed = 0;
+  // identical for any thread count or completion order. Journal-resumed
+  // cells are never submitted.
   std::vector<std::future<void>> futures;
+  std::vector<std::size_t> futureCell;  // parallel: cell index per future
   futures.reserve(total);
   for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
-    for (std::size_t ai = 0; ai < spec_.accuracies.size(); ++ai) {
-      for (std::size_t ui = 0; ui < spec_.userRisks.size(); ++ui) {
+    for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
+      for (std::size_t ui = 0; ui < riskCount; ++ui) {
+        const std::size_t slot = ai * riskCount + ui;
+        const std::size_t cellIndex = rep * gridSize + slot;
+        if (resumedCells.contains(CellKey{rep, ai, ui})) continue;
         const double a = spec_.accuracies[ai];
         const double u = spec_.userRisks[ui];
-        const std::size_t slot = ai * spec_.userRisks.size() + ui;
-        futures.push_back(pool.submit([&, rep, a, u, slot, total] {
-          core::SimConfig config = spec_.base;
-          config.accuracy = a;
-          config.userRisk = u;
-          // Replica 0 keeps the base tie-breaking seed (bit-identical to
-          // the legacy path); later replicas re-derive it.
-          config.seed = replicaSeed(spec_.base.seed, rep);
-          core::SimResult sim =
-              core::runSimulation(config, inputs[rep].jobs, inputs[rep].trace);
+        futureCell.push_back(cellIndex);
+        futures.push_back(pool.submit([&, rep, ai, ui, a, u, slot, cellIndex,
+                                       total] {
+          CellState& cell = cells[cellIndex];
+          int expected = kQueued;
+          if (!cell.phase.compare_exchange_strong(expected, kRunning)) {
+            return;  // watchdog abandoned the cell before it started
+          }
+          cell.startSeconds.store(secondsSince(started),
+                                  std::memory_order_relaxed);
+
+          core::SimResult sim;
+          bool ok = false;
+          std::size_t attemptsUsed = 0;
+          std::string lastError = "unknown error";
+          const std::size_t attempts = resolved.maxRetries + 1;
+          for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+            if (cell.phase.load(std::memory_order_acquire) == kAbandoned) {
+              return;  // timed out mid-retry; failure already recorded
+            }
+            ++attemptsUsed;
+            try {
+              PQOS_FAILPOINT("runner.task.start");
+              core::SimConfig config = spec_.base;
+              config.accuracy = a;
+              config.userRisk = u;
+              // Replica 0 keeps the base tie-breaking seed (bit-identical
+              // to the legacy path); later replicas re-derive it.
+              config.seed = replicaSeed(spec_.base.seed, rep);
+              sim = core::runSimulation(config, inputs[rep]->jobs,
+                                        inputs[rep]->trace);
+              PQOS_FAILPOINT("runner.task.finish");
+              ok = true;
+              break;
+            } catch (const std::exception& err) {
+              lastError = err.what();
+              if (attempt + 1 < attempts) {
+                backoffSleep(resolved.retryBaseMs, attempt, spec_.seed,
+                             cellIndex);
+              }
+            }
+          }
+
           std::lock_guard<std::mutex> lock(progressMutex);
+          if (!ok) {
+            expected = kRunning;
+            if (cell.phase.compare_exchange_strong(expected, kFailed)) {
+              failures.push_back(
+                  {CellKey{rep, ai, ui}, a, u,
+                   "failed after " + std::to_string(attemptsUsed) +
+                       " attempt(s): " + lastError});
+            }
+            return;
+          }
+          // A cell the watchdog abandoned publishes nothing, even if the
+          // simulation eventually finished: its failure is already
+          // recorded and a late partial publish would tear the sweep.
+          expected = kRunning;
+          if (!cell.phase.compare_exchange_strong(expected, kDone)) return;
           perRep[rep][slot] = std::move(sim);
+          if (attemptsUsed > 1) ++result.retriedCells;
           ++completed;
+          if (journal) {
+            try {
+              journal->append(CellKey{rep, ai, ui}, perRep[rep][slot]);
+            } catch (const std::exception& err) {
+              // Journal degradation must not sink simulations that
+              // already ran: stop journaling, mark the run partial.
+              PQOS_WARN() << "[pqos::runner] journal error: " << err.what()
+                          << "; journaling disabled for the rest of the run";
+              result.quarantinedSinks.push_back("journal:" +
+                                                resolved.journalPath);
+              journal.reset();
+            }
+          }
           TaskProgress progress{completed, total, a,
                                 u,         rep,   &perRep[rep][slot]};
-          for (auto* sink : sinks_) sink->onTaskComplete(progress);
+          for (std::size_t i = 0; i < sinks_.size(); ++i) {
+            notifySink(i, [&](ResultSink& s) { s.onTaskComplete(progress); });
+          }
         }));
       }
     }
   }
 
-  // Propagate the first worker exception, but only after every task has
-  // settled (their slots and the shared inputs stay alive until then).
-  std::exception_ptr firstError;
-  for (auto& future : futures) {
+  // Wait for every cell. With a cell timeout, poll as a watchdog: any
+  // cell running past the deadline is abandoned (its task discards its
+  // result) and recorded as failed; the sweep itself keeps going. The
+  // watchdog cannot preempt a wedged worker thread — the pool still
+  // joins it on shutdown — but the sweep's outcome no longer depends
+  // on it publishing.
+  const auto watchdogScan = [&] {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      int phase = cells[c].phase.load(std::memory_order_acquire);
+      if (phase != kRunning) continue;
+      const double startAt =
+          cells[c].startSeconds.load(std::memory_order_relaxed);
+      if (secondsSince(started) - startAt <= resolved.cellTimeoutSeconds) {
+        continue;
+      }
+      if (cells[c].phase.compare_exchange_strong(phase, kAbandoned)) {
+        const std::size_t rep = c / gridSize;
+        const std::size_t slot = c % gridSize;
+        const std::size_t ai = slot / riskCount;
+        const std::size_t ui = slot % riskCount;
+        std::lock_guard<std::mutex> lock(progressMutex);
+        failures.push_back({CellKey{rep, ai, ui}, spec_.accuracies[ai],
+                            spec_.userRisks[ui],
+                            "exceeded cell timeout (" +
+                                formatFixed(resolved.cellTimeoutSeconds, 3) +
+                                " s)"});
+      }
+    }
+  };
+  for (std::size_t f = 0; f < futures.size(); ++f) {
+    if (resolved.cellTimeoutSeconds <= 0) {
+      futures[f].wait();
+    } else {
+      while (futures[f].wait_for(std::chrono::milliseconds(20)) !=
+             std::future_status::ready) {
+        watchdogScan();
+      }
+    }
     try {
-      future.get();
+      futures[f].get();
     } catch (...) {
-      if (!firstError) firstError = std::current_exception();
+      // A fault outside the retry loop (e.g. an injected pool fault);
+      // attribute it to the cell rather than aborting the sweep.
+      const std::size_t c = futureCell[f];
+      const std::size_t rep = c / gridSize;
+      const std::size_t slot = c % gridSize;
+      const std::size_t ai = slot / riskCount;
+      const std::size_t ui = slot % riskCount;
+      std::string reason = "task error";
+      try {
+        std::rethrow_exception(std::current_exception());
+      } catch (const std::exception& err) {
+        reason = std::string("task error: ") + err.what();
+      } catch (...) {
+      }
+      std::lock_guard<std::mutex> lock(progressMutex);
+      failures.push_back({CellKey{rep, ai, ui}, spec_.accuracies[ai],
+                          spec_.userRisks[ui], std::move(reason)});
     }
   }
-  if (firstError) std::rethrow_exception(firstError);
+
+  if (!failures.empty()) {
+    // Every completable cell has finished and been journaled; surface the
+    // casualties. A --resume rerun retries exactly these cells.
+    std::sort(failures.begin(), failures.end(),
+              [](const CellFailure& a, const CellFailure& b) {
+                return a.cell < b.cell;
+              });
+    std::ostringstream what;
+    what << "sweep failed for " << failures.size() << " of " << total
+         << " cell(s)";
+    if (journal) what << " (completed cells journaled; rerun with --resume)";
+    what << ":";
+    for (const auto& failure : failures) {
+      what << "\n  a=" << formatFixed(failure.accuracy, 3)
+           << " U=" << formatFixed(failure.userRisk, 3)
+           << " rep=" << failure.cell.rep << ": " << failure.reason;
+    }
+    throw SweepError(what.str(), std::move(failures));
+  }
 
   result.points.reserve(gridSize);
-  for (std::size_t ai = 0; ai < spec_.accuracies.size(); ++ai) {
-    for (std::size_t ui = 0; ui < spec_.userRisks.size(); ++ui) {
-      const std::size_t slot = ai * spec_.userRisks.size() + ui;
+  for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
+    for (std::size_t ui = 0; ui < riskCount; ++ui) {
+      const std::size_t slot = ai * riskCount + ui;
       PointResult point;
       point.accuracy = spec_.accuracies[ai];
       point.userRisk = spec_.userRisks[ui];
@@ -148,10 +468,21 @@ SweepResult SweepRunner::run() {
       result.points.push_back(std::move(point));
     }
   }
-  result.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - started)
-          .count();
-  for (auto* sink : sinks_) sink->onSweepEnd(result);
+  result.wallSeconds = secondsSince(started);
+  // Final writes. A sink whose onSweepEnd throws has no later chance to
+  // recover, so any failure here marks the run partial immediately.
+  // Quarantines recorded before a data sink's write (including an earlier
+  // sink in this loop) appear in that sink's provenance output.
+  for (std::size_t i = 0; i < sinks_.size(); ++i) {
+    if (sinkQuarantined[i]) continue;  // already listed when quarantined
+    try {
+      sinks_[i]->onSweepEnd(result);
+    } catch (const std::exception& err) {
+      PQOS_WARN() << "[pqos::runner] sink " << sinks_[i]->name()
+                  << " failed its final write: " << err.what();
+      result.quarantinedSinks.push_back(sinks_[i]->name());
+    }
+  }
   return result;
 }
 

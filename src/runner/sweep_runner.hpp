@@ -13,18 +13,35 @@
 // paper's pairing guarantee: all points of a replica share one seeded
 // workload/trace pair, and a --reps 1 run reproduces the historical
 // single-seed numbers exactly.
+//
+// Crash tolerance
+// ---------------
+// With RunnerOptions::journalPath set, every completed cell is appended
+// (fsync'd) to an append-only journal before the sweep moves on; with
+// `resume` set, a rerun replays the journal, skips completed cells, and —
+// because cells are pure and slot-indexed — produces byte-identical sink
+// output to an uninterrupted run. Per-cell retries (capped exponential
+// backoff, deterministically jittered from the spec seed) absorb
+// transient faults; a watchdog marks cells exceeding `cellTimeoutSeconds`
+// failed-with-reason instead of wedging the sweep; sinks that keep
+// throwing are quarantined so one bad writer cannot sink the run. A sweep
+// with failed cells completes every remaining cell (journaling them),
+// then throws SweepError listing the casualties — so `--resume` retries
+// only what actually failed.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "core/config.hpp"
 #include "core/experiment.hpp"
 #include "core/metrics.hpp"
+#include "runner/journal.hpp"
 #include "runner/replication.hpp"
 
 namespace pqos::runner {
@@ -48,6 +65,40 @@ struct SweepSpec {
 struct RunnerOptions {
   std::size_t threads = 0;  // worker threads; 0 = one per hardware thread
   std::size_t reps = 1;     // replicas per grid point (seed-derived)
+
+  // --- Crash tolerance (see "Crash tolerance" above) ---
+  std::string journalPath;        // append-only cell journal; "" = none
+  bool resume = false;            // replay journalPath, skip finished cells
+  std::size_t maxRetries = 0;     // extra attempts per failed cell
+  std::size_t retryBaseMs = 25;   // backoff base; doubles per attempt
+  double cellTimeoutSeconds = 0;  // watchdog; 0 = never time a cell out
+  std::size_t sinkErrorLimit = 3;  // sink errors tolerated before quarantine
+};
+
+/// One cell the sweep could not complete (exhausted retries or tripped
+/// the watchdog). The journal never records failed cells, so a --resume
+/// rerun retries exactly these.
+struct CellFailure {
+  CellKey cell;
+  double accuracy = 0.0;
+  double userRisk = 0.0;
+  std::string reason;
+};
+
+/// Thrown by SweepRunner::run() after every completable cell has finished
+/// (and been journaled) but some cells failed. Sinks do not observe
+/// onSweepEnd for a failed sweep.
+class SweepError : public std::runtime_error {
+ public:
+  SweepError(const std::string& what, std::vector<CellFailure> failures)
+      : std::runtime_error(what), failures_(std::move(failures)) {}
+
+  [[nodiscard]] const std::vector<CellFailure>& failures() const {
+    return failures_;
+  }
+
+ private:
+  std::vector<CellFailure> failures_;
 };
 
 /// One grid point across all replicas. reps[0] is the base-seed result —
@@ -71,6 +122,16 @@ struct SweepResult {
   std::vector<PointResult> points;   // accuracy-major, risk-minor
   double wallSeconds = 0.0;
 
+  // --- Degradation report (empty on a clean run) ---
+  /// Sinks (or the journal, as "journal:<path>") disabled after repeated
+  /// errors. Non-empty marks the sweep's output "partial": the JSON sink
+  /// records it in provenance and the bench harness exits nonzero.
+  std::vector<std::string> quarantinedSinks;
+  std::size_t resumedCells = 0;  // cells replayed from the journal
+  std::size_t retriedCells = 0;  // cells that needed more than one attempt
+
+  [[nodiscard]] bool partial() const { return !quarantinedSinks.empty(); }
+
   [[nodiscard]] const PointResult& at(double accuracy, double userRisk) const;
 
   /// Replica-0 results in the legacy core::sweep() shape.
@@ -88,6 +149,13 @@ struct TaskProgress {
   std::size_t rep = 0;
   const core::SimResult* result = nullptr;
 };
+
+/// Digest (16 hex chars) over everything that determines a sweep's
+/// results: the full spec (model, inputs, grid, policy config) and the
+/// replica count — but not thread count, journaling, or retry options,
+/// which must never change results. Pins a journal to one sweep.
+[[nodiscard]] std::string sweepSpecDigest(const SweepSpec& spec,
+                                          std::size_t reps);
 
 class SweepRunner {
  public:

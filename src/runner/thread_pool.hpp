@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "failpoint/failpoint.hpp"
 #include "util/error.hpp"
 
 namespace pqos::runner {
@@ -44,9 +45,16 @@ class ThreadPool {
   template <typename F>
   auto submit(F f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
+    PQOS_FAILPOINT("runner.pool.enqueue");
     // packaged_task is move-only and std::function requires copyable
-    // targets, so the task rides in a shared_ptr.
-    auto task = std::make_shared<std::packaged_task<R()>>(std::move(f));
+    // targets, so the task rides in a shared_ptr. The task-side failpoint
+    // fires *inside* the packaged task so an injected fault lands in the
+    // caller's future (constraint 1 above), never in a worker thread.
+    auto task = std::make_shared<std::packaged_task<R()>>(
+        [f = std::move(f)]() mutable -> R {
+          PQOS_FAILPOINT("runner.pool.task");
+          return f();
+        });
     auto future = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);

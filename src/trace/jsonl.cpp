@@ -1,11 +1,13 @@
 #include "trace/jsonl.hpp"
 
-#include <filesystem>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
+#include "failpoint/failpoint.hpp"
+#include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
 #include "util/strings.hpp"
@@ -32,22 +34,10 @@ void writeJsonl(std::ostream& out, std::span<const Event> events) {
 }
 
 void writeJsonlFile(const std::string& path, std::span<const Event> events) {
-  namespace fs = std::filesystem;
-  const fs::path target(path);
-  const fs::path parent = target.parent_path();
-  if (!parent.empty()) {
-    std::error_code ec;
-    fs::create_directories(parent, ec);
-    if (ec) {
-      throw ConfigError("cannot create trace directory " + parent.string() +
-                        ": " + ec.message());
-    }
-  }
-  std::ofstream file(target);
-  if (!file) throw ConfigError("cannot open trace file: " + path);
-  writeJsonl(file, events);
-  file.flush();
-  if (!file) throw ConfigError("error writing trace file: " + path);
+  PQOS_FAILPOINT("trace.jsonl.write");
+  // Crash-atomic (tmp + fsync + rename): a killed exporter leaves the
+  // previous trace or none, never a torn one.
+  atomicWriteFile(path, [&](std::ostream& os) { writeJsonl(os, events); });
 }
 
 namespace {
@@ -142,22 +132,46 @@ Event parseJsonLine(std::string_view line, std::size_t lineNo) {
   return event;
 }
 
-std::vector<Event> parseJsonl(std::istream& in) {
-  std::vector<Event> events;
+std::vector<Event> parseJsonl(std::istream& in, ParseMode mode,
+                              std::vector<std::string>* warnings) {
+  // Slurp non-blank lines first so "is this the final line?" is known
+  // when a parse fails — Recover mode may only drop the truncated tail.
+  std::vector<std::pair<std::string, std::size_t>> lines;  // (text, lineNo)
   std::string line;
   std::size_t lineNo = 0;
   while (std::getline(in, line)) {
     ++lineNo;
     if (trim(line).empty()) continue;
-    events.push_back(parseJsonLine(line, lineNo));
+    lines.emplace_back(line, lineNo);
+  }
+
+  std::vector<Event> events;
+  events.reserve(lines.size());
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    try {
+      events.push_back(parseJsonLine(lines[i].first, lines[i].second));
+    } catch (const ParseError& err) {
+      const bool last = i + 1 == lines.size();
+      if (mode == ParseMode::Recover && last) {
+        if (warnings != nullptr) {
+          warnings->push_back("dropped truncated trace line " +
+                              std::to_string(lines[i].second) + " (" +
+                              err.what() + ")");
+        }
+        break;
+      }
+      throw;
+    }
   }
   return events;
 }
 
-std::vector<Event> loadJsonlFile(const std::string& path) {
+std::vector<Event> loadJsonlFile(const std::string& path, ParseMode mode,
+                                 std::vector<std::string>* warnings) {
+  PQOS_FAILPOINT("trace.jsonl.read");
   std::ifstream file(path);
   if (!file) throw ConfigError("cannot open trace file: " + path);
-  return parseJsonl(file);
+  return parseJsonl(file, mode, warnings);
 }
 
 }  // namespace pqos::trace

@@ -10,6 +10,13 @@
 // accepts exactly this shape and throws ParseError (with the line number)
 // on anything else — traces are machine-written artifacts, not a config
 // format, and a strict reader keeps drift loud.
+//
+// The one sanctioned relaxation is ParseMode::Recover for the *final*
+// line only: a process killed mid-export leaves a truncated tail, and a
+// post-mortem reader should salvage every complete event rather than
+// refuse the whole file. Mid-file corruption stays a hard error in both
+// modes. (File writes themselves go through util::atomic_write, so only
+// traces from foreign writers — or pre-crash temporaries — can be torn.)
 #pragma once
 
 #include <iosfwd>
@@ -35,10 +42,20 @@ void writeJsonlFile(const std::string& path, std::span<const Event> events);
 /// Parses one JSONL line; `lineNo` contextualizes ParseError messages.
 [[nodiscard]] Event parseJsonLine(std::string_view line, std::size_t lineNo);
 
-/// Parses a JSONL stream (blank lines are ignored).
-[[nodiscard]] std::vector<Event> parseJsonl(std::istream& in);
+/// Strict: any malformed line throws ParseError. Recover: a malformed
+/// *final* line is dropped with a warning recorded in `warnings` (the
+/// line number and why); malformed lines elsewhere still throw.
+enum class ParseMode { Strict, Recover };
+
+/// Parses a JSONL stream (blank lines are ignored). `warnings` receives a
+/// message per dropped line in Recover mode; pass nullptr to discard.
+[[nodiscard]] std::vector<Event> parseJsonl(
+    std::istream& in, ParseMode mode = ParseMode::Strict,
+    std::vector<std::string>* warnings = nullptr);
 
 /// Loads a JSONL trace file; throws ConfigError when it cannot be opened.
-[[nodiscard]] std::vector<Event> loadJsonlFile(const std::string& path);
+[[nodiscard]] std::vector<Event> loadJsonlFile(
+    const std::string& path, ParseMode mode = ParseMode::Strict,
+    std::vector<std::string>* warnings = nullptr);
 
 }  // namespace pqos::trace

@@ -1,0 +1,110 @@
+#include "util/atomic_write.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+
+#include "failpoint/failpoint.hpp"
+#include "util/error.hpp"
+
+namespace pqos {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// fsyncs one path (a file or a directory); returns false on failure.
+/// Opening read-only is sufficient: fsync flushes the file's data and
+/// metadata regardless of the descriptor's access mode.
+[[nodiscard]] bool syncPath(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+void removeQuietly(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+}
+
+}  // namespace
+
+void atomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& body) {
+  PQOS_FAILPOINT("util.atomic_write.write");
+  const fs::path target(path);
+  const fs::path parent = target.parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+    if (ec) {
+      throw ConfigError("cannot create output directory " + parent.string() +
+                        ": " + ec.message());
+    }
+  }
+
+  // The pid + counter suffix keeps concurrent writers (parallel ctest
+  // binaries sharing a directory) from clobbering each other's temporaries.
+  static std::atomic<unsigned> counter{0};
+  const std::string tmp =
+      path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(counter.fetch_add(1, std::memory_order_relaxed));
+
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      throw ConfigError("cannot open temporary output file: " + tmp);
+    }
+    try {
+      body(file);
+    } catch (...) {
+      file.close();
+      removeQuietly(tmp);
+      throw;
+    }
+    file.flush();
+    if (!file) {
+      removeQuietly(tmp);
+      throw ConfigError("error writing output file: " + tmp);
+    }
+  }
+
+  if (!syncPath(tmp, /*directory=*/false)) {
+    removeQuietly(tmp);
+    throw ConfigError("cannot fsync output file: " + tmp);
+  }
+
+  try {
+    PQOS_FAILPOINT("util.atomic_write.commit");
+  } catch (...) {
+    // An injected *error* must not leave the temporary behind; an injected
+    // *abort* never reaches this handler, which is exactly the crash the
+    // rename protocol exists for.
+    removeQuietly(tmp);
+    throw;
+  }
+
+  std::error_code ec;
+  fs::rename(tmp, target, ec);
+  if (ec) {
+    removeQuietly(tmp);
+    throw ConfigError("cannot rename " + tmp + " to " + path + ": " +
+                      ec.message());
+  }
+
+  // Persist the rename itself. Failure here is reported (the data may not
+  // survive a power loss) even though the rename already happened.
+  const std::string dir = parent.empty() ? std::string(".") : parent.string();
+  if (!syncPath(dir, /*directory=*/true)) {
+    throw ConfigError("cannot fsync output directory: " + dir);
+  }
+}
+
+}  // namespace pqos

@@ -1,0 +1,36 @@
+// Crash-atomic file writes: tmp file + fsync + rename.
+//
+// A process killed mid-write must never leave a torn artifact that a
+// reader could mistake for a complete one (a truncated CSV is still valid
+// CSV). atomicWriteFile streams the body into `<path>.tmp.<pid>.<n>`,
+// flushes and fsyncs the temporary, renames it over `path` (atomic on
+// POSIX), and fsyncs the parent directory so the rename itself survives a
+// crash. The observable outcomes are exactly two: the old content (or no
+// file), or the complete new content — plus, after a crash, possibly a
+// leftover `*.tmp.*` file that no reader matches.
+//
+// Every file writer in runner/, trace/, and bench/ goes through this
+// helper (enforced by the pqos_lint.py `atomic-write` rule); the
+// append-only sweep journal is the one sanctioned exception, using a raw
+// O_APPEND descriptor with per-record fsync (see runner/journal.hpp).
+#pragma once
+
+#include <functional>
+#include <iosfwd>
+#include <string>
+
+namespace pqos {
+
+/// Creates `path`'s parent directories, streams `body` into a temporary
+/// sibling, fsyncs, and atomically renames it over `path`. Throws
+/// ConfigError on any failure (the temporary is removed); if `body`
+/// throws, the temporary is removed and the exception propagates. `path`
+/// is never observable in a partially-written state.
+///
+/// Failpoint sites: `util.atomic_write.write` (before the temporary
+/// opens) and `util.atomic_write.commit` (after fsync, before rename — an
+/// `abort` here models the worst-case crash, leaving only the temporary).
+void atomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& body);
+
+}  // namespace pqos

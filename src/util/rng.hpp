@@ -19,7 +19,14 @@
 namespace pqos {
 
 /// splitmix64 step; used for seeding and for hashing seeds into streams.
-std::uint64_t splitmix64(std::uint64_t& state);
+/// Inline so header-only consumers (pqos::failpoint's seeded one-in
+/// action, below util in the link order) can use it without linking.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// xoshiro256** engine with convenience samplers.
 class Rng {

@@ -8,6 +8,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "failpoint/failpoint.hpp"
+#include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -81,6 +83,7 @@ std::vector<JobSpec> parseSwf(std::istream& in, const SwfLoadOptions& options) {
 
 std::vector<JobSpec> loadSwfFile(const std::string& path,
                                  const SwfLoadOptions& options) {
+  PQOS_FAILPOINT("workload.swf.read");
   std::ifstream file(path);
   if (!file) throw ConfigError("cannot open SWF file: " + path);
   return parseSwf(file, options);
@@ -105,9 +108,9 @@ void writeSwf(std::ostream& out, const std::vector<JobSpec>& jobs,
 
 void writeSwfFile(const std::string& path, const std::vector<JobSpec>& jobs,
                   const std::string& headerComment) {
-  std::ofstream file(path);
-  if (!file) throw ConfigError("cannot open SWF output file: " + path);
-  writeSwf(file, jobs, headerComment);
+  PQOS_FAILPOINT("workload.swf.write");
+  atomicWriteFile(path,
+                  [&](std::ostream& os) { writeSwf(os, jobs, headerComment); });
 }
 
 }  // namespace pqos::workload

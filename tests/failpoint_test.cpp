@@ -1,0 +1,182 @@
+// pqos::failpoint unit tests: the site catalogue, the action grammar, and
+// the injection semantics every chaos test builds on. All tests use the
+// dedicated "test.probe" site so they never perturb real code paths.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "failpoint/failpoint.hpp"
+#include "util/error.hpp"
+
+namespace pqos::failpoint {
+namespace {
+
+constexpr const char* kProbe = "test.probe";
+
+/// Every test starts and ends with nothing armed, whatever the previous
+/// test (or a stray PQOS_FAILPOINTS in the environment) left behind.
+class Failpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { disarmAll(); }
+  void TearDown() override { disarmAll(); }
+};
+
+TEST_F(Failpoint, CatalogueIsSortedUniqueAndNonEmpty) {
+  const auto sites = catalogue();
+  ASSERT_FALSE(sites.empty());
+  std::set<std::string_view> names;
+  std::string_view previous;
+  for (const auto& site : sites) {
+    EXPECT_LT(previous, site.name) << "catalogue must be name-sorted";
+    EXPECT_FALSE(site.description.empty()) << site.name;
+    names.insert(site.name);
+    previous = site.name;
+  }
+  EXPECT_EQ(names.size(), sites.size()) << "duplicate site names";
+  EXPECT_TRUE(names.count(kProbe)) << "test probe site missing";
+}
+
+TEST_F(Failpoint, DisarmedSiteCountsHitsButNeverFires) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  const auto before = hitCount(kProbe);
+  PQOS_FAILPOINT("test.probe");
+  PQOS_FAILPOINT("test.probe");
+  EXPECT_EQ(hitCount(kProbe), before + 2);
+  EXPECT_EQ(fireCount(kProbe), 0u);
+}
+
+TEST_F(Failpoint, ErrorThrowsInjectedFaultCarryingTheSiteName) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  arm(kProbe, "error");
+  try {
+    PQOS_FAILPOINT("test.probe");
+    FAIL() << "armed error site did not throw";
+  } catch (const InjectedFault& fault) {
+    EXPECT_EQ(fault.site(), kProbe);
+    EXPECT_NE(std::string(fault.what()).find(kProbe), std::string::npos);
+  }
+  EXPECT_EQ(fireCount(kProbe), 1u);
+  // Bare `error` fires on every evaluation, not just the first.
+  EXPECT_THROW(PQOS_FAILPOINT("test.probe"), InjectedFault);
+  EXPECT_EQ(fireCount(kProbe), 2u);
+}
+
+TEST_F(Failpoint, NthHitErrorFiresExactlyOnce) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  arm(kProbe, "error(3)");
+  PQOS_FAILPOINT("test.probe");
+  PQOS_FAILPOINT("test.probe");
+  EXPECT_EQ(fireCount(kProbe), 0u);
+  EXPECT_THROW(PQOS_FAILPOINT("test.probe"), InjectedFault);
+  // Later evaluations pass again: (n) pins one specific evaluation.
+  PQOS_FAILPOINT("test.probe");
+  PQOS_FAILPOINT("test.probe");
+  EXPECT_EQ(hitCount(kProbe), 5u);
+  EXPECT_EQ(fireCount(kProbe), 1u);
+}
+
+TEST_F(Failpoint, ThrowInjectsAForeignExceptionType) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  arm(kProbe, "throw");
+  try {
+    PQOS_FAILPOINT("test.probe");
+    FAIL() << "armed throw site did not throw";
+  } catch (const InjectedFault&) {
+    FAIL() << "`throw` must not produce InjectedFault — it exercises "
+              "generic catch paths";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find(kProbe), std::string::npos);
+  }
+}
+
+TEST_F(Failpoint, DelayFiresWithoutThrowing) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  arm(kProbe, "delay(1)");
+  EXPECT_NO_THROW(PQOS_FAILPOINT("test.probe"));
+  EXPECT_EQ(fireCount(kProbe), 1u);
+}
+
+TEST_F(Failpoint, OneInFiresDeterministicallyForAFixedSeed) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  const auto pattern = [](std::uint64_t seed) {
+    arm(kProbe, "one-in(4," + std::to_string(seed) + ")");
+    std::string fired;
+    for (int i = 0; i < 64; ++i) {
+      try {
+        PQOS_FAILPOINT("test.probe");
+        fired += '.';
+      } catch (const InjectedFault&) {
+        fired += 'X';
+      }
+    }
+    return fired;
+  };
+  const std::string first = pattern(7);
+  EXPECT_EQ(first, pattern(7)) << "same seed must replay the same pattern";
+  EXPECT_NE(first, pattern(8)) << "different seeds must differ";
+  const auto fires = static_cast<std::size_t>(
+      std::count(first.begin(), first.end(), 'X'));
+  // ~1/4 of 64 evaluations; wide tolerance, zero would mean it never fires.
+  EXPECT_GT(fires, 4u);
+  EXPECT_LT(fires, 40u);
+}
+
+TEST_F(Failpoint, ArmResetsCountersAndDisarmStopsInjection) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  arm(kProbe, "error");
+  EXPECT_THROW(PQOS_FAILPOINT("test.probe"), InjectedFault);
+  arm(kProbe, "delay(0)");
+  EXPECT_EQ(hitCount(kProbe), 0u) << "arming must reset counters";
+  EXPECT_EQ(fireCount(kProbe), 0u);
+  disarm(kProbe);
+  EXPECT_NO_THROW(PQOS_FAILPOINT("test.probe"));
+}
+
+TEST_F(Failpoint, ArmRejectsUnknownSitesAndMalformedActions) {
+  if constexpr (!kCompiled) {
+    // In an OFF build any arm request must fail loudly instead of
+    // silently never injecting.
+    EXPECT_THROW(arm(kProbe, "error"), ConfigError);
+    GTEST_SKIP() << "failpoints compiled out";
+  }
+  EXPECT_THROW(arm("no.such.site", "error"), ConfigError);
+  EXPECT_THROW(arm(kProbe, "explode"), ConfigError);
+  EXPECT_THROW(arm(kProbe, "error(0)"), ConfigError);   // 1-based
+  EXPECT_THROW(arm(kProbe, "error(x)"), ConfigError);
+  EXPECT_THROW(arm(kProbe, "error(3"), ConfigError);    // missing ')'
+  EXPECT_THROW(arm(kProbe, "delay"), ConfigError);      // requires (ms)
+  EXPECT_THROW(arm(kProbe, "one-in(4)"), ConfigError);  // requires (n,seed)
+  EXPECT_THROW(arm(kProbe, "one-in(0,1)"), ConfigError);
+  EXPECT_THROW(disarm("no.such.site"), ConfigError);
+  EXPECT_THROW((void)hitCount("no.such.site"), ConfigError);
+}
+
+TEST_F(Failpoint, SpecArmsMultipleSitesAndIgnoresBlanks) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  armFromSpec(" ; test.probe = error(2) ;; ");
+  PQOS_FAILPOINT("test.probe");
+  EXPECT_THROW(PQOS_FAILPOINT("test.probe"), InjectedFault);
+  EXPECT_THROW(armFromSpec("test.probe"), ConfigError);  // no '='
+}
+
+TEST_F(Failpoint, EnvArmsSitesAndEmptyEnvIsANoOp) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  ::unsetenv("PQOS_FAILPOINTS");
+  EXPECT_EQ(armFromEnv(), 0u);
+  ::setenv("PQOS_FAILPOINTS", "test.probe=error", 1);
+  EXPECT_EQ(armFromEnv(), 1u);
+  ::unsetenv("PQOS_FAILPOINTS");
+  EXPECT_THROW(PQOS_FAILPOINT("test.probe"), InjectedFault);
+}
+
+TEST_F(Failpoint, EvaluatingAnUncataloguedNameIsALogicError) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "failpoints compiled out";
+  EXPECT_THROW(detail::hit("not.in.catalogue"), LogicError);
+}
+
+}  // namespace
+}  // namespace pqos::failpoint

@@ -13,6 +13,7 @@
 #include "core/experiment.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/replay.hpp"
+#include "util/atomic_write.hpp"
 
 namespace pqos::trace {
 namespace {
@@ -36,9 +37,9 @@ std::string renderTrace(const std::string& model, std::uint64_t seed,
 void checkGolden(const std::string& name, const std::string& actual) {
   const std::string path = goldenPath(name);
   if (std::getenv("PQOS_UPDATE_GOLDEN") != nullptr) {
-    std::ofstream file(path, std::ios::binary);
-    ASSERT_TRUE(file) << "cannot write " << path;
-    file << actual;
+    // Atomic regen: an interrupted update keeps the previous golden file
+    // instead of leaving a truncated one that every later run diffs red.
+    atomicWriteFile(path, [&](std::ostream& os) { os << actual; });
     GTEST_SKIP() << "regenerated " << path;
   }
   std::ifstream file(path, std::ios::binary);

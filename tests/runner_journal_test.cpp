@@ -1,0 +1,215 @@
+// Journal unit tests: digests, the SimResult JSON round trip the resume
+// path depends on, and every loadJournal recovery/corruption case.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "runner/journal.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace pqos::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A real (not hand-built) result, so the round trip covers the doubles a
+/// simulation actually produces.
+core::SimResult sampleResult(std::uint64_t seed) {
+  const auto inputs = core::makeStandardInputs("nasa", 30, seed);
+  core::SimConfig config;
+  config.accuracy = 0.6;
+  config.userRisk = 0.4;
+  return core::runSimulation(config, inputs.jobs, inputs.trace);
+}
+
+std::string serialize(const core::SimResult& result) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  writeSimResultJson(json, result);
+  return os.str();
+}
+
+class JournalFile : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("pqos_journal_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    path_ = (dir_ / "sweep.journal.jsonl").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void writeRaw(const std::string& bytes) {
+    std::ofstream file(path_, std::ios::binary | std::ios::trunc);
+    file << bytes;
+  }
+
+  std::string slurp() {
+    std::ifstream file(path_, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return buffer.str();
+  }
+
+  fs::path dir_;
+  std::string path_;
+};
+
+TEST(JournalDigest, Fnv1a64MatchesReferenceVectors) {
+  // Published FNV-1a 64-bit test vectors.
+  EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(JournalDigest, Hex64IsFixedWidthLowercase) {
+  EXPECT_EQ(toHex64(0), "0000000000000000");
+  EXPECT_EQ(toHex64(0xcbf29ce484222325ULL), "cbf29ce484222325");
+  EXPECT_EQ(toHex64(~0ULL), "ffffffffffffffff");
+}
+
+TEST(JournalRoundTrip, SimResultJsonIsRoundTripExact) {
+  const auto result = sampleResult(11);
+  const std::string bytes = serialize(result);
+  const auto reparsed = parseSimResultJson(bytes, "test");
+  // Byte equality, not field-wise approximation: this is the property that
+  // makes a resumed sweep's sink output identical to an uninterrupted run.
+  EXPECT_EQ(serialize(reparsed), bytes);
+}
+
+TEST(JournalRoundTrip, ParserRejectsShapeDrift) {
+  const std::string bytes = serialize(sampleResult(12));
+  EXPECT_THROW((void)parseSimResultJson(bytes + "x", "test"), ParseError);
+  EXPECT_THROW(
+      (void)parseSimResultJson(bytes.substr(0, bytes.size() / 2), "test"),
+      ParseError);
+  EXPECT_THROW((void)parseSimResultJson("{\"qso\":1}", "test"), ParseError);
+}
+
+TEST(JournalRoundTrip, RecordLineEmbedsAMatchingDigest) {
+  const auto result = sampleResult(13);
+  const std::string line = journalRecordLine({2, 1, 0}, result);
+  const std::string payload = serialize(result);
+  EXPECT_NE(line.find("\"rep\":2,\"ai\":1,\"ui\":0"), std::string::npos);
+  EXPECT_NE(line.find(toHex64(fnv1a64(payload))), std::string::npos);
+  EXPECT_NE(line.find(payload), std::string::npos);
+}
+
+TEST_F(JournalFile, MissingFileLoadsEmpty) {
+  const auto load = loadJournal(path_, "deadbeefdeadbeef");
+  EXPECT_TRUE(load.cells.empty());
+  EXPECT_TRUE(load.warnings.empty());
+}
+
+TEST_F(JournalFile, WriterProducesALoadableJournal) {
+  const auto r0 = sampleResult(21);
+  const auto r1 = sampleResult(22);
+  {
+    JournalWriter writer(path_, "feedfacefeedface", /*fresh=*/true);
+    writer.append({0, 0, 0}, r0);
+    writer.append({0, 1, 0}, r1);
+  }
+  const auto load = loadJournal(path_, "feedfacefeedface");
+  EXPECT_TRUE(load.warnings.empty());
+  ASSERT_EQ(load.cells.size(), 2u);
+  EXPECT_EQ(serialize(load.cells.at({0, 0, 0})), serialize(r0));
+  EXPECT_EQ(serialize(load.cells.at({0, 1, 0})), serialize(r1));
+}
+
+TEST_F(JournalFile, FreshWriterTruncatesAndAppendingWriterDoesNot) {
+  {
+    JournalWriter writer(path_, "1111111111111111", true);
+    writer.append({0, 0, 0}, sampleResult(23));
+  }
+  {
+    // Resume path: reopen without truncating, append one more cell.
+    JournalWriter writer(path_, "1111111111111111", false);
+    writer.append({0, 1, 0}, sampleResult(24));
+  }
+  EXPECT_EQ(loadJournal(path_, "1111111111111111").cells.size(), 2u);
+  {
+    JournalWriter writer(path_, "2222222222222222", true);
+  }
+  const auto load = loadJournal(path_, "2222222222222222");
+  EXPECT_TRUE(load.cells.empty()) << "fresh writer must truncate";
+}
+
+TEST_F(JournalFile, TornFinalLineIsDroppedWithAWarning) {
+  const auto r0 = sampleResult(25);
+  {
+    JournalWriter writer(path_, "feedfacefeedface", true);
+    writer.append({0, 0, 0}, r0);
+  }
+  // Simulate a crash mid-append: half a record, no trailing newline.
+  const std::string intact = slurp();
+  const std::string torn = journalRecordLine({0, 1, 0}, sampleResult(26));
+  writeRaw(intact + torn.substr(0, torn.size() / 2));
+
+  const auto load = loadJournal(path_, "feedfacefeedface");
+  ASSERT_EQ(load.warnings.size(), 1u);
+  EXPECT_NE(load.warnings[0].find("torn final"), std::string::npos);
+  ASSERT_EQ(load.cells.size(), 1u);
+  EXPECT_EQ(serialize(load.cells.at({0, 0, 0})), serialize(r0));
+}
+
+TEST_F(JournalFile, MidFileCorruptionIsAHardError) {
+  {
+    JournalWriter writer(path_, "feedfacefeedface", true);
+    writer.append({0, 0, 0}, sampleResult(27));
+    writer.append({0, 1, 0}, sampleResult(28));
+  }
+  // Flip one digit inside the *first* record's digest. The line still has
+  // its newline, so this is corruption, not a torn tail.
+  std::string bytes = slurp();
+  const std::size_t digest = bytes.find("\"digest\":\"");
+  ASSERT_NE(digest, std::string::npos);
+  std::size_t pos = digest + 10;
+  bytes[pos] = bytes[pos] == '0' ? '1' : '0';
+  writeRaw(bytes);
+  EXPECT_THROW(loadJournal(path_, "feedfacefeedface"), ConfigError);
+}
+
+TEST_F(JournalFile, CompleteMalformedFinalLineIsAHardError) {
+  {
+    JournalWriter writer(path_, "feedfacefeedface", true);
+    writer.append({0, 0, 0}, sampleResult(29));
+  }
+  // Newline-terminated garbage was *committed*, not interrupted — that is
+  // corruption, and resuming over it would be silent data loss.
+  writeRaw(slurp() + "{\"rep\":garbage}\n");
+  EXPECT_THROW(loadJournal(path_, "feedfacefeedface"), ConfigError);
+}
+
+TEST_F(JournalFile, SchemaAndSpecMismatchesAreHardErrors) {
+  {
+    JournalWriter writer(path_, "feedfacefeedface", true);
+  }
+  EXPECT_THROW(loadJournal(path_, "0123456789abcdef"), ConfigError)
+      << "a journal from a different sweep spec must not resume";
+  writeRaw("{\"schema\":\"pqos-journal-v0\",\"spec\":\"feedfacefeedface\"}\n");
+  EXPECT_THROW(loadJournal(path_, "feedfacefeedface"), ConfigError);
+}
+
+TEST_F(JournalFile, DuplicateRecordsLastWins) {
+  const auto first = sampleResult(30);
+  const auto second = sampleResult(31);
+  ASSERT_NE(serialize(first), serialize(second));
+  {
+    JournalWriter writer(path_, "feedfacefeedface", true);
+    writer.append({0, 0, 0}, first);
+    writer.append({0, 0, 0}, second);
+  }
+  const auto load = loadJournal(path_, "feedfacefeedface");
+  ASSERT_EQ(load.cells.size(), 1u);
+  EXPECT_EQ(serialize(load.cells.at({0, 0, 0})), serialize(second));
+}
+
+}  // namespace
+}  // namespace pqos::runner

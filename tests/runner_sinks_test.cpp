@@ -98,10 +98,17 @@ TEST(JsonResultSink, WritesProvenanceAndPerPointStats) {
   std::filesystem::remove_all(::testing::TempDir() + "/pqos_sink_json");
 }
 
-TEST(Sinks, UnwritablePathThrowsConfigError) {
-  // /dev/null/x cannot be created: /dev/null is not a directory.
+TEST(Sinks, UnwritablePathQuarantinesSinkAndMarksRunPartial) {
+  // /dev/null/x cannot be created: /dev/null is not a directory. The
+  // failing writer must not discard the simulations that already ran —
+  // the sweep completes, reports the quarantined sink, and run() callers
+  // (the bench harness) turn `partial()` into a nonzero exit.
   CsvResultSink csv("/dev/null/nope/raw.csv");
-  EXPECT_THROW(runTinySweep({&csv}, 1), ConfigError);
+  const auto result = runTinySweep({&csv}, 1);
+  EXPECT_TRUE(result.partial());
+  ASSERT_EQ(result.quarantinedSinks.size(), 1u);
+  EXPECT_EQ(result.quarantinedSinks[0], "csv:/dev/null/nope/raw.csv");
+  EXPECT_EQ(result.points.size(), 2u);  // results survived the bad sink
 }
 
 TEST(WriteFileWithParents, CreatesMissingDirectories) {

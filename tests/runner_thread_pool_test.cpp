@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "failpoint/failpoint.hpp"
 #include "util/error.hpp"
 
 namespace pqos::runner {
@@ -88,6 +89,74 @@ TEST(ThreadPool, SubmitAfterShutdownThrows) {
   ThreadPool pool(1);
   pool.shutdown();
   EXPECT_THROW((void)pool.submit([] { return 1; }), LogicError);
+}
+
+// --- Fault injection ------------------------------------------------------
+// The pool carries two failpoint sites: runner.pool.enqueue (in submit,
+// caller's thread) and runner.pool.task (inside the packaged task, so an
+// injected fault lands in that task's future and never kills a worker).
+
+class ThreadPoolFaults : public ::testing::Test {
+ protected:
+  void SetUp() override { failpoint::disarmAll(); }
+  void TearDown() override { failpoint::disarmAll(); }
+};
+
+TEST_F(ThreadPoolFaults, EnqueueFaultThrowsInTheCallersThread) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  ThreadPool pool(2);
+  failpoint::arm("runner.pool.enqueue", "error(1)");
+  EXPECT_THROW((void)pool.submit([] { return 1; }),
+               failpoint::InjectedFault);
+  // Only the first submit was armed; the pool itself is unharmed.
+  EXPECT_EQ(pool.submit([] { return 2; }).get(), 2);
+}
+
+TEST_F(ThreadPoolFaults, TaskFaultLandsInThatFutureNotInAWorker) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  ThreadPool pool(2);
+  failpoint::arm("runner.pool.task", "error(1)");
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 20; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  // Exactly one task (whichever dequeued first) observes the fault via its
+  // future; every other task still runs to completion on a live worker.
+  int faulted = 0;
+  for (int i = 0; i < 20; ++i) {
+    try {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+    } catch (const failpoint::InjectedFault& fault) {
+      EXPECT_EQ(fault.site(), "runner.pool.task");
+      ++faulted;
+    }
+  }
+  EXPECT_EQ(faulted, 1);
+}
+
+TEST_F(ThreadPoolFaults, ShutdownSurvivesARacingStormOfFailingTasks) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  // ~1/3 of tasks throw while shutdown() races the drain; every future
+  // must still resolve (value or exception) and the join must not wedge.
+  failpoint::arm("runner.pool.task", "one-in(3,99)");
+  ThreadPool pool(4);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 200; ++i) {
+    futures.push_back(pool.submit([i] { return i; }));
+  }
+  pool.shutdown();
+  int ok = 0;
+  int injected = 0;
+  for (int i = 0; i < 200; ++i) {
+    try {
+      EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i);
+      ++ok;
+    } catch (const failpoint::InjectedFault&) {
+      ++injected;
+    }
+  }
+  EXPECT_EQ(ok + injected, 200);
+  EXPECT_GT(injected, 0) << "storm never fired; one-in seed is broken";
 }
 
 TEST(ThreadPool, DestructorJoinsOutstandingWork) {

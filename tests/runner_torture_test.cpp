@@ -1,0 +1,271 @@
+// Crash-tolerance torture tests for the journaled sweep runner.
+//
+// The central property: a sweep interrupted at *any* journal boundary —
+// by in-process truncation or by killing a real process mid-append — and
+// rerun with resume produces byte-identical JSON output to a run that was
+// never interrupted (modulo the wall-clock provenance line). Plus the
+// soft-failure paths: retries absorbing transient faults, the watchdog
+// timing out wedged cells, and SweepError-then-resume completing a sweep
+// with failed cells.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "failpoint/failpoint.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "util/error.hpp"
+
+namespace pqos::runner {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Drops the only line two identical runs may legitimately disagree on.
+std::string normalizeJson(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.find("\"wallSeconds\":") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+/// 2 accuracies x 2 risks x 2 reps = 8 cells, 9 journal lines (header +
+/// one record per cell).
+SweepSpec tortureSpec() {
+  SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 50;
+  spec.seed = 7;
+  spec.accuracies = {0.3, 0.7};
+  spec.userRisks = {0.2, 0.8};
+  spec.title = "torture sweep";
+  return spec;
+}
+
+constexpr std::size_t kCells = 8;
+
+class Torture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    failpoint::disarmAll();
+    dir_ = fs::temp_directory_path() /
+           ("pqos_torture_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::disarmAll();
+    fs::remove_all(dir_);
+  }
+
+  /// One journaled sweep into `name/`; returns (normalized JSON, result).
+  std::pair<std::string, SweepResult> runSweep(const std::string& name,
+                                               RunnerOptions options) {
+    const std::string dir = (dir_ / name).string();
+    options.threads = 2;
+    options.reps = 2;
+    options.journalPath = dir + "/sweep.journal.jsonl";
+    SweepRunner runner(tortureSpec(), options);
+    JsonResultSink json(dir + "/sweep.json");
+    runner.addSink(&json);
+    auto result = runner.run();
+    return {normalizeJson(slurp(dir + "/sweep.json")), std::move(result)};
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Torture, ResumeAtEveryJournalTruncationIsByteIdentical) {
+  const auto [baseline, baseResult] = runSweep("baseline", {});
+  EXPECT_EQ(baseResult.resumedCells, 0u);
+  ASSERT_FALSE(baseline.empty());
+
+  const std::string journal =
+      slurp((dir_ / "baseline/sweep.journal.jsonl").string());
+  std::vector<std::string> lines;
+  std::istringstream in(journal);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1 + kCells) << "header + one record per cell";
+
+  for (std::size_t keep = 0; keep <= lines.size(); ++keep) {
+    const std::string name = "trunc_" + std::to_string(keep);
+    fs::create_directories(dir_ / name);
+    std::ofstream cut((dir_ / name / "sweep.journal.jsonl").string(),
+                      std::ios::binary);
+    for (std::size_t i = 0; i < keep; ++i) cut << lines[i] << '\n';
+    cut.close();
+
+    RunnerOptions options;
+    options.resume = true;
+    const auto [json, result] = runSweep(name, options);
+    EXPECT_EQ(result.resumedCells, keep == 0 ? 0 : keep - 1) << name;
+    EXPECT_EQ(json, baseline)
+        << name << ": resumed output must be byte-identical";
+  }
+}
+
+TEST_F(Torture, ResumeAfterTornTailIsByteIdentical) {
+  const std::string baseline = runSweep("baseline", {}).first;
+  const std::string journal =
+      slurp((dir_ / "baseline/sweep.journal.jsonl").string());
+  std::vector<std::string> lines;
+  std::istringstream in(journal);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 1 + kCells);
+
+  // A crash mid-write leaves `keep` committed lines plus a newline-less
+  // fragment of the next. keep=0 tears the header itself.
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4}, kCells}) {
+    const std::string name = "torn_" + std::to_string(keep);
+    fs::create_directories(dir_ / name);
+    std::ofstream cut((dir_ / name / "sweep.journal.jsonl").string(),
+                      std::ios::binary);
+    for (std::size_t i = 0; i < keep; ++i) cut << lines[i] << '\n';
+    cut << lines[keep].substr(0, lines[keep].size() / 2);  // no newline
+    cut.close();
+
+    RunnerOptions options;
+    options.resume = true;
+    const auto [json, result] = runSweep(name, options);
+    EXPECT_EQ(result.resumedCells, keep == 0 ? 0 : keep - 1) << name;
+    EXPECT_EQ(json, baseline) << name;
+  }
+}
+
+TEST_F(Torture, ResumeRequiresAJournalPath) {
+  RunnerOptions options;
+  options.resume = true;
+  SweepRunner runner(tortureSpec(), options);
+  EXPECT_THROW((void)runner.run(), LogicError);
+}
+
+TEST_F(Torture, TransientFaultIsAbsorbedByRetriesByteIdentically) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  const std::string baseline = runSweep("baseline", {}).first;
+
+  // First evaluation of runner.task.start fails once; the retry runs the
+  // same pure cell and must land on the same bytes.
+  failpoint::arm("runner.task.start", "error(1)");
+  RunnerOptions options;
+  options.maxRetries = 2;
+  options.retryBaseMs = 1;
+  const auto [json, result] = runSweep("retry", options);
+  EXPECT_EQ(result.retriedCells, 1u);
+  EXPECT_EQ(json, baseline);
+}
+
+TEST_F(Torture, ExhaustedRetriesThrowSweepErrorAndResumeCompletes) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  const std::string baseline = runSweep("baseline", {}).first;
+
+  // Exactly one of the 8 cells hits the armed evaluation; with no retries
+  // it fails. Every other cell must still complete and journal.
+  failpoint::arm("runner.task.start", "error(5)");
+  try {
+    (void)runSweep("failed", {});
+    FAIL() << "sweep with a failed cell must throw SweepError";
+  } catch (const SweepError& error) {
+    ASSERT_EQ(error.failures().size(), 1u);
+    EXPECT_NE(std::string(error.failures()[0].reason).find("injected"),
+              std::string::npos);
+    EXPECT_NE(std::string(error.what()).find("rerun with --resume"),
+              std::string::npos);
+  }
+  failpoint::disarmAll();
+
+  RunnerOptions options;
+  options.resume = true;
+  const auto [json, result] = runSweep("failed", options);
+  EXPECT_EQ(result.resumedCells, kCells - 1);
+  EXPECT_EQ(json, baseline);
+}
+
+TEST_F(Torture, WatchdogFailsCellsExceedingTheTimeout) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  SweepSpec spec = tortureSpec();
+  spec.accuracies = {0.5};
+  spec.userRisks = {0.5};
+  failpoint::arm("runner.task.start", "delay(300)");
+  RunnerOptions options;
+  options.threads = 1;
+  options.reps = 1;
+  options.cellTimeoutSeconds = 0.05;
+  SweepRunner runner(spec, options);
+  try {
+    (void)runner.run();
+    FAIL() << "watchdog must fail the wedged cell";
+  } catch (const SweepError& error) {
+    ASSERT_EQ(error.failures().size(), 1u);
+    EXPECT_NE(
+        std::string(error.failures()[0].reason).find("exceeded cell timeout"),
+        std::string::npos)
+        << error.failures()[0].reason;
+  }
+}
+
+#ifdef PQOS_SWEEP_HELPER
+
+/// Runs `command` through the shell; returns the raw wait status.
+int shell(const std::string& command) {
+  const int status = std::system(command.c_str());  // NOLINT
+  EXPECT_NE(status, -1);
+  return status;
+}
+
+TEST_F(Torture, KilledProcessResumesByteIdenticallyAtEveryAppend) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  const std::string helper = PQOS_SWEEP_HELPER;
+  ASSERT_TRUE(fs::exists(helper)) << helper;
+
+  const std::string cleanDir = (dir_ / "clean").string();
+  ASSERT_EQ(shell("'" + helper + "' '" + cleanDir + "'"), 0);
+  const std::string baseline = normalizeJson(slurp(cleanDir + "/sweep.json"));
+  ASSERT_FALSE(baseline.empty());
+
+  // Kill the helper with SIGABRT at its k-th journal append — a real
+  // process death at every commit boundary, not a simulated one — then
+  // resume in a fresh process.
+  for (std::size_t k = 1; k <= kCells; ++k) {
+    const std::string dir = (dir_ / ("kill_" + std::to_string(k))).string();
+    // `exec` makes the helper replace the shell, so the SIGABRT death is
+    // visible in the wait status instead of being folded into exit 134.
+    const int killed = shell("PQOS_FAILPOINTS='runner.journal.append=abort(" +
+                             std::to_string(k) + ")' exec '" + helper + "' '" +
+                             dir + "' 2>/dev/null");
+    ASSERT_TRUE(WIFSIGNALED(killed) && WTERMSIG(killed) == SIGABRT)
+        << "kill " << k << ": expected SIGABRT, got status " << killed;
+    EXPECT_EQ(slurp(dir + "/sweep.json"), "")
+        << "kill " << k << ": no JSON may exist before the sweep completes";
+
+    const int resumed =
+        shell("'" + helper + "' '" + dir + "' --resume 2>/dev/null");
+    ASSERT_TRUE(WIFEXITED(resumed) && WEXITSTATUS(resumed) == 0)
+        << "resume " << k << ": status " << resumed;
+    EXPECT_EQ(normalizeJson(slurp(dir + "/sweep.json")), baseline)
+        << "resume " << k << ": output must be byte-identical";
+  }
+}
+
+#endif  // PQOS_SWEEP_HELPER
+
+}  // namespace
+}  // namespace pqos::runner

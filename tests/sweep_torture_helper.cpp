@@ -1,0 +1,56 @@
+// Crash-test dummy for runner_torture_test: runs one fixed, journaled
+// sweep so the test can kill it mid-run (PQOS_FAILPOINTS=
+// runner.journal.append=abort(k)) and then resume it in a fresh process.
+// The sweep definition lives here, not in flags, so the killed run and
+// the resumed run cannot drift apart.
+//
+//   sweep_torture_helper <dir> [--resume]
+//
+// Exit 0 on a completed sweep; 3 on SweepError (failed cells); 4 on any
+// other error. The JSON artifact lands at <dir>/sweep.json.
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "failpoint/failpoint.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  if (argc < 2) {
+    std::cerr << "usage: sweep_torture_helper <dir> [--resume]\n";
+    return 4;
+  }
+  const std::string dir = argv[1];
+  const bool resume = argc > 2 && std::strcmp(argv[2], "--resume") == 0;
+
+  runner::SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 50;
+  spec.seed = 7;
+  spec.accuracies = {0.3, 0.7};
+  spec.userRisks = {0.2, 0.8};
+  spec.title = "torture sweep";
+
+  runner::RunnerOptions options;
+  options.threads = 2;
+  options.reps = 2;
+  options.journalPath = dir + "/sweep.journal.jsonl";
+  options.resume = resume;
+
+  try {
+    failpoint::armFromEnv();
+    runner::SweepRunner sweep(spec, options);
+    runner::JsonResultSink json(dir + "/sweep.json");
+    sweep.addSink(&json);
+    const auto result = sweep.run();
+    return result.partial() ? 3 : 0;
+  } catch (const runner::SweepError& error) {
+    std::cerr << "sweep_torture_helper: " << error.what() << '\n';
+    return 3;
+  } catch (const std::exception& error) {
+    std::cerr << "sweep_torture_helper: " << error.what() << '\n';
+    return 4;
+  }
+}

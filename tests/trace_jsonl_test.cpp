@@ -131,5 +131,48 @@ TEST(TraceJsonl, MissingFileThrowsConfigError) {
   EXPECT_THROW((void)loadJsonlFile("/nonexistent/trace.jsonl"), ConfigError);
 }
 
+TEST(TraceJsonl, RecoverModeDropsOnlyATruncatedFinalLine) {
+  std::string text = toJsonLine(sample());
+  text += '\n';
+  text += toJsonLine(sample());
+  text += '\n';
+  const std::string good = toJsonLine(sample());
+  text += good.substr(0, good.size() / 2);  // crash mid-write, no newline
+
+  // Strict (the default) still refuses the file outright.
+  std::istringstream strict(text);
+  EXPECT_THROW((void)parseJsonl(strict), ParseError);
+
+  std::vector<std::string> warnings;
+  std::istringstream recover(text);
+  const auto events = parseJsonl(recover, ParseMode::Recover, &warnings);
+  EXPECT_EQ(events.size(), 2u);
+  ASSERT_EQ(warnings.size(), 1u);
+  EXPECT_NE(warnings[0].find("truncated trace line 3"), std::string::npos)
+      << warnings[0];
+}
+
+TEST(TraceJsonl, RecoverModeStillRejectsMidFileCorruption) {
+  // A malformed line *followed by* a good one cannot be a torn tail; even
+  // Recover must treat it as corruption.
+  std::string text = "{\"t\":broken\n";
+  text += toJsonLine(sample());
+  text += '\n';
+  std::istringstream in(text);
+  std::vector<std::string> warnings;
+  EXPECT_THROW((void)parseJsonl(in, ParseMode::Recover, &warnings),
+               ParseError);
+  EXPECT_TRUE(warnings.empty());
+}
+
+TEST(TraceJsonl, RecoverModeWithACleanStreamWarnsNothing) {
+  std::stringstream io;
+  const std::vector<Event> events{sample(), sample()};
+  writeJsonl(io, events);
+  std::vector<std::string> warnings;
+  EXPECT_EQ(parseJsonl(io, ParseMode::Recover, &warnings).size(), 2u);
+  EXPECT_TRUE(warnings.empty());
+}
+
 }  // namespace
 }  // namespace pqos::trace
