@@ -4,13 +4,24 @@
 #include <optional>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
+#include "runner/provenance.hpp"
 #include "runner/result_sink.hpp"
+#include "util/json.hpp"
 #include "util/strings.hpp"
 
 namespace pqos::bench {
 
+namespace {
+/// Bench wall-time start, on the metrics monotonic clock. parseHarness is
+/// the first harness call in every bench main(), so the delta at emit()
+/// time is the whole run, flag parsing included.
+double g_startSeconds = 0.0;
+}  // namespace
+
 bool parseHarness(int argc, const char* const* argv,
                   const std::string& description, HarnessOptions& options) {
+  g_startSeconds = metrics::nowSeconds();
   ArgParser args(description);
   args.addInt("jobs", static_cast<long long>(options.jobs),
               "jobs to replay (paper: 10000)");
@@ -62,8 +73,54 @@ bool parseHarness(int argc, const char* const* argv,
   return true;
 }
 
-bool emit(const Table& table, const HarnessOptions& options,
-          const std::string& title) {
+namespace {
+
+/// Machine-readable results for benches that are not sweeps (ablations,
+/// tables): schema pqos-bench-v1 — the same provenance header as the
+/// sweep sink, the printed table as raw cells, the run's wall time on the
+/// metrics monotonic clock, and (in metrics-enabled builds) the
+/// pqos-perf-v1 block so example_perf_report can read bench output too.
+void writeBenchJson(const Table& table, const HarnessOptions& options,
+                    const std::string& title) {
+  const double wallSeconds = metrics::nowSeconds() - g_startSeconds;
+  runner::writeFileWithParents(options.jsonPath, [&](std::ostream& os) {
+    JsonWriter json(os);
+    json.beginObject();
+    json.field("schema", "pqos-bench-v1");
+    json.field("title", title);
+    json.field("gitDescribe", runner::gitDescribe());
+    json.field("buildType", runner::buildType());
+    json.field("compiler", runner::compilerId());
+    json.field("wallSeconds", wallSeconds);
+    json.field("jobs", static_cast<std::uint64_t>(options.jobs));
+    json.field("seed", options.seed);
+    json.field("machineSize", options.machineSize);
+    json.key("table").beginObject();
+    json.key("header").beginArray();
+    for (const auto& cell : table.header()) json.value(cell);
+    json.endArray();
+    json.key("rows").beginArray();
+    for (const auto& row : table.rows()) {
+      json.beginArray();
+      for (const auto& cell : row) json.value(cell);
+      json.endArray();
+    }
+    json.endArray();
+    json.endObject();
+    if constexpr (metrics::kCompiled) {
+      json.key("perf");
+      metrics::writePerfJson(json, metrics::snapshot(), wallSeconds);
+    }
+    json.endObject();
+    os << '\n';
+  });
+}
+
+/// Shared emit body. `jsonWrittenBySink` distinguishes sweep benches
+/// (the runner's JsonResultSink already exported pqos-sweep-v1; only
+/// announce it) from plain benches (write pqos-bench-v1 here).
+bool emitImpl(const Table& table, const HarnessOptions& options,
+              const std::string& title, bool jsonWrittenBySink) {
   std::cout << title << "\n(jobs=" << options.jobs
             << ", seed=" << options.seed
             << ", machine=" << options.machineSize
@@ -80,19 +137,40 @@ bool emit(const Table& table, const HarnessOptions& options,
     std::cout << "\nCSV written to " << options.csvPath << '\n';
   }
   if (!options.jsonPath.empty()) {
+    if (!jsonWrittenBySink) {
+      try {
+        writeBenchJson(table, options, title);
+      } catch (const std::exception& error) {
+        std::cerr << "error: " << error.what() << '\n';
+        return false;
+      }
+    }
     std::cout << "JSON results written to " << options.jsonPath << '\n';
   }
   if (!options.rawCsvPath.empty()) {
-    std::cout << "Raw per-replica CSV written to " << options.rawCsvPath
-              << '\n';
+    if (jsonWrittenBySink) {
+      std::cout << "Raw per-replica CSV written to " << options.rawCsvPath
+                << '\n';
+    } else {
+      // Only sweeps have replicas; a plain bench has nothing to export.
+      std::cerr << "warning: --raw-csv ignored (not a sweep bench)\n";
+    }
   }
   std::cout << std::endl;
   return true;
 }
 
+}  // namespace
+
+bool emit(const Table& table, const HarnessOptions& options,
+          const std::string& title) {
+  return emitImpl(table, options, title, /*jsonWrittenBySink=*/false);
+}
+
 bool emit(const Table& table, const HarnessOptions& options,
           const std::string& title, const runner::SweepResult& sweep) {
-  const bool wrote = emit(table, options, title);
+  const bool wrote = emitImpl(table, options, title,
+                              /*jsonWrittenBySink=*/true);
   if (!sweep.partial()) return wrote;
   std::cerr << "warning: sweep output is partial; quarantined sink(s):\n";
   for (const auto& name : sweep.quarantinedSinks) {

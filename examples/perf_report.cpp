@@ -1,0 +1,281 @@
+// Performance-report reader for the pqos::metrics "perf" block.
+//
+// Reads the perf observability data exported by the runner's JSON sink
+// (schema pqos-perf-v1, embedded in a pqos-sweep-v1 file or stored as a
+// bare object) and pretty-prints it: counters, gauges, throughput, and a
+// flamegraph-style span table where children are indented under the
+// parents they were observed beneath. With --diff it compares two perf
+// JSONs side by side — the manual companion to scripts/perf_gate.py.
+//
+//   ./example_perf_report --in /tmp/sweep.json
+//   ./example_perf_report --in before.json --diff after.json
+//   ./example_perf_report --list-metrics
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "util/args.hpp"
+#include "util/error.hpp"
+#include "util/json_parse.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using pqos::JsonValue;
+using pqos::Table;
+using pqos::formatFixed;
+
+std::string_view kindName(pqos::metrics::Kind kind) {
+  switch (kind) {
+    case pqos::metrics::Kind::Counter: return "counter";
+    case pqos::metrics::Kind::Gauge: return "gauge";
+    case pqos::metrics::Kind::Span: return "span";
+  }
+  return "?";
+}
+
+/// One span's aggregate row from the "spans" array.
+struct SpanRow {
+  std::uint64_t count = 0;
+  double totalSeconds = 0.0;
+  double selfSeconds = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double max = 0.0;
+};
+
+/// The perf block plus the enclosing file's identity, location-agnostic:
+/// loads either a pqos-sweep-v1 file (block under "perf") or a bare
+/// pqos-perf-v1 object.
+struct PerfDoc {
+  std::string label;
+  double wallSeconds = 0.0;
+  std::map<std::string, double> counters;   // includes gauges
+  std::map<std::string, SpanRow> spans;
+  // parent -> [(child, edge count)], parent "(root)" for top-level spans.
+  std::map<std::string, std::vector<std::pair<std::string, std::uint64_t>>>
+      children;
+};
+
+PerfDoc loadPerfDoc(const std::string& path) {
+  const JsonValue doc = pqos::loadJsonFile(path);
+  PerfDoc out;
+  out.label = path;
+  const JsonValue* perf = &doc;
+  if (const JsonValue* embedded = doc.find("perf")) {
+    perf = embedded;
+    if (const JsonValue* title = doc.find("title")) {
+      out.label = title->asString();
+    }
+  }
+  const std::string& schema = perf->at("schema").asString();
+  if (schema != "pqos-perf-v1") {
+    throw pqos::ConfigError(path + ": expected schema pqos-perf-v1, got \"" +
+                            schema + "\"");
+  }
+  out.wallSeconds = perf->at("wallSeconds").asDouble();
+  for (const auto& [name, value] : perf->at("counters").members()) {
+    out.counters[name] = value.asDouble();
+  }
+  for (const auto& [name, value] : perf->at("gauges").members()) {
+    out.counters[name] = value.asDouble();
+  }
+  for (const JsonValue& span : perf->at("spans").elements()) {
+    SpanRow row;
+    row.count = span.at("count").asUint64();
+    row.totalSeconds = span.at("totalSeconds").asDouble();
+    row.selfSeconds = span.at("selfSeconds").asDouble();
+    row.p50 = span.at("p50").asDouble();
+    row.p99 = span.at("p99").asDouble();
+    row.max = span.at("max").asDouble();
+    out.spans[span.at("name").asString()] = row;
+  }
+  for (const JsonValue& edge : perf->at("tree").elements()) {
+    out.children[edge.at("parent").asString()].emplace_back(
+        edge.at("child").asString(), edge.at("count").asUint64());
+  }
+  return out;
+}
+
+/// Seconds rendered with units that keep small spans readable.
+std::string formatSeconds(double s) {
+  if (s == 0.0) return "0";
+  if (s < 1e-3) return formatFixed(s * 1e6, 1) + "us";
+  if (s < 1.0) return formatFixed(s * 1e3, 2) + "ms";
+  return formatFixed(s, 3) + "s";
+}
+
+/// Depth-first over the observed parent->child edges, indenting children
+/// under their parent. A span reached through two parents appears twice —
+/// that is the point of the tree view; `path` guards against cycles.
+void addSpanRows(const PerfDoc& doc, Table& table, const std::string& name,
+                 std::uint64_t edgeCount, int depth,
+                 std::vector<std::string>& path) {
+  const auto found = doc.spans.find(name);
+  if (found == doc.spans.end()) return;
+  const SpanRow& row = found->second;
+  const double wallShare =
+      doc.wallSeconds > 0.0 ? row.totalSeconds / doc.wallSeconds * 100.0 : 0.0;
+  table.addRow({std::string(static_cast<std::size_t>(depth) * 2, ' ') + name,
+                std::to_string(edgeCount), formatSeconds(row.totalSeconds),
+                formatSeconds(row.selfSeconds), formatFixed(wallShare, 1),
+                formatSeconds(row.p50), formatSeconds(row.p99),
+                formatSeconds(row.max)});
+  if (std::find(path.begin(), path.end(), name) != path.end()) return;
+  path.push_back(name);
+  const auto kids = doc.children.find(name);
+  if (kids != doc.children.end()) {
+    for (const auto& [child, count] : kids->second) {
+      addSpanRows(doc, table, child, count, depth + 1, path);
+    }
+  }
+  path.pop_back();
+}
+
+void printReport(const PerfDoc& doc) {
+  std::cout << "perf report: " << doc.label << "\n";
+  std::cout << "wall " << formatFixed(doc.wallSeconds, 3) << " s\n\n";
+
+  Table counters({"counter/gauge", "value"});
+  for (const auto& [name, value] : doc.counters) {
+    counters.addRow({name, formatFixed(value, 0)});
+  }
+  counters.print(std::cout);
+  std::cout << "\n";
+
+  Table spans({"span", "calls", "total", "self", "%wall", "p50", "p99",
+               "max"});
+  std::vector<std::string> path;
+  const auto roots = doc.children.find("(root)");
+  if (roots != doc.children.end()) {
+    for (const auto& [child, count] : roots->second) {
+      addSpanRows(doc, spans, child, count, 0, path);
+    }
+  }
+  // Spans recorded but never reached from the root (possible when a
+  // thread's shard flushed mid-span) still deserve a line.
+  std::set<std::string> shown;
+  if (roots != doc.children.end()) {
+    for (const auto& [parent, kids] : doc.children) {
+      (void)parent;
+      for (const auto& [child, count] : kids) {
+        (void)count;
+        shown.insert(child);
+      }
+    }
+  }
+  for (const auto& [name, row] : doc.spans) {
+    if (row.count > 0 && shown.find(name) == shown.end()) {
+      addSpanRows(doc, spans, name, row.count, 0, path);
+    }
+  }
+  spans.print(std::cout);
+}
+
+/// Relative delta rendered as a signed percentage; "n/a" when the
+/// reference is zero and the other side is not.
+std::string formatDelta(double a, double b) {
+  if (a == b) return "0%";
+  if (a == 0.0) return "n/a";
+  // Built via a stream: gcc 12's -Wrestrict false-positives (PR 105651)
+  // on short-string operator+/insert chains under -O2.
+  const double pct = (b - a) / a * 100.0;
+  std::ostringstream out;
+  if (pct >= 0.0) out << '+';
+  out << formatFixed(pct, 1) << '%';
+  return out.str();
+}
+
+void printDiff(const PerfDoc& a, const PerfDoc& b) {
+  std::cout << "perf diff: A = " << a.label << ", B = " << b.label << "\n\n";
+
+  Table wall({"quantity", "A", "B", "delta"});
+  wall.addRow({"wallSeconds", formatFixed(a.wallSeconds, 3),
+               formatFixed(b.wallSeconds, 3),
+               formatDelta(a.wallSeconds, b.wallSeconds)});
+  wall.print(std::cout);
+  std::cout << "\n";
+
+  Table counters({"counter/gauge", "A", "B", "delta"});
+  std::set<std::string> names;
+  for (const auto& [name, value] : a.counters) (void)value, names.insert(name);
+  for (const auto& [name, value] : b.counters) (void)value, names.insert(name);
+  for (const auto& name : names) {
+    const auto inA = a.counters.find(name);
+    const auto inB = b.counters.find(name);
+    const double va = inA == a.counters.end() ? 0.0 : inA->second;
+    const double vb = inB == b.counters.end() ? 0.0 : inB->second;
+    counters.addRow({name, formatFixed(va, 0), formatFixed(vb, 0),
+                     formatDelta(va, vb)});
+  }
+  counters.print(std::cout);
+  std::cout << "\n";
+
+  Table spans({"span", "calls A", "calls B", "total A", "total B", "delta"});
+  names.clear();
+  for (const auto& [name, row] : a.spans) (void)row, names.insert(name);
+  for (const auto& [name, row] : b.spans) (void)row, names.insert(name);
+  for (const auto& name : names) {
+    const auto inA = a.spans.find(name);
+    const auto inB = b.spans.find(name);
+    const SpanRow ra = inA == a.spans.end() ? SpanRow{} : inA->second;
+    const SpanRow rb = inB == b.spans.end() ? SpanRow{} : inB->second;
+    spans.addRow({name, std::to_string(ra.count), std::to_string(rb.count),
+                  formatSeconds(ra.totalSeconds),
+                  formatSeconds(rb.totalSeconds),
+                  formatDelta(ra.totalSeconds, rb.totalSeconds)});
+  }
+  spans.print(std::cout);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args("pqos perf report: inspect and diff pqos-perf-v1 JSON");
+  args.addString("in", "", "sweep or perf JSON to report on");
+  args.addString("diff", "", "second JSON; compare --in (A) against it (B)");
+  args.addBool("list-metrics", false,
+               "print the metric catalogue and exit");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+
+    // Machine-readable registry for lint/tooling cross-checks (mirrors
+    // dump_trace --list-failpoints). One "name<TAB>kind<TAB>description"
+    // line per metric.
+    if (args.getBool("list-metrics")) {
+      for (const auto& metric : metrics::catalogue()) {
+        std::cout << metric.name << '\t' << kindName(metric.kind) << '\t'
+                  << metric.description << '\n';
+      }
+      std::cerr << (metrics::kCompiled
+                        ? "(metric hooks compiled in: -DPQOS_METRICS=ON)\n"
+                        : "(metric hooks compiled out: -DPQOS_METRICS=OFF)\n");
+      return 0;
+    }
+
+    const std::string inPath = args.getString("in");
+    if (inPath.empty()) {
+      std::cerr << "no input: pass --in <sweep-or-perf.json> (see --help)\n";
+      return 1;
+    }
+    const PerfDoc a = loadPerfDoc(inPath);
+    const std::string diffPath = args.getString("diff");
+    if (diffPath.empty()) {
+      printReport(a);
+    } else {
+      printDiff(a, loadPerfDoc(diffPath));
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << "\n";
+    return 1;
+  }
+}

@@ -14,6 +14,8 @@
 #   scripts/check.sh --coverage      # gcov line coverage summary (opt-in)
 #   scripts/check.sh --chaos         # fault-injection sweep + kill/resume
 #                                    # torture (opt-in)
+#   scripts/check.sh --perf          # perf-regression gate + metric-hook
+#                                    # overhead bound (opt-in)
 #
 # Stages may be combined (e.g. `--strict --lint`). The legacy positional
 # spellings `release`, `tsan`, and `all` are still accepted. JOBS=<n>
@@ -227,10 +229,64 @@ stage_chaos() {
   note chaos PASS
 }
 
+# Perf stage (opt-in, like coverage/chaos): runs scripts/perf_gate.py —
+# the deterministic-counter regression gate against the checked-in
+# bench/perf_baseline.json, then the metric-hook overhead bound against a
+# freshly built -DPQOS_METRICS=OFF twin — and smokes the perf tooling.
+# Opt-in because the overhead half needs a quiet machine and a second
+# build tree.
+stage_perf() {
+  local on=build-release off=build-perf-off
+  local targets=(bench_fig1_qos_vs_accuracy_sdsc
+                 bench_fig2_qos_vs_accuracy_nasa example_perf_report)
+  echo "=== [perf] building metrics-ON benches in $on ==="
+  if ! cmake -B "$ROOT/$on" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE= -DPQOS_METRICS=ON; then
+    note perf FAIL
+    return 1
+  fi
+  if ! cmake --build "$ROOT/$on" -j "$JOBS" --target "${targets[@]}"; then
+    note perf FAIL
+    return 1
+  fi
+  echo "=== [perf] building metrics-OFF twin in $off ==="
+  if ! cmake -B "$ROOT/$off" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE= -DPQOS_METRICS=OFF; then
+    note perf FAIL
+    return 1
+  fi
+  if ! cmake --build "$ROOT/$off" -j "$JOBS" --target \
+       bench_fig1_qos_vs_accuracy_sdsc bench_fig2_qos_vs_accuracy_nasa; then
+    note perf FAIL
+    return 1
+  fi
+
+  echo "=== [perf] metric catalogue smoke (--list-metrics) ==="
+  if ! "$ROOT/$on/examples/example_perf_report" --list-metrics > /dev/null; then
+    note perf FAIL
+    return 1
+  fi
+  echo "=== [perf] regression gate vs bench/perf_baseline.json ==="
+  if ! python3 "$ROOT/scripts/perf_gate.py" --build-dir "$ROOT/$on" \
+       --out "$ROOT/$on/BENCH_PERF.json"; then
+    note perf FAIL
+    return 1
+  fi
+  echo "=== [perf] metric-hook overhead bound (ON vs OFF) ==="
+  if ! python3 "$ROOT/scripts/perf_gate.py" --overhead \
+       --build-dir "$ROOT/$on" --off-build "$ROOT/$off" --runs 5; then
+    note perf FAIL
+    return 1
+  fi
+  note perf PASS
+}
+
 # --all expands to ALL_STAGES; STAGE_ORDER additionally fixes where the
 # opt-in stages run when requested explicitly.
 ALL_STAGES=(release tsan strict ubsan audit tidy lint)
-STAGE_ORDER=("${ALL_STAGES[@]}" coverage chaos)
+STAGE_ORDER=("${ALL_STAGES[@]}" coverage chaos perf)
 REQUESTED=()
 
 if [ "$#" -eq 0 ]; then
@@ -248,8 +304,9 @@ for arg in "$@"; do
     --lint) REQUESTED+=(lint) ;;
     --coverage) REQUESTED+=(coverage) ;;
     --chaos) REQUESTED+=(chaos) ;;
+    --perf) REQUESTED+=(perf) ;;
     *)
-      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--chaos|--all]" >&2
+      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--chaos|--perf|--all]" >&2
       exit 2
       ;;
   esac

@@ -1,0 +1,338 @@
+#!/usr/bin/env python3
+"""Performance-regression gate over the pqos::metrics perf export.
+
+Runs the canonical figure sweeps (NASA + SDSC job logs, fixed seed,
+single worker thread), collects each run's "perf" block (schema
+pqos-perf-v1) from the runner's JSON sink, and writes BENCH_PERF.json
+with git/build provenance. The gate then compares the *deterministic*
+work counters — events dispatched, queue pushes, predictor queries, span
+call counts — against the checked-in baseline (bench/perf_baseline.json):
+for a fixed spec these are exact, machine-independent quantities, so a
+drift beyond --counter-tolerance means the code now does measurably
+different work, not that the CI box was busy. Wall time is always
+recorded (min over --runs) but only gated when --wall-tolerance is set,
+because a checked-in wall baseline is only meaningful on the machine
+that produced it.
+
+    scripts/perf_gate.py --build-dir build-release
+    scripts/perf_gate.py --build-dir build-release --update-baseline
+    scripts/perf_gate.py --overhead --build-dir build-release \
+        --off-build build-perf-off
+
+--overhead mode answers a different question: with the metric hooks
+compiled in (-DPQOS_METRICS=ON, the default) but simply left running,
+how much slower is the sweep than a hook-free -DPQOS_METRICS=OFF build?
+The bound (--overhead-tolerance, default 5%) is the tentpole's budget;
+both sides are min-of-N on the same machine in the same session, so the
+comparison is fair.
+
+Exit status: 0 = within tolerance, 1 = regression or overhead breach,
+2 = setup problem (missing binary, metrics compiled out, no baseline).
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+# Canonical gate workloads: one sweep per job log, small enough to run
+# in seconds but large enough that the hot paths dominate. Single worker
+# thread keeps wall time comparable between runs on a loaded CI box.
+BENCHES = [
+    {
+        "name": "fig1_sdsc",
+        "binary": "bench/bench_fig1_qos_vs_accuracy_sdsc",
+    },
+    {
+        "name": "fig2_nasa",
+        "binary": "bench/bench_fig2_qos_vs_accuracy_nasa",
+    },
+]
+BENCH_ARGS = ["--jobs", "400", "--seed", "42", "--threads", "1", "--reps", "1"]
+
+
+def fail(message):
+    print(f"perf_gate: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def run_bench(build_dir, bench, runs):
+    """Runs one bench binary `runs` times; returns (best_record, sweep_doc).
+
+    best_record carries the deterministic counters from the last run (they
+    are identical across runs — verified) and the minimum wall time.
+    """
+    binary = os.path.join(build_dir, bench["binary"])
+    if not os.path.isfile(binary):
+        fail(f"bench binary not found: {binary} (build it first)")
+    walls = []
+    doc = None
+    for _ in range(runs):
+        with tempfile.TemporaryDirectory(prefix="pqos_perf_gate.") as scratch:
+            out = os.path.join(scratch, "sweep.json")
+            command = [binary, *BENCH_ARGS, "--json", out]
+            result = subprocess.run(
+                command, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
+            )
+            if result.returncode != 0:
+                fail(
+                    f"{' '.join(command)} exited {result.returncode}:\n"
+                    f"{result.stderr.decode(errors='replace')}"
+                )
+            with open(out, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        walls.append(doc["wallSeconds"])
+
+    record = {
+        "name": bench["name"],
+        "binary": bench["binary"],
+        "args": BENCH_ARGS,
+        "wallSeconds": min(walls),
+        "wallSecondsRuns": walls,
+    }
+    perf = doc.get("perf")
+    if perf is not None:
+        record["counters"] = perf["counters"]
+        record["gauges"] = perf["gauges"]
+        record["spanCalls"] = {
+            span["name"]: span["count"]
+            for span in perf["spans"]
+            if span["count"] > 0
+        }
+    return record, doc
+
+
+def deterministic_values(record):
+    """Flattens the gated quantities of one bench record to {key: value}."""
+    values = {}
+    for group in ("counters", "gauges", "spanCalls"):
+        for name, value in record.get(group, {}).items():
+            values[f"{group}.{name}"] = value
+    return values
+
+
+def compare_record(name, measured, baseline, tolerance):
+    """Returns a list of violation strings for one bench."""
+    violations = []
+    current = deterministic_values(measured)
+    reference = deterministic_values(baseline)
+    for key in sorted(set(current) | set(reference)):
+        have = current.get(key)
+        want = reference.get(key)
+        if have is None or want is None:
+            violations.append(
+                f"{name}: {key} {'appeared' if want is None else 'vanished'} "
+                f"(baseline {want}, measured {have}); if intentional, rerun "
+                f"with --update-baseline"
+            )
+            continue
+        limit = max(abs(want) * tolerance, 0.0)
+        if abs(have - want) > limit:
+            drift = (have - want) / want * 100.0 if want else float("inf")
+            violations.append(
+                f"{name}: {key} drifted {drift:+.2f}% "
+                f"(baseline {want}, measured {have}, tolerance "
+                f"{tolerance * 100:.1f}%)"
+            )
+    return violations
+
+
+def gate(args):
+    benches = []
+    provenance = {}
+    for bench in BENCHES:
+        record, doc = run_bench(args.build_dir, bench, args.runs)
+        if "counters" not in record:
+            fail(
+                "no perf block in sweep JSON: the build has metrics "
+                "compiled out (-DPQOS_METRICS=OFF); the gate needs the "
+                "default -DPQOS_METRICS=ON build"
+            )
+        provenance = {
+            "gitDescribe": doc["gitDescribe"],
+            "buildType": doc["buildType"],
+            "compiler": doc["compiler"],
+        }
+        events = record["counters"].get("sim.engine.events", 0)
+        wall = record["wallSeconds"]
+        record["eventsPerSecond"] = events / wall if wall > 0 else 0.0
+        print(
+            f"perf_gate: {record['name']}: wall {wall:.3f} s "
+            f"(min of {args.runs}), {events} events, "
+            f"{record['eventsPerSecond'] / 1000.0:.0f}k events/s"
+        )
+        benches.append(record)
+
+    report = {
+        "schema": "pqos-perf-v1",
+        "generator": "scripts/perf_gate.py",
+        **provenance,
+        "runsPerBench": args.runs,
+        "benches": benches,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+    print(f"perf_gate: wrote {args.out}")
+
+    if args.update_baseline:
+        with open(args.baseline, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"perf_gate: baseline updated: {args.baseline}")
+        return 0
+
+    if not os.path.isfile(args.baseline):
+        fail(
+            f"no baseline at {args.baseline}; create one with "
+            f"--update-baseline"
+        )
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    baseline_by_name = {b["name"]: b for b in baseline["benches"]}
+
+    violations = []
+    for record in benches:
+        reference = baseline_by_name.get(record["name"])
+        if reference is None:
+            violations.append(
+                f"{record['name']}: not in baseline; rerun with "
+                f"--update-baseline"
+            )
+            continue
+        violations.extend(
+            compare_record(
+                record["name"], record, reference, args.counter_tolerance
+            )
+        )
+        if args.wall_tolerance > 0:
+            want = reference["wallSeconds"]
+            have = record["wallSeconds"]
+            if have > want * (1.0 + args.wall_tolerance):
+                violations.append(
+                    f"{record['name']}: wall {have:.3f} s exceeds baseline "
+                    f"{want:.3f} s by more than "
+                    f"{args.wall_tolerance * 100:.0f}%"
+                )
+
+    if violations:
+        print(f"perf_gate: {len(violations)} violation(s):", file=sys.stderr)
+        for violation in violations:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print(
+        f"perf_gate: OK — {len(benches)} bench(es) within "
+        f"{args.counter_tolerance * 100:.1f}% of baseline "
+        f"({baseline['gitDescribe']})"
+    )
+    return 0
+
+
+def overhead(args):
+    if not args.off_build:
+        fail("--overhead needs --off-build <dir> (a -DPQOS_METRICS=OFF build)")
+    worst = 0.0
+    for bench in BENCHES:
+        on_record, on_doc = run_bench(args.build_dir, bench, args.runs)
+        off_record, off_doc = run_bench(args.off_build, bench, args.runs)
+        if "counters" not in on_record:
+            fail(f"--build-dir {args.build_dir} has metrics compiled out")
+        if "counters" in off_record:
+            fail(
+                f"--off-build {args.off_build} has metrics compiled IN; "
+                f"configure it with -DPQOS_METRICS=OFF"
+            )
+        on_wall = on_record["wallSeconds"]
+        off_wall = off_record["wallSeconds"]
+        ratio = (on_wall - off_wall) / off_wall if off_wall > 0 else 0.0
+        worst = max(worst, ratio)
+        print(
+            f"perf_gate: overhead {bench['name']}: ON {on_wall:.3f} s vs "
+            f"OFF {off_wall:.3f} s = {ratio * 100:+.2f}% "
+            f"(min of {args.runs} each)"
+        )
+        del on_doc, off_doc
+    if worst > args.overhead_tolerance:
+        print(
+            f"perf_gate: metric-hook overhead {worst * 100:.2f}% exceeds "
+            f"the {args.overhead_tolerance * 100:.0f}% budget",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"perf_gate: OK — worst overhead {worst * 100:+.2f}% within the "
+        f"{args.overhead_tolerance * 100:.0f}% budget"
+    )
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    parser.add_argument(
+        "--build-dir",
+        default=os.path.join(root, "build-release"),
+        help="metrics-ON build tree with the bench binaries",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=os.path.join(root, "bench", "perf_baseline.json"),
+        help="checked-in reference BENCH_PERF.json",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_PERF.json",
+        help="where to write the measured report",
+    )
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=3,
+        help="runs per bench; wall time is the minimum",
+    )
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.02,
+        help="allowed relative drift of deterministic work counters",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.0,
+        help="gate wall time too (same-machine baselines only); 0 = off",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from this measurement instead of gating",
+    )
+    parser.add_argument(
+        "--overhead",
+        action="store_true",
+        help="compare against a -DPQOS_METRICS=OFF build instead",
+    )
+    parser.add_argument(
+        "--off-build",
+        default="",
+        help="metrics-OFF build tree for --overhead",
+    )
+    parser.add_argument(
+        "--overhead-tolerance",
+        type=float,
+        default=0.05,
+        help="allowed ON-vs-OFF wall-time overhead for --overhead",
+    )
+    args = parser.parse_args()
+    if args.overhead:
+        sys.exit(overhead(args))
+    sys.exit(gate(args))
+
+
+if __name__ == "__main__":
+    main()

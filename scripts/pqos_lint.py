@@ -13,10 +13,18 @@ the ones that keep the simulator's results trustworthy:
                   runner's result sinks (the declared output layer).
   no-float        Simulation time/work arithmetic is double-only; a single
                   float narrows a multi-year clock below second precision.
-  no-wall-clock   The deterministic core (everything but runner/, util/,
-                  and failpoint/) must not read wall clocks: no <chrono>
-                  clocks, time(), clock(), or gettimeofday(). Simulated
-                  time comes from sim::Engine::now() alone.
+  no-wall-clock   The deterministic core (everything in src/ except the
+                  metrics layer) must not touch <chrono> at all: no clock
+                  reads, no ad-hoc durations. Simulated time comes from
+                  sim::Engine::now() alone; the sanctioned duration uses
+                  (failpoint delays, runner backoff/watchdog sleeps)
+                  carry reviewed inline allows.
+  no-raw-clock    Wall-clock *reads* — steady/system/high_resolution
+                  clock, time(), clock(), gettimeofday() — are confined
+                  to src/metrics/, the tree's single monotonic clock
+                  source (metrics::nowSeconds). Everything else, bench
+                  harnesses included, times itself through the metrics
+                  layer so on/off comparisons measure the same clock.
   no-raw-file-io  Whole-file artifacts (results, traces, workloads) are
                   written through util::atomic_write (tmp + fsync +
                   rename), so a crash never leaves a torn file that parses
@@ -31,6 +39,11 @@ the ones that keep the simulator's results trustworthy:
                   name an entry in the failpoint.cpp catalogue, and every
                   catalogued site must be evaluated somewhere — a typo on
                   either side would silently disarm chaos coverage.
+  metric-site     The same two-way check for PQOS_METRIC_* hooks and
+                  metrics::idOf("name") lookups against the metrics.cpp
+                  catalogue: an uncatalogued name throws LogicError at
+                  runtime, a catalogued-but-unused metric reports zeros
+                  that read as "this path never runs".
 
 Suppress a deliberate exception by appending
     // pqos-lint: allow(<rule>)
@@ -117,11 +130,24 @@ RULES = [
             r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)",
             r"\bclock\s*\(\s*\)",
         ],
-        lambda p: p.startswith("src/")
-        and not p.startswith("src/runner/")
-        and not p.startswith("src/util/")
-        and not p.startswith("src/failpoint/"),
-        "the deterministic core reads time only from sim::Engine::now()",
+        lambda p: p.startswith("src/") and not p.startswith("src/metrics/"),
+        "the deterministic core reads time only from sim::Engine::now(); "
+        "sanctioned duration uses need an inline allow",
+    ),
+    (
+        "no-raw-clock",
+        [
+            r"\bsystem_clock\b",
+            r"\bsteady_clock\b",
+            r"\bhigh_resolution_clock\b",
+            r"\bgettimeofday\s*\(",
+            r"\btime\s*\(\s*(?:NULL|nullptr|0)?\s*\)",
+            r"\bclock\s*\(\s*\)",
+        ],
+        lambda p: (p.startswith("src/") or p.startswith("bench/"))
+        and not p.startswith("src/metrics/"),
+        "wall-clock reads are confined to src/metrics "
+        "(metrics::nowSeconds is the single time source)",
     ),
 ]
 
@@ -242,6 +268,55 @@ def check_failpoint_sites(root: Path) -> list[tuple[str, int, str, str]]:
     return findings
 
 
+METRIC_USE_RE = re.compile(
+    r'PQOS_METRIC_(?:COUNT_N|COUNT|GAUGE_MAX|SPAN)\(\s*"([^"]+)"'
+    r'|metrics::idOf\("([^"]+)"\)'
+)
+METRIC_SITE_RE = re.compile(r'\{"([a-z0-9_.-]+)",\s*Kind::')
+
+
+def check_metric_sites(root: Path) -> list[tuple[str, int, str, str]]:
+    """Cross-checks every PQOS_METRIC_* hook and metrics::idOf() lookup
+    against the kMetrics catalogue in src/metrics/metrics.cpp, both ways
+    (the metric twin of check_failpoint_sites)."""
+    findings = []
+    catalogue_path = root / "src" / "metrics" / "metrics.cpp"
+    if not catalogue_path.is_file():
+        return [("src/metrics/metrics.cpp", 1, "metric-site",
+                 "metric catalogue file is missing")]
+    match = re.search(r"kMetrics\[\]\s*=\s*\{(.*?)\n\};",
+                      catalogue_path.read_text(encoding="utf-8"), re.S)
+    if not match:
+        return [("src/metrics/metrics.cpp", 1, "metric-site",
+                 "could not locate the kMetrics catalogue")]
+    catalogued = set(METRIC_SITE_RE.findall(match.group(1)))
+
+    used: dict[str, tuple[str, int]] = {}
+    for pattern in ("src/**/*.hpp", "src/**/*.cpp", "bench/*.cpp",
+                    "bench/*.hpp", "tests/*.cpp", "examples/*.cpp"):
+        for path in sorted(root.glob(pattern)):
+            rel = path.relative_to(root).as_posix()
+            if rel.startswith("src/metrics/"):
+                continue  # the catalogue/registry itself is not a use site
+            text = path.read_text(encoding="utf-8")
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                for groups in METRIC_USE_RE.findall(line):
+                    name = groups[0] or groups[1]
+                    used.setdefault(name, (rel, lineno))
+    for name in sorted(set(used) - catalogued):
+        rel, lineno = used[name]
+        findings.append(
+            (rel, lineno, "metric-site",
+             f'metric "{name}" is not in the metrics.cpp catalogue')
+        )
+    for name in sorted(catalogued - set(used)):
+        findings.append(
+            ("src/metrics/metrics.cpp", 1, "metric-site",
+             f"catalogued metric '{name}' is never recorded anywhere")
+        )
+    return findings
+
+
 def lint_tree(root: Path, quiet: bool) -> int:
     findings = []
     scanned = 0
@@ -260,6 +335,7 @@ def lint_tree(root: Path, quiet: bool) -> int:
              "pqos_header_selfcontain target missing from the build")
         )
     findings.extend(check_failpoint_sites(root))
+    findings.extend(check_metric_sites(root))
     for rel, lineno, rule, line in findings:
         print(f"{rel}:{lineno}: [{rule}] {line}")
     if not quiet or findings:
@@ -311,14 +387,31 @@ SELF_TESTS = [
     ("float in string ok", "src/core/report.cpp",
      'const char* k = "float";\n', set()),
     ("chrono in core", "src/sim/engine.cpp",
-     "auto t0 = std::chrono::steady_clock::now();\n", {"no-wall-clock"}),
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     {"no-wall-clock", "no-raw-clock"}),
     ("time(nullptr) in core", "src/failure/generator.cpp",
-     "auto seed = time(nullptr);\n", {"no-wall-clock"}),
-    ("runner may time itself", "src/runner/sweep_runner.cpp",
-     "auto t0 = std::chrono::steady_clock::now();\n", set()),
-    ("failpoint delay may sleep", "src/failpoint/failpoint.cpp",
-     "std::this_thread::sleep_for(std::chrono::milliseconds(p0));\n",
+     "auto seed = time(nullptr);\n", {"no-wall-clock", "no-raw-clock"}),
+    ("runner clock reads moved to metrics::nowSeconds",
+     "src/runner/sweep_runner.cpp",
+     "auto t0 = std::chrono::steady_clock::now();\n",
+     {"no-wall-clock", "no-raw-clock"}),
+    ("runner sleeps need an inline allow", "src/runner/sweep_runner.cpp",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(delay));\n",
+     {"no-wall-clock"}),
+    ("allowed runner sleep is a duration, not a clock read",
+     "src/runner/sweep_runner.cpp",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(delay));"
+     "  // pqos-lint: allow(no-wall-clock)\n",
      set()),
+    ("failpoint delay sleep needs its allow", "src/failpoint/failpoint.cpp",
+     "std::this_thread::sleep_for(std::chrono::milliseconds(p0));"
+     "  // pqos-lint: allow(no-wall-clock)\n",
+     set()),
+    ("metrics layer owns the clock", "src/metrics/metrics.cpp",
+     "static const auto epoch = std::chrono::steady_clock::now();\n",
+     set()),
+    ("bench harness must use the metrics clock", "bench/harness.cpp",
+     "auto t0 = std::chrono::steady_clock::now();\n", {"no-raw-clock"}),
     ("engine now() is not a wall clock", "src/core/simulator.cpp",
      "const SimTime now = engine_.now();\n", set()),
     ("missing pragma once", "src/core/new_header.hpp",

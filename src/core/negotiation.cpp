@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hpp"
 #include "util/error.hpp"
 #include "workload/job.hpp"
 
@@ -60,6 +61,7 @@ Quote Negotiator::quoteAt(SimTime notBefore, int nodes,
 
 Quote Negotiator::negotiate(int nodes, Duration work, SimTime now,
                             const UserModel& user) const {
+  PQOS_METRIC_SPAN("core.negotiate");
   const Duration elapsed = workload::estimatedElapsed(
       work, config_.checkpointInterval, config_.checkpointOverhead);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "metrics/metrics.hpp"
 #include "util/error.hpp"
 #include "util/log.hpp"
 
@@ -297,6 +298,7 @@ void Simulator::onSegmentStop(JobId job) {
 }
 
 void Simulator::onCheckpointRequest(JobId job, Duration progress) {
+  PQOS_METRIC_SPAN("ckpt.decide");
   auto& rec = record(job);
   auto& rs = state(job);
   const SimTime now = engine_.now();
@@ -382,6 +384,7 @@ void Simulator::completeJob(JobId job) {
   traceRecord(trace::Kind::JobFinish, job, kInvalidNode, met ? 1.0 : 0.0,
               now - rec.spec.arrival);
   if (!met) traceCount(trace::Kind::DeadlineMiss);
+  PQOS_METRIC_COUNT("core.jobs.completed");
   ++completedCount_;
   if (completedCount_ == records_.size()) {
     engine_.stop();
@@ -444,6 +447,7 @@ void Simulator::onNodeFailure(const failure::FailureEvent& event) {
 
 void Simulator::dynamicReplan() {
   if (config_.dynamicReplanWindow <= 0) return;
+  PQOS_METRIC_SPAN("core.replan");
   // Re-pack the nearest-future reservations around the disturbance, in
   // planned-start (FCFS-after-negotiation) order. Promises and deadlines
   // are never renegotiated, and a re-planned job never starts before the

@@ -1,0 +1,349 @@
+#include "metrics/metrics.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace pqos::metrics {
+
+namespace {
+
+// The fixed metric catalogue, sorted by name. Every PQOS_METRIC_* hook in
+// the tree must name an entry here (pqos_lint.py cross-checks the
+// literals two ways); idOf() throws LogicError for an unknown name so a
+// typo cannot silently record nothing. Keep descriptions to one line:
+// they are dumped by `example_perf_report --list-metrics`.
+constexpr MetricInfo kMetrics[] = {
+    {"ckpt.decide", Kind::Span, "checkpoint decision, incl. its risk query"},
+    {"core.jobs.completed", Kind::Counter, "jobs that ran to completion"},
+    {"core.negotiate", Kind::Span, "deadline negotiation for one arrival"},
+    {"core.replan", Kind::Span, "dynamic replanning after failure/recovery"},
+    {"io.journal.append", Kind::Span, "sweep-journal record append"},
+    {"io.sink.write", Kind::Span, "result-sink file export (CSV/JSON)"},
+    {"io.swf.read", Kind::Span, "SWF workload log parse"},
+    {"io.swf.write", Kind::Span, "SWF workload log write"},
+    {"io.trace.read", Kind::Span, "JSONL event-trace parse"},
+    {"io.trace.write", Kind::Span, "JSONL event-trace write"},
+    {"predict.query", Kind::Span, "one predictor failure-probability query"},
+    {"runner.cell", Kind::Span, "one sweep cell: replica simulation + stats"},
+    {"runner.inputs.build", Kind::Span,
+     "per-replica workload/trace construction"},
+    {"sched.scan", Kind::Span, "reservation-book candidate-slot scan"},
+    {"sim.engine.events", Kind::Counter,
+     "events dispatched by sim::Engine::step"},
+    {"sim.queue.peak", Kind::Gauge, "high-water mark of pending queue events"},
+    {"sim.queue.pop", Kind::Counter, "event-queue pops of live events"},
+    {"sim.queue.push", Kind::Counter, "event-queue schedule() calls"},
+};
+
+constexpr std::size_t kCount = sizeof(kMetrics) / sizeof(kMetrics[0]);
+
+// Span-duration histogram geometry: 1 ns .. 1000 s at 8 buckets per
+// decade (96 buckets) bounds the percentile readout's relative error to
+// the bucket ratio 10^(1/8) ~ 1.33x across the whole useful range.
+constexpr double kHistLo = 1e-9;
+constexpr double kHistHi = 1e3;
+constexpr std::size_t kHistBucketsPerDecade = 8;
+
+std::atomic<bool> g_enabled{true};
+
+/// Merged totals. Heap-allocated once and never destroyed so that
+/// thread-local shard destructors — which run arbitrarily late, including
+/// after main() returns — can always flush into it safely.
+struct Registry {
+  std::mutex mutex;
+  std::uint64_t counters[kCount] = {};
+  double gauges[kCount] = {};
+  std::uint64_t spanCount[kCount] = {};
+  double spanTotal[kCount] = {};
+  double spanSelf[kCount] = {};
+  std::vector<LogHistogram> spanHist;
+  std::uint64_t edges[kCount + 1][kCount] = {};
+
+  Registry() {
+    spanHist.reserve(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      spanHist.emplace_back(kHistLo, kHistHi, kHistBucketsPerDecade);
+    }
+  }
+};
+
+Registry& registry() {
+  static Registry* instance = new Registry();
+  return *instance;
+}
+
+/// Per-thread accumulator: plain non-atomic memory written only by its
+/// owning thread, which is what keeps the hot path cheap and TSan-clean.
+/// The destructor (thread exit) folds the remainder into the registry.
+struct Shard {
+  std::uint64_t counters[kCount] = {};
+  double gauges[kCount] = {};
+  std::uint64_t spanCount[kCount] = {};
+  double spanTotal[kCount] = {};
+  double spanSelf[kCount] = {};
+  std::vector<LogHistogram> spanHist;
+  std::uint64_t edges[kCount + 1][kCount] = {};
+  bool dirty = false;
+
+  Shard() {
+    spanHist.reserve(kCount);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      spanHist.emplace_back(kHistLo, kHistHi, kHistBucketsPerDecade);
+    }
+  }
+
+  void clear() {
+    for (std::size_t i = 0; i < kCount; ++i) {
+      counters[i] = 0;
+      gauges[i] = 0.0;
+      spanCount[i] = 0;
+      spanTotal[i] = 0.0;
+      spanSelf[i] = 0.0;
+      spanHist[i] = LogHistogram(kHistLo, kHistHi, kHistBucketsPerDecade);
+      for (std::size_t p = 0; p <= kCount; ++p) edges[p][i] = 0;
+    }
+    dirty = false;
+  }
+
+  /// Folds this shard into the registry and clears it. Counter sums,
+  /// gauge maxima, and histogram bucket adds are integer/max folds, so
+  /// the merged result does not depend on which thread flushes first.
+  void flush() {
+    if (!dirty) return;
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (std::size_t i = 0; i < kCount; ++i) {
+      reg.counters[i] += counters[i];
+      reg.gauges[i] = std::max(reg.gauges[i], gauges[i]);
+      reg.spanCount[i] += spanCount[i];
+      reg.spanTotal[i] += spanTotal[i];
+      reg.spanSelf[i] += spanSelf[i];
+      reg.spanHist[i].merge(spanHist[i]);
+      for (std::size_t p = 0; p <= kCount; ++p) {
+        reg.edges[p][i] += edges[p][i];
+      }
+    }
+    clear();
+  }
+
+  ~Shard() { flush(); }
+};
+
+Shard& shard() {
+  thread_local Shard instance;
+  return instance;
+}
+
+thread_local ScopedSpan* t_top = nullptr;
+
+[[nodiscard]] std::string_view kindName(Kind kind) {
+  switch (kind) {
+    case Kind::Counter:
+      return "counter";
+    case Kind::Gauge:
+      return "gauge";
+    case Kind::Span:
+      return "span";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+SpanStats::SpanStats()
+    : histogram(kHistLo, kHistHi, kHistBucketsPerDecade) {}
+
+std::span<const MetricInfo> catalogue() { return {kMetrics, kCount}; }
+
+Id idOf(std::string_view name) {
+  for (Id i = 0; i < kCount; ++i) {
+    if (kMetrics[i].name == name) return i;
+  }
+  throw LogicError("metrics: '" + std::string(name) +
+                   "' is not in the metric catalogue (list with "
+                   "example_perf_report --list-metrics)");
+}
+
+void setEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+double nowSeconds() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       epoch)
+      .count();
+}
+
+void flushThisThread() { shard().flush(); }
+
+Snapshot snapshot() {
+  flushThisThread();
+  Snapshot snap;
+  snap.counters.resize(kCount);
+  snap.gauges.resize(kCount);
+  snap.spans.resize(kCount);
+  snap.edges.assign(kCount + 1, std::vector<std::uint64_t>(kCount, 0));
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    snap.counters[i] = reg.counters[i];
+    snap.gauges[i] = reg.gauges[i];
+    snap.spans[i].count = reg.spanCount[i];
+    snap.spans[i].totalSeconds = reg.spanTotal[i];
+    snap.spans[i].selfSeconds = reg.spanSelf[i];
+    snap.spans[i].histogram = reg.spanHist[i];
+    for (std::size_t p = 0; p <= kCount; ++p) {
+      snap.edges[p][i] = reg.edges[p][i];
+    }
+  }
+  return snap;
+}
+
+std::uint64_t counterValue(Id id) {
+  require(id < kCount, "metrics::counterValue: id out of range");
+  return snapshot().counters[id];
+}
+
+void resetAll() {
+  shard().clear();
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < kCount; ++i) {
+    reg.counters[i] = 0;
+    reg.gauges[i] = 0.0;
+    reg.spanCount[i] = 0;
+    reg.spanTotal[i] = 0.0;
+    reg.spanSelf[i] = 0.0;
+    reg.spanHist[i] = LogHistogram(kHistLo, kHistHi, kHistBucketsPerDecade);
+    for (std::size_t p = 0; p <= kCount; ++p) reg.edges[p][i] = 0;
+  }
+}
+
+void writePerfJson(JsonWriter& writer, const Snapshot& snap,
+                   double wallSeconds) {
+  require(snap.counters.size() == kCount &&
+              snap.spans.size() == kCount &&
+              snap.edges.size() == kCount + 1,
+          "metrics::writePerfJson: snapshot shape mismatch");
+  writer.beginObject();
+  writer.field("schema", "pqos-perf-v1");
+  writer.field("wallSeconds", wallSeconds);
+
+  writer.key("counters").beginObject();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (kMetrics[i].kind == Kind::Counter) {
+      writer.field(kMetrics[i].name, snap.counters[i]);
+    }
+  }
+  writer.endObject();
+
+  writer.key("gauges").beginObject();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (kMetrics[i].kind == Kind::Gauge) {
+      writer.field(kMetrics[i].name, snap.gauges[i]);
+    }
+  }
+  writer.endObject();
+
+  writer.key("spans").beginArray();
+  for (std::size_t i = 0; i < kCount; ++i) {
+    if (kMetrics[i].kind != Kind::Span) continue;
+    const SpanStats& s = snap.spans[i];
+    writer.beginObject();
+    writer.field("name", kMetrics[i].name);
+    writer.field("count", s.count);
+    writer.field("totalSeconds", s.totalSeconds);
+    writer.field("selfSeconds", s.selfSeconds);
+    const bool any = s.histogram.total() > 0;
+    writer.field("p50", any ? s.histogram.percentile(0.50) : 0.0);
+    writer.field("p90", any ? s.histogram.percentile(0.90) : 0.0);
+    writer.field("p99", any ? s.histogram.percentile(0.99) : 0.0);
+    writer.field("max", any ? s.histogram.max() : 0.0);
+    writer.endObject();
+  }
+  writer.endArray();
+
+  writer.key("tree").beginArray();
+  for (std::size_t p = 0; p <= kCount; ++p) {
+    for (std::size_t c = 0; c < kCount; ++c) {
+      if (snap.edges[p][c] == 0) continue;
+      writer.beginObject();
+      writer.field("parent",
+                   p == kCount ? std::string_view("(root)")
+                               : kMetrics[p].name);
+      writer.field("child", kMetrics[c].name);
+      writer.field("count", snap.edges[p][c]);
+      writer.endObject();
+    }
+  }
+  writer.endArray();
+
+  const double events =
+      static_cast<double>(snap.counters[idOf("sim.engine.events")]);
+  const double jobs =
+      static_cast<double>(snap.counters[idOf("core.jobs.completed")]);
+  writer.key("throughput").beginObject();
+  writer.field("eventsPerSecond", wallSeconds > 0.0 ? events / wallSeconds
+                                                    : 0.0);
+  writer.field("jobsPerSecond", wallSeconds > 0.0 ? jobs / wallSeconds
+                                                  : 0.0);
+  writer.endObject();
+
+  writer.endObject();
+}
+
+namespace detail {
+
+void addCount(Id id, std::uint64_t n) {
+  require(id < kCount, "metrics::addCount: id out of range");
+  if (!enabled()) return;
+  Shard& s = shard();
+  s.counters[id] += n;
+  s.dirty = true;
+}
+
+void gaugeMax(Id id, double value) {
+  require(id < kCount, "metrics::gaugeMax: id out of range");
+  if (!enabled()) return;
+  Shard& s = shard();
+  s.gauges[id] = std::max(s.gauges[id], value);
+  s.dirty = true;
+}
+
+}  // namespace detail
+
+ScopedSpan::ScopedSpan(Id id)
+    : id_(id), start_(0.0), parent_(nullptr), active_(false) {
+  require(id < kCount, "metrics::ScopedSpan: id out of range");
+  require(kMetrics[id].kind == Kind::Span,
+          "metrics::ScopedSpan: '" + std::string(kMetrics[id].name) +
+              "' is a " + std::string(kindName(kMetrics[id].kind)) +
+              ", not a span");
+  if (!enabled()) return;
+  parent_ = t_top;
+  t_top = this;
+  active_ = true;
+  start_ = nowSeconds();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const double total = nowSeconds() - start_;
+  t_top = parent_;
+  if (parent_ != nullptr) parent_->childSeconds_ += total;
+  Shard& s = shard();
+  s.spanCount[id_] += 1;
+  s.spanTotal[id_] += total;
+  s.spanSelf[id_] += total - childSeconds_;
+  s.spanHist[id_].add(total);
+  const Id parentId = parent_ != nullptr ? parent_->id_ : kCount;
+  ++s.edges[parentId][id_];
+  s.dirty = true;
+}
+
+}  // namespace pqos::metrics

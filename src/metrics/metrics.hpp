@@ -1,0 +1,206 @@
+// Low-overhead performance metrics and profiling spans (pqos::metrics).
+//
+// The ROADMAP promises a simulator that runs "as fast as the hardware
+// allows"; this subsystem measures whether that is true. It provides a
+// fixed compile-time catalogue of named instruments:
+//
+//   Counter  monotonically increasing event count (queue pushes, jobs)
+//   Gauge    max-merged high-water mark (queue depth peak)
+//   Span     RAII scoped timer; spans nest into a parent/child hierarchy
+//            with per-span totals, self-times (total minus time spent in
+//            enclosed child spans), and a log-bucketed latency histogram
+//            read out at exact-rank p50/p90/p99/max
+//
+// Design rules, in the trace/audit/failpoint tradition:
+//
+//  - The library is always compiled and unit-tested in every build
+//    configuration. Only the *hooks* in hot paths (the PQOS_METRIC_*
+//    macros below) are gated, behind `if constexpr (kCompiled)` on the
+//    PQOS_METRICS CMake option (default ON). An OFF build is hook-free
+//    and its sweep JSON is bit-identical to a tree without this layer.
+//  - Wall-clock readings flow *into* the registry only — never into
+//    simulation state — so metrics on vs. off produces the identical
+//    SimResult (tests/metrics_test.cpp proves it).
+//  - Updates land in per-thread shards (plain thread-local memory, no
+//    atomics on the hot path, TSan-clean by construction); shards merge
+//    into the global registry under a mutex at explicit flush points
+//    (sweep-cell boundaries) and at thread exit. Counter, gauge, and
+//    histogram-bucket merges are integer/max folds, so the merged totals
+//    are independent of thread interleaving.
+//  - nowSeconds() is the process's single monotonic clock source; the
+//    domain lint (no-raw-clock) confines std::chrono clock reads to this
+//    subsystem.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace pqos {
+class JsonWriter;
+}
+
+namespace pqos::metrics {
+
+/// True when the tree was configured with -DPQOS_METRICS=ON (the default)
+/// and the PQOS_METRIC_* hooks below are compiled in.
+#if defined(PQOS_METRICS)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+enum class Kind : std::uint8_t { Counter, Gauge, Span };
+
+/// One catalogue entry. Names are dot-separated, lowercase, and stable:
+/// perf JSON, the perf gate baseline, and `example_perf_report
+/// --list-metrics` refer to them verbatim.
+struct MetricInfo {
+  std::string_view name;
+  Kind kind;
+  std::string_view description;
+};
+
+/// Dense index into the catalogue; stable for the lifetime of the build.
+using Id = std::size_t;
+
+/// The full, name-sorted metric catalogue (plain data, available in every
+/// build). Ids are positions in this span.
+[[nodiscard]] std::span<const MetricInfo> catalogue();
+
+/// Resolves a catalogue name to its Id. Throws LogicError for a name
+/// missing from the catalogue, so a typo at an instrumentation site fails
+/// the first time it runs instead of silently recording nothing.
+[[nodiscard]] Id idOf(std::string_view name);
+
+/// Runtime master switch (default on). When off, hooks cost one relaxed
+/// atomic load and record nothing; used by the on≡off determinism test
+/// and to idle the layer without rebuilding.
+void setEnabled(bool on);
+[[nodiscard]] bool enabled();
+
+/// Monotonic seconds since the first call in this process — the single
+/// steady_clock read in the tree. All span timing and harness wall-time
+/// reporting derive from this source.
+[[nodiscard]] double nowSeconds();
+
+/// Aggregated state of one span id.
+struct SpanStats {
+  std::uint64_t count = 0;     ///< completed invocations
+  double totalSeconds = 0.0;   ///< sum of wall durations (incl. children)
+  double selfSeconds = 0.0;    ///< total minus time inside child spans
+  LogHistogram histogram;      ///< per-invocation durations
+
+  SpanStats();
+};
+
+/// A merged copy of the registry. Vectors are indexed by Id (entries for
+/// other kinds stay zero); `edges[p][c]` counts completions of span `c`
+/// while span `p` was the innermost enclosing span on the same thread,
+/// with p == catalogue().size() standing for "no enclosing span" (root).
+struct Snapshot {
+  std::vector<std::uint64_t> counters;
+  std::vector<double> gauges;
+  std::vector<SpanStats> spans;
+  std::vector<std::vector<std::uint64_t>> edges;
+};
+
+/// Merges the calling thread's shard into the global registry and clears
+/// it. Runs implicitly at thread exit; the sweep runner also flushes at
+/// every cell boundary so live progress and mid-run snapshots are fresh.
+void flushThisThread();
+
+/// Flushes the calling thread, then returns a copy of the merged
+/// registry. Other threads' unflushed shard contents are not included.
+[[nodiscard]] Snapshot snapshot();
+
+/// Convenience: snapshot().counters[id] (flushes the calling thread).
+[[nodiscard]] std::uint64_t counterValue(Id id);
+
+/// Test support: zeroes the global registry and the calling thread's
+/// shard. Shards of other live threads are untouched — tests must join
+/// or flush their workers first.
+void resetAll();
+
+/// Writes the "perf" JSON block (schema pqos-perf-v1 payload): counters,
+/// gauges, span table with percentiles, the parent/child span tree, and
+/// events/jobs throughput derived from `wallSeconds`. The writer must be
+/// positioned where an object value may begin (after key("perf")).
+void writePerfJson(JsonWriter& writer, const Snapshot& snap,
+                   double wallSeconds);
+
+namespace detail {
+
+void addCount(Id id, std::uint64_t n);
+void gaugeMax(Id id, double value);
+
+}  // namespace detail
+
+/// RAII span timer. Construct with a span Id; on destruction the duration
+/// is recorded into the thread's shard and attributed to the enclosing
+/// span's child time. Works in every build — the PQOS_METRIC_SPAN macro
+/// is the gated way to use it from instrumented code. When the runtime
+/// switch is off at construction, the span records nothing.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(Id id);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Id id_;
+  double start_;
+  double childSeconds_ = 0.0;
+  ScopedSpan* parent_;
+  bool active_;
+};
+
+}  // namespace pqos::metrics
+
+/// Increments a catalogued counter by 1 / by `n`. Compiles to nothing
+/// with -DPQOS_METRICS=OFF; otherwise one thread-local increment.
+#define PQOS_METRIC_COUNT(name) PQOS_METRIC_COUNT_N(name, 1)
+
+#define PQOS_METRIC_COUNT_N(name, n)                            \
+  do {                                                          \
+    if constexpr (::pqos::metrics::kCompiled) {                 \
+      static const ::pqos::metrics::Id pqos_metric_id =         \
+          ::pqos::metrics::idOf(name);                          \
+      ::pqos::metrics::detail::addCount(                        \
+          pqos_metric_id, static_cast<std::uint64_t>(n));       \
+    }                                                           \
+  } while (false)
+
+/// Raises a catalogued max-gauge to at least `v`.
+#define PQOS_METRIC_GAUGE_MAX(name, v)                          \
+  do {                                                          \
+    if constexpr (::pqos::metrics::kCompiled) {                 \
+      static const ::pqos::metrics::Id pqos_metric_id =         \
+          ::pqos::metrics::idOf(name);                          \
+      ::pqos::metrics::detail::gaugeMax(                        \
+          pqos_metric_id, static_cast<double>(v));              \
+    }                                                           \
+  } while (false)
+
+/// Times the rest of the enclosing scope as the catalogued span `name`.
+/// Declares a uniquely named RAII timer; with -DPQOS_METRICS=OFF it
+/// expands to an empty statement.
+#if defined(PQOS_METRICS)
+#define PQOS_METRIC_SPAN_CAT2(a, b) a##b
+#define PQOS_METRIC_SPAN_CAT(a, b) PQOS_METRIC_SPAN_CAT2(a, b)
+#define PQOS_METRIC_SPAN(name)                                       \
+  static const ::pqos::metrics::Id PQOS_METRIC_SPAN_CAT(             \
+      pqos_span_id_, __LINE__) = ::pqos::metrics::idOf(name);        \
+  const ::pqos::metrics::ScopedSpan PQOS_METRIC_SPAN_CAT(            \
+      pqos_span_, __LINE__){PQOS_METRIC_SPAN_CAT(pqos_span_id_,      \
+                                                 __LINE__)}
+#else
+#define PQOS_METRIC_SPAN(name) \
+  do {                         \
+  } while (false)
+#endif

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pqos::predict {
@@ -54,6 +55,7 @@ std::optional<failure::FailureEvent> TracePredictor::firstForeseen(
 
 double TracePredictor::partitionFailureProbability(
     std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
+  PQOS_METRIC_SPAN("predict.query");
   const auto hit = firstForeseen(nodes, t0, t1);
   return hit ? hit->detectability : 0.0;
 }

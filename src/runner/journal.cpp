@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
 #include "trace/event.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -422,6 +423,7 @@ JournalWriter::~JournalWriter() {
 
 void JournalWriter::append(const CellKey& key, const core::SimResult& result) {
   PQOS_FAILPOINT("runner.journal.append");
+  PQOS_METRIC_SPAN("io.journal.append");
   writeLine(journalRecordLine(key, result));
 }
 

@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
 #include "runner/journal.hpp"
 #include "runner/provenance.hpp"
 #include "util/atomic_write.hpp"
@@ -16,6 +17,7 @@ namespace pqos::runner {
 void writeFileWithParents(const std::string& path,
                           const std::function<void(std::ostream&)>& body) {
   PQOS_FAILPOINT("runner.sink.write");
+  PQOS_METRIC_SPAN("io.sink.write");
   // Crash-atomic: a killed process leaves the previous content (or no
   // file), never a truncated CSV/JSON that parses as a complete result.
   atomicWriteFile(path, body);
@@ -32,6 +34,10 @@ void ProgressSink::onSweepBegin(const SweepResult& pending) {
        << pending.spec.userRisks.size() << " grid, " << pending.options.reps
        << " rep(s), " << pending.spec.jobCount << " jobs, "
        << pending.options.threads << " thread(s)\n";
+  if constexpr (metrics::kCompiled) {
+    startSeconds_ = metrics::nowSeconds();
+    startEvents_ = metrics::counterValue(metrics::idOf("sim.engine.events"));
+  }
 }
 
 void ProgressSink::onTaskComplete(const TaskProgress& progress) {
@@ -40,7 +46,27 @@ void ProgressSink::onTaskComplete(const TaskProgress& progress) {
        << " U=" << formatFixed(progress.userRisk, 1) << " rep=" << progress.rep
        << " qos=" << formatFixed(progress.result->qos, 4)
        << " util=" << formatFixed(progress.result->utilization, 4)
-       << " lost=" << formatFixed(progress.result->lostWork, 0) << "\n";
+       << " lost=" << formatFixed(progress.result->lostWork, 0);
+  if constexpr (metrics::kCompiled) {
+    // Workers flush their metric shards at every cell boundary, so the
+    // registry delta since onSweepBegin is current to the last cell.
+    const double elapsed = metrics::nowSeconds() - startSeconds_;
+    if (elapsed > 0.0 && progress.completed > 0) {
+      const std::uint64_t events =
+          metrics::counterValue(metrics::idOf("sim.engine.events"));
+      const double eventsPerSec =
+          static_cast<double>(events - startEvents_) / elapsed;
+      const double cellsPerMin =
+          static_cast<double>(progress.completed) / elapsed * 60.0;
+      const double etaSeconds =
+          elapsed / static_cast<double>(progress.completed) *
+          static_cast<double>(progress.total - progress.completed);
+      *os_ << " | " << formatFixed(eventsPerSec / 1000.0, 0) << "k ev/s "
+           << formatFixed(cellsPerMin, 1) << " cells/min eta "
+           << formatFixed(etaSeconds, 1) << "s";
+    }
+  }
+  *os_ << "\n";
 }
 
 void ProgressSink::onSweepEnd(const SweepResult& result) {
@@ -195,6 +221,15 @@ void JsonResultSink::onSweepEnd(const SweepResult& result) {
       json.endObject();
     }
     json.endArray();
+
+    // Performance observability (schema pqos-perf-v1). Compiled-gated so
+    // a -DPQOS_METRICS=OFF build's output stays byte-identical to a tree
+    // without the metrics layer. Wall-time-derived, so this block — like
+    // "wallSeconds" above — is excluded from byte-identity comparisons.
+    if constexpr (metrics::kCompiled) {
+      json.key("perf");
+      metrics::writePerfJson(json, metrics::snapshot(), result.wallSeconds);
+    }
     json.endObject();
     os << '\n';
   });

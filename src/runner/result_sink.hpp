@@ -8,6 +8,7 @@
 // the progress reporter streams from onTaskComplete.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -32,7 +33,9 @@ class ResultSink {
 };
 
 /// Streams one line per completed task (and a header/footer) to a stream,
-/// stderr by default.
+/// stderr by default. In a metrics-enabled build each line also carries
+/// live throughput (events/s from the metric registry, cells/min) and an
+/// ETA extrapolated from the cells completed so far.
 class ProgressSink final : public ResultSink {
  public:
   ProgressSink();  // stderr
@@ -45,6 +48,8 @@ class ProgressSink final : public ResultSink {
 
  private:
   std::ostream* os_;
+  double startSeconds_ = 0.0;       ///< metrics::nowSeconds() at sweep begin
+  std::uint64_t startEvents_ = 0;   ///< sim.engine.events at sweep begin
 };
 
 /// Writes one CSV row per (accuracy, userRisk, replica) with the raw
@@ -75,8 +80,13 @@ class CsvResultSink final : public ResultSink {
 ///     "points": [ { "accuracy": a, "userRisk": u,
 ///                   "metrics": { "qos": {mean, stddev, ci95, values: [...]},
 ///                                "utilization": {...}, "lostWork": {...} },
-///                   "reps": [ { ...full per-replica SimResult... } ] } ]
+///                   "reps": [ { ...full per-replica SimResult... } ] } ],
+///     "perf": { ...pqos-perf-v1 counters/spans/tree/throughput... }
 ///   }
+///
+/// The "perf" block is present only in metrics-enabled builds
+/// (-DPQOS_METRICS=ON) and, being wall-time derived, is excluded from
+/// byte-identity comparisons alongside "wallSeconds".
 ///
 /// Creates the parent directory; throws ConfigError on write failure.
 class JsonResultSink final : public ResultSink {

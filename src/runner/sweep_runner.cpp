@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
+#include <chrono>  // durations only; pqos-lint: allow(no-wall-clock)
 #include <exception>
 #include <future>
 #include <memory>
@@ -13,6 +13,7 @@
 #include <utility>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
 #include "runner/result_sink.hpp"
 #include "runner/thread_pool.hpp"
 #include "trace/event.hpp"
@@ -119,17 +120,9 @@ struct CellState {
   std::atomic<double> startSeconds{0.0};  // vs sweep start; set on kRunning
 };
 
-[[nodiscard]] double secondsSince(
-    const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
-}
-
 /// Deterministic capped exponential backoff: attempt k sleeps
 /// base * 2^k plus a seeded jitter in [0, base), capped at one second.
 /// Seeded from (spec seed, cell, attempt) so reruns sleep identically.
-// pqos-lint: allow(no-wall-clock)
 void backoffSleep(std::size_t baseMs, std::size_t attempt,
                   std::uint64_t specSeed, std::size_t cellIndex) {
   if (baseMs == 0) return;
@@ -142,7 +135,7 @@ void backoffSleep(std::size_t baseMs, std::size_t attempt,
   const std::size_t jitter =
       static_cast<std::size_t>(splitmix64(state) % baseMs);
   const std::size_t delay = std::min(kCapMs, (baseMs << shift) + jitter);
-  std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+  std::this_thread::sleep_for(std::chrono::milliseconds(delay));  // pqos-lint: allow(no-wall-clock)
 }
 
 }  // namespace
@@ -209,7 +202,9 @@ SweepResult SweepRunner::run() {
     notifySink(i, [&](ResultSink& s) { s.onSweepBegin(result); });
   }
 
-  const auto started = std::chrono::steady_clock::now();
+  // The sweep times itself through the metrics layer: one steady-clock
+  // source for wallSeconds, the watchdog, and every profiling span.
+  const double started = metrics::nowSeconds();
 
   // Everything the worker tasks touch is declared BEFORE the pool: the
   // pool's destructor joins the workers, so members declared above it are
@@ -246,6 +241,7 @@ SweepResult SweepRunner::run() {
     const std::uint64_t seed = result.seeds[rep];
     inputFutures.push_back(pool.submit([this, seed, rep, &inputs] {
       PQOS_FAILPOINT("runner.inputs.build");
+      PQOS_METRIC_SPAN("runner.inputs.build");
       inputs[rep] = core::makeStandardInputs(spec_.model, spec_.jobCount,
                                              seed, spec_.machineSize,
                                              spec_.failuresPerYear);
@@ -296,7 +292,7 @@ SweepResult SweepRunner::run() {
           if (!cell.phase.compare_exchange_strong(expected, kRunning)) {
             return;  // watchdog abandoned the cell before it started
           }
-          cell.startSeconds.store(secondsSince(started),
+          cell.startSeconds.store(metrics::nowSeconds() - started,
                                   std::memory_order_relaxed);
 
           core::SimResult sim;
@@ -304,32 +300,41 @@ SweepResult SweepRunner::run() {
           std::size_t attemptsUsed = 0;
           std::string lastError = "unknown error";
           const std::size_t attempts = resolved.maxRetries + 1;
-          for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-            if (cell.phase.load(std::memory_order_acquire) == kAbandoned) {
-              return;  // timed out mid-retry; failure already recorded
-            }
-            ++attemptsUsed;
-            try {
-              PQOS_FAILPOINT("runner.task.start");
-              core::SimConfig config = spec_.base;
-              config.accuracy = a;
-              config.userRisk = u;
-              // Replica 0 keeps the base tie-breaking seed (bit-identical
-              // to the legacy path); later replicas re-derive it.
-              config.seed = replicaSeed(spec_.base.seed, rep);
-              sim = core::runSimulation(config, inputs[rep]->jobs,
-                                        inputs[rep]->trace);
-              PQOS_FAILPOINT("runner.task.finish");
-              ok = true;
-              break;
-            } catch (const std::exception& err) {
-              lastError = err.what();
-              if (attempt + 1 < attempts) {
-                backoffSleep(resolved.retryBaseMs, attempt, spec_.seed,
-                             cellIndex);
+          {
+            // Cell span: closes before the shard flush below so the cell
+            // boundary publishes its own timing with it.
+            PQOS_METRIC_SPAN("runner.cell");
+            for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+              if (cell.phase.load(std::memory_order_acquire) == kAbandoned) {
+                return;  // timed out mid-retry; failure already recorded
+              }
+              ++attemptsUsed;
+              try {
+                PQOS_FAILPOINT("runner.task.start");
+                core::SimConfig config = spec_.base;
+                config.accuracy = a;
+                config.userRisk = u;
+                // Replica 0 keeps the base tie-breaking seed (bit-identical
+                // to the legacy path); later replicas re-derive it.
+                config.seed = replicaSeed(spec_.base.seed, rep);
+                sim = core::runSimulation(config, inputs[rep]->jobs,
+                                          inputs[rep]->trace);
+                PQOS_FAILPOINT("runner.task.finish");
+                ok = true;
+                break;
+              } catch (const std::exception& err) {
+                lastError = err.what();
+                if (attempt + 1 < attempts) {
+                  backoffSleep(resolved.retryBaseMs, attempt, spec_.seed,
+                               cellIndex);
+                }
               }
             }
           }
+          // Deterministic merge point: fold this worker's metric shard
+          // into the registry at the cell boundary, before the sinks see
+          // the completion, so progress lines read a current registry.
+          if constexpr (metrics::kCompiled) metrics::flushThisThread();
 
           std::lock_guard<std::mutex> lock(progressMutex);
           if (!ok) {
@@ -385,7 +390,8 @@ SweepResult SweepRunner::run() {
       if (phase != kRunning) continue;
       const double startAt =
           cells[c].startSeconds.load(std::memory_order_relaxed);
-      if (secondsSince(started) - startAt <= resolved.cellTimeoutSeconds) {
+      if (metrics::nowSeconds() - started - startAt <=
+          resolved.cellTimeoutSeconds) {
         continue;
       }
       if (cells[c].phase.compare_exchange_strong(phase, kAbandoned)) {
@@ -406,7 +412,7 @@ SweepResult SweepRunner::run() {
     if (resolved.cellTimeoutSeconds <= 0) {
       futures[f].wait();
     } else {
-      while (futures[f].wait_for(std::chrono::milliseconds(20)) !=
+      while (futures[f].wait_for(std::chrono::milliseconds(20)) !=  // pqos-lint: allow(no-wall-clock)
              std::future_status::ready) {
         watchdogScan();
       }
@@ -468,7 +474,7 @@ SweepResult SweepRunner::run() {
       result.points.push_back(std::move(point));
     }
   }
-  result.wallSeconds = secondsSince(started);
+  result.wallSeconds = metrics::nowSeconds() - started;
   // Final writes. A sink whose onSweepEnd throws has no later chance to
   // recover, so any failure here marks the run partial immediately.
   // Quarantines recorded before a data sink's write (including an earlier
@@ -502,6 +508,7 @@ std::vector<core::SweepPoint> SweepRunner::runPoints(
       const double u = userRisks[ui];
       const std::size_t slot = ai * userRisks.size() + ui;
       futures.push_back(pool.submit([&, a, u, slot] {
+        PQOS_METRIC_SPAN("runner.cell");
         core::SimConfig config = base;
         config.accuracy = a;
         config.userRisk = u;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-
+#include "metrics/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pqos::sched {
@@ -42,6 +42,7 @@ std::optional<ReservationBook::Slot> ReservationBook::findSlot(
   require(count >= 1, "ReservationBook::findSlot: count must be >= 1");
   require(duration > 0.0, "ReservationBook::findSlot: duration must be > 0");
   if (count > nodeCount()) return std::nullopt;
+  PQOS_METRIC_SPAN("sched.scan");
 
   // Candidate start times: notBefore plus every reservation end after it.
   // After the last end every node is free, so the search always terminates

@@ -1,5 +1,6 @@
 #include "sim/engine.hpp"
 
+#include "metrics/metrics.hpp"
 #include "trace/recorder.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
@@ -27,6 +28,7 @@ bool Engine::step() {
   }
   now_ = fired.time;
   ++fired_;
+  PQOS_METRIC_COUNT("sim.engine.events");
   if constexpr (trace::kCompiled) {
     if (recorder_ != nullptr) recorder_->count(trace::Kind::EngineStep);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/metrics.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 
@@ -15,6 +16,8 @@ EventId EventQueue::schedule(SimTime at, EventFn fn) {
   heap_.push_back(Entry{at, id});
   std::push_heap(heap_.begin(), heap_.end(), later);
   live_.emplace(id, std::move(fn));
+  PQOS_METRIC_COUNT("sim.queue.push");
+  PQOS_METRIC_GAUGE_MAX("sim.queue.peak", heap_.size());
   return id;
 }
 
@@ -35,6 +38,7 @@ SimTime EventQueue::nextTime() {
 EventQueue::Fired EventQueue::pop() {
   dropDead();
   require(!heap_.empty(), "EventQueue::pop: queue is empty");
+  PQOS_METRIC_COUNT("sim.queue.pop");
   std::pop_heap(heap_.begin(), heap_.end(), later);
   const Entry entry = heap_.back();
   heap_.pop_back();

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
 #include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/json.hpp"
@@ -35,6 +36,7 @@ void writeJsonl(std::ostream& out, std::span<const Event> events) {
 
 void writeJsonlFile(const std::string& path, std::span<const Event> events) {
   PQOS_FAILPOINT("trace.jsonl.write");
+  PQOS_METRIC_SPAN("io.trace.write");
   // Crash-atomic (tmp + fsync + rename): a killed exporter leaves the
   // previous trace or none, never a torn one.
   atomicWriteFile(path, [&](std::ostream& os) { writeJsonl(os, events); });
@@ -169,6 +171,7 @@ std::vector<Event> parseJsonl(std::istream& in, ParseMode mode,
 std::vector<Event> loadJsonlFile(const std::string& path, ParseMode mode,
                                  std::vector<std::string>* warnings) {
   PQOS_FAILPOINT("trace.jsonl.read");
+  PQOS_METRIC_SPAN("io.trace.read");
   std::ifstream file(path);
   if (!file) throw ConfigError("cannot open trace file: " + path);
   return parseJsonl(file, mode, warnings);

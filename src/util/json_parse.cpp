@@ -1,0 +1,351 @@
+#include "util/json_parse.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace pqos {
+
+namespace {
+
+std::string typeMismatch(std::string_view wanted, JsonValue::Type got) {
+  return std::string("JSON type mismatch: wanted ") + std::string(wanted) +
+         ", value is " + std::string(JsonValue::typeName(got));
+}
+
+}  // namespace
+
+std::string_view JsonValue::typeName(Type type) {
+  switch (type) {
+    case Type::Null: return "null";
+    case Type::Bool: return "bool";
+    case Type::Number: return "number";
+    case Type::String: return "string";
+    case Type::Array: return "array";
+    case Type::Object: return "object";
+  }
+  return "?";
+}
+
+bool JsonValue::asBool() const {
+  if (type_ != Type::Bool) throw LogicError(typeMismatch("bool", type_));
+  return bool_;
+}
+
+double JsonValue::asDouble() const {
+  if (type_ != Type::Number) throw LogicError(typeMismatch("number", type_));
+  return number_;
+}
+
+std::uint64_t JsonValue::asUint64() const {
+  const double v = asDouble();
+  // 2^64 rounds to 1.8446744073709552e19; anything at or above it (or
+  // negative, or fractional) cannot be an exact counter value.
+  if (v < 0.0 || v >= 18446744073709551616.0 || v != std::floor(v)) {
+    throw LogicError("JSON number is not an exact uint64: " +
+                     std::to_string(v));
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+const std::string& JsonValue::asString() const {
+  if (type_ != Type::String) throw LogicError(typeMismatch("string", type_));
+  return string_;
+}
+
+std::size_t JsonValue::size() const {
+  if (type_ == Type::Array) return array_.size();
+  if (type_ == Type::Object) return object_.size();
+  throw LogicError(typeMismatch("array or object", type_));
+}
+
+const JsonValue& JsonValue::at(std::size_t index) const {
+  if (type_ != Type::Array) throw LogicError(typeMismatch("array", type_));
+  require(index < array_.size(), "JSON array index out of range");
+  return array_[index];
+}
+
+const JsonValue& JsonValue::at(std::string_view key) const {
+  const JsonValue* found = find(key);
+  if (found == nullptr) {
+    if (type_ != Type::Object) throw LogicError(typeMismatch("object", type_));
+    throw LogicError("JSON object has no member \"" + std::string(key) + "\"");
+  }
+  return *found;
+}
+
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (type_ != Type::Object) return nullptr;
+  for (const auto& [name, value] : object_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const std::vector<JsonValue::Member>& JsonValue::members() const {
+  if (type_ != Type::Object) throw LogicError(typeMismatch("object", type_));
+  return object_;
+}
+
+const std::vector<JsonValue>& JsonValue::elements() const {
+  if (type_ != Type::Array) throw LogicError(typeMismatch("array", type_));
+  return array_;
+}
+
+/// Recursive-descent parser over a string_view; tracks line/column for
+/// error messages. Depth is capped so a hostile input (a megabyte of '[')
+/// cannot blow the call stack.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue value = parseValue(0);
+    skipWhitespace();
+    if (pos_ != text_.size()) fail("trailing content after JSON document");
+    return value;
+  }
+
+ private:
+  static constexpr std::size_t kMaxDepth = 200;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw ParseError("JSON parse error at " + std::to_string(line) + ":" +
+                     std::to_string(column) + ": " + why);
+  }
+
+  [[nodiscard]] bool atEnd() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  void skipWhitespace() {
+    while (!atEnd()) {
+      const char c = peek();
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  void expect(char c, const char* what) {
+    skipWhitespace();
+    if (atEnd() || peek() != c) fail(std::string("expected ") + what);
+    ++pos_;
+  }
+
+  bool consumeLiteral(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parseValue(std::size_t depth) {
+    if (depth > kMaxDepth) fail("nesting deeper than 200 levels");
+    skipWhitespace();
+    if (atEnd()) fail("unexpected end of input");
+    switch (peek()) {
+      case '{': return parseObject(depth);
+      case '[': return parseArray(depth);
+      case '"': return JsonValue(parseString());
+      case 't':
+        if (consumeLiteral("true")) return JsonValue(true);
+        fail("invalid literal");
+      case 'f':
+        if (consumeLiteral("false")) return JsonValue(false);
+        fail("invalid literal");
+      case 'n':
+        if (consumeLiteral("null")) return JsonValue();
+        fail("invalid literal");
+      default: return parseNumber();
+    }
+  }
+
+  JsonValue parseObject(std::size_t depth) {
+    expect('{', "'{'");
+    JsonValue value;
+    value.type_ = JsonValue::Type::Object;
+    skipWhitespace();
+    if (!atEnd() && peek() == '}') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      skipWhitespace();
+      if (atEnd() || peek() != '"') fail("expected object key string");
+      std::string key = parseString();
+      if (value.find(key) != nullptr) {
+        fail("duplicate object key \"" + key + "\"");
+      }
+      expect(':', "':'");
+      value.object_.emplace_back(std::move(key), parseValue(depth + 1));
+      skipWhitespace();
+      if (atEnd()) fail("unterminated object");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}', "',' or '}'");
+      return value;
+    }
+  }
+
+  JsonValue parseArray(std::size_t depth) {
+    expect('[', "'['");
+    JsonValue value;
+    value.type_ = JsonValue::Type::Array;
+    skipWhitespace();
+    if (!atEnd() && peek() == ']') {
+      ++pos_;
+      return value;
+    }
+    while (true) {
+      value.array_.push_back(parseValue(depth + 1));
+      skipWhitespace();
+      if (atEnd()) fail("unterminated array");
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']', "',' or ']'");
+      return value;
+    }
+  }
+
+  std::string parseString() {
+    expect('"', "'\"'");
+    std::string out;
+    while (true) {
+      if (atEnd()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (atEnd()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': appendUnicodeEscape(out); break;
+        default: fail("invalid escape sequence");
+      }
+    }
+  }
+
+  std::uint32_t parseHex4() {
+    std::uint32_t code = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (atEnd()) fail("unterminated \\u escape");
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        code |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("invalid hex digit in \\u escape");
+      }
+    }
+    return code;
+  }
+
+  void appendUnicodeEscape(std::string& out) {
+    std::uint32_t code = parseHex4();
+    if (code >= 0xD800 && code <= 0xDBFF) {  // high surrogate: need a pair
+      if (!consumeLiteral("\\u")) fail("unpaired UTF-16 surrogate");
+      const std::uint32_t low = parseHex4();
+      if (low < 0xDC00 || low > 0xDFFF) fail("invalid low surrogate");
+      code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+    } else if (code >= 0xDC00 && code <= 0xDFFF) {
+      fail("unpaired UTF-16 surrogate");
+    }
+    // UTF-8 encode.
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  JsonValue parseNumber() {
+    const std::size_t start = pos_;
+    if (!atEnd() && peek() == '-') ++pos_;
+    if (atEnd() || peek() < '0' || peek() > '9') fail("invalid number");
+    if (peek() == '0') {
+      ++pos_;  // leading zeros are not JSON
+    } else {
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!atEnd() && peek() == '.') {
+      ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') fail("invalid fraction");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!atEnd() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (atEnd() || peek() < '0' || peek() > '9') fail("invalid exponent");
+      while (!atEnd() && peek() >= '0' && peek() <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) fail("invalid number");
+    if (!std::isfinite(v)) fail("number overflows double");
+    return JsonValue(v);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parseJson(std::string_view text) {
+  return JsonParser(text).parse();
+}
+
+JsonValue loadJsonFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) throw ConfigError("cannot open JSON file: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  try {
+    return parseJson(buffer.str());
+  } catch (const ParseError& error) {
+    throw ParseError(path + ": " + error.what());
+  }
+}
+
+}  // namespace pqos

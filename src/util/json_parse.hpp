@@ -1,0 +1,90 @@
+// Minimal strict JSON reader — the inverse of util::json's JsonWriter.
+//
+// parseJson consumes one complete RFC 8259 document and returns a
+// JsonValue tree; anything malformed (trailing garbage, unterminated
+// strings, bare NaN, comments) throws ParseError with a line:column
+// location. The reader exists for pqos's own machine-written artifacts —
+// sweep/perf JSON produced by JsonWriter — so it is deliberately strict:
+// these files are program output, and a lenient reader would let drift
+// between writer and reader go unnoticed.
+//
+// Object members preserve insertion order (the writer's order), so
+// re-serialization and ordered iteration are stable. Duplicate keys are
+// rejected — the writer never produces them, so one appearing means the
+// input is not ours.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace pqos {
+
+/// One node of a parsed JSON document. Accessors are checked: asking an
+/// object for asDouble() throws LogicError naming both types, so misuse
+/// against a schema change fails loudly rather than returning zeros.
+class JsonValue {
+ public:
+  enum class Type : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  using Member = std::pair<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::Null) {}
+  explicit JsonValue(bool b) : type_(Type::Bool), bool_(b) {}
+  explicit JsonValue(double v) : type_(Type::Number), number_(v) {}
+  explicit JsonValue(std::string s)
+      : type_(Type::String), string_(std::move(s)) {}
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool isNull() const { return type_ == Type::Null; }
+  [[nodiscard]] bool isBool() const { return type_ == Type::Bool; }
+  [[nodiscard]] bool isNumber() const { return type_ == Type::Number; }
+  [[nodiscard]] bool isString() const { return type_ == Type::String; }
+  [[nodiscard]] bool isArray() const { return type_ == Type::Array; }
+  [[nodiscard]] bool isObject() const { return type_ == Type::Object; }
+
+  [[nodiscard]] bool asBool() const;
+  [[nodiscard]] double asDouble() const;
+  /// asDouble() narrowed; throws LogicError when the value is negative,
+  /// fractional, or too large for uint64 — counters must be exact.
+  [[nodiscard]] std::uint64_t asUint64() const;
+  [[nodiscard]] const std::string& asString() const;
+
+  /// Array element count or object member count; throws on scalars.
+  [[nodiscard]] std::size_t size() const;
+  /// Array element by index (bounds-checked).
+  [[nodiscard]] const JsonValue& at(std::size_t index) const;
+  /// Object member by key; throws LogicError naming the missing key.
+  [[nodiscard]] const JsonValue& at(std::string_view key) const;
+  /// Object member by key, or nullptr when absent (also for non-objects).
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+  /// Object members in insertion order; throws on non-objects.
+  [[nodiscard]] const std::vector<Member>& members() const;
+  /// Array elements; throws on non-arrays.
+  [[nodiscard]] const std::vector<JsonValue>& elements() const;
+
+  [[nodiscard]] static std::string_view typeName(Type type);
+
+ private:
+  friend class JsonParser;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<Member> object_;
+};
+
+/// Parses exactly one JSON document (leading/trailing whitespace allowed,
+/// anything else after the value is an error). Throws ParseError.
+[[nodiscard]] JsonValue parseJson(std::string_view text);
+
+/// Loads and parses a JSON file; throws ConfigError when the file cannot
+/// be opened and ParseError (prefixed with the path) when malformed.
+[[nodiscard]] JsonValue loadJsonFile(const std::string& path);
+
+}  // namespace pqos

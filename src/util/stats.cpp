@@ -121,4 +121,101 @@ double Histogram::bucketLow(std::size_t i) const {
   return lo_ + width_ * static_cast<double>(i);
 }
 
+LogHistogram::LogHistogram(double lo, double hi, std::size_t bucketsPerDecade)
+    : lo_(lo), hi_(hi), bucketsPerDecade_(static_cast<double>(bucketsPerDecade)) {
+  require(lo > 0.0, "LogHistogram: lo must be positive");
+  require(hi > lo, "LogHistogram: hi must exceed lo");
+  require(bucketsPerDecade >= 1, "LogHistogram: need >= 1 bucket per decade");
+  logLo_ = std::log10(lo_);
+  const double decades = std::log10(hi_) - logLo_;
+  // The subtracted epsilon keeps an exact decade span (e.g. 1e-9..1e3 at
+  // 8/decade) from gaining a spurious extra bucket to rounding.
+  const auto buckets =
+      static_cast<std::size_t>(std::ceil(decades * bucketsPerDecade_ - 1e-9));
+  counts_.assign(std::max<std::size_t>(buckets, 1), 0);
+}
+
+void LogHistogram::add(double x) {
+  require(!std::isnan(x), "LogHistogram::add: NaN sample");
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = counts_.size() - 1;  // saturate; also keeps +inf out of log10
+  } else if (x > lo_) {
+    const double pos = (std::log10(x) - logLo_) * bucketsPerDecade_;
+    idx = std::min(static_cast<std::size_t>(pos), counts_.size() - 1);
+  }
+  ++counts_[idx];
+  if (total_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  require(lo_ == other.lo_ && hi_ == other.hi_ &&
+              bucketsPerDecade_ == other.bucketsPerDecade_ &&
+              counts_.size() == other.counts_.size(),
+          "LogHistogram::merge: geometry mismatch");
+  if (other.total_ == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  if (total_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  total_ += other.total_;
+}
+
+std::uint64_t LogHistogram::bucket(std::size_t i) const {
+  require(i < counts_.size(), "LogHistogram::bucket: index out of range");
+  return counts_[i];
+}
+
+double LogHistogram::bucketLow(std::size_t i) const {
+  require(i < counts_.size(), "LogHistogram::bucketLow: index out of range");
+  return lo_ * std::pow(10.0, static_cast<double>(i) / bucketsPerDecade_);
+}
+
+double LogHistogram::bucketHigh(std::size_t i) const {
+  require(i < counts_.size(), "LogHistogram::bucketHigh: index out of range");
+  return lo_ * std::pow(10.0, static_cast<double>(i + 1) / bucketsPerDecade_);
+}
+
+double LogHistogram::min() const {
+  require(total_ > 0, "LogHistogram::min: empty histogram");
+  return min_;
+}
+
+double LogHistogram::max() const {
+  require(total_ > 0, "LogHistogram::max: empty histogram");
+  return max_;
+}
+
+double LogHistogram::representative(std::size_t i) const {
+  return std::sqrt(bucketLow(i) * bucketHigh(i));
+}
+
+double LogHistogram::percentile(double q) const {
+  require(total_ > 0, "LogHistogram::percentile: empty histogram");
+  require(q >= 0.0 && q <= 1.0, "LogHistogram::percentile: q out of [0,1]");
+  auto rank = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total_)));
+  if (rank == 0) rank = 1;  // q == 0 reads the smallest sample
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cum += counts_[i];
+    if (cum >= rank) {
+      return std::clamp(representative(i), min_, max_);
+    }
+  }
+  return max_;  // unreachable: cum reaches total_ by the last bucket
+}
+
 }  // namespace pqos

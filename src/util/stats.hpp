@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace pqos {
@@ -79,6 +80,53 @@ class Histogram {
   double width_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+};
+
+/// Log-bucketed histogram over [lo, hi): bucket i spans
+/// [lo*r^i, lo*r^(i+1)) with ratio r = 10^(1/bucketsPerDecade), so a
+/// fixed, small bucket count covers many decades of positive samples
+/// (latencies, durations) at a bounded relative error. Samples at or
+/// below `lo` clamp into the first bucket and samples at or above `hi`
+/// into the last; the exact min/max are tracked separately so the
+/// percentile readout is exact at both extremes.
+class LogHistogram {
+ public:
+  LogHistogram(double lo, double hi, std::size_t bucketsPerDecade);
+
+  /// Adds one sample. NaN is rejected (LogicError); +inf saturates the
+  /// last bucket like any sample >= hi.
+  void add(double x);
+
+  /// Folds `other` into this histogram. The geometries (lo, hi,
+  /// bucketsPerDecade) must match exactly or LogicError is thrown.
+  void merge(const LogHistogram& other);
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t bucketCount() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t bucket(std::size_t i) const;
+  [[nodiscard]] double bucketLow(std::size_t i) const;
+  [[nodiscard]] double bucketHigh(std::size_t i) const;
+  /// Exact smallest/largest sample seen; LogicError when empty.
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Exact-rank (nearest-rank) percentile: the representative value (the
+  /// geometric bucket midpoint) of the bucket holding the ceil(q*N)-th
+  /// smallest sample, clamped into the exact [min, max]. The result is
+  /// within one bucket ratio of the true order statistic. LogicError
+  /// when empty or q outside [0, 1].
+  [[nodiscard]] double percentile(double q) const;
+
+ private:
+  [[nodiscard]] double representative(std::size_t i) const;
+
+  double lo_;
+  double hi_;
+  double logLo_;
+  double bucketsPerDecade_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double min_ = 0.0;
+  double max_ = 0.0;
 };
 
 }  // namespace pqos

@@ -31,6 +31,15 @@ class Table {
 
   [[nodiscard]] std::size_t rowCount() const { return rows_.size(); }
 
+  /// Raw cells, for serializers beyond the built-in console/CSV forms
+  /// (the bench harness embeds tables in its JSON export).
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
+
  private:
   std::vector<std::string> header_;
   std::vector<std::vector<std::string>> rows_;

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
 #include "util/atomic_write.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -84,6 +85,7 @@ std::vector<JobSpec> parseSwf(std::istream& in, const SwfLoadOptions& options) {
 std::vector<JobSpec> loadSwfFile(const std::string& path,
                                  const SwfLoadOptions& options) {
   PQOS_FAILPOINT("workload.swf.read");
+  PQOS_METRIC_SPAN("io.swf.read");
   std::ifstream file(path);
   if (!file) throw ConfigError("cannot open SWF file: " + path);
   return parseSwf(file, options);
@@ -109,6 +111,7 @@ void writeSwf(std::ostream& out, const std::vector<JobSpec>& jobs,
 void writeSwfFile(const std::string& path, const std::vector<JobSpec>& jobs,
                   const std::string& headerComment) {
   PQOS_FAILPOINT("workload.swf.write");
+  PQOS_METRIC_SPAN("io.swf.write");
   atomicWriteFile(path,
                   [&](std::ostream& os) { writeSwf(os, jobs, headerComment); });
 }

@@ -1,0 +1,266 @@
+// Unit tests for pqos::metrics: the catalogue, counter/gauge/span
+// recording through per-thread shards, the span hierarchy, the perf JSON
+// export, thread-safety under a worker-pool hammer (the TSan stage runs
+// this suite), and the property the whole design hangs on — enabling
+// metrics must not change simulation results.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "metrics/metrics.hpp"
+#include "runner/journal.hpp"
+#include "runner/thread_pool.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+
+namespace pqos::metrics {
+namespace {
+
+class Metrics : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setEnabled(true);
+    resetAll();
+  }
+  void TearDown() override {
+    setEnabled(true);
+    resetAll();
+  }
+};
+
+TEST_F(Metrics, CatalogueIsSortedUniqueAndResolvable) {
+  const auto metrics = catalogue();
+  ASSERT_FALSE(metrics.empty());
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    if (i > 0) {
+      EXPECT_LT(metrics[i - 1].name, metrics[i].name)
+          << "catalogue must be strictly name-sorted";
+    }
+    EXPECT_FALSE(metrics[i].description.empty()) << metrics[i].name;
+    EXPECT_EQ(idOf(metrics[i].name), i);
+  }
+  EXPECT_THROW((void)idOf("no.such.metric"), LogicError);
+}
+
+TEST_F(Metrics, CountersAccumulateAndGaugesKeepTheMax) {
+  const Id events = idOf("sim.engine.events");
+  const Id peak = idOf("sim.queue.peak");
+  detail::addCount(events, 3);
+  detail::addCount(events, 4);
+  detail::gaugeMax(peak, 10.0);
+  detail::gaugeMax(peak, 7.0);  // lower value must not regress the max
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counters[events], 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges[peak], 10.0);
+  EXPECT_EQ(counterValue(events), 7u);
+}
+
+TEST_F(Metrics, NestedSpansBuildTheEdgeTreeAndSelfTimes) {
+  const Id outer = idOf("runner.cell");
+  const Id mid = idOf("core.negotiate");
+  const Id inner = idOf("predict.query");
+  {
+    ScopedSpan a(outer);
+    {
+      ScopedSpan b(mid);
+      { ScopedSpan c(inner); }
+      { ScopedSpan c(inner); }
+    }
+  }
+  const auto snap = snapshot();
+  const std::size_t root = catalogue().size();
+  EXPECT_EQ(snap.spans[outer].count, 1u);
+  EXPECT_EQ(snap.spans[mid].count, 1u);
+  EXPECT_EQ(snap.spans[inner].count, 2u);
+  EXPECT_EQ(snap.edges[root][outer], 1u);
+  EXPECT_EQ(snap.edges[outer][mid], 1u);
+  EXPECT_EQ(snap.edges[mid][inner], 2u);
+  EXPECT_EQ(snap.edges[root][inner], 0u);
+  // Self-time excludes child time; totals nest.
+  EXPECT_LE(snap.spans[outer].selfSeconds, snap.spans[outer].totalSeconds);
+  EXPECT_LE(snap.spans[mid].totalSeconds, snap.spans[outer].totalSeconds);
+  EXPECT_EQ(snap.spans[inner].histogram.total(), 2u);
+}
+
+TEST_F(Metrics, DisabledHooksRecordNothing) {
+  const Id events = idOf("sim.engine.events");
+  setEnabled(false);
+  EXPECT_FALSE(enabled());
+  detail::addCount(events, 5);
+  detail::gaugeMax(idOf("sim.queue.peak"), 9.0);
+  {
+    // Constructed while disabled: must stay inert even though the
+    // runtime switch flips back on before the destructor runs.
+    ScopedSpan span(idOf("runner.cell"));
+    setEnabled(true);
+  }
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counters[events], 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges[idOf("sim.queue.peak")], 0.0);
+  EXPECT_EQ(snap.spans[idOf("runner.cell")].count, 0u);
+}
+
+TEST_F(Metrics, ResetAllClearsTheRegistry) {
+  detail::addCount(idOf("sim.engine.events"), 42);
+  resetAll();
+  EXPECT_EQ(counterValue(idOf("sim.engine.events")), 0u);
+}
+
+TEST_F(Metrics, NowSecondsIsMonotonic) {
+  const double a = nowSeconds();
+  const double b = nowSeconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GE(b, a);
+}
+
+TEST_F(Metrics, InvalidIdsAreRejected) {
+  const Id bogus = catalogue().size() + 7;
+  EXPECT_THROW(detail::addCount(bogus, 1), LogicError);
+  EXPECT_THROW(detail::gaugeMax(bogus, 1.0), LogicError);
+  EXPECT_THROW(ScopedSpan{bogus}, LogicError);
+  // A span id must be Kind::Span; a counter id is a programming error.
+  EXPECT_THROW(ScopedSpan{idOf("sim.engine.events")}, LogicError);
+}
+
+TEST_F(Metrics, PerfJsonRoundTripsThroughTheParser) {
+  detail::addCount(idOf("sim.engine.events"), 1000);
+  detail::addCount(idOf("core.jobs.completed"), 50);
+  detail::gaugeMax(idOf("sim.queue.peak"), 33.0);
+  { ScopedSpan span(idOf("runner.cell")); }
+
+  std::ostringstream out;
+  JsonWriter writer(out);
+  writePerfJson(writer, snapshot(), 2.0);
+  const JsonValue doc = parseJson(out.str());
+
+  EXPECT_EQ(doc.at("schema").asString(), "pqos-perf-v1");
+  EXPECT_DOUBLE_EQ(doc.at("wallSeconds").asDouble(), 2.0);
+  EXPECT_EQ(doc.at("counters").at("sim.engine.events").asUint64(), 1000u);
+  EXPECT_DOUBLE_EQ(doc.at("gauges").at("sim.queue.peak").asDouble(), 33.0);
+  EXPECT_DOUBLE_EQ(
+      doc.at("throughput").at("eventsPerSecond").asDouble(), 500.0);
+  EXPECT_DOUBLE_EQ(doc.at("throughput").at("jobsPerSecond").asDouble(), 25.0);
+
+  bool sawCell = false;
+  for (const JsonValue& span : doc.at("spans").elements()) {
+    if (span.at("name").asString() != "runner.cell") continue;
+    sawCell = true;
+    EXPECT_EQ(span.at("count").asUint64(), 1u);
+    EXPECT_GE(span.at("p99").asDouble(), 0.0);
+  }
+  EXPECT_TRUE(sawCell);
+
+  bool sawEdge = false;
+  for (const JsonValue& edge : doc.at("tree").elements()) {
+    if (edge.at("child").asString() != "runner.cell") continue;
+    sawEdge = true;
+    EXPECT_EQ(edge.at("parent").asString(), "(root)");
+    EXPECT_EQ(edge.at("count").asUint64(), 1u);
+  }
+  EXPECT_TRUE(sawEdge);
+}
+
+/// N workers hammering counters, gauges, and nested spans through their
+/// thread-local shards, flushing at task boundaries exactly like the
+/// sweep runner. The merged totals must be exact — shard merging is an
+/// integer fold, independent of interleaving — and the TSan stage proves
+/// the owner-writes-only shard discipline is race-free.
+TEST_F(Metrics, ShardedRecordingUnderAWorkerPoolIsExact) {
+  constexpr std::size_t kTasks = 64;
+  constexpr std::uint64_t kPerTask = 1000;
+  const Id events = idOf("sim.engine.events");
+  const Id peak = idOf("sim.queue.peak");
+  const Id cell = idOf("runner.cell");
+  const Id query = idOf("predict.query");
+  {
+    runner::ThreadPool pool(4);
+    std::vector<std::future<void>> futures;
+    futures.reserve(kTasks);
+    for (std::size_t task = 0; task < kTasks; ++task) {
+      futures.push_back(pool.submit([=] {
+        ScopedSpan outer(cell);
+        for (std::uint64_t i = 0; i < kPerTask; ++i) {
+          detail::addCount(events, 1);
+        }
+        detail::gaugeMax(peak, static_cast<double>(task));
+        { ScopedSpan inner(query); }
+        flushThisThread();
+      }));
+    }
+    for (auto& future : futures) future.get();
+  }  // pool joins; thread-exit destructors flush any shard remainder
+
+  const auto snap = snapshot();
+  EXPECT_EQ(snap.counters[events], kTasks * kPerTask);
+  EXPECT_DOUBLE_EQ(snap.gauges[peak], static_cast<double>(kTasks - 1));
+  EXPECT_EQ(snap.spans[query].count, kTasks);
+  // The outer span is still open when the task-body flush runs, so its
+  // completion lands in the thread-exit flush; after join it is merged.
+  EXPECT_EQ(snap.spans[cell].count, kTasks);
+  const std::size_t root = catalogue().size();
+  EXPECT_EQ(snap.edges[cell][query], kTasks);
+  EXPECT_EQ(snap.edges[root][cell], kTasks);
+}
+
+/// The design's load-bearing property: wall-clock readings flow into the
+/// registry only, never into simulation state, so the same seeded run
+/// produces a bit-identical SimResult whether metrics record or not.
+TEST_F(Metrics, SimulationResultsAreIdenticalWithMetricsOnAndOff) {
+  const auto inputs = core::makeStandardInputs("nasa", 300, 11);
+  core::SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+
+  const auto serialize = [](const core::SimResult& result) {
+    std::ostringstream out;
+    JsonWriter json(out, 0);
+    runner::writeSimResultJson(json, result);
+    return out.str();
+  };
+
+  setEnabled(true);
+  const std::string on =
+      serialize(core::runSimulation(config, inputs.jobs, inputs.trace));
+  setEnabled(false);
+  const std::string off =
+      serialize(core::runSimulation(config, inputs.jobs, inputs.trace));
+  EXPECT_EQ(on, off)
+      << "recording metrics must not perturb simulation results";
+}
+
+/// Coarse overhead smoke: hooks enabled vs the runtime switch off on the
+/// same build. The tight <=5% ON-vs-OFF-build budget is enforced by
+/// scripts/perf_gate.py --overhead on a quiet machine; this bound only
+/// catches catastrophic regressions (say, a lock on the event hot path)
+/// without being flaky on loaded CI.
+TEST_F(Metrics, EnabledOverheadIsBounded) {
+  const auto inputs = core::makeStandardInputs("nasa", 400, 7);
+  core::SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+  const auto timeOnce = [&] {
+    const double start = nowSeconds();
+    (void)core::runSimulation(config, inputs.jobs, inputs.trace);
+    return nowSeconds() - start;
+  };
+  double onBest = 1e9;
+  double offBest = 1e9;
+  for (int i = 0; i < 3; ++i) {
+    setEnabled(true);
+    onBest = std::min(onBest, timeOnce());
+    setEnabled(false);
+    offBest = std::min(offBest, timeOnce());
+  }
+  EXPECT_LT(onBest, offBest * 1.5 + 0.01)
+      << "metrics-enabled run grossly slower than disabled (on=" << onBest
+      << "s off=" << offBest << "s)";
+}
+
+}  // namespace
+}  // namespace pqos::metrics

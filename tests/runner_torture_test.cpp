@@ -36,12 +36,31 @@ std::string slurp(const std::string& path) {
   return buffer.str();
 }
 
-/// Drops the only line two identical runs may legitimately disagree on.
+/// Drops the wall-time-derived content two identical runs may
+/// legitimately disagree on: the "wallSeconds" provenance line and the
+/// whole "perf" block (span timings, and counters that shrink when a
+/// resumed run re-simulates fewer cells).
 std::string normalizeJson(const std::string& text) {
   std::istringstream in(text);
   std::ostringstream out;
   std::string line;
+  bool inPerf = false;
+  std::size_t perfIndent = 0;
   while (std::getline(in, line)) {
+    if (inPerf) {
+      const std::size_t indent = line.find_first_not_of(' ');
+      if (indent != std::string::npos && indent <= perfIndent &&
+          line[indent] == '}') {
+        inPerf = false;  // the block's own closing brace is dropped too
+      }
+      continue;
+    }
+    const std::size_t perfAt = line.find("\"perf\":");
+    if (perfAt != std::string::npos) {
+      inPerf = true;
+      perfIndent = perfAt;
+      continue;
+    }
     if (line.find("\"wallSeconds\":") != std::string::npos) continue;
     out << line << '\n';
   }

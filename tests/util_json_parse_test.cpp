@@ -1,0 +1,183 @@
+// Unit tests for the strict JSON reader (util/json_parse). The reader's
+// one job is to consume JsonWriter output faithfully, so the centerpiece
+// is a writer -> parser round-trip; the rest pins down the strictness
+// guarantees (duplicate keys, trailing garbage, depth cap) and the
+// checked accessors.
+#include "util/json_parse.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/json.hpp"
+
+namespace pqos {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parseJson("null").isNull());
+  EXPECT_TRUE(parseJson("true").asBool());
+  EXPECT_FALSE(parseJson("false").asBool());
+  EXPECT_DOUBLE_EQ(parseJson("0").asDouble(), 0.0);
+  EXPECT_DOUBLE_EQ(parseJson("-12.5e2").asDouble(), -1250.0);
+  EXPECT_EQ(parseJson("\"hi\"").asString(), "hi");
+  EXPECT_DOUBLE_EQ(parseJson("  42  ").asDouble(), 42.0);  // outer whitespace
+}
+
+TEST(JsonParse, ContainersPreserveOrder) {
+  const JsonValue doc =
+      parseJson(R"({"z": 1, "a": [true, null, {"k": "v"}], "m": {}})");
+  ASSERT_TRUE(doc.isObject());
+  EXPECT_EQ(doc.size(), 3u);
+  // Insertion order, not sorted order.
+  EXPECT_EQ(doc.members()[0].first, "z");
+  EXPECT_EQ(doc.members()[1].first, "a");
+  EXPECT_EQ(doc.members()[2].first, "m");
+  const JsonValue& arr = doc.at("a");
+  ASSERT_TRUE(arr.isArray());
+  ASSERT_EQ(arr.size(), 3u);
+  EXPECT_TRUE(arr.at(0).asBool());
+  EXPECT_TRUE(arr.at(1).isNull());
+  EXPECT_EQ(arr.at(2).at("k").asString(), "v");
+  EXPECT_EQ(doc.at("m").size(), 0u);
+  EXPECT_EQ(parseJson("[]").size(), 0u);
+}
+
+TEST(JsonParse, CheckedAccessorsThrowWithTypeNames) {
+  const JsonValue doc = parseJson(R"({"n": 1, "s": "x"})");
+  EXPECT_THROW((void)doc.asDouble(), LogicError);        // object, not number
+  EXPECT_THROW((void)doc.at("n").asString(), LogicError);
+  EXPECT_THROW((void)doc.at("s").asBool(), LogicError);
+  EXPECT_THROW((void)doc.at("missing"), LogicError);
+  EXPECT_THROW((void)doc.at(std::size_t{5}), LogicError);  // not an array
+  EXPECT_THROW((void)doc.at("n").size(), LogicError);
+  EXPECT_THROW((void)doc.at("n").members(), LogicError);
+  EXPECT_THROW((void)doc.at("n").elements(), LogicError);
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_EQ(doc.at("n").find("k"), nullptr);  // find on non-object: null
+  ASSERT_NE(doc.find("s"), nullptr);
+  EXPECT_EQ(doc.find("s")->asString(), "x");
+}
+
+TEST(JsonParse, Uint64IsExact) {
+  EXPECT_EQ(parseJson("0").asUint64(), 0u);
+  EXPECT_EQ(parseJson("9007199254740992").asUint64(),
+            9007199254740992u);  // 2^53: still exact in a double
+  EXPECT_THROW((void)parseJson("-1").asUint64(), LogicError);
+  EXPECT_THROW((void)parseJson("1.5").asUint64(), LogicError);
+  EXPECT_THROW((void)parseJson("1e300").asUint64(), LogicError);  // > 2^64
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parseJson(R"("a\"b\\c\/d\b\f\n\r\t")").asString(),
+            "a\"b\\c/d\b\f\n\r\t");
+  EXPECT_EQ(parseJson(R"("Aé")").asString(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(parseJson(R"("😀")").asString(), "\xf0\x9f\x98\x80");
+  EXPECT_THROW((void)parseJson(R"("\ud83d")"), ParseError);   // lone high
+  EXPECT_THROW((void)parseJson(R"("\ude00")"), ParseError);   // lone low
+  EXPECT_THROW((void)parseJson(R"("\x41")"), ParseError);     // bad escape
+  EXPECT_THROW((void)parseJson("\"raw\ntab\""), ParseError);  // bare control
+}
+
+TEST(JsonParse, MalformedInputsThrowWithLocation) {
+  EXPECT_THROW((void)parseJson(""), ParseError);
+  EXPECT_THROW((void)parseJson("{\"a\": 1} trailing"), ParseError);
+  EXPECT_THROW((void)parseJson("{\"a\": 1, \"a\": 2}"), ParseError);  // dup
+  EXPECT_THROW((void)parseJson("\"unterminated"), ParseError);
+  EXPECT_THROW((void)parseJson("[1, 2,]"), ParseError);
+  EXPECT_THROW((void)parseJson("{\"a\" 1}"), ParseError);  // missing colon
+  EXPECT_THROW((void)parseJson("01"), ParseError);         // leading zero
+  EXPECT_THROW((void)parseJson("1."), ParseError);
+  EXPECT_THROW((void)parseJson(".5"), ParseError);
+  EXPECT_THROW((void)parseJson("+1"), ParseError);
+  EXPECT_THROW((void)parseJson("NaN"), ParseError);
+  EXPECT_THROW((void)parseJson("Infinity"), ParseError);
+  EXPECT_THROW((void)parseJson("// comment\n1"), ParseError);
+  EXPECT_THROW((void)parseJson("nul"), ParseError);
+  try {
+    (void)parseJson("{\n  \"a\": ?\n}");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("2:"), std::string::npos)
+        << "error should carry a line number: " << e.what();
+  }
+}
+
+TEST(JsonParse, DepthCapStopsRunawayNesting) {
+  // 250 nested arrays exceeds the 200-level cap; 50 is fine.
+  const std::string deep(250, '[');
+  EXPECT_THROW((void)parseJson(deep), ParseError);
+  std::string ok;
+  for (int i = 0; i < 50; ++i) ok += '[';
+  ok += '1';
+  for (int i = 0; i < 50; ++i) ok += ']';
+  const JsonValue doc = parseJson(ok);
+  const JsonValue* inner = &doc;
+  while (inner->isArray()) inner = &inner->at(std::size_t{0});
+  EXPECT_DOUBLE_EQ(inner->asDouble(), 1.0);
+}
+
+TEST(JsonParse, RoundTripsJsonWriterOutput) {
+  std::ostringstream out;
+  {
+    JsonWriter json(out);
+    json.beginObject();
+    json.field("schema", "pqos-test-v1");
+    json.field("count", std::uint64_t{12345});
+    json.field("ratio", 0.125);
+    json.field("label", "a \"quoted\" name\twith\ncontrols");
+    json.field("flag", true);
+    json.key("values");
+    json.beginArray();
+    json.value(1.0);
+    json.value(2.5);
+    json.value(-3.0);
+    json.endArray();
+    json.key("nested");
+    json.beginObject();
+    json.field("inner", "x");
+    json.endObject();
+    json.endObject();
+  }
+  const JsonValue doc = parseJson(out.str());
+  EXPECT_EQ(doc.at("schema").asString(), "pqos-test-v1");
+  EXPECT_EQ(doc.at("count").asUint64(), 12345u);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").asDouble(), 0.125);
+  EXPECT_EQ(doc.at("label").asString(), "a \"quoted\" name\twith\ncontrols");
+  EXPECT_TRUE(doc.at("flag").asBool());
+  ASSERT_EQ(doc.at("values").size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.at("values").at(1).asDouble(), 2.5);
+  EXPECT_EQ(doc.at("nested").at("inner").asString(), "x");
+}
+
+TEST(JsonParse, LoadJsonFileReportsPathOnErrors) {
+  EXPECT_THROW((void)loadJsonFile("/nonexistent/pqos.json"), ConfigError);
+
+  const std::string path = ::testing::TempDir() + "/pqos_json_parse_test.json";
+  {
+    std::ofstream out(path);
+    out << "{\"ok\": true}";
+  }
+  EXPECT_TRUE(loadJsonFile(path).at("ok").asBool());
+  {
+    std::ofstream out(path);
+    out << "{broken";
+  }
+  try {
+    (void)loadJsonFile(path);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(path), std::string::npos)
+        << "error should name the file: " << e.what();
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace pqos

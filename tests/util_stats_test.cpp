@@ -3,10 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <vector>
 
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace pqos {
 namespace {
@@ -87,6 +90,104 @@ TEST(Pearson, PerfectCorrelationAndIndependence) {
   EXPECT_NEAR(pearson(x, {2.0, 4.0, 6.0, 8.0}), 1.0, 1e-12);
   EXPECT_NEAR(pearson(x, {8.0, 6.0, 4.0, 2.0}), -1.0, 1e-12);
   EXPECT_DOUBLE_EQ(pearson(x, {5.0, 5.0, 5.0, 5.0}), 0.0);  // constant
+}
+
+TEST(LogHistogram, GeometryAndBucketEdges) {
+  // The span-metrics geometry: 12 decades at 8 buckets/decade = 96.
+  LogHistogram h(1e-9, 1e3, 8);
+  EXPECT_EQ(h.bucketCount(), 96u);
+  EXPECT_DOUBLE_EQ(h.bucketLow(0), 1e-9);
+  EXPECT_NEAR(h.bucketHigh(95), 1e3, 1e3 * 1e-12);
+  for (std::size_t i = 0; i + 1 < h.bucketCount(); ++i) {
+    EXPECT_NEAR(h.bucketHigh(i), h.bucketLow(i + 1), h.bucketHigh(i) * 1e-12);
+    EXPECT_LT(h.bucketLow(i), h.bucketHigh(i));
+  }
+  EXPECT_THROW(LogHistogram(0.0, 1.0, 8), LogicError);   // lo must be > 0
+  EXPECT_THROW(LogHistogram(1.0, 1.0, 8), LogicError);   // hi must exceed lo
+  EXPECT_THROW(LogHistogram(1.0, 10.0, 0), LogicError);  // need >= 1/decade
+}
+
+TEST(LogHistogram, EmptyAccessorsThrow) {
+  LogHistogram h(1e-9, 1e3, 8);
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_THROW((void)h.min(), LogicError);
+  EXPECT_THROW((void)h.max(), LogicError);
+  EXPECT_THROW((void)h.percentile(0.5), LogicError);
+}
+
+TEST(LogHistogram, OneSampleIsEveryPercentile) {
+  LogHistogram h(1e-9, 1e3, 8);
+  h.add(0.0125);
+  for (const double q : {0.0, 0.5, 0.9, 0.99, 1.0}) {
+    // The [min, max] clamp collapses to the exact sample.
+    EXPECT_DOUBLE_EQ(h.percentile(q), 0.0125) << "q=" << q;
+  }
+  EXPECT_DOUBLE_EQ(h.min(), 0.0125);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0125);
+}
+
+TEST(LogHistogram, SaturationAndUnderflow) {
+  LogHistogram h(1e-3, 1e3, 4);
+  h.add(1e9);  // above hi: saturates the last bucket
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(1e-9);  // below lo: bucket 0
+  h.add(0.0);   // log10 would blow up; must land in bucket 0 too
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(h.bucketCount() - 1), 2u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_TRUE(std::isinf(h.max()));
+  EXPECT_THROW(h.add(std::nan("")), LogicError);
+  EXPECT_THROW((void)h.percentile(1.5), LogicError);
+}
+
+TEST(LogHistogram, MergeSumsCountsAndFoldsExtremes) {
+  LogHistogram a(1e-6, 1e2, 8);
+  LogHistogram b(1e-6, 1e2, 8);
+  a.add(1e-4);
+  a.add(2e-4);
+  b.add(5.0);
+  a.merge(b);
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_DOUBLE_EQ(a.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(a.max(), 5.0);
+
+  LogHistogram empty(1e-6, 1e2, 8);
+  a.merge(empty);  // merging empty changes nothing
+  EXPECT_EQ(a.total(), 3u);
+  empty.merge(a);  // merging *into* empty adopts min/max
+  EXPECT_DOUBLE_EQ(empty.min(), 1e-4);
+  EXPECT_DOUBLE_EQ(empty.max(), 5.0);
+
+  LogHistogram other(1e-6, 1e3, 8);
+  EXPECT_THROW(a.merge(other), LogicError);  // geometry mismatch
+}
+
+TEST(LogHistogram, PercentilesTrackASortedOracleWithinOneBucket) {
+  // Log-uniform samples across six decades: the estimate must land
+  // within one bucket ratio (10^(1/8) ~ 1.33x) of the exact
+  // nearest-rank value, and always inside [min, max].
+  Rng rng(20260807);
+  LogHistogram h(1e-9, 1e3, 8);
+  std::vector<double> sorted;
+  for (int i = 0; i < 500; ++i) {
+    const double x = std::pow(10.0, rng.uniform(-8.0, 2.0));
+    h.add(x);
+    sorted.push_back(x);
+  }
+  std::sort(sorted.begin(), sorted.end());
+  const double ratio = std::pow(10.0, 1.0 / 8.0);
+  for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 1.0}) {
+    auto rank = static_cast<std::size_t>(
+        std::ceil(q * static_cast<double>(sorted.size())));
+    if (rank == 0) rank = 1;
+    const double oracle = sorted[rank - 1];
+    const double estimate = h.percentile(q);
+    EXPECT_GE(estimate, h.min()) << "q=" << q;
+    EXPECT_LE(estimate, h.max()) << "q=" << q;
+    EXPECT_GE(estimate, oracle / ratio) << "q=" << q;
+    EXPECT_LE(estimate, oracle * ratio) << "q=" << q;
+  }
 }
 
 TEST(Histogram, BucketsAndClamping) {
