@@ -3,6 +3,8 @@
 #include <iostream>
 #include <optional>
 
+#include "fabric/fabric.hpp"
+#include "fabric/lease.hpp"
 #include "failpoint/failpoint.hpp"
 #include "metrics/metrics.hpp"
 #include "runner/provenance.hpp"
@@ -54,6 +56,12 @@ bool parseHarness(int argc, const char* const* argv,
   args.addString("failpoints", "",
                  "fault-injection sites to arm, site=action[;...]; see "
                  "example_dump_trace --list-failpoints");
+  args.addString("shard", "",
+                 "run only shard i/N of the sweep grid (e.g. 0/4); merge "
+                 "the per-shard --json files with example_sweep_merge");
+  args.addString("lease-dir", "",
+                 "shared cell-claims directory for a sharded fleet; "
+                 "enables cross-worker work stealing (requires --shard)");
   if (!args.parse(argc, argv)) return false;
   options.jobs = static_cast<std::size_t>(args.getInt("jobs"));
   options.seed = static_cast<std::uint64_t>(args.getInt("seed"));
@@ -70,6 +78,8 @@ bool parseHarness(int argc, const char* const* argv,
   options.retries = static_cast<std::size_t>(args.getInt("retries"));
   options.cellTimeout = args.getDouble("cell-timeout");
   options.failpoints = args.getString("failpoints");
+  options.shard = args.getString("shard");
+  options.leaseDir = args.getString("lease-dir");
   return true;
 }
 
@@ -201,6 +211,28 @@ runner::SweepResult runHarnessSweep(const HarnessOptions& options,
   runOptions.resume = options.resume;
   runOptions.maxRetries = options.retries;
   runOptions.cellTimeoutSeconds = options.cellTimeout;
+
+  // Fabric sharding: --shard i/N restricts this process to its static
+  // slice of the grid; adding --lease-dir lets it also steal cells whose
+  // owner died (the arbiter must outlive run(), hence the optional
+  // below). The JSON sink switches to the per-shard "cells" layout that
+  // example_sweep_merge folds back together.
+  const fabric::ShardSpec shardSpec = fabric::parseShardSpec(options.shard);
+  runOptions.shardIndex = shardSpec.index;
+  runOptions.shardCount = shardSpec.count;
+  std::optional<fabric::LeaseArbiter> arbiter;
+  if (!options.leaseDir.empty()) {
+    if (shardSpec.count <= 1) {
+      throw ConfigError("--lease-dir requires --shard i/N with N > 1");
+    }
+    fabric::LeaseArbiter::Options leaseOptions;
+    leaseOptions.dir = options.leaseDir;
+    leaseOptions.specDigest = runner::sweepSpecDigest(spec, runOptions.reps);
+    leaseOptions.shard = shardSpec.index;
+    leaseOptions.journalPath = options.journalPath;
+    arbiter.emplace(std::move(leaseOptions));
+    runOptions.arbiter = &*arbiter;
+  }
 
   // Arm fault injection before anything can fail: the environment first
   // (chaos drivers set PQOS_FAILPOINTS on child processes), then the

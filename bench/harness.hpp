@@ -35,6 +35,10 @@ struct HarnessOptions {
   std::size_t retries = 0;       // extra attempts per failed cell
   double cellTimeout = 0.0;      // seconds before the watchdog fails a cell
   std::string failpoints;        // site=action[,site=action...] to arm
+
+  // --- Sweep fabric (--shard i/N / --lease-dir; see src/fabric/) ---
+  std::string shard;     // "i/N" static shard of the cell grid; "" = all
+  std::string leaseDir;  // shared claims directory enabling work stealing
 };
 
 /// Parses the standard flags; returns false when --help was requested.

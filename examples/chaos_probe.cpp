@@ -6,8 +6,10 @@
 // The pass touches each subsystem that carries failpoint sites: a tiny
 // journaled sweep with JSON export (runner.*, util.atomic_write.*), a
 // trace JSONL export/import round trip (trace.jsonl.*), an SWF write/read
-// round trip (workload.swf.*), and a failure-trace write/read round trip
-// (failure.trace.*).
+// round trip (workload.swf.*), a failure-trace write/read round trip
+// (failure.trace.*), and a two-shard lease-arbitrated rerun of the sweep
+// folded back together (fabric.lease.*, fabric.merge.*) — including a
+// stale lease planted for a dead pid so the takeover path runs.
 //
 // Exit codes (scripts/check.sh --chaos interprets them):
 //   0  the armed pass completed and its outputs are byte-identical to the
@@ -18,6 +20,9 @@
 //   2  CHAOS BUG: the armed pass "succeeded" but produced different bytes
 // Anything else (a signal death from `abort`, a lockup) is the driver's
 // problem to flag.
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -26,6 +31,8 @@
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "fabric/lease.hpp"
+#include "fabric/merge.hpp"
 #include "failpoint/failpoint.hpp"
 #include "failure/trace_io.hpp"
 #include "runner/result_sink.hpp"
@@ -33,6 +40,7 @@
 #include "trace/jsonl.hpp"
 #include "trace/replay.hpp"
 #include "util/args.hpp"
+#include "util/atomic_write.hpp"
 #include "workload/swf.hpp"
 
 namespace {
@@ -45,13 +53,30 @@ std::string slurp(const std::string& path) {
   return buffer.str();
 }
 
-/// Drops lines that legitimately differ between two identical runs
-/// (wall-clock provenance).
+/// Drops content that legitimately differs between two equivalent runs:
+/// the "wallSeconds" provenance line and the whole "perf" block (span
+/// timings, and counters that accumulate across the probe's passes).
 std::string normalizeJson(const std::string& text) {
   std::istringstream in(text);
   std::ostringstream out;
   std::string line;
+  bool inPerf = false;
+  std::size_t perfIndent = 0;
   while (std::getline(in, line)) {
+    if (inPerf) {
+      const std::size_t indent = line.find_first_not_of(' ');
+      if (indent != std::string::npos && indent <= perfIndent &&
+          line[indent] == '}') {
+        inPerf = false;  // the block's own closing brace is dropped too
+      }
+      continue;
+    }
+    const std::size_t perfAt = line.find("\"perf\":");
+    if (perfAt != std::string::npos) {
+      inPerf = true;
+      perfIndent = perfAt;
+      continue;
+    }
     if (line.find("\"wallSeconds\":") != std::string::npos) continue;
     out << line << '\n';
   }
@@ -112,6 +137,58 @@ std::string runPass(const std::string& dir, std::uint64_t seed) {
       dir + "/failures.trace", spec.machineSize);
   if (trace.events().size() != inputs.trace.events().size()) {
     throw pqos::ConfigError("failure trace round trip lost events");
+  }
+
+  // 5. Sharded rerun of the same sweep through the lease protocol, folded
+  //    back together (fabric.lease.*, fabric.merge.*). A stale lease is
+  //    planted for a provably dead pid first, so claiming that cell takes
+  //    the takeover path; the merged document must be byte-identical
+  //    (modulo wall-clock provenance) to the single-process export above.
+  if constexpr (pqos::fabric::kCompiled) {
+    const std::string claims = dir + "/claims";
+    pqos::fabric::Lease stale;
+    stale.specDigest = pqos::runner::sweepSpecDigest(spec, options.reps);
+    stale.cell = {0, 0, 0};
+    stale.owner = pqos::fabric::selfIdentity(7);
+    if (const pid_t child = ::fork(); child == 0) {
+      ::_exit(0);
+    } else if (child > 0) {
+      (void)::waitpid(child, nullptr, 0);
+      stale.owner.pid = static_cast<std::int64_t>(child);
+    }
+    pqos::atomicWriteFile(
+        pqos::fabric::leasePath(claims, stale.cell),
+        [&](std::ostream& os) { os << pqos::fabric::leaseJson(stale) << '\n'; });
+
+    std::vector<std::string> shardPaths;
+    for (std::size_t shard = 0; shard < 2; ++shard) {
+      pqos::runner::RunnerOptions shardOptions;
+      shardOptions.threads = 2;
+      shardOptions.reps = options.reps;
+      shardOptions.shardIndex = shard;
+      shardOptions.shardCount = 2;
+      pqos::fabric::LeaseArbiter::Options leaseOptions;
+      leaseOptions.dir = claims;
+      leaseOptions.specDigest = stale.specDigest;
+      leaseOptions.shard = shard;
+      pqos::fabric::LeaseArbiter arbiter(leaseOptions);
+      shardOptions.arbiter = &arbiter;
+      pqos::runner::SweepRunner worker(spec, shardOptions);
+      const std::string path = dir + "/shard_" + std::to_string(shard) +
+                               ".json";
+      pqos::runner::JsonResultSink shardJson(path);
+      worker.addSink(&shardJson);
+      if (worker.run().partial()) {
+        throw pqos::ConfigError("sharded sweep degraded to partial output");
+      }
+      shardPaths.push_back(path);
+    }
+    const auto merged = pqos::fabric::mergeShardFiles(shardPaths);
+    pqos::fabric::writeMergedJson(merged, dir + "/merged.json");
+    if (normalizeJson(slurp(dir + "/merged.json")) !=
+        normalizeJson(slurp(dir + "/sweep.json"))) {
+      throw pqos::ConfigError("sharded merge diverged from the serial sweep");
+    }
   }
 
   return normalizeJson(slurp(dir + "/sweep.json")) + slurp(dir + "/sweep.csv") +

@@ -1,0 +1,87 @@
+// example_sweep_fleet — run one sweep as a supervised multi-process fleet.
+//
+//   example_sweep_fleet --worker build/bench/bench_fig2
+//       --worker-args "--jobs 200 --seed 42 --threads 2 --reps 2"
+//       --workers 4 --dir /tmp/fleet --out /tmp/fleet/merged.json
+//
+// Spawns N copies of the worker binary, each on shard w/N with its own
+// journal and JSON output under --dir plus a shared --lease-dir, restarts
+// crashed workers with --resume (see fabric::Supervisor), and finally
+// merges the shard outputs into --out. For chaos testing, --chaos-worker
+// W arms --chaos-failpoints on W's first incarnation only, e.g.
+//
+//   --chaos-worker 1 --chaos-failpoints 'runner.journal.append=abort(3)'
+//
+// kills worker 1 after three journaled cells; the supervisor restart plus
+// lease takeover must still converge on the same merged bytes.
+#include <iostream>
+#include <string>
+
+#include "fabric/merge.hpp"
+#include "fabric/supervisor.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args(
+      "Run a sweep as N supervised sharded worker processes and merge "
+      "their outputs");
+  args.addString("worker", "",
+                 "worker executable (any bench harness binary)");
+  args.addString("worker-args", "",
+                 "whitespace-separated flags passed to every worker");
+  args.addInt("workers", 4, "fleet size (= shard count)");
+  args.addString("dir", "",
+                 "fleet directory for journals, claims, and shard outputs");
+  args.addString("out", "", "optional path for the merged JSON document");
+  args.addInt("max-restarts", 2, "crash budget per worker");
+  args.addInt("chaos-worker", -1,
+              "shard whose first incarnation gets --chaos-failpoints "
+              "injected (-1 = none)");
+  args.addString("chaos-failpoints", "",
+                 "PQOS_FAILPOINTS value for the chaos worker, e.g. "
+                 "'runner.journal.append=abort(3)'");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    fabric::SupervisorOptions options;
+    options.binary = args.getString("worker");
+    options.baseArgs = splitWhitespace(args.getString("worker-args"));
+    options.workers = static_cast<std::size_t>(args.getInt("workers"));
+    options.dir = args.getString("dir");
+    options.maxRestarts =
+        static_cast<std::size_t>(args.getInt("max-restarts"));
+    if (args.getInt("chaos-worker") >= 0) {
+      options.chaosWorker =
+          static_cast<std::size_t>(args.getInt("chaos-worker"));
+    }
+    options.chaosFailpoints = args.getString("chaos-failpoints");
+    if (options.binary.empty() || options.dir.empty()) {
+      std::cerr << "error: --worker and --dir are required\n";
+      args.printUsage(std::cerr);
+      return 2;
+    }
+
+    fabric::Supervisor supervisor(options);
+    const auto report = supervisor.run();
+    for (const auto& worker : report.workers) {
+      std::cout << "worker " << worker.shard << ": "
+                << (worker.completed ? "completed" : "FAILED") << " after "
+                << worker.restarts << " restart(s)\n";
+    }
+    if (!report.ok()) {
+      std::cerr << "error: fleet did not complete; not merging\n";
+      return 1;
+    }
+    if (!args.getString("out").empty()) {
+      const auto merged = fabric::mergeShardFiles(report.shardJsonPaths);
+      fabric::writeMergedJson(merged, args.getString("out"));
+      std::cout << "merged " << report.shardJsonPaths.size()
+                << " shard file(s) -> " << args.getString("out") << '\n';
+    }
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,48 @@
+// example_sweep_merge — fold per-shard sweep outputs into one file.
+//
+//   example_sweep_merge --inputs a/shard_0.json,a/shard_1.json,...
+//                       --out merged.json
+//
+// The inputs are the --json files of workers run with --shard i/N; the
+// output is a plain single-process pqos-sweep-v1 document, byte-identical
+// (modulo gitDescribe/wallSeconds/perf) to running the whole sweep in one
+// process. Exits nonzero on any validation failure: foreign or partial
+// shards, digest mismatches, divergent duplicate cells, missing cells.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "fabric/merge.hpp"
+#include "util/args.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args(
+      "Merge sharded sweep results (--shard i/N worker --json files) into "
+      "one single-process pqos-sweep-v1 document");
+  args.addString("inputs", "",
+                 "comma-separated shard results files (at least one)");
+  args.addString("out", "", "path for the merged JSON document");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    std::vector<std::string> paths;
+    for (const std::string& path : split(args.getString("inputs"), ',')) {
+      if (!path.empty()) paths.push_back(path);
+    }
+    if (paths.empty() || args.getString("out").empty()) {
+      std::cerr << "error: --inputs and --out are required\n";
+      args.printUsage(std::cerr);
+      return 2;
+    }
+    const auto merged = fabric::mergeShardFiles(paths);
+    fabric::writeMergedJson(merged, args.getString("out"));
+    std::cout << "merged " << paths.size() << " shard file(s): "
+              << merged.points.size() << " points x " << merged.options.reps
+              << " rep(s) -> " << args.getString("out") << '\n';
+    return 0;
+  } catch (const std::exception& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
+}

@@ -16,6 +16,9 @@
 #                                    # torture (opt-in)
 #   scripts/check.sh --perf          # perf-regression gate + metric-hook
 #                                    # overhead bound (opt-in)
+#   scripts/check.sh --fleet         # 4-worker supervised sharded sweep
+#                                    # with a chaos-killed worker; merged
+#                                    # output vs serial golden (opt-in)
 #
 # Stages may be combined (e.g. `--strict --lint`). The legacy positional
 # spellings `release`, `tsan`, and `all` are still accepted. JOBS=<n>
@@ -70,6 +73,9 @@ stage_release() {
 # RelWithDebInfo keeps the suite fast enough under TSan's ~5-15x slowdown
 # while retaining symbolized reports.
 stage_tsan() {
+  # scripts/tsan.supp documents the one known false positive (libstdc++'s
+  # uninstrumented exception_ptr refcount on cross-thread rethrow).
+  TSAN_OPTIONS="suppressions=$ROOT/scripts/tsan.supp ${TSAN_OPTIONS:-}" \
   run_config tsan build-tsan \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
     -DPQOS_SANITIZE=thread
@@ -283,10 +289,105 @@ stage_perf() {
   note perf PASS
 }
 
+# Fleet stage (opt-in, like chaos): the multi-process fabric end to end.
+# Runs the fabric unit suites, then a 4-worker supervised sharded sweep
+# in which worker 1's first incarnation is chaos-killed mid-journal-
+# append; the supervisor restart plus lease takeover must still produce
+# merged bytes identical (modulo wallSeconds/gitDescribe/perf) to a
+# serial golden run of the same spec.
+stage_fleet() {
+  local dir=build-release
+  echo "=== [fleet] building fabric binaries in $dir ==="
+  if ! cmake -B "$ROOT/$dir" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE= -DPQOS_FAILPOINT=ON -DPQOS_FABRIC=ON; then
+    note fleet FAIL
+    return 1
+  fi
+  if ! cmake --build "$ROOT/$dir" -j "$JOBS" --target \
+       bench_fig2_qos_vs_accuracy_nasa example_sweep_fleet \
+       example_sweep_merge fleet_worker_helper \
+       fabric_lease_test fabric_merge_test fabric_fleet_test; then
+    note fleet FAIL
+    return 1
+  fi
+
+  echo "=== [fleet] fabric unit suites ==="
+  if ! ctest --test-dir "$ROOT/$dir" --output-on-failure -j "$JOBS" \
+       -R 'Fleet|Merge|Lease|ParseShardSpec|Supervisor'; then
+    note fleet FAIL
+    return 1
+  fi
+
+  local scratch bench worker_args
+  scratch="$(mktemp -d /tmp/pqos_fleet.XXXXXX)"
+  bench="$ROOT/$dir/bench/bench_fig2_qos_vs_accuracy_nasa"
+  worker_args="--jobs 200 --seed 42 --threads 2 --reps 2"
+  echo "=== [fleet] serial golden sweep ==="
+  # shellcheck disable=SC2086
+  if ! "$bench" $worker_args --json "$scratch/golden.json" > /dev/null; then
+    note fleet FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  echo "=== [fleet] 4 supervised workers, worker 1 chaos-killed ==="
+  if ! "$ROOT/$dir/examples/example_sweep_fleet" \
+       --worker "$bench" --worker-args "$worker_args" --workers 4 \
+       --dir "$scratch/fleet" --out "$scratch/merged.json" \
+       --chaos-worker 1 \
+       --chaos-failpoints 'runner.journal.append=abort(2)'; then
+    note fleet FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  echo "=== [fleet] merged output vs serial golden (normalized) ==="
+  if ! python3 - "$scratch/golden.json" "$scratch/merged.json" << 'EOF'
+import sys
+
+def normalize(path):
+    out, in_perf, perf_indent = [], False, 0
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if in_perf:
+                indent = len(line) - len(line.lstrip(" "))
+                if line.lstrip().startswith("}") and indent <= perf_indent:
+                    in_perf = False
+                continue
+            at = line.find('"perf":')
+            if at != -1:
+                in_perf, perf_indent = True, at
+                continue
+            if '"wallSeconds":' in line or '"gitDescribe":' in line:
+                continue
+            out.append(line)
+    return "".join(out)
+
+golden, merged = normalize(sys.argv[1]), normalize(sys.argv[2])
+if golden != merged:
+    sys.exit("merged fleet output diverges from the serial golden run")
+print("merged output byte-identical to serial golden"
+      f" ({len(golden)} normalized bytes)")
+EOF
+  then
+    note fleet FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  # A crashed worker must not leak atomic-write temporaries either.
+  if find "$scratch" -name '*.tmp.*' | grep -q .; then
+    echo "[fleet] leaked atomic-write temporaries under $scratch"
+    note fleet FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  rm -rf "$scratch"
+  note fleet PASS
+}
+
 # --all expands to ALL_STAGES; STAGE_ORDER additionally fixes where the
 # opt-in stages run when requested explicitly.
 ALL_STAGES=(release tsan strict ubsan audit tidy lint)
-STAGE_ORDER=("${ALL_STAGES[@]}" coverage chaos perf)
+STAGE_ORDER=("${ALL_STAGES[@]}" coverage chaos perf fleet)
 REQUESTED=()
 
 if [ "$#" -eq 0 ]; then
@@ -305,8 +406,9 @@ for arg in "$@"; do
     --coverage) REQUESTED+=(coverage) ;;
     --chaos) REQUESTED+=(chaos) ;;
     --perf) REQUESTED+=(perf) ;;
+    --fleet) REQUESTED+=(fleet) ;;
     *)
-      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--chaos|--perf|--all]" >&2
+      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--coverage|--chaos|--perf|--fleet|--all]" >&2
       exit 2
       ;;
   esac

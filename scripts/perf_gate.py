@@ -40,6 +40,8 @@ import tempfile
 # Canonical gate workloads: one sweep per job log, small enough to run
 # in seconds but large enough that the hot paths dominate. Single worker
 # thread keeps wall time comparable between runs on a loaded CI box.
+# extra_args entries may reference {scratch}, the per-run temporary
+# directory, so stateful paths (a lease directory) start fresh each run.
 BENCHES = [
     {
         "name": "fig1_sdsc",
@@ -48,6 +50,16 @@ BENCHES = [
     {
         "name": "fig2_nasa",
         "binary": "bench/bench_fig2_qos_vs_accuracy_nasa",
+    },
+    # The fabric gate workload: the same NASA sweep as a lone shard-0/2
+    # worker with a lease directory. It leases its own half of the grid,
+    # then steals the ownerless other half, so the fabric work counters
+    # (fabric.cells.leased / fabric.cells.stolen) are exact for a fixed
+    # spec — gateable like every other deterministic counter.
+    {
+        "name": "fig2_nasa_sharded",
+        "binary": "bench/bench_fig2_qos_vs_accuracy_nasa",
+        "extra_args": ["--shard", "0/2", "--lease-dir", "{scratch}/claims"],
     },
 ]
 BENCH_ARGS = ["--jobs", "400", "--seed", "42", "--threads", "1", "--reps", "1"]
@@ -72,7 +84,11 @@ def run_bench(build_dir, bench, runs):
     for _ in range(runs):
         with tempfile.TemporaryDirectory(prefix="pqos_perf_gate.") as scratch:
             out = os.path.join(scratch, "sweep.json")
-            command = [binary, *BENCH_ARGS, "--json", out]
+            extra = [
+                arg.format(scratch=scratch)
+                for arg in bench.get("extra_args", [])
+            ]
+            command = [binary, *BENCH_ARGS, *extra, "--json", out]
             result = subprocess.run(
                 command, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
             )
@@ -88,7 +104,7 @@ def run_bench(build_dir, bench, runs):
     record = {
         "name": bench["name"],
         "binary": bench["binary"],
-        "args": BENCH_ARGS,
+        "args": [*BENCH_ARGS, *bench.get("extra_args", [])],
         "wallSeconds": min(walls),
         "wallSecondsRuns": walls,
     }

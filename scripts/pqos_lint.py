@@ -378,6 +378,14 @@ SELF_TESTS = [
      "std::ofstream file(target);\n", {"no-raw-file-io"}),
     ("bench writers must use atomic_write", "bench/harness.cpp",
      "std::ofstream csv(path);\n", {"no-raw-file-io"}),
+    ("fabric lease writes must use atomic_write", "src/fabric/lease.cpp",
+     "std::ofstream lease(path);\n", {"no-raw-file-io"}),
+    ("fabric merge writes must use atomic_write", "src/fabric/merge.cpp",
+     'FILE* f = fopen("merged.json", "w");\n', {"no-raw-file-io"}),
+    ("lease birth stamp carries both clock allows", "src/fabric/lease.cpp",
+     "lease.unixSeconds = static_cast<std::int64_t>(::time(nullptr));"
+     "  // pqos-lint: allow(no-wall-clock, no-raw-clock)\n",
+     set()),
     ("ofstream in string ok", "src/core/simulator.cpp",
      'const char* doc = "std::ofstream";\n', set()),
     ("float in sim", "src/sim/engine.cpp",

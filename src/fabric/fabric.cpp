@@ -1,0 +1,55 @@
+#include "fabric/fabric.hpp"
+
+#include <unistd.h>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace pqos::fabric {
+
+void requireCompiled(const std::string& feature) {
+  if constexpr (!kCompiled) {
+    throw ConfigError(feature +
+                      ": fabric support compiled out (-DPQOS_FABRIC=OFF)");
+  }
+}
+
+ShardSpec parseShardSpec(const std::string& text) {
+  if (text.empty()) return {0, 1};
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 ||
+      slash + 1 >= text.size()) {
+    throw ConfigError("shard spec must be i/N (e.g. 0/4): '" + text + "'");
+  }
+  ShardSpec shard;
+  try {
+    shard.index = static_cast<std::size_t>(
+        std::stoull(text.substr(0, slash)));
+    shard.count = static_cast<std::size_t>(
+        std::stoull(text.substr(slash + 1)));
+  } catch (const std::exception&) {
+    throw ConfigError("shard spec must be i/N (e.g. 0/4): '" + text + "'");
+  }
+  if (shard.count == 0) {
+    throw ConfigError("shard count must be >= 1: '" + text + "'");
+  }
+  if (shard.index >= shard.count) {
+    throw ConfigError("shard index must be < count: '" + text + "'");
+  }
+  return shard;
+}
+
+WorkerIdentity selfIdentity(std::size_t shard) {
+  WorkerIdentity id;
+  id.pid = static_cast<std::int64_t>(::getpid());
+  char host[256] = {};
+  if (::gethostname(host, sizeof(host) - 1) == 0 && host[0] != '\0') {
+    id.host = host;
+  } else {
+    id.host = "unknown";
+  }
+  id.shard = shard;
+  return id;
+}
+
+}  // namespace pqos::fabric

@@ -1,0 +1,56 @@
+// pqos::fabric — multi-process sharded sweep execution.
+//
+// The runner (src/runner/) makes every sweep cell a pure, journaled,
+// slot-indexed function of the spec; fabric turns that property into a
+// fleet: N worker processes statically shard one cell grid (--shard i/N),
+// work-steal straggler cells through a directory-based lease protocol
+// (lease.hpp), and a merge step (merge.hpp) folds the per-shard outputs
+// into one aggregate that is byte-identical to a single-process run. A
+// small supervisor (supervisor.hpp) spawns the workers, restarts crashed
+// ones with --resume, and is the chaos harness's kill target.
+//
+// Build gating: -DPQOS_FABRIC=OFF compiles the library but disables its
+// entry points (constructing a lease arbiter, merging, supervising all
+// throw ConfigError), the same discipline as trace/metrics/failpoint —
+// an OFF build's single-process sweep output is bit-identical and the
+// fabric unit tests skip themselves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pqos::fabric {
+
+#if defined(PQOS_FABRIC_ENABLED)
+inline constexpr bool kCompiled = true;
+#else
+inline constexpr bool kCompiled = false;
+#endif
+
+/// Throws ConfigError naming `feature` when fabric is compiled out.
+void requireCompiled(const std::string& feature);
+
+/// A worker's static slice of the cell grid: cells whose linear index is
+/// ≡ index (mod count).
+struct ShardSpec {
+  std::size_t index = 0;
+  std::size_t count = 1;
+};
+
+/// Parses "i/N" (e.g. "0/4"); throws ConfigError on malformed input,
+/// i >= N, or N == 0. parseShardSpec("") returns the identity shard
+/// {0, 1} so an unset --shard flag means "unsharded".
+[[nodiscard]] ShardSpec parseShardSpec(const std::string& text);
+
+/// Identity stamped into lease files: enough for another worker to tell
+/// whether the lease holder is this process, a live sibling, or dead.
+struct WorkerIdentity {
+  std::int64_t pid = 0;
+  std::string host;
+  std::size_t shard = 0;
+};
+
+/// This process's pid/hostname with the given shard index.
+[[nodiscard]] WorkerIdentity selfIdentity(std::size_t shard);
+
+}  // namespace pqos::fabric

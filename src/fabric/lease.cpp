@@ -1,0 +1,194 @@
+#include "fabric/lease.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <ctime>  // lease birth stamp, informational only; pqos-lint: allow(no-wall-clock)
+#include <fstream>
+#include <sstream>
+
+#include "failpoint/failpoint.hpp"
+#include "metrics/metrics.hpp"
+#include "util/atomic_write.hpp"
+#include "util/error.hpp"
+#include "util/json.hpp"
+#include "util/json_parse.hpp"
+#include "util/log.hpp"
+
+namespace pqos::fabric {
+
+std::string leasePath(const std::string& dir, const runner::CellKey& cell) {
+  std::ostringstream os;
+  os << dir << "/r" << cell.rep << "_a" << cell.ai << "_u" << cell.ui
+     << ".lease";
+  return os.str();
+}
+
+std::string leaseJson(const Lease& lease) {
+  std::ostringstream os;
+  JsonWriter json(os, /*indent=*/0);
+  json.beginObject();
+  json.field("schema", "pqos-lease-v1");
+  json.field("spec", lease.specDigest);
+  json.field("rep", lease.cell.rep);
+  json.field("ai", lease.cell.ai);
+  json.field("ui", lease.cell.ui);
+  json.field("pid", static_cast<long long>(lease.owner.pid));
+  json.field("host", lease.owner.host);
+  json.field("shard", lease.owner.shard);
+  json.field("journal", lease.journalPath);
+  json.field("unixSeconds", static_cast<long long>(lease.unixSeconds));
+  json.endObject();
+  return os.str();
+}
+
+Lease parseLease(const std::string& text, const std::string& context) {
+  JsonValue doc;
+  try {
+    doc = parseJson(text);
+  } catch (const std::exception& err) {
+    throw ConfigError(context + ": malformed lease: " + err.what());
+  }
+  try {
+    if (doc.at("schema").asString() != "pqos-lease-v1") {
+      throw ConfigError("unexpected schema '" + doc.at("schema").asString() +
+                        "'");
+    }
+    Lease lease;
+    lease.specDigest = doc.at("spec").asString();
+    lease.cell.rep = static_cast<std::size_t>(doc.at("rep").asUint64());
+    lease.cell.ai = static_cast<std::size_t>(doc.at("ai").asUint64());
+    lease.cell.ui = static_cast<std::size_t>(doc.at("ui").asUint64());
+    lease.owner.pid = static_cast<std::int64_t>(doc.at("pid").asUint64());
+    lease.owner.host = doc.at("host").asString();
+    lease.owner.shard = static_cast<std::size_t>(doc.at("shard").asUint64());
+    lease.journalPath = doc.at("journal").asString();
+    lease.unixSeconds =
+        static_cast<std::int64_t>(doc.at("unixSeconds").asUint64());
+    return lease;
+  } catch (const ConfigError&) {
+    throw;
+  } catch (const std::exception& err) {
+    throw ConfigError(context + ": malformed lease: " + err.what());
+  }
+}
+
+namespace {
+
+/// Reads a lease file if present. Atomic writes mean a present file is
+/// never torn; any unreadable content is real corruption and throws.
+[[nodiscard]] bool readLease(const std::string& path, Lease& lease) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file.is_open()) return false;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  lease = parseLease(buffer.str(), path);
+  return true;
+}
+
+/// A holder is provably dead only on our own host: kill(pid, 0) == ESRCH.
+/// Remote holders (and EPERM ones) are presumed alive — see lease.hpp on
+/// why wall-clock TTLs are not used.
+[[nodiscard]] bool holderDead(const WorkerIdentity& owner,
+                              const WorkerIdentity& self) {
+  if (owner.host != self.host) return false;
+  if (owner.pid <= 0) return true;
+  return ::kill(static_cast<pid_t>(owner.pid), 0) == -1 && errno == ESRCH;
+}
+
+}  // namespace
+
+LeaseArbiter::LeaseArbiter(Options options)
+    : options_(std::move(options)), self_(selfIdentity(options_.shard)) {
+  requireCompiled("LeaseArbiter");
+  require(!options_.dir.empty(), "LeaseArbiter: empty claims directory");
+  require(!options_.specDigest.empty(), "LeaseArbiter: empty spec digest");
+}
+
+bool LeaseArbiter::writeLease(const runner::CellKey& cell, bool steal) {
+  if (steal) {
+    PQOS_FAILPOINT("fabric.lease.steal");
+  } else {
+    PQOS_FAILPOINT("fabric.lease.create");
+  }
+  Lease lease;
+  lease.specDigest = options_.specDigest;
+  lease.cell = cell;
+  lease.owner = self_;
+  lease.journalPath = options_.journalPath;
+  // Informational birth stamp for humans inspecting a claims directory;
+  // staleness detection never reads it (see lease.hpp on clock skew).
+  lease.unixSeconds = static_cast<std::int64_t>(::time(nullptr));  // pqos-lint: allow(no-wall-clock, no-raw-clock)
+  const std::string path = leasePath(options_.dir, cell);
+  const std::string body = leaseJson(lease);
+  atomicWriteFile(path, [&](std::ostream& os) { os << body << '\n'; });
+  // Read-back ownership check: concurrent claimants race on the rename,
+  // last writer wins. Losing is benign — worst case both compute the
+  // (pure) cell and the merge dedups on equal digests — but detecting
+  // the common case here avoids most duplicate work.
+  Lease now;
+  if (readLease(path, now) &&
+      (now.owner.pid != self_.pid || now.owner.host != self_.host ||
+       now.owner.shard != self_.shard)) {
+    return false;
+  }
+  PQOS_METRIC_COUNT("fabric.cells.leased");
+  return true;
+}
+
+std::shared_ptr<const runner::JournalLoad> LeaseArbiter::journalOf(
+    const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = journals_.find(path);
+  if (it != journals_.end()) return it->second;
+  // Digest-pinned load: a dead worker's journal from a *different* sweep
+  // is a configuration error, never a silent source of wrong results.
+  auto load = std::make_shared<runner::JournalLoad>(
+      runner::loadJournal(path, options_.specDigest));
+  for (const auto& warning : load->warnings) {
+    PQOS_WARN() << "[pqos::fabric] takeover journal " << path << ": "
+                << warning;
+  }
+  journals_.emplace(path, load);
+  return load;
+}
+
+runner::CellArbiter::Claim LeaseArbiter::claim(const runner::CellKey& cell,
+                                               bool own,
+                                               core::SimResult& adopted) {
+  const std::string path = leasePath(options_.dir, cell);
+  Lease existing;
+  const bool held = readLease(path, existing);
+  if (held) {
+    if (existing.specDigest != options_.specDigest) {
+      throw ConfigError(path + ": lease belongs to a different sweep (spec " +
+                        existing.specDigest + " != " + options_.specDigest +
+                        "); claims directories must not be shared");
+    }
+    const bool ours = existing.owner.pid == self_.pid &&
+                      existing.owner.host == self_.host &&
+                      existing.owner.shard == self_.shard;
+    if (ours) return Claim::kRun;
+    if (!holderDead(existing.owner, self_)) return Claim::kSkip;
+    // Takeover: before re-simulating, adopt the dead holder's journaled
+    // result if it got far enough to commit one (digest-verified by
+    // loadJournal, so a corrupt journal can never resurrect bad data).
+    bool haveAdopted = false;
+    if (!existing.journalPath.empty() &&
+        existing.journalPath != options_.journalPath) {
+      const auto load = journalOf(existing.journalPath);
+      const auto it = load->cells.find(cell);
+      if (it != load->cells.end()) {
+        adopted = it->second;
+        haveAdopted = true;
+      }
+    }
+    if (!writeLease(cell, /*steal=*/true)) return Claim::kSkip;
+    if (!own) PQOS_METRIC_COUNT("fabric.cells.stolen");
+    return haveAdopted ? Claim::kAdopt : Claim::kRun;
+  }
+  if (!writeLease(cell, /*steal=*/false)) return Claim::kSkip;
+  if (!own) PQOS_METRIC_COUNT("fabric.cells.stolen");
+  return Claim::kRun;
+}
+
+}  // namespace pqos::fabric

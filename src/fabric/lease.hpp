@@ -1,0 +1,100 @@
+// Directory-based cell-lease protocol: cross-process work stealing for
+// sharded sweeps.
+//
+// Every sweep cell a worker is about to execute is first claimed through
+// a lease file `<dir>/r<rep>_a<ai>_u<ui>.lease` (one claims/ directory
+// per fleet), written crash-atomically via util::atomic_write and
+// carrying schema pqos-lease-v1:
+//
+//   {"schema":"pqos-lease-v1","spec":"<sweep spec digest>",
+//    "rep":R,"ai":A,"ui":U,
+//    "pid":..., "host":"...", "shard":S, "journal":"<owner journal>",
+//    "unixSeconds":...}
+//
+// Claim rules (LeaseArbiter::claim):
+//   - no lease            -> write ours, run the cell
+//   - our own lease       -> run (a resumed incarnation of this worker)
+//   - holder looks alive  -> skip; its shard output will carry the cell
+//   - holder is dead      -> steal: if the dead worker's advertised
+//     journal already contains the cell, adopt that digest-verified
+//     result instead of re-simulating; either way the lease is rewritten
+//     to us ("fabric.lease.steal" failpoint) before proceeding
+//
+// Staleness is pid liveness (kill(pid, 0) == ESRCH) and only on the same
+// host: wall-clock TTLs are deliberately not used because cross-host
+// clock skew could declare a healthy worker dead. A lease from another
+// host is therefore never stolen — cross-host fleets rely on the
+// supervisor restarting its own children (see supervisor.hpp).
+//
+// The lease protocol is an *optimization*, not a correctness mechanism:
+// two workers racing on the same cell at worst both compute it, and
+// because cells are pure the duplicate records carry identical digests,
+// which fabric::merge resolves deterministically (last wins). Digest
+// *divergence* on a duplicate cell is the corruption signal and fails the
+// merge hard.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "fabric/fabric.hpp"
+#include "runner/journal.hpp"
+#include "runner/sweep_runner.hpp"
+
+namespace pqos::fabric {
+
+/// One parsed lease file.
+struct Lease {
+  std::string specDigest;
+  runner::CellKey cell;
+  WorkerIdentity owner;
+  std::string journalPath;  // owner's journal; "" = none advertised
+  std::int64_t unixSeconds = 0;
+};
+
+/// Lease file path for `cell` inside the claims directory `dir`.
+[[nodiscard]] std::string leasePath(const std::string& dir,
+                                    const runner::CellKey& cell);
+
+/// Serializes/parses one lease (compact JSON, schema-checked). parseLease
+/// throws ConfigError on schema or shape drift.
+[[nodiscard]] std::string leaseJson(const Lease& lease);
+[[nodiscard]] Lease parseLease(const std::string& text,
+                               const std::string& context);
+
+/// runner::CellArbiter implementation over a shared claims directory.
+/// Thread-safe; one instance per worker process, owned by the caller and
+/// outliving SweepRunner::run(). Requires a fabric-enabled build
+/// (-DPQOS_FABRIC=ON); the constructor throws ConfigError otherwise.
+class LeaseArbiter final : public runner::CellArbiter {
+ public:
+  struct Options {
+    std::string dir;          // claims directory (created on first lease)
+    std::string specDigest;   // sweepSpecDigest: pins leases to one sweep
+    std::size_t shard = 0;    // this worker's shard index
+    std::string journalPath;  // advertised for takeover adoption; may be ""
+  };
+
+  explicit LeaseArbiter(Options options);
+
+  [[nodiscard]] Claim claim(const runner::CellKey& cell, bool own,
+                            core::SimResult& adopted) override;
+
+ private:
+  /// Writes our lease for `cell` (fresh or steal) and re-reads it to
+  /// confirm ownership; returns false when a racing worker's rename won.
+  [[nodiscard]] bool writeLease(const runner::CellKey& cell, bool steal);
+
+  /// Digest-verified journal of a dead lease holder, cached per path.
+  [[nodiscard]] std::shared_ptr<const runner::JournalLoad> journalOf(
+      const std::string& path);
+
+  Options options_;
+  WorkerIdentity self_;
+  std::mutex mutex_;  // guards journals_
+  std::map<std::string, std::shared_ptr<const runner::JournalLoad>> journals_;
+};
+
+}  // namespace pqos::fabric

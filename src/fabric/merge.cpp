@@ -1,0 +1,347 @@
+#include "fabric/merge.hpp"
+
+#include <map>
+#include <utility>
+
+#include "failpoint/failpoint.hpp"
+#include "fabric/fabric.hpp"
+#include "metrics/metrics.hpp"
+#include "runner/journal.hpp"
+#include "runner/result_sink.hpp"
+#include "trace/event.hpp"
+#include "util/error.hpp"
+#include "util/json_parse.hpp"
+
+namespace pqos::fabric {
+
+namespace {
+
+/// Integral double → long long with an exactness check; the journal's
+/// count fields are integers by construction, so fractional input means
+/// the file is not ours.
+[[nodiscard]] long long asCount(const JsonValue& value,
+                                const std::string& context) {
+  const double d = value.asDouble();
+  const auto n = static_cast<long long>(d);
+  if (static_cast<double>(n) != d) {
+    throw ConfigError(context + ": expected an integral count");
+  }
+  return n;
+}
+
+/// Typed reconstruction of one cell result from the pretty-printed shard
+/// JSON. The shard file and the journal digest use different whitespace,
+/// so digest verification cannot reuse the file's bytes: we rebuild a
+/// core::SimResult field by field (with the writer's exact types, since
+/// integer and double fields format differently) and let
+/// runner::simResultDigest re-serialize it canonically.
+[[nodiscard]] core::SimResult resultFromJson(const JsonValue& doc,
+                                             const std::string& context) {
+  core::SimResult r;
+  r.qos = doc.at("qos").asDouble();
+  r.utilization = doc.at("utilization").asDouble();
+  r.lostWork = doc.at("lostWork").asDouble();
+  r.jobCount = static_cast<std::size_t>(doc.at("jobCount").asUint64());
+  r.completedJobs =
+      static_cast<std::size_t>(doc.at("completedJobs").asUint64());
+  r.deadlinesMet = static_cast<std::size_t>(doc.at("deadlinesMet").asUint64());
+  r.failureEvents =
+      static_cast<std::size_t>(doc.at("failureEvents").asUint64());
+  r.jobKillingFailures =
+      static_cast<std::size_t>(doc.at("jobKillingFailures").asUint64());
+  r.checkpointsPerformed =
+      asCount(doc.at("checkpointsPerformed"), context + " checkpointsPerformed");
+  r.checkpointsSkipped =
+      asCount(doc.at("checkpointsSkipped"), context + " checkpointsSkipped");
+  r.totalRestarts = asCount(doc.at("totalRestarts"), context + " totalRestarts");
+  r.meanPromisedSuccess = doc.at("meanPromisedSuccess").asDouble();
+  r.meanWaitTime = doc.at("meanWaitTime").asDouble();
+  r.meanBoundedSlowdown = doc.at("meanBoundedSlowdown").asDouble();
+  r.meanNegotiationRounds = doc.at("meanNegotiationRounds").asDouble();
+  r.span = doc.at("span").asDouble();
+  r.totalWork = doc.at("totalWork").asDouble();
+  r.traceExhausted = doc.at("traceExhausted").asBool();
+  if constexpr (trace::kCompiled) {
+    const JsonValue& counts = doc.at("trace");
+    for (std::size_t i = 0; i < trace::kKindCount; ++i) {
+      const auto kind = static_cast<trace::Kind>(i);
+      r.traceCounts.at(kind) = counts.at(trace::kindName(kind)).asUint64();
+    }
+  }
+  return r;
+}
+
+/// Rebuilds the SweepSpec a shard file was produced from. Only fields the
+/// sink serializes can be recovered (base.seed, notably, is digest-only);
+/// the caller cross-checks the recomputed sweepSpecDigest against the
+/// recorded one, which catches any non-default unserialized field.
+[[nodiscard]] runner::SweepSpec specFromJson(const JsonValue& doc,
+                                             const std::string& path) {
+  const JsonValue& spec = doc.at("spec");
+  runner::SweepSpec out;
+  out.title = doc.at("title").asString();
+  out.model = spec.at("model").asString();
+  out.jobCount = static_cast<std::size_t>(spec.at("jobCount").asUint64());
+  out.seed = spec.at("seed").asUint64();
+  out.machineSize = static_cast<int>(spec.at("machineSize").asUint64());
+  out.failuresPerYear = spec.at("failuresPerYear").asDouble();
+  out.accuracies.clear();
+  for (const JsonValue& a : spec.at("accuracies").elements()) {
+    out.accuracies.push_back(a.asDouble());
+  }
+  out.userRisks.clear();
+  for (const JsonValue& u : spec.at("userRisks").elements()) {
+    out.userRisks.push_back(u.asDouble());
+  }
+
+  const JsonValue& config = spec.at("config");
+  core::SimConfig& base = out.base;
+  base.machineSize = static_cast<int>(config.at("machineSize").asUint64());
+  base.checkpointOverhead = config.at("checkpointOverhead").asDouble();
+  base.checkpointInterval = config.at("checkpointInterval").asDouble();
+  base.downtime = config.at("downtime").asDouble();
+  const std::string& semantics = config.at("semantics").asString();
+  if (semantics == "success-floor") {
+    base.semantics = core::RiskSemantics::SuccessFloor;
+  } else if (semantics == "failure-cap") {
+    base.semantics = core::RiskSemantics::FailureTolerance;
+  } else {
+    throw ConfigError(path + ": unknown risk semantics '" + semantics + "'");
+  }
+  base.topology = config.at("topology").asString();
+  base.checkpointPolicy = config.at("checkpointPolicy").asString();
+  base.allocation = config.at("allocation").asString();
+  base.checkpointBlindPrior = config.at("checkpointBlindPrior").asDouble();
+  base.deadlineSlack = config.at("deadlineSlack").asDouble();
+  base.deadlineGrace = config.at("deadlineGrace").asDouble();
+  base.maxNegotiationRounds =
+      static_cast<int>(config.at("maxNegotiationRounds").asUint64());
+  base.negotiationHorizon = config.at("negotiationHorizon").asDouble();
+  base.dynamicReplanWindow =
+      static_cast<int>(config.at("dynamicReplanWindow").asUint64());
+  // JsonWriter serializes non-finite doubles as null, and the default
+  // decay horizon is infinite — map it back or the recomputed spec
+  // digest can never match.
+  const JsonValue& decay = config.at("predictionHorizonDecay");
+  base.predictionHorizonDecay =
+      decay.isNull() ? kTimeInfinity : decay.asDouble();
+  return out;
+}
+
+/// Everything merge needs from one shard file.
+struct ShardDoc {
+  std::string path;
+  JsonValue doc;
+  std::string specDigest;
+};
+
+[[nodiscard]] ShardDoc readShard(const std::string& path) {
+  PQOS_FAILPOINT("fabric.merge.read");
+  ShardDoc shard;
+  shard.path = path;
+  shard.doc = loadJsonFile(path);
+  const JsonValue& doc = shard.doc;
+  if (doc.at("schema").asString() != "pqos-sweep-v1") {
+    throw ConfigError(path + ": unexpected schema '" +
+                      doc.at("schema").asString() + "'");
+  }
+  if (doc.find("shard") == nullptr) {
+    throw ConfigError(path +
+                      ": not a sharded sweep output (no \"shard\" block); "
+                      "run the worker with --shard i/N");
+  }
+  if (const JsonValue* status = doc.find("status")) {
+    throw ConfigError(path + ": refusing to merge a '" + status->asString() +
+                      "' shard (quarantined sinks mean the file may be "
+                      "stale); rerun the worker with --resume");
+  }
+  shard.specDigest = doc.at("shard").at("specDigest").asString();
+  return shard;
+}
+
+}  // namespace
+
+runner::SweepResult mergeShardFiles(const std::vector<std::string>& paths) {
+  requireCompiled("fabric::mergeShardFiles");
+  require(!paths.empty(), "fabric::mergeShardFiles: no input files");
+
+  std::vector<ShardDoc> shards;
+  shards.reserve(paths.size());
+  for (const std::string& path : paths) shards.push_back(readShard(path));
+
+  // The first shard defines the sweep; every other shard must agree on
+  // the spec digest (covers model, grid, seeds, config, reps) plus the
+  // two knobs deliberately outside it that still shape output bytes:
+  // title and thread count.
+  const ShardDoc& first = shards.front();
+  runner::SweepResult merged;
+  merged.spec = specFromJson(first.doc, first.path);
+  merged.options.reps =
+      static_cast<std::size_t>(first.doc.at("reps").asUint64());
+  merged.options.threads =
+      static_cast<std::size_t>(first.doc.at("threads").asUint64());
+  const std::string recomputed =
+      runner::sweepSpecDigest(merged.spec, merged.options.reps);
+  if (recomputed != first.specDigest) {
+    throw ConfigError(
+        first.path + ": recorded spec digest " + first.specDigest +
+        " does not match the digest recomputed from its spec block (" +
+        recomputed + "); the sweep used configuration the shard file does "
+        "not serialize (e.g. a non-default base seed), so it cannot be "
+        "merged faithfully");
+  }
+  for (const ShardDoc& shard : shards) {
+    if (shard.specDigest != first.specDigest) {
+      throw ConfigError(shard.path + ": shard belongs to a different sweep (" +
+                        shard.specDigest + " != " + first.specDigest + " of " +
+                        first.path + ")");
+    }
+    if (shard.doc.at("title").asString() != merged.spec.title) {
+      throw ConfigError(shard.path + ": title '" +
+                        shard.doc.at("title").asString() +
+                        "' differs from '" + merged.spec.title + "' of " +
+                        first.path);
+    }
+    const auto threads =
+        static_cast<std::size_t>(shard.doc.at("threads").asUint64());
+    if (threads != merged.options.threads) {
+      throw ConfigError(shard.path + ": thread count " +
+                        std::to_string(threads) + " differs from " +
+                        std::to_string(merged.options.threads) + " of " +
+                        first.path +
+                        "; threads are part of the output bytes");
+    }
+  }
+
+  // Replica seeds are re-derived, not parsed: JSON numbers round-trip
+  // through double and a 64-bit replicaSeed value does not survive that.
+  // The spec digest pins spec.seed and reps, so this is exact.
+  for (std::size_t rep = 0; rep < merged.options.reps; ++rep) {
+    merged.seeds.push_back(runner::replicaSeed(merged.spec.seed, rep));
+  }
+
+  // Fold cells in file order. Equal-digest duplicates (work-stealing
+  // races, resumed workers) resolve last-wins; divergent digests mean a
+  // pure cell produced two different results somewhere and the merge
+  // must not guess.
+  const std::size_t accuracyCount = merged.spec.accuracies.size();
+  const std::size_t riskCount = merged.spec.userRisks.size();
+  std::map<runner::CellKey, std::pair<std::string, core::SimResult>> cells;
+  std::uint64_t folded = 0;
+  for (const ShardDoc& shard : shards) {
+    for (const JsonValue& record : shard.doc.at("cells").elements()) {
+      runner::CellKey key;
+      key.rep = static_cast<std::size_t>(record.at("rep").asUint64());
+      key.ai = static_cast<std::size_t>(record.at("ai").asUint64());
+      key.ui = static_cast<std::size_t>(record.at("ui").asUint64());
+      const std::string cellName = "cell (rep " + std::to_string(key.rep) +
+                                   ", ai " + std::to_string(key.ai) +
+                                   ", ui " + std::to_string(key.ui) + ")";
+      if (key.rep >= merged.options.reps || key.ai >= accuracyCount ||
+          key.ui >= riskCount) {
+        throw ConfigError(shard.path + ": " + cellName +
+                          " lies outside the sweep grid");
+      }
+      const std::string& digest = record.at("digest").asString();
+      core::SimResult result = resultFromJson(
+          record.at("result"), shard.path + " " + cellName);
+      if (runner::simResultDigest(result) != digest) {
+        throw ConfigError(shard.path + ": " + cellName +
+                          " does not re-serialize to its recorded digest " +
+                          digest + "; the file is corrupt or from an "
+                          "incompatible build");
+      }
+      const auto it = cells.find(key);
+      if (it != cells.end() && it->second.first != digest) {
+        throw ConfigError("duplicate " + cellName +
+                          " with divergent digests: " + it->second.first +
+                          " vs " + digest + " (in " + shard.path +
+                          "); a pure cell cannot legitimately differ — "
+                          "one shard ran a different build or spec");
+      }
+      cells.insert_or_assign(key, std::make_pair(digest, std::move(result)));
+      ++folded;
+    }
+    merged.wallSeconds += shard.doc.at("wallSeconds").asDouble();
+    merged.stolenCells += static_cast<std::size_t>(
+        shard.doc.at("shard").at("stolenCells").asUint64());
+    merged.adoptedCells += static_cast<std::size_t>(
+        shard.doc.at("shard").at("adoptedCells").asUint64());
+  }
+
+  const std::size_t expected =
+      merged.options.reps * accuracyCount * riskCount;
+  if (cells.size() != expected) {
+    for (std::size_t rep = 0; rep < merged.options.reps; ++rep) {
+      for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
+        for (std::size_t ui = 0; ui < riskCount; ++ui) {
+          if (cells.find({rep, ai, ui}) == cells.end()) {
+            throw ConfigError(
+                "merge is missing " + std::to_string(expected - cells.size()) +
+                " of " + std::to_string(expected) + " cells (first gap: rep " +
+                std::to_string(rep) + ", ai " + std::to_string(ai) + ", ui " +
+                std::to_string(ui) + "); a worker died unrecovered — rerun "
+                "it with --resume before merging");
+          }
+        }
+      }
+    }
+  }
+
+  // Fold the fleet's perf counters (sum) and gauges (max) into this
+  // process's registry so the merged file's perf block aggregates every
+  // worker. Names missing from this build's catalogue (version skew) are
+  // skipped: perf is observability, not results.
+  if constexpr (metrics::kCompiled) {
+    std::map<std::string_view, metrics::Id> ids;
+    {
+      metrics::Id id = 0;
+      for (const metrics::MetricInfo& info : metrics::catalogue()) {
+        ids.emplace(info.name, id++);
+      }
+    }
+    for (const ShardDoc& shard : shards) {
+      const JsonValue* perf = shard.doc.find("perf");
+      if (perf == nullptr) continue;
+      for (const auto& [name, value] : perf->at("counters").members()) {
+        const auto it = ids.find(name);
+        if (it != ids.end()) metrics::detail::addCount(it->second,
+                                                       value.asUint64());
+      }
+      for (const auto& [name, value] : perf->at("gauges").members()) {
+        const auto it = ids.find(name);
+        if (it != ids.end()) metrics::detail::gaugeMax(it->second,
+                                                       value.asDouble());
+      }
+    }
+  }
+  PQOS_METRIC_COUNT_N("fabric.merge.folded", folded);
+  if constexpr (metrics::kCompiled) metrics::flushThisThread();
+
+  // Assemble the dense grid exactly as SweepRunner::run() does; with
+  // shardCount left at 1 the JSON sink writes the single-process
+  // "points" layout, which is what makes the merge byte-stable.
+  merged.points.resize(accuracyCount * riskCount);
+  for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
+    for (std::size_t ui = 0; ui < riskCount; ++ui) {
+      runner::PointResult& point = merged.points[ai * riskCount + ui];
+      point.accuracy = merged.spec.accuracies[ai];
+      point.userRisk = merged.spec.userRisks[ui];
+      point.reps.resize(merged.options.reps);
+      for (std::size_t rep = 0; rep < merged.options.reps; ++rep) {
+        point.reps[rep] = std::move(cells.at({rep, ai, ui}).second);
+      }
+    }
+  }
+  return merged;
+}
+
+void writeMergedJson(const runner::SweepResult& merged,
+                     const std::string& path) {
+  requireCompiled("fabric::writeMergedJson");
+  PQOS_FAILPOINT("fabric.merge.write");
+  runner::JsonResultSink sink(path);
+  sink.onSweepEnd(merged);
+}
+
+}  // namespace pqos::fabric

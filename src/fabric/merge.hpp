@@ -1,0 +1,51 @@
+// fabric::merge — fold per-shard sweep outputs into one aggregate that is
+// byte-identical to a single-process run.
+//
+// Input: pqos-sweep-v1 JSON files written by sharded workers (the
+// "shard" + "cells" layout, see runner/result_sink.hpp), validated
+// through util::json_parse. The fold:
+//
+//   - refuses shards marked "status": "partial" (quarantined sinks mean
+//     the file may be stale) and shards whose recorded specDigest or
+//     thread count disagree — a merged file must be indistinguishable
+//     from one process having run the whole grid;
+//   - re-verifies every cell record against its journal digest (the
+//     digest is recomputed over the canonical re-serialization, so any
+//     parse/format drift fails loudly instead of corrupting bytes);
+//   - resolves duplicate cells (work-stealing races, kill-and-resume
+//     overlap) last-wins when their digests agree, and fails hard on
+//     digest divergence — pure cells cannot legitimately disagree;
+//   - requires full grid coverage: a missing cell means a worker died
+//     unrecovered, and a silently sparse aggregate would be worse than
+//     an error;
+//   - folds the shards' perf counters (sum) and gauges (max) into this
+//     process's metric registry, so the merged file's "perf" block
+//     aggregates the fleet (span timings stay per-process: histograms
+//     cannot be reconstructed from percentile snapshots).
+//
+// The result is a fully populated runner::SweepResult; writeMergedJson
+// sends it through the canonical JsonResultSink, which is what makes the
+// output byte-identical (modulo gitDescribe/wallSeconds/perf) to a
+// single-process run of the same spec.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "runner/sweep_runner.hpp"
+
+namespace pqos::fabric {
+
+/// Parses, validates, and folds the shard files (evaluating the
+/// `fabric.merge.read` failpoint per file). Throws ConfigError on any of
+/// the conditions above. Duplicate paths are allowed (idempotent).
+[[nodiscard]] runner::SweepResult mergeShardFiles(
+    const std::vector<std::string>& paths);
+
+/// Writes `merged` through the canonical JSON result sink (evaluating
+/// `fabric.merge.write`); the output is a plain single-process
+/// pqos-sweep-v1 document.
+void writeMergedJson(const runner::SweepResult& merged,
+                     const std::string& path);
+
+}  // namespace pqos::fabric

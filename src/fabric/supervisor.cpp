@@ -1,0 +1,162 @@
+#include "fabric/supervisor.hpp"
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "util/error.hpp"
+#include "util/log.hpp"
+
+namespace pqos::fabric {
+
+bool FleetReport::ok() const {
+  for (const WorkerStatus& worker : workers) {
+    if (!worker.completed) return false;
+  }
+  return !workers.empty();
+}
+
+Supervisor::Supervisor(SupervisorOptions options)
+    : options_(std::move(options)) {
+  requireCompiled("fabric::Supervisor");
+  if (options_.binary.empty()) {
+    throw ConfigError("fabric::Supervisor: empty worker binary");
+  }
+  if (options_.dir.empty()) {
+    throw ConfigError("fabric::Supervisor: empty fleet directory");
+  }
+  if (options_.workers == 0) {
+    throw ConfigError("fabric::Supervisor: need at least one worker");
+  }
+}
+
+std::vector<std::string> Supervisor::workerCommand(std::size_t shard) const {
+  require(shard < options_.workers, "workerCommand: shard out of range");
+  std::vector<std::string> argv;
+  argv.push_back(options_.binary);
+  argv.insert(argv.end(), options_.baseArgs.begin(), options_.baseArgs.end());
+  const std::string stem = options_.dir + "/shard_" + std::to_string(shard);
+  argv.push_back("--shard");
+  argv.push_back(std::to_string(shard) + "/" +
+                 std::to_string(options_.workers));
+  argv.push_back("--journal");
+  argv.push_back(stem + ".journal.jsonl");
+  argv.push_back("--json");
+  argv.push_back(stem + ".json");
+  argv.push_back("--lease-dir");
+  argv.push_back(options_.dir + "/claims");
+  // Unconditional: a first incarnation sees no journal (clean start) and
+  // a restart replays everything its predecessor committed.
+  argv.push_back("--resume");
+  return argv;
+}
+
+namespace {
+
+[[nodiscard]] pid_t spawnWorker(const std::vector<std::string>& command,
+                                bool chaos,
+                                const std::string& chaosFailpoints) {
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw ConfigError("fabric::Supervisor: fork failed for worker " +
+                      command.front());
+  }
+  if (pid == 0) {
+    // Child. Only exec-safe calls from here on.
+    if (chaos) {
+      ::setenv("PQOS_FAILPOINTS", chaosFailpoints.c_str(), 1);
+    }
+    std::vector<char*> argv;
+    argv.reserve(command.size() + 1);
+    for (const std::string& arg : command) {
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+    ::execv(command.front().c_str(), argv.data());
+    ::_exit(127);  // exec failed; 127 mirrors the shell's convention
+  }
+  return pid;
+}
+
+[[nodiscard]] std::string describeExit(int status) {
+  if (WIFEXITED(status)) {
+    return "exit code " + std::to_string(WEXITSTATUS(status));
+  }
+  if (WIFSIGNALED(status)) {
+    return "signal " + std::to_string(WTERMSIG(status));
+  }
+  return "status " + std::to_string(status);
+}
+
+}  // namespace
+
+FleetReport Supervisor::run() {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(fs::path(options_.dir) / "claims", ec);
+  if (ec) {
+    throw ConfigError("fabric::Supervisor: cannot create fleet directory " +
+                      options_.dir + ": " + ec.message());
+  }
+
+  FleetReport report;
+  report.workers.resize(options_.workers);
+  for (std::size_t shard = 0; shard < options_.workers; ++shard) {
+    report.workers[shard].shard = shard;
+    report.shardJsonPaths.push_back(options_.dir + "/shard_" +
+                                    std::to_string(shard) + ".json");
+  }
+
+  std::map<pid_t, std::size_t> live;  // pid -> shard
+  const auto launch = [&](std::size_t shard, bool firstIncarnation) {
+    const bool chaos = firstIncarnation && shard == options_.chaosWorker &&
+                       !options_.chaosFailpoints.empty();
+    const pid_t pid =
+        spawnWorker(workerCommand(shard), chaos, options_.chaosFailpoints);
+    live.emplace(pid, shard);
+  };
+  for (std::size_t shard = 0; shard < options_.workers; ++shard) {
+    launch(shard, /*firstIncarnation=*/true);
+  }
+
+  while (!live.empty()) {
+    int status = 0;
+    const pid_t pid = ::waitpid(-1, &status, 0);
+    if (pid < 0) {
+      if (errno == EINTR) continue;
+      throw ConfigError("fabric::Supervisor: waitpid failed with no "
+                        "children left but workers outstanding");
+    }
+    const auto it = live.find(pid);
+    if (it == live.end()) continue;  // not ours (some other child)
+    const std::size_t shard = it->second;
+    live.erase(it);
+    WorkerStatus& worker = report.workers[shard];
+    worker.lastExit = status;
+    if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+      worker.completed = true;
+      continue;
+    }
+    if (worker.restarts >= options_.maxRestarts) {
+      PQOS_WARN() << "[pqos::fabric] worker " << shard << " failed ("
+                  << describeExit(status) << ") with its restart budget of "
+                  << options_.maxRestarts << " exhausted; giving up on it";
+      continue;
+    }
+    ++worker.restarts;
+    ++report.totalRestarts;
+    PQOS_WARN() << "[pqos::fabric] worker " << shard << " crashed ("
+                << describeExit(status) << "); restart "
+                << worker.restarts << "/" << options_.maxRestarts
+                << " with --resume";
+    launch(shard, /*firstIncarnation=*/false);
+  }
+  return report;
+}
+
+}  // namespace pqos::fabric

@@ -1,0 +1,87 @@
+// fabric::Supervisor — spawns and babysits a fleet of sharded sweep
+// workers on this host.
+//
+// Each worker w of N runs the configured binary with the fleet's common
+// arguments plus the per-shard tail:
+//
+//   --shard w/N --journal <dir>/shard_w.journal.jsonl
+//   --json <dir>/shard_w.json --lease-dir <dir>/claims --resume
+//
+// The supervisor then sits in waitpid(): a worker that exits cleanly is
+// done; one that crashes (nonzero exit or a signal) is restarted — up to
+// maxRestarts times — with the identical command line, where --resume
+// replays its journal and the lease protocol lets surviving workers
+// steal whatever the dead incarnation had claimed in the meantime.
+// Either path converges on the same bytes, which is what the chaos stage
+// of scripts/check.sh asserts.
+//
+// Chaos: when chaosWorker names a shard, its *first* incarnation gets
+// PQOS_FAILPOINTS=<chaosFailpoints> in its environment (set between fork
+// and exec, so no other worker sees it). Restarts run chaos-free —
+// injected crashes are for proving recovery, not for livelock.
+//
+// Scope: one host. The supervisor only watches its own children;
+// cross-host fleets run one supervisor per host against a shared
+// directory and rely on the merge step's coverage check to catch
+// anything nobody finished.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+
+namespace pqos::fabric {
+
+struct SupervisorOptions {
+  std::string binary;                 // worker executable (execv'd verbatim)
+  std::vector<std::string> baseArgs;  // common flags (spec, threads, ...)
+  std::size_t workers = 4;            // fleet size N (= shard count)
+  std::string dir;                    // fleet directory (journals, outputs)
+  std::size_t maxRestarts = 2;        // per-worker crash budget
+  std::size_t chaosWorker =
+      static_cast<std::size_t>(-1);   // shard to arm chaos on; -1 = none
+  std::string chaosFailpoints;        // PQOS_FAILPOINTS for that worker
+};
+
+/// Final state of one worker slot.
+struct WorkerStatus {
+  std::size_t shard = 0;
+  std::size_t restarts = 0;  // crashes absorbed (not counting the launch)
+  int lastExit = 0;          // raw waitpid status of the last incarnation
+  bool completed = false;    // last incarnation exited 0
+};
+
+struct FleetReport {
+  std::vector<WorkerStatus> workers;
+  std::vector<std::string> shardJsonPaths;  // <dir>/shard_w.json, w = 0..N-1
+  std::size_t totalRestarts = 0;
+
+  /// True when every worker eventually exited cleanly (possibly after
+  /// restarts) — the precondition for merging shardJsonPaths.
+  [[nodiscard]] bool ok() const;
+};
+
+class Supervisor {
+ public:
+  /// Validates the options; throws ConfigError on a fabric-disabled
+  /// build, an empty binary/dir, or workers == 0.
+  explicit Supervisor(SupervisorOptions options);
+
+  /// Spawns the fleet and blocks until every worker either completed or
+  /// exhausted its restart budget. Throws ConfigError when a process
+  /// cannot be spawned at all; mere worker failure is reported, not
+  /// thrown, so the caller can inspect the report (and stderr) first.
+  [[nodiscard]] FleetReport run();
+
+  /// The exact argv (binary first) worker `shard` is launched with —
+  /// exposed so tests and --dry-run diagnostics can print it.
+  [[nodiscard]] std::vector<std::string> workerCommand(
+      std::size_t shard) const;
+
+ private:
+  SupervisorOptions options_;
+};
+
+}  // namespace pqos::fabric

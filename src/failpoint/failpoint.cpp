@@ -19,6 +19,10 @@ namespace {
 // disarm a chaos test. Keep descriptions to one line: they are dumped by
 // `example_dump_trace --list-failpoints` for the chaos stage.
 constexpr SiteInfo kSites[] = {
+    {"fabric.lease.create", "creating a fresh sweep-cell lease file"},
+    {"fabric.lease.steal", "replacing a stale cell lease on takeover"},
+    {"fabric.merge.read", "reading one shard results file for merging"},
+    {"fabric.merge.write", "writing the merged sweep results file"},
     {"failure.trace.read", "loading a failure trace file"},
     {"failure.trace.write", "writing a failure trace file"},
     {"runner.inputs.build", "per-replica workload/trace construction"},

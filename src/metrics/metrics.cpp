@@ -21,6 +21,12 @@ constexpr MetricInfo kMetrics[] = {
     {"core.jobs.completed", Kind::Counter, "jobs that ran to completion"},
     {"core.negotiate", Kind::Span, "deadline negotiation for one arrival"},
     {"core.replan", Kind::Span, "dynamic replanning after failure/recovery"},
+    {"fabric.cells.leased", Kind::Counter,
+     "sweep cells this worker leased (fresh creates and takeovers)"},
+    {"fabric.cells.stolen", Kind::Counter,
+     "foreign-shard cells this worker ran or adopted (work stealing)"},
+    {"fabric.merge.folded", Kind::Counter,
+     "shard cell records folded into one aggregate by fabric::merge"},
     {"io.journal.append", Kind::Span, "sweep-journal record append"},
     {"io.sink.write", Kind::Span, "result-sink file export (CSV/JSON)"},
     {"io.swf.read", Kind::Span, "SWF workload log parse"},

@@ -257,6 +257,10 @@ std::string journalHeaderLine(std::string_view specDigest) {
   return os.str();
 }
 
+std::string simResultDigest(const core::SimResult& result) {
+  return toHex64(fnv1a64(serializeResult(result)));
+}
+
 std::string journalRecordLine(const CellKey& key,
                               const core::SimResult& result) {
   const std::string payload = serializeResult(result);

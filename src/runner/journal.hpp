@@ -73,6 +73,12 @@ void writeSimResultJson(JsonWriter& json, const core::SimResult& result);
 [[nodiscard]] core::SimResult parseSimResultJson(std::string_view text,
                                                  const std::string& context);
 
+/// Digest (16 hex chars) of writeSimResultJson(result) in compact form —
+/// exactly the digest a journal record carries for that result. The
+/// fabric merge keys duplicate-cell resolution on it: two workers that
+/// computed the same pure cell must agree on it byte-for-byte.
+[[nodiscard]] std::string simResultDigest(const core::SimResult& result);
+
 /// One journal line (no trailing newline).
 [[nodiscard]] std::string journalHeaderLine(std::string_view specDigest);
 [[nodiscard]] std::string journalRecordLine(const CellKey& key,

@@ -34,6 +34,9 @@ void ProgressSink::onSweepBegin(const SweepResult& pending) {
        << pending.spec.userRisks.size() << " grid, " << pending.options.reps
        << " rep(s), " << pending.spec.jobCount << " jobs, "
        << pending.options.threads << " thread(s)\n";
+  // Journal replay happens before onSweepBegin, so `pending` already
+  // counts the resumed cells this run will never actually simulate.
+  replayedCells_ = pending.resumedCells;
   if constexpr (metrics::kCompiled) {
     startSeconds_ = metrics::nowSeconds();
     startEvents_ = metrics::counterValue(metrics::idOf("sim.engine.events"));
@@ -50,16 +53,22 @@ void ProgressSink::onTaskComplete(const TaskProgress& progress) {
   if constexpr (metrics::kCompiled) {
     // Workers flush their metric shards at every cell boundary, so the
     // registry delta since onSweepBegin is current to the last cell.
+    // Rate and ETA extrapolate from *fresh* cells only: journal-replayed
+    // cells completed in microseconds at sweep start, and counting them
+    // would inflate cells/min and shrink the ETA on a resumed run.
     const double elapsed = metrics::nowSeconds() - startSeconds_;
-    if (elapsed > 0.0 && progress.completed > 0) {
+    const std::size_t fresh = progress.completed > replayedCells_
+                                  ? progress.completed - replayedCells_
+                                  : 0;
+    if (elapsed > 0.0 && fresh > 0) {
       const std::uint64_t events =
           metrics::counterValue(metrics::idOf("sim.engine.events"));
       const double eventsPerSec =
           static_cast<double>(events - startEvents_) / elapsed;
       const double cellsPerMin =
-          static_cast<double>(progress.completed) / elapsed * 60.0;
+          static_cast<double>(fresh) / elapsed * 60.0;
       const double etaSeconds =
-          elapsed / static_cast<double>(progress.completed) *
+          elapsed / static_cast<double>(fresh) *
           static_cast<double>(progress.total - progress.completed);
       *os_ << " | " << formatFixed(eventsPerSec / 1000.0, 0) << "k ev/s "
            << formatFixed(cellsPerMin, 1) << " cells/min eta "
@@ -198,29 +207,63 @@ void JsonResultSink::onSweepEnd(const SweepResult& result) {
     for (const auto seed : result.seeds) json.value(seed);
     json.endArray();
 
-    json.key("points").beginArray();
-    for (const auto& point : result.points) {
-      json.beginObject();
-      json.field("accuracy", point.accuracy);
-      json.field("userRisk", point.userRisk);
-      json.key("metrics").beginObject();
-      json.key("qos");
-      writeStats(json, point, [](const core::SimResult& r) { return r.qos; });
-      json.key("utilization");
-      writeStats(json, point,
-                 [](const core::SimResult& r) { return r.utilization; });
-      json.key("lostWork");
-      writeStats(json, point,
-                 [](const core::SimResult& r) { return r.lostWork; });
+    if (result.options.shardCount > 1) {
+      // Sharded worker output: a flat, canonically ordered "cells" list
+      // of just the cells this worker computed, instead of the dense
+      // "points" grid (whose unowned slots would be meaningless zeros).
+      // Each record carries the journal digest of its result so
+      // fabric::merge can verify folds and resolve duplicates; the
+      // specDigest pins every shard file to one sweep definition.
+      json.key("shard").beginObject();
+      json.field("index", result.options.shardIndex);
+      json.field("count", result.options.shardCount);
+      json.field("specDigest",
+                 sweepSpecDigest(result.spec, result.options.reps));
+      json.field("cellCount", result.cellDigests.size());
+      json.field("stolenCells", result.stolenCells);
+      json.field("adoptedCells", result.adoptedCells);
       json.endObject();
-      json.key("reps").beginArray();
-      // Shared with the sweep journal (runner/journal.hpp) so a resumed
-      // sweep reproduces these bytes from journal records alone.
-      for (const auto& rep : point.reps) writeSimResultJson(json, rep);
+      const std::size_t riskCount = result.spec.userRisks.size();
+      json.key("cells").beginArray();
+      for (const auto& [key, digest] : result.cellDigests) {
+        const auto& sim =
+            result.points[key.ai * riskCount + key.ui].reps[key.rep];
+        json.beginObject();
+        json.field("rep", key.rep);
+        json.field("ai", key.ai);
+        json.field("ui", key.ui);
+        json.field("digest", digest);
+        json.key("result");
+        writeSimResultJson(json, sim);
+        json.endObject();
+      }
       json.endArray();
-      json.endObject();
+    } else {
+      json.key("points").beginArray();
+      for (const auto& point : result.points) {
+        json.beginObject();
+        json.field("accuracy", point.accuracy);
+        json.field("userRisk", point.userRisk);
+        json.key("metrics").beginObject();
+        json.key("qos");
+        writeStats(json, point,
+                   [](const core::SimResult& r) { return r.qos; });
+        json.key("utilization");
+        writeStats(json, point,
+                   [](const core::SimResult& r) { return r.utilization; });
+        json.key("lostWork");
+        writeStats(json, point,
+                   [](const core::SimResult& r) { return r.lostWork; });
+        json.endObject();
+        json.key("reps").beginArray();
+        // Shared with the sweep journal (runner/journal.hpp) so a resumed
+        // sweep reproduces these bytes from journal records alone.
+        for (const auto& rep : point.reps) writeSimResultJson(json, rep);
+        json.endArray();
+        json.endObject();
+      }
+      json.endArray();
     }
-    json.endArray();
 
     // Performance observability (schema pqos-perf-v1). Compiled-gated so
     // a -DPQOS_METRICS=OFF build's output stays byte-identical to a tree

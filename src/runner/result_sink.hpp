@@ -35,7 +35,10 @@ class ResultSink {
 /// Streams one line per completed task (and a header/footer) to a stream,
 /// stderr by default. In a metrics-enabled build each line also carries
 /// live throughput (events/s from the metric registry, cells/min) and an
-/// ETA extrapolated from the cells completed so far.
+/// ETA extrapolated from the cells completed so far. Cells replayed from
+/// a --resume journal complete instantly at sweep start and are excluded
+/// from the rate/ETA extrapolation — only freshly simulated cells
+/// predict how long the remaining ones will take.
 class ProgressSink final : public ResultSink {
  public:
   ProgressSink();  // stderr
@@ -50,6 +53,7 @@ class ProgressSink final : public ResultSink {
   std::ostream* os_;
   double startSeconds_ = 0.0;       ///< metrics::nowSeconds() at sweep begin
   std::uint64_t startEvents_ = 0;   ///< sim.engine.events at sweep begin
+  std::size_t replayedCells_ = 0;   ///< journal-replayed cells at sweep begin
 };
 
 /// Writes one CSV row per (accuracy, userRisk, replica) with the raw
@@ -87,6 +91,12 @@ class CsvResultSink final : public ResultSink {
 /// The "perf" block is present only in metrics-enabled builds
 /// (-DPQOS_METRICS=ON) and, being wall-time derived, is excluded from
 /// byte-identity comparisons alongside "wallSeconds".
+///
+/// A sharded run (RunnerOptions::shardCount > 1, see src/fabric/)
+/// replaces "points" with a "shard" provenance block (index, count,
+/// specDigest) and a flat, canonically ordered "cells" array — one
+/// {rep, ai, ui, digest, result} record per cell this worker computed —
+/// which fabric::merge folds back into the dense single-process layout.
 ///
 /// Creates the parent directory; throws ConfigError on write failure.
 class JsonResultSink final : public ResultSink {

@@ -112,7 +112,8 @@ enum CellPhase : int {
   kRunning = 1,
   kDone = 2,      // result published (slot + journal + sinks)
   kFailed = 3,    // retries exhausted; recorded in failures
-  kAbandoned = 4  // watchdog timeout; any late result is discarded
+  kAbandoned = 4,  // watchdog timeout; any late result is discarded
+  kSkipped = 5     // arbiter ceded the cell to another live worker
 };
 
 struct CellState {
@@ -146,9 +147,19 @@ SweepResult SweepRunner::run() {
   require(options_.reps >= 1, "SweepRunner: need at least one replica");
   require(!options_.resume || !options_.journalPath.empty(),
           "SweepRunner: resume requires a journal path");
+  require(options_.shardCount >= 1, "SweepRunner: shardCount must be >= 1");
+  require(options_.shardIndex < options_.shardCount,
+          "SweepRunner: shardIndex must be < shardCount");
 
   RunnerOptions resolved = options_;
   if (resolved.threads == 0) resolved.threads = ThreadPool::hardwareThreads();
+  const bool sharded = resolved.shardCount > 1;
+  // A worker statically owns every shardCount-th cell of the rep-major
+  // linear order; the arbiter (lease protocol) lets it also steal foreign
+  // cells whose owner died or never showed up.
+  const auto ownsCell = [&](std::size_t cellIndex) {
+    return cellIndex % resolved.shardCount == resolved.shardIndex;
+  };
 
   SweepResult result;
   result.spec = spec_;
@@ -233,11 +244,19 @@ SweepResult SweepRunner::run() {
   // fully covered by the journal skip input construction entirely.
   std::vector<std::future<void>> inputFutures;
   for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
-    std::size_t journaled = 0;
-    for (const auto& [key, cell] : resumedCells) {
-      if (key.rep == rep) ++journaled;
+    // Inputs are only needed for cells this worker might simulate: not
+    // journaled, and (in a sharded run) own — or any cell when an
+    // arbiter could grant a steal. Adopted cells never simulate.
+    std::size_t runnable = 0;
+    for (std::size_t slot = 0; slot < gridSize; ++slot) {
+      const std::size_t cellIndex = rep * gridSize + slot;
+      if (sharded && resolved.arbiter == nullptr && !ownsCell(cellIndex)) {
+        continue;
+      }
+      const CellKey key{rep, slot / riskCount, slot % riskCount};
+      if (!resumedCells.contains(key)) ++runnable;
     }
-    if (journaled == gridSize) continue;
+    if (runnable == 0) continue;
     const std::uint64_t seed = result.seeds[rep];
     inputFutures.push_back(pool.submit([this, seed, rep, &inputs] {
       PQOS_FAILPOINT("runner.inputs.build");
@@ -266,116 +285,175 @@ SweepResult SweepRunner::run() {
     perRep[key.rep][slot] = cell;
     cells[key.rep * gridSize + slot].phase.store(kDone,
                                                  std::memory_order_relaxed);
+    if (sharded) result.cellDigests[key] = simResultDigest(cell);
     ++completed;
   }
 
   // Stage 2: the full (replica x accuracy x userRisk) cross product. Each
   // task writes its own pre-allocated slot, so the assembled result is
   // identical for any thread count or completion order. Journal-resumed
-  // cells are never submitted.
-  std::vector<std::future<void>> futures;
-  std::vector<std::size_t> futureCell;  // parallel: cell index per future
-  futures.reserve(total);
-  for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
-    for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
-      for (std::size_t ui = 0; ui < riskCount; ++ui) {
-        const std::size_t slot = ai * riskCount + ui;
-        const std::size_t cellIndex = rep * gridSize + slot;
-        if (resumedCells.contains(CellKey{rep, ai, ui})) continue;
-        const double a = spec_.accuracies[ai];
-        const double u = spec_.userRisks[ui];
-        futureCell.push_back(cellIndex);
-        futures.push_back(pool.submit([&, rep, ai, ui, a, u, slot, cellIndex,
-                                       total] {
-          CellState& cell = cells[cellIndex];
-          int expected = kQueued;
-          if (!cell.phase.compare_exchange_strong(expected, kRunning)) {
-            return;  // watchdog abandoned the cell before it started
-          }
-          cell.startSeconds.store(metrics::nowSeconds() - started,
-                                  std::memory_order_relaxed);
-
-          core::SimResult sim;
-          bool ok = false;
-          std::size_t attemptsUsed = 0;
-          std::string lastError = "unknown error";
-          const std::size_t attempts = resolved.maxRetries + 1;
-          {
-            // Cell span: closes before the shard flush below so the cell
-            // boundary publishes its own timing with it.
-            PQOS_METRIC_SPAN("runner.cell");
-            for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
-              if (cell.phase.load(std::memory_order_acquire) == kAbandoned) {
-                return;  // timed out mid-retry; failure already recorded
-              }
-              ++attemptsUsed;
-              try {
-                PQOS_FAILPOINT("runner.task.start");
-                core::SimConfig config = spec_.base;
-                config.accuracy = a;
-                config.userRisk = u;
-                // Replica 0 keeps the base tie-breaking seed (bit-identical
-                // to the legacy path); later replicas re-derive it.
-                config.seed = replicaSeed(spec_.base.seed, rep);
-                sim = core::runSimulation(config, inputs[rep]->jobs,
-                                          inputs[rep]->trace);
-                PQOS_FAILPOINT("runner.task.finish");
-                ok = true;
-                break;
-              } catch (const std::exception& err) {
-                lastError = err.what();
-                if (attempt + 1 < attempts) {
-                  backoffSleep(resolved.retryBaseMs, attempt, spec_.seed,
-                               cellIndex);
-                }
-              }
-            }
-          }
-          // Deterministic merge point: fold this worker's metric shard
-          // into the registry at the cell boundary, before the sinks see
-          // the completion, so progress lines read a current registry.
-          if constexpr (metrics::kCompiled) metrics::flushThisThread();
-
-          std::lock_guard<std::mutex> lock(progressMutex);
-          if (!ok) {
-            expected = kRunning;
-            if (cell.phase.compare_exchange_strong(expected, kFailed)) {
-              failures.push_back(
-                  {CellKey{rep, ai, ui}, a, u,
-                   "failed after " + std::to_string(attemptsUsed) +
-                       " attempt(s): " + lastError});
-            }
-            return;
-          }
-          // A cell the watchdog abandoned publishes nothing, even if the
-          // simulation eventually finished: its failure is already
-          // recorded and a late partial publish would tear the sweep.
-          expected = kRunning;
-          if (!cell.phase.compare_exchange_strong(expected, kDone)) return;
-          perRep[rep][slot] = std::move(sim);
-          if (attemptsUsed > 1) ++result.retriedCells;
-          ++completed;
-          if (journal) {
-            try {
-              journal->append(CellKey{rep, ai, ui}, perRep[rep][slot]);
-            } catch (const std::exception& err) {
-              // Journal degradation must not sink simulations that
-              // already ran: stop journaling, mark the run partial.
-              PQOS_WARN() << "[pqos::runner] journal error: " << err.what()
-                          << "; journaling disabled for the rest of the run";
-              result.quarantinedSinks.push_back("journal:" +
-                                                resolved.journalPath);
-              journal.reset();
-            }
-          }
-          TaskProgress progress{completed, total, a,
-                                u,         rep,   &perRep[rep][slot]};
-          for (std::size_t i = 0; i < sinks_.size(); ++i) {
-            notifySink(i, [&](ResultSink& s) { s.onTaskComplete(progress); });
-          }
-        }));
+  // cells are never submitted. Sharded runs queue own cells first and
+  // foreign (stealable) cells after, so the pool drains guaranteed work
+  // before it starts knocking on other workers' leases.
+  struct PendingCell {
+    std::size_t rep, ai, ui, slot, cellIndex;
+    bool own;
+  };
+  std::vector<PendingCell> pendingCells;
+  pendingCells.reserve(total);
+  for (const bool ownPass : {true, false}) {
+    if (!ownPass && (!sharded || resolved.arbiter == nullptr)) break;
+    for (std::size_t rep = 0; rep < resolved.reps; ++rep) {
+      for (std::size_t ai = 0; ai < accuracyCount; ++ai) {
+        for (std::size_t ui = 0; ui < riskCount; ++ui) {
+          const std::size_t slot = ai * riskCount + ui;
+          const std::size_t cellIndex = rep * gridSize + slot;
+          const bool own = !sharded || ownsCell(cellIndex);
+          if (own != ownPass) continue;
+          if (!own && resolved.arbiter == nullptr) continue;
+          if (resumedCells.contains(CellKey{rep, ai, ui})) continue;
+          pendingCells.push_back({rep, ai, ui, slot, cellIndex, own});
+        }
       }
     }
+  }
+
+  std::vector<std::future<void>> futures;
+  std::vector<std::size_t> futureCell;  // parallel: cell index per future
+  futures.reserve(pendingCells.size());
+  for (const PendingCell& pc : pendingCells) {
+    const std::size_t rep = pc.rep;
+    const std::size_t ai = pc.ai;
+    const std::size_t ui = pc.ui;
+    const std::size_t slot = pc.slot;
+    const std::size_t cellIndex = pc.cellIndex;
+    const bool own = pc.own;
+    const double a = spec_.accuracies[ai];
+    const double u = spec_.userRisks[ui];
+    futureCell.push_back(cellIndex);
+    futures.push_back(pool.submit([&, rep, ai, ui, a, u, slot, cellIndex,
+                                   own, total] {
+      CellState& cell = cells[cellIndex];
+      int expected = kQueued;
+      if (!cell.phase.compare_exchange_strong(expected, kRunning)) {
+        return;  // watchdog abandoned the cell before it started
+      }
+      cell.startSeconds.store(metrics::nowSeconds() - started,
+                              std::memory_order_relaxed);
+
+      core::SimResult sim;
+      bool ok = false;
+      bool adopted = false;
+      std::size_t attemptsUsed = 0;
+      std::string lastError = "unknown error";
+
+      // Cross-process arbitration happens at execution time, not submit
+      // time, so a straggler's cells look stale by the time an idle
+      // worker reaches them. A throwing claim fails just this cell.
+      if (resolved.arbiter != nullptr) {
+        CellArbiter::Claim claim = CellArbiter::Claim::kRun;
+        try {
+          claim = resolved.arbiter->claim(CellKey{rep, ai, ui}, own, sim);
+        } catch (const std::exception& err) {
+          expected = kRunning;
+          if (cell.phase.compare_exchange_strong(expected, kFailed)) {
+            std::lock_guard<std::mutex> lock(progressMutex);
+            failures.push_back(
+                {CellKey{rep, ai, ui}, a, u,
+                 std::string("cell-lease claim failed: ") + err.what()});
+          }
+          return;
+        }
+        if (claim == CellArbiter::Claim::kSkip) {
+          expected = kRunning;
+          cell.phase.compare_exchange_strong(expected, kSkipped);
+          return;
+        }
+        adopted = claim == CellArbiter::Claim::kAdopt;
+        if (adopted) ok = true;  // digest-verified result already in sim
+      }
+
+      if (!adopted) {
+        const std::size_t attempts = resolved.maxRetries + 1;
+        // Cell span: closes before the shard flush below so the cell
+        // boundary publishes its own timing with it.
+        PQOS_METRIC_SPAN("runner.cell");
+        for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+          if (cell.phase.load(std::memory_order_acquire) == kAbandoned) {
+            return;  // timed out mid-retry; failure already recorded
+          }
+          ++attemptsUsed;
+          try {
+            PQOS_FAILPOINT("runner.task.start");
+            core::SimConfig config = spec_.base;
+            config.accuracy = a;
+            config.userRisk = u;
+            // Replica 0 keeps the base tie-breaking seed (bit-identical
+            // to the legacy path); later replicas re-derive it.
+            config.seed = replicaSeed(spec_.base.seed, rep);
+            sim = core::runSimulation(config, inputs[rep]->jobs,
+                                      inputs[rep]->trace);
+            PQOS_FAILPOINT("runner.task.finish");
+            ok = true;
+            break;
+          } catch (const std::exception& err) {
+            lastError = err.what();
+            if (attempt + 1 < attempts) {
+              backoffSleep(resolved.retryBaseMs, attempt, spec_.seed,
+                           cellIndex);
+            }
+          }
+        }
+      }
+      // Deterministic merge point: fold this worker's metric shard
+      // into the registry at the cell boundary, before the sinks see
+      // the completion, so progress lines read a current registry.
+      if constexpr (metrics::kCompiled) metrics::flushThisThread();
+
+      std::lock_guard<std::mutex> lock(progressMutex);
+      if (!ok) {
+        expected = kRunning;
+        if (cell.phase.compare_exchange_strong(expected, kFailed)) {
+          failures.push_back(
+              {CellKey{rep, ai, ui}, a, u,
+               "failed after " + std::to_string(attemptsUsed) +
+                   " attempt(s): " + lastError});
+        }
+        return;
+      }
+      // A cell the watchdog abandoned publishes nothing, even if the
+      // simulation eventually finished: its failure is already
+      // recorded and a late partial publish would tear the sweep.
+      expected = kRunning;
+      if (!cell.phase.compare_exchange_strong(expected, kDone)) return;
+      perRep[rep][slot] = std::move(sim);
+      if (attemptsUsed > 1) ++result.retriedCells;
+      if (!own) ++result.stolenCells;
+      if (adopted) ++result.adoptedCells;
+      if (sharded) {
+        result.cellDigests[CellKey{rep, ai, ui}] =
+            simResultDigest(perRep[rep][slot]);
+      }
+      ++completed;
+      if (journal) {
+        try {
+          journal->append(CellKey{rep, ai, ui}, perRep[rep][slot]);
+        } catch (const std::exception& err) {
+          // Journal degradation must not sink simulations that
+          // already ran: stop journaling, mark the run partial.
+          PQOS_WARN() << "[pqos::runner] journal error: " << err.what()
+                      << "; journaling disabled for the rest of the run";
+          result.quarantinedSinks.push_back("journal:" +
+                                            resolved.journalPath);
+          journal.reset();
+        }
+      }
+      TaskProgress progress{completed, total, a,
+                            u,         rep,   &perRep[rep][slot]};
+      for (std::size_t i = 0; i < sinks_.size(); ++i) {
+        notifySink(i, [&](ResultSink& s) { s.onTaskComplete(progress); });
+      }
+    }));
   }
 
   // Wait for every cell. With a cell timeout, poll as a watchdog: any

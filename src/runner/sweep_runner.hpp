@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <span>
 #include <stdexcept>
 #include <string>
@@ -62,9 +63,46 @@ struct SweepSpec {
   std::string title;                   // free-form, echoed into sinks
 };
 
+/// Cross-process cell-ownership arbiter (implemented by fabric's lease
+/// protocol; see src/fabric/lease.hpp). In a sharded run every candidate
+/// cell is offered to the arbiter at the moment it would execute:
+///
+///   kRun   — this worker owns the cell now; simulate it.
+///   kSkip  — another live worker holds it; drop it silently (its shard
+///            output will carry the result).
+///   kAdopt — a dead worker already computed it; `adopted` holds the
+///            digest-verified result from that worker's journal, publish
+///            it without re-simulating.
+///
+/// claim() is invoked from pool worker threads concurrently and must be
+/// thread-safe. A throwing claim() fails the cell (it shows up in
+/// SweepError), never the sweep machinery.
+class CellArbiter {
+ public:
+  enum class Claim { kRun, kSkip, kAdopt };
+
+  virtual ~CellArbiter() = default;
+
+  /// `own` is true when `cell` belongs to this worker's static shard
+  /// (workers only reach foreign cells after their own are queued).
+  [[nodiscard]] virtual Claim claim(const CellKey& cell, bool own,
+                                    core::SimResult& adopted) = 0;
+};
+
 struct RunnerOptions {
   std::size_t threads = 0;  // worker threads; 0 = one per hardware thread
   std::size_t reps = 1;     // replicas per grid point (seed-derived)
+
+  // --- Fabric sharding (see src/fabric/) ---
+  // With shardCount > 1 this process statically owns the cells whose
+  // linear index (rep-major, accuracy, risk) is ≡ shardIndex (mod
+  // shardCount). Foreign cells are attempted too — after every own cell
+  // is queued — but only when an arbiter grants them (work stealing);
+  // without an arbiter they are left to their owners. Sharding never
+  // changes cell results, only which process computes them.
+  std::size_t shardIndex = 0;
+  std::size_t shardCount = 1;
+  CellArbiter* arbiter = nullptr;  // non-owning; must outlive run()
 
   // --- Crash tolerance (see "Crash tolerance" above) ---
   std::string journalPath;        // append-only cell journal; "" = none
@@ -129,6 +167,14 @@ struct SweepResult {
   std::vector<std::string> quarantinedSinks;
   std::size_t resumedCells = 0;  // cells replayed from the journal
   std::size_t retriedCells = 0;  // cells that needed more than one attempt
+
+  // --- Sharded-run report (empty/zero when shardCount == 1) ---
+  std::size_t stolenCells = 0;   // foreign-shard cells this worker ran
+  std::size_t adoptedCells = 0;  // cells adopted from a dead worker's journal
+  /// Digest of each cell this worker computed (or replayed/adopted), as
+  /// the journal records it. The JSON sink emits these in its per-shard
+  /// "cells" layout and fabric::merge folds shards on them.
+  std::map<CellKey, std::string> cellDigests;
 
   [[nodiscard]] bool partial() const { return !quarantinedSinks.empty(); }
 

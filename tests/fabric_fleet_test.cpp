@@ -1,0 +1,211 @@
+// Fleet supervisor tests: worker command construction, option
+// validation, a clean 3-worker fleet merging byte-identically to one
+// process, chaos (a worker killed mid-journal-append) absorbed by
+// restart + lease takeover, and a hopeless worker reported — not thrown
+// — after its restart budget runs out.
+#include "fabric/supervisor.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "fabric/merge.hpp"
+#include "failpoint/failpoint.hpp"
+#include "util/error.hpp"
+
+namespace pqos::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Drops the wall-time-derived content two equivalent runs may
+/// legitimately disagree on (same normalization as runner_torture_test).
+std::string normalizeJson(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  bool inPerf = false;
+  std::size_t perfIndent = 0;
+  while (std::getline(in, line)) {
+    if (inPerf) {
+      const std::size_t indent = line.find_first_not_of(' ');
+      if (indent != std::string::npos && indent <= perfIndent &&
+          line[indent] == '}') {
+        inPerf = false;
+      }
+      continue;
+    }
+    const std::size_t perfAt = line.find("\"perf\":");
+    if (perfAt != std::string::npos) {
+      inPerf = true;
+      perfIndent = perfAt;
+      continue;
+    }
+    if (line.find("\"wallSeconds\":") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+TEST(SupervisorGate, CompiledOutConstructionThrows) {
+  if constexpr (kCompiled) GTEST_SKIP() << "fabric compiled in";
+  SupervisorOptions options;
+  options.binary = "/bin/true";
+  options.dir = "fleet";
+  EXPECT_THROW(Supervisor{options}, ConfigError);
+}
+
+class Fleet : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if constexpr (!kCompiled) GTEST_SKIP() << "fabric compiled out";
+    dir_ = fs::temp_directory_path() /
+           ("pqos_fleet_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] SupervisorOptions fleetOptions(std::size_t workers) const {
+    SupervisorOptions options;
+    options.workers = workers;
+    options.dir = (dir_ / "fleet").string();
+    return options;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Fleet, WorkerCommandAppendsTheShardTail) {
+  SupervisorOptions options = fleetOptions(3);
+  options.binary = "/bin/echo";
+  options.baseArgs = {"--jobs", "50"};
+  Supervisor supervisor(options);
+  const std::vector<std::string> expected = {
+      "/bin/echo",
+      "--jobs",
+      "50",
+      "--shard",
+      "1/3",
+      "--journal",
+      options.dir + "/shard_1.journal.jsonl",
+      "--json",
+      options.dir + "/shard_1.json",
+      "--lease-dir",
+      options.dir + "/claims",
+      "--resume",
+  };
+  EXPECT_EQ(supervisor.workerCommand(1), expected);
+  EXPECT_THROW((void)supervisor.workerCommand(3), LogicError);
+}
+
+TEST_F(Fleet, OptionsAreValidated) {
+  SupervisorOptions options = fleetOptions(0);
+  options.binary = "/bin/true";
+  EXPECT_THROW(Supervisor{options}, ConfigError);
+  options.workers = 2;
+  options.binary = "";
+  EXPECT_THROW(Supervisor{options}, ConfigError);
+  options.binary = "/bin/true";
+  options.dir = "";
+  EXPECT_THROW(Supervisor{options}, ConfigError);
+}
+
+TEST_F(Fleet, HopelessWorkerIsReportedAfterItsRestartBudget) {
+  SupervisorOptions options = fleetOptions(2);
+  options.binary = "/bin/false";
+  options.maxRestarts = 1;
+  Supervisor supervisor(options);
+  const FleetReport report = supervisor.run();
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.totalRestarts, 2u);
+  ASSERT_EQ(report.workers.size(), 2u);
+  for (const WorkerStatus& worker : report.workers) {
+    EXPECT_FALSE(worker.completed);
+    EXPECT_EQ(worker.restarts, 1u);
+    EXPECT_TRUE(WIFEXITED(worker.lastExit));
+    EXPECT_EQ(WEXITSTATUS(worker.lastExit), 1);
+  }
+}
+
+#ifdef PQOS_FLEET_HELPER
+
+/// Runs `command` through the shell; returns the raw wait status.
+int shell(const std::string& command) {
+  const int status = std::system(command.c_str());  // NOLINT
+  EXPECT_NE(status, -1);
+  return status;
+}
+
+/// Single-process golden run of the helper's fixed sweep; returns the
+/// normalized baseline bytes.
+std::string serialBaseline(const fs::path& dir) {
+  const std::string helper = PQOS_FLEET_HELPER;
+  EXPECT_TRUE(fs::exists(helper)) << helper;
+  const std::string serial = (dir / "serial").string();
+  const int status =
+      shell("'" + helper + "' --journal '" + serial +
+            "/sweep.journal.jsonl' --json '" + serial + "/sweep.json'");
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0) << status;
+  return normalizeJson(slurp(serial + "/sweep.json"));
+}
+
+TEST_F(Fleet, ThreeWorkersMergeByteIdenticallyToOneProcess) {
+  const std::string baseline = serialBaseline(dir_);
+  ASSERT_FALSE(baseline.empty());
+
+  SupervisorOptions options = fleetOptions(3);
+  options.binary = PQOS_FLEET_HELPER;
+  Supervisor supervisor(options);
+  const FleetReport report = supervisor.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report.totalRestarts, 0u);
+
+  const auto merged = mergeShardFiles(report.shardJsonPaths);
+  writeMergedJson(merged, (dir_ / "merged.json").string());
+  EXPECT_EQ(normalizeJson(slurp((dir_ / "merged.json").string())), baseline);
+}
+
+TEST_F(Fleet, ChaosKilledWorkerIsAbsorbedByteIdentically) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  const std::string baseline = serialBaseline(dir_);
+  ASSERT_FALSE(baseline.empty());
+
+  // Worker 1's first incarnation aborts at its first journal append — a
+  // real SIGABRT mid-sweep. The supervisor must restart it with --resume
+  // (chaos-free) and the fleet still converges on the golden bytes,
+  // whether the dead incarnation's cells were resumed or stolen.
+  SupervisorOptions options = fleetOptions(3);
+  options.binary = PQOS_FLEET_HELPER;
+  options.chaosWorker = 1;
+  options.chaosFailpoints = "runner.journal.append=abort(1)";
+  Supervisor supervisor(options);
+  const FleetReport report = supervisor.run();
+  ASSERT_TRUE(report.ok());
+  EXPECT_GE(report.totalRestarts, 1u);
+  EXPECT_GE(report.workers[1].restarts, 1u);
+
+  const auto merged = mergeShardFiles(report.shardJsonPaths);
+  writeMergedJson(merged, (dir_ / "merged.json").string());
+  EXPECT_EQ(normalizeJson(slurp((dir_ / "merged.json").string())), baseline);
+}
+
+#endif  // PQOS_FLEET_HELPER
+
+}  // namespace
+}  // namespace pqos::fabric

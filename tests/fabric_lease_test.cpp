@@ -1,0 +1,252 @@
+// Lease-protocol tests: shard-spec parsing, lease file round-trips, and
+// the LeaseArbiter claim rules — own lease runs, live foreign holder
+// skips, dead same-host holder is stolen (adopting its journaled results
+// when it advertised a journal), foreign hosts are never stolen, and a
+// lease from a different sweep is a hard error.
+#include "fabric/lease.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "fabric/fabric.hpp"
+#include "runner/journal.hpp"
+#include "util/error.hpp"
+
+namespace pqos::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+
+using Claim = runner::CellArbiter::Claim;
+
+TEST(ParseShardSpec, EmptyMeansUnsharded) {
+  const ShardSpec shard = parseShardSpec("");
+  EXPECT_EQ(shard.index, 0u);
+  EXPECT_EQ(shard.count, 1u);
+}
+
+TEST(ParseShardSpec, ParsesIndexAndCount) {
+  const ShardSpec shard = parseShardSpec("2/4");
+  EXPECT_EQ(shard.index, 2u);
+  EXPECT_EQ(shard.count, 4u);
+}
+
+TEST(ParseShardSpec, RejectsMalformedSpecs) {
+  for (const char* bad : {"3", "/4", "3/", "x/4", "3/y", "0/0", "4/4", "5/4"}) {
+    EXPECT_THROW((void)parseShardSpec(bad), ConfigError) << bad;
+  }
+}
+
+TEST(LeaseFile, PathEncodesTheCell) {
+  EXPECT_EQ(leasePath("claims", {1, 2, 3}), "claims/r1_a2_u3.lease");
+}
+
+TEST(LeaseFile, JsonRoundTripsEveryField) {
+  Lease lease;
+  lease.specDigest = "0123456789abcdef";
+  lease.cell = {1, 2, 3};
+  lease.owner = {4242, "examplehost", 5};
+  lease.journalPath = "/fleet/shard_5.journal.jsonl";
+  lease.unixSeconds = 1754700000;
+
+  const Lease parsed = parseLease(leaseJson(lease), "test");
+  EXPECT_EQ(parsed.specDigest, lease.specDigest);
+  EXPECT_EQ(parsed.cell, lease.cell);
+  EXPECT_EQ(parsed.owner.pid, lease.owner.pid);
+  EXPECT_EQ(parsed.owner.host, lease.owner.host);
+  EXPECT_EQ(parsed.owner.shard, lease.owner.shard);
+  EXPECT_EQ(parsed.journalPath, lease.journalPath);
+  EXPECT_EQ(parsed.unixSeconds, lease.unixSeconds);
+}
+
+TEST(LeaseFile, ParseRejectsForeignSchemaAndGarbage) {
+  EXPECT_THROW((void)parseLease("{\"schema\": \"pqos-sweep-v1\"}", "test"),
+               ConfigError);
+  EXPECT_THROW((void)parseLease("not json at all", "test"), ConfigError);
+}
+
+TEST(LeaseArbiterGate, CompiledOutConstructionThrows) {
+  if constexpr (kCompiled) GTEST_SKIP() << "fabric compiled in";
+  LeaseArbiter::Options options;
+  options.dir = "claims";
+  options.specDigest = "0123456789abcdef";
+  EXPECT_THROW(LeaseArbiter{options}, ConfigError);
+}
+
+constexpr const char* kDigest = "00000000deadbeef";
+
+/// Pid of a child that has already exited and been reaped — a provably
+/// dead same-host process for staleness tests.
+std::int64_t deadPid() {
+  const pid_t pid = ::fork();
+  if (pid == 0) ::_exit(0);
+  EXPECT_GT(pid, 0);
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  return static_cast<std::int64_t>(pid);
+}
+
+class LeaseDir : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if constexpr (!kCompiled) GTEST_SKIP() << "fabric compiled out";
+    dir_ = fs::temp_directory_path() /
+           ("pqos_lease_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_ / "claims");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string claims() const {
+    return (dir_ / "claims").string();
+  }
+
+  [[nodiscard]] LeaseArbiter::Options optionsFor(
+      std::size_t shard, const std::string& journal = "") const {
+    LeaseArbiter::Options options;
+    options.dir = claims();
+    options.specDigest = kDigest;
+    options.shard = shard;
+    options.journalPath = journal;
+    return options;
+  }
+
+  /// Plants a pre-existing lease as some other worker would have left it.
+  void plantLease(const Lease& lease) {
+    std::ofstream file(leasePath(claims(), lease.cell), std::ios::binary);
+    file << leaseJson(lease) << '\n';
+  }
+
+  [[nodiscard]] Lease readLease(const runner::CellKey& cell) const {
+    std::ifstream file(leasePath(claims(), cell), std::ios::binary);
+    std::string text((std::istreambuf_iterator<char>(file)),
+                     std::istreambuf_iterator<char>());
+    return parseLease(text, "readLease");
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(LeaseDir, UnclaimedCellIsLeasedAndRun) {
+  LeaseArbiter arbiter(optionsFor(0, "/fleet/shard_0.journal.jsonl"));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({0, 0, 0}, /*own=*/true, adopted), Claim::kRun);
+
+  const Lease lease = readLease({0, 0, 0});
+  EXPECT_EQ(lease.specDigest, kDigest);
+  EXPECT_EQ(lease.owner.pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(lease.owner.shard, 0u);
+  EXPECT_EQ(lease.journalPath, "/fleet/shard_0.journal.jsonl");
+}
+
+TEST_F(LeaseDir, OwnLeaseRunsAgain) {
+  // A resumed incarnation of this worker re-claims cells it already
+  // leased; its own lease must never block it.
+  LeaseArbiter arbiter(optionsFor(0));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({0, 1, 0}, true, adopted), Claim::kRun);
+  EXPECT_EQ(arbiter.claim({0, 1, 0}, true, adopted), Claim::kRun);
+}
+
+TEST_F(LeaseDir, LiveHolderIsSkipped) {
+  // Same pid and host but a different shard is a distinct worker
+  // identity; the pid is this (very alive) process, so: skip.
+  Lease lease;
+  lease.specDigest = kDigest;
+  lease.cell = {1, 0, 1};
+  lease.owner = selfIdentity(9);
+  plantLease(lease);
+
+  LeaseArbiter arbiter(optionsFor(0));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({1, 0, 1}, /*own=*/false, adopted), Claim::kSkip);
+  EXPECT_EQ(readLease({1, 0, 1}).owner.shard, 9u) << "lease must be untouched";
+}
+
+TEST_F(LeaseDir, DeadHolderIsStolen) {
+  Lease lease;
+  lease.specDigest = kDigest;
+  lease.cell = {0, 1, 1};
+  lease.owner = selfIdentity(3);
+  lease.owner.pid = deadPid();
+  plantLease(lease);
+
+  LeaseArbiter arbiter(optionsFor(0));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({0, 1, 1}, /*own=*/false, adopted), Claim::kRun);
+  const Lease stolen = readLease({0, 1, 1});
+  EXPECT_EQ(stolen.owner.pid, static_cast<std::int64_t>(::getpid()));
+  EXPECT_EQ(stolen.owner.shard, 0u);
+}
+
+TEST_F(LeaseDir, DeadHolderJournalIsAdopted) {
+  // The dead worker journaled the cell before dying: takeover must adopt
+  // that digest-verified result instead of re-simulating.
+  core::SimResult done;
+  done.qos = 0.25;
+  done.utilization = 0.5;
+  done.jobCount = 50;
+  done.completedJobs = 49;
+  done.span = 1234.5;
+  const std::string deadJournal = (dir_ / "dead.journal.jsonl").string();
+  {
+    runner::JournalWriter journal(deadJournal, kDigest, /*fresh=*/true);
+    journal.append({0, 1, 1}, done);
+  }
+
+  Lease lease;
+  lease.specDigest = kDigest;
+  lease.cell = {0, 1, 1};
+  lease.owner = selfIdentity(3);
+  lease.owner.pid = deadPid();
+  lease.journalPath = deadJournal;
+  plantLease(lease);
+
+  LeaseArbiter arbiter(optionsFor(0, (dir_ / "own.journal.jsonl").string()));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({0, 1, 1}, /*own=*/false, adopted), Claim::kAdopt);
+  EXPECT_EQ(runner::simResultDigest(adopted), runner::simResultDigest(done));
+  EXPECT_EQ(readLease({0, 1, 1}).owner.pid,
+            static_cast<std::int64_t>(::getpid()));
+}
+
+TEST_F(LeaseDir, ForeignHostIsNeverStolen) {
+  // Pid liveness cannot be probed across hosts, and wall-clock TTLs are
+  // deliberately not used — a remote holder is always presumed alive.
+  Lease lease;
+  lease.specDigest = kDigest;
+  lease.cell = {1, 1, 0};
+  lease.owner = {deadPid(), "no-such-host.invalid", 2};
+  plantLease(lease);
+
+  LeaseArbiter arbiter(optionsFor(0));
+  core::SimResult adopted;
+  EXPECT_EQ(arbiter.claim({1, 1, 0}, /*own=*/false, adopted), Claim::kSkip);
+}
+
+TEST_F(LeaseDir, LeaseFromAnotherSweepIsAHardError) {
+  Lease lease;
+  lease.specDigest = "ffffffffffffffff";
+  lease.cell = {0, 0, 1};
+  lease.owner = selfIdentity(1);
+  plantLease(lease);
+
+  LeaseArbiter arbiter(optionsFor(0));
+  core::SimResult adopted;
+  try {
+    (void)arbiter.claim({0, 0, 1}, true, adopted);
+    FAIL() << "claims directories must not be shared across sweeps";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("different sweep"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+}  // namespace
+}  // namespace pqos::fabric

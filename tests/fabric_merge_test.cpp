@@ -1,0 +1,287 @@
+// Merge byte-stability tests: N sharded worker outputs fold into a
+// document byte-identical (modulo wall-clock provenance) to the same
+// sweep run in one process, duplicate cells resolve on digest equality,
+// and every corruption path — divergent duplicates, records that fail
+// their own digest, foreign or partial or unsharded inputs, missing
+// cells — is a hard error, never a guess.
+#include "fabric/merge.hpp"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fabric/fabric.hpp"
+#include "failpoint/failpoint.hpp"
+#include "runner/journal.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "util/error.hpp"
+
+namespace pqos::fabric {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string slurp(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Drops the wall-time-derived content two equivalent runs may
+/// legitimately disagree on: the "wallSeconds" provenance line and the
+/// whole "perf" block (same normalization as runner_torture_test).
+std::string normalizeJson(const std::string& text) {
+  std::istringstream in(text);
+  std::ostringstream out;
+  std::string line;
+  bool inPerf = false;
+  std::size_t perfIndent = 0;
+  while (std::getline(in, line)) {
+    if (inPerf) {
+      const std::size_t indent = line.find_first_not_of(' ');
+      if (indent != std::string::npos && indent <= perfIndent &&
+          line[indent] == '}') {
+        inPerf = false;  // the block's own closing brace is dropped too
+      }
+      continue;
+    }
+    const std::size_t perfAt = line.find("\"perf\":");
+    if (perfAt != std::string::npos) {
+      inPerf = true;
+      perfIndent = perfAt;
+      continue;
+    }
+    if (line.find("\"wallSeconds\":") != std::string::npos) continue;
+    out << line << '\n';
+  }
+  return out.str();
+}
+
+/// 2 accuracies x 2 risks x 2 reps = 8 cells; shard i/3 of the rep-major
+/// linear index, so shard 0 owns cell (rep 0, ai 0, ui 0).
+runner::SweepSpec mergeSpec() {
+  runner::SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 50;
+  spec.seed = 7;
+  spec.accuracies = {0.3, 0.7};
+  spec.userRisks = {0.2, 0.8};
+  spec.title = "merge sweep";
+  return spec;
+}
+
+TEST(MergeGate, CompiledOutMergeThrows) {
+  if constexpr (kCompiled) GTEST_SKIP() << "fabric compiled in";
+  EXPECT_THROW((void)mergeShardFiles({"anything.json"}), ConfigError);
+}
+
+class Merge : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if constexpr (!kCompiled) GTEST_SKIP() << "fabric compiled out";
+    failpoint::disarmAll();
+    dir_ = fs::temp_directory_path() /
+           ("pqos_fabric_merge_test_" + std::to_string(::getpid()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    failpoint::disarmAll();
+    fs::remove_all(dir_);
+  }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// One in-process run of shard `index`/`count` (no arbiter: foreign
+  /// cells are left to their owners), JSON at `name`.
+  runner::SweepResult runShard(const std::string& name, std::size_t index,
+                               std::size_t count,
+                               runner::SweepSpec spec = mergeSpec(),
+                               std::size_t threads = 2) {
+    runner::RunnerOptions options;
+    options.threads = threads;
+    options.reps = 2;
+    options.shardIndex = index;
+    options.shardCount = count;
+    runner::SweepRunner runner(std::move(spec), options);
+    runner::JsonResultSink json(path(name));
+    runner.addSink(&json);
+    return runner.run();
+  }
+
+  /// Paths of a fresh 3-way shard split plus the serial baseline's
+  /// normalized bytes.
+  std::vector<std::string> splitThreeWays() {
+    (void)runShard("baseline.json", 0, 1);
+    std::vector<std::string> shards;
+    for (std::size_t i = 0; i < 3; ++i) {
+      const std::string name = "shard_" + std::to_string(i) + ".json";
+      (void)runShard(name, i, 3);
+      shards.push_back(path(name));
+    }
+    return shards;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(Merge, ThreeShardsMergeByteIdenticallyToOneProcess) {
+  const auto shards = splitThreeWays();
+  const runner::SweepResult merged = mergeShardFiles(shards);
+  EXPECT_EQ(merged.stolenCells, 0u);
+  EXPECT_EQ(merged.adoptedCells, 0u);
+  EXPECT_EQ(merged.points.size(), 4u);
+  writeMergedJson(merged, path("merged.json"));
+  const std::string baseline = normalizeJson(slurp(path("baseline.json")));
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_EQ(normalizeJson(slurp(path("merged.json"))), baseline);
+}
+
+TEST_F(Merge, DuplicateCellsWithEqualDigestsResolveLastWins) {
+  // A shard listed twice models the work-stealing race: the same pure
+  // cells appear in multiple inputs with identical digests, and the fold
+  // must stay byte-identical to the clean merge.
+  auto shards = splitThreeWays();
+  shards.push_back(shards.front());
+  const runner::SweepResult merged = mergeShardFiles(shards);
+  writeMergedJson(merged, path("merged.json"));
+  EXPECT_EQ(normalizeJson(slurp(path("merged.json"))),
+            normalizeJson(slurp(path("baseline.json"))));
+}
+
+TEST_F(Merge, DivergentDuplicateCellFailsTheMerge) {
+  auto shards = splitThreeWays();
+  // A doctored twin re-lists cell (0, 0, 0) with a different result and a
+  // correctly recomputed digest — two builds disagreeing about one pure
+  // cell, which the merge must refuse to arbitrate.
+  runner::SweepResult twin = runShard("twin_src.json", 0, 3);
+  core::SimResult& cell = twin.points[0].reps[0];
+  cell.qos += 0.125;
+  twin.cellDigests[runner::CellKey{0, 0, 0}] = runner::simResultDigest(cell);
+  runner::JsonResultSink sink(path("twin.json"));
+  sink.onSweepEnd(twin);
+  shards.push_back(path("twin.json"));
+  try {
+    (void)mergeShardFiles(shards);
+    FAIL() << "divergent duplicate digests must fail the merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("divergent digests"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, RecordFailingItsOwnDigestIsCorruption) {
+  runner::SweepResult bad = runShard("ignored.json", 0, 3);
+  bad.points[0].reps[0].qos += 0.125;  // digest left stale
+  runner::JsonResultSink sink(path("corrupt.json"));
+  sink.onSweepEnd(bad);
+  try {
+    (void)mergeShardFiles({path("corrupt.json")});
+    FAIL() << "a record that fails its digest must fail the merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("recorded digest"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, RefusesAnUnshardedFile) {
+  (void)runShard("baseline.json", 0, 1);
+  try {
+    (void)mergeShardFiles({path("baseline.json")});
+    FAIL() << "single-process output has nothing to merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("not a sharded sweep output"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, MissingCellsDemandResumeBeforeMerging) {
+  auto shards = splitThreeWays();
+  shards.pop_back();  // lose shard 2's cells
+  try {
+    (void)mergeShardFiles(shards);
+    FAIL() << "an incomplete fold must not fabricate cells";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("rerun it with --resume"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, ShardOfADifferentSweepIsRefused) {
+  (void)runShard("shard_0.json", 0, 3);
+  runner::SweepSpec other = mergeSpec();
+  other.seed = 8;
+  (void)runShard("other.json", 1, 3, other);
+  try {
+    (void)mergeShardFiles({path("shard_0.json"), path("other.json")});
+    FAIL() << "mixed sweeps must not merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("different sweep"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, MismatchedTitleIsRefused) {
+  // The title is deliberately outside the spec digest but still part of
+  // the output bytes, so the merge checks it separately.
+  (void)runShard("shard_0.json", 0, 3);
+  runner::SweepSpec other = mergeSpec();
+  other.title = "imposter sweep";
+  (void)runShard("other.json", 1, 3, other);
+  try {
+    (void)mergeShardFiles({path("shard_0.json"), path("other.json")});
+    FAIL() << "mixed titles must not merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("differs from"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, MismatchedThreadCountIsRefused) {
+  // Thread count shapes output bytes (it is serialized) without being in
+  // the spec digest — same deal as the title.
+  (void)runShard("shard_0.json", 0, 3);
+  (void)runShard("other.json", 1, 3, mergeSpec(), /*threads=*/1);
+  try {
+    (void)mergeShardFiles({path("shard_0.json"), path("other.json")});
+    FAIL() << "mixed thread counts must not merge";
+  } catch (const ConfigError& error) {
+    EXPECT_NE(std::string(error.what()).find("threads are part"),
+              std::string::npos)
+        << error.what();
+  }
+}
+
+TEST_F(Merge, ReadAndWriteFailpointsCoverTheMergePath) {
+  if constexpr (!failpoint::kCompiled) GTEST_SKIP() << "failpoints off";
+  const auto shards = splitThreeWays();
+  failpoint::arm("fabric.merge.read", "error(1)");
+  EXPECT_ANY_THROW((void)mergeShardFiles(shards));
+  failpoint::disarmAll();
+
+  const runner::SweepResult merged = mergeShardFiles(shards);
+  failpoint::arm("fabric.merge.write", "error(1)");
+  EXPECT_ANY_THROW(writeMergedJson(merged, path("merged.json")));
+  failpoint::disarmAll();
+  writeMergedJson(merged, path("merged.json"));
+  EXPECT_EQ(normalizeJson(slurp(path("merged.json"))),
+            normalizeJson(slurp(path("baseline.json"))));
+}
+
+}  // namespace
+}  // namespace pqos::fabric

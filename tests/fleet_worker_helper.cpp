@@ -1,0 +1,78 @@
+// Fleet crash-test worker for fabric_fleet_test: the sharded sibling of
+// sweep_torture_helper. Runs one fixed, journaled torture sweep under the
+// supervisor's standard worker contract (--shard i/N --journal X --json Y
+// --lease-dir Z --resume), so the test can chaos-kill an incarnation via
+// PQOS_FAILPOINTS and prove that restart + lease takeover converge on the
+// same merged bytes. The sweep definition lives here, not in flags, so no
+// incarnation of the fleet can drift from its siblings.
+//
+// Exit 0 on a completed (shard of a) sweep; 3 on SweepError (failed
+// cells); 4 on any other error.
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "fabric/fabric.hpp"
+#include "fabric/lease.hpp"
+#include "failpoint/failpoint.hpp"
+#include "runner/result_sink.hpp"
+#include "runner/sweep_runner.hpp"
+#include "util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace pqos;
+  ArgParser args(
+      "fabric_fleet_test worker: one fixed sharded torture sweep");
+  args.addString("shard", "", "static shard i/N of the fixed grid");
+  args.addString("journal", "", "cell journal path (required)");
+  args.addString("json", "", "JSON output path (required)");
+  args.addString("lease-dir", "", "shared claims directory; '' = no leases");
+  args.addBool("resume", false, "replay the journal before running");
+  try {
+    if (!args.parse(argc, argv)) return 0;
+    if (args.getString("journal").empty() || args.getString("json").empty()) {
+      std::cerr << "fleet_worker_helper: --journal and --json are required\n";
+      return 4;
+    }
+    failpoint::armFromEnv();
+
+    runner::SweepSpec spec;
+    spec.model = "nasa";
+    spec.jobCount = 50;
+    spec.seed = 7;
+    spec.accuracies = {0.3, 0.7};
+    spec.userRisks = {0.2, 0.8};
+    spec.title = "fleet torture sweep";
+
+    runner::RunnerOptions options;
+    options.threads = 2;
+    options.reps = 2;
+    options.journalPath = args.getString("journal");
+    options.resume = args.getBool("resume");
+    const fabric::ShardSpec shard =
+        fabric::parseShardSpec(args.getString("shard"));
+    options.shardIndex = shard.index;
+    options.shardCount = shard.count;
+    std::optional<fabric::LeaseArbiter> arbiter;
+    if (!args.getString("lease-dir").empty()) {
+      fabric::LeaseArbiter::Options leaseOptions;
+      leaseOptions.dir = args.getString("lease-dir");
+      leaseOptions.specDigest = runner::sweepSpecDigest(spec, options.reps);
+      leaseOptions.shard = shard.index;
+      leaseOptions.journalPath = options.journalPath;
+      arbiter.emplace(std::move(leaseOptions));
+      options.arbiter = &*arbiter;
+    }
+
+    runner::SweepRunner sweep(spec, options);
+    runner::JsonResultSink json(args.getString("json"));
+    sweep.addSink(&json);
+    return sweep.run().partial() ? 3 : 0;
+  } catch (const runner::SweepError& error) {
+    std::cerr << "fleet_worker_helper: " << error.what() << '\n';
+    return 3;
+  } catch (const std::exception& error) {
+    std::cerr << "fleet_worker_helper: " << error.what() << '\n';
+    return 4;
+  }
+}

@@ -10,6 +10,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "metrics/metrics.hpp"
 #include "util/error.hpp"
 
 namespace pqos::runner {
@@ -52,6 +53,69 @@ TEST(ProgressSink, StreamsBeginEveryTaskAndEnd) {
   EXPECT_NE(text.find("sweep nasa: 2x1 grid"), std::string::npos);
   EXPECT_NE(text.find("4/4"), std::string::npos);
   EXPECT_NE(text.find("done in"), std::string::npos);
+}
+
+TEST(ProgressSink, ResumedRunRatesOnlyFreshCells) {
+  // Journal half the sweep, then resume it with a progress sink attached:
+  // replayed cells publish silently (no progress lines), and the rate/ETA
+  // suffix of each fresh line extrapolates from fresh cells only — a
+  // resumed run must not report an inflated cells/min from cells that
+  // "completed" in microseconds at startup.
+  const std::string dir = ::testing::TempDir() + "/pqos_sink_resume";
+  std::filesystem::remove_all(dir);
+  SweepSpec spec;
+  spec.model = "nasa";
+  spec.jobCount = 120;
+  spec.seed = 7;
+  spec.accuracies = {0.0, 1.0};
+  spec.userRisks = {0.5};
+  spec.title = "sink test sweep";
+  RunnerOptions options;
+  options.threads = 2;
+  options.reps = 2;
+  options.journalPath = dir + "/sweep.journal.jsonl";
+  {
+    SweepRunner runner(spec, options);
+    (void)runner.run();
+  }
+  // Keep the header plus the first 2 of 4 cell records.
+  std::string journal = slurp(options.journalPath);
+  std::size_t end = 0;
+  for (std::size_t newlines = 0; newlines < 3; ++newlines) {
+    end = journal.find('\n', end) + 1;
+  }
+  {
+    std::ofstream cut(options.journalPath, std::ios::binary);
+    cut << journal.substr(0, end);
+  }
+
+  std::ostringstream out;
+  ProgressSink progress(out);
+  options.resume = true;
+  SweepRunner runner(spec, options);
+  runner.addSink(&progress);
+  const auto result = runner.run();
+  EXPECT_EQ(result.resumedCells, 2u);
+
+  // 1 begin + 2 fresh cells + 1 end; the 2 replayed cells are silent.
+  const std::string text = out.str();
+  std::size_t lines = 0;
+  for (const char c : text) lines += (c == '\n');
+  EXPECT_EQ(lines, 4u) << text;
+  // Fresh completions count from above the replayed floor...
+  EXPECT_NE(text.find(" 3/4 "), std::string::npos) << text;
+  EXPECT_NE(text.find(" 4/4 "), std::string::npos) << text;
+  // ...and (with metrics compiled) each fresh line carries the rate/ETA
+  // suffix, which exists exactly because fresh > 0 despite the replays.
+  if constexpr (metrics::kCompiled) {
+    std::size_t rated = 0;
+    for (std::size_t pos = text.find("cells/min"); pos != std::string::npos;
+         pos = text.find("cells/min", pos + 1)) {
+      ++rated;
+    }
+    EXPECT_EQ(rated, 2u) << text;
+  }
+  std::filesystem::remove_all(dir);
 }
 
 TEST(CsvResultSink, WritesOneRowPerReplicaWithSeeds) {
