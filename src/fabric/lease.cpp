@@ -137,7 +137,7 @@ bool LeaseArbiter::writeLease(const runner::CellKey& cell, bool steal) {
 
 std::shared_ptr<const runner::JournalLoad> LeaseArbiter::journalOf(
     const std::string& path) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  const util::MutexLock lock(mutex_);
   auto it = journals_.find(path);
   if (it != journals_.end()) return it->second;
   // Digest-pinned load: a dead worker's journal from a *different* sweep

@@ -36,12 +36,12 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "fabric/fabric.hpp"
 #include "runner/journal.hpp"
 #include "runner/sweep_runner.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pqos::fabric {
 
@@ -89,12 +89,13 @@ class LeaseArbiter final : public runner::CellArbiter {
 
   /// Digest-verified journal of a dead lease holder, cached per path.
   [[nodiscard]] std::shared_ptr<const runner::JournalLoad> journalOf(
-      const std::string& path);
+      const std::string& path) PQOS_EXCLUDES(mutex_);
 
   Options options_;
   WorkerIdentity self_;
-  std::mutex mutex_;  // guards journals_
-  std::map<std::string, std::shared_ptr<const runner::JournalLoad>> journals_;
+  util::Mutex mutex_;
+  std::map<std::string, std::shared_ptr<const runner::JournalLoad>> journals_
+      PQOS_GUARDED_BY(mutex_);
 };
 
 }  // namespace pqos::fabric

@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <chrono>
-#include <mutex>
 
 #include "util/error.hpp"
 #include "util/json.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pqos::metrics {
 
@@ -60,14 +60,14 @@ std::atomic<bool> g_enabled{true};
 /// thread-local shard destructors — which run arbitrarily late, including
 /// after main() returns — can always flush into it safely.
 struct Registry {
-  std::mutex mutex;
-  std::uint64_t counters[kCount] = {};
-  double gauges[kCount] = {};
-  std::uint64_t spanCount[kCount] = {};
-  double spanTotal[kCount] = {};
-  double spanSelf[kCount] = {};
-  std::vector<LogHistogram> spanHist;
-  std::uint64_t edges[kCount + 1][kCount] = {};
+  util::Mutex mutex;
+  std::uint64_t counters[kCount] PQOS_GUARDED_BY(mutex) = {};
+  double gauges[kCount] PQOS_GUARDED_BY(mutex) = {};
+  std::uint64_t spanCount[kCount] PQOS_GUARDED_BY(mutex) = {};
+  double spanTotal[kCount] PQOS_GUARDED_BY(mutex) = {};
+  double spanSelf[kCount] PQOS_GUARDED_BY(mutex) = {};
+  std::vector<LogHistogram> spanHist PQOS_GUARDED_BY(mutex);
+  std::uint64_t edges[kCount + 1][kCount] PQOS_GUARDED_BY(mutex) = {};
 
   Registry() {
     spanHist.reserve(kCount);
@@ -121,7 +121,7 @@ struct Shard {
   void flush() {
     if (!dirty) return;
     Registry& reg = registry();
-    const std::lock_guard<std::mutex> lock(reg.mutex);
+    const util::MutexLock lock(reg.mutex);
     for (std::size_t i = 0; i < kCount; ++i) {
       reg.counters[i] += counters[i];
       reg.gauges[i] = std::max(reg.gauges[i], gauges[i]);
@@ -195,7 +195,7 @@ Snapshot snapshot() {
   snap.spans.resize(kCount);
   snap.edges.assign(kCount + 1, std::vector<std::uint64_t>(kCount, 0));
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (std::size_t i = 0; i < kCount; ++i) {
     snap.counters[i] = reg.counters[i];
     snap.gauges[i] = reg.gauges[i];
@@ -218,7 +218,7 @@ std::uint64_t counterValue(Id id) {
 void resetAll() {
   shard().clear();
   Registry& reg = registry();
-  const std::lock_guard<std::mutex> lock(reg.mutex);
+  const util::MutexLock lock(reg.mutex);
   for (std::size_t i = 0; i < kCount; ++i) {
     reg.counters[i] = 0;
     reg.gauges[i] = 0.0;

@@ -415,6 +415,7 @@ JournalWriter::JournalWriter(std::string path, std::string_view specDigest,
     }
   }
   const int flags = O_WRONLY | O_CREAT | O_APPEND | (fresh ? O_TRUNC : 0);
+  const util::MutexLock lock(mutex_);
   fd_ = ::open(path_.c_str(), flags, 0644);
   if (fd_ < 0) throw ConfigError("cannot open sweep journal: " + path_);
   fsyncParentDir(target);  // persist the file's existence itself
@@ -422,13 +423,17 @@ JournalWriter::JournalWriter(std::string path, std::string_view specDigest,
 }
 
 JournalWriter::~JournalWriter() {
+  const util::MutexLock lock(mutex_);
   if (fd_ >= 0) ::close(fd_);
 }
 
 void JournalWriter::append(const CellKey& key, const core::SimResult& result) {
   PQOS_FAILPOINT("runner.journal.append");
   PQOS_METRIC_SPAN("io.journal.append");
-  writeLine(journalRecordLine(key, result));
+  // Serialize the record outside the lock; only the fd write needs it.
+  const std::string line = journalRecordLine(key, result);
+  const util::MutexLock lock(mutex_);
+  writeLine(line);
 }
 
 void JournalWriter::writeLine(const std::string& line) {

@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/metrics.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pqos {
 class JsonWriter;
@@ -111,15 +112,19 @@ class JournalWriter {
 
   /// Appends one completed cell and fsyncs before returning, so the
   /// record survives a crash the instant append() returns. Evaluates the
-  /// `runner.journal.append` failpoint. Not thread-safe; SweepRunner
-  /// serializes appends under its progress mutex.
-  void append(const CellKey& key, const core::SimResult& result);
+  /// `runner.journal.append` failpoint. Thread-safe: records are
+  /// serialized under the writer's own mutex (SweepRunner additionally
+  /// orders appends under its progress lock, but the journal no longer
+  /// depends on that).
+  void append(const CellKey& key, const core::SimResult& result)
+      PQOS_EXCLUDES(mutex_);
 
  private:
-  void writeLine(const std::string& line);
+  void writeLine(const std::string& line) PQOS_REQUIRES(mutex_);
 
-  std::string path_;
-  int fd_ = -1;
+  std::string path_;  // immutable after construction
+  util::Mutex mutex_;
+  int fd_ PQOS_GUARDED_BY(mutex_) = -1;
 };
 
 }  // namespace pqos::runner

@@ -6,7 +6,6 @@
 #include <exception>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <sstream>
 #include <thread>
@@ -22,6 +21,7 @@
 #include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pqos::runner {
 
@@ -224,7 +224,7 @@ SweepResult SweepRunner::run() {
   std::vector<std::vector<core::SimResult>> perRep(
       resolved.reps, std::vector<core::SimResult>(gridSize));
   std::vector<CellState> cells(total);
-  std::mutex progressMutex;
+  util::Mutex progressMutex;
   std::size_t completed = 0;
   std::vector<CellFailure> failures;
   std::unique_ptr<JournalWriter> journal;
@@ -357,7 +357,7 @@ SweepResult SweepRunner::run() {
         } catch (const std::exception& err) {
           expected = kRunning;
           if (cell.phase.compare_exchange_strong(expected, kFailed)) {
-            std::lock_guard<std::mutex> lock(progressMutex);
+            const util::MutexLock lock(progressMutex);
             failures.push_back(
                 {CellKey{rep, ai, ui}, a, u,
                  std::string("cell-lease claim failed: ") + err.what()});
@@ -410,7 +410,7 @@ SweepResult SweepRunner::run() {
       // the completion, so progress lines read a current registry.
       if constexpr (metrics::kCompiled) metrics::flushThisThread();
 
-      std::lock_guard<std::mutex> lock(progressMutex);
+      const util::MutexLock lock(progressMutex);
       if (!ok) {
         expected = kRunning;
         if (cell.phase.compare_exchange_strong(expected, kFailed)) {
@@ -477,7 +477,7 @@ SweepResult SweepRunner::run() {
         const std::size_t slot = c % gridSize;
         const std::size_t ai = slot / riskCount;
         const std::size_t ui = slot % riskCount;
-        std::lock_guard<std::mutex> lock(progressMutex);
+        const util::MutexLock lock(progressMutex);
         failures.push_back({CellKey{rep, ai, ui}, spec_.accuracies[ai],
                             spec_.userRisks[ui],
                             "exceeded cell timeout (" +
@@ -512,7 +512,7 @@ SweepResult SweepRunner::run() {
         reason = std::string("task error: ") + err.what();
       } catch (...) {
       }
-      std::lock_guard<std::mutex> lock(progressMutex);
+      const util::MutexLock lock(progressMutex);
       failures.push_back({CellKey{rep, ai, ui}, spec_.accuracies[ai],
                           spec_.userRisks[ui], std::move(reason)});
     }

@@ -16,7 +16,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 void ThreadPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (stopping_ && workers_.empty()) return;  // already fully shut down
     stopping_ = true;
   }
@@ -35,8 +35,11 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      wake_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      util::MutexLock lock(mutex_);
+      // Explicit wait loop (not the predicate overload): the predicate
+      // lambda would read guarded members from a context the thread-
+      // safety analysis cannot attribute the lock to.
+      while (!stopping_ && queue_.empty()) wake_.wait(lock);
       // Drain the queue even when stopping: shutdown() promises that every
       // accepted task runs.
       if (queue_.empty()) return;

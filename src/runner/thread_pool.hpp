@@ -16,7 +16,6 @@
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <utility>
@@ -24,6 +23,7 @@
 
 #include "failpoint/failpoint.hpp"
 #include "util/error.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace pqos::runner {
 
@@ -57,7 +57,7 @@ class ThreadPool {
         });
     auto future = task->get_future();
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       require(!stopping_, "ThreadPool::submit: pool already shut down");
       queue_.emplace_back([task]() { (*task)(); });
     }
@@ -76,10 +76,12 @@ class ThreadPool {
   void workerLoop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  bool stopping_ = false;
+  util::Mutex mutex_;
+  std::deque<std::function<void()>> queue_ PQOS_GUARDED_BY(mutex_);
+  // condition_variable_any works with the annotated MutexLock (clang's
+  // thread-safety analysis cannot see through std::unique_lock).
+  std::condition_variable_any wake_;
+  bool stopping_ PQOS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace pqos::runner

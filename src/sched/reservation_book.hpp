@@ -17,8 +17,8 @@
 #pragma once
 
 #include <functional>
+#include <map>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/partition.hpp"
@@ -103,7 +103,10 @@ class ReservationBook {
   void insertInterval(NodeId node, Interval interval, bool allowTrim);
 
   std::vector<std::vector<Interval>> timelines_;  // sorted by start
-  std::unordered_map<JobId, std::vector<NodeId>> ownerNodes_;
+  // Ordered by JobId: prune() iterates this map, and iteration order in
+  // result-affecting code must be deterministic (pqos_analyze rule
+  // unordered-iter). Lookups are per-release/reserve, not hot.
+  std::map<JobId, std::vector<NodeId>> ownerNodes_;
 };
 
 }  // namespace pqos::sched

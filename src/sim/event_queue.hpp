@@ -65,7 +65,10 @@ class EventQueue {
   void dropDead();  // remove cancelled entries from the heap top
 
   std::vector<Entry> heap_;
-  std::unordered_map<EventId, EventFn> live_;
+  // Execution order comes from heap_ alone; live_ serves point lookups
+  // (schedule/cancel/pop) and is never iterated, so its hash order can
+  // never reach a result.
+  std::unordered_map<EventId, EventFn> live_;  // pqos-analyze: allow(unordered-iter): point lookups only, never iterated; firing order is decided by the (time, seq) heap
   std::uint64_t nextSeq_ = 1;  // 0 is kInvalidEvent
 };
 

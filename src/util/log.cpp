@@ -2,16 +2,20 @@
 
 #include <atomic>
 #include <iostream>
-#include <mutex>
+
+#include "util/thread_annotations.hpp"
 
 namespace pqos {
 
 namespace {
 // The level is atomic and each message is emitted under a mutex so that
 // experiment-runner workers logging concurrently cannot tear a line;
-// single-threaded callers pay one uncontended lock.
+// single-threaded callers pay one uncontended lock. The sink pointer is
+// the guarded state: formatting happens outside the lock, emission
+// inside it.
 std::atomic<LogLevel> g_level{LogLevel::Off};
-std::mutex g_outputMutex;
+util::Mutex g_outputMutex;
+std::ostream* g_sink PQOS_GUARDED_BY(g_outputMutex) = &std::cerr;
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -33,8 +37,8 @@ LogLevel logLevel() { return g_level.load(std::memory_order_relaxed); }
 
 void logMessage(LogLevel level, const std::string& message) {
   if (logLevel() < level || level == LogLevel::Off) return;
-  std::lock_guard<std::mutex> lock(g_outputMutex);
-  std::cerr << "[pqos " << levelName(level) << "] " << message << '\n';
+  const util::MutexLock lock(g_outputMutex);
+  *g_sink << "[pqos " << levelName(level) << "] " << message << '\n';
 }
 
 }  // namespace pqos

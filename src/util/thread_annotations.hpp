@@ -1,0 +1,118 @@
+// Clang thread-safety-analysis annotations and the annotated lock types
+// the whole tree uses (scripts/check.sh --tsa).
+//
+// Clang's -Wthread-safety turns lock discipline into a compile-time
+// property: data members declare which mutex guards them
+// (PQOS_GUARDED_BY), functions declare which locks they need
+// (PQOS_REQUIRES) or take (PQOS_ACQUIRE/PQOS_RELEASE), and the analysis
+// rejects any access path that can reach guarded state without the
+// capability. Under GCC (this repo's container toolchain) every macro
+// expands to nothing, so annotated and unannotated builds are the same
+// translation unit byte for byte — annotations can never change
+// behavior, only reject it.
+//
+// std::mutex and std::lock_guard carry no capability attributes in
+// libstdc++, so the analysis cannot see through them. The tree therefore
+// locks exclusively through the annotated wrappers below; the
+// `raw-mutex` rule in tools/pqos_analyze enforces that statically even
+// on machines without clang:
+//
+//   util::Mutex      an annotated std::mutex (a "mutex" capability)
+//   util::MutexLock  scoped acquire/release, usable with
+//                    std::condition_variable_any (public lock()/unlock()
+//                    for the wait-time release/re-acquire)
+//
+// Annotation guide (see also DESIGN.md §12):
+//   - Guard data, not code: put PQOS_GUARDED_BY(mutex_) on the members a
+//     mutex protects; clang then finds every unguarded access, including
+//     ones added later.
+//   - Private helpers that assume the caller holds the lock get
+//     PQOS_REQUIRES(mutex_) instead of re-locking.
+//   - Public entry points that take the lock themselves get
+//     PQOS_EXCLUDES(mutex_) so accidental re-entry deadlocks are caught
+//     at compile time.
+#pragma once
+
+#include <mutex>
+
+// Attributes are meaningful to clang only; GCC would warn about unknown
+// attributes, so they compile away entirely elsewhere.
+#if defined(__clang__)
+#define PQOS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define PQOS_THREAD_ANNOTATION(x)
+#endif
+
+/// Declares a class to be a lockable capability (clang tracks instances).
+#define PQOS_CAPABILITY(x) PQOS_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type whose lifetime holds a capability.
+#define PQOS_SCOPED_CAPABILITY PQOS_THREAD_ANNOTATION(scoped_lockable)
+
+/// Member may only be read/written while holding the named mutex.
+#define PQOS_GUARDED_BY(x) PQOS_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointee may only be accessed while holding the named mutex.
+#define PQOS_PT_GUARDED_BY(x) PQOS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the caller to already hold the listed locks.
+#define PQOS_REQUIRES(...) \
+  PQOS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed locks and holds them on return.
+#define PQOS_ACQUIRE(...) \
+  PQOS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed locks (which must be held on entry).
+#define PQOS_RELEASE(...) \
+  PQOS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function must NOT be called with the listed locks held (deadlock
+/// guard for public entry points that lock internally).
+#define PQOS_EXCLUDES(...) PQOS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot model; use sparingly and
+/// with a comment, like `// pqos-lint: allow(...)`.
+#define PQOS_NO_THREAD_SAFETY_ANALYSIS \
+  PQOS_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace pqos::util {
+
+/// std::mutex with clang capability annotations. The one sanctioned
+/// mutex type in src/ (tools/pqos_analyze rule `raw-mutex`).
+class PQOS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() PQOS_ACQUIRE() { mutex_.lock(); }
+  void unlock() PQOS_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock for Mutex (the annotated std::lock_guard). The public
+/// lock()/unlock() pair exists for std::condition_variable_any::wait,
+/// which releases and re-acquires the lock around the block; clang
+/// models wait() as holding the capability throughout, which matches
+/// the caller-visible contract.
+class PQOS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) PQOS_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() PQOS_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  void lock() PQOS_ACQUIRE() { mutex_.lock(); }
+  void unlock() PQOS_RELEASE() { mutex_.unlock(); }
+
+ private:
+  Mutex& mutex_;
+};
+
+}  // namespace pqos::util

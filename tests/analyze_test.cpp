@@ -1,0 +1,357 @@
+// pqos_analyze fixture suite: proves every analyzer rule fires on a
+// minimal offending tree and stays quiet on the equivalent clean tree.
+// Fixtures are in-memory path->contents maps fed to analyzeFiles(), so
+// the tests exercise exactly the code path the CLI uses minus disk I/O.
+//
+// The companion ctest `pqos_analyze_clean_tree` (tools/CMakeLists.txt)
+// runs the real binary over the real tree; together they pin both
+// directions: rules fire when they should, and the shipped tree is clean.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+
+namespace pqos::analyze {
+namespace {
+
+using FileMap = std::map<std::string, std::string>;
+
+std::vector<Finding> findingsFor(const Report& report,
+                                 const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : report.findings) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Layering
+
+TEST(AnalyzeLayering, CleanLayeredTreeHasNoFindings) {
+  const FileMap files = {
+      {"src/util/a.hpp", "#pragma once\nint a();\n"},
+      {"src/metrics/m.hpp", "#pragma once\n#include \"util/a.hpp\"\n"},
+      {"src/core/c.cpp",
+       "#include \"metrics/m.hpp\"\n#include \"util/a.hpp\"\n"},
+      {"bench/b.cpp", "#include \"metrics/m.hpp\"\n"},
+  };
+  const Report report = analyzeFiles(files);
+  EXPECT_EQ(report.findings.size(), 0u) << report.findings[0].message;
+  EXPECT_EQ(report.filesScanned, 4u);
+  EXPECT_EQ(report.includeEdges, 4u);
+}
+
+TEST(AnalyzeLayering, IncludeCycleIsDetectedOnce) {
+  const FileMap files = {
+      {"src/core/a.hpp", "#pragma once\n#include \"core/b.hpp\"\n"},
+      {"src/core/b.hpp", "#pragma once\n#include \"core/c.hpp\"\n"},
+      {"src/core/c.hpp", "#pragma once\n#include \"core/a.hpp\"\n"},
+  };
+  const auto cycles = findingsFor(analyzeFiles(files), "include-cycle");
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].file, "src/core/c.hpp");
+  EXPECT_EQ(cycles[0].line, 2);
+  EXPECT_NE(cycles[0].message.find("src/core/a.hpp -> src/core/b.hpp -> "
+                                   "src/core/c.hpp -> src/core/a.hpp"),
+            std::string::npos);
+}
+
+TEST(AnalyzeLayering, UpwardIncludeIsDetected) {
+  const FileMap files = {
+      {"src/core/sim.hpp", "#pragma once\n"},
+      {"src/util/helper.cpp", "#include \"core/sim.hpp\"\n"},
+  };
+  const auto ups = findingsFor(analyzeFiles(files), "upward-include");
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0].file, "src/util/helper.cpp");
+  EXPECT_EQ(ups[0].line, 1);
+}
+
+TEST(AnalyzeLayering, UndeclaredCrossLayerEdgeIsDetected) {
+  // cluster and ckpt are unrelated siblings: neither reaches the other.
+  const FileMap files = {
+      {"src/ckpt/p.hpp", "#pragma once\n"},
+      {"src/cluster/t.cpp", "#include \"ckpt/p.hpp\"\n"},
+  };
+  const auto edges = findingsFor(analyzeFiles(files), "undeclared-edge");
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_NE(edges[0].message.find("declares no dependency on 'ckpt'"),
+            std::string::npos);
+}
+
+TEST(AnalyzeLayering, TransitiveReachabilityIsLegal) {
+  // sched declares predict; predict declares failure; sched -> failure
+  // is therefore a legal (transitively declared) include.
+  const FileMap files = {
+      {"src/failure/f.hpp", "#pragma once\n"},
+      {"src/sched/s.cpp", "#include \"failure/f.hpp\"\n"},
+  };
+  EXPECT_TRUE(analyzeFiles(files).findings.empty());
+  EXPECT_TRUE(layerReachable("sched", "failure"));
+  EXPECT_FALSE(layerReachable("failure", "sched"));
+}
+
+TEST(AnalyzeLayering, FailpointExemptionIsFilePairNarrow) {
+  const FileMap files = {
+      {"src/util/error.hpp", "#pragma once\n"},
+      {"src/util/log.hpp", "#pragma once\n"},
+      {"src/failpoint/fp.cpp",
+       "#include \"util/error.hpp\"\n#include \"util/log.hpp\"\n"},
+  };
+  const Report report = analyzeFiles(files);
+  // error.hpp is exempt; log.hpp is an upward include (util sits above
+  // failpoint, which declares no deps at all).
+  const auto ups = findingsFor(report, "upward-include");
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0].line, 2);
+  EXPECT_TRUE(edgeExempt("failpoint", "src/util/error.hpp"));
+  EXPECT_FALSE(edgeExempt("failpoint", "src/util/log.hpp"));
+}
+
+TEST(AnalyzeLayering, UnknownSrcDirectoryIsAFinding) {
+  const FileMap files = {{"src/newthing/x.hpp", "#pragma once\n"}};
+  const auto unknown = findingsFor(analyzeFiles(files), "unknown-layer");
+  ASSERT_EQ(unknown.size(), 1u);
+  EXPECT_NE(unknown[0].message.find("newthing"), std::string::npos);
+}
+
+TEST(AnalyzeLayering, ReplayFilesAreTheTraceReplayLayer) {
+  EXPECT_EQ(layerOf("src/trace/replay.hpp"), "trace_replay");
+  EXPECT_EQ(layerOf("src/trace/replay.cpp"), "trace_replay");
+  EXPECT_EQ(layerOf("src/trace/recorder.hpp"), "trace");
+  EXPECT_EQ(layerOf("bench/harness.hpp"), "bench");
+  EXPECT_EQ(layerOf("examples/quickstart.cpp"), "examples");
+  EXPECT_EQ(layerOf("tools/pqos_analyze.cpp"), "");
+  // The override is what lets replay include core without an upward
+  // finding while the rest of trace stays below sim.
+  const FileMap files = {
+      {"src/core/simulator.hpp", "#pragma once\n"},
+      {"src/trace/replay.cpp", "#include \"core/simulator.hpp\"\n"},
+  };
+  EXPECT_TRUE(analyzeFiles(files).findings.empty());
+}
+
+TEST(AnalyzeLayering, ContinuationSplitIncludeIsStillSeen) {
+  const FileMap files = {
+      {"src/core/a.hpp", "#pragma once\n"},
+      {"src/util/u.cpp", "#include \\\n\"core/a.hpp\"\n"},
+  };
+  const auto ups = findingsFor(analyzeFiles(files), "upward-include");
+  ASSERT_EQ(ups.size(), 1u);
+  EXPECT_EQ(ups[0].line, 1);  // logical line of the directive
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: unordered-iter
+
+TEST(AnalyzeUnordered, TypeOccurrenceNeedsJustifiedAllow) {
+  const FileMap files = {
+      {"src/util/t.hpp",
+       "#pragma once\n#include <unordered_map>\n"
+       "std::unordered_map<int, int> bare;\n"
+       "std::unordered_map<int, int> fine;  "
+       "// pqos-analyze: allow(unordered-iter): lookups only\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 3);
+}
+
+TEST(AnalyzeUnordered, RangeForOverTrackedNameFires) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "std::unordered_set<int> s;  "
+       "// pqos-analyze: allow(unordered-iter): decl site reviewed\n"
+       "int f() { int n = 0; for (int v : s) n += v; return n; }\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].line, 2);
+  EXPECT_NE(hits[0].message.find("range-for over 's'"), std::string::npos);
+}
+
+TEST(AnalyzeUnordered, ClassicForWithTernaryColonDoesNotFire) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "std::unordered_set<int> s;  "
+       "// pqos-analyze: allow(unordered-iter): decl site reviewed\n"
+       "int f(bool b) { int n = 0; "
+       "for (int i = b ? 1 : 2; i < 4; ++i) n += i; return n; }\n"}};
+  EXPECT_TRUE(findingsFor(analyzeFiles(files), "unordered-iter").empty());
+}
+
+TEST(AnalyzeUnordered, IteratorWalkFires) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "std::unordered_map<int, int> m;  "
+       "// pqos-analyze: allow(unordered-iter): decl site reviewed\n"
+       "auto f() { return m.begin(); }\n"
+       "auto g(std::unordered_map<int, int>* pm) { return pm->cbegin(); }\n"
+       "// pointer param above is tracked too ^\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "unordered-iter");
+  // Line 3 carries two findings: the unannotated parameter occurrence
+  // plus the ->cbegin() walk over it.
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_NE(hits[0].message.find(".begin()"), std::string::npos);
+  EXPECT_NE(hits[2].message.find(".cbegin()"), std::string::npos);
+}
+
+TEST(AnalyzeUnordered, TrackingCrossesDirectIncludes) {
+  // Member declared in the header, iterated in the .cpp: the analyzer
+  // merges tracked names from directly included repo headers.
+  const FileMap files = {
+      {"src/sched/book.hpp",
+       "#pragma once\n#include <unordered_map>\n"
+       "std::unordered_map<long, int> owners_;  "
+       "// pqos-analyze: allow(unordered-iter): decl reviewed\n"},
+      {"src/sched/book.cpp",
+       "#include \"sched/book.hpp\"\n"
+       "int prune() { int n = 0; for (auto& [k, v] : owners_) n += v; "
+       "return n; }\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "unordered-iter");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].file, "src/sched/book.cpp");
+  EXPECT_EQ(hits[0].line, 2);
+}
+
+TEST(AnalyzeUnordered, CommentsStringsAndMacrosDoNotFire) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "// a comment about std::unordered_map iteration\n"
+       "/* block comment: unordered_set too */\n"
+       "const char* s = \"std::unordered_map<int,int> fake\";\n"
+       "const char* r = R\"(for (auto x : unordered_thing))\";\n"
+       "#define PICK_MAP std::unordered_map\n"}};
+  EXPECT_TRUE(analyzeFiles(files).findings.empty());
+}
+
+TEST(AnalyzeUnordered, BenchAndExamplesAreOutOfScope) {
+  const FileMap files = {
+      {"bench/b.cpp", "std::unordered_map<int, int> scratch;\n"},
+      {"examples/e.cpp", "std::unordered_set<int> scratch;\n"}};
+  EXPECT_TRUE(analyzeFiles(files).findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Determinism: pointer-ordering
+
+TEST(AnalyzePointer, PointerKeyedOrderedContainersFire) {
+  const FileMap files = {
+      {"src/util/t.hpp",
+       "#pragma once\n#include <map>\n"
+       "std::map<int*, int> byPtr;\n"
+       "std::set<const char*> names;\n"
+       "std::less<void*> cmp;\n"
+       "std::map<int, int*> valuesAreFine;\n"
+       "std::greater<> transparentIsFine;\n"
+       "std::map<int*, int> reviewed;  "
+       "// pqos-analyze: allow(pointer-ordering): arena offsets, stable\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "pointer-ordering");
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].line, 3);
+  EXPECT_EQ(hits[1].line, 4);
+  EXPECT_EQ(hits[2].line, 5);
+}
+
+// ---------------------------------------------------------------------------
+// Lock discipline: raw-mutex
+
+TEST(AnalyzeRawMutex, StdLockVocabularyFiresOutsideWrapper) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "std::mutex m;\n"
+       "void f() { std::lock_guard<std::mutex> g(m); }\n"
+       "std::condition_variable cv;\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "raw-mutex");
+  // line 2 carries two findings: lock_guard and the nested std::mutex.
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits[0].line, 1);
+  EXPECT_EQ(hits[3].line, 3);
+}
+
+TEST(AnalyzeRawMutex, WrapperHeaderAndAnnotatedTypesAreClean) {
+  const FileMap files = {
+      {"src/util/thread_annotations.hpp",
+       "#pragma once\n#include <mutex>\nstd::mutex inner;\n"},
+      {"src/util/t.cpp",
+       "#include \"util/thread_annotations.hpp\"\n"
+       "util::Mutex m;\nstd::condition_variable_any cv;\n"}};
+  EXPECT_TRUE(findingsFor(analyzeFiles(files), "raw-mutex").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Allow-note hygiene
+
+TEST(AnalyzeAllow, MissingJustificationIsMalformedAndDoesNotSuppress) {
+  const FileMap files = {
+      {"src/util/t.hpp",
+       "#pragma once\n"
+       "std::unordered_map<int, int> m;  "
+       "// pqos-analyze: allow(unordered-iter)\n"}};
+  const Report report = analyzeFiles(files);
+  EXPECT_EQ(findingsFor(report, "malformed-allow").size(), 1u);
+  EXPECT_EQ(findingsFor(report, "unordered-iter").size(), 1u);
+}
+
+TEST(AnalyzeAllow, UnknownRuleNameIsMalformed) {
+  const FileMap files = {
+      {"src/util/t.cpp",
+       "int x;  // pqos-analyze: allow(upward-include): layering is not "
+       "suppressible\n"}};
+  const auto hits = findingsFor(analyzeFiles(files), "malformed-allow");
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_NE(hits[0].message.find("upward-include"), std::string::npos);
+}
+
+TEST(AnalyzeAllow, TagWithoutAllowClauseIsMalformed) {
+  const FileMap files = {
+      {"src/util/t.cpp", "int x;  // pqos-analyze: allowed(everything)\n"}};
+  EXPECT_EQ(findingsFor(analyzeFiles(files), "malformed-allow").size(), 1u);
+}
+
+TEST(AnalyzeAllow, MultiRuleNoteSuppressesEachNamedRule) {
+  const FileMap files = {
+      {"src/util/t.hpp",
+       "#pragma once\n"
+       "std::unordered_map<int*, int> m;  // pqos-analyze: "
+       "allow(unordered-iter, pointer-ordering): lookups only and keys are "
+       "interned\n"}};
+  // Note: unordered_map is hash-based, so pointer-ordering does not even
+  // apply; the note still parses and suppresses the occurrence finding.
+  EXPECT_TRUE(analyzeFiles(files).findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Report plumbing
+
+TEST(AnalyzeReport, FindingsAreSortedDeterministically) {
+  const FileMap files = {
+      {"src/util/z.cpp", "std::mutex b;\nstd::mutex a;\n"},
+      {"src/util/a.cpp", "std::mutex c;\n"}};
+  const Report report = analyzeFiles(files);
+  ASSERT_EQ(report.findings.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      report.findings.begin(), report.findings.end(),
+      [](const Finding& x, const Finding& y) {
+        return std::tie(x.file, x.line) < std::tie(y.file, y.line);
+      }));
+  EXPECT_EQ(report.findings[0].file, "src/util/a.cpp");
+}
+
+TEST(AnalyzeReport, LayerGraphIsAcyclicAndCoversKnownLayers) {
+  for (const auto& [layer, deps] : layerGraph()) {
+    for (const std::string& dep : deps) {
+      EXPECT_FALSE(layer != dep && layerReachable(dep, layer))
+          << "declared cycle: " << layer << " <-> " << dep;
+    }
+  }
+  EXPECT_TRUE(layerReachable("fabric", "failpoint"));  // full-depth chain
+  EXPECT_TRUE(layerReachable("bench", "trace_replay"));
+}
+
+}  // namespace
+}  // namespace pqos::analyze

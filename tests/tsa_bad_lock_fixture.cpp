@@ -1,0 +1,37 @@
+// Deliberately broken lock discipline. This file is NOT part of any test
+// binary (the tests/ glob only picks up *_test.cpp): scripts/check.sh
+// --tsa compiles it with clang -Wthread-safety -Werror and requires the
+// compile to FAIL. That proves the thread-safety stage actually detects
+// violations — a stage that silently passes everything (wrong flags,
+// annotations compiled out) fails check.sh, not just the bad code.
+//
+// Expected diagnostics (clang only; GCC compiles this cleanly because
+// the PQOS_* annotation macros expand to nothing there):
+//   - readNoLock/writeNoLock: accessing `counter` without holding `mu`
+//   - doubleLock: acquiring `mu` twice
+//   - forgetUnlock: failing to release `mu` on return
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+pqos::util::Mutex mu;
+int counter PQOS_GUARDED_BY(mu) = 0;
+
+}  // namespace
+
+int readNoLock() { return counter; }
+
+void writeNoLock(int v) { counter = v; }
+
+void doubleLock() {
+  mu.lock();
+  mu.lock();
+  counter = 1;
+  mu.unlock();
+  mu.unlock();
+}
+
+int forgetUnlock() {
+  mu.lock();
+  return counter;
+}

@@ -1,0 +1,602 @@
+#include "analyze/analyzer.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace pqos::analyze {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Rules a `pqos-analyze: allow(...)` note may suppress. Layering rules
+// are intentionally absent — see analyzer.hpp.
+const std::set<std::string>& suppressibleRules() {
+  static const std::set<std::string> kRules = {
+      "unordered-iter", "pointer-ordering", "raw-mutex"};
+  return kRules;
+}
+
+struct AnalyzedFile {
+  LexedFile lex;
+  // Resolved in-repo include edges: (target path, directive line).
+  std::vector<std::pair<std::string, int>> edges;
+  // Names this file declares with an unordered container type.
+  std::set<std::string> unorderedNames;
+};
+
+using Tree = std::map<std::string, AnalyzedFile>;
+
+// ---------------------------------------------------------------------------
+// Layer graph
+
+const std::vector<std::string>& allSrcLayers() {
+  static const std::vector<std::string> kLayers = {
+      "failpoint", "util",    "metrics", "trace",  "cluster", "workload",
+      "failure",   "sim",     "predict", "health", "ckpt",    "sched",
+      "core",      "trace_replay", "runner", "fabric"};
+  return kLayers;
+}
+
+}  // namespace
+
+const std::map<std::string, std::vector<std::string>>& layerGraph() {
+  // Direct dependencies only; legality is the transitive closure. The
+  // graph mirrors the link graph in src/CMakeLists.txt — an include edge
+  // the linker would reject should fail here first, with a file:line.
+  static const std::map<std::string, std::vector<std::string>> kGraph = {
+      // failpoint is the bottom: fault-injection sites must be available
+      // everywhere, including inside util itself. Its two header-only
+      // util includes are file-pair exemptions, not edges.
+      {"failpoint", {}},
+      {"util", {"failpoint"}},
+      {"metrics", {"util"}},
+      {"trace", {"util", "metrics"}},
+      {"cluster", {"util"}},
+      {"workload", {"util", "metrics"}},
+      {"failure", {"util"}},
+      {"sim", {"util", "metrics", "trace"}},
+      {"predict", {"util", "metrics", "failure"}},
+      {"health", {"util", "failure", "predict"}},
+      {"ckpt", {"util"}},
+      {"sched", {"util", "metrics", "cluster", "predict"}},
+      // core is the aggregation layer: the simulator wires every
+      // substrate together, so its direct-dep list is deliberately wide.
+      {"core",
+       {"sim", "sched", "ckpt", "predict", "failure", "workload", "trace",
+        "cluster", "util", "metrics"}},
+      // trace/replay.* is the replay *verifier*: it re-runs experiments
+      // through core, so it sits above core despite living in src/trace/.
+      {"trace_replay", {"trace", "core"}},
+      {"runner", {"core"}},
+      {"fabric", {"runner"}},
+      {"bench", allSrcLayers()},
+      {"examples", allSrcLayers()},
+  };
+  return kGraph;
+}
+
+std::string layerOf(const std::string& path) {
+  if (path == "src/trace/replay.hpp" || path == "src/trace/replay.cpp") {
+    return "trace_replay";
+  }
+  if (path.rfind("src/", 0) == 0) {
+    const std::size_t slash = path.find('/', 4);
+    if (slash == std::string::npos) return "";
+    return path.substr(4, slash - 4);
+  }
+  if (path.rfind("bench/", 0) == 0) return "bench";
+  if (path.rfind("examples/", 0) == 0) return "examples";
+  return "";
+}
+
+bool layerReachable(const std::string& from, const std::string& to) {
+  if (from == to) return true;
+  const auto& graph = layerGraph();
+  std::set<std::string> seen{from};
+  std::deque<std::string> queue{from};
+  while (!queue.empty()) {
+    const std::string layer = queue.front();
+    queue.pop_front();
+    const auto it = graph.find(layer);
+    if (it == graph.end()) continue;
+    for (const std::string& dep : it->second) {
+      if (dep == to) return true;
+      if (seen.insert(dep).second) queue.push_back(dep);
+    }
+  }
+  return false;
+}
+
+bool edgeExempt(const std::string& fromLayer, const std::string& toPath) {
+  // failpoint -> util: error.hpp (require/ConfigError for site validation)
+  // and rng.hpp (deterministic per-site RNG) are header-only with no link
+  // dependency; inlining copies was judged worse than a reviewed knot.
+  static const std::set<std::pair<std::string, std::string>> kExempt = {
+      {"failpoint", "src/util/error.hpp"},
+      {"failpoint", "src/util/rng.hpp"},
+  };
+  return kExempt.count({fromLayer, toPath}) != 0;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+[[nodiscard]] std::string dirName(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+// Quoted-include resolution: src/-anchored first (the tree's include
+// style), then includer-relative (bench/harness.hpp). Unresolved quoted
+// includes are generated or external headers — out of scope.
+[[nodiscard]] std::string resolveInclude(const std::string& includer,
+                                         const std::string& target,
+                                         const Tree& tree) {
+  const std::string srcAnchored = "src/" + target;
+  if (tree.count(srcAnchored) != 0) return srcAnchored;
+  const std::string dir = dirName(includer);
+  const std::string relative = dir.empty() ? target : dir + "/" + target;
+  if (tree.count(relative) != 0) return relative;
+  return "";
+}
+
+[[nodiscard]] bool isSrcFile(const std::string& path) {
+  return path.rfind("src/", 0) == 0;
+}
+
+// True when a well-formed allow note for `rule` covers `line`.
+[[nodiscard]] bool allowedAt(const LexedFile& lex, int line,
+                             const std::string& rule) {
+  for (const AllowNote& note : lex.allows) {
+    if (note.line != line) continue;
+    if (note.justification.empty()) continue;  // malformed: no suppression
+    if (std::find(note.rules.begin(), note.rules.end(), rule) !=
+        note.rules.end()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+[[nodiscard]] bool isPunct(const Token& tok, std::string_view text) {
+  return tok.kind == Token::Kind::kPunct && tok.text == text;
+}
+
+// True when tokens[i] is `name` qualified as std::name.
+[[nodiscard]] bool stdQualified(const std::vector<Token>& tokens,
+                                std::size_t i) {
+  return i >= 2 && isPunct(tokens[i - 1], "::") &&
+         tokens[i - 2].kind == Token::Kind::kIdent &&
+         tokens[i - 2].text == "std";
+}
+
+void addFinding(std::vector<Finding>& findings, const std::string& file,
+                int line, std::string rule, std::string message) {
+  findings.push_back(
+      Finding{file, line, std::move(rule), std::move(message)});
+}
+
+// ---------------------------------------------------------------------------
+// Rule: malformed-allow
+
+void checkAllowNotes(const AnalyzedFile& file, const std::string& path,
+                     std::vector<Finding>& findings) {
+  for (const AllowNote& note : file.lex.allows) {
+    if (note.rules.empty()) {
+      addFinding(findings, path, note.line, "malformed-allow",
+                 "pqos-analyze note without allow(rule, ...): suppression "
+                 "must name the rules it covers");
+      continue;
+    }
+    for (const std::string& rule : note.rules) {
+      if (suppressibleRules().count(rule) == 0) {
+        addFinding(findings, path, note.line, "malformed-allow",
+                   "allow() names unknown or non-suppressible rule '" + rule +
+                       "'");
+      }
+    }
+    if (note.justification.empty()) {
+      addFinding(findings, path, note.line, "malformed-allow",
+                 "allow(" + note.rules.front() +
+                     ") without a justification: write `allow(rule): why "
+                     "this is safe`");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering rules
+
+void checkLayerEdges(const Tree& tree, std::vector<Finding>& findings) {
+  const auto& graph = layerGraph();
+  for (const auto& [path, file] : tree) {
+    const std::string fromLayer = layerOf(path);
+    if (fromLayer.empty()) continue;
+    if (graph.count(fromLayer) == 0) {
+      addFinding(findings, path, 1, "unknown-layer",
+                 "directory '" + fromLayer +
+                     "' is not declared in the layer graph (tools/analyze/"
+                     "analyzer.cpp); declare its dependencies first");
+      continue;
+    }
+    for (const auto& [target, line] : file.edges) {
+      const std::string toLayer = layerOf(target);
+      if (toLayer == fromLayer) continue;
+      if (graph.count(toLayer) == 0) {
+        addFinding(findings, path, line, "unknown-layer",
+                   "includes '" + target + "' in undeclared layer '" +
+                       toLayer + "'");
+        continue;
+      }
+      if (edgeExempt(fromLayer, target)) continue;
+      if (layerReachable(fromLayer, toLayer)) continue;
+      if (layerReachable(toLayer, fromLayer)) {
+        addFinding(findings, path, line, "upward-include",
+                   "includes '" + target + "': layer '" + toLayer +
+                       "' sits above '" + fromLayer +
+                       "' in the layer graph");
+      } else {
+        std::string deps;
+        for (const std::string& dep : graph.at(fromLayer)) {
+          if (!deps.empty()) deps += ", ";
+          deps += dep;
+        }
+        addFinding(findings, path, line, "undeclared-edge",
+                   "includes '" + target + "': layer '" + fromLayer +
+                       "' declares no dependency on '" + toLayer +
+                       "' (direct deps: " +
+                       (deps.empty() ? std::string("none") : deps) + ")");
+      }
+    }
+  }
+}
+
+// DFS back-edge detection over the file include graph. Deterministic:
+// files visit in sorted order, edges in directive order, and each cycle
+// reports exactly once (at the back edge that closes it).
+void checkIncludeCycles(const Tree& tree, std::vector<Finding>& findings) {
+  enum class Color { kWhite, kGrey, kBlack };
+  std::map<std::string, Color> color;
+  for (const auto& [path, file] : tree) color[path] = Color::kWhite;
+  std::vector<std::string> stack;
+
+  // Iterative DFS with an explicit frame stack: include chains are short,
+  // but a cycle fixture must not be able to overflow the C++ stack.
+  struct Frame {
+    const std::string* path;
+    std::size_t next = 0;
+  };
+  for (const auto& [root, rootFile] : tree) {
+    (void)rootFile;
+    if (color[root] != Color::kWhite) continue;
+    std::vector<Frame> frames;
+    frames.push_back(Frame{&root});
+    color[root] = Color::kGrey;
+    stack.push_back(root);
+    while (!frames.empty()) {
+      Frame& frame = frames.back();
+      const AnalyzedFile& file = tree.at(*frame.path);
+      if (frame.next >= file.edges.size()) {
+        color[*frame.path] = Color::kBlack;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const auto& [target, line] = file.edges[frame.next];
+      ++frame.next;
+      const auto state = color.find(target);
+      if (state == color.end()) continue;  // edge into an unscanned file
+      if (state->second == Color::kGrey) {
+        const auto begin =
+            std::find(stack.begin(), stack.end(), target);
+        std::string chain;
+        for (auto it = begin; it != stack.end(); ++it) {
+          chain += *it + " -> ";
+        }
+        chain += target;
+        addFinding(findings, *frame.path, line, "include-cycle",
+                   "include cycle: " + chain);
+      } else if (state->second == Color::kWhite) {
+        state->second = Color::kGrey;
+        stack.push_back(target);
+        frames.push_back(Frame{&tree.find(target)->first});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism rules
+
+const std::set<std::string>& unorderedTypes() {
+  static const std::set<std::string> kTypes = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kTypes;
+}
+
+// Collects names declared with an unordered container type: after the
+// type's template argument list, the first identifier (skipping cv/ref
+// punctuation) is taken as the declared name. Parameters count too — an
+// unordered_map parameter iterated in a free function is just as
+// nondeterministic as a member.
+void collectUnorderedNames(AnalyzedFile& file) {
+  const std::vector<Token>& tokens = file.lex.tokens;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        unorderedTypes().count(tokens[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < tokens.size() && isPunct(tokens[j], "<")) {
+      int depth = 1;
+      ++j;
+      while (j < tokens.size() && depth > 0) {
+        if (isPunct(tokens[j], "<")) ++depth;
+        if (isPunct(tokens[j], ">")) --depth;
+        ++j;
+      }
+    }
+    while (j < tokens.size() &&
+           (isPunct(tokens[j], "&") || isPunct(tokens[j], "*") ||
+            (tokens[j].kind == Token::Kind::kIdent &&
+             tokens[j].text == "const"))) {
+      ++j;
+    }
+    if (j < tokens.size() && tokens[j].kind == Token::Kind::kIdent) {
+      file.unorderedNames.insert(tokens[j].text);
+    }
+  }
+}
+
+void checkUnorderedIter(const Tree& tree, const std::string& path,
+                        std::vector<Finding>& findings) {
+  const AnalyzedFile& file = tree.at(path);
+  const std::vector<Token>& tokens = file.lex.tokens;
+
+  // Tracked names: declared here or in a directly included repo header —
+  // the member-declared-in-.hpp, iterated-in-.cpp case.
+  std::set<std::string> tracked = file.unorderedNames;
+  for (const auto& [target, line] : file.edges) {
+    (void)line;
+    const auto it = tree.find(target);
+    if (it != tree.end()) {
+      tracked.insert(it->second.unorderedNames.begin(),
+                     it->second.unorderedNames.end());
+    }
+  }
+
+  // (1) Type occurrences: every unordered container spelling needs a
+  // justified allow. The declaration is where the reviewer decides the
+  // container can never leak hash order into a result.
+  for (const Token& tok : tokens) {
+    if (tok.kind != Token::Kind::kIdent ||
+        unorderedTypes().count(tok.text) == 0) {
+      continue;
+    }
+    if (allowedAt(file.lex, tok.line, "unordered-iter")) continue;
+    addFinding(findings, path, tok.line, "unordered-iter",
+               "'" + tok.text +
+                   "' in a result-affecting layer: hash iteration order is "
+                   "nondeterministic; use an ordered container or add "
+                   "`// pqos-analyze: allow(unordered-iter): <why no "
+                   "iteration order can reach a result>`");
+  }
+
+  // (2) Range-for over a tracked unordered name.
+  for (std::size_t i = 0; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent || tokens[i].text != "for" ||
+        !isPunct(tokens[i + 1], "(")) {
+      continue;
+    }
+    int depth = 1;
+    std::size_t j = i + 2;
+    std::size_t colon = 0;
+    while (j < tokens.size() && depth > 0) {
+      if (isPunct(tokens[j], "(")) ++depth;
+      if (isPunct(tokens[j], ")")) --depth;
+      if (depth == 1 && isPunct(tokens[j], ";")) break;  // classic for
+      if (depth == 1 && isPunct(tokens[j], ":")) {
+        colon = j;
+        break;
+      }
+      ++j;
+    }
+    if (colon == 0) continue;
+    depth = 1;
+    for (j = colon + 1; j < tokens.size() && depth > 0; ++j) {
+      if (isPunct(tokens[j], "(")) ++depth;
+      if (isPunct(tokens[j], ")")) {
+        --depth;
+        continue;
+      }
+      if (tokens[j].kind == Token::Kind::kIdent &&
+          tracked.count(tokens[j].text) != 0) {
+        if (!allowedAt(file.lex, tokens[j].line, "unordered-iter") &&
+            !allowedAt(file.lex, tokens[i].line, "unordered-iter")) {
+          addFinding(findings, path, tokens[j].line, "unordered-iter",
+                     "range-for over '" + tokens[j].text +
+                         "', declared as an unordered container: iteration "
+                         "order is hash-order");
+        }
+      }
+    }
+  }
+
+  // (3) Explicit iterator walks: tracked.begin() and friends.
+  static const std::set<std::string> kBeginFamily = {"begin", "cbegin",
+                                                     "rbegin", "crbegin"};
+  for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        kBeginFamily.count(tokens[i].text) == 0 ||
+        !isPunct(tokens[i + 1], "(")) {
+      continue;
+    }
+    const bool memberAccess =
+        isPunct(tokens[i - 1], ".") ||
+        (isPunct(tokens[i - 1], ">") && isPunct(tokens[i - 2], "-"));
+    if (!memberAccess) continue;
+    const std::size_t objIndex = isPunct(tokens[i - 1], ".") ? i - 2 : i - 3;
+    if (objIndex >= tokens.size()) continue;  // wrapped (tiny i); skip
+    const Token& obj = tokens[objIndex];
+    if (obj.kind != Token::Kind::kIdent || tracked.count(obj.text) == 0) {
+      continue;
+    }
+    if (allowedAt(file.lex, tokens[i].line, "unordered-iter")) continue;
+    addFinding(findings, path, tokens[i].line, "unordered-iter",
+               "iterator walk over '" + obj.text +
+                   "' (." + tokens[i].text +
+                   "()), declared as an unordered container");
+  }
+}
+
+void checkPointerOrdering(const AnalyzedFile& file, const std::string& path,
+                          std::vector<Finding>& findings) {
+  static const std::set<std::string> kOrderedTemplates = {
+      "map", "set", "multimap", "multiset", "less", "greater"};
+  const std::vector<Token>& tokens = file.lex.tokens;
+  for (std::size_t i = 2; i + 1 < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        kOrderedTemplates.count(tokens[i].text) == 0 ||
+        !stdQualified(tokens, i) || !isPunct(tokens[i + 1], "<")) {
+      continue;
+    }
+    // First template argument: tokens until `,` or the closing `>` at
+    // this nesting level. A trailing `*` makes the key a raw pointer —
+    // address order, i.e. allocator order, i.e. nondeterminism.
+    int depth = 1;
+    const Token* last = nullptr;
+    for (std::size_t j = i + 2; j < tokens.size(); ++j) {
+      if (isPunct(tokens[j], "<")) ++depth;
+      if (isPunct(tokens[j], ">")) {
+        --depth;
+        if (depth == 0) break;
+      }
+      if (depth == 1 && isPunct(tokens[j], ",")) break;
+      last = &tokens[j];
+    }
+    if (last == nullptr || !isPunct(*last, "*")) continue;
+    if (allowedAt(file.lex, tokens[i].line, "pointer-ordering")) continue;
+    addFinding(findings, path, tokens[i].line, "pointer-ordering",
+               "std::" + tokens[i].text +
+                   " ordered on a pointer type: pointer comparison order "
+                   "is allocation order, which is not reproducible");
+  }
+}
+
+void checkRawMutex(const AnalyzedFile& file, const std::string& path,
+                   std::vector<Finding>& findings) {
+  if (path == "src/util/thread_annotations.hpp") return;  // the wrapper
+  static const std::set<std::string> kRawLockTypes = {
+      "mutex",        "timed_mutex",        "recursive_mutex",
+      "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+      "lock_guard",   "unique_lock",        "scoped_lock",
+      "condition_variable"};
+  const std::vector<Token>& tokens = file.lex.tokens;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    if (tokens[i].kind != Token::Kind::kIdent ||
+        kRawLockTypes.count(tokens[i].text) == 0 ||
+        !stdQualified(tokens, i)) {
+      continue;
+    }
+    if (allowedAt(file.lex, tokens[i].line, "raw-mutex")) continue;
+    addFinding(findings, path, tokens[i].line, "raw-mutex",
+               "std::" + tokens[i].text +
+                   " is invisible to clang -Wthread-safety; use the "
+                   "annotated util::Mutex / util::MutexLock "
+                   "(util/thread_annotations.hpp). std::condition_variable_"
+                   "any works with util::Mutex directly");
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Driver
+
+Report analyzeFiles(const std::map<std::string, std::string>& files) {
+  Tree tree;
+  for (const auto& [path, contents] : files) {
+    AnalyzedFile file;
+    file.lex = lexFile(path, contents);
+    tree.emplace(path, std::move(file));
+  }
+  Report report;
+  report.filesScanned = tree.size();
+  for (auto& [path, file] : tree) {
+    for (const IncludeDirective& inc : file.lex.includes) {
+      if (inc.angled) continue;  // system headers are out of scope
+      const std::string target = resolveInclude(path, inc.target, tree);
+      if (target.empty()) continue;
+      file.edges.emplace_back(target, inc.line);
+      ++report.includeEdges;
+    }
+    collectUnorderedNames(file);
+  }
+
+  checkLayerEdges(tree, report.findings);
+  checkIncludeCycles(tree, report.findings);
+  for (const auto& [path, file] : tree) {
+    checkAllowNotes(file, path, report.findings);
+    if (!isSrcFile(path)) continue;  // determinism rules: src/ only
+    checkUnorderedIter(tree, path, report.findings);
+    checkPointerOrdering(file, path, report.findings);
+    checkRawMutex(file, path, report.findings);
+  }
+
+  std::sort(report.findings.begin(), report.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return report;
+}
+
+std::vector<std::string> collectSources(const std::string& root) {
+  std::vector<std::string> sources;
+  const fs::path base(root);
+  for (const char* top : {"src", "bench", "examples"}) {
+    const fs::path dir = base / top;
+    if (!fs::is_directory(dir)) {
+      throw std::runtime_error("pqos_analyze: '" + dir.string() +
+                               "' is not a directory (is --root the repo "
+                               "root?)");
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".hpp" && ext != ".cpp") continue;
+      sources.push_back(
+          entry.path().lexically_relative(base).generic_string());
+    }
+  }
+  std::sort(sources.begin(), sources.end());
+  return sources;
+}
+
+Report analyzeTree(const std::string& root) {
+  std::map<std::string, std::string> files;
+  const fs::path base(root);
+  for (const std::string& rel : collectSources(root)) {
+    std::ifstream in(base / rel, std::ios::binary);
+    if (!in.is_open()) {
+      throw std::runtime_error("pqos_analyze: cannot read " + rel);
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    files.emplace(rel, buffer.str());
+  }
+  return analyzeFiles(files);
+}
+
+}  // namespace pqos::analyze

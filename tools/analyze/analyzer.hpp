@@ -1,0 +1,96 @@
+// pqos_analyze: repo-local static analysis over the include graph and
+// token stream produced by analyze/lexer.hpp.
+//
+// Three rule families (full catalogue in DESIGN.md §12):
+//
+// Layering — the subsystem DAG under src/ is *declared* here (layerGraph)
+// and enforced against every quoted #include:
+//   include-cycle    file-level include cycles (DFS back edge)
+//   upward-include   layer X includes layer Y where Y sits above X
+//   undeclared-edge  cross-layer include with no declared (even
+//                    transitive) dependency path
+//   unknown-layer    a src/ subdirectory absent from the declared graph
+// Layering findings are NOT comment-suppressible: the only escape hatch
+// is the built-in file-pair exemption table (edgeExempt), which is code
+// reviewed like any other change.
+//
+// Determinism — hash-order and address-order must never reach results:
+//   unordered-iter    any unordered_{map,set,multimap,multiset} type
+//                     occurrence, plus range-for / .begin()-family
+//                     iteration over values the analyzer tracked to an
+//                     unordered declaration (own file or direct includes)
+//   pointer-ordering  std::{map,set,multimap,multiset,less,greater}
+//                     keyed/compared on a pointer type
+//
+// Lock discipline:
+//   raw-mutex         std::mutex / lock_guard / unique_lock / ... outside
+//                     util/thread_annotations.hpp. Raw std types are
+//                     invisible to clang -Wthread-safety; the annotated
+//                     util::Mutex / util::MutexLock wrappers are the only
+//                     sanctioned lock vocabulary in src/.
+//
+// Determinism and lock findings are suppressible by a reviewed
+//   // pqos-analyze: allow(rule[, rule]): justification
+// on the finding's line. The justification is mandatory; a note with no
+// rules, an unknown rule name, or no justification is itself a finding
+// (malformed-allow) and suppresses nothing.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.hpp"
+
+namespace pqos::analyze {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule, message)
+  std::size_t filesScanned = 0;
+  std::size_t includeEdges = 0;  // resolved in-repo edges
+};
+
+/// The declared layer DAG: layer name -> direct dependencies. An include
+/// from layer X into layer Y is legal iff Y is reachable from X through
+/// these edges (reflexive). `bench` and `examples` sit above everything.
+[[nodiscard]] const std::map<std::string, std::vector<std::string>>&
+layerGraph();
+
+/// Layer of a repo-relative path ("" when the file is outside the
+/// analyzed roots). Per-file overrides live here: src/trace/replay.* is
+/// layer `trace_replay`, the verifier that legitimately sits above core.
+[[nodiscard]] std::string layerOf(const std::string& path);
+
+/// True when Y == X or Y is reachable from X in layerGraph().
+[[nodiscard]] bool layerReachable(const std::string& from,
+                                  const std::string& to);
+
+/// File-pair exemptions to the layering rules, e.g. failpoint ->
+/// util/error.hpp (header-only, breaks the bootstrap knot at the bottom
+/// of the graph). Deliberately narrow: a layer pair is never exempted
+/// wholesale.
+[[nodiscard]] bool edgeExempt(const std::string& fromLayer,
+                              const std::string& toPath);
+
+/// Analyzes an in-memory tree (repo-relative path -> file contents).
+/// This is the unit-test entry point: fixtures are plain string maps.
+[[nodiscard]] Report analyzeFiles(
+    const std::map<std::string, std::string>& files);
+
+/// Collects the analyzed sources (src/, bench/, examples/; *.hpp *.cpp)
+/// under `root`, sorted repo-relative. Throws std::runtime_error when the
+/// roots are missing (wrong --root is an operator error, not a clean
+/// scan).
+[[nodiscard]] std::vector<std::string> collectSources(const std::string& root);
+
+/// Reads the tree from disk and analyzes it.
+[[nodiscard]] Report analyzeTree(const std::string& root);
+
+}  // namespace pqos::analyze

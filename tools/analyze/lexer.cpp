@@ -1,0 +1,352 @@
+#include "analyze/lexer.hpp"
+
+#include <cctype>
+#include <utility>
+
+namespace pqos::analyze {
+
+namespace {
+
+[[nodiscard]] bool isIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] bool isIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+[[nodiscard]] std::string_view trim(std::string_view s) {
+  while (!s.empty() &&
+         std::isspace(static_cast<unsigned char>(s.front())) != 0) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())) != 0) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, std::string_view text) : text_(text) {
+    out_.path = std::move(path);
+  }
+
+  [[nodiscard]] LexedFile run() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\n') {
+        ++pos_;
+        ++line_;
+        atLineStart_ = true;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+        ++pos_;  // horizontal whitespace keeps line-start status
+        continue;
+      }
+      if (atLineStart_ && c == '#') {
+        lexPreprocessor();
+        continue;
+      }
+      atLineStart_ = false;
+      const char next = pos_ + 1 < text_.size() ? text_[pos_ + 1] : '\0';
+      if (c == '/' && next == '/') {
+        lexLineComment();
+      } else if (c == '/' && next == '*') {
+        lexBlockComment();
+      } else if (c == '"') {
+        lexString();
+        emitLiteral(Token::Kind::kString);
+      } else if (c == '\'') {
+        lexCharLiteral();
+        emitLiteral(Token::Kind::kChar);
+      } else if (isIdentStart(c)) {
+        lexIdentOrPrefixedString();
+      } else if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+        lexNumber();
+      } else {
+        lexPunct();
+      }
+    }
+    return std::move(out_);
+  }
+
+ private:
+  void emit(Token::Kind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  // Literal contents never matter to the rules; a placeholder token keeps
+  // positional patterns (e.g. `ident . begin (`) intact without storing
+  // potentially large string bodies.
+  void emitLiteral(Token::Kind kind) { emit(kind, "", tokenLine_); }
+
+  void lexLineComment() {
+    const int startLine = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+    parseAllowNote(text_.substr(start, pos_ - start), startLine);
+  }
+
+  void lexBlockComment() {
+    const int startLine = line_;
+    const std::size_t start = pos_;
+    pos_ += 2;  // "/*"
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') ++line_;
+      if (text_[pos_] == '*' && pos_ + 1 < text_.size() &&
+          text_[pos_ + 1] == '/') {
+        pos_ += 2;
+        break;
+      }
+      ++pos_;
+    }
+    // Allow notes are recognized in block comments too, anchored to the
+    // line the comment opened on.
+    parseAllowNote(text_.substr(start, pos_ - start), startLine);
+  }
+
+  // Consumes one "..." literal (opening quote at pos_). Escapes are
+  // honored; an unescaped newline ends the literal (ill-formed code, but
+  // the lexer must not derail on it).
+  void lexString() {
+    tokenLine_ = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        if (text_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return;
+      }
+      if (c == '\n') return;  // unterminated; newline handled by main loop
+      ++pos_;
+    }
+  }
+
+  // Consumes R"delim( ... )delim" with pos_ at the opening quote.
+  void lexRawString() {
+    tokenLine_ = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < text_.size() && text_[pos_] != '(' && text_[pos_] != '\n') {
+      delim += text_[pos_];
+      ++pos_;
+    }
+    if (pos_ >= text_.size() || text_[pos_] != '(') return;  // ill-formed
+    ++pos_;
+    const std::string closer = ")" + delim + "\"";
+    while (pos_ < text_.size()) {
+      if (text_[pos_] == '\n') {
+        ++line_;
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ')' &&
+          text_.compare(pos_, closer.size(), closer) == 0) {
+        pos_ += closer.size();
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void lexCharLiteral() {
+    tokenLine_ = line_;
+    ++pos_;  // opening quote
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '\'') {
+        ++pos_;
+        return;
+      }
+      if (c == '\n') return;
+      ++pos_;
+    }
+  }
+
+  void lexIdentOrPrefixedString() {
+    const int startLine = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() && isIdentChar(text_[pos_])) ++pos_;
+    const std::string_view ident = text_.substr(start, pos_ - start);
+    if (pos_ < text_.size() && text_[pos_] == '"') {
+      // Encoding / raw-string prefixes glue an identifier to the quote.
+      const bool raw = ident == "R" || ident == "u8R" || ident == "uR" ||
+                       ident == "UR" || ident == "LR";
+      const bool encoded =
+          ident == "u8" || ident == "u" || ident == "U" || ident == "L";
+      if (raw) {
+        lexRawString();
+        emitLiteral(Token::Kind::kString);
+        return;
+      }
+      if (encoded) {
+        lexString();
+        emitLiteral(Token::Kind::kString);
+        return;
+      }
+    }
+    emit(Token::Kind::kIdent, std::string(ident), startLine);
+  }
+
+  void lexNumber() {
+    const int startLine = line_;
+    const std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (isIdentChar(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      // Exponent signs: 1e+9, 0x1p-3.
+      if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    emit(Token::Kind::kNumber, std::string(text_.substr(start, pos_ - start)),
+         startLine);
+  }
+
+  void lexPunct() {
+    // `::` is the one multi-character punctuator the rules care about:
+    // fusing it lets patterns distinguish `std::mutex` from a label or a
+    // ternary, and makes a lone `:` in a for-header a reliable range-for
+    // signal.
+    if (text_[pos_] == ':' && pos_ + 1 < text_.size() &&
+        text_[pos_ + 1] == ':') {
+      emit(Token::Kind::kPunct, "::", line_);
+      pos_ += 2;
+      return;
+    }
+    emit(Token::Kind::kPunct, std::string(1, text_[pos_]), line_);
+    ++pos_;
+  }
+
+  // Consumes a whole preprocessor logical line (backslash continuations
+  // included) and extracts #include directives and trailing allow notes.
+  // Directive tokens are intentionally NOT added to the token stream.
+  void lexPreprocessor() {
+    const int startLine = line_;
+    std::string raw;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\' && pos_ + 1 < text_.size() && text_[pos_ + 1] == '\n') {
+        raw += ' ';
+        pos_ += 2;
+        ++line_;
+        continue;
+      }
+      if (c == '\n') break;  // main loop owns the newline
+      raw += c;
+      ++pos_;
+    }
+    parsePreprocessorLine(raw, startLine);
+  }
+
+  void parsePreprocessorLine(std::string_view raw, int startLine) {
+    std::size_t i = 0;
+    auto skipWs = [&] {
+      while (i < raw.size() &&
+             std::isspace(static_cast<unsigned char>(raw[i])) != 0) {
+        ++i;
+      }
+    };
+    if (i < raw.size() && raw[i] == '#') ++i;
+    skipWs();
+    const std::size_t wordStart = i;
+    while (i < raw.size() && isIdentChar(raw[i])) ++i;
+    const std::string_view directive = raw.substr(wordStart, i - wordStart);
+    if (directive == "include") {
+      skipWs();
+      if (i < raw.size() && (raw[i] == '"' || raw[i] == '<')) {
+        const char open = raw[i];
+        const char close = open == '"' ? '"' : '>';
+        const std::size_t targetStart = ++i;
+        const std::size_t end = raw.find(close, targetStart);
+        if (end != std::string_view::npos) {
+          out_.includes.push_back(IncludeDirective{
+              std::string(raw.substr(targetStart, end - targetStart)),
+              startLine, open == '<'});
+          i = end + 1;
+        }
+      }
+    }
+    // A trailing //-comment on the directive may carry an allow note
+    // (e.g. suppressing a layering exemption's documentation line).
+    const std::size_t comment = raw.find("//", i);
+    if (comment != std::string_view::npos) {
+      parseAllowNote(raw.substr(comment), startLine);
+    }
+  }
+
+  // Grammar: "pqos-analyze:" ws "allow(" rule ("," rule)* ")" [":" just].
+  // Anything tagged `pqos-analyze:` that fails the grammar is still
+  // recorded (with empty rules / justification) so the analyzer can
+  // report it as malformed instead of silently ignoring a typo.
+  void parseAllowNote(std::string_view comment, int startLine) {
+    static constexpr std::string_view kTag = "pqos-analyze:";
+    const std::size_t tag = comment.find(kTag);
+    if (tag == std::string_view::npos) return;
+    AllowNote note;
+    note.line = startLine;
+    std::size_t i = tag + kTag.size();
+    while (i < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[i])) != 0) {
+      ++i;
+    }
+    static constexpr std::string_view kAllow = "allow(";
+    if (comment.compare(i, kAllow.size(), kAllow) == 0) {
+      i += kAllow.size();
+      const std::size_t end = comment.find(')', i);
+      if (end != std::string_view::npos) {
+        std::string_view rules = comment.substr(i, end - i);
+        while (!rules.empty()) {
+          const std::size_t comma = rules.find(',');
+          const std::string_view rule = trim(rules.substr(0, comma));
+          if (!rule.empty()) note.rules.emplace_back(rule);
+          if (comma == std::string_view::npos) break;
+          rules.remove_prefix(comma + 1);
+        }
+        i = end + 1;
+        while (i < comment.size() &&
+               std::isspace(static_cast<unsigned char>(comment[i])) != 0) {
+          ++i;
+        }
+        if (i < comment.size() && comment[i] == ':') {
+          note.justification = std::string(trim(comment.substr(i + 1)));
+        }
+      }
+    }
+    out_.allows.push_back(std::move(note));
+  }
+
+  std::string_view text_;
+  LexedFile out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int tokenLine_ = 1;  // start line of the literal being consumed
+  bool atLineStart_ = true;
+};
+
+}  // namespace
+
+LexedFile lexFile(std::string path, std::string_view text) {
+  return Lexer(std::move(path), text).run();
+}
+
+}  // namespace pqos::analyze

@@ -1,0 +1,72 @@
+// A genuine (if small) C++ lexer for pqos_analyze.
+//
+// The analyzer's rules need to see *code*, not text: an `unordered_map`
+// inside a comment, a string literal, or a raw string must never fire a
+// finding, and an `#include` split across a backslash continuation must
+// still be seen. Regexes cannot do that reliably, so this lexer walks the
+// bytes once and produces:
+//
+//   - a token stream (identifiers, numbers, string/char literals,
+//     punctuation) with line numbers; `::` is fused into one token so the
+//     rules can match qualified names (`std :: mutex`) positionally,
+//   - every #include directive (quoted vs angled, logical line number,
+//     continuation-aware),
+//   - every `// pqos-analyze: allow(rule, ...): justification` note, the
+//     suppression mechanism the analyzer honors (see analyzer.hpp for
+//     which rules are suppressible and how malformed notes are handled).
+//
+// Handled literal forms: //-comments, /*...*/ comments (newline-counting),
+// "..." with escapes, '...' with escapes, encoding prefixes (u8 u U L),
+// and raw strings R"delim(...)delim". Preprocessor logical lines are
+// consumed whole and do NOT appear in the token stream: a `#define`d
+// `unordered_map` is macro plumbing, not an iteration site, and flagging
+// it would force meaningless allows.
+//
+// This is a lexer, not a parser: the analyzer's rules are token-pattern
+// based by design (see DESIGN.md §12 for the soundness trade-off).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pqos::analyze {
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+/// One #include directive. `target` is the path between the delimiters;
+/// `line` is the line the directive started on (continuations collapse).
+struct IncludeDirective {
+  std::string target;
+  int line = 0;
+  bool angled = false;
+};
+
+/// One `pqos-analyze:` comment note. A well-formed note is
+/// `allow(rule[, rule...]): justification` — empty `rules` or an empty
+/// `justification` mean the note is malformed (the analyzer reports it
+/// and the note suppresses nothing).
+struct AllowNote {
+  std::vector<std::string> rules;
+  std::string justification;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::vector<AllowNote> allows;
+};
+
+/// Lexes one translation unit. Never throws on malformed input: an
+/// unterminated literal or comment simply ends the file — the compiler,
+/// not the analyzer, owns that diagnostic.
+[[nodiscard]] LexedFile lexFile(std::string path, std::string_view text);
+
+}  // namespace pqos::analyze
