@@ -6,6 +6,7 @@
 //   ./example_dump_trace [--model sdsc] [--jobs 400] [--seed 42]
 //                        [--accuracy 0.5] [--risk 0.5]
 //                        [--out /tmp/pqos_run.jsonl] [--verify]
+//                        [--eventq heap|calendar]
 //
 // Diff two runs (e.g. before/after a scheduler change) with:
 //   diff <(... --out /dev/stdout) <(... --out /dev/stdout)
@@ -13,6 +14,7 @@
 
 #include "core/experiment.hpp"
 #include "failpoint/failpoint.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/recorder.hpp"
 #include "trace/replay.hpp"
@@ -30,6 +32,9 @@ int main(int argc, char** argv) {
   args.addDouble("risk", 0.5, "user risk parameter U");
   args.addString("out", "/tmp/pqos_run.jsonl", "JSONL trace output path");
   args.addBool("verify", false, "replay the trace and check bit-identity");
+  args.addString("eventq", "",
+                 "event queue: heap | calendar (default: PQOS_EVENTQ env "
+                 "or build default)");
   args.addBool("list-failpoints", false,
                "print the fault-injection site catalogue and exit");
   if (!args.parse(argc, argv)) return 0;
@@ -51,6 +56,15 @@ int main(int argc, char** argv) {
                  "the default -DPQOS_TRACE=ON to record traces\n";
     return 1;
   }
+
+  // Queue-implementation override: the dump (and the --verify replay)
+  // runs on the chosen implementation, so `--eventq calendar --verify`
+  // is a one-command differential check against a heap-recorded trace.
+  if (const std::string eventq = args.getString("eventq"); !eventq.empty()) {
+    sim::setDefaultQueueImpl(sim::queueImplFromName(eventq));
+  }
+  std::cerr << "event queue: " << sim::queueImplName(sim::defaultQueueImpl())
+            << "\n";
 
   const auto inputs = core::makeStandardInputs(
       args.getString("model"), static_cast<std::size_t>(args.getInt("jobs")),

@@ -15,6 +15,8 @@
 #                                    # + determinism/lock-discipline scan
 #   scripts/check.sh --tsa           # clang -Wthread-safety over src/
 #                                    # (skipped if clang++ not installed)
+#   scripts/check.sh --eventq        # determinism suites + sweep/trace
+#                                    # byte-compare on the calendar queue
 #   scripts/check.sh --fanalyzer     # gcc -fanalyzer over src/ (opt-in:
 #                                    # experimental for C++, ~1s per TU)
 #   scripts/check.sh --coverage      # gcov line coverage summary (opt-in)
@@ -342,6 +344,92 @@ stage_chaos() {
   note chaos PASS
 }
 
+# Eventq stage: the determinism wall re-run on the calendar event queue.
+# PQOS_EVENTQ=calendar flips the runtime default, so the golden-trace,
+# replay, runner-determinism, and queue-differential suites all execute on
+# the non-oracle implementation; then a full fig1 sweep is byte-compared
+# (modulo wallSeconds/gitDescribe/perf) between the heap and calendar
+# queues, and a dump_trace --eventq calendar --verify run closes the
+# record-replay loop. Part of --all: the calendar queue is only safe to
+# offer as a knob while this stage stays green.
+stage_eventq() {
+  local dir=build-release
+  echo "=== [eventq] building $dir ==="
+  if ! cmake -B "$ROOT/$dir" -S "$ROOT" \
+       -DCMAKE_BUILD_TYPE=Release -DPQOS_STRICT=OFF -DPQOS_AUDIT=OFF \
+       -DPQOS_SANITIZE=; then
+    note eventq FAIL
+    return 1
+  fi
+  if ! cmake --build "$ROOT/$dir" -j "$JOBS"; then
+    note eventq FAIL
+    return 1
+  fi
+  echo "=== [eventq] determinism suites under PQOS_EVENTQ=calendar ==="
+  if ! PQOS_EVENTQ=calendar ctest --test-dir "$ROOT/$dir" \
+       --output-on-failure -j "$JOBS" \
+       -R 'Golden|Replay|Determinism|EventQueue|Engine|Metamorphic'; then
+    note eventq FAIL
+    return 1
+  fi
+  local scratch
+  scratch="$(mktemp -d /tmp/pqos_eventq.XXXXXX)"
+  local bench="$ROOT/$dir/bench/bench_fig1_qos_vs_accuracy_sdsc"
+  local bench_args="--jobs 200 --seed 42 --threads 2 --reps 1"
+  echo "=== [eventq] fig1 sweep byte-compare: heap vs calendar ==="
+  # shellcheck disable=SC2086
+  if ! PQOS_EVENTQ=heap "$bench" $bench_args \
+       --json "$scratch/heap.json" > /dev/null ||
+     ! PQOS_EVENTQ=calendar "$bench" $bench_args \
+       --json "$scratch/calendar.json" > /dev/null; then
+    note eventq FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  if ! python3 - "$scratch/heap.json" "$scratch/calendar.json" << 'EOF'
+import sys
+
+def normalize(path):
+    out, in_perf, perf_indent = [], False, 0
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            if in_perf:
+                indent = len(line) - len(line.lstrip(" "))
+                if line.lstrip().startswith("}") and indent <= perf_indent:
+                    in_perf = False
+                continue
+            at = line.find('"perf":')
+            if at != -1:
+                in_perf, perf_indent = True, at
+                continue
+            if '"wallSeconds":' in line or '"gitDescribe":' in line:
+                continue
+            out.append(line)
+    return "".join(out)
+
+heap, calendar = normalize(sys.argv[1]), normalize(sys.argv[2])
+if heap != calendar:
+    sys.exit("calendar-queue sweep diverges from the heap-queue sweep")
+print("heap and calendar sweeps byte-identical"
+      f" ({len(heap)} normalized bytes)")
+EOF
+  then
+    note eventq FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  echo "=== [eventq] dump_trace --eventq calendar --verify ==="
+  if ! "$ROOT/$dir/examples/example_dump_trace" --eventq calendar \
+       --jobs 150 --seed 7 --out "$scratch/verify.jsonl" --verify \
+       > /dev/null; then
+    note eventq FAIL
+    rm -rf "$scratch"
+    return 1
+  fi
+  rm -rf "$scratch"
+  note eventq PASS
+}
+
 # Perf stage (opt-in, like coverage/chaos): runs scripts/perf_gate.py —
 # the deterministic-counter regression gate against the checked-in
 # bench/perf_baseline.json, then the metric-hook overhead bound against a
@@ -493,7 +581,7 @@ EOF
 
 # --all expands to ALL_STAGES; STAGE_ORDER additionally fixes where the
 # opt-in stages run when requested explicitly.
-ALL_STAGES=(release tsan strict ubsan audit tidy lint analyze tsa)
+ALL_STAGES=(release tsan strict ubsan audit tidy lint analyze tsa eventq)
 STAGE_ORDER=("${ALL_STAGES[@]}" fanalyzer coverage chaos perf fleet)
 REQUESTED=()
 NO_SKIP=0
@@ -513,6 +601,7 @@ for arg in "$@"; do
     --lint) REQUESTED+=(lint) ;;
     --analyze) REQUESTED+=(analyze) ;;
     --tsa) REQUESTED+=(tsa) ;;
+    --eventq) REQUESTED+=(eventq) ;;
     --fanalyzer) REQUESTED+=(fanalyzer) ;;
     --coverage) REQUESTED+=(coverage) ;;
     --chaos) REQUESTED+=(chaos) ;;
@@ -520,7 +609,7 @@ for arg in "$@"; do
     --fleet) REQUESTED+=(fleet) ;;
     --no-skip) NO_SKIP=1 ;;
     *)
-      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--analyze|--tsa|--fanalyzer|--coverage|--chaos|--perf|--fleet|--no-skip|--all]" >&2
+      echo "usage: $0 [--release|--tsan|--strict|--ubsan|--audit|--tidy|--lint|--analyze|--tsa|--eventq|--fanalyzer|--coverage|--chaos|--perf|--fleet|--no-skip|--all]" >&2
       exit 2
       ;;
   esac

@@ -64,21 +64,33 @@ BENCHES = [
 ]
 BENCH_ARGS = ["--jobs", "400", "--seed", "42", "--threads", "1", "--reps", "1"]
 
+# --overhead runs a 4x workload: after the simulation-core overhaul the
+# 400-job walls are under 0.1 s, where box jitter (easily +-10% on a busy
+# single-CPU runner) drowns the few-percent signal being measured. The
+# hook count scales with jobs, so the ratio is the same quantity — just
+# measurable.
+OVERHEAD_JOBS = "1600"
+
 
 def fail(message):
     print(f"perf_gate: {message}", file=sys.stderr)
     sys.exit(2)
 
 
-def run_bench(build_dir, bench, runs):
+def run_bench(build_dir, bench, runs, jobs=None):
     """Runs one bench binary `runs` times; returns (best_record, sweep_doc).
 
     best_record carries the deterministic counters from the last run (they
     are identical across runs — verified) and the minimum wall time.
+    `jobs` overrides BENCH_ARGS' --jobs (the --overhead mode's larger
+    workload).
     """
     binary = os.path.join(build_dir, bench["binary"])
     if not os.path.isfile(binary):
         fail(f"bench binary not found: {binary} (build it first)")
+    bench_args = list(BENCH_ARGS)
+    if jobs is not None:
+        bench_args[bench_args.index("--jobs") + 1] = jobs
     walls = []
     doc = None
     for _ in range(runs):
@@ -88,7 +100,7 @@ def run_bench(build_dir, bench, runs):
                 arg.format(scratch=scratch)
                 for arg in bench.get("extra_args", [])
             ]
-            command = [binary, *BENCH_ARGS, *extra, "--json", out]
+            command = [binary, *bench_args, *extra, "--json", out]
             result = subprocess.run(
                 command, stdout=subprocess.DEVNULL, stderr=subprocess.PIPE
             )
@@ -104,7 +116,7 @@ def run_bench(build_dir, bench, runs):
     record = {
         "name": bench["name"],
         "binary": bench["binary"],
-        "args": [*BENCH_ARGS, *bench.get("extra_args", [])],
+        "args": [*bench_args, *bench.get("extra_args", [])],
         "wallSeconds": min(walls),
         "wallSecondsRuns": walls,
     }
@@ -251,8 +263,12 @@ def overhead(args):
         fail("--overhead needs --off-build <dir> (a -DPQOS_METRICS=OFF build)")
     worst = 0.0
     for bench in BENCHES:
-        on_record, on_doc = run_bench(args.build_dir, bench, args.runs)
-        off_record, off_doc = run_bench(args.off_build, bench, args.runs)
+        on_record, on_doc = run_bench(
+            args.build_dir, bench, args.runs, jobs=OVERHEAD_JOBS
+        )
+        off_record, off_doc = run_bench(
+            args.off_build, bench, args.runs, jobs=OVERHEAD_JOBS
+        )
         if "counters" not in on_record:
             fail(f"--build-dir {args.build_dir} has metrics compiled out")
         if "counters" in off_record:
@@ -267,7 +283,7 @@ def overhead(args):
         print(
             f"perf_gate: overhead {bench['name']}: ON {on_wall:.3f} s vs "
             f"OFF {off_wall:.3f} s = {ratio * 100:+.2f}% "
-            f"(min of {args.runs} each)"
+            f"(min of {args.runs} each, --jobs {OVERHEAD_JOBS})"
         )
         del on_doc, off_doc
     if worst > args.overhead_tolerance:

@@ -13,15 +13,19 @@ std::optional<Partition> FlatTopology::select(std::span<const NodeId> available,
                                               const NodeRanker& rank) const {
   require(count >= 1, "FlatTopology::select: count must be >= 1");
   if (static_cast<int>(available.size()) < count) return std::nullopt;
-  std::vector<NodeId> sorted(available.begin(), available.end());
-  std::stable_sort(sorted.begin(), sorted.end(), [&](NodeId a, NodeId b) {
-    const double ra = rank(a);
-    const double rb = rank(b);
-    if (ra != rb) return ra < rb;
-    return a < b;
-  });
-  sorted.resize(static_cast<std::size_t>(count));
-  return Partition(std::move(sorted));
+  // Rank each node exactly once: rankers can be expensive (the lowest-risk
+  // ranker binary-searches the failure trace), so scoring inside the sort
+  // comparator would cost O(N log N) predictor queries instead of O(N).
+  std::vector<std::pair<double, NodeId>> scored;
+  scored.reserve(available.size());
+  for (const NodeId id : available) scored.emplace_back(rank(id), id);
+  std::sort(scored.begin(), scored.end());
+  std::vector<NodeId> chosen;
+  chosen.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    chosen.push_back(scored[static_cast<std::size_t>(i)].second);
+  }
+  return Partition(std::move(chosen));
 }
 
 bool FlatTopology::feasible(std::span<const NodeId> available,
@@ -40,26 +44,32 @@ std::optional<Partition> RingTopology::select(std::span<const NodeId> available,
   if (count > size_ || static_cast<int>(available.size()) < count) {
     return std::nullopt;
   }
+  // Rank each free node once up front; windows then sum cached scores in
+  // the same k-order as before, keeping float summation (and therefore the
+  // chosen window) bit-identical while dropping the O(size * count) ranker
+  // calls.
   std::vector<bool> free(static_cast<std::size_t>(size_), false);
+  std::vector<double> score(static_cast<std::size_t>(size_), 0.0);
   for (const NodeId id : available) {
     require(id >= 0 && id < size_, "RingTopology::select: node out of range");
     free[static_cast<std::size_t>(id)] = true;
+    score[static_cast<std::size_t>(id)] = rank(id);
   }
   double bestScore = std::numeric_limits<double>::infinity();
   int bestStart = -1;
   for (int start = 0; start < size_; ++start) {
     bool ok = true;
-    double score = 0.0;
+    double windowScore = 0.0;
     for (int k = 0; k < count; ++k) {
       const int id = (start + k) % size_;
       if (!free[static_cast<std::size_t>(id)]) {
         ok = false;
         break;
       }
-      score += rank(static_cast<NodeId>(id));
+      windowScore += score[static_cast<std::size_t>(id)];
     }
-    if (ok && score < bestScore) {
-      bestScore = score;
+    if (ok && windowScore < bestScore) {
+      bestScore = windowScore;
       bestStart = start;
     }
   }

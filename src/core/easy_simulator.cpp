@@ -79,9 +79,13 @@ SimResult EasySimulator::run() {
     const JobId job = rec.spec.id;
     engine_.scheduleAt(rec.spec.arrival, [this, job] { onArrival(job); });
   }
-  for (const auto& event : trace_->events()) {
-    if (event.node >= config_.machineSize) continue;
-    engine_.scheduleAt(event.time, [this, event] { onNodeFailure(event); });
+  // {this, index} fits std::function's small-buffer storage; capturing the
+  // FailureEvent by value would heap-allocate per scheduled failure.
+  const auto& failures = trace_->events();
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (failures[i].node >= config_.machineSize) continue;
+    engine_.scheduleAt(failures[i].time,
+                       [this, i] { onNodeFailure(trace_->events()[i]); });
   }
   engine_.run();
   require(completedCount_ == records_.size(),

@@ -59,6 +59,7 @@ Simulator::Simulator(SimConfig config, std::vector<workload::JobSpec> jobs,
 
   records_.reserve(jobs.size());
   runStates_.resize(jobs.size());
+  auditLedgers_.resize(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     const auto& spec = jobs[i];
     require(spec.id == static_cast<JobId>(i),
@@ -88,6 +89,12 @@ Simulator::RunState& Simulator::state(JobId job) {
   return runStates_[static_cast<std::size_t>(job)];
 }
 
+Simulator::AuditLedger& Simulator::ledger(JobId job) {
+  require(job >= 0 && static_cast<std::size_t>(job) < auditLedgers_.size(),
+          "Simulator: job id out of range");
+  return auditLedgers_[static_cast<std::size_t>(job)];
+}
+
 SimResult Simulator::run() {
   require(!ran_, "Simulator::run: may only run once");
   ran_ = true;
@@ -112,10 +119,14 @@ SimResult Simulator::run() {
     const JobId job = rec.spec.id;
     engine_.scheduleAt(rec.spec.arrival, [this, job] { onArrival(job); });
   }
-  for (const auto& event : trace_->events()) {
-    if (event.node >= config_.machineSize) continue;  // outside the machine
-    engine_.scheduleAt(event.time,
-                       [this, event] { onNodeFailure(event); });
+  // Capture the trace index, not the event by value: {this, index} fits
+  // std::function's small-buffer storage, so scheduling a failure never
+  // heap-allocates (the trace outlives the engine run).
+  const auto& failures = trace_->events();
+  for (std::size_t i = 0; i < failures.size(); ++i) {
+    if (failures[i].node >= config_.machineSize) continue;  // outside machine
+    engine_.scheduleAt(failures[i].time,
+                       [this, i] { onNodeFailure(trace_->events()[i]); });
   }
 
   engine_.run();
@@ -141,12 +152,16 @@ void Simulator::onArrival(JobId job) {
           "Simulator::onArrival: job already planned");
   traceRecord(trace::Kind::JobArrival, job, kInvalidNode,
               static_cast<double>(rec.spec.nodes), rec.spec.work);
-  state(job).auditWaitStart = engine_.now();
+  ledger(job).waitStart = engine_.now();
   planJob(job, /*renegotiate=*/true, engine_.now());
   maybeCheckConsistency();
 }
 
 void Simulator::planJob(JobId job, bool renegotiate, SimTime notBefore) {
+  // Every book query from here on looks at [now, ...) or later, so
+  // publishing the clock lets the book compact expired intervals without
+  // any observable effect on the plan.
+  book_.advanceTime(engine_.now());
   auto& rec = record(job);
   auto& rs = state(job);
   const Duration remaining = rec.remainingWork();
@@ -200,7 +215,8 @@ void Simulator::attemptDispatch(JobId job) {
   }
   const SimTime now = engine_.now();
   auditCkptEvent(job, audit::CkptEvent::Dispatch);
-  rs.auditWaited += now - rs.auditWaitStart;
+  auto& lg = ledger(job);
+  lg.waited += now - lg.waitStart;
   machine_.assign(rs.partition, job);
   runningJobs_.push_back(job);
   rec.state = workload::JobState::Running;
@@ -250,14 +266,14 @@ bool Simulator::substituteUnavailableNodes(JobId job) {
   if (static_cast<int>(candidates.size()) < needed) return false;
 
   const auto ranker = rankerFactory_(now, now + window);
-  std::stable_sort(candidates.begin(), candidates.end(),
-                   [&](NodeId a, NodeId b) {
-                     const double ra = ranker(a);
-                     const double rb = ranker(b);
-                     if (ra != rb) return ra < rb;
-                     return a < b;
-                   });
-  keep.insert(keep.end(), candidates.begin(), candidates.begin() + needed);
+  // Rank once per candidate (not per comparison): same (score, id) order.
+  std::vector<std::pair<double, NodeId>> scored;
+  scored.reserve(candidates.size());
+  for (const NodeId id : candidates) scored.emplace_back(ranker(id), id);
+  std::sort(scored.begin(), scored.end());
+  for (int i = 0; i < needed; ++i) {
+    keep.push_back(scored[static_cast<std::size_t>(i)].second);
+  }
 
   book_.release(job);
   cluster::Partition replacement(std::move(keep));
@@ -298,7 +314,7 @@ void Simulator::onSegmentStop(JobId job) {
 }
 
 void Simulator::onCheckpointRequest(JobId job, Duration progress) {
-  PQOS_METRIC_SPAN("ckpt.decide");
+  PQOS_METRIC_COUNT("ckpt.decide");
   auto& rec = record(job);
   auto& rs = state(job);
   const SimTime now = engine_.now();
@@ -368,10 +384,11 @@ void Simulator::completeJob(JobId job) {
   auto& rec = record(job);
   auto& rs = state(job);
   const SimTime now = engine_.now();
-  rs.auditOccupied += now - rs.dispatchTime;
+  auto& lg = ledger(job);
+  lg.occupied += now - rs.dispatchTime;
   if constexpr (audit::kEnabled) {
-    audit::checkJobAccounting(job, rec.spec.arrival, now, rs.auditWaited,
-                              rs.auditOccupied);
+    audit::checkJobAccounting(job, rec.spec.arrival, now, lg.waited,
+                              lg.occupied);
   }
   machine_.release(rs.partition, job);
   book_.release(job);
@@ -390,7 +407,7 @@ void Simulator::completeJob(JobId job) {
     engine_.stop();
     return;
   }
-  if (completedCount_ % 512 == 0) book_.prune(now);
+  book_.advanceTime(now);
   tryPendingDispatches();
   maybeCheckConsistency();
 }
@@ -417,8 +434,9 @@ void Simulator::onNodeFailure(const failure::FailureEvent& event) {
     auto& rec = record(victim);
     auto& rs = state(victim);
     auditCkptEvent(victim, audit::CkptEvent::Abort);
-    rs.auditOccupied += now - rs.dispatchTime;
-    rs.auditWaitStart = now;
+    auto& lg = ledger(victim);
+    lg.occupied += now - rs.dispatchTime;
+    lg.waitStart = now;
     // Paper: lost work for failure x is (tx - c_jx) * n_jx, with c the
     // start of the last completed checkpoint (this run) or the start time.
     const WorkUnits lost =
@@ -531,8 +549,8 @@ void Simulator::auditInvariants() const {
 
 void Simulator::auditCkptEvent(JobId job, audit::CkptEvent event) {
   if constexpr (audit::kEnabled) {
-    auto& rs = state(job);
-    rs.auditCkptPhase = audit::applyCkptEvent(rs.auditCkptPhase, event, job);
+    auto& lg = ledger(job);
+    lg.ckptPhase = audit::applyCkptEvent(lg.ckptPhase, event, job);
   }
 }
 

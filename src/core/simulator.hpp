@@ -91,14 +91,17 @@ class Simulator {
     Duration ckptProgress = 0.0;  // progress level being saved
     SimTime ckptBeginTime = 0.0;
     sim::EventId pendingEvent = sim::kInvalidEvent;
+  };
 
-    // --- PQOS_AUDIT ledger (fields always present so layouts match
-    // across configurations; maintained cheaply, checked only when the
-    // auditor is armed) ---
-    SimTime auditWaitStart = 0.0;   // when the job last entered the queue
-    Duration auditWaited = 0.0;     // total time spent waiting
-    Duration auditOccupied = 0.0;   // total time holding a partition
-    audit::CkptPhase auditCkptPhase = audit::CkptPhase::Idle;
+  /// Cold per-job PQOS_AUDIT ledger, split from RunState (SoA) so the
+  /// dispatch/segment hot path walks a denser array. Fields are always
+  /// present so layouts match across configurations; maintained cheaply,
+  /// checked only when the auditor is armed.
+  struct AuditLedger {
+    SimTime waitStart = 0.0;   // when the job last entered the queue
+    Duration waited = 0.0;     // total time spent waiting
+    Duration occupied = 0.0;   // total time holding a partition
+    audit::CkptPhase ckptPhase = audit::CkptPhase::Idle;
   };
 
   void onArrival(JobId job);
@@ -138,6 +141,7 @@ class Simulator {
 
   [[nodiscard]] workload::JobRecord& record(JobId job);
   [[nodiscard]] RunState& state(JobId job);
+  [[nodiscard]] AuditLedger& ledger(JobId job);
 
   SimConfig config_;
   const failure::FailureTrace* trace_;
@@ -154,7 +158,8 @@ class Simulator {
   UserModel user_;
 
   std::vector<workload::JobRecord> records_;
-  std::vector<RunState> runStates_;
+  std::vector<RunState> runStates_;       // hot SoA lane, indexed by JobId
+  std::vector<AuditLedger> auditLedgers_;  // cold SoA lane, same index
   std::vector<JobId> pendingDispatch_;  // planned start reached, nodes busy
   std::vector<JobId> runningJobs_;      // for consistency checks
 

@@ -9,7 +9,7 @@
 namespace pqos::failure {
 
 std::vector<RawEvent> generateRawEvents(const RawGeneratorConfig& config,
-                                        std::uint64_t seed) {
+                                        std::uint64_t seed, bool fatalOnly) {
   require(config.nodeCount >= 1, "generateRawEvents: nodeCount >= 1");
   require(config.span > 0.0, "generateRawEvents: span must be positive");
   require(config.healthyFatalRate > 0.0,
@@ -71,19 +71,23 @@ std::vector<RawEvent> generateRawEvents(const RawGeneratorConfig& config,
           std::max(1e-9, config.nonFatalPerFatal)));
       for (int k = 0; k < noise; ++k) {
         RawEvent e;
-        // Noise accumulates over the hour leading up to the failure.
+        // Noise accumulates over the hour leading up to the failure. The
+        // draws happen even in fatalOnly mode so the node's RNG stream —
+        // and every later fatal time — stays bit-identical.
         e.time = std::max(0.0, t - rng.uniform(0.0, kHour));
         e.node = static_cast<NodeId>(n);
         e.severity = rng.bernoulli(0.3) ? Severity::Error : Severity::Warning;
         e.subsystem = subsystem;
-        events.push_back(e);
+        if (!fatalOnly) events.push_back(e);
       }
       events.push_back(RawEvent{t, static_cast<NodeId>(n), Severity::Fatal,
                                 subsystem});
     }
     // Failure-independent background chatter (INFO/WARNING): what makes
-    // pattern-based prediction non-trivial.
-    if (config.backgroundNoisePerDay > 0.0) {
+    // pattern-based prediction non-trivial. Drawn from an independent RNG
+    // fork (fork() is const), so fatalOnly mode can skip it entirely
+    // without touching the failure stream.
+    if (!fatalOnly && config.backgroundNoisePerDay > 0.0) {
       Rng bg = master.fork(0x9000 + static_cast<std::uint64_t>(n));
       SimTime bt = 0.0;
       const double mean = kDay / config.backgroundNoisePerDay;
@@ -220,19 +224,36 @@ CalibratedTraces makeCalibratedTraces(int nodeCount, Duration span,
   // Filtering is mildly sublinear in the rate (denser bursts coalesce
   // more), so a second correction pass tightens the result.
   const double target = targetFailuresPerYear * (span / kYear);
+  // Pass 0 only needs the filtered fatal *count* to correct the rate, and
+  // the filter reads fatal events alone, so it generates fatals only
+  // (identical RNG draws, no noise storage or full-stream sort — see
+  // generateRawEvents). When the final full pass already hit the target
+  // (loop breaks without touching the rate), its generation is
+  // byte-identical to what the final build below would produce from the
+  // same (config, seed) — reuse it instead of regenerating, saving a full
+  // raw-event pass per trace.
+  std::vector<RawEvent> raw;
+  std::vector<FailureEvent> filtered;
+  bool reusable = false;
   for (int pass = 0; pass < 2; ++pass) {
-    const auto raw = generateRawEvents(config, seed);
-    const auto filtered = filterRawEvents(raw, filter);
+    const bool fatalOnly = pass == 0;
+    raw = generateRawEvents(config, seed, fatalOnly);
+    filtered = filterRawEvents(raw, filter);
+    reusable = !fatalOnly;
     if (filtered.empty()) {
       config.healthyFatalRate *= 10.0;
+      reusable = false;
       continue;
     }
     const double ratio = target / static_cast<double>(filtered.size());
     if (std::abs(ratio - 1.0) < 0.02) break;
     config.healthyFatalRate *= ratio;
+    reusable = false;
   }
-  auto raw = generateRawEvents(config, seed);
-  auto filtered = filterRawEvents(raw, filter);
+  if (!reusable) {
+    raw = generateRawEvents(config, seed);
+    filtered = filterRawEvents(raw, filter);
+  }
   assignDetectability(filtered, seed ^ 0x9d2c5680ULL);
   return CalibratedTraces{std::move(raw),
                           FailureTrace(std::move(filtered), nodeCount)};

@@ -51,9 +51,14 @@ struct RawGeneratorConfig {
   int subsystems = 6;
 };
 
-/// Generates the raw RAS stream; deterministic in (config, seed).
+/// Generates the raw RAS stream; deterministic in (config, seed). With
+/// `fatalOnly` the non-fatal events are drawn but not stored (the RNG
+/// streams — and so every fatal event — are bit-identical to a full run):
+/// calibration passes only need the filtered fatal count, and skipping
+/// the noise storage and full-stream sort makes them much cheaper.
 [[nodiscard]] std::vector<RawEvent> generateRawEvents(
-    const RawGeneratorConfig& config, std::uint64_t seed);
+    const RawGeneratorConfig& config, std::uint64_t seed,
+    bool fatalOnly = false);
 
 /// Liang/Sahoo-style filtering: keep FATAL events, coalesce same-node
 /// events closer than `temporalGap`, and coalesce same-subsystem events

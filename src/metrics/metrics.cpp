@@ -17,7 +17,9 @@ namespace {
 // typo cannot silently record nothing. Keep descriptions to one line:
 // they are dumped by `example_perf_report --list-metrics`.
 constexpr MetricInfo kMetrics[] = {
-    {"ckpt.decide", Kind::Span, "checkpoint decision, incl. its risk query"},
+    {"ckpt.decide", Kind::Counter,
+     "checkpoint decisions (a counter: the op is ~100ns, so a span's two "
+     "clock reads would distort it; time lands in the parent's self)"},
     {"core.jobs.completed", Kind::Counter, "jobs that ran to completion"},
     {"core.negotiate", Kind::Span, "deadline negotiation for one arrival"},
     {"core.replan", Kind::Span, "dynamic replanning after failure/recovery"},
@@ -33,7 +35,9 @@ constexpr MetricInfo kMetrics[] = {
     {"io.swf.write", Kind::Span, "SWF workload log write"},
     {"io.trace.read", Kind::Span, "JSONL event-trace parse"},
     {"io.trace.write", Kind::Span, "JSONL event-trace write"},
-    {"predict.query", Kind::Span, "one predictor failure-probability query"},
+    {"predict.query", Kind::Counter,
+     "predictor failure-probability queries (a counter for the same "
+     "reason as ckpt.decide: sub-microsecond leaf op)"},
     {"runner.cell", Kind::Span, "one sweep cell: replica simulation + stats"},
     {"runner.inputs.build", Kind::Span,
      "per-replica workload/trace construction"},
@@ -324,22 +328,28 @@ void gaugeMax(Id id, double value) {
 }  // namespace detail
 
 ScopedSpan::ScopedSpan(Id id)
-    : id_(id), start_(0.0), parent_(nullptr), active_(false) {
+    : id_(id), start_(), parent_(nullptr), active_(false) {
   require(id < kCount, "metrics::ScopedSpan: id out of range");
-  require(kMetrics[id].kind == Kind::Span,
-          "metrics::ScopedSpan: '" + std::string(kMetrics[id].name) +
-              "' is a " + std::string(kindName(kMetrics[id].kind)) +
-              ", not a span");
+  // Build the mismatch message only on failure: spans run on hot paths
+  // and the eager std::string concatenation used to cost two heap
+  // allocations per span entry even when the check passed.
+  if (kMetrics[id].kind != Kind::Span) {
+    throw LogicError("metrics::ScopedSpan: '" + std::string(kMetrics[id].name) +
+                     "' is a " + std::string(kindName(kMetrics[id].kind)) +
+                     ", not a span");
+  }
   if (!enabled()) return;
   parent_ = t_top;
   t_top = this;
   active_ = true;
-  start_ = nowSeconds();
+  start_ = std::chrono::steady_clock::now();
 }
 
 ScopedSpan::~ScopedSpan() {
   if (!active_) return;
-  const double total = nowSeconds() - start_;
+  const double total =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
   t_top = parent_;
   if (parent_ != nullptr) parent_->childSeconds_ += total;
   Shard& s = shard();

@@ -32,6 +32,7 @@
 //    subsystem.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -154,7 +155,10 @@ class ScopedSpan {
 
  private:
   Id id_;
-  double start_;
+  // Raw clock reading, not seconds-since-epoch: spans run on hot paths
+  // and the double conversion (plus the epoch static's guard) is paid
+  // once at destruction instead of on both ends.
+  std::chrono::steady_clock::time_point start_;
   double childSeconds_ = 0.0;
   ScopedSpan* parent_;
   bool active_;

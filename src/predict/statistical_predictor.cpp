@@ -67,7 +67,7 @@ double StatisticalPredictor::nodeRisk(NodeId node, SimTime t0,
 
 double StatisticalPredictor::partitionFailureProbability(
     std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
-  PQOS_METRIC_SPAN("predict.query");
+  PQOS_METRIC_COUNT("predict.query");
   double survive = 1.0;
   for (const NodeId node : nodes) {
     survive *= 1.0 - nodeRisk(node, t0, t1);

@@ -55,7 +55,7 @@ std::optional<failure::FailureEvent> TracePredictor::firstForeseen(
 
 double TracePredictor::partitionFailureProbability(
     std::span<const NodeId> nodes, SimTime t0, SimTime t1) const {
-  PQOS_METRIC_SPAN("predict.query");
+  PQOS_METRIC_COUNT("predict.query");
   const auto hit = firstForeseen(nodes, t0, t1);
   return hit ? hit->detectability : 0.0;
 }

@@ -1,0 +1,99 @@
+// Fixed-width bitset occupancy mask over the machine's nodes.
+//
+// One bit per node, packed into 64-bit words: blocking/unblocking a node
+// is a masked OR/AND-NOT, the free-node population count is maintained
+// incrementally, and materializing the free set walks words with
+// countr_zero — so the reservation book's candidate sweep touches
+// ceil(N/64) words instead of rescanning N per-node interval timelines
+// per candidate time. tests/sched_occupancy_oracle_test.cpp holds the
+// mask-based slot search to byte-equality with a naive per-node
+// interval-scan oracle.
+#pragma once
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/types.hpp"
+
+namespace pqos::sched {
+
+class OccupancyMask {
+ public:
+  explicit OccupancyMask(int nodeCount) : nodeCount_(nodeCount) {
+    require(nodeCount >= 1, "OccupancyMask: nodeCount must be >= 1");
+    words_.resize((static_cast<std::size_t>(nodeCount) + 63) / 64, 0);
+  }
+
+  [[nodiscard]] int nodeCount() const { return nodeCount_; }
+
+  /// All nodes free.
+  void clear() {
+    std::fill(words_.begin(), words_.end(), 0);
+    blocked_ = 0;
+  }
+
+  /// Marks `node` blocked; counting stays exact if it already was.
+  void block(NodeId node) {
+    const auto [word, bit] = locate(node);
+    if ((words_[word] & bit) == 0) {
+      words_[word] |= bit;
+      ++blocked_;
+    }
+  }
+
+  /// Marks `node` free; counting stays exact if it already was.
+  void unblock(NodeId node) {
+    const auto [word, bit] = locate(node);
+    if ((words_[word] & bit) != 0) {
+      words_[word] &= ~bit;
+      --blocked_;
+    }
+  }
+
+  [[nodiscard]] bool isBlocked(NodeId node) const {
+    const auto [word, bit] = locate(node);
+    return (words_[word] & bit) != 0;
+  }
+
+  [[nodiscard]] int blockedCount() const { return blocked_; }
+  [[nodiscard]] int freeCount() const { return nodeCount_ - blocked_; }
+
+  /// Appends every free node in ascending id order.
+  void collectFree(std::vector<NodeId>& out) const {
+    for (std::size_t word = 0; word < words_.size(); ++word) {
+      std::uint64_t free = ~words_[word];
+      if (word + 1 == words_.size()) {
+        // Mask off the bits past nodeCount in the final partial word.
+        const int used = nodeCount_ - static_cast<int>(word * 64);
+        if (used < 64) free &= (std::uint64_t{1} << used) - 1;
+      }
+      while (free != 0) {
+        const int bit = std::countr_zero(free);
+        out.push_back(static_cast<NodeId>(word * 64) +
+                      static_cast<NodeId>(bit));
+        free &= free - 1;
+      }
+    }
+  }
+
+ private:
+  struct Location {
+    std::size_t word;
+    std::uint64_t bit;
+  };
+
+  [[nodiscard]] Location locate(NodeId node) const {
+    require(node >= 0 && node < nodeCount_, "OccupancyMask: node out of range");
+    const auto n = static_cast<std::size_t>(node);
+    return Location{n >> 6, std::uint64_t{1} << (n & 63)};
+  }
+
+  int nodeCount_;
+  int blocked_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace pqos::sched

@@ -7,9 +7,57 @@
 
 namespace pqos::sched {
 
-ReservationBook::ReservationBook(int nodeCount) {
+namespace {
+
+// advanceTime() compacts a timeline's expired prefix once it reaches this
+// length: long enough to amortize the erase, short enough that queries
+// skip at most a handful of dead intervals.
+constexpr std::size_t kCompactPrefix = 16;
+
+// findSlot probes this many candidates with direct per-node binary
+// searches before switching to the batch mask sweep. Direct probing wins
+// while few candidates are tried (the common case: the earliest candidate
+// is usually feasible); the sweep amortizes better once a query walks
+// deep into the backlog, because each interval then contributes O(1) ops
+// instead of one binary search per candidate.
+constexpr std::size_t kDirectCandidates = 32;
+
+// Head-cache sentinel: "no interval ends after this node's refresh clock".
+// Any probe time compares greater, so the sentinel never reads as a live
+// head.
+constexpr SimTime kNoHead = -kTimeInfinity;
+
+/// Candidate-sweep op: (candidate index << 32) | (node << 1) | block-bit.
+/// Sorting the packed words groups ops by candidate index; ops at one
+/// index touch distinct nodes, so their order never matters.
+std::uint64_t packOp(std::size_t candidate, NodeId node, bool block) {
+  return (static_cast<std::uint64_t>(candidate) << 32) |
+         (static_cast<std::uint64_t>(node) << 1) |
+         static_cast<std::uint64_t>(block ? 1 : 0);
+}
+
+}  // namespace
+
+ReservationBook::ReservationBook(int nodeCount)
+    : scratchMask_(std::max(nodeCount, 1)) {
   require(nodeCount >= 1, "ReservationBook: nodeCount must be >= 1");
   timelines_.resize(static_cast<std::size_t>(nodeCount));
+  headStart_.resize(static_cast<std::size_t>(nodeCount), 0.0);
+  headEnd_.resize(static_cast<std::size_t>(nodeCount), kNoHead);
+}
+
+void ReservationBook::refreshHead(std::size_t node) {
+  const auto& line = timelines_[node];
+  const auto it = std::upper_bound(
+      line.begin(), line.end(), clock_,
+      [](SimTime t, const Interval& iv) { return t < iv.end; });
+  if (it == line.end()) {
+    headStart_[node] = 0.0;
+    headEnd_[node] = kNoHead;
+  } else {
+    headStart_[node] = it->start;
+    headEnd_[node] = it->end;
+  }
 }
 
 std::vector<ReservationBook::Interval>& ReservationBook::timeline(
@@ -44,92 +92,177 @@ std::optional<ReservationBook::Slot> ReservationBook::findSlot(
   if (count > nodeCount()) return std::nullopt;
   PQOS_METRIC_SPAN("sched.scan");
 
-  // Candidate start times: notBefore plus every reservation end after it.
-  // After the last end every node is free, so the search always terminates
-  // for feasible topologies.
-  std::vector<SimTime> candidates;
-  candidates.push_back(notBefore);
-  for (const auto& line : timelines_) {
-    for (const auto& interval : line) {
-      if (interval.end > notBefore) candidates.push_back(interval.end);
+  // Candidate start times: notBefore plus every distinct reservation end
+  // after it. After the last end every node is free, so the search always
+  // terminates for feasible topologies. endsSorted_ is maintained
+  // incrementally by the mutators, so candidates stream straight off it —
+  // no per-query rescan of the timelines, no sort, and (on the common
+  // first-candidate hit) no materialized list at all.
+  //
+  // Tier 1: probe the earliest candidates directly. A node is free for
+  // candidate t iff its first reservation ending after t starts at or
+  // after t + duration (timelines are disjoint and sorted, so one binary
+  // search decides). The scan aborts as soon as enough nodes are blocked
+  // to rule the candidate out; otherwise it yields the full free set in
+  // ascending node order, exactly as the mask sweep would.
+  auto& available = scratchAvailable_;
+  const auto nodes = static_cast<std::size_t>(nodeCount());
+  const std::size_t maxBlocked = nodes - static_cast<std::size_t>(count);
+  const auto endsEnd = endsSorted_.end();
+  auto nextEnd = std::upper_bound(endsSorted_.begin(), endsEnd, notBefore);
+  SimTime probe = notBefore;
+  std::size_t probed = 0;
+  while (true) {
+    const SimTime probeEnd = probe + duration;
+    available.clear();
+    std::size_t blocked = 0;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      // Fast path: the head cache holds the node's first interval ending
+      // after its refresh clock. Probes never look before the current
+      // clock, so when the cached end is beyond the probe it IS the
+      // first interval ending after the probe — two contiguous-array
+      // loads decide the node. A stale head (end at or before the
+      // probe) or the no-head sentinel means the answer lies deeper in
+      // the timeline (or nowhere): scan it the slow way.
+      bool isBlocked;
+      const SimTime cachedEnd = headEnd_[n];
+      if (cachedEnd > probe) {
+        isBlocked = headStart_[n] < probeEnd;
+      } else if (cachedEnd == kNoHead) {
+        isBlocked = false;
+      } else {
+        const auto& line = timelines_[n];
+        // Timelines are a handful of intervals (compaction bounds the
+        // dead prefix), so a forward scan beats the branchy binary
+        // search; very long lines fall back to upper_bound.
+        const Interval* hit = nullptr;
+        if (line.size() <= 32) {
+          for (const auto& interval : line) {
+            if (interval.end > probe) {
+              hit = &interval;
+              break;
+            }
+          }
+        } else {
+          const auto it = std::upper_bound(
+              line.begin(), line.end(), probe,
+              [](SimTime q, const Interval& iv) { return q < iv.end; });
+          if (it != line.end()) hit = &*it;
+        }
+        isBlocked = hit != nullptr && hit->start < probeEnd;
+      }
+      if (isBlocked) {
+        if (++blocked > maxBlocked) break;
+      } else {
+        available.push_back(static_cast<NodeId>(n));
+      }
     }
+    if (blocked <= maxBlocked) {
+      auto partition =
+          topology.select(available, count, rankerAt(probe, probeEnd));
+      if (partition) return Slot{probe, std::move(*partition)};
+      // Topology refusal (e.g. a ring needs contiguous nodes): keep going.
+    }
+    ++probed;
+    while (nextEnd != endsEnd && *nextEnd == probe) ++nextEnd;
+    if (nextEnd == endsEnd) return std::nullopt;  // ran out of candidates
+    if (probed == kDirectCandidates) break;
+    probe = *nextEnd;
   }
-  std::sort(candidates.begin(), candidates.end());
-  candidates.erase(std::unique(candidates.begin(), candidates.end()),
-                   candidates.end());
 
-  const auto gatherAndSelect =
-      [&](SimTime t) -> std::optional<Slot> {
-    std::vector<NodeId> available;
-    available.reserve(timelines_.size());
-    for (NodeId n = 0; n < nodeCount(); ++n) {
-      if (nodeFree(n, t, t + duration)) available.push_back(n);
+  // Tier 2: the query walked past the direct-probe window, so batch the
+  // remaining candidates. Materialize the full candidate list (a dedup
+  // copy of the end index — already sorted).
+  auto& candidates = scratchCandidates_;
+  candidates.clear();
+  candidates.push_back(notBefore);
+  for (auto it = std::upper_bound(endsSorted_.begin(), endsEnd, notBefore);
+       it != endsEnd; ++it) {
+    if (*it != candidates.back()) candidates.push_back(*it);
+  }
+  const std::size_t directLimit = probed;
+
+  // A node is blocked for candidate t iff one of its reservations has
+  // start < t + duration && end > t, i.e. t lies in the open region
+  // (start - duration, end). Merge each node's expanded regions and map
+  // them onto candidate-index ranges [first index with t > regionStart,
+  // first index with t >= regionEnd): block/unblock ops on the occupancy
+  // mask, bucketed by candidate index.
+  auto& ops = scratchOps_;
+  ops.clear();
+  const auto candidateBegin = candidates.begin();
+  const auto candidateEnd = candidates.end();
+  for (NodeId n = 0; n < nodeCount(); ++n) {
+    const auto& line = timelines_[static_cast<std::size_t>(n)];
+    SimTime regionStart = 0.0;
+    SimTime regionEnd = -kTimeInfinity;
+    const auto emit = [&](SimTime lo, SimTime hi) {
+      // Clamping to directLimit drops regions tier 1 fully covered while
+      // keeping the mask exact from directLimit onward.
+      const auto first = std::max(
+          static_cast<std::size_t>(
+              std::upper_bound(candidateBegin, candidateEnd, lo) -
+              candidateBegin),
+          directLimit);
+      const auto last = static_cast<std::size_t>(
+          std::lower_bound(candidateBegin, candidateEnd, hi) - candidateBegin);
+      if (first >= last) return;
+      ops.push_back(packOp(first, n, /*block=*/true));
+      if (last < candidates.size()) {
+        ops.push_back(packOp(last, n, /*block=*/false));
+      }
+    };
+    for (const auto& interval : line) {
+      if (interval.end <= notBefore) continue;
+      const SimTime lo = interval.start - duration;
+      if (regionEnd < lo) {  // disjoint: flush previous region
+        if (regionEnd > -kTimeInfinity) emit(regionStart, regionEnd);
+        regionStart = lo;
+        regionEnd = interval.end;
+      } else {
+        regionEnd = std::max(regionEnd, interval.end);
+      }
     }
-    if (static_cast<int>(available.size()) < count) return std::nullopt;
+    if (regionEnd > -kTimeInfinity) emit(regionStart, regionEnd);
+  }
+  std::sort(ops.begin(), ops.end());
+
+  // Word-parallel sweep: apply each candidate's ops, check the free
+  // population count, and only materialize the free set (ascending node
+  // order, straight from the mask words) when it can host the job.
+  // Candidates below directLimit were already rejected by tier 1; their
+  // ops still replay so the mask is exact from directLimit onward.
+  auto& mask = scratchMask_;
+  mask.clear();
+  std::size_t op = 0;
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    for (; op < ops.size() && (ops[op] >> 32) == c; ++op) {
+      const auto node = static_cast<NodeId>((ops[op] & 0xffffffffULL) >> 1);
+      if ((ops[op] & 1) != 0) {
+        mask.block(node);
+      } else {
+        mask.unblock(node);
+      }
+    }
+    if (c < directLimit) continue;
+    if (mask.freeCount() < count) continue;
+    const SimTime t = candidates[c];
+    available.clear();
+    mask.collectFree(available);
     auto partition =
         topology.select(available, count, rankerAt(t, t + duration));
-    if (!partition) return std::nullopt;
-    return Slot{t, std::move(*partition)};
-  };
-
-  if (topology.anySubsetValid()) {
-    // Counting fast path: a node is blocked for candidate t iff one of its
-    // reservations satisfies start < t + duration && end > t, i.e. t lies
-    // in the open region (start - duration, end). Merge each node's
-    // expanded regions, then sweep the candidate times against activation
-    // (> start - duration) and deactivation (>= end) events. The earliest
-    // candidate with enough unblocked nodes is the slot.
-    std::vector<SimTime> activate;
-    std::vector<SimTime> deactivate;
-    for (const auto& line : timelines_) {
-      SimTime regionStart = 0.0;
-      SimTime regionEnd = -kTimeInfinity;
-      for (const auto& interval : line) {
-        if (interval.end <= notBefore) continue;
-        const SimTime lo = interval.start - duration;
-        if (regionEnd < lo) {  // disjoint: flush previous region
-          if (regionEnd > -kTimeInfinity) {
-            activate.push_back(regionStart);
-            deactivate.push_back(regionEnd);
-          }
-          regionStart = lo;
-          regionEnd = interval.end;
-        } else {
-          regionEnd = std::max(regionEnd, interval.end);
-        }
-      }
-      if (regionEnd > -kTimeInfinity) {
-        activate.push_back(regionStart);
-        deactivate.push_back(regionEnd);
-      }
-    }
-    std::sort(activate.begin(), activate.end());
-    std::sort(deactivate.begin(), deactivate.end());
-    std::size_t ia = 0;
-    std::size_t id = 0;
-    for (const SimTime t : candidates) {
-      while (ia < activate.size() && activate[ia] < t) ++ia;
-      while (id < deactivate.size() && deactivate[id] <= t) ++id;
-      const auto blocked = static_cast<int>(ia - id);
-      if (nodeCount() - blocked < count) continue;
-      auto slot = gatherAndSelect(t);
-      require(slot.has_value(),
-              "ReservationBook::findSlot: sweep/availability mismatch");
-      return slot;
-    }
-    return std::nullopt;  // count > nodeCount was excluded above
-  }
-
-  for (const SimTime t : candidates) {
-    if (auto slot = gatherAndSelect(t)) return slot;
+    if (partition) return Slot{t, std::move(*partition)};
+    // The topology refused this window (e.g. a ring needs contiguous
+    // nodes); keep sweeping later candidates.
   }
   // All reservations exhausted: the machine is empty at the horizon. The
   // topology still refused (e.g. count exceeds what it can ever host).
   return std::nullopt;
 }
 
-void ReservationBook::insertInterval(NodeId node, Interval interval,
-                                     bool allowTrim) {
+std::optional<SimTime> ReservationBook::insertInterval(NodeId node,
+                                                       Interval interval,
+                                                       bool allowTrim) {
   auto& line = timeline(node);
   auto it = std::lower_bound(line.begin(), line.end(), interval.start,
                              [](const Interval& iv, SimTime t) {
@@ -147,19 +280,73 @@ void ReservationBook::insertInterval(NodeId node, Interval interval,
     require(allowTrim, "ReservationBook: overlapping reservation (next)");
     interval.end = it->start;
   }
-  if (interval.start >= interval.end) return;  // fully trimmed away
+  if (interval.start >= interval.end) return std::nullopt;  // fully trimmed
   line.insert(it, interval);
+  refreshHead(static_cast<std::size_t>(node));
+  return interval.end;
+}
+
+void ReservationBook::insertEnds(SimTime end, std::size_t copies) {
+  if (copies == 0) return;
+  endsSorted_.insert(
+      std::upper_bound(endsSorted_.begin(), endsSorted_.end(), end), copies,
+      end);
+}
+
+void ReservationBook::eraseEnds(std::vector<SimTime>& ends) {
+  if (ends.empty()) return;
+  std::sort(ends.begin(), ends.end());
+  std::size_t i = 0;
+  while (i < ends.size()) {
+    std::size_t j = i + 1;
+    while (j < ends.size() && ends[j] == ends[i]) ++j;
+    const auto run = static_cast<std::ptrdiff_t>(j - i);
+    const auto first =
+        std::lower_bound(endsSorted_.begin(), endsSorted_.end(), ends[i]);
+    require(endsSorted_.end() - first >= run && *(first + run - 1) == ends[i],
+            "ReservationBook: end-time index out of sync");
+    endsSorted_.erase(first, first + run);
+    i = j;
+  }
+}
+
+ReservationBook::OwnerEntry& ReservationBook::ownerEntry(JobId owner) {
+  const auto index = static_cast<std::size_t>(owner);
+  if (owners_.size() <= index) owners_.resize(index + 1);
+  return owners_[index];
+}
+
+void ReservationBook::recordOwnership(JobId owner,
+                                      const cluster::Partition& partition,
+                                      std::uint32_t inserted) {
+  auto& entry = ownerEntry(owner);
+  entry.nodes.insert(entry.nodes.end(), partition.begin(), partition.end());
+  entry.intervals += inserted;
+}
+
+void ReservationBook::noteRemoved(const Interval& interval) {
+  if (interval.owner < 0) return;  // downtime windows have no owner entry
+  const auto index = static_cast<std::size_t>(interval.owner);
+  if (index < owners_.size() && owners_[index].intervals > 0) {
+    --owners_[index].intervals;
+  }
 }
 
 void ReservationBook::reserve(JobId owner, const cluster::Partition& partition,
                               SimTime start, SimTime end) {
   require(owner >= 0, "ReservationBook::reserve: invalid owner");
   require(start < end, "ReservationBook::reserve: empty window");
+  std::uint32_t inserted = 0;
   for (const NodeId node : partition) {
-    insertInterval(node, Interval{start, end, owner}, /*allowTrim=*/false);
+    if (insertInterval(node, Interval{start, end, owner},
+                       /*allowTrim=*/false)) {
+      ++inserted;
+    }
   }
-  auto& nodes = ownerNodes_[owner];
-  nodes.insert(nodes.end(), partition.begin(), partition.end());
+  // No trimming allowed, so every stored interval kept the shared end:
+  // one placement covers the whole partition.
+  insertEnds(end, inserted);
+  recordOwnership(owner, partition, inserted);
 }
 
 void ReservationBook::reserveBestEffort(JobId owner,
@@ -167,56 +354,93 @@ void ReservationBook::reserveBestEffort(JobId owner,
                                         SimTime start, SimTime end) {
   require(owner >= 0, "ReservationBook::reserveBestEffort: invalid owner");
   require(start < end, "ReservationBook::reserveBestEffort: empty window");
+  std::uint32_t inserted = 0;
   for (const NodeId node : partition) {
-    insertInterval(node, Interval{start, end, owner}, /*allowTrim=*/true);
+    if (const auto stored = insertInterval(node, Interval{start, end, owner},
+                                           /*allowTrim=*/true)) {
+      ++inserted;
+      insertEnds(*stored, 1);  // trimming can shorten individual ends
+    }
   }
-  auto& nodes = ownerNodes_[owner];
-  nodes.insert(nodes.end(), partition.begin(), partition.end());
+  recordOwnership(owner, partition, inserted);
 }
 
 void ReservationBook::release(JobId owner) {
-  const auto it = ownerNodes_.find(owner);
-  if (it == ownerNodes_.end()) return;
-  for (const NodeId node : it->second) {
+  if (owner < 0 || static_cast<std::size_t>(owner) >= owners_.size()) return;
+  auto& entry = owners_[static_cast<std::size_t>(owner)];
+  removedEnds_.clear();
+  for (const NodeId node : entry.nodes) {
     auto& line = timeline(node);
-    line.erase(std::remove_if(
-                   line.begin(), line.end(),
-                   [owner](const Interval& iv) { return iv.owner == owner; }),
-               line.end());
+    std::size_t keep = 0;
+    for (const Interval& interval : line) {
+      if (interval.owner == owner) {
+        removedEnds_.push_back(interval.end);
+      } else {
+        line[keep++] = interval;
+      }
+    }
+    if (keep != line.size()) {
+      line.resize(keep);
+      refreshHead(static_cast<std::size_t>(node));
+    }
   }
-  ownerNodes_.erase(it);
+  eraseEnds(removedEnds_);
+  entry = OwnerEntry{};
 }
 
 void ReservationBook::reserveDowntime(NodeId node, SimTime start,
                                       SimTime end) {
   if (start >= end) return;
-  insertInterval(node, Interval{start, end, kDowntimeOwner},
-                 /*allowTrim=*/true);
+  if (const auto stored = insertInterval(node, Interval{start, end,
+                                                        kDowntimeOwner},
+                                         /*allowTrim=*/true)) {
+    insertEnds(*stored, 1);
+  }
+}
+
+void ReservationBook::advanceTime(SimTime now) {
+  clock_ = std::max(clock_, now);
+  removedEnds_.clear();
+  for (std::size_t n = 0; n < timelines_.size(); ++n) {
+    auto& line = timelines_[n];
+    std::size_t dead = 0;
+    while (dead < line.size() && line[dead].end <= clock_) ++dead;
+    if (dead < kCompactPrefix) continue;
+    for (std::size_t i = 0; i < dead; ++i) {
+      noteRemoved(line[i]);
+      removedEnds_.push_back(line[i].end);
+    }
+    line.erase(line.begin(),
+               line.begin() + static_cast<std::ptrdiff_t>(dead));
+    refreshHead(n);
+  }
+  eraseEnds(removedEnds_);
 }
 
 void ReservationBook::prune(SimTime before) {
-  for (auto& line : timelines_) {
-    line.erase(std::remove_if(line.begin(), line.end(),
-                              [before](const Interval& iv) {
-                                return iv.end <= before;
-                              }),
-               line.end());
-  }
-  // ownerNodes_ entries whose intervals were all pruned become harmless:
-  // release() tolerates nodes without matching intervals. Clean the map of
-  // owners with no remaining intervals to bound its growth.
-  for (auto it = ownerNodes_.begin(); it != ownerNodes_.end();) {
-    bool any = false;
-    for (const NodeId node : it->second) {
-      const auto& line = timeline(node);
-      if (std::any_of(line.begin(), line.end(), [&](const Interval& iv) {
-            return iv.owner == it->first;
-          })) {
-        any = true;
-        break;
+  removedEnds_.clear();
+  for (std::size_t n = 0; n < timelines_.size(); ++n) {
+    auto& line = timelines_[n];
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i].end <= before) {
+        noteRemoved(line[i]);
+        removedEnds_.push_back(line[i].end);
+      } else {
+        line[keep++] = line[i];
       }
     }
-    it = any ? std::next(it) : ownerNodes_.erase(it);
+    if (keep != line.size()) {
+      line.resize(keep);
+      refreshHead(n);
+    }
+  }
+  eraseEnds(removedEnds_);
+  // Owners whose intervals were all pruned become harmless — release()
+  // tolerates nodes without matching intervals — but clearing them bounds
+  // the node lists' growth.
+  for (auto& entry : owners_) {
+    if (entry.intervals == 0 && !entry.nodes.empty()) entry = OwnerEntry{};
   }
 }
 
@@ -227,6 +451,7 @@ std::size_t ReservationBook::intervalCount() const {
 }
 
 void ReservationBook::checkConsistency() const {
+  std::vector<SimTime> ends;
   for (const auto& line : timelines_) {
     for (std::size_t i = 0; i < line.size(); ++i) {
       require(line[i].start < line[i].end,
@@ -235,7 +460,36 @@ void ReservationBook::checkConsistency() const {
         require(line[i - 1].end <= line[i].start,
                 "ReservationBook: overlapping or unsorted intervals");
       }
+      ends.push_back(line[i].end);
     }
+  }
+  std::sort(ends.begin(), ends.end());
+  require(ends == endsSorted_,
+          "ReservationBook: end-time index out of sync with timelines");
+  // Head-cache invariant: each node's head is the first interval ending
+  // after the clock at its last refresh (some value <= clock_). That
+  // means a sentinel implies no interval outlives the clock, and a live
+  // head must be a stored interval preceded only by expired ones.
+  for (std::size_t n = 0; n < timelines_.size(); ++n) {
+    const auto& line = timelines_[n];
+    if (headEnd_[n] == kNoHead) {
+      for (const auto& interval : line) {
+        require(interval.end <= clock_,
+                "ReservationBook: head cache missed a pending interval");
+      }
+      continue;
+    }
+    std::size_t at = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i].start == headStart_[n] && line[i].end == headEnd_[n]) {
+        at = i;
+        break;
+      }
+      require(line[i].end <= clock_,
+              "ReservationBook: head cache behind a pending interval");
+    }
+    require(at < line.size(),
+            "ReservationBook: head cache names a missing interval");
   }
 }
 

@@ -14,15 +14,29 @@
 // Node choice is delegated to a Topology plus a NodeRanker so fault-aware
 // selection (predictor risk) and fault-oblivious baselines share one code
 // path.
+//
+// The slot search keeps the candidate set (every reservation end time)
+// sorted incrementally across queries, probes the earliest few candidates
+// with direct per-node binary searches (most queries resolve at the first
+// candidate), and falls back to sweeping the remaining candidates against
+// a bitset occupancy mask (sched/occupancy.hpp): per-node blocked regions
+// become set/unblock ops bucketed by candidate index, so each candidate
+// costs a popcount check instead of N interval scans, and the free node
+// set materializes straight from the mask words. advanceTime() lets the
+// owner publish the simulation clock so intervals entirely in the past
+// are compacted away — every query filters by its own `notBefore`/`t0`
+// anyway, so compaction can never change an answer (queries never look
+// before the clock).
 #pragma once
 
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <vector>
 
 #include "cluster/partition.hpp"
 #include "cluster/topology.hpp"
+#include "sched/occupancy.hpp"
 #include "util/types.hpp"
 
 namespace pqos::sched {
@@ -80,6 +94,13 @@ class ReservationBook {
   /// True when `node` has no reservation intersecting [t0, t1).
   [[nodiscard]] bool nodeFree(NodeId node, SimTime t0, SimTime t1) const;
 
+  /// Publishes the simulation clock: intervals ending at or before `now`
+  /// can never influence a query again (queries always look from the
+  /// clock forward) and are compacted away once enough accumulate.
+  /// Without this, expired downtime windows pile up over a long run and
+  /// every findSlot rescans them — the cost curve goes quadratic.
+  void advanceTime(SimTime now);
+
   /// Drops reservations ending at or before `before` (bookkeeping only;
   /// keeps timelines short over long simulations).
   void prune(SimTime before);
@@ -97,16 +118,59 @@ class ReservationBook {
     JobId owner;
   };
 
+  /// Reservation-holding job bookkeeping, indexed densely by JobId.
+  /// `intervals` counts this owner's physically stored intervals so
+  /// prune() can clear emptied entries without rescanning timelines.
+  struct OwnerEntry {
+    std::vector<NodeId> nodes;
+    std::uint32_t intervals = 0;
+  };
+
   std::vector<Interval>& timeline(NodeId node);
   [[nodiscard]] const std::vector<Interval>& timeline(NodeId node) const;
 
-  void insertInterval(NodeId node, Interval interval, bool allowTrim);
+  /// Returns the stored end time when the (possibly trimmed) interval was
+  /// kept, nullopt when it was trimmed away entirely. The caller folds the
+  /// stored end into endsSorted_ (batching equal ends into one insert).
+  std::optional<SimTime> insertInterval(NodeId node, Interval interval,
+                                        bool allowTrim);
+  OwnerEntry& ownerEntry(JobId owner);
+  void noteRemoved(const Interval& interval);
+  void recordOwnership(JobId owner, const cluster::Partition& partition,
+                       std::uint32_t inserted);
+  /// Adds `copies` occurrences of `end` to the incremental end-time index
+  /// with a single placement (a job's reservations share one end time).
+  void insertEnds(SimTime end, std::size_t copies);
+  /// Drops one occurrence of each value in `ends` from the end-time index,
+  /// erasing runs of equal values in one move. Sorts `ends` in place.
+  void eraseEnds(std::vector<SimTime>& ends);
+  /// Recomputes the node's head cache (first interval ending after the
+  /// clock) after its timeline mutated. Heads may go stale as the clock
+  /// advances past them — findSlot detects that (head end <= probe) and
+  /// falls back to scanning the timeline, so staleness is a slow path,
+  /// never a wrong answer.
+  void refreshHead(std::size_t node);
 
   std::vector<std::vector<Interval>> timelines_;  // sorted by start
-  // Ordered by JobId: prune() iterates this map, and iteration order in
-  // result-affecting code must be deterministic (pqos_analyze rule
-  // unordered-iter). Lookups are per-release/reserve, not hot.
-  std::map<JobId, std::vector<NodeId>> ownerNodes_;
+  std::vector<OwnerEntry> owners_;                // indexed by JobId
+  std::vector<SimTime> endsSorted_;  // every stored end, ascending multiset
+  std::vector<SimTime> removedEnds_;  // mutation scratch for eraseEnds()
+  // Flat per-node cache of the first interval ending after the clock at
+  // the node's last mutation (kNoHead sentinel end when there is none).
+  // findSlot's first-candidate probe reads only these two contiguous
+  // arrays in the common case instead of chasing every node's timeline
+  // vector.
+  std::vector<SimTime> headStart_;
+  std::vector<SimTime> headEnd_;
+  SimTime clock_ = 0.0;
+
+  // Scratch for findSlot (const but not concurrency-safe: a book belongs
+  // to one simulator and sweep parallelism is one book per worker). Kept
+  // as members so the hot path stops allocating per query.
+  mutable std::vector<SimTime> scratchCandidates_;
+  mutable std::vector<std::uint64_t> scratchOps_;
+  mutable std::vector<NodeId> scratchAvailable_;
+  mutable OccupancyMask scratchMask_;
 };
 
 }  // namespace pqos::sched

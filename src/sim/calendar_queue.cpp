@@ -1,0 +1,131 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace pqos::sim {
+
+namespace {
+
+/// Descending (time, seq) — the bucket-internal sort order (min at back).
+bool firesAfter(const QueueEntry& a, const QueueEntry& b) {
+  return firesBefore(b, a);
+}
+
+}  // namespace
+
+CalendarQueue::CalendarQueue() : buckets_(kMinBuckets) {}
+
+std::size_t CalendarQueue::bucketOf(SimTime time) const {
+  // width_ is clamped in rebuild() so time / width_ stays far inside the
+  // int64 range even for extreme (including negative) times.
+  const auto virt = static_cast<std::int64_t>(std::floor(time / width_));
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  return static_cast<std::size_t>(((virt % n) + n) % n);
+}
+
+void CalendarQueue::push(const QueueEntry& entry) {
+  auto& bucket = buckets_[bucketOf(entry.time)];
+  const auto at = std::upper_bound(bucket.begin(), bucket.end(), entry,
+                                   firesAfter);
+  bucket.insert(at, entry);
+  ++count_;
+  if (count_ == 1 || entry.time < searchFrom_) searchFrom_ = entry.time;
+  cachedMinBucket_ = kNoBucket;
+  if (count_ > buckets_.size() * 2) rebuild(buckets_.size() * 2);
+}
+
+std::size_t CalendarQueue::locateMinBucket() {
+  require(count_ > 0, "CalendarQueue: empty");
+  if (cachedMinBucket_ != kNoBucket) return cachedMinBucket_;
+  // One calendar year: probe the Nb buckets covering
+  // [searchFrom_, searchFrom_ + Nb * width_). Every pending entry has
+  // time >= searchFrom_, and equal times always share a bucket, so the
+  // first in-window tail found is the global minimum.
+  const auto n = static_cast<std::int64_t>(buckets_.size());
+  auto virt = static_cast<std::int64_t>(std::floor(searchFrom_ / width_));
+  for (std::int64_t probed = 0; probed < n; ++probed, ++virt) {
+    const auto idx = static_cast<std::size_t>(((virt % n) + n) % n);
+    const auto& bucket = buckets_[idx];
+    // In-window test via the exact floor() bucketOf() uses: a tail whose
+    // virtual bucket equals the probe is the earliest entry of this year
+    // (times are >= searchFrom_, floor is monotone, equal times share a
+    // bucket). A width-multiply comparison could round the other way and
+    // skip the true minimum.
+    if (!bucket.empty() &&
+        static_cast<std::int64_t>(
+            std::floor(bucket.back().time / width_)) == virt) {
+      searchFrom_ = bucket.back().time;
+      cachedMinBucket_ = idx;
+      return idx;
+    }
+  }
+  // Sparse tail: nothing within one year of searchFrom_; direct-scan all
+  // bucket tails for the global minimum.
+  const QueueEntry* best = nullptr;
+  std::size_t bestIdx = 0;
+  for (std::size_t idx = 0; idx < buckets_.size(); ++idx) {
+    const auto& bucket = buckets_[idx];
+    if (bucket.empty()) continue;
+    if (best == nullptr || firesBefore(bucket.back(), *best)) {
+      best = &bucket.back();
+      bestIdx = idx;
+    }
+  }
+  require(best != nullptr, "CalendarQueue: count/bucket mismatch");
+  searchFrom_ = best->time;
+  cachedMinBucket_ = bestIdx;
+  return bestIdx;
+}
+
+const QueueEntry& CalendarQueue::peekMin() {
+  return buckets_[locateMinBucket()].back();
+}
+
+QueueEntry CalendarQueue::popMin() {
+  const std::size_t idx = locateMinBucket();
+  auto& bucket = buckets_[idx];
+  const QueueEntry entry = bucket.back();
+  bucket.pop_back();
+  --count_;
+  cachedMinBucket_ = kNoBucket;
+  if (buckets_.size() > kMinBuckets && count_ * 4 < buckets_.size()) {
+    rebuild(buckets_.size() / 2);
+  }
+  return entry;
+}
+
+void CalendarQueue::rebuild(std::size_t bucketCount) {
+  std::vector<QueueEntry> all;
+  all.reserve(count_);
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  if (!all.empty()) {
+    SimTime lo = all.front().time;
+    SimTime hi = lo;
+    for (const auto& entry : all) {
+      lo = std::min(lo, entry.time);
+      hi = std::max(hi, entry.time);
+    }
+    // Mean spacing across the live span, clamped away from zero (equal
+    // times) and from widths so small that floor(time / width_) would
+    // leave the int64 bucket-index range.
+    const double span = hi - lo;
+    width_ = span > 0.0 ? span / static_cast<double>(all.size()) : 1.0;
+    width_ = std::max(width_, (std::max(std::abs(lo), std::abs(hi)) + 1.0) *
+                                  1e-12);
+    searchFrom_ = lo;
+  }
+  // Distributing in descending global order keeps every bucket sorted.
+  std::sort(all.begin(), all.end(), firesAfter);
+  buckets_.assign(bucketCount, {});
+  for (const auto& entry : all) {
+    buckets_[bucketOf(entry.time)].push_back(entry);
+  }
+  cachedMinBucket_ = kNoBucket;
+}
+
+}  // namespace pqos::sim

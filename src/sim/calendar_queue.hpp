@@ -1,0 +1,80 @@
+// Brown's calendar queue: the bucketed pending-set structure behind
+// EventQueue (selected by QueueImpl::Calendar / the PQOS_EVENTQ knob).
+//
+// Entries hash into Nb time buckets of width w by floor(time / w) mod Nb;
+// each bucket stays sorted, so dequeue scans forward from the last known
+// minimum and usually finds the next event in the first bucket it probes —
+// O(1) amortized enqueue/dequeue at high event rates, against the binary
+// heap's O(log n). The bucket count doubles/halves with occupancy and the
+// width re-derives from the live span on every rebuild.
+//
+// The total order is exactly the engine's deterministic firing order —
+// (time, sequence) with FIFO tie-breaks — so a calendar-backed EventQueue
+// must be indistinguishable from the heap oracle event for event;
+// tests/sim_eventq_diff_test.cpp holds both implementations to that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace pqos::sim {
+
+/// One pending entry as stored by the queue structures: the (time, seq)
+/// firing-order key plus the arena slot reference EventQueue uses to look
+/// up liveness and the callback (see event_queue.hpp).
+struct QueueEntry {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t slot;
+  std::uint32_t generation;
+};
+
+/// Strict firing order: earlier time first, FIFO (sequence) on ties.
+[[nodiscard]] constexpr bool firesBefore(const QueueEntry& a,
+                                         const QueueEntry& b) {
+  if (a.time != b.time) return a.time < b.time;
+  return a.seq < b.seq;
+}
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  void push(const QueueEntry& entry);
+
+  [[nodiscard]] bool empty() const { return count_ == 0; }
+  [[nodiscard]] std::size_t size() const { return count_; }
+
+  /// Minimum entry by (time, seq). Requires !empty(). Non-const because
+  /// the forward scan advances the search position (and caches the found
+  /// bucket for the popMin() that typically follows).
+  [[nodiscard]] const QueueEntry& peekMin();
+
+  /// Removes and returns the minimum entry. Requires !empty().
+  QueueEntry popMin();
+
+ private:
+  static constexpr std::size_t kMinBuckets = 8;
+  static constexpr std::size_t kNoBucket = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t bucketOf(SimTime time) const;
+  /// Finds the bucket whose sorted tail holds the global minimum.
+  std::size_t locateMinBucket();
+  /// Re-buckets every entry into `bucketCount` buckets with a width
+  /// re-derived from the live entries' time span.
+  void rebuild(std::size_t bucketCount);
+
+  // Each bucket is sorted descending by (time, seq): the bucket's minimum
+  // sits at back(), so removal is O(1).
+  std::vector<std::vector<QueueEntry>> buckets_;
+  double width_ = 1.0;
+  // Lower bound on every pending entry's time; scanning starts here.
+  SimTime searchFrom_ = 0.0;
+  std::size_t count_ = 0;
+  std::size_t cachedMinBucket_ = kNoBucket;  // valid until next push/pop
+};
+
+}  // namespace pqos::sim

@@ -1,58 +1,157 @@
 #include "sim/event_queue.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "metrics/metrics.hpp"
 #include "util/audit.hpp"
 #include "util/error.hpp"
 
+// Build-time default for the pending-set structure, overridable at
+// configure time (-DPQOS_EVENTQ=calendar) and at runtime (the PQOS_EVENTQ
+// environment variable / setDefaultQueueImpl()).
+#ifndef PQOS_EVENTQ_DEFAULT
+#define PQOS_EVENTQ_DEFAULT "heap"
+#endif
+
 namespace pqos::sim {
+
+namespace {
+
+/// Heap comparator: std::push_heap/pop_heap keep the *latest* entry last,
+/// so "a sorts below b" means a fires after b.
+bool laterInHeap(const QueueEntry& a, const QueueEntry& b) {
+  return firesBefore(b, a);
+}
+
+/// -1 = no programmatic override; otherwise a QueueImpl value.
+std::atomic<int>& queueImplOverride() {
+  static std::atomic<int> value{-1};
+  return value;
+}
+
+}  // namespace
+
+QueueImpl queueImplFromName(const std::string& name) {
+  if (name == "heap") return QueueImpl::Heap;
+  if (name == "calendar") return QueueImpl::Calendar;
+  throw ConfigError("unknown event-queue implementation: " + name +
+                    " (expected heap|calendar)");
+}
+
+const char* queueImplName(QueueImpl impl) noexcept {
+  return impl == QueueImpl::Heap ? "heap" : "calendar";
+}
+
+QueueImpl defaultQueueImpl() {
+  const int overridden = queueImplOverride().load(std::memory_order_relaxed);
+  if (overridden >= 0) return static_cast<QueueImpl>(overridden);
+  static const QueueImpl fromEnvironment = [] {
+    const char* env = std::getenv("PQOS_EVENTQ");
+    if (env != nullptr && *env != '\0') return queueImplFromName(env);
+    return queueImplFromName(PQOS_EVENTQ_DEFAULT);
+  }();
+  return fromEnvironment;
+}
+
+void setDefaultQueueImpl(QueueImpl impl) {
+  queueImplOverride().store(static_cast<int>(impl),
+                            std::memory_order_relaxed);
+}
 
 EventId EventQueue::schedule(SimTime at, EventFn fn) {
   require(std::isfinite(at), "EventQueue::schedule: non-finite time");
   require(static_cast<bool>(fn), "EventQueue::schedule: empty callback");
-  const EventId id = nextSeq_++;
-  heap_.push_back(Entry{at, id});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  live_.emplace(id, std::move(fn));
+  std::uint32_t slot;
+  if (freeSlots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  } else {
+    slot = freeSlots_.back();
+    freeSlots_.pop_back();
+  }
+  Slot& cell = slots_[slot];
+  cell.fn = std::move(fn);
+  const QueueEntry entry{at, nextSeq_++, slot, cell.generation};
+  if (impl_ == QueueImpl::Heap) {
+    heap_.push_back(entry);
+    std::push_heap(heap_.begin(), heap_.end(), laterInHeap);
+  } else {
+    calendar_.push(entry);
+  }
+  ++liveCount_;
   PQOS_METRIC_COUNT("sim.queue.push");
-  PQOS_METRIC_GAUGE_MAX("sim.queue.peak", heap_.size());
-  return id;
+  PQOS_METRIC_GAUGE_MAX("sim.queue.peak", liveCount_);
+  return makeId(slot, entry.generation);
 }
 
-bool EventQueue::cancel(EventId id) { return live_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) {
+  if (id == kInvalidEvent) return false;
+  const auto slot =
+      static_cast<std::uint32_t>((id & 0xffffffffULL) - 1);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size()) return false;
+  if (slots_[slot].generation != generation) return false;  // fired/cancelled
+  releaseSlot(slot);
+  --liveCount_;
+  return true;
+}
 
-void EventQueue::dropDead() {
-  while (!heap_.empty() && live_.find(heap_.front().seq) == live_.end()) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    heap_.pop_back();
+void EventQueue::releaseSlot(std::uint32_t slot) {
+  Slot& cell = slots_[slot];
+  cell.fn = nullptr;
+  ++cell.generation;  // invalidates the id and any pending structure entry
+  freeSlots_.push_back(slot);
+}
+
+const QueueEntry* EventQueue::surfaceLive() {
+  if (impl_ == QueueImpl::Heap) {
+    while (!heap_.empty() && !isLive(heap_.front())) {
+      std::pop_heap(heap_.begin(), heap_.end(), laterInHeap);
+      heap_.pop_back();
+    }
+    return heap_.empty() ? nullptr : &heap_.front();
   }
+  while (!calendar_.empty() && !isLive(calendar_.peekMin())) {
+    (void)calendar_.popMin();
+  }
+  return calendar_.empty() ? nullptr : &calendar_.peekMin();
 }
 
 SimTime EventQueue::nextTime() {
-  dropDead();
-  return heap_.empty() ? kTimeInfinity : heap_.front().time;
+  const QueueEntry* top = surfaceLive();
+  return top == nullptr ? kTimeInfinity : top->time;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  dropDead();
-  require(!heap_.empty(), "EventQueue::pop: queue is empty");
+  const QueueEntry* top = surfaceLive();
+  require(top != nullptr, "EventQueue::pop: queue is empty");
   PQOS_METRIC_COUNT("sim.queue.pop");
-  std::pop_heap(heap_.begin(), heap_.end(), later);
-  const Entry entry = heap_.back();
-  heap_.pop_back();
+  const QueueEntry entry = *top;
+  if (impl_ == QueueImpl::Heap) {
+    std::pop_heap(heap_.begin(), heap_.end(), laterInHeap);
+    heap_.pop_back();
+  } else {
+    (void)calendar_.popMin();
+  }
   if constexpr (audit::kEnabled) {
-    // Heap-order integrity: whatever surfaces next (even a lazily
-    // cancelled entry) must not precede the entry being popped.
-    if (!heap_.empty()) {
-      audit::checkEventMonotonic(entry.time, heap_.front().time);
+    // Order integrity: whatever surfaces next (even a lazily cancelled
+    // entry) must not precede the entry being popped.
+    if (impl_ == QueueImpl::Heap) {
+      if (!heap_.empty()) {
+        audit::checkEventMonotonic(entry.time, heap_.front().time);
+      }
+    } else if (!calendar_.empty()) {
+      audit::checkEventMonotonic(entry.time, calendar_.peekMin().time);
     }
   }
-  const auto it = live_.find(entry.seq);
-  require(it != live_.end(), "EventQueue::pop: dead entry after dropDead");
-  Fired fired{entry.time, entry.seq, std::move(it->second)};
-  live_.erase(it);
+  Slot& cell = slots_[entry.slot];
+  Fired fired{entry.time, makeId(entry.slot, entry.generation),
+              std::move(cell.fn)};
+  releaseSlot(entry.slot);
+  --liveCount_;
   return fired;
 }
 

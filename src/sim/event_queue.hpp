@@ -1,16 +1,26 @@
 // Cancellable pending-event set for the discrete-event engine.
 //
-// A binary min-heap ordered by (time, sequence number) gives deterministic
-// FIFO tie-breaking for simultaneous events — essential for reproducible
-// experiments. Cancellation is lazy: cancelled ids are dropped when they
-// surface at the top, keeping both schedule and cancel O(log n).
+// Two interchangeable structures order pending events by (time, sequence
+// number) with deterministic FIFO tie-breaking for simultaneous events —
+// essential for reproducible experiments: a binary min-heap (the oracle)
+// and a bucketed calendar queue (O(1) amortized at high event rates).
+// The structure is chosen per queue via QueueImpl; the process-wide
+// default comes from the PQOS_EVENTQ knob (see defaultQueueImpl()).
+// tests/sim_eventq_diff_test.cpp holds both to identical firing sequences.
+//
+// Callbacks live in a slot arena indexed by dense handles with generation
+// counters, so schedule, cancel, and pop are hash-free and allocation-free
+// once the arena is warm. Cancellation is lazy: a cancelled slot's
+// generation is bumped and the stale structure entry is dropped when it
+// surfaces, keeping cancel O(1).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
+#include "sim/calendar_queue.hpp"
 #include "util/types.hpp"
 
 namespace pqos::sim {
@@ -23,8 +33,27 @@ inline constexpr EventId kInvalidEvent = 0;
 /// Callback invoked when an event fires. Fires at most once.
 using EventFn = std::function<void()>;
 
+/// Pending-set structure behind an EventQueue.
+enum class QueueImpl : std::uint8_t { Heap, Calendar };
+
+/// Parses "heap" | "calendar"; throws ConfigError on anything else.
+[[nodiscard]] QueueImpl queueImplFromName(const std::string& name);
+[[nodiscard]] const char* queueImplName(QueueImpl impl) noexcept;
+
+/// Implementation used by default-constructed queues. Resolution order:
+/// setDefaultQueueImpl() override, then the PQOS_EVENTQ environment
+/// variable, then the build default (-DPQOS_EVENTQ at configure time).
+/// The choice affects only internals — firing order is identical.
+[[nodiscard]] QueueImpl defaultQueueImpl();
+void setDefaultQueueImpl(QueueImpl impl);
+
 class EventQueue {
  public:
+  EventQueue() : EventQueue(defaultQueueImpl()) {}
+  explicit EventQueue(QueueImpl impl) : impl_(impl) {}
+
+  [[nodiscard]] QueueImpl impl() const { return impl_; }
+
   /// Schedules `fn` at absolute time `at`. Times may equal the current
   /// simulation time but must be finite. Returns a handle for cancel().
   EventId schedule(SimTime at, EventFn fn);
@@ -33,8 +62,8 @@ class EventQueue {
   /// or was cancelled (both are benign).
   bool cancel(EventId id);
 
-  [[nodiscard]] bool empty() const { return live_.empty(); }
-  [[nodiscard]] std::size_t size() const { return live_.size(); }
+  [[nodiscard]] bool empty() const { return liveCount_ == 0; }
+  [[nodiscard]] std::size_t size() const { return liveCount_; }
 
   /// Time of the earliest pending event; kTimeInfinity when empty.
   /// Compacts lazily-cancelled entries, hence non-const.
@@ -52,24 +81,35 @@ class EventQueue {
   [[nodiscard]] std::uint64_t scheduledCount() const { return nextSeq_ - 1; }
 
  private:
-  struct Entry {
-    SimTime time;
-    std::uint64_t seq;  // doubles as the EventId
+  /// Arena cell for one callback. The generation is bumped every time the
+  /// slot is released (fired or cancelled), so structure entries and
+  /// EventIds referring to an earlier occupancy are detectably stale.
+  struct Slot {
+    EventFn fn;
+    std::uint32_t generation = 0;
   };
 
-  static bool later(const Entry& a, const Entry& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.seq > b.seq;
+  [[nodiscard]] static EventId makeId(std::uint32_t slot,
+                                      std::uint32_t generation) {
+    return (static_cast<EventId>(generation) << 32) |
+           (static_cast<EventId>(slot) + 1);
   }
 
-  void dropDead();  // remove cancelled entries from the heap top
+  [[nodiscard]] bool isLive(const QueueEntry& entry) const {
+    return slots_[entry.slot].generation == entry.generation;
+  }
 
-  std::vector<Entry> heap_;
-  // Execution order comes from heap_ alone; live_ serves point lookups
-  // (schedule/cancel/pop) and is never iterated, so its hash order can
-  // never reach a result.
-  std::unordered_map<EventId, EventFn> live_;  // pqos-analyze: allow(unordered-iter): point lookups only, never iterated; firing order is decided by the (time, seq) heap
-  std::uint64_t nextSeq_ = 1;  // 0 is kInvalidEvent
+  void releaseSlot(std::uint32_t slot);
+  /// Drops stale entries from the front; nullptr when nothing is pending.
+  const QueueEntry* surfaceLive();
+
+  QueueImpl impl_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> freeSlots_;
+  std::vector<QueueEntry> heap_;  // QueueImpl::Heap
+  CalendarQueue calendar_;        // QueueImpl::Calendar
+  std::size_t liveCount_ = 0;
+  std::uint64_t nextSeq_ = 1;
 };
 
 }  // namespace pqos::sim

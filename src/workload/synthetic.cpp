@@ -30,10 +30,14 @@ double sizeExpectation(const WorkloadModel& model, F f) {
 }
 
 /// Per-size lognormal location parameter (size/runtime coupling).
-double muForSize(const WorkloadModel& model, int size) {
+/// meanLogSize is passed in so per-size evaluation stays O(1): the model
+/// calibrators call this inside a bisection over 200 iterations and every
+/// size choice, and recomputing the O(|sizes|) mean each time made model
+/// construction quadratic.
+double muForSize(const WorkloadModel& model, int size, double meanLogSize) {
   return model.runtimeMu +
          model.sizeRuntimeCorrelation *
-             (std::log(static_cast<double>(size)) - model.meanLogSize());
+             (std::log(static_cast<double>(size)) - meanLogSize);
 }
 
 }  // namespace
@@ -76,11 +80,16 @@ double calibrateLognormalMu(double target, double sigma, double lo,
   double muHi = std::log(hi) + 10.0 * sigma;
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = 0.5 * (muLo + muHi);
+    // Once mid rounds onto an endpoint the interval can never move again,
+    // so breaking after this update returns exactly what 200 iterations
+    // would (bit-identical; this is an early exit, not an approximation).
+    const bool collapsed = mid == muLo || mid == muHi;
     if (clampedLognormalMean(mid, sigma, lo, hi) < target) {
       muLo = mid;
     } else {
       muHi = mid;
     }
+    if (collapsed) break;
   }
   return 0.5 * (muLo + muHi);
 }
@@ -110,11 +119,13 @@ std::vector<double> calibrateGeometricWeights(const std::vector<int>& choices,
   double rHi = 64.0;
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = 0.5 * (rLo + rHi);
+    const bool collapsed = mid == rLo || mid == rHi;
     if (meanFor(mid) < target) {
       rLo = mid;
     } else {
       rHi = mid;
     }
+    if (collapsed) break;
   }
   const double r = 0.5 * (rLo + rHi);
   std::vector<double> weights;
@@ -128,17 +139,21 @@ std::vector<double> calibrateGeometricWeights(const std::vector<int>& choices,
 }
 
 double meanRuntime(const WorkloadModel& model) {
+  const double meanLogSize = model.meanLogSize();
   return sizeExpectation(model, [&](int s) {
-    return clampedLognormalMean(muForSize(model, s), model.runtimeSigma,
-                                model.minRuntime, model.maxRuntime);
+    return clampedLognormalMean(muForSize(model, s, meanLogSize),
+                                model.runtimeSigma, model.minRuntime,
+                                model.maxRuntime);
   });
 }
 
 double meanJobWork(const WorkloadModel& model) {
+  const double meanLogSize = model.meanLogSize();
   return sizeExpectation(model, [&](int s) {
     return static_cast<double>(s) *
-           clampedLognormalMean(muForSize(model, s), model.runtimeSigma,
-                                model.minRuntime, model.maxRuntime);
+           clampedLognormalMean(muForSize(model, s, meanLogSize),
+                                model.runtimeSigma, model.minRuntime,
+                                model.maxRuntime);
   });
 }
 
@@ -149,11 +164,15 @@ double calibrateModelMu(WorkloadModel model, double target) {
   double muHi = std::log(model.maxRuntime) + 10.0 * model.runtimeSigma;
   for (int iter = 0; iter < 200; ++iter) {
     model.runtimeMu = 0.5 * (muLo + muHi);
+    // Same collapsed-interval early exit as calibrateLognormalMu: the
+    // result is bit-identical to running all 200 iterations.
+    const bool collapsed = model.runtimeMu == muLo || model.runtimeMu == muHi;
     if (meanRuntime(model) < target) {
       muLo = model.runtimeMu;
     } else {
       muHi = model.runtimeMu;
     }
+    if (collapsed) break;
   }
   return 0.5 * (muLo + muHi);
 }
@@ -212,7 +231,9 @@ WorkloadModel sdscModel(int machineSize) {
   double rLo = 1e-9, rHi = 1.0;
   for (int iter = 0; iter < 200; ++iter) {
     const double mid = 0.5 * (rLo + rHi);
+    const bool collapsed = mid == rLo || mid == rHi;
     (meanFor(mid) < 9.7 ? rLo : rHi) = mid;
+    if (collapsed) break;
   }
   model.sizeWeights = weightsFor(0.5 * (rLo + rHi));
   model.runtimeSigma = 1.7;          // stronger tail than NASA

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "core/experiment.hpp"
+#include "sim/event_queue.hpp"
 #include "trace/jsonl.hpp"
 #include "trace/replay.hpp"
 #include "util/atomic_write.hpp"
@@ -62,6 +63,47 @@ TEST(GoldenTrace, NasaSmallRun) {
 TEST(GoldenTrace, SdscSmallRun) {
   if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
   checkGolden("sdsc_small.jsonl", renderTrace("sdsc", 202, 0.8, 0.2));
+}
+
+/// Restores the process-wide queue-implementation default on scope exit,
+/// so a failing calendar test cannot leak the override into later tests.
+struct QueueImplGuard {
+  sim::QueueImpl previous = sim::defaultQueueImpl();
+  ~QueueImplGuard() { sim::setDefaultQueueImpl(previous); }
+};
+
+TEST(GoldenTrace, CalendarQueueTracesAreByteIdenticalToHeap) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  // The calendar queue must be observationally indistinguishable from the
+  // heap: the full JSONL event stream — every timestamp, ordering, and
+  // payload — matches byte for byte. Combined with the golden-file tests
+  // above (heap == golden), this pins calendar == golden transitively.
+  QueueImplGuard guard;
+  sim::setDefaultQueueImpl(sim::QueueImpl::Heap);
+  const std::string heapNasa = renderTrace("nasa", 101, 0.5, 0.5);
+  const std::string heapSdsc = renderTrace("sdsc", 202, 0.8, 0.2);
+  sim::setDefaultQueueImpl(sim::QueueImpl::Calendar);
+  const std::string calNasa = renderTrace("nasa", 101, 0.5, 0.5);
+  const std::string calSdsc = renderTrace("sdsc", 202, 0.8, 0.2);
+  ASSERT_EQ(calNasa.size(), heapNasa.size()) << "nasa trace length diverged";
+  EXPECT_EQ(calNasa, heapNasa) << "nasa trace bytes diverged";
+  ASSERT_EQ(calSdsc.size(), heapSdsc.size()) << "sdsc trace length diverged";
+  EXPECT_EQ(calSdsc, heapSdsc) << "sdsc trace bytes diverged";
+}
+
+TEST(GoldenTrace, GoldenFileReplaysUnderCalendarQueue) {
+  if constexpr (!kCompiled) GTEST_SKIP() << "tracing compiled out";
+  // Record-replay closure must also hold when the replay simulation runs
+  // on the calendar queue: the heap-recorded golden trace replays
+  // bit-identically on the other implementation.
+  QueueImplGuard guard;
+  sim::setDefaultQueueImpl(sim::QueueImpl::Calendar);
+  const auto events = loadJsonlFile(goldenPath("nasa_small.jsonl"));
+  core::SimConfig config;
+  config.accuracy = 0.5;
+  config.userRisk = 0.5;
+  const auto report = verifyReplay(config, events);
+  EXPECT_TRUE(report.identical) << report.detail;
 }
 
 TEST(GoldenTrace, GoldenFilesReplayBitIdentically) {

@@ -64,7 +64,7 @@ TEST_F(Metrics, CountersAccumulateAndGaugesKeepTheMax) {
 TEST_F(Metrics, NestedSpansBuildTheEdgeTreeAndSelfTimes) {
   const Id outer = idOf("runner.cell");
   const Id mid = idOf("core.negotiate");
-  const Id inner = idOf("predict.query");
+  const Id inner = idOf("sched.scan");
   {
     ScopedSpan a(outer);
     {
@@ -177,7 +177,7 @@ TEST_F(Metrics, ShardedRecordingUnderAWorkerPoolIsExact) {
   const Id events = idOf("sim.engine.events");
   const Id peak = idOf("sim.queue.peak");
   const Id cell = idOf("runner.cell");
-  const Id query = idOf("predict.query");
+  const Id query = idOf("sched.scan");
   {
     runner::ThreadPool pool(4);
     std::vector<std::future<void>> futures;

@@ -1,0 +1,200 @@
+// Differential oracle for the two EventQueue implementations: the binary
+// heap (oracle) and the calendar queue must produce identical observable
+// behavior — fired sequences, cancel results, sizes, and nextTime values —
+// under randomized schedule/cancel/pop workloads, simultaneous-time FIFO
+// ties, and cancel-at-top. This wall is what lets future queue changes
+// land safely: any divergence from the heap's deterministic (time, seq)
+// order fails here before it can touch sweep output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace pqos::sim {
+namespace {
+
+TEST(QueueImplTest, NamesRoundTrip) {
+  EXPECT_EQ(queueImplFromName("heap"), QueueImpl::Heap);
+  EXPECT_EQ(queueImplFromName("calendar"), QueueImpl::Calendar);
+  EXPECT_STREQ(queueImplName(QueueImpl::Heap), "heap");
+  EXPECT_STREQ(queueImplName(QueueImpl::Calendar), "calendar");
+  EXPECT_THROW((void)queueImplFromName("splay"), ConfigError);
+  EXPECT_THROW((void)queueImplFromName(""), ConfigError);
+}
+
+TEST(QueueImplTest, DefaultIsProgrammaticallyOverridable) {
+  const QueueImpl before = defaultQueueImpl();
+  setDefaultQueueImpl(QueueImpl::Calendar);
+  EXPECT_EQ(defaultQueueImpl(), QueueImpl::Calendar);
+  EXPECT_EQ(EventQueue().impl(), QueueImpl::Calendar);
+  setDefaultQueueImpl(QueueImpl::Heap);
+  EXPECT_EQ(EventQueue().impl(), QueueImpl::Heap);
+  setDefaultQueueImpl(before);
+}
+
+/// One queue under test plus the log of events it actually fired.
+struct Harness {
+  explicit Harness(QueueImpl impl) : queue(impl) {}
+  EventQueue queue;
+  std::vector<EventId> ids;      // by schedule order (tag = index)
+  std::vector<int> fired;        // tags in pop order
+  int pop() {
+    const std::size_t before = fired.size();
+    queue.pop().fn();
+    EXPECT_EQ(fired.size(), before + 1) << "callback did not run";
+    return fired.back();
+  }
+};
+
+/// Drives both implementations through one identical randomized workload
+/// and asserts every observable agrees at every step.
+void runDifferentialWorkload(std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  Harness heap(QueueImpl::Heap);
+  Harness cal(QueueImpl::Calendar);
+  // A small time alphabet forces frequent simultaneous-time FIFO ties;
+  // occasionally mix in a wide/negative time to stress calendar resizing.
+  std::vector<double> alphabet;
+  const int alphabetSize = static_cast<int>(rng.uniformInt(2, 12));
+  for (int i = 0; i < alphabetSize; ++i) {
+    alphabet.push_back(rng.uniform(-10.0, 100.0));
+  }
+  alphabet.push_back(rng.uniform(1e5, 1e7));  // sparse far-future tail
+  int nextTag = 0;
+  for (int op = 0; op < ops; ++op) {
+    const auto roll = rng.uniformInt(0, 9);
+    if (roll < 5) {  // schedule
+      const double at =
+          alphabet[static_cast<std::size_t>(rng.uniformInt(
+              0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+      const int tag = nextTag++;
+      heap.ids.push_back(
+          heap.queue.schedule(at, [&heap, tag] { heap.fired.push_back(tag); }));
+      cal.ids.push_back(
+          cal.queue.schedule(at, [&cal, tag] { cal.fired.push_back(tag); }));
+    } else if (roll < 7 && nextTag > 0) {  // cancel (same pick in both)
+      // Random picks hit every position over 1200 seeds, including the
+      // event currently at the top (the dedicated CancelAtTop test pins
+      // that case deterministically); re-picking an already-cancelled or
+      // already-fired id exercises the stale-handle path on both sides.
+      const auto pick = static_cast<std::size_t>(rng.uniformInt(
+          0, static_cast<std::int64_t>(heap.ids.size()) - 1));
+      EXPECT_EQ(heap.queue.cancel(heap.ids[pick]),
+                cal.queue.cancel(cal.ids[pick]))
+          << "cancel result diverged (seed " << seed << ")";
+    } else if (!heap.queue.empty()) {  // pop
+      ASSERT_FALSE(cal.queue.empty());
+      EXPECT_EQ(heap.pop(), cal.pop())
+          << "fired tag diverged (seed " << seed << ")";
+    }
+    ASSERT_EQ(heap.queue.size(), cal.queue.size())
+        << "size diverged (seed " << seed << ")";
+    ASSERT_EQ(heap.queue.nextTime(), cal.queue.nextTime())
+        << "nextTime diverged (seed " << seed << ")";
+  }
+  // Drain: the full remaining firing sequences must match.
+  while (!heap.queue.empty()) {
+    ASSERT_FALSE(cal.queue.empty());
+    EXPECT_EQ(heap.pop(), cal.pop()) << "drain diverged (seed " << seed << ")";
+  }
+  EXPECT_TRUE(cal.queue.empty());
+  EXPECT_EQ(heap.fired, cal.fired) << "sequence diverged (seed " << seed << ")";
+  EXPECT_EQ(heap.queue.scheduledCount(), cal.queue.scheduledCount());
+}
+
+TEST(EventQueueDiffTest, RandomizedWorkloadsAgreeAcrossSeeds) {
+  // 1200 seeded iterations x ~40 ops: schedule/cancel/pop mixes with FIFO
+  // ties, cancel-at-top, far-future tails, and calendar resizes.
+  for (std::uint64_t seed = 1; seed <= 1200; ++seed) {
+    runDifferentialWorkload(seed, 40);
+  }
+}
+
+TEST(EventQueueDiffTest, DeepQueuesAgree) {
+  for (std::uint64_t seed = 7; seed <= 10; ++seed) {
+    runDifferentialWorkload(seed, 3000);
+  }
+}
+
+TEST(EventQueueDiffTest, SimultaneousTimesFireFifoOnBothImpls) {
+  for (const QueueImpl impl : {QueueImpl::Heap, QueueImpl::Calendar}) {
+    EventQueue queue(impl);
+    std::vector<int> fired;
+    for (int tag = 0; tag < 256; ++tag) {
+      (void)queue.schedule(42.0, [&fired, tag] { fired.push_back(tag); });
+    }
+    while (!queue.empty()) queue.pop().fn();
+    ASSERT_EQ(fired.size(), 256u) << queueImplName(impl);
+    EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()))
+        << "FIFO tie-break violated on " << queueImplName(impl);
+  }
+}
+
+TEST(EventQueueDiffTest, CancelAtTopSkipsToNextEventOnBothImpls) {
+  for (const QueueImpl impl : {QueueImpl::Heap, QueueImpl::Calendar}) {
+    EventQueue queue(impl);
+    int fired = -1;
+    const EventId top = queue.schedule(1.0, [&fired] { fired = 1; });
+    (void)queue.schedule(2.0, [&fired] { fired = 2; });
+    EXPECT_EQ(queue.nextTime(), 1.0) << queueImplName(impl);
+    EXPECT_TRUE(queue.cancel(top));
+    EXPECT_FALSE(queue.cancel(top)) << "double cancel must be benign";
+    EXPECT_EQ(queue.nextTime(), 2.0) << queueImplName(impl);
+    queue.pop().fn();
+    EXPECT_EQ(fired, 2) << queueImplName(impl);
+    EXPECT_TRUE(queue.empty());
+  }
+}
+
+TEST(EventQueueDiffTest, CalendarHandlesEqualTimesAndTinySpans) {
+  // Degenerate width paths: every event at one instant, then spans far
+  // below one time unit.
+  EventQueue queue(QueueImpl::Calendar);
+  for (int i = 0; i < 100; ++i) (void)queue.schedule(5.0, [] {});
+  for (int i = 0; i < 100; ++i) {
+    (void)queue.schedule(5.0 + static_cast<double>(i) * 1e-9, [] {});
+  }
+  SimTime last = -kTimeInfinity;
+  while (!queue.empty()) {
+    const auto fired = queue.pop();
+    EXPECT_GE(fired.time, last);
+    last = fired.time;
+  }
+}
+
+TEST(CalendarQueueTest, PopsInGlobalOrderThroughResizes) {
+  CalendarQueue calendar;
+  Rng rng(99);
+  std::uint64_t seq = 1;
+  for (int i = 0; i < 20000; ++i) {
+    calendar.push(QueueEntry{rng.uniform(0.0, 1e6), seq++, 0, 0});
+  }
+  EXPECT_EQ(calendar.size(), 20000u);
+  QueueEntry last{-kTimeInfinity, 0, 0, 0};
+  while (!calendar.empty()) {
+    const std::uint64_t peeked = calendar.peekMin().seq;
+    const QueueEntry entry = calendar.popMin();
+    EXPECT_EQ(peeked, entry.seq) << "peekMin disagreed with popMin";
+    EXPECT_TRUE(firesBefore(last, entry));
+    last = entry;
+  }
+  last = QueueEntry{-kTimeInfinity, 0, 0, 0};
+  // Refill and drain asserting strict (time, seq) order.
+  for (int i = 0; i < 5000; ++i) {
+    calendar.push(QueueEntry{rng.uniform(-100.0, 100.0), seq++, 0, 0});
+  }
+  while (!calendar.empty()) {
+    const QueueEntry entry = calendar.popMin();
+    EXPECT_TRUE(firesBefore(last, entry));
+    last = entry;
+  }
+}
+
+}  // namespace
+}  // namespace pqos::sim
